@@ -1,0 +1,257 @@
+//! CM — concept-based personalized query suggestion (Leung, Ng & Lee,
+//! TKDE 2008 \[13\]).
+//!
+//! Leung et al. mine *concepts* (salient terms) for each query from the
+//! web snippets of its results, build a user profile of concept
+//! preferences from clickthrough, and rank suggestion candidates by
+//! similarity to the profile. A snippet corpus is not available offline,
+//! so per DESIGN.md §4 the concepts are mined from the query log itself:
+//! the concept vector of a query aggregates the terms of all queries that
+//! share clicked URLs with it (click-weighted) plus its own terms. The
+//! rest of the method is unchanged: the user profile is the click-weighted
+//! sum of the concept vectors of the user's past queries, candidates come
+//! from the click-graph neighbourhood of the input, and the score is
+//! `cosine(concept(candidate), profile)` with a relevance prior toward the
+//! input query.
+
+use crate::suggester::{finalize, SuggestRequest, Suggester};
+use pqsda_graph::bipartite::Bipartite;
+use pqsda_graph::walk::{forward_walk, one_hot, two_step_transition};
+use pqsda_graph::weighting::{apply_scheme, WeightingScheme};
+use pqsda_linalg::csr::{CooBuilder, CsrMatrix};
+use pqsda_querylog::{QueryId, QueryLog};
+use std::collections::HashMap;
+
+/// CM hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CmParams {
+    /// Walk steps used to gather the candidate pool.
+    pub walk_steps: usize,
+    /// Restart probability of the candidate walk.
+    pub restart: f64,
+    /// Candidate pool size.
+    pub pool: usize,
+    /// Mixing weight of profile similarity vs query relevance in `[0, 1]`
+    /// (1 = purely personalized).
+    pub personal_weight: f64,
+}
+
+impl Default for CmParams {
+    fn default() -> Self {
+        CmParams {
+            walk_steps: 8,
+            restart: 0.2,
+            pool: 50,
+            personal_weight: 0.7,
+        }
+    }
+}
+
+/// The CM suggester.
+#[derive(Clone, Debug)]
+pub struct ConceptBased {
+    transition: CsrMatrix,
+    /// Concept vectors: queries × terms.
+    concepts: CsrMatrix,
+    /// User profiles: users × terms (click-weighted concept sums).
+    profiles: CsrMatrix,
+    params: CmParams,
+}
+
+impl ConceptBased {
+    /// Mines concepts and user profiles from the log.
+    pub fn new(log: &QueryLog, scheme: WeightingScheme, params: CmParams) -> Self {
+        let click = apply_scheme(&Bipartite::query_url(log), scheme, log);
+        let transition = two_step_transition(&click);
+
+        // Concept vector of q: own terms (weight 1 each occurrence) plus
+        // the terms of queries sharing a clicked URL, weighted by the
+        // click-graph affinity.
+        let mut concepts = CooBuilder::new(log.num_queries(), log.num_terms());
+        for q in 0..log.num_queries() {
+            let qid = QueryId::from_index(q);
+            for &t in log.query_terms(qid) {
+                concepts.push(q, t.index(), 1.0);
+            }
+            let (neighbors, weights) = transition.row(q);
+            for (&nq, &w) in neighbors.iter().zip(weights) {
+                if nq as usize == q {
+                    continue;
+                }
+                for &t in log.query_terms(QueryId(nq)) {
+                    concepts.push(q, t.index(), w);
+                }
+            }
+        }
+        let concepts = concepts.build();
+
+        // User profile: sum of concept vectors of the user's past queries,
+        // counting clicked submissions double (clicks signal satisfaction).
+        let mut profile_weights: HashMap<(u32, u32), f64> = HashMap::new();
+        for r in log.records() {
+            let w = if r.click.is_some() { 2.0 } else { 1.0 };
+            let (terms, vals) = concepts.row(r.query.index());
+            for (&t, &v) in terms.iter().zip(vals) {
+                *profile_weights.entry((r.user.0, t)).or_insert(0.0) += w * v;
+            }
+        }
+        let mut profiles = CooBuilder::new(log.num_users(), log.num_terms());
+        for ((u, t), v) in profile_weights {
+            profiles.push(u as usize, t as usize, v);
+        }
+
+        ConceptBased {
+            transition,
+            concepts,
+            profiles: profiles.build(),
+            params,
+        }
+    }
+
+    fn cosine_rows(a: &CsrMatrix, ra: usize, b: &CsrMatrix, rb: usize) -> f64 {
+        let (ca, va) = a.row(ra);
+        let (cb, vb) = b.row(rb);
+        let (mut i, mut j) = (0, 0);
+        let mut dot = 0.0;
+        while i < ca.len() && j < cb.len() {
+            match ca[i].cmp(&cb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += va[i] * vb[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let na: f64 = va.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let nb: f64 = vb.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+impl Suggester for ConceptBased {
+    fn name(&self) -> &str {
+        "CM"
+    }
+
+    fn suggest(&self, req: &SuggestRequest) -> Vec<QueryId> {
+        let n = self.transition.rows();
+        if req.query.index() >= n {
+            return Vec::new();
+        }
+        // Candidate pool around the input query.
+        let start = one_hot(n, req.query.index());
+        let dist = forward_walk(
+            &self.transition,
+            &start,
+            self.params.walk_steps,
+            self.params.restart,
+        );
+        let mut pool: Vec<usize> = (0..n)
+            .filter(|&i| i != req.query.index() && dist[i] > 0.0)
+            .collect();
+        pool.sort_by(|&a, &b| dist[b].partial_cmp(&dist[a]).unwrap().then(a.cmp(&b)));
+        pool.truncate(self.params.pool);
+        if pool.is_empty() {
+            return Vec::new();
+        }
+        let max_rel = dist[pool[0]].max(f64::MIN_POSITIVE);
+
+        // Score: personal_weight · cosine(concept, profile)
+        //      + (1 − personal_weight) · normalized walk relevance.
+        let w = self.params.personal_weight;
+        let mut scored: Vec<(usize, f64)> = pool
+            .into_iter()
+            .map(|q| {
+                let personal = match req.user {
+                    Some(u) if u.index() < self.profiles.rows() => {
+                        Self::cosine_rows(&self.concepts, q, &self.profiles, u.index())
+                    }
+                    _ => 0.0,
+                };
+                (q, w * personal + (1.0 - w) * dist[q] / max_rel)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        finalize(req, scored.into_iter().map(|(q, _)| QueryId::from_index(q)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_querylog::{LogEntry, UserId};
+
+    fn log() -> QueryLog {
+        let entries = vec![
+            LogEntry::new(UserId(2), "sun", Some("java.com"), 0),
+            LogEntry::new(UserId(2), "sun", Some("astro.org"), 1),
+            LogEntry::new(UserId(2), "java runtime", Some("java.com"), 2),
+            LogEntry::new(UserId(2), "astro sky watch", Some("astro.org"), 3),
+            // User 0 history: java vocabulary.
+            LogEntry::new(UserId(0), "java jdk runtime", Some("java.com"), 4),
+            LogEntry::new(UserId(0), "java maven", Some("maven.com"), 5),
+            // User 1 history: astronomy vocabulary.
+            LogEntry::new(UserId(1), "sky telescope astro", Some("astro.org"), 6),
+            LogEntry::new(UserId(1), "astro watch guide", Some("guide.com"), 7),
+        ];
+        QueryLog::from_entries(&entries)
+    }
+
+    #[test]
+    fn profiles_steer_the_ranking() {
+        let log = log();
+        let cm = ConceptBased::new(&log, WeightingScheme::Raw, CmParams::default());
+        let sun = log.find_query("sun").unwrap();
+        let java = log.find_query("java runtime").unwrap();
+        let astro = log.find_query("astro sky watch").unwrap();
+
+        let out0 = cm.suggest(&SuggestRequest::simple(sun, 4).for_user(UserId(0)));
+        let out1 = cm.suggest(&SuggestRequest::simple(sun, 4).for_user(UserId(1)));
+        let pos = |out: &[QueryId], q: QueryId| out.iter().position(|&x| x == q).unwrap();
+        assert!(
+            pos(&out0, java) < pos(&out0, astro),
+            "java user gets java first: {out0:?}"
+        );
+        assert!(
+            pos(&out1, astro) < pos(&out1, java),
+            "astro user gets astro first: {out1:?}"
+        );
+    }
+
+    #[test]
+    fn anonymous_requests_fall_back_to_relevance() {
+        let log = log();
+        let cm = ConceptBased::new(&log, WeightingScheme::Raw, CmParams::default());
+        let sun = log.find_query("sun").unwrap();
+        let out = cm.suggest(&SuggestRequest::simple(sun, 4));
+        assert!(!out.is_empty());
+        assert!(!out.contains(&sun));
+    }
+
+    #[test]
+    fn concepts_include_neighbour_terms() {
+        let log = log();
+        let cm = ConceptBased::new(&log, WeightingScheme::Raw, CmParams::default());
+        // "sun" shares java.com with "java runtime": its concept vector
+        // must contain the term "runtime" (picked up from the neighbour).
+        let sun = log.find_query("sun").unwrap();
+        let runtime_term = {
+            let jr = log.find_query("java runtime").unwrap();
+            log.query_terms(jr)[1]
+        };
+        assert!(cm.concepts.get(sun.index(), runtime_term.index()) > 0.0);
+    }
+
+    #[test]
+    fn name_is_cm() {
+        let log = log();
+        let cm = ConceptBased::new(&log, WeightingScheme::Raw, CmParams::default());
+        assert_eq!(cm.name(), "CM");
+    }
+}

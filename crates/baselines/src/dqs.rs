@@ -1,0 +1,182 @@
+//! DQS — Diversifying Query Suggestion (Ma, Lyu & King, AAAI 2010 \[6\]).
+//!
+//! The method PQS-DA generalizes: on the **click graph only**, pick the
+//! most relevant candidate by Markov random walk from the input query, then
+//! grow the suggestion set greedily by maximum expected hitting time to the
+//! already-selected set — the same relevance-then-diversity recipe as the
+//! paper's Algorithm 1, but restricted to a single bipartite and without
+//! the regularization framework or personalization.
+
+use crate::suggester::{finalize, SuggestRequest, Suggester};
+use pqsda_graph::bipartite::Bipartite;
+use pqsda_graph::hitting::truncated_hitting_time;
+use pqsda_graph::walk::{forward_walk, one_hot, two_step_transition};
+use pqsda_graph::weighting::{apply_scheme, WeightingScheme};
+use pqsda_linalg::csr::CsrMatrix;
+use pqsda_querylog::{QueryId, QueryLog};
+
+/// DQS hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DqsParams {
+    /// Random-walk steps for the relevance stage.
+    pub walk_steps: usize,
+    /// Restart probability for the relevance stage.
+    pub restart: f64,
+    /// Hitting-time truncation horizon for the diversity stage.
+    pub horizon: usize,
+    /// Size of the relevance-filtered candidate pool the diversity stage
+    /// selects from (the paper's method also pre-filters to walk-reachable
+    /// candidates).
+    pub pool: usize,
+}
+
+impl Default for DqsParams {
+    fn default() -> Self {
+        DqsParams {
+            walk_steps: 10,
+            restart: 0.2,
+            horizon: 20,
+            pool: 50,
+        }
+    }
+}
+
+/// The DQS suggester.
+#[derive(Clone, Debug)]
+pub struct Dqs {
+    transition: CsrMatrix,
+    params: DqsParams,
+}
+
+impl Dqs {
+    /// Builds the click-graph transition (raw or weighted per `scheme`).
+    pub fn new(log: &QueryLog, scheme: WeightingScheme, params: DqsParams) -> Self {
+        let click = apply_scheme(&Bipartite::query_url(log), scheme, log);
+        Dqs {
+            transition: two_step_transition(&click),
+            params,
+        }
+    }
+}
+
+impl Suggester for Dqs {
+    fn name(&self) -> &str {
+        "DQS"
+    }
+
+    fn suggest(&self, req: &SuggestRequest) -> Vec<QueryId> {
+        let n = self.transition.rows();
+        if req.query.index() >= n {
+            return Vec::new();
+        }
+        // Stage 1: relevance pool by random walk.
+        let start = one_hot(n, req.query.index());
+        let dist = forward_walk(&self.transition, &start, self.params.walk_steps, self.params.restart);
+        let mut pool: Vec<usize> = (0..n)
+            .filter(|&i| i != req.query.index() && dist[i] > 0.0)
+            .collect();
+        pool.sort_by(|&a, &b| dist[b].partial_cmp(&dist[a]).unwrap().then(a.cmp(&b)));
+        pool.truncate(self.params.pool);
+        if pool.is_empty() {
+            return Vec::new();
+        }
+
+        // Stage 2: greedy max-hitting-time selection. The first candidate
+        // is the most relevant; each next one maximizes expected hitting
+        // time to the selected set S (ties → higher walk relevance).
+        let mut selected: Vec<usize> = vec![pool[0]];
+        while selected.len() < req.k + req.context.len() + 1 && selected.len() < pool.len() {
+            let h = truncated_hitting_time(&self.transition, &selected, self.params.horizon);
+            let next = pool
+                .iter()
+                .copied()
+                .filter(|i| !selected.contains(i))
+                .max_by(|&a, &b| {
+                    h[a].partial_cmp(&h[b])
+                        .unwrap()
+                        .then(dist[a].partial_cmp(&dist[b]).unwrap())
+                        .then(b.cmp(&a))
+                });
+            match next {
+                Some(i) => selected.push(i),
+                None => break,
+            }
+        }
+        finalize(req, selected.into_iter().map(QueryId::from_index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_querylog::{LogEntry, UserId};
+
+    /// Input "sun" with two facets: java-cluster (java1, java2 tightly
+    /// interlinked) and astro-cluster (astro1), plus a heavier link into
+    /// the java side.
+    fn two_facet_log() -> QueryLog {
+        let entries = vec![
+            // java facet, strongly connected to sun and to each other
+            LogEntry::new(UserId(0), "sun", Some("java.com"), 0),
+            LogEntry::new(UserId(0), "sun", Some("java.com"), 1),
+            LogEntry::new(UserId(0), "java one", Some("java.com"), 2),
+            LogEntry::new(UserId(0), "java one", Some("jdk.com"), 3),
+            LogEntry::new(UserId(0), "java two", Some("jdk.com"), 4),
+            LogEntry::new(UserId(0), "java two", Some("java.com"), 5),
+            // astro facet, weaker link to sun
+            LogEntry::new(UserId(1), "sun", Some("astro.org"), 6),
+            LogEntry::new(UserId(1), "astro pictures", Some("astro.org"), 7),
+        ];
+        QueryLog::from_entries(&entries)
+    }
+
+    #[test]
+    fn first_candidate_is_most_relevant() {
+        let log = two_facet_log();
+        let dqs = Dqs::new(&log, WeightingScheme::Raw, DqsParams::default());
+        let sun = log.find_query("sun").unwrap();
+        let out = dqs.suggest(&SuggestRequest::simple(sun, 3));
+        let java1 = log.find_query("java one").unwrap();
+        let java2 = log.find_query("java two").unwrap();
+        assert!(out[0] == java1 || out[0] == java2, "{out:?}");
+    }
+
+    #[test]
+    fn second_candidate_jumps_to_the_other_facet() {
+        let log = two_facet_log();
+        let dqs = Dqs::new(&log, WeightingScheme::Raw, DqsParams::default());
+        let sun = log.find_query("sun").unwrap();
+        let out = dqs.suggest(&SuggestRequest::simple(sun, 3));
+        let astro = log.find_query("astro pictures").unwrap();
+        assert!(out.len() >= 2);
+        assert_eq!(
+            out[1], astro,
+            "diversity must pull in the astro facet second: {out:?}"
+        );
+    }
+
+    #[test]
+    fn covers_both_facets_within_k() {
+        let log = two_facet_log();
+        let dqs = Dqs::new(&log, WeightingScheme::Raw, DqsParams::default());
+        let sun = log.find_query("sun").unwrap();
+        let out = dqs.suggest(&SuggestRequest::simple(sun, 3));
+        let astro = log.find_query("astro pictures").unwrap();
+        let javas = [
+            log.find_query("java one").unwrap(),
+            log.find_query("java two").unwrap(),
+        ];
+        assert!(out.contains(&astro));
+        assert!(out.iter().any(|q| javas.contains(q)));
+    }
+
+    #[test]
+    fn k_and_exclusions_respected() {
+        let log = two_facet_log();
+        let dqs = Dqs::new(&log, WeightingScheme::Raw, DqsParams::default());
+        let sun = log.find_query("sun").unwrap();
+        let out = dqs.suggest(&SuggestRequest::simple(sun, 2));
+        assert!(out.len() <= 2);
+        assert!(!out.contains(&sun));
+    }
+}

@@ -1,0 +1,34 @@
+//! Query-suggestion baselines the paper compares PQS-DA against
+//! (§VI-B, §VI-C):
+//!
+//! * [`walks`] — **FRW** and **BRW**, the forward/backward random walks on
+//!   the click graph of Craswell & Szummer \[15\];
+//! * [`ht`] — **HT**, query suggestion by hitting time (Mei et al. \[14\]);
+//! * [`dqs`] — **DQS**, diversifying query suggestion (Ma et al. \[6\]):
+//!   random-walk relevance for the first candidate, greedy max-hitting-time
+//!   selection for the rest — on the click graph only;
+//! * [`pht`] — **PHT**, personalized hitting time (Mei et al. \[14\]): a
+//!   pseudo query node built from the user's click history joins the
+//!   target set;
+//! * [`cm`] — **CM**, the concept-based personalized suggestion of Leung
+//!   et al. \[13\], with concepts mined from the log itself (snippet corpus
+//!   unavailable; see DESIGN.md §4);
+//! * [`suggester`] — the [`Suggester`] trait every method (and PQS-DA in
+//!   `pqsda`) implements, so the evaluation harness treats them uniformly.
+//!
+//! All click-graph baselines accept raw or `cfiqf`-weighted graphs — the
+//! paper's Fig. 3/5 evaluates both.
+
+pub mod cm;
+pub mod dqs;
+pub mod ht;
+pub mod pht;
+pub mod suggester;
+pub mod walks;
+
+pub use cm::ConceptBased;
+pub use dqs::Dqs;
+pub use ht::HittingTime;
+pub use pht::PersonalizedHittingTime;
+pub use suggester::{SuggestRequest, Suggester};
+pub use walks::{BackwardWalk, ForwardWalk};

@@ -1,0 +1,167 @@
+//! PHT — Personalized Hitting Time (Mei, Zhou & Church \[14\], §personalized
+//! suggestion).
+//!
+//! Mei et al. personalize hitting-time suggestion by "creating pseudo query
+//! nodes in the click graph": a pseudo node stands for the user's search
+//! history (it connects to every URL the user has clicked, with the user's
+//! click counts as edge weights) and joins the input query in the target
+//! set. Candidates that reach *both* the input query and the user's
+//! history quickly — i.e. related to the query in the way this user tends
+//! to search — get the smallest hitting time.
+
+use crate::ht::HtParams;
+use crate::suggester::{finalize, SuggestRequest, Suggester};
+use pqsda_graph::bipartite::Bipartite;
+use pqsda_graph::hitting::truncated_hitting_time;
+use pqsda_graph::walk::two_step_transition;
+use pqsda_graph::weighting::{apply_scheme, WeightingScheme};
+use pqsda_linalg::csr::{CooBuilder, CsrMatrix};
+use pqsda_querylog::{QueryId, QueryLog, UserId};
+
+/// The PHT suggester.
+#[derive(Clone, Debug)]
+pub struct PersonalizedHittingTime {
+    /// Click bipartite with the weighting applied (queries × URLs).
+    click: CsrMatrix,
+    /// Per-user URL click counts (users × URLs), same weighting.
+    user_clicks: CsrMatrix,
+    params: HtParams,
+}
+
+impl PersonalizedHittingTime {
+    /// Builds the weighted click graph and the per-user click profiles.
+    pub fn new(log: &QueryLog, scheme: WeightingScheme, params: HtParams) -> Self {
+        let click = apply_scheme(&Bipartite::query_url(log), scheme, log);
+        let mut uc = CooBuilder::new(log.num_users(), log.num_urls());
+        for r in log.records() {
+            if let Some(u) = r.click {
+                uc.push(r.user.index(), u.index(), 1.0);
+            }
+        }
+        PersonalizedHittingTime {
+            click: click.matrix().clone(),
+            user_clicks: uc.build(),
+            params,
+        }
+    }
+
+    /// The augmented transition: the click bipartite plus one pseudo-query
+    /// row holding the user's click profile, then the two-step query→query
+    /// transition over `num_queries + 1` nodes (pseudo node last).
+    fn augmented_transition(&self, user: UserId) -> CsrMatrix {
+        let q = self.click.rows();
+        let mut b = CooBuilder::new(q + 1, self.click.cols());
+        for (r, c, v) in self.click.iter() {
+            b.push(r, c, v);
+        }
+        if user.index() < self.user_clicks.rows() {
+            let (urls, counts) = self.user_clicks.row(user.index());
+            for (&u, &c) in urls.iter().zip(counts) {
+                b.push(q, u as usize, c);
+            }
+        }
+        let bip = Bipartite::from_matrix(pqsda_graph::EntityKind::Url, b.build());
+        two_step_transition(&bip)
+    }
+}
+
+impl Suggester for PersonalizedHittingTime {
+    fn name(&self) -> &str {
+        "PHT"
+    }
+
+    fn suggest(&self, req: &SuggestRequest) -> Vec<QueryId> {
+        let q = self.click.rows();
+        if req.query.index() >= q {
+            return Vec::new();
+        }
+        let transition = match req.user {
+            Some(user) => self.augmented_transition(user),
+            // Without a user, PHT degrades to plain HT.
+            None => {
+                let bip =
+                    Bipartite::from_matrix(pqsda_graph::EntityKind::Url, self.click.clone());
+                two_step_transition(&bip)
+            }
+        };
+        let mut targets = vec![req.query.index()];
+        if req.user.is_some() && transition.rows() == q + 1 {
+            targets.push(q); // the pseudo node
+        }
+        let h = truncated_hitting_time(&transition, &targets, self.params.horizon);
+        let horizon = self.params.horizon as f64;
+        let mut order: Vec<usize> = (0..q)
+            .filter(|&i| i != req.query.index() && h[i] < horizon)
+            .collect();
+        order.sort_by(|&a, &b| h[a].partial_cmp(&h[b]).unwrap().then(a.cmp(&b)));
+        finalize(req, order.into_iter().map(QueryId::from_index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_querylog::LogEntry;
+
+    /// "sun" links equally to a java query and an astro query; user 0's
+    /// history is pure java, user 1's pure astro.
+    fn log() -> QueryLog {
+        let entries = vec![
+            LogEntry::new(UserId(2), "sun", Some("java.com"), 0),
+            LogEntry::new(UserId(2), "sun", Some("astro.org"), 1),
+            LogEntry::new(UserId(2), "java download", Some("java.com"), 2),
+            LogEntry::new(UserId(2), "astro pictures", Some("astro.org"), 3),
+            // user histories
+            LogEntry::new(UserId(0), "jdk install", Some("java.com"), 4),
+            LogEntry::new(UserId(0), "jdk install", Some("jdk.com"), 5),
+            LogEntry::new(UserId(1), "telescope", Some("astro.org"), 6),
+            LogEntry::new(UserId(1), "telescope", Some("scope.com"), 7),
+        ];
+        QueryLog::from_entries(&entries)
+    }
+
+    #[test]
+    fn history_biases_the_ranking() {
+        let log = log();
+        let pht =
+            PersonalizedHittingTime::new(&log, WeightingScheme::Raw, HtParams::default());
+        let sun = log.find_query("sun").unwrap();
+        let java = log.find_query("java download").unwrap();
+        let astro = log.find_query("astro pictures").unwrap();
+
+        let for_java_user = pht.suggest(&SuggestRequest::simple(sun, 4).for_user(UserId(0)));
+        let for_astro_user = pht.suggest(&SuggestRequest::simple(sun, 4).for_user(UserId(1)));
+
+        let jpos = |out: &[QueryId]| out.iter().position(|&x| x == java);
+        let apos = |out: &[QueryId]| out.iter().position(|&x| x == astro);
+        assert!(
+            jpos(&for_java_user) < apos(&for_java_user),
+            "java user: {for_java_user:?}"
+        );
+        assert!(
+            apos(&for_astro_user) < jpos(&for_astro_user),
+            "astro user: {for_astro_user:?}"
+        );
+    }
+
+    #[test]
+    fn anonymous_request_degrades_to_ht() {
+        let log = log();
+        let pht =
+            PersonalizedHittingTime::new(&log, WeightingScheme::Raw, HtParams::default());
+        let sun = log.find_query("sun").unwrap();
+        let out = pht.suggest(&SuggestRequest::simple(sun, 4));
+        assert!(!out.is_empty());
+        assert!(!out.contains(&sun));
+    }
+
+    #[test]
+    fn unknown_user_behaves_gracefully() {
+        let log = log();
+        let pht =
+            PersonalizedHittingTime::new(&log, WeightingScheme::Raw, HtParams::default());
+        let sun = log.find_query("sun").unwrap();
+        let out = pht.suggest(&SuggestRequest::simple(sun, 4).for_user(UserId(99)));
+        assert!(!out.contains(&sun));
+    }
+}

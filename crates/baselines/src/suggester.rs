@@ -1,0 +1,116 @@
+//! The uniform interface every query-suggestion method implements.
+
+use pqsda_querylog::{QueryId, UserId};
+
+/// One suggestion request: the input query, its search context (paper
+/// Definition 2 — the previously submitted queries of the same session),
+/// and optionally the user for personalized methods.
+#[derive(Clone, Debug)]
+pub struct SuggestRequest {
+    /// The input query.
+    pub query: QueryId,
+    /// Earlier queries of the same session, oldest first.
+    pub context: Vec<QueryId>,
+    /// Timestamps of the context queries (seconds, same length as
+    /// `context`); used by the decay of paper Eq. 7.
+    pub context_times: Vec<u64>,
+    /// Timestamp of the input query.
+    pub query_time: u64,
+    /// The requesting user, when known (personalized methods need it;
+    /// non-personalized ones ignore it).
+    pub user: Option<UserId>,
+    /// How many suggestions to return.
+    pub k: usize,
+}
+
+impl SuggestRequest {
+    /// A context-free, anonymous request — the common case in the
+    /// diversification-only experiments.
+    pub fn simple(query: QueryId, k: usize) -> Self {
+        SuggestRequest {
+            query,
+            context: Vec::new(),
+            context_times: Vec::new(),
+            query_time: 0,
+            user: None,
+            k,
+        }
+    }
+
+    /// Adds a search context.
+    pub fn with_context(mut self, context: Vec<QueryId>, times: Vec<u64>, now: u64) -> Self {
+        assert_eq!(context.len(), times.len(), "context/times length mismatch");
+        self.context = context;
+        self.context_times = times;
+        self.query_time = now;
+        self
+    }
+
+    /// Attributes the request to a user.
+    pub fn for_user(mut self, user: UserId) -> Self {
+        self.user = Some(user);
+        self
+    }
+}
+
+/// A query-suggestion method: input query (+ context + user) → a ranked
+/// list of at most `k` suggested queries, never containing the input query
+/// itself or its context queries.
+pub trait Suggester {
+    /// Method name as used in the paper's figures (e.g. `"FRW"`).
+    fn name(&self) -> &str;
+
+    /// Produces the ranked suggestion list.
+    fn suggest(&self, req: &SuggestRequest) -> Vec<QueryId>;
+}
+
+/// Shared post-processing: removes the input and context queries, truncates
+/// to `k`.
+pub fn finalize(req: &SuggestRequest, ranked: impl IntoIterator<Item = QueryId>) -> Vec<QueryId> {
+    ranked
+        .into_iter()
+        .filter(|q| *q != req.query && !req.context.contains(q))
+        .take(req.k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_request_defaults() {
+        let r = SuggestRequest::simple(QueryId(3), 5);
+        assert_eq!(r.query, QueryId(3));
+        assert_eq!(r.k, 5);
+        assert!(r.context.is_empty());
+        assert!(r.user.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let r = SuggestRequest::simple(QueryId(1), 3)
+            .with_context(vec![QueryId(0)], vec![10], 20)
+            .for_user(UserId(7));
+        assert_eq!(r.context, vec![QueryId(0)]);
+        assert_eq!(r.query_time, 20);
+        assert_eq!(r.user, Some(UserId(7)));
+    }
+
+    #[test]
+    fn finalize_excludes_input_and_context_and_truncates() {
+        let r = SuggestRequest::simple(QueryId(1), 2)
+            .with_context(vec![QueryId(2)], vec![0], 1);
+        let out = finalize(
+            &r,
+            vec![QueryId(1), QueryId(2), QueryId(3), QueryId(4), QueryId(5)],
+        );
+        assert_eq!(out, vec![QueryId(3), QueryId(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_context_rejected() {
+        SuggestRequest::simple(QueryId(0), 1).with_context(vec![QueryId(1)], vec![], 5);
+    }
+}

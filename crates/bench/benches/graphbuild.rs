@@ -1,0 +1,53 @@
+//! Construction bench: building the click graph vs the full multi-bipartite
+//! representation, raw vs cfiqf-weighted, plus compact expansion — the
+//! offline and per-request graph costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pqsda_bench::{ExperimentWorld, Scale};
+use pqsda_graph::bipartite::Bipartite;
+use pqsda_graph::compact::{CompactConfig, CompactMulti};
+use pqsda_graph::multi::MultiBipartite;
+use pqsda_graph::weighting::{apply_cfiqf, WeightingScheme};
+
+fn bench_graph_build(c: &mut Criterion) {
+    let world = ExperimentWorld::build(Scale::Small, 42);
+    let log = world.log();
+    let sessions = world.sessions();
+
+    let mut group = c.benchmark_group("graph_construction");
+    group.bench_function("click_graph_raw", |b| b.iter(|| Bipartite::query_url(log)));
+    group.bench_function("click_graph_weighted", |b| {
+        b.iter(|| {
+            let click = Bipartite::query_url(log);
+            apply_cfiqf(&click, log.num_queries())
+        })
+    });
+    group.bench_function("multi_bipartite_raw", |b| {
+        b.iter(|| MultiBipartite::build(log, sessions, WeightingScheme::Raw))
+    });
+    group.bench_function("multi_bipartite_weighted", |b| {
+        b.iter(|| MultiBipartite::build(log, sessions, WeightingScheme::CfIqf))
+    });
+    group.finish();
+
+    let input = world.sample_test_queries(1, 7)[0];
+    let mut group = c.benchmark_group("compact_expansion");
+    for q in [64usize, 128, 256] {
+        group.bench_function(format!("expand_to_{q}"), |b| {
+            b.iter(|| {
+                CompactMulti::expand(
+                    &world.multi_weighted,
+                    &[input],
+                    &CompactConfig {
+                        max_queries: q,
+                        max_rounds: 3,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_build);
+criterion_main!(benches);

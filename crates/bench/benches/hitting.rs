@@ -1,0 +1,58 @@
+//! Hot-path bench: the cross-bipartite hitting-time iteration (Eq. 17) —
+//! the dominant per-suggestion cost — including the convergence study over
+//! the truncation horizon `l` (DESIGN.md §6, decision 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pqsda::crosswalk::CrossBipartiteWalk;
+use pqsda_bench::{ExperimentWorld, Scale};
+use pqsda_graph::compact::{CompactConfig, CompactMulti};
+
+fn bench_hitting(c: &mut Criterion) {
+    let world = ExperimentWorld::build(Scale::Small, 42);
+    let input = world.sample_test_queries(1, 7)[0];
+    let compact = CompactMulti::expand(
+        &world.multi_weighted,
+        &[input],
+        &CompactConfig {
+            max_queries: 256,
+            max_rounds: 3,
+        },
+    );
+    let walk = CrossBipartiteWalk::uniform(&compact);
+    let targets = [0usize, 1, 2];
+
+    let mut group = c.benchmark_group("cross_bipartite_hitting_time");
+    for horizon in [5usize, 10, 20, 40] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(horizon),
+            &horizon,
+            |b, &h| b.iter(|| walk.hitting_time(&targets, h)),
+        );
+    }
+    group.finish();
+
+    // Convergence study: report (outside of timing) how the ranking order
+    // stabilizes with the horizon — the ablation behind the default l=20.
+    let h40 = walk.hitting_time(&targets, 40);
+    for horizon in [5usize, 10, 20] {
+        let h = walk.hitting_time(&targets, horizon);
+        let agreements = top_agreement(&h, &h40, 10);
+        eprintln!("horizon {horizon}: top-10 argmax agreement with l=40: {agreements}/10");
+    }
+}
+
+/// How many of the top-n max-hitting-time queries two horizons agree on.
+fn top_agreement(a: &[f64], b: &[f64], n: usize) -> usize {
+    let top = |h: &[f64]| {
+        let mut idx: Vec<usize> = (0..h.len()).collect();
+        idx.sort_by(|&x, &y| h[y].partial_cmp(&h[x]).unwrap());
+        idx.truncate(n);
+        idx
+    };
+    let ta = top(a);
+    let tb = top(b);
+    ta.iter().filter(|i| tb.contains(i)).count()
+}
+
+criterion_group!(benches, bench_hitting);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation bench: Jacobi vs conjugate gradient on the Eq. 15 system
+//! (DESIGN.md §6, decision 5). CG's preconditioned convergence on the SPD
+//! system is the reason it is the engine default.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pqsda::regularize::{RegularizationConfig, Regularizer};
+use pqsda_bench::{ExperimentWorld, Scale};
+use pqsda_graph::compact::{CompactConfig, CompactMulti};
+use pqsda_linalg::solver::{ConjugateGradient, Jacobi, LinearSolver};
+
+fn bench_solvers(c: &mut Criterion) {
+    let world = ExperimentWorld::build(Scale::Small, 42);
+    let input = world.sample_test_queries(1, 7)[0];
+    let mut group = c.benchmark_group("eq15_solver");
+    for q in [64usize, 128, 256] {
+        let compact = CompactMulti::expand(
+            &world.multi_weighted,
+            &[input],
+            &CompactConfig {
+                max_queries: q,
+                max_rounds: 3,
+            },
+        );
+        let reg = Regularizer::new(&compact, RegularizationConfig::default());
+        let n = reg.coefficient().rows();
+        let f0 = {
+            let mut v = vec![0.0; n];
+            v[0] = 1.0;
+            v
+        };
+        let a = reg.coefficient().clone();
+        group.bench_with_input(BenchmarkId::new("jacobi", n), &n, |b, _| {
+            b.iter(|| {
+                let r = Jacobi::default().solve(&a, &f0);
+                assert!(r.converged);
+                r.solution
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cg", n), &n, |b, _| {
+            b.iter(|| {
+                let r = ConjugateGradient::default().solve(&a, &f0);
+                assert!(r.converged);
+                r.solution
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

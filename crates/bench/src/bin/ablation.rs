@@ -1,0 +1,264 @@
+//! Ablation study for the design decisions of DESIGN.md §6, with paired
+//! significance tests:
+//!
+//! 1. edge weighting: raw vs cfiqf vs entropy-biased;
+//! 2. multi-bipartite vs click-graph-only PQS-DA;
+//! 3. cross-bipartite teleport: uniform vs mass-weighted;
+//! 4. rank fusion: Borda vs personalization-only re-ranking (HPR impact);
+//! 5. relevance-pool size (Algorithm 1's diversity–relevance dial).
+//!
+//! Usage: `cargo run -p pqsda-bench --release --bin ablation [--scale s] [--seed n]`
+
+use pqsda::{CrossMatrixChoice, DiversifyConfig, PqsDa, PqsDaConfig};
+use pqsda_baselines::{SuggestRequest, Suggester};
+use pqsda_bench::{banner, Cli, ExperimentWorld, PersonalizationSetup};
+use pqsda_eval::{
+    alpha_ndcg_at_k, paired_randomization_test, relevance_at_k, DiversityMetric, HprConfig,
+    HprRater,
+};
+use pqsda_graph::bipartite::{Bipartite, EntityKind};
+use pqsda_graph::multi::MultiBipartite;
+use pqsda_graph::weighting::WeightingScheme;
+use pqsda_linalg::csr::CsrMatrix;
+use pqsda_querylog::QueryId;
+
+const K: usize = 10;
+
+fn main() {
+    let cli = Cli::from_env();
+    let world = ExperimentWorld::build(cli.scale, cli.seed);
+    banner(&world, &cli);
+    let tests = world.sample_test_queries(cli.scale.test_queries().min(80), cli.seed);
+    let diversity = DiversityMetric::new(world.log(), &world.synth.truth.url_fields);
+    let taxonomy = &world.synth.truth.taxonomy;
+
+    // Per-query metric triples (diversity, relevance, alpha-nDCG) for one
+    // engine.
+    let measure = |engine: &PqsDa| -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut div = Vec::new();
+        let mut rel = Vec::new();
+        let mut andcg = Vec::new();
+        for &q in &tests {
+            let list = engine.suggest(&SuggestRequest::simple(q, K));
+            div.push(diversity.at_k(&list, K));
+            rel.push(relevance_at_k(taxonomy, q, &list, K));
+            let intents: Vec<Vec<u32>> = list
+                .iter()
+                .map(|s| world.synth.truth.query_facets[s.index()].clone())
+                .collect();
+            andcg.push(alpha_ndcg_at_k(&intents, K, 0.5));
+        }
+        (div, rel, andcg)
+    };
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+
+    // ------------------------------------------------------- 1. weighting
+    println!("\n== Ablation 1: edge weighting ==");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10}",
+        "scheme", "div@10", "rel@10", "a-nDCG@10"
+    );
+    let mut per_scheme = Vec::new();
+    for (scheme, name) in [
+        (WeightingScheme::Raw, "raw"),
+        (WeightingScheme::CfIqf, "cfiqf"),
+        (WeightingScheme::EntropyBiased, "entropy"),
+    ] {
+        let engine = world.pqsda_div(scheme);
+        let (div, rel, andcg) = measure(&engine);
+        println!(
+            "{name:<16} {:>10.4} {:>10.4} {:>10.4}",
+            mean(&div),
+            mean(&rel),
+            mean(&andcg)
+        );
+        per_scheme.push((name, div, rel, andcg));
+    }
+    let sig = paired_randomization_test(&per_scheme[1].3, &per_scheme[0].3, 5_000, cli.seed);
+    println!(
+        "cfiqf vs raw on a-nDCG: Δ = {:+.4}, p = {:.4} ({})",
+        sig.mean_difference,
+        sig.p_value,
+        if sig.p_value < 0.05 { "significant" } else { "not significant" }
+    );
+
+    // ---------------------------------------- 2. multi- vs single-bipartite
+    println!("\n== Ablation 2: multi-bipartite vs click-graph-only ==");
+    let full = world.pqsda_div(WeightingScheme::CfIqf);
+    let click_only = {
+        // Zero out the session and term bipartites: PQS-DA confined to the
+        // click graph, everything else identical.
+        let url = world.multi_weighted.get(EntityKind::Url).clone();
+        let q = url.num_queries();
+        let empty_sessions = Bipartite::from_matrix(
+            EntityKind::Session,
+            CsrMatrix::zeros(q, world.multi_weighted.get(EntityKind::Session).num_entities()),
+        );
+        let empty_terms = Bipartite::from_matrix(
+            EntityKind::Term,
+            CsrMatrix::zeros(q, world.multi_weighted.get(EntityKind::Term).num_entities()),
+        );
+        let multi = MultiBipartite::from_parts(
+            url,
+            empty_sessions,
+            empty_terms,
+            WeightingScheme::CfIqf,
+        );
+        PqsDa::new(
+            world.log().clone(),
+            multi,
+            None,
+            PqsDaConfig {
+                compact: world.compact_config(),
+                ..PqsDaConfig::default()
+            },
+        )
+    };
+    let (div_f, rel_f, andcg_f) = measure(&full);
+    let (div_c, rel_c, andcg_c) = measure(&click_only);
+    println!(
+        "{:<16} {:>10.4} {:>10.4} {:>10.4}",
+        "multi-bipartite",
+        mean(&div_f),
+        mean(&rel_f),
+        mean(&andcg_f)
+    );
+    println!(
+        "{:<16} {:>10.4} {:>10.4} {:>10.4}",
+        "click-only",
+        mean(&div_c),
+        mean(&rel_c),
+        mean(&andcg_c)
+    );
+    let empty_full = tests
+        .iter()
+        .filter(|&&q| full.suggest(&SuggestRequest::simple(q, K)).is_empty())
+        .count();
+    let empty_click = tests
+        .iter()
+        .filter(|&&q| click_only.suggest(&SuggestRequest::simple(q, K)).is_empty())
+        .count();
+    println!("queries with NO suggestions: multi {empty_full}, click-only {empty_click}");
+    let sig = paired_randomization_test(&andcg_f, &andcg_c, 5_000, cli.seed);
+    println!(
+        "multi vs click-only on a-nDCG: Δ = {:+.4}, p = {:.4}",
+        sig.mean_difference, sig.p_value
+    );
+
+    // ------------------------------------------------ 3. teleport matrix N
+    println!("\n== Ablation 3: cross-bipartite teleport (uniform vs mass-weighted) ==");
+    for (choice, name) in [
+        (CrossMatrixChoice::Uniform, "uniform"),
+        (CrossMatrixChoice::MassWeighted, "mass-weighted"),
+    ] {
+        let engine = PqsDa::new(
+            world.log().clone(),
+            world.multi_weighted.clone(),
+            None,
+            PqsDaConfig {
+                compact: world.compact_config(),
+                diversify: DiversifyConfig {
+                    cross: choice,
+                    ..DiversifyConfig::default()
+                },
+            },
+        );
+        let (div, rel, andcg) = measure(&engine);
+        println!(
+            "{name:<16} {:>10.4} {:>10.4} {:>10.4}",
+            mean(&div),
+            mean(&rel),
+            mean(&andcg)
+        );
+    }
+
+    // ------------------------------------------------------ 4. rank fusion
+    // HPR@10 over the same candidate set is permutation-invariant, so the
+    // fusion strategies are compared at the top ranks (k = 1 and 3).
+    println!("\n== Ablation 4: Borda fusion vs personalization-only ranking (HPR@1 / HPR@3) ==");
+    let setup = PersonalizationSetup::build(&world, cli.seed);
+    let rater = HprRater::new(&world.synth.truth, HprConfig::default());
+    let div_engine = world.pqsda_div(WeightingScheme::CfIqf);
+    let mut hpr_borda = Vec::new();
+    let mut hpr_pref_only = Vec::new();
+    let mut hpr_div_only = Vec::new();
+    for &si in setup.test_sessions.iter().take(100) {
+        let req = setup.request(&world, si, K);
+        let user = world.sessions()[si].user;
+        let facet = world.synth.truth.session_facet[si];
+        let diversified = div_engine.suggest(&req);
+        if diversified.is_empty() {
+            continue;
+        }
+        // Borda fusion (the engine's strategy).
+        let fused = setup.personalizer.rerank(user, world.log(), &diversified);
+        // Personalization-only: sort purely by P(q|d).
+        let mut pref_only: Vec<QueryId> = diversified.clone();
+        pref_only.sort_by(|&a, &b| {
+            let sa = setup.personalizer.score(user, world.log(), a).unwrap_or(0.0);
+            let sb = setup.personalizer.score(user, world.log(), b).unwrap_or(0.0);
+            sb.partial_cmp(&sa).unwrap().then(a.cmp(&b))
+        });
+        hpr_borda.push((
+            rater.at_k(user, facet, &fused, 1),
+            rater.at_k(user, facet, &fused, 3),
+        ));
+        hpr_pref_only.push((
+            rater.at_k(user, facet, &pref_only, 1),
+            rater.at_k(user, facet, &pref_only, 3),
+        ));
+        hpr_div_only.push((
+            rater.at_k(user, facet, &diversified, 1),
+            rater.at_k(user, facet, &diversified, 3),
+        ));
+    }
+    let col = |v: &[(f64, f64)], first: bool| -> Vec<f64> {
+        v.iter().map(|&(a, b)| if first { a } else { b }).collect()
+    };
+    for (name, data) in [
+        ("diversification only", &hpr_div_only),
+        ("personalization only", &hpr_pref_only),
+        ("Borda fusion        ", &hpr_borda),
+    ] {
+        println!(
+            "{name} : HPR@1 {:.4}  HPR@3 {:.4}",
+            mean(&col(data, true)),
+            mean(&col(data, false))
+        );
+    }
+    let hpr_borda = col(&hpr_borda, true);
+    let hpr_div_only = col(&hpr_div_only, true);
+    let sig = paired_randomization_test(&hpr_borda, &hpr_div_only, 5_000, cli.seed);
+    println!(
+        "Borda vs diversification-only: Δ = {:+.4}, p = {:.4}",
+        sig.mean_difference, sig.p_value
+    );
+
+    // ---------------------------------------------------- 5. pool factor
+    println!("\n== Ablation 5: relevance-pool factor (diversity–relevance dial) ==");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "pool_factor", "div@10", "rel@10", "a-nDCG@10"
+    );
+    for pf in [2usize, 3, 5, 8, 12] {
+        let engine = PqsDa::new(
+            world.log().clone(),
+            world.multi_weighted.clone(),
+            None,
+            PqsDaConfig {
+                compact: world.compact_config(),
+                diversify: DiversifyConfig {
+                    pool_factor: pf,
+                    ..DiversifyConfig::default()
+                },
+            },
+        );
+        let (div, rel, andcg) = measure(&engine);
+        println!(
+            "{pf:<12} {:>10.4} {:>10.4} {:>10.4}",
+            mean(&div),
+            mean(&rel),
+            mean(&andcg)
+        );
+    }
+}

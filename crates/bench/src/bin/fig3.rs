@@ -1,0 +1,89 @@
+//! Fig. 3 — evaluation of query suggestion **after diversification**
+//! (paper §VI-B): Diversity@k and Relevance@k on the raw (a, c) and
+//! weighted (b, d) representations, for FRW, BRW, HT, DQS and PQS-DA.
+//!
+//! Usage: `cargo run -p pqsda-bench --release --bin fig3 [--scale s] [--seed n]`
+
+use pqsda_baselines::SuggestRequest;
+use pqsda_bench::{banner, print_series, Cli, ExperimentWorld};
+use pqsda_eval::{relevance_at_k, DiversityMetric};
+use pqsda_graph::weighting::WeightingScheme;
+
+const K_MAX: usize = 10;
+
+fn main() {
+    let cli = Cli::from_env();
+    let world = ExperimentWorld::build(cli.scale, cli.seed);
+    banner(&world, &cli);
+    let all = world.sample_test_queries(cli.scale.test_queries(), cli.seed);
+    let ambiguous = world.sample_ambiguous_queries(cli.scale.test_queries(), cli.seed);
+    println!(
+        "test queries: {} (plus {} ambiguous-only)",
+        all.len(),
+        ambiguous.len()
+    );
+
+    let diversity = DiversityMetric::new(world.log(), &world.synth.truth.url_fields);
+    let taxonomy = &world.synth.truth.taxonomy;
+    let div_ks: Vec<usize> = (2..=K_MAX).step_by(2).collect();
+    let rel_ks: Vec<usize> = (1..=K_MAX).step_by(3).collect();
+
+    for (tests, slice) in [(&all, "all queries"), (&ambiguous, "ambiguous queries")] {
+        if tests.is_empty() {
+            continue;
+        }
+        for (scheme, label) in [
+            (WeightingScheme::Raw, "raw"),
+            (WeightingScheme::CfIqf, "weighted"),
+        ] {
+            let mut methods = world.diversification_baselines(scheme);
+            methods.push(Box::new(world.pqsda_div(scheme)));
+
+            let mut div_rows = Vec::new();
+            let mut rel_rows = Vec::new();
+            for method in &methods {
+                let start = std::time::Instant::now();
+                let lists: Vec<_> = tests
+                    .iter()
+                    .map(|&q| method.suggest(&SuggestRequest::simple(q, K_MAX)))
+                    .collect();
+                let div: Vec<f64> = div_ks
+                    .iter()
+                    .map(|&k| {
+                        lists.iter().map(|l| diversity.at_k(l, k)).sum::<f64>()
+                            / lists.len() as f64
+                    })
+                    .collect();
+                let rel: Vec<f64> = rel_ks
+                    .iter()
+                    .map(|&k| {
+                        lists
+                            .iter()
+                            .zip(tests.iter())
+                            .map(|(l, &q)| relevance_at_k(taxonomy, q, l, k))
+                            .sum::<f64>()
+                            / lists.len() as f64
+                    })
+                    .collect();
+                eprintln!(
+                    "  [{slice}/{label}] {}: {} suggestions in {:?}",
+                    method.name(),
+                    lists.len(),
+                    start.elapsed()
+                );
+                div_rows.push((method.name().to_owned(), div));
+                rel_rows.push((method.name().to_owned(), rel));
+            }
+            print_series(
+                &format!("Fig 3 Diversity@k ({label}, {slice})"),
+                &div_ks,
+                &div_rows,
+            );
+            print_series(
+                &format!("Fig 3 Relevance@k ({label}, {slice})"),
+                &rel_ks,
+                &rel_rows,
+            );
+        }
+    }
+}

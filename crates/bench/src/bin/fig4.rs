@@ -1,0 +1,93 @@
+//! Fig. 4 — held-out perplexity of the nine generative models
+//! (paper §VI-C.1): LDA, PTM1, PTM2, TOT, MWM, TUM, CTM, SSTM and UPM.
+//!
+//! Protocol per the paper: observe a prefix of each user's history, train
+//! every model on the observed part, and measure the perplexity of the
+//! remaining query words (Eq. 35). Lower is better; the paper reports UPM
+//! best with an average of 1933 on its commercial log (absolute values are
+//! vocabulary-dependent — shape, i.e. the ordering, is the reproduction
+//! target).
+//!
+//! Usage: `cargo run -p pqsda-bench --release --bin fig4 [--scale s] [--seed n]`
+
+use pqsda_bench::{banner, Cli, ExperimentWorld};
+use pqsda_topics::clickmodels::{Ctm, Mwm, Tum};
+use pqsda_topics::lda::Lda;
+use pqsda_topics::model::perplexity;
+use pqsda_topics::ptm::{Ptm1, Ptm2};
+use pqsda_topics::sstm::Sstm;
+use pqsda_topics::tot::Tot;
+use pqsda_topics::{Corpus, SplitCorpus, TrainConfig, Upm, UpmConfig};
+
+fn main() {
+    let cli = Cli::from_env();
+    let world = ExperimentWorld::build(cli.scale, cli.seed);
+    banner(&world, &cli);
+
+    let corpus = Corpus::build(world.log(), world.sessions());
+    let split = SplitCorpus::by_fraction(&corpus, 0.7);
+    println!(
+        "corpus: {} docs, {} observed words, {} held-out words",
+        corpus.num_docs(),
+        split.observed.total_words(),
+        split.held_out_words()
+    );
+
+    // Two topic granularities (see EXPERIMENTS.md): K at the world's
+    // latent topic count, and a coarser K where per-user facet preference
+    // lives *inside* topics — the regime the UPM's per-user distributions
+    // are designed for (the paper's "cars topic, Toyota vs Ford users").
+    let k_world = world.synth.world.topic_names.len();
+    let k_coarse = (k_world * 3 / 4).max(2);
+
+    for k in [k_coarse, k_world] {
+        let cfg = TrainConfig {
+            num_topics: k,
+            iterations: 60,
+            seed: cli.seed,
+            ..TrainConfig::default()
+        };
+        let mut results: Vec<(String, f64)> = Vec::new();
+        macro_rules! eval_model {
+            ($name:expr, $m:expr) => {{
+                let start = std::time::Instant::now();
+                let model = $m;
+                let p = perplexity(&model, &split).expect("held-out words exist");
+                eprintln!("  [K={k}] {}: perplexity {:.1} ({:?})", $name, p, start.elapsed());
+                results.push(($name.to_owned(), p));
+            }};
+        }
+
+        eval_model!("LDA", Lda::train(&split.observed, &cfg));
+        eval_model!("PTM1", Ptm1::train(&split.observed, &cfg));
+        eval_model!("PTM2", Ptm2::train(&split.observed, &cfg));
+        eval_model!("TOT", Tot::train(&split.observed, &cfg));
+        eval_model!("MWM", Mwm::train(&split.observed, &cfg));
+        eval_model!("TUM", Tum::train(&split.observed, &cfg));
+        eval_model!("CTM", Ctm::train(&split.observed, &cfg));
+        eval_model!("SSTM", Sstm::train(&split.observed, &cfg));
+        eval_model!(
+            "UPM",
+            Upm::train(
+                &split.observed,
+                &UpmConfig {
+                    base: cfg,
+                    hyper_every: 20,
+                    hyper_iterations: 10,
+                    threads: 4,
+                },
+            )
+        );
+
+        println!("\n== Fig 4 Perplexity of Search Engine Query Log (K = {k}) ==");
+        println!("{:<8} {:>12}", "model", "perplexity");
+        for (name, p) in &results {
+            println!("{name:<8} {p:>12.1}");
+        }
+        let best = results
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        println!("best: {} ({:.1})", best.0, best.1);
+    }
+}

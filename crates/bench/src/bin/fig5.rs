@@ -1,0 +1,82 @@
+//! Fig. 5 — evaluation of query suggestion **after diversification and
+//! personalization** (paper §VI-C.2): Diversity@k (a, b) and Pseudo
+//! Personalized Relevance@k (c, d) on the raw and weighted
+//! representations, for FRW(P), BRW(P), HT(P), DQS(P), PHT, CM and PQS-DA.
+//!
+//! Protocol: for each user, the most recent sessions are held out; the UPM
+//! profile is built from the rest; each test session's first query is the
+//! input, attributed to its user; PPR compares each suggestion's words
+//! with the high-quality fields of the pages clicked in that test session.
+//!
+//! Usage: `cargo run -p pqsda-bench --release --bin fig5 [--scale s] [--seed n]`
+
+use pqsda_bench::{
+    banner, print_series, session_clicks, Cli, ExperimentWorld, PersonalizationSetup,
+};
+use pqsda_eval::{DiversityMetric, PprMetric};
+use pqsda_graph::weighting::WeightingScheme;
+
+const K_MAX: usize = 10;
+
+fn main() {
+    let cli = Cli::from_env();
+    let world = ExperimentWorld::build(cli.scale, cli.seed);
+    banner(&world, &cli);
+    let setup = PersonalizationSetup::build(&world, cli.seed);
+    println!("test sessions: {}", setup.test_sessions.len());
+
+    let diversity = DiversityMetric::new(world.log(), &world.synth.truth.url_fields);
+    let ppr = PprMetric::new(&world.synth.truth.url_fields);
+    let div_ks: Vec<usize> = (2..=K_MAX).step_by(2).collect();
+    let ppr_ks: Vec<usize> = (1..=K_MAX).step_by(3).collect();
+
+    for (scheme, label) in [
+        (WeightingScheme::Raw, "raw"),
+        (WeightingScheme::CfIqf, "weighted"),
+    ] {
+        let methods = setup.personalized_suite(&world, scheme);
+        let mut div_rows = Vec::new();
+        let mut ppr_rows = Vec::new();
+        for method in &methods {
+            let start = std::time::Instant::now();
+            let mut lists = Vec::new();
+            let mut clicks = Vec::new();
+            for &si in &setup.test_sessions {
+                let req = setup.request(&world, si, K_MAX);
+                lists.push(method.suggest(&req));
+                clicks.push(session_clicks(world.log(), &world.sessions()[si]));
+            }
+            let div: Vec<f64> = div_ks
+                .iter()
+                .map(|&k| {
+                    lists.iter().map(|l| diversity.at_k(l, k)).sum::<f64>() / lists.len() as f64
+                })
+                .collect();
+            let pprs: Vec<f64> = ppr_ks
+                .iter()
+                .map(|&k| {
+                    lists
+                        .iter()
+                        .zip(&clicks)
+                        .map(|(l, c)| ppr.at_k(world.log(), l, c, k))
+                        .sum::<f64>()
+                        / lists.len() as f64
+                })
+                .collect();
+            eprintln!(
+                "  [{label}] {}: {} sessions in {:?}",
+                method.name(),
+                lists.len(),
+                start.elapsed()
+            );
+            div_rows.push((method.name().to_owned(), div));
+            ppr_rows.push((method.name().to_owned(), pprs));
+        }
+        print_series(
+            &format!("Fig 5 Diversity@k after personalization ({label})"),
+            &div_ks,
+            &div_rows,
+        );
+        print_series(&format!("Fig 5 PPR@k ({label})"), &ppr_ks, &ppr_rows);
+    }
+}

@@ -1,0 +1,72 @@
+//! Fig. 6 — Human Personalized Relevance (paper §VI-C.2): average 6-point
+//! ratings of the top-k suggestions, with the paper's human experts
+//! replaced by the ground-truth oracle rater (DESIGN.md §4).
+//!
+//! Same profile-then-test protocol as Fig. 5; the rater grades each
+//! suggestion against the facet the test session actually pursues and the
+//! user's long-term facet preference.
+//!
+//! Usage: `cargo run -p pqsda-bench --release --bin fig6 [--scale s] [--seed n]`
+
+use pqsda_bench::{
+    banner, print_series, session_facet, session_user, Cli, ExperimentWorld,
+    PersonalizationSetup,
+};
+use pqsda_eval::{HprConfig, HprRater};
+use pqsda_graph::weighting::WeightingScheme;
+
+const K_MAX: usize = 10;
+
+fn main() {
+    let cli = Cli::from_env();
+    let world = ExperimentWorld::build(cli.scale, cli.seed);
+    banner(&world, &cli);
+    let setup = PersonalizationSetup::build(&world, cli.seed);
+    println!("test sessions: {}", setup.test_sessions.len());
+
+    let rater = HprRater::new(
+        &world.synth.truth,
+        HprConfig {
+            seed: cli.seed,
+            ..HprConfig::default()
+        },
+    );
+    let ks: Vec<usize> = (1..=K_MAX).step_by(3).collect();
+
+    // The paper's Fig. 6 uses the weighted representation (its §VI-B
+    // conclusion); we report both for completeness.
+    for (scheme, label) in [
+        (WeightingScheme::Raw, "raw"),
+        (WeightingScheme::CfIqf, "weighted"),
+    ] {
+        let methods = setup.personalized_suite(&world, scheme);
+        let mut rows = Vec::new();
+        for method in &methods {
+            let start = std::time::Instant::now();
+            let hpr: Vec<f64> = ks
+                .iter()
+                .map(|&k| {
+                    let mut total = 0.0;
+                    for &si in &setup.test_sessions {
+                        let req = setup.request(&world, si, K_MAX);
+                        let list = method.suggest(&req);
+                        total += rater.at_k(
+                            session_user(&world, si),
+                            session_facet(&world, si),
+                            &list,
+                            k,
+                        );
+                    }
+                    total / setup.test_sessions.len() as f64
+                })
+                .collect();
+            eprintln!("  [{label}] {}: {:?}", method.name(), start.elapsed());
+            rows.push((method.name().to_owned(), hpr));
+        }
+        print_series(
+            &format!("Fig 6 Human Personalized Relevance@k ({label})"),
+            &ks,
+            &rows,
+        );
+    }
+}

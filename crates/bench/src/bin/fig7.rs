@@ -1,0 +1,91 @@
+//! Fig. 7 — efficiency of the suggestion methods (paper §VI-D): mean
+//! per-suggestion latency as the number of utilized queries grows.
+//!
+//! The paper sweeps the number of queries available to each method and
+//! reports *relative* consumed time for the top-10 suggestions. We grow
+//! the world (users ⇒ distinct queries) and time `suggest()` for HT, DQS,
+//! CM and PQS-DA (diversification, whose cost dominates the pipeline —
+//! §VI-D: "most of the computational cost of PQS-DA is from the
+//! diversification component while the personalization component is very
+//! efficient"). Offline work (graph construction, profile training) is
+//! excluded, matching the paper's online-latency focus.
+//!
+//! Usage: `cargo run -p pqsda-bench --release --bin fig7 [--seed n]`
+
+use pqsda_baselines::cm::CmParams;
+use pqsda_baselines::dqs::DqsParams;
+use pqsda_baselines::ht::HtParams;
+use pqsda_baselines::{ConceptBased, Dqs, HittingTime, SuggestRequest, Suggester};
+use pqsda_bench::{Cli, ExperimentWorld, Scale};
+use pqsda_graph::weighting::WeightingScheme;
+use std::time::Instant;
+
+const K: usize = 10;
+const QUERIES_PER_POINT: usize = 30;
+
+fn main() {
+    let cli = Cli::from_env();
+    // users per sweep point: world sizes giving growing query counts.
+    let user_counts = [30usize, 60, 120, 240, 480];
+    println!("Fig 7: per-suggestion latency vs utilized queries (k = {K})");
+    println!(
+        "{:>8} {:>9} | {:>10} {:>10} {:>10} {:>10}",
+        "users", "queries", "HT", "DQS", "CM", "PQS-DA"
+    );
+
+    for &users in &user_counts {
+        let mut cfg = Scale::Default.synth_config(cli.seed);
+        cfg.num_users = users;
+        let synth = pqsda_querylog::synth::generate(&cfg);
+        let world = {
+            // Reuse ExperimentWorld plumbing by rebuilding at this size.
+            let multi_raw = pqsda_graph::multi::MultiBipartite::build(
+                &synth.log,
+                &synth.truth.sessions,
+                WeightingScheme::Raw,
+            );
+            let multi_weighted = pqsda_graph::multi::MultiBipartite::build(
+                &synth.log,
+                &synth.truth.sessions,
+                WeightingScheme::CfIqf,
+            );
+            ExperimentWorld {
+                synth,
+                multi_raw,
+                multi_weighted,
+                scale: Scale::Default,
+            }
+        };
+        let log = world.log();
+        let tests = world.sample_test_queries(QUERIES_PER_POINT, cli.seed);
+
+        let ht = HittingTime::new(log, WeightingScheme::CfIqf, HtParams::default());
+        let dqs = Dqs::new(log, WeightingScheme::CfIqf, DqsParams::default());
+        let cm = ConceptBased::new(log, WeightingScheme::CfIqf, CmParams::default());
+        let pqsda = world.pqsda_div(WeightingScheme::CfIqf);
+
+        let time_method = |m: &dyn Suggester| -> f64 {
+            let start = Instant::now();
+            for &q in &tests {
+                let _ = m.suggest(&SuggestRequest::simple(q, K));
+            }
+            start.elapsed().as_secs_f64() * 1e3 / tests.len() as f64
+        };
+        let t_ht = time_method(&ht);
+        let t_dqs = time_method(&dqs);
+        let t_cm = time_method(&cm);
+        let t_pqsda = time_method(&pqsda);
+        println!(
+            "{users:>8} {:>9} | {t_ht:>8.2}ms {t_dqs:>8.2}ms {t_cm:>8.2}ms {t_pqsda:>8.2}ms",
+            log.num_queries()
+        );
+    }
+    println!(
+        "\nshape target (paper §VI-D): PQS-DA's consumed time grows moderately with\n\
+         the number of utilized queries (the compact representation bounds the\n\
+         per-suggestion working set), while DQS and HT grow with the full graph.\n\
+         Note: the paper's CM is slow because it consults a large external\n\
+         ontology; our log-mined concept substitute (DESIGN.md §4) has no such\n\
+         lookup, so CM's absolute latency is not comparable here."
+    );
+}

@@ -1,0 +1,553 @@
+//! Shared experiment harness for reproducing every figure of the PQS-DA
+//! paper (see DESIGN.md §3 for the figure → binary index).
+//!
+//! Each `fig*` binary builds an [`ExperimentWorld`] (synthetic log + ground
+//! truth + representations), instantiates the methods under study behind
+//! the common `Suggester` interface, sweeps `k`, and prints the same
+//! series the paper plots. Scales: `--scale small|default|large` (paper
+//! scale is reachable with `large` plus patience); `--seed N` re-rolls the
+//! world.
+
+use pqsda::{Personalizer, PqsDa, PqsDaConfig};
+use pqsda_baselines::cm::CmParams;
+use pqsda_baselines::dqs::DqsParams;
+use pqsda_baselines::ht::HtParams;
+use pqsda_baselines::walks::WalkParams;
+use pqsda_baselines::{
+    BackwardWalk, ConceptBased, Dqs, ForwardWalk, HittingTime, PersonalizedHittingTime,
+    SuggestRequest, Suggester,
+};
+use pqsda_graph::compact::CompactConfig;
+use pqsda_graph::multi::MultiBipartite;
+use pqsda_graph::weighting::WeightingScheme;
+use pqsda_querylog::synth::{generate, SynthConfig, SyntheticLog};
+use pqsda_querylog::{QueryId, QueryLog, Session, UserId};
+use pqsda_topics::{Corpus, SplitCorpus, TrainConfig, Upm, UpmConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Experiment scale presets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-fast smoke scale.
+    Small,
+    /// The default laptop scale used in EXPERIMENTS.md.
+    Default,
+    /// Larger sweep approaching the paper's regime.
+    Large,
+}
+
+impl Scale {
+    /// Parses `small` / `default` / `large`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "default" => Some(Scale::Default),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+
+    /// The generator configuration for this scale.
+    pub fn synth_config(self, seed: u64) -> SynthConfig {
+        match self {
+            Scale::Small => SynthConfig {
+                seed,
+                num_topics: 5,
+                facets_per_topic: (2, 3),
+                words_per_facet: 14,
+                urls_per_facet: 7,
+                num_ambiguous: 6,
+                facets_per_ambiguous: 2,
+                num_users: 50,
+                sessions_per_user: (24, 40),
+                ..SynthConfig::default()
+            },
+            Scale::Default => SynthConfig {
+                seed,
+                num_topics: 8,
+                facets_per_topic: (2, 3),
+                words_per_facet: 20,
+                urls_per_facet: 10,
+                num_ambiguous: 10,
+                facets_per_ambiguous: 3,
+                num_users: 120,
+                sessions_per_user: (28, 48),
+                ..SynthConfig::default()
+            },
+            Scale::Large => SynthConfig {
+                seed,
+                num_topics: 12,
+                facets_per_topic: (2, 4),
+                words_per_facet: 24,
+                urls_per_facet: 12,
+                num_ambiguous: 14,
+                facets_per_ambiguous: 3,
+                num_users: 400,
+                sessions_per_user: (30, 55),
+                ..SynthConfig::default()
+            },
+        }
+    }
+
+    /// Number of test queries sampled for the diversification experiments.
+    pub fn test_queries(self) -> usize {
+        match self {
+            Scale::Small => 60,
+            Scale::Default => 120,
+            Scale::Large => 250,
+        }
+    }
+
+    /// Test sessions per run for the personalization experiments.
+    pub fn test_sessions(self) -> usize {
+        match self {
+            Scale::Small => 80,
+            Scale::Default => 200,
+            Scale::Large => 400,
+        }
+    }
+
+    /// Held-out most-recent sessions per user (the paper uses 10).
+    pub fn holdout_sessions(self) -> usize {
+        match self {
+            Scale::Small => 3,
+            Scale::Default => 5,
+            Scale::Large => 8,
+        }
+    }
+}
+
+/// Parsed common CLI arguments.
+#[derive(Clone, Copy, Debug)]
+pub struct Cli {
+    /// The world scale.
+    pub scale: Scale,
+    /// The world seed.
+    pub seed: u64,
+}
+
+impl Cli {
+    /// Parses `--scale <s>` / `--scale=<s>` and `--seed <n>` / `--seed=<n>`.
+    pub fn from_env() -> Cli {
+        let mut scale = Scale::Default;
+        let mut seed = 42u64;
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            let (key, inline) = match args[i].split_once('=') {
+                Some((k, v)) => (k.to_owned(), Some(v.to_owned())),
+                None => (args[i].clone(), None),
+            };
+            let mut value = || -> Option<String> {
+                if let Some(v) = &inline {
+                    return Some(v.clone());
+                }
+                i += 1;
+                args.get(i).cloned()
+            };
+            match key.as_str() {
+                "--scale" => {
+                    let v = value().expect("--scale needs a value");
+                    scale = Scale::parse(&v)
+                        .unwrap_or_else(|| panic!("unknown scale {v:?} (small|default|large)"));
+                }
+                "--seed" => {
+                    let v = value().expect("--seed needs a value");
+                    seed = v.parse().expect("--seed needs an integer");
+                }
+                other => panic!("unknown argument {other:?} (supported: --scale, --seed)"),
+            }
+            i += 1;
+        }
+        Cli { scale, seed }
+    }
+}
+
+/// A fully-built experiment world: the synthetic log and both (raw and
+/// weighted) multi-bipartite representations.
+pub struct ExperimentWorld {
+    /// The generated log + ground truth.
+    pub synth: SyntheticLog,
+    /// Raw multi-bipartite representation.
+    pub multi_raw: MultiBipartite,
+    /// cfiqf-weighted multi-bipartite representation.
+    pub multi_weighted: MultiBipartite,
+    /// The scale the world was built at.
+    pub scale: Scale,
+}
+
+impl ExperimentWorld {
+    /// Generates the world at the given scale and seed.
+    pub fn build(scale: Scale, seed: u64) -> Self {
+        let synth = generate(&scale.synth_config(seed));
+        let multi_raw =
+            MultiBipartite::build(&synth.log, &synth.truth.sessions, WeightingScheme::Raw);
+        let multi_weighted =
+            MultiBipartite::build(&synth.log, &synth.truth.sessions, WeightingScheme::CfIqf);
+        ExperimentWorld {
+            synth,
+            multi_raw,
+            multi_weighted,
+            scale,
+        }
+    }
+
+    /// The log.
+    pub fn log(&self) -> &QueryLog {
+        &self.synth.log
+    }
+
+    /// The ground-truth sessions.
+    pub fn sessions(&self) -> &[Session] {
+        &self.synth.truth.sessions
+    }
+
+    /// Samples `n` distinct test queries (seeded). Queries with at least
+    /// one click are preferred so the click-graph baselines have a chance
+    /// to respond — mirroring the paper's sampling from a real log where
+    /// nearly every frequent query has clicks.
+    pub fn sample_test_queries(&self, n: usize, seed: u64) -> Vec<QueryId> {
+        let log = self.log();
+        let mut has_click = vec![false; log.num_queries()];
+        for r in log.records() {
+            if r.click.is_some() {
+                has_click[r.query.index()] = true;
+            }
+        }
+        let mut pool: Vec<QueryId> = (0..log.num_queries())
+            .filter(|&q| has_click[q])
+            .map(QueryId::from_index)
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xBEEF);
+        // Fisher–Yates prefix shuffle.
+        for i in 0..pool.len().min(n) {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(n);
+        pool
+    }
+
+    /// Samples up to `n` *ambiguous* test queries — queries whose ground
+    /// truth lists two or more facets (the paper's query-uncertainty
+    /// scenario, e.g. "sun"). Clicked queries preferred as in
+    /// [`Self::sample_test_queries`].
+    pub fn sample_ambiguous_queries(&self, n: usize, seed: u64) -> Vec<QueryId> {
+        let log = self.log();
+        let mut has_click = vec![false; log.num_queries()];
+        for r in log.records() {
+            if r.click.is_some() {
+                has_click[r.query.index()] = true;
+            }
+        }
+        let mut pool: Vec<QueryId> = (0..log.num_queries())
+            .filter(|&q| has_click[q] && self.synth.truth.query_facets[q].len() >= 2)
+            .map(QueryId::from_index)
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA11B);
+        for i in 0..pool.len().min(n) {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(n);
+        pool
+    }
+
+    /// The default compact-expansion config, bounded by the scale.
+    pub fn compact_config(&self) -> CompactConfig {
+        CompactConfig {
+            max_queries: match self.scale {
+                Scale::Small => 192,
+                Scale::Default => 256,
+                Scale::Large => 384,
+            },
+            max_rounds: 3,
+        }
+    }
+
+    /// Builds the PQS-DA engine (diversification only) on one scheme.
+    pub fn pqsda_div(&self, scheme: WeightingScheme) -> PqsDa {
+        let multi = match scheme {
+            WeightingScheme::Raw => self.multi_raw.clone(),
+            WeightingScheme::CfIqf => self.multi_weighted.clone(),
+            // Built on demand: the entropy scheme is only used by the
+            // ablation harness.
+            WeightingScheme::EntropyBiased => {
+                MultiBipartite::build(self.log(), self.sessions(), scheme)
+            }
+        };
+        PqsDa::new(
+            self.log().clone(),
+            multi,
+            None,
+            PqsDaConfig {
+                compact: self.compact_config(),
+                ..PqsDaConfig::default()
+            },
+        )
+    }
+
+    /// The four click-graph baselines of §VI-B on one scheme.
+    pub fn diversification_baselines(
+        &self,
+        scheme: WeightingScheme,
+    ) -> Vec<Box<dyn Suggester>> {
+        let log = self.log();
+        vec![
+            Box::new(ForwardWalk::new(log, scheme, WalkParams::default())),
+            Box::new(BackwardWalk::new(log, scheme, WalkParams::default())),
+            Box::new(HittingTime::new(log, scheme, HtParams::default())),
+            Box::new(Dqs::new(log, scheme, DqsParams::default())),
+        ]
+    }
+}
+
+/// The profile-then-test setup of §VI-C: UPM trained on each user's
+/// history with the most recent sessions held out.
+pub struct PersonalizationSetup {
+    /// The trained personalizer (shared by the "(P)" wrappers).
+    pub personalizer: Arc<Personalizer>,
+    /// The log, shared.
+    pub log: Arc<QueryLog>,
+    /// Test sessions: `(user, session index in ground truth)`.
+    pub test_sessions: Vec<usize>,
+}
+
+impl PersonalizationSetup {
+    /// Trains the UPM on the historical split and selects test sessions.
+    pub fn build(world: &ExperimentWorld, seed: u64) -> Self {
+        let corpus = Corpus::build(world.log(), world.sessions());
+        let split = SplitCorpus::last_k(&corpus, world.scale.holdout_sessions());
+        let num_world_topics = world.synth.world.topic_names.len();
+        let upm = Upm::train(
+            &split.observed,
+            &UpmConfig {
+                base: TrainConfig {
+                    num_topics: num_world_topics,
+                    iterations: 60,
+                    seed,
+                    ..TrainConfig::default()
+                },
+                hyper_every: 20,
+                hyper_iterations: 10,
+                threads: 1,
+            },
+        );
+        let personalizer = Arc::new(Personalizer::new(
+            upm,
+            &split.observed,
+            world.log().num_users(),
+        ));
+
+        // Test sessions = the held-out (most recent) sessions per user; we
+        // identify them in the ground truth by recency rank.
+        let holdout = world.scale.holdout_sessions();
+        let mut per_user: Vec<Vec<usize>> = vec![Vec::new(); world.log().num_users()];
+        for (i, s) in world.sessions().iter().enumerate() {
+            per_user[s.user.index()].push(i);
+        }
+        let mut test_sessions = Vec::new();
+        for sessions in per_user {
+            if sessions.len() <= holdout {
+                continue; // everything would be history
+            }
+            let cut = sessions.len() - holdout;
+            test_sessions.extend_from_slice(&sessions[cut..]);
+        }
+        // Deterministic subsample to the scale's budget.
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFACE);
+        let budget = world.scale.test_sessions();
+        for i in 0..test_sessions.len().min(budget) {
+            let j = rng.gen_range(i..test_sessions.len());
+            test_sessions.swap(i, j);
+        }
+        test_sessions.truncate(budget);
+
+        PersonalizationSetup {
+            personalizer,
+            log: Arc::new(world.log().clone()),
+            test_sessions,
+        }
+    }
+
+    /// The suggestion request for a test session: the session's first
+    /// query, attributed to its user (the §VI-C protocol).
+    pub fn request(&self, world: &ExperimentWorld, session_idx: usize, k: usize) -> SuggestRequest {
+        let s = &world.sessions()[session_idx];
+        SuggestRequest::simple(s.queries[0], k).for_user(s.user)
+    }
+
+    /// All personalized methods of Fig. 5/6 on one scheme: the four "(P)"
+    /// wrappers, PHT, CM and the full PQS-DA.
+    pub fn personalized_suite(
+        &self,
+        world: &ExperimentWorld,
+        scheme: WeightingScheme,
+    ) -> Vec<Box<dyn Suggester>> {
+        let log = world.log();
+        let mut out: Vec<Box<dyn Suggester>> = vec![
+            Box::new(pqsda::RerankedSuggester::new(
+                ForwardWalk::new(log, scheme, WalkParams::default()),
+                self.personalizer.clone(),
+                self.log.clone(),
+            )),
+            Box::new(pqsda::RerankedSuggester::new(
+                BackwardWalk::new(log, scheme, WalkParams::default()),
+                self.personalizer.clone(),
+                self.log.clone(),
+            )),
+            Box::new(pqsda::RerankedSuggester::new(
+                HittingTime::new(log, scheme, HtParams::default()),
+                self.personalizer.clone(),
+                self.log.clone(),
+            )),
+            Box::new(pqsda::RerankedSuggester::new(
+                Dqs::new(log, scheme, DqsParams::default()),
+                self.personalizer.clone(),
+                self.log.clone(),
+            )),
+            Box::new(PersonalizedHittingTime::new(log, scheme, HtParams::default())),
+            Box::new(ConceptBased::new(log, scheme, CmParams::default())),
+        ];
+        let multi = match scheme {
+            WeightingScheme::Raw => world.multi_raw.clone(),
+            WeightingScheme::CfIqf => world.multi_weighted.clone(),
+            WeightingScheme::EntropyBiased => {
+                MultiBipartite::build(world.log(), world.sessions(), scheme)
+            }
+        };
+        // PqsDa owns its Personalizer; rebuild one from the same Arc is not
+        // possible, so the engine re-wraps the shared trained model via the
+        // reranking wrapper around its diversification-only core.
+        let div_engine = PqsDa::new(
+            log.clone(),
+            multi,
+            None,
+            PqsDaConfig {
+                compact: world.compact_config(),
+                ..PqsDaConfig::default()
+            },
+        );
+        out.push(Box::new(NamedPqsda {
+            inner: pqsda::RerankedSuggester::new(
+                div_engine,
+                self.personalizer.clone(),
+                self.log.clone(),
+            ),
+        }));
+        out
+    }
+}
+
+/// Renames the wrapped diversification+rerank pipeline to the paper's
+/// "PQS-DA" label (the wrapper would call it "PQS-DA (div)(P)").
+struct NamedPqsda {
+    inner: pqsda::RerankedSuggester<PqsDa>,
+}
+
+impl Suggester for NamedPqsda {
+    fn name(&self) -> &str {
+        "PQS-DA"
+    }
+    fn suggest(&self, req: &SuggestRequest) -> Vec<QueryId> {
+        self.inner.suggest(req)
+    }
+}
+
+/// The clicked URLs of a ground-truth session (for PPR).
+pub fn session_clicks(log: &QueryLog, session: &Session) -> Vec<pqsda_querylog::UrlId> {
+    session
+        .record_indices
+        .iter()
+        .filter_map(|&i| log.records()[i].click)
+        .collect()
+}
+
+/// Pretty-prints one metric series: rows = methods, columns = k.
+pub fn print_series(title: &str, ks: &[usize], rows: &[(String, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    print!("{:<14}", "method");
+    for k in ks {
+        print!("  k={k:<5}");
+    }
+    println!();
+    for (name, values) in rows {
+        print!("{name:<14}");
+        for v in values {
+            print!("  {v:<7.4}");
+        }
+        println!();
+    }
+}
+
+/// Convenience for the world-building banner.
+pub fn banner(world: &ExperimentWorld, cli: &Cli) {
+    let log = world.log();
+    println!(
+        "world: scale={:?} seed={} | users={} records={} queries={} urls={} terms={} sessions={} facets={}",
+        cli.scale,
+        cli.seed,
+        log.num_users(),
+        log.records().len(),
+        log.num_queries(),
+        log.num_urls(),
+        log.num_terms(),
+        world.sessions().len(),
+        world.synth.world.num_facets(),
+    );
+}
+
+/// Maps a user to the ground-truth facet of one of their sessions.
+pub fn session_facet(world: &ExperimentWorld, session_idx: usize) -> u32 {
+    world.synth.truth.session_facet[session_idx]
+}
+
+/// The user of a ground-truth session.
+pub fn session_user(world: &ExperimentWorld, session_idx: usize) -> UserId {
+    world.sessions()[session_idx].user
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_world_builds_consistently() {
+        let w = ExperimentWorld::build(Scale::Small, 7);
+        assert!(w.log().num_queries() > 100);
+        assert_eq!(w.multi_raw.num_queries(), w.log().num_queries());
+        assert_eq!(w.multi_weighted.num_queries(), w.log().num_queries());
+    }
+
+    #[test]
+    fn test_query_sampling_is_seeded_and_clicked() {
+        let w = ExperimentWorld::build(Scale::Small, 7);
+        let a = w.sample_test_queries(20, 1);
+        let b = w.sample_test_queries(20, 1);
+        let c = w.sample_test_queries(20, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn diversification_baselines_have_paper_names() {
+        let w = ExperimentWorld::build(Scale::Small, 7);
+        let names: Vec<String> = w
+            .diversification_baselines(WeightingScheme::Raw)
+            .iter()
+            .map(|s| s.name().to_owned())
+            .collect();
+        assert_eq!(names, vec!["FRW", "BRW", "HT", "DQS"]);
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("default"), Some(Scale::Default));
+        assert_eq!(Scale::parse("large"), Some(Scale::Large));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+}

@@ -1,0 +1,315 @@
+//! `pqsda` — command-line PQS-DA query suggestion over AOL-format logs.
+//!
+//! ```text
+//! pqsda stats    <log.tsv>                       log statistics after cleaning
+//! pqsda suggest  <log.tsv> --query "sun" [opts]  diversified/personalized suggestions
+//! pqsda profiles <log.tsv> --out <file>  [opts]  train UPM profiles and save them
+//! pqsda demo                                     synthetic end-to-end demo
+//! ```
+//!
+//! Common options: `--k N` (suggestions, default 10), `--user ID`
+//! (personalize for a user), `--profiles FILE` (load pretrained profiles),
+//! `--topics K`, `--iters N`, `--raw` (disable cfiqf weighting),
+//! `--threads N`.
+
+use pqsda::{Personalizer, PqsDa, PqsDaConfig};
+use pqsda_baselines::{SuggestRequest, Suggester};
+use pqsda_graph::multi::MultiBipartite;
+use pqsda_graph::weighting::WeightingScheme;
+use pqsda_querylog::clean::{clean_entries, CleanConfig};
+use pqsda_querylog::io::read_aol;
+use pqsda_querylog::session::{segment_sessions, Session, SessionConfig};
+use pqsda_querylog::{LogEntry, QueryLog, UserId};
+use pqsda_topics::{Corpus, TrainConfig, Upm, UpmConfig};
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("suggest") => cmd_suggest(&args[1..]),
+        Some("profiles") => cmd_profiles(&args[1..]),
+        Some("demo") => cmd_demo(),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+pqsda — Personalized Query Suggestion With Diversity Awareness (ICDE 2014)
+
+USAGE:
+  pqsda stats    <log.tsv>
+  pqsda suggest  <log.tsv> --query \"sun\" [--k 10] [--user ID]
+                 [--profiles FILE | --personalize] [--topics K] [--iters N]
+                 [--raw] [--threads N]
+  pqsda profiles <log.tsv> --out FILE [--topics K] [--iters N] [--threads N]
+  pqsda demo
+
+Logs are AOL-format TSV: AnonID\\tQuery\\tQueryTime\\tItemRank\\tClickURL.
+";
+
+/// Minimal flag parser: positional paths plus `--flag value` / `--flag`.
+struct Flags {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(name) = args[i].strip_prefix("--") {
+                let value = match name {
+                    // boolean flags
+                    "raw" | "personalize" => None,
+                    _ => {
+                        i += 1;
+                        Some(
+                            args.get(i)
+                                .ok_or_else(|| format!("--{name} needs a value"))?
+                                .clone(),
+                        )
+                    }
+                };
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(args[i].clone());
+            }
+            i += 1;
+        }
+        Ok(Flags { positional, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
+        }
+    }
+}
+
+fn load_log(path: &str) -> Result<(QueryLog, Vec<Session>), String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let entries = read_aol(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    let (cleaned, stats) = clean_entries(&entries, &CleanConfig::default());
+    eprintln!(
+        "loaded {path}: {} entries, {} kept after cleaning",
+        stats.input, stats.kept
+    );
+    let mut log = QueryLog::from_entries(&cleaned);
+    let sessions = segment_sessions(&mut log, &SessionConfig::default());
+    Ok((log, sessions))
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("stats needs a log file path")?;
+    let (log, sessions) = load_log(path)?;
+    let clicks = log.records().iter().filter(|r| r.click.is_some()).count();
+    let avg_session =
+        sessions.iter().map(Session::len).sum::<usize>() as f64 / sessions.len().max(1) as f64;
+    println!("records            {}", log.records().len());
+    println!("distinct queries   {}", log.num_queries());
+    println!("distinct urls      {}", log.num_urls());
+    println!("distinct terms     {}", log.num_terms());
+    println!("users              {}", log.num_users());
+    println!("sessions           {}", sessions.len());
+    println!("avg session length {avg_session:.2}");
+    println!(
+        "click-through rate {:.1}%",
+        100.0 * clicks as f64 / log.records().len().max(1) as f64
+    );
+    Ok(())
+}
+
+fn train_upm(
+    log: &QueryLog,
+    sessions: &[Session],
+    flags: &Flags,
+) -> Result<(Upm, Corpus), String> {
+    let corpus = Corpus::build(log, sessions);
+    if corpus.num_docs() == 0 {
+        return Err("no usable user documents in the log".into());
+    }
+    let topics = flags.get_num("topics", 10usize)?;
+    let iters = flags.get_num("iters", 60usize)?;
+    let threads = flags.get_num("threads", 1usize)?;
+    eprintln!(
+        "training UPM: {} docs, K = {topics}, {iters} sweeps, {threads} thread(s)",
+        corpus.num_docs()
+    );
+    let upm = Upm::train(
+        &corpus,
+        &UpmConfig {
+            base: TrainConfig {
+                num_topics: topics,
+                iterations: iters,
+                seed: 42,
+                ..TrainConfig::default()
+            },
+            hyper_every: 20,
+            hyper_iterations: 10,
+            threads,
+        },
+    );
+    Ok((upm, corpus))
+}
+
+fn cmd_profiles(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("profiles needs a log file path")?;
+    let out = flags.get("out").ok_or("profiles needs --out FILE")?;
+    let (log, sessions) = load_log(path)?;
+    let (upm, corpus) = train_upm(&log, &sessions, &flags)?;
+    let n_docs = upm.num_docs();
+    let personalizer = Personalizer::new(upm, &corpus, log.num_users());
+    let mut buf = Vec::new();
+    personalizer.write_to(&mut buf);
+    std::fs::write(out, &buf).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {n_docs} profiles ({} bytes) to {out}", buf.len());
+    Ok(())
+}
+
+fn cmd_suggest(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("suggest needs a log file path")?;
+    let query_text = flags.get("query").ok_or("suggest needs --query \"...\"")?;
+    let k = flags.get_num("k", 10usize)?;
+    let scheme = if flags.has("raw") {
+        WeightingScheme::Raw
+    } else {
+        WeightingScheme::CfIqf
+    };
+
+    let (log, sessions) = load_log(path)?;
+    let query = log
+        .find_query(query_text)
+        .ok_or_else(|| format!("query {query_text:?} does not occur in the log"))?;
+
+    // Personalization: pretrained profiles, or train now with --personalize.
+    let personalizer = if let Some(pfile) = flags.get("profiles") {
+        let data = std::fs::read(pfile).map_err(|e| format!("{pfile}: {e}"))?;
+        // The profile file is self-contained (user mapping + UPM).
+        Some(Personalizer::read_from(&data).map_err(|e| format!("{pfile}: {e}"))?)
+    } else if flags.has("personalize") {
+        let (upm, corpus) = train_upm(&log, &sessions, &flags)?;
+        Some(Personalizer::new(upm, &corpus, log.num_users()))
+    } else {
+        None
+    };
+
+    let multi = MultiBipartite::build(&log, &sessions, scheme);
+    let engine = PqsDa::new(log, multi, personalizer, PqsDaConfig::default());
+
+    let mut req = SuggestRequest::simple(query, k);
+    if let Some(uid) = flags.get("user") {
+        let uid: u32 = uid.parse().map_err(|_| "--user: bad id".to_owned())?;
+        req = req.for_user(UserId(uid));
+    }
+    let suggestions = engine.suggest(&req);
+    if suggestions.is_empty() {
+        println!("(no suggestions — the query has no graph neighbourhood)");
+    }
+    for (i, q) in suggestions.iter().enumerate() {
+        println!("{:>2}. {}", i + 1, engine.log().query_text(*q));
+    }
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    // The paper's Table I, inline, so the binary demos without any files.
+    let entries = vec![
+        LogEntry::new(UserId(1), "sun", Some("www.java.com"), 1_141_228_800),
+        LogEntry::new(UserId(1), "sun java", Some("java.sun.com"), 1_141_228_830),
+        LogEntry::new(UserId(1), "jvm download", None, 1_141_228_900),
+        LogEntry::new(UserId(2), "sun", Some("www.suncellular.com"), 1_141_230_000),
+        LogEntry::new(UserId(2), "solar cell", Some("en.wikipedia.org"), 1_141_230_060),
+        LogEntry::new(UserId(3), "sun oracle", Some("www.oracle.com"), 1_141_231_000),
+        LogEntry::new(UserId(3), "java", Some("www.java.com"), 1_141_231_050),
+    ];
+    let mut log = QueryLog::from_entries(&entries);
+    let sessions = segment_sessions(&mut log, &SessionConfig::default());
+    let multi = MultiBipartite::build(&log, &sessions, WeightingScheme::CfIqf);
+    let engine = PqsDa::new(log, multi, None, PqsDaConfig::default());
+    let sun = engine.log().find_query("sun").expect("demo query");
+    println!("suggestions for \"sun\" over the paper's Table I:");
+    for (i, q) in engine
+        .suggest(&SuggestRequest::simple(sun, 5))
+        .iter()
+        .enumerate()
+    {
+        println!("{:>2}. {}", i + 1, engine.log().query_text(*q));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_positional_and_values() {
+        let args: Vec<String> = ["log.tsv", "--query", "sun", "--k", "5", "--raw"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = Flags::parse(&args).unwrap();
+        assert_eq!(f.positional, vec!["log.tsv"]);
+        assert_eq!(f.get("query"), Some("sun"));
+        assert_eq!(f.get_num("k", 10usize).unwrap(), 5);
+        assert!(f.has("raw"));
+        assert!(!f.has("personalize"));
+    }
+
+    #[test]
+    fn flags_reject_missing_value() {
+        let args: Vec<String> = vec!["--query".into()];
+        assert!(Flags::parse(&args).is_err());
+    }
+
+    #[test]
+    fn flags_reject_bad_number() {
+        let args: Vec<String> = vec!["--k".into(), "many".into()];
+        let f = Flags::parse(&args).unwrap();
+        assert!(f.get_num("k", 10usize).is_err());
+    }
+
+    #[test]
+    fn demo_runs() {
+        cmd_demo().unwrap();
+    }
+}

@@ -1,0 +1,117 @@
+//! Borda's rank-aggregation method (paper §V-B, \[32\]).
+//!
+//! Each input ranking awards a candidate `n − position` points (`n` =
+//! number of candidates); unranked candidates receive 0 from that list.
+//! The aggregate ranking orders candidates by total points, breaking ties
+//! by the first ranking's order — so the diversification order (which
+//! encodes relevance) prevails when personalization is indifferent.
+
+/// Aggregates rankings over any candidate type. `rankings` must not be
+/// empty; the first ranking doubles as the tie-breaker.
+///
+/// ```
+/// use pqsda::borda_aggregate;
+/// let diversified = vec!["a", "b", "c", "d"];
+/// let personalized = vec!["c", "a", "b", "d"];
+/// // "a": 4+3, "b": 3+2, "c": 2+4, "d": 1+1 → a, c, b, d.
+/// assert_eq!(
+///     borda_aggregate(&[diversified, personalized]),
+///     vec!["a", "c", "b", "d"],
+/// );
+/// ```
+///
+/// # Panics
+/// Panics when `rankings` is empty.
+pub fn borda_aggregate<T: Clone + Eq + std::hash::Hash>(rankings: &[Vec<T>]) -> Vec<T> {
+    assert!(!rankings.is_empty(), "borda: no rankings to aggregate");
+    use std::collections::HashMap;
+    let mut points: HashMap<&T, usize> = HashMap::new();
+    let mut order: Vec<&T> = Vec::new();
+    for ranking in rankings {
+        let n = ranking.len();
+        for (pos, item) in ranking.iter().enumerate() {
+            let entry = points.entry(item).or_insert_with(|| {
+                order.push(item);
+                0
+            });
+            *entry += n - pos;
+        }
+    }
+    // Tie-break by first-ranking position (then by first-seen order for
+    // items absent from the first ranking).
+    let first_pos: HashMap<&T, usize> = rankings[0]
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t, i))
+        .collect();
+    let mut scored: Vec<(usize, usize, usize)> = order
+        .iter()
+        .enumerate()
+        .map(|(seen, item)| {
+            (
+                points[item],
+                usize::MAX - first_pos.get(item).copied().unwrap_or(usize::MAX),
+                usize::MAX - seen,
+            )
+        })
+        .collect();
+    let mut idx: Vec<usize> = (0..order.len()).collect();
+    idx.sort_by(|&a, &b| scored[b].cmp(&scored[a]));
+    let _ = &mut scored;
+    idx.into_iter().map(|i| order[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_are_preserved() {
+        let r = vec!["a", "b", "c"];
+        assert_eq!(borda_aggregate(&[r.clone(), r.clone()]), r);
+    }
+
+    #[test]
+    fn aggregation_balances_two_rankings() {
+        // r1: a b c d ; r2: d c b a — perfectly opposed: points tie
+        // (a: 4+1, b: 3+2, c: 2+3, d: 1+4) and the first ranking wins ties.
+        let r1 = vec!["a", "b", "c", "d"];
+        let r2 = vec!["d", "c", "b", "a"];
+        assert_eq!(borda_aggregate(&[r1.clone(), r2]), r1);
+    }
+
+    #[test]
+    fn strong_agreement_overrides_one_dissent() {
+        let r1 = vec!["x", "y"];
+        let r2 = vec!["y", "x"];
+        let r3 = vec!["y", "x"];
+        assert_eq!(borda_aggregate(&[r1, r2, r3])[0], "y");
+    }
+
+    #[test]
+    fn items_missing_from_one_ranking_still_rank() {
+        let r1 = vec!["a", "b", "c"];
+        let r2 = vec!["c"];
+        let out = borda_aggregate(&[r1, r2]);
+        assert_eq!(out.len(), 3);
+        // a: 3, b: 2, c: 1+1=2 → b before c (first-ranking tiebreak).
+        assert_eq!(out, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn personalization_reorders_within_relevance_budget() {
+        // The engine's usage: diversification ranking vs personalization
+        // ranking; an item the user loves climbs.
+        let diversified = vec![1, 2, 3, 4];
+        let personalized = vec![3, 1, 2, 4];
+        let out = borda_aggregate(&[diversified, personalized]);
+        // 1: 4+3=7, 2: 3+2=5, 3: 2+4=6, 4: 1+1=2.
+        assert_eq!(out, vec![1, 3, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no rankings")]
+    fn empty_input_rejected() {
+        borda_aggregate::<u32>(&[]);
+    }
+}

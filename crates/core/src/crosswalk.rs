@@ -1,0 +1,293 @@
+//! The cross-bipartite random walk (paper §IV-C, Eq. 16) and its truncated
+//! hitting time (Eq. 17).
+//!
+//! The walker stands on a query *inside one bipartite*. At each step it
+//! either moves to a neighbour query within the current bipartite or
+//! teleports to another bipartite first: the 3×3 matrix `N_q[i, j] =
+//! p(X_j | q, X_i)` holds the per-query cross-bipartite transition
+//! probabilities (uniform without prior knowledge, as the paper chooses),
+//! and `P^X(q_a | q_b)` the intra-bipartite two-step transitions. The
+//! state space is therefore `(bipartite, query)`; hitting a query means
+//! hitting it in *any* bipartite, and the initial bipartite is uniform
+//! (the paper's `M⁰` with 1/3 entries).
+
+use pqsda_graph::bipartite::EntityKind;
+use pqsda_graph::compact::CompactMulti;
+use pqsda_graph::walk::two_step_transition;
+use pqsda_linalg::csr::CsrMatrix;
+
+/// A cross-bipartite walker over a compact representation.
+#[derive(Clone, Debug)]
+pub struct CrossBipartiteWalk {
+    /// Intra-bipartite query→query transitions `P^X`, `{U, S, T}` order.
+    transitions: [CsrMatrix; 3],
+    /// Cross-bipartite transition `N` (shared by all queries; the paper
+    /// uses equal weights absent prior knowledge). `n[i][j] = p(X_j|X_i)`.
+    n: [[f64; 3]; 3],
+    num_queries: usize,
+}
+
+impl CrossBipartiteWalk {
+    /// Builds the walker with the uniform cross-bipartite transition —
+    /// the paper's choice "without any prior knowledge".
+    pub fn uniform(compact: &CompactMulti) -> Self {
+        Self::with_cross_matrix(compact, [[1.0 / 3.0; 3]; 3])
+    }
+
+    /// Builds the walker with an *informed* cross-bipartite transition:
+    /// the teleport probability into each bipartite is proportional to
+    /// that bipartite's total edge mass in the compact representation, so
+    /// information-rich bipartites attract the walker. An extension beyond
+    /// the paper (which leaves "prior knowledge" unspecified); compared
+    /// against uniform in the ablation harness.
+    pub fn mass_weighted(compact: &CompactMulti) -> Self {
+        let mut masses = [0.0f64; 3];
+        for (i, kind) in EntityKind::ALL.iter().enumerate() {
+            masses[i] = compact.matrix(*kind).row_sums().iter().sum();
+        }
+        let total: f64 = masses.iter().sum();
+        let row = if total > 0.0 {
+            [masses[0] / total, masses[1] / total, masses[2] / total]
+        } else {
+            [1.0 / 3.0; 3]
+        };
+        Self::with_cross_matrix(compact, [row, row, row])
+    }
+
+    /// Builds the walker with an explicit cross-bipartite matrix `N`
+    /// (rows must sum to 1).
+    pub fn with_cross_matrix(compact: &CompactMulti, n: [[f64; 3]; 3]) -> Self {
+        for row in &n {
+            let s: f64 = row.iter().sum();
+            assert!(
+                (s - 1.0).abs() < 1e-9 && row.iter().all(|&p| p >= 0.0),
+                "cross-bipartite matrix rows must be distributions"
+            );
+        }
+        let transitions = EntityKind::ALL.map(|kind| {
+            let w = compact.matrix(kind);
+            // Local two-step transition: rownorm(W) · rownorm(Wᵀ)
+            // restricted to the member rows. Entity columns are global but
+            // both hops stay inside the member set by construction of the
+            // projected matrices.
+            let bip = pqsda_graph::bipartite::Bipartite::from_matrix(kind, w.clone());
+            two_step_transition(&bip)
+        });
+        CrossBipartiteWalk {
+            transitions,
+            n,
+            num_queries: compact.len(),
+        }
+    }
+
+    /// Number of queries (per-bipartite layer size).
+    pub fn num_queries(&self) -> usize {
+        self.num_queries
+    }
+
+    /// The intra-bipartite transition of one layer.
+    pub fn layer(&self, kind: EntityKind) -> &CsrMatrix {
+        &self.transitions[kind as usize]
+    }
+
+    /// Truncated expected hitting time from every query to the target set
+    /// `S` (Eq. 17), over the augmented `(bipartite, query)` chain with
+    /// horizon `l`. The returned value per query averages the three
+    /// possible start bipartites (the paper's uniform `M⁰`).
+    ///
+    /// # Panics
+    /// Panics if `targets` is empty or out of range.
+    pub fn hitting_time(&self, targets: &[usize], horizon: usize) -> Vec<f64> {
+        assert!(!targets.is_empty(), "hitting_time: empty target set");
+        let q = self.num_queries;
+        let mut in_target = vec![false; q];
+        for &t in targets {
+            assert!(t < q, "hitting_time: target {t} out of range");
+            in_target[t] = true;
+        }
+        // h[x][i]: hitting time from state (bipartite x, query i).
+        let mut h = vec![vec![0.0; q]; 3];
+        let mut next = vec![vec![0.0; q]; 3];
+        for _ in 0..horizon {
+            for x in 0..3 {
+                for i in 0..q {
+                    if in_target[i] {
+                        next[x][i] = 0.0;
+                        continue;
+                    }
+                    // One step: teleport to bipartite y (prob N[x][y]),
+                    // then move within y. Mass that cannot move (empty
+                    // row) self-loops in place.
+                    let mut acc = 0.0;
+                    for y in 0..3 {
+                        let p_y = self.n[x][y];
+                        if p_y == 0.0 {
+                            continue;
+                        }
+                        let (cols, vals) = self.transitions[y].row(i);
+                        let mut mass = 0.0;
+                        let mut inner = 0.0;
+                        for (&j, &p) in cols.iter().zip(vals) {
+                            inner += p * h[y][j as usize];
+                            mass += p;
+                        }
+                        if mass < 1.0 {
+                            inner += (1.0 - mass) * h[y][i];
+                        }
+                        acc += p_y * inner;
+                    }
+                    next[x][i] = 1.0 + acc;
+                }
+            }
+            std::mem::swap(&mut h, &mut next);
+        }
+        (0..q)
+            .map(|i| (h[0][i] + h[1][i] + h[2][i]) / 3.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_graph::multi::MultiBipartite;
+    use pqsda_graph::weighting::WeightingScheme;
+    use pqsda_querylog::session::{segment_sessions, SessionConfig};
+    use pqsda_querylog::{LogEntry, QueryId, QueryLog, UserId};
+
+    fn compact() -> (QueryLog, CompactMulti) {
+        let entries = vec![
+            LogEntry::new(UserId(0), "sun", Some("www.java.com"), 100),
+            LogEntry::new(UserId(0), "sun java", Some("java.sun.com"), 120),
+            LogEntry::new(UserId(0), "jvm download", None, 200),
+            LogEntry::new(UserId(1), "sun", Some("www.suncellular.com"), 300),
+            LogEntry::new(UserId(1), "solar cell", Some("en.wikipedia.org"), 400),
+            LogEntry::new(UserId(2), "sun oracle", Some("www.oracle.com"), 500),
+            LogEntry::new(UserId(2), "java", Some("www.java.com"), 560),
+        ];
+        let mut log = QueryLog::from_entries(&entries);
+        let sessions = segment_sessions(&mut log, &SessionConfig::default());
+        let multi = MultiBipartite::build(&log, &sessions, WeightingScheme::CfIqf);
+        let members: Vec<_> = (0..log.num_queries()).map(QueryId::from_index).collect();
+        (log, CompactMulti::project(&multi, members))
+    }
+
+    #[test]
+    fn layers_are_row_stochastic_or_empty() {
+        let (_, c) = compact();
+        let walk = CrossBipartiteWalk::uniform(&c);
+        for kind in EntityKind::ALL {
+            for s in walk.layer(kind).row_sums() {
+                assert!(s.abs() < 1e-12 || (s - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn hitting_time_zero_on_targets_and_bounded() {
+        let (log, c) = compact();
+        let walk = CrossBipartiteWalk::uniform(&c);
+        let sun = c.local(log.find_query("sun").unwrap()).unwrap();
+        let h = walk.hitting_time(&[sun], 25);
+        assert_eq!(h[sun], 0.0);
+        for &x in &h {
+            assert!((0.0..=25.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn cross_walk_reaches_more_than_single_bipartite() {
+        // In Table I, "jvm download" has no clicks: unreachable via the
+        // URL bipartite alone, but reachable via sessions. The cross walk
+        // must give it a finite (sub-horizon) hitting time to "sun".
+        let (log, c) = compact();
+        let walk = CrossBipartiteWalk::uniform(&c);
+        let sun = c.local(log.find_query("sun").unwrap()).unwrap();
+        let jvm = c.local(log.find_query("jvm download").unwrap()).unwrap();
+        let horizon = 60;
+        let h = walk.hitting_time(&[sun], horizon);
+        assert!(
+            h[jvm] < horizon as f64 * 0.99,
+            "cross-bipartite walk must reach jvm download: {}",
+            h[jvm]
+        );
+        // URL-only walker: N pinned to the URL bipartite.
+        let url_only = CrossBipartiteWalk::with_cross_matrix(
+            &c,
+            [[1.0, 0.0, 0.0], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]],
+        );
+        let h_url = url_only.hitting_time(&[sun], horizon);
+        assert!(
+            h_url[jvm] >= horizon as f64 * 0.99,
+            "URL-only walker must NOT reach jvm download: {}",
+            h_url[jvm]
+        );
+    }
+
+    #[test]
+    fn multi_path_queries_hit_sooner_than_single_path() {
+        // Compare on the RAW representation where path counting is exact:
+        // "sun java" reaches "sun" through session AND term paths;
+        // "jvm download" only through the shared (3-query) session.
+        let entries = vec![
+            LogEntry::new(UserId(0), "sun", Some("www.java.com"), 100),
+            LogEntry::new(UserId(0), "sun java", Some("java.sun.com"), 120),
+            LogEntry::new(UserId(0), "jvm download", None, 200),
+            LogEntry::new(UserId(1), "sun", Some("www.suncellular.com"), 300),
+            LogEntry::new(UserId(1), "solar cell", Some("en.wikipedia.org"), 400),
+            LogEntry::new(UserId(2), "sun oracle", Some("www.oracle.com"), 500),
+            LogEntry::new(UserId(2), "java", Some("www.java.com"), 560),
+        ];
+        let mut log = QueryLog::from_entries(&entries);
+        let sessions = segment_sessions(&mut log, &SessionConfig::default());
+        let multi = MultiBipartite::build(&log, &sessions, WeightingScheme::Raw);
+        let members: Vec<_> = (0..log.num_queries()).map(QueryId::from_index).collect();
+        let c = CompactMulti::project(&multi, members);
+        let walk = CrossBipartiteWalk::uniform(&c);
+        let sun = c.local(log.find_query("sun").unwrap()).unwrap();
+        let sun_java = c.local(log.find_query("sun java").unwrap()).unwrap();
+        let jvm = c.local(log.find_query("jvm download").unwrap()).unwrap();
+        let h = walk.hitting_time(&[sun], 40);
+        assert!(h[sun_java] < h[jvm], "{} vs {}", h[sun_java], h[jvm]);
+    }
+
+    #[test]
+    fn more_targets_never_increase_hitting_time() {
+        let (log, c) = compact();
+        let walk = CrossBipartiteWalk::uniform(&c);
+        let sun = c.local(log.find_query("sun").unwrap()).unwrap();
+        let java = c.local(log.find_query("java").unwrap()).unwrap();
+        let h1 = walk.hitting_time(&[sun], 30);
+        let h2 = walk.hitting_time(&[sun, java], 30);
+        for i in 0..c.len() {
+            assert!(h2[i] <= h1[i] + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distributions")]
+    fn invalid_cross_matrix_rejected() {
+        let (_, c) = compact();
+        CrossBipartiteWalk::with_cross_matrix(&c, [[0.5; 3]; 3]);
+    }
+
+    #[test]
+    fn mass_weighted_walker_is_valid_and_differs_from_uniform() {
+        let (log, c) = compact();
+        let uniform = CrossBipartiteWalk::uniform(&c);
+        let weighted = CrossBipartiteWalk::mass_weighted(&c);
+        let sun = c.local(log.find_query("sun").unwrap()).unwrap();
+        let hu = uniform.hitting_time(&[sun], 30);
+        let hw = weighted.hitting_time(&[sun], 30);
+        assert_eq!(hu.len(), hw.len());
+        assert_eq!(hw[sun], 0.0);
+        for &x in &hw {
+            assert!((0.0..=30.0).contains(&x));
+        }
+        // The bipartites carry unequal mass here, so the walks differ.
+        assert!(
+            hu.iter().zip(&hw).any(|(a, b)| (a - b).abs() > 1e-9),
+            "mass weighting had no effect"
+        );
+    }
+}

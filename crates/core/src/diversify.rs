@@ -1,0 +1,267 @@
+//! The diversification component (paper §IV, Algorithm 1).
+//!
+//! Combines the regularization framework (first candidate, §IV-B) with the
+//! cross-bipartite hitting time (§IV-C): after the most relevant candidate
+//! is selected, each next candidate is the query with the **largest**
+//! expected hitting time to the already-selected set `S` — queries tightly
+//! connected to `S` hit it quickly and are suppressed, which pushes the
+//! list across the facets of the input query. The discovery order is the
+//! ranking ("sorted with a descending relevance … and potentially covers
+//! different facets").
+
+use crate::crosswalk::CrossBipartiteWalk;
+use crate::regularize::{RegularizationConfig, Regularizer};
+use pqsda_graph::compact::CompactMulti;
+use pqsda_querylog::QueryId;
+
+/// How the cross-bipartite teleport matrix `N` is chosen (paper Eq. 16).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CrossMatrixChoice {
+    /// Equal weights — the paper's choice "without any prior knowledge".
+    #[default]
+    Uniform,
+    /// Teleport proportional to each bipartite's edge mass (extension; see
+    /// [`CrossBipartiteWalk::mass_weighted`]).
+    MassWeighted,
+}
+
+/// Parameters of Algorithm 1.
+#[derive(Clone, Copy, Debug)]
+pub struct DiversifyConfig {
+    /// Regularization settings for the first candidate.
+    pub regularization: RegularizationConfig,
+    /// Iteration count `l` of the hitting-time recurrence.
+    pub horizon: usize,
+    /// The cross-bipartite teleport matrix.
+    pub cross: CrossMatrixChoice,
+    /// Candidate-pool size as a multiple of `k`: hitting-time selection
+    /// runs over the top `pool_factor·k` queries by `F*` relevance
+    /// (minimum 10). The paper requires the remaining candidates "to be
+    /// relevant to the input query but also be different from each other";
+    /// without this relevance gate the arg-max hitting time drifts to the
+    /// most distant — i.e. least relevant — corner of the compact set.
+    pub pool_factor: usize,
+}
+
+impl Default for DiversifyConfig {
+    fn default() -> Self {
+        DiversifyConfig {
+            regularization: RegularizationConfig::default(),
+            horizon: 20,
+            cross: CrossMatrixChoice::default(),
+            pool_factor: 5,
+        }
+    }
+}
+
+/// Runs Algorithm 1 over one compact representation.
+#[derive(Clone, Debug)]
+pub struct Diversifier {
+    regularizer: Regularizer,
+    walk: CrossBipartiteWalk,
+    config: DiversifyConfig,
+}
+
+impl Diversifier {
+    /// Prepares the regularizer and the cross-bipartite walker.
+    pub fn new(compact: &CompactMulti, config: DiversifyConfig) -> Self {
+        let walk = match config.cross {
+            CrossMatrixChoice::Uniform => CrossBipartiteWalk::uniform(compact),
+            CrossMatrixChoice::MassWeighted => CrossBipartiteWalk::mass_weighted(compact),
+        };
+        Diversifier {
+            regularizer: Regularizer::new(compact, config.regularization),
+            walk,
+            config,
+        }
+    }
+
+    /// Algorithm 1: returns up to `k` *local indices* in rank order.
+    ///
+    /// `input_local` is the input query's local index; `context` pairs
+    /// each context query's local index with its age in seconds.
+    pub fn select(
+        &self,
+        input_local: usize,
+        context: &[(usize, u64)],
+        k: usize,
+    ) -> Vec<usize> {
+        if k == 0 {
+            return Vec::new();
+        }
+        // Line 1–3: first candidate via Eq. 15.
+        let Some((first, f_star)) = self.regularizer.first_candidate(input_local, context)
+        else {
+            return Vec::new();
+        };
+        let mut selected = vec![first];
+        let excluded: Vec<usize> = std::iter::once(input_local)
+            .chain(context.iter().map(|&(l, _)| l))
+            .collect();
+
+        // Relevance pool: the top pool_factor·k queries by F*.
+        let pool_size = (self.config.pool_factor * k).max(10);
+        let mut pool: Vec<usize> = (0..self.walk.num_queries())
+            .filter(|i| !excluded.contains(i) && f_star[*i] > 0.0)
+            .collect();
+        pool.sort_by(|&a, &b| f_star[b].partial_cmp(&f_star[a]).unwrap().then(a.cmp(&b)));
+        pool.truncate(pool_size);
+
+        // Lines 4–11: iteratively add the arg-max hitting-time query.
+        // The target set is S ∪ {input}: candidates must diversify away
+        // from both the picks so far and the input query itself.
+        while selected.len() < k {
+            let mut targets = selected.clone();
+            targets.push(input_local);
+            let h = self.walk.hitting_time(&targets, self.config.horizon);
+            let next = pool
+                .iter()
+                .copied()
+                .filter(|i| !selected.contains(i))
+                .max_by(|&a, &b| {
+                    h[a].partial_cmp(&h[b])
+                        .unwrap()
+                        // Ties (e.g. both saturated) break toward relevance.
+                        .then(f_star[a].partial_cmp(&f_star[b]).unwrap())
+                        .then(b.cmp(&a))
+                });
+            match next {
+                Some(i) => selected.push(i),
+                None => break,
+            }
+        }
+        selected
+    }
+
+    /// Convenience: resolves the selection to global [`QueryId`]s.
+    pub fn select_global(
+        &self,
+        compact: &CompactMulti,
+        input_local: usize,
+        context: &[(usize, u64)],
+        k: usize,
+    ) -> Vec<QueryId> {
+        self.select(input_local, context, k)
+            .into_iter()
+            .map(|l| compact.global(l))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_graph::multi::MultiBipartite;
+    use pqsda_graph::weighting::WeightingScheme;
+    use pqsda_querylog::session::{segment_sessions, SessionConfig};
+    use pqsda_querylog::{LogEntry, QueryLog, UserId};
+
+    /// A two-facet world around "sun": a java cluster and a solar cluster,
+    /// session- and term-linked.
+    fn two_facet() -> (QueryLog, CompactMulti) {
+        let entries = vec![
+            // java cluster (user 0, one session)
+            LogEntry::new(UserId(0), "sun", Some("java.com"), 0),
+            LogEntry::new(UserId(0), "sun java", Some("java.com"), 30),
+            LogEntry::new(UserId(0), "java jdk", Some("jdk.com"), 60),
+            // solar cluster (user 1, one session)
+            LogEntry::new(UserId(1), "sun", Some("solar.org"), 1000),
+            LogEntry::new(UserId(1), "sun solar energy", Some("solar.org"), 1030),
+            LogEntry::new(UserId(1), "solar panels", Some("panels.com"), 1060),
+            // another java-leaning user to make java the dominant facet
+            LogEntry::new(UserId(2), "sun java", Some("java.com"), 2000),
+            LogEntry::new(UserId(2), "java jdk", Some("jdk.com"), 2030),
+        ];
+        let mut log = QueryLog::from_entries(&entries);
+        let sessions = segment_sessions(&mut log, &SessionConfig::default());
+        let multi = MultiBipartite::build(&log, &sessions, WeightingScheme::CfIqf);
+        let members: Vec<_> = (0..log.num_queries())
+            .map(pqsda_querylog::QueryId::from_index)
+            .collect();
+        (log, CompactMulti::project(&multi, members))
+    }
+
+    #[test]
+    fn first_is_relevant_then_facets_alternate() {
+        let (log, compact) = two_facet();
+        let d = Diversifier::new(&compact, DiversifyConfig::default());
+        let sun = compact.local(log.find_query("sun").unwrap()).unwrap();
+        let picks = d.select_global(&compact, sun, &[], 4);
+        assert!(!picks.is_empty());
+        let texts: Vec<&str> = picks.iter().map(|&q| log.query_text(q)).collect();
+        // The suggestion list must cover BOTH facets within the top 3.
+        let top3 = &texts[..texts.len().min(3)];
+        let has_java = top3.iter().any(|t| t.contains("java"));
+        let has_solar = top3.iter().any(|t| t.contains("solar"));
+        assert!(
+            has_java && has_solar,
+            "expected both facets in the top 3, got {texts:?}"
+        );
+    }
+
+    #[test]
+    fn never_suggests_input_or_context() {
+        let (log, compact) = two_facet();
+        let d = Diversifier::new(&compact, DiversifyConfig::default());
+        let sun = compact.local(log.find_query("sun").unwrap()).unwrap();
+        let ctx = compact.local(log.find_query("sun java").unwrap()).unwrap();
+        let picks = d.select(sun, &[(ctx, 30)], 5);
+        assert!(!picks.contains(&sun));
+        assert!(!picks.contains(&ctx));
+    }
+
+    #[test]
+    fn k_zero_and_k_large() {
+        let (log, compact) = two_facet();
+        let d = Diversifier::new(&compact, DiversifyConfig::default());
+        let sun = compact.local(log.find_query("sun").unwrap()).unwrap();
+        assert!(d.select(sun, &[], 0).is_empty());
+        let all = d.select(sun, &[], 100);
+        // Bounded by the reachable member count (minus the input).
+        assert!(all.len() < compact.len());
+        // No duplicates.
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let (log, compact) = two_facet();
+        let d = Diversifier::new(&compact, DiversifyConfig::default());
+        let sun = compact.local(log.find_query("sun").unwrap()).unwrap();
+        assert_eq!(d.select(sun, &[], 4), d.select(sun, &[], 4));
+    }
+
+    #[test]
+    fn diversified_list_beats_greedy_relevance_on_facet_coverage() {
+        // The motivating comparison: pure relevance ranking (F* order)
+        // concentrates on the dominant facet; Algorithm 1 covers both.
+        let (log, compact) = two_facet();
+        let cfg = DiversifyConfig::default();
+        let d = Diversifier::new(&compact, cfg);
+        let sun = compact.local(log.find_query("sun").unwrap()).unwrap();
+
+        // Greedy-by-relevance top 2.
+        let reg = Regularizer::new(&compact, cfg.regularization);
+        let (_, f) = reg.first_candidate(sun, &[]).unwrap();
+        let mut by_rel: Vec<usize> = (0..compact.len())
+            .filter(|&i| i != sun && f[i] > 0.0)
+            .collect();
+        by_rel.sort_by(|&a, &b| f[b].partial_cmp(&f[a]).unwrap());
+        let facet = |i: usize| {
+            log.query_text(compact.global(i)).contains("java") as u8
+                + 2 * log.query_text(compact.global(i)).contains("solar") as u8
+        };
+        let greedy_facets: std::collections::HashSet<u8> =
+            by_rel.iter().take(2).map(|&i| facet(i)).collect();
+        let div = d.select(sun, &[], 2);
+        let div_facets: std::collections::HashSet<u8> =
+            div.iter().map(|&i| facet(i)).collect();
+        assert!(
+            div_facets.len() >= greedy_facets.len(),
+            "diversified list must cover at least as many facets"
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! The end-to-end PQS-DA engine (paper Fig. 1).
+//!
+//! Wires the pipeline together behind the common
+//! [`Suggester`] interface: compact expansion → regularized first
+//! candidate → cross-bipartite hitting-time diversification → UPM
+//! personalization with Borda fusion. Without a personalizer (or for an
+//! anonymous request) the engine returns the diversification ranking —
+//! exactly the intermediate result the paper evaluates in §VI-B.
+
+use crate::diversify::{Diversifier, DiversifyConfig};
+use crate::personalize::Personalizer;
+use parking_lot::Mutex;
+use pqsda_baselines::{SuggestRequest, Suggester};
+use pqsda_graph::compact::{CompactConfig, CompactMulti};
+use pqsda_graph::multi::MultiBipartite;
+use pqsda_querylog::{QueryId, QueryLog};
+use std::collections::HashMap;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PqsDaConfig {
+    /// Compact-representation expansion settings (§IV-A).
+    pub compact: CompactConfig,
+    /// Diversification settings (§IV-B/C).
+    pub diversify: DiversifyConfig,
+}
+
+/// The PQS-DA query-suggestion engine.
+pub struct PqsDa {
+    log: QueryLog,
+    multi: MultiBipartite,
+    personalizer: Option<Personalizer>,
+    config: PqsDaConfig,
+    /// Memo of compact representations per (input, context) seed set —
+    /// online suggestion re-serves hot queries, and expansion dominates
+    /// the per-request cost.
+    cache: Mutex<HashMap<Vec<QueryId>, CompactCacheEntry>>,
+}
+
+struct CompactCacheEntry {
+    compact: CompactMulti,
+    diversifier: Diversifier,
+}
+
+impl PqsDa {
+    /// Builds the engine from a sessionized log and its multi-bipartite
+    /// representation. Pass a [`Personalizer`] to enable §V; `None` yields
+    /// the diversification-only engine of §VI-B.
+    pub fn new(
+        log: QueryLog,
+        multi: MultiBipartite,
+        personalizer: Option<Personalizer>,
+        config: PqsDaConfig,
+    ) -> Self {
+        assert_eq!(
+            log.num_queries(),
+            multi.num_queries(),
+            "log and representation disagree on query count"
+        );
+        PqsDa {
+            log,
+            multi,
+            personalizer,
+            config,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The engine's log (for resolving suggestion text).
+    pub fn log(&self) -> &QueryLog {
+        &self.log
+    }
+
+    /// Runs only the diversification component (§IV) — the paper's
+    /// intermediate result.
+    pub fn diversify(&self, req: &SuggestRequest) -> Vec<QueryId> {
+        if req.query.index() >= self.log.num_queries() || req.k == 0 {
+            return Vec::new();
+        }
+        let mut seeds = vec![req.query];
+        seeds.extend(req.context.iter().copied());
+        seeds.dedup();
+
+        let mut cache = self.cache.lock();
+        let entry = cache.entry(seeds.clone()).or_insert_with(|| {
+            let compact = CompactMulti::expand(&self.multi, &seeds, &self.config.compact);
+            let diversifier = Diversifier::new(&compact, self.config.diversify);
+            CompactCacheEntry {
+                compact,
+                diversifier,
+            }
+        });
+
+        let input_local = entry
+            .compact
+            .local(req.query)
+            .expect("input query is always a seed");
+        let context: Vec<(usize, u64)> = req
+            .context
+            .iter()
+            .zip(&req.context_times)
+            .filter_map(|(&q, &t)| {
+                entry
+                    .compact
+                    .local(q)
+                    .map(|l| (l, req.query_time.saturating_sub(t)))
+            })
+            .collect();
+        entry
+            .diversifier
+            .select_global(&entry.compact, input_local, &context, req.k)
+    }
+}
+
+impl Suggester for PqsDa {
+    fn name(&self) -> &str {
+        if self.personalizer.is_some() {
+            "PQS-DA"
+        } else {
+            "PQS-DA (div)"
+        }
+    }
+
+    fn suggest(&self, req: &SuggestRequest) -> Vec<QueryId> {
+        let diversified = self.diversify(req);
+        match (&self.personalizer, req.user) {
+            (Some(p), Some(user)) => p.rerank(user, &self.log, &diversified),
+            _ => diversified,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_graph::weighting::WeightingScheme;
+    use pqsda_querylog::{LogEntry, UserId};
+    use pqsda_topics::{Corpus, TrainConfig, Upm, UpmConfig};
+
+    /// Two facets of "sun" with distinct user bases:
+    /// users 0/2 are java people, user 1 is a solar person.
+    fn build_engine(with_personalization: bool) -> PqsDa {
+        let mut entries = Vec::new();
+        for rep in 0..4u64 {
+            let base = rep * 50_000;
+            entries.push(LogEntry::new(UserId(0), "sun", Some("java.com"), base));
+            entries.push(LogEntry::new(UserId(0), "sun java", Some("java.com"), base + 30));
+            entries.push(LogEntry::new(UserId(0), "java jdk", Some("jdk.com"), base + 60));
+            entries.push(LogEntry::new(UserId(1), "sun", Some("solar.org"), base + 1000));
+            entries.push(LogEntry::new(
+                UserId(1),
+                "sun solar energy",
+                Some("solar.org"),
+                base + 1030,
+            ));
+            entries.push(LogEntry::new(
+                UserId(1),
+                "solar panels",
+                Some("panels.com"),
+                base + 1060,
+            ));
+            entries.push(LogEntry::new(
+                UserId(2),
+                "sun java",
+                Some("java.com"),
+                base + 2000,
+            ));
+        }
+        let mut log = QueryLog::from_entries(&entries);
+        let sessions = pqsda_querylog::session::segment_sessions(
+            &mut log,
+            &pqsda_querylog::session::SessionConfig::default(),
+        );
+        let multi = MultiBipartite::build(&log, &sessions, WeightingScheme::CfIqf);
+        let personalizer = with_personalization.then(|| {
+            let corpus = Corpus::build(&log, &sessions);
+            let upm = Upm::train(
+                &corpus,
+                &UpmConfig {
+                    base: TrainConfig {
+                        num_topics: 2,
+                        iterations: 30,
+                        seed: 13,
+                        ..TrainConfig::default()
+                    },
+                    hyper_every: 0,
+                    hyper_iterations: 0,
+                    threads: 1,
+                },
+            );
+            Personalizer::new(upm, &corpus, log.num_users())
+        });
+        PqsDa::new(log, multi, personalizer, PqsDaConfig::default())
+    }
+
+    #[test]
+    fn diversified_suggestions_cover_facets() {
+        let engine = build_engine(false);
+        let sun = engine.log().find_query("sun").unwrap();
+        let out = engine.suggest(&SuggestRequest::simple(sun, 3));
+        assert!(!out.is_empty());
+        let texts: Vec<&str> = out.iter().map(|&q| engine.log().query_text(q)).collect();
+        assert!(
+            texts.iter().any(|t| t.contains("java"))
+                && texts.iter().any(|t| t.contains("solar")),
+            "{texts:?}"
+        );
+    }
+
+    #[test]
+    fn personalization_reranks_per_user() {
+        let engine = build_engine(true);
+        let sun = engine.log().find_query("sun").unwrap();
+        let for_java = engine.suggest(&SuggestRequest::simple(sun, 4).for_user(UserId(0)));
+        let for_solar = engine.suggest(&SuggestRequest::simple(sun, 4).for_user(UserId(1)));
+        let texts = |qs: &[QueryId]| {
+            qs.iter()
+                .map(|&q| engine.log().query_text(q).to_owned())
+                .collect::<Vec<_>>()
+        };
+        // User-dependent order: the java user's top suggestion mentions
+        // java; the solar user's mentions solar.
+        assert!(
+            texts(&for_java)[0].contains("java"),
+            "java user got {:?}",
+            texts(&for_java)
+        );
+        assert!(
+            texts(&for_solar)[0].contains("solar"),
+            "solar user got {:?}",
+            texts(&for_solar)
+        );
+        // Both lists still cover both facets (diversity survives
+        // personalization — the paper's §VI-C observation).
+        for out in [&for_java, &for_solar] {
+            let ts = texts(out);
+            assert!(
+                ts.iter().any(|t| t.contains("java"))
+                    && ts.iter().any(|t| t.contains("solar")),
+                "{ts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn anonymous_requests_fall_back_to_diversification() {
+        let engine = build_engine(true);
+        let sun = engine.log().find_query("sun").unwrap();
+        let anon = engine.suggest(&SuggestRequest::simple(sun, 3));
+        let div = engine.diversify(&SuggestRequest::simple(sun, 3));
+        assert_eq!(anon, div);
+    }
+
+    #[test]
+    fn caching_is_transparent() {
+        let engine = build_engine(false);
+        let sun = engine.log().find_query("sun").unwrap();
+        let a = engine.suggest(&SuggestRequest::simple(sun, 3));
+        let b = engine.suggest(&SuggestRequest::simple(sun, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_reflect_configuration() {
+        assert_eq!(build_engine(false).name(), "PQS-DA (div)");
+        assert_eq!(build_engine(true).name(), "PQS-DA");
+    }
+
+    #[test]
+    fn out_of_range_query_is_empty() {
+        let engine = build_engine(false);
+        let out = engine.suggest(&SuggestRequest::simple(QueryId(9999), 3));
+        assert!(out.is_empty());
+    }
+}

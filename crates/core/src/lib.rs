@@ -1,0 +1,42 @@
+//! **PQS-DA** — Personalized Query Suggestion With Diversity Awareness
+//! (Jiang, Leung, Vosecky & Ng, ICDE 2014): the paper's core contribution.
+//!
+//! The engine runs the paper's pipeline end to end:
+//!
+//! 1. **Compact representation** (§IV-A): grow a working subgraph from the
+//!    input query and its search context through the multi-bipartite
+//!    representation (`pqsda-graph`).
+//! 2. **First candidate by regularization** (§IV-B, [`regularize`]): build
+//!    the context-decayed seed vector `F⁰` (Eq. 7), assemble and solve the
+//!    sparse linear system of Eq. 15, and take the arg-max of `F*`.
+//! 3. **Remaining candidates by cross-bipartite hitting time** (§IV-C,
+//!    [`crosswalk`], [`diversify`]): a random walker that can teleport
+//!    between the three bipartites (Eq. 16); each next candidate maximizes
+//!    the expected hitting time to the already-selected set (Eq. 17,
+//!    Algorithm 1).
+//! 4. **Personalization** (§V-B, [`personalize`], [`borda`]): score every
+//!    candidate with the user's UPM profile (Eq. 31, `pqsda-topics`) and
+//!    fuse the diversification and personalization rankings with Borda's
+//!    method.
+//!
+//! [`engine::PqsDa`] packages the pipeline behind the common
+//! [`pqsda_baselines::Suggester`] interface.
+
+// Index-style loops are deliberate throughout this crate: the code mirrors
+// the paper's matrix/count-table notation (rows, columns, topic indices),
+// where explicit indices are clearer than iterator chains.
+#![allow(clippy::needless_range_loop)]
+
+pub mod borda;
+pub mod crosswalk;
+pub mod diversify;
+pub mod engine;
+pub mod personalize;
+pub mod regularize;
+
+pub use borda::borda_aggregate;
+pub use crosswalk::CrossBipartiteWalk;
+pub use diversify::{CrossMatrixChoice, DiversifyConfig, Diversifier};
+pub use engine::{PqsDa, PqsDaConfig};
+pub use personalize::{preference_score, Personalizer, RerankedSuggester};
+pub use regularize::{RegularizationConfig, Regularizer};

@@ -1,0 +1,375 @@
+//! Online personalization (paper §V-B).
+//!
+//! Given a user's UPM profile, each suggestion candidate `q` receives the
+//! preference score of Eq. 31 — the per-word average, over the query's
+//! words, of the user's topic-weighted word probability:
+//!
+//! ```text
+//! P(q | d) = ( Σ_{w∈q} Σ_k p(w | k, d) · θ_dk ) / |q|
+//! ```
+//!
+//! (The paper states the word factor as a ratio of multidimensional Beta
+//! functions `B(n_wkq + β_wk)/B(β_wk)`; for a single additional word
+//! occurrence that ratio *is* the collapsed posterior predictive
+//! `p(w | k, d)` used here.) Candidates are ranked by `P(q|d)` and the
+//! ranking is fused with the diversification ranking by Borda's method.
+
+use crate::borda::borda_aggregate;
+use pqsda_querylog::{QueryId, QueryLog, UserId};
+use pqsda_topics::model::TopicModel;
+use pqsda_topics::{Corpus, Upm};
+
+/// The preference score `P(q|d)` of Eq. 31 for one candidate.
+///
+/// Returns 0 for queries with no indexable words (they carry no evidence
+/// about the user's preference).
+pub fn preference_score(upm: &Upm, doc: usize, log: &QueryLog, q: QueryId) -> f64 {
+    let words = log.query_terms(q);
+    if words.is_empty() {
+        return 0.0;
+    }
+    let theta = upm.doc_topic(doc);
+    let mut total = 0.0;
+    for &w in words {
+        for (k, &t) in theta.iter().enumerate() {
+            total += upm.user_word_prob(doc, k, w.0) * t;
+        }
+    }
+    total / words.len() as f64
+}
+
+/// The personalization component: a trained UPM plus the user → document
+/// mapping of its training corpus.
+pub struct Personalizer {
+    upm: Upm,
+    doc_of_user: Vec<Option<usize>>,
+}
+
+impl Personalizer {
+    /// Wraps a trained UPM. `corpus` must be the corpus the model was
+    /// trained on (it provides the user → document mapping);
+    /// `num_users` the log's user count.
+    pub fn new(upm: Upm, corpus: &Corpus, num_users: usize) -> Self {
+        assert_eq!(
+            upm.num_docs(),
+            corpus.num_docs(),
+            "UPM and corpus disagree on document count"
+        );
+        let mut doc_of_user = vec![None; num_users];
+        for (i, d) in corpus.docs.iter().enumerate() {
+            doc_of_user[d.user.index()] = Some(i);
+        }
+        Personalizer { upm, doc_of_user }
+    }
+
+    /// The underlying model.
+    pub fn upm(&self) -> &Upm {
+        &self.upm
+    }
+
+    /// Whether a user has a profile.
+    pub fn has_profile(&self, user: UserId) -> bool {
+        self.doc_of_user
+            .get(user.index())
+            .is_some_and(Option::is_some)
+    }
+
+    /// Scores one candidate for one user; `None` when the user has no
+    /// profile (the engine then skips personalization entirely).
+    pub fn score(&self, user: UserId, log: &QueryLog, q: QueryId) -> Option<f64> {
+        let doc = (*self.doc_of_user.get(user.index())?)?;
+        Some(preference_score(&self.upm, doc, log, q))
+    }
+
+    /// §V-B's full strategy: ranks `candidates` by `P(q|d)` and fuses with
+    /// the (relevance-descending) diversification ranking via Borda.
+    /// Returns the diversification ranking untouched when the user has no
+    /// profile.
+    pub fn rerank(
+        &self,
+        user: UserId,
+        log: &QueryLog,
+        diversified: &[QueryId],
+    ) -> Vec<QueryId> {
+        if diversified.is_empty() || !self.has_profile(user) {
+            return diversified.to_vec();
+        }
+        let mut by_pref: Vec<(QueryId, f64)> = diversified
+            .iter()
+            .map(|&q| (q, self.score(user, log, q).unwrap_or(0.0)))
+            .collect();
+        by_pref.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let pref_ranking: Vec<QueryId> = by_pref.into_iter().map(|(q, _)| q).collect();
+        // Borda points are symmetric in the two lists; listing the
+        // preference ranking first makes *ties* break toward the user's
+        // preference — the paper's stated goal for the top ranks.
+        borda_aggregate(&[pref_ranking, diversified.to_vec()])
+    }
+
+    /// Serializes the personalizer — the user → document mapping followed
+    /// by the trained UPM (via [`pqsda_topics::store`]) — into `buf`,
+    /// making a profile file fully self-contained.
+    pub fn write_to(&self, buf: &mut Vec<u8>) {
+        use bytes::BufMut;
+        buf.put_slice(b"PQSP");
+        buf.put_u8(1); // format version
+        buf.put_u32_le(self.doc_of_user.len() as u32);
+        for d in &self.doc_of_user {
+            // u32::MAX marks "no profile for this user".
+            buf.put_u32_le(d.map(|x| x as u32).unwrap_or(u32::MAX));
+        }
+        pqsda_topics::save_upm(&self.upm, buf);
+    }
+
+    /// Deserializes a personalizer written by [`Personalizer::write_to`].
+    pub fn read_from(mut data: &[u8]) -> Result<Personalizer, pqsda_topics::StoreError> {
+        use bytes::Buf;
+        use pqsda_topics::StoreError;
+        if data.remaining() < 5 || &data[..4] != b"PQSP" {
+            return Err(StoreError::BadMagic);
+        }
+        data.advance(4);
+        let version = data.get_u8();
+        if version != 1 {
+            return Err(StoreError::BadVersion(version));
+        }
+        if data.remaining() < 4 {
+            return Err(StoreError::Truncated("user mapping"));
+        }
+        let n = data.get_u32_le() as usize;
+        if data.remaining() < n * 4 {
+            return Err(StoreError::Truncated("user mapping"));
+        }
+        let raw: Vec<u32> = (0..n).map(|_| data.get_u32_le()).collect();
+        let upm = pqsda_topics::load_upm(data)?;
+        let mut doc_of_user = Vec::with_capacity(raw.len());
+        for v in raw {
+            doc_of_user.push(if v == u32::MAX {
+                None
+            } else {
+                if v as usize >= upm.num_docs() {
+                    return Err(StoreError::OutOfBounds("user mapping document"));
+                }
+                Some(v as usize)
+            });
+        }
+        Ok(Personalizer { upm, doc_of_user })
+    }
+}
+
+/// Wraps any suggestion method with the PQS-DA personalization stage —
+/// the paper's "(P)" condition in Fig. 5/6: "we first apply our
+/// personalization method to the results of the methods studied … and we
+/// add the suffix (P) to them".
+pub struct RerankedSuggester<S> {
+    inner: S,
+    personalizer: std::sync::Arc<Personalizer>,
+    log: std::sync::Arc<QueryLog>,
+    name: String,
+}
+
+impl<S: pqsda_baselines::Suggester> RerankedSuggester<S> {
+    /// Wraps `inner`, renaming it `"<name>(P)"`.
+    pub fn new(
+        inner: S,
+        personalizer: std::sync::Arc<Personalizer>,
+        log: std::sync::Arc<QueryLog>,
+    ) -> Self {
+        let name = format!("{}(P)", inner.name());
+        RerankedSuggester {
+            inner,
+            personalizer,
+            log,
+            name,
+        }
+    }
+}
+
+impl<S: pqsda_baselines::Suggester> pqsda_baselines::Suggester for RerankedSuggester<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn suggest(&self, req: &pqsda_baselines::SuggestRequest) -> Vec<QueryId> {
+        let base = self.inner.suggest(req);
+        match req.user {
+            Some(user) => self.personalizer.rerank(user, &self.log, &base),
+            None => base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_querylog::{LogEntry, QueryLog};
+    use pqsda_topics::{TrainConfig, UpmConfig};
+
+    /// User 0 lives in java-world, user 1 in solar-world. Candidates later
+    /// come from both worlds.
+    fn setup() -> (QueryLog, Personalizer) {
+        let mut entries = Vec::new();
+        for i in 0..10u64 {
+            entries.push(LogEntry::new(
+                UserId(0),
+                "java jdk maven",
+                Some("java.com"),
+                i * 4000,
+            ));
+            entries.push(LogEntry::new(
+                UserId(1),
+                "solar panels energy",
+                Some("solar.org"),
+                i * 4000 + 100,
+            ));
+        }
+        // Shared queries so both vocabularies exist for both users' eval.
+        entries.push(LogEntry::new(UserId(0), "sun java", None, 90_000));
+        entries.push(LogEntry::new(UserId(1), "sun solar", None, 91_000));
+        let mut log = QueryLog::from_entries(&entries);
+        let sessions = pqsda_querylog::session::segment_sessions(
+            &mut log,
+            &pqsda_querylog::session::SessionConfig::default(),
+        );
+        let corpus = Corpus::build(&log, &sessions);
+        let upm = Upm::train(
+            &corpus,
+            &UpmConfig {
+                base: TrainConfig {
+                    num_topics: 2,
+                    iterations: 40,
+                    seed: 31,
+                    ..TrainConfig::default()
+                },
+                hyper_every: 0,
+                hyper_iterations: 0,
+                threads: 1,
+            },
+        );
+        let p = Personalizer::new(upm, &corpus, log.num_users());
+        (log, p)
+    }
+
+    #[test]
+    fn scores_align_with_user_history() {
+        let (log, p) = setup();
+        let java_q = log.find_query("sun java").unwrap();
+        let solar_q = log.find_query("sun solar").unwrap();
+        let s_java_u0 = p.score(UserId(0), &log, java_q).unwrap();
+        let s_solar_u0 = p.score(UserId(0), &log, solar_q).unwrap();
+        assert!(
+            s_java_u0 > s_solar_u0,
+            "java user prefers the java candidate: {s_java_u0} vs {s_solar_u0}"
+        );
+        let s_java_u1 = p.score(UserId(1), &log, java_q).unwrap();
+        let s_solar_u1 = p.score(UserId(1), &log, solar_q).unwrap();
+        assert!(s_solar_u1 > s_java_u1);
+    }
+
+    #[test]
+    fn rerank_promotes_preferred_candidates() {
+        let (log, p) = setup();
+        let java_q = log.find_query("sun java").unwrap();
+        let solar_q = log.find_query("sun solar").unwrap();
+        // Diversified order puts solar first; for the java user the fused
+        // ranking must not bury the java candidate below its pref rank.
+        let diversified = vec![solar_q, java_q];
+        let fused = p.rerank(UserId(0), &log, &diversified);
+        assert_eq!(fused.len(), 2);
+        // Borda over 2 lists of length 2: tie (2+1 vs 1+2) → first ranking
+        // wins; preference shows once lists are longer.
+        let many = vec![solar_q, java_q, log.find_query("solar panels energy").unwrap()];
+        let fused3 = p.rerank(UserId(0), &log, &many);
+        let jpos = fused3.iter().position(|&q| q == java_q).unwrap();
+        assert!(jpos <= 1, "java candidate must climb for the java user: {fused3:?}");
+    }
+
+    #[test]
+    fn unknown_user_keeps_diversified_order() {
+        let (log, p) = setup();
+        let java_q = log.find_query("sun java").unwrap();
+        let solar_q = log.find_query("sun solar").unwrap();
+        let diversified = vec![solar_q, java_q];
+        assert_eq!(p.rerank(UserId(42), &log, &diversified), diversified);
+        assert!(!p.has_profile(UserId(42)));
+    }
+
+    #[test]
+    fn personalizer_round_trips_through_bytes() {
+        let (log, p) = setup();
+        let mut buf = Vec::new();
+        p.write_to(&mut buf);
+        let loaded = Personalizer::read_from(&buf).unwrap();
+        let java_q = log.find_query("sun java").unwrap();
+        let solar_q = log.find_query("sun solar").unwrap();
+        for user in [UserId(0), UserId(1)] {
+            assert_eq!(loaded.has_profile(user), p.has_profile(user));
+            assert_eq!(
+                loaded.score(user, &log, java_q),
+                p.score(user, &log, java_q)
+            );
+            assert_eq!(
+                loaded.rerank(user, &log, &[solar_q, java_q]),
+                p.rerank(user, &log, &[solar_q, java_q])
+            );
+        }
+        // Unknown users survive the trip too.
+        assert!(!loaded.has_profile(UserId(42)));
+        // Corruption is rejected, never a panic.
+        assert!(Personalizer::read_from(b"junk").is_err());
+        for cut in (0..buf.len()).step_by(97) {
+            assert!(Personalizer::read_from(&buf[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn reranked_suggester_wraps_and_renames() {
+        use pqsda_baselines::Suggester;
+        let (log, p) = setup();
+        let java_q = log.find_query("sun java").unwrap();
+        let solar_q = log.find_query("sun solar").unwrap();
+        let panels_q = log.find_query("solar panels energy").unwrap();
+
+        /// A stub baseline with a fixed output.
+        struct Fixed(Vec<QueryId>);
+        impl Suggester for Fixed {
+            fn name(&self) -> &str {
+                "STUB"
+            }
+            fn suggest(&self, _req: &pqsda_baselines::SuggestRequest) -> Vec<QueryId> {
+                self.0.clone()
+            }
+        }
+
+        let wrapped = RerankedSuggester::new(
+            Fixed(vec![solar_q, panels_q, java_q]),
+            std::sync::Arc::new(p),
+            std::sync::Arc::new(log.clone()),
+        );
+        assert_eq!(wrapped.name(), "STUB(P)");
+        // Java user: the java candidate climbs above at least one solar one.
+        let req = pqsda_baselines::SuggestRequest::simple(java_q, 3).for_user(UserId(0));
+        let out = wrapped.suggest(&req);
+        let jpos = out.iter().position(|&q| q == java_q).unwrap();
+        assert!(jpos < 2, "java candidate should climb: {out:?}");
+        // Anonymous requests pass through untouched.
+        let anon = wrapped.suggest(&pqsda_baselines::SuggestRequest::simple(java_q, 3));
+        assert_eq!(anon, vec![solar_q, panels_q, java_q]);
+    }
+
+    #[test]
+    fn wordless_queries_score_zero() {
+        let (log, p) = setup();
+        // Every interned query here has words; simulate via scoring a
+        // query made only of stopwords by building a fresh tiny log.
+        let mut entries = vec![LogEntry::new(UserId(0), "the of", None, 0)];
+        entries.push(LogEntry::new(UserId(0), "java", Some("a.com"), 10));
+        let log2 = QueryLog::from_entries(&entries);
+        let q = log2.find_query("the of").unwrap();
+        assert!(log2.query_terms(q).is_empty());
+        // Reuse p's UPM arbitrarily — score must be 0 regardless of model.
+        let doc = 0;
+        assert_eq!(preference_score(p.upm(), doc, &log2, q), 0.0);
+        let _ = log;
+    }
+}

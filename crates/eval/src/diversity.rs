@@ -1,0 +1,237 @@
+//! The Diversity metric (paper Eq. 32–33, after Ma et al. \[6\]).
+//!
+//! For two suggested queries, diversity is one minus the average pairwise
+//! similarity of their clicked web pages:
+//!
+//! ```text
+//! d(q_i, q_j) = 1 − ( Σ_m Σ_n sim(p_im, p_jn) ) / (M · N)
+//! D(L)        = ( Σ_i Σ_{j≠i} d(q_i, q_j) ) / ( |L| · (|L|−1) )
+//! ```
+//!
+//! The paper computes `sim` over page content; our synthetic pages carry
+//! ground-truth "high-quality field" term vectors, so `sim` is the cosine
+//! between those vectors (facet-specific vocabularies make within-facet
+//! pages similar and cross-facet pages nearly orthogonal — the regime the
+//! metric is designed to separate).
+
+use pqsda_querylog::{QueryId, QueryLog, UrlId};
+use std::collections::HashMap;
+
+/// Precomputed clicked-page sets and page-similarity support.
+#[derive(Clone, Debug)]
+pub struct DiversityMetric {
+    /// Clicked URL set per query.
+    clicked: Vec<Vec<UrlId>>,
+    /// Term-id vector per URL (hashed vocabulary, L2-normalized weights).
+    page_vectors: Vec<Vec<(u32, f64)>>,
+}
+
+impl DiversityMetric {
+    /// Builds from the log plus per-URL field terms (`url_fields[u]` =
+    /// title terms of URL `u`, as produced by the synthetic ground truth).
+    pub fn new(log: &QueryLog, url_fields: &[Vec<String>]) -> Self {
+        assert_eq!(
+            url_fields.len(),
+            log.num_urls(),
+            "url_fields must cover every URL"
+        );
+        let mut clicked: Vec<Vec<UrlId>> = vec![Vec::new(); log.num_queries()];
+        for r in log.records() {
+            if let Some(u) = r.click {
+                let list = &mut clicked[r.query.index()];
+                if !list.contains(&u) {
+                    list.push(u);
+                }
+            }
+        }
+        // Intern field terms into a private vocabulary.
+        let mut vocab: HashMap<&str, u32> = HashMap::new();
+        let page_vectors = url_fields
+            .iter()
+            .map(|fields| {
+                let mut counts: HashMap<u32, f64> = HashMap::new();
+                for f in fields {
+                    let next = vocab.len() as u32;
+                    let id = *vocab.entry(f.as_str()).or_insert(next);
+                    *counts.entry(id).or_insert(0.0) += 1.0;
+                }
+                let norm: f64 = counts.values().map(|v| v * v).sum::<f64>().sqrt();
+                let mut v: Vec<(u32, f64)> = counts
+                    .into_iter()
+                    .map(|(t, c)| (t, if norm > 0.0 { c / norm } else { 0.0 }))
+                    .collect();
+                v.sort_unstable_by_key(|&(t, _)| t);
+                v
+            })
+            .collect();
+        DiversityMetric {
+            clicked,
+            page_vectors,
+        }
+    }
+
+    /// Cosine similarity between two pages' field vectors.
+    pub fn page_similarity(&self, a: UrlId, b: UrlId) -> f64 {
+        let va = &self.page_vectors[a.index()];
+        let vb = &self.page_vectors[b.index()];
+        let (mut i, mut j) = (0, 0);
+        let mut dot = 0.0;
+        while i < va.len() && j < vb.len() {
+            match va[i].0.cmp(&vb[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += va[i].1 * vb[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        dot
+    }
+
+    /// The pairwise diversity `d(q_i, q_j)` of Eq. 32. Queries without any
+    /// clicked pages contribute the neutral maximum 1.0 (no evidence of
+    /// overlap), matching the metric's use as an average over many pairs.
+    pub fn pair(&self, qi: QueryId, qj: QueryId) -> f64 {
+        let pi = &self.clicked[qi.index()];
+        let pj = &self.clicked[qj.index()];
+        if pi.is_empty() || pj.is_empty() {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        for &a in pi {
+            for &b in pj {
+                total += self.page_similarity(a, b);
+            }
+        }
+        1.0 - total / (pi.len() * pj.len()) as f64
+    }
+
+    /// The list diversity `D(L)` of Eq. 33. Lists with fewer than two
+    /// suggestions have no pairs; the paper's figures start at k = 2, and
+    /// we return 0 for the degenerate case.
+    pub fn list(&self, suggestions: &[QueryId]) -> f64 {
+        let n = suggestions.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for (i, &qi) in suggestions.iter().enumerate() {
+            for (j, &qj) in suggestions.iter().enumerate() {
+                if i != j {
+                    total += self.pair(qi, qj);
+                }
+            }
+        }
+        total / (n * (n - 1)) as f64
+    }
+
+    /// `D` over the top-k prefix.
+    pub fn at_k(&self, suggestions: &[QueryId], k: usize) -> f64 {
+        self.list(&suggestions[..suggestions.len().min(k)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_querylog::{LogEntry, UserId};
+
+    /// Two facets with facet-specific page vocabularies; q0/q1 click java
+    /// pages, q2 clicks an astro page.
+    fn setup() -> (QueryLog, DiversityMetric) {
+        let entries = vec![
+            LogEntry::new(UserId(0), "java runtime", Some("java.com"), 0),
+            LogEntry::new(UserId(0), "jdk install", Some("jdk.com"), 1),
+            LogEntry::new(UserId(1), "star charts", Some("astro.org"), 2),
+        ];
+        let log = QueryLog::from_entries(&entries);
+        let fields = |u: UrlId| log.url_text(u).to_owned();
+        let url_fields: Vec<Vec<String>> = (0..log.num_urls())
+            .map(|u| {
+                let url = fields(UrlId::from_index(u));
+                if url.contains("astro") {
+                    vec!["star".into(), "sky".into(), "telescope".into()]
+                } else {
+                    vec!["java".into(), "jdk".into(), "code".into()]
+                }
+            })
+            .collect();
+        let m = DiversityMetric::new(&log, &url_fields);
+        (log, m)
+    }
+
+    #[test]
+    fn same_facet_pages_are_similar() {
+        let (_, m) = setup();
+        let s = m.page_similarity(UrlId(0), UrlId(1));
+        assert!(s > 0.9, "same-vocabulary pages: {s}");
+        let c = m.page_similarity(UrlId(0), UrlId(2));
+        assert!(c < 0.05, "cross-facet pages: {c}");
+    }
+
+    #[test]
+    fn cross_facet_pairs_are_diverse() {
+        let (log, m) = setup();
+        let java = log.find_query("java runtime").unwrap();
+        let jdk = log.find_query("jdk install").unwrap();
+        let star = log.find_query("star charts").unwrap();
+        assert!(m.pair(java, star) > 0.9);
+        assert!(m.pair(java, jdk) < 0.1);
+    }
+
+    #[test]
+    fn pair_is_symmetric() {
+        let (log, m) = setup();
+        let a = log.find_query("java runtime").unwrap();
+        let b = log.find_query("star charts").unwrap();
+        assert!((m.pair(a, b) - m.pair(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diverse_list_scores_higher() {
+        let (log, m) = setup();
+        let java = log.find_query("java runtime").unwrap();
+        let jdk = log.find_query("jdk install").unwrap();
+        let star = log.find_query("star charts").unwrap();
+        let homogeneous = m.list(&[java, jdk]);
+        let diverse = m.list(&[java, star]);
+        assert!(diverse > homogeneous);
+        // Mixed list sits between.
+        let mixed = m.list(&[java, jdk, star]);
+        assert!(mixed > homogeneous && mixed < diverse);
+    }
+
+    #[test]
+    fn degenerate_lists_score_zero() {
+        let (log, m) = setup();
+        let java = log.find_query("java runtime").unwrap();
+        assert_eq!(m.list(&[]), 0.0);
+        assert_eq!(m.list(&[java]), 0.0);
+    }
+
+    #[test]
+    fn clickless_queries_are_neutral() {
+        let entries = vec![
+            LogEntry::new(UserId(0), "clicked", Some("a.com"), 0),
+            LogEntry::new(UserId(0), "unclicked", None, 1),
+        ];
+        let log = QueryLog::from_entries(&entries);
+        let m = DiversityMetric::new(&log, &[vec!["x".into()]]);
+        let a = log.find_query("clicked").unwrap();
+        let b = log.find_query("unclicked").unwrap();
+        assert_eq!(m.pair(a, b), 1.0);
+    }
+
+    #[test]
+    fn at_k_truncates() {
+        let (log, m) = setup();
+        let java = log.find_query("java runtime").unwrap();
+        let jdk = log.find_query("jdk install").unwrap();
+        let star = log.find_query("star charts").unwrap();
+        let l = [java, jdk, star];
+        assert_eq!(m.at_k(&l, 2), m.list(&[java, jdk]));
+        assert_eq!(m.at_k(&l, 10), m.list(&l));
+    }
+}

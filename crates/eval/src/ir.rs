@@ -1,0 +1,131 @@
+//! Standard IR ranking metrics: precision@k, MRR, MAP and nDCG.
+//!
+//! The paper's own metrics are domain-specific (Diversity, Relevance, PPR,
+//! HPR); these general-purpose utilities support the extension experiments
+//! (e.g. ranking-quality ablations against ground-truth facet labels) —
+//! and fill the "fewer IR eval libs in Rust" gap the reproduction brief
+//! calls out.
+
+/// Precision@k: fraction of the top-k items that are relevant.
+/// `relevant(i)` judges the item at rank `i` (0-based). Returns 0 for an
+/// empty prefix.
+pub fn precision_at_k(len: usize, k: usize, relevant: impl Fn(usize) -> bool) -> f64 {
+    let n = len.min(k);
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n).filter(|&i| relevant(i)).count() as f64 / n as f64
+}
+
+/// Reciprocal rank of the first relevant item (1-based), 0 when none.
+pub fn reciprocal_rank(len: usize, relevant: impl Fn(usize) -> bool) -> f64 {
+    (0..len)
+        .find(|&i| relevant(i))
+        .map(|i| 1.0 / (i + 1) as f64)
+        .unwrap_or(0.0)
+}
+
+/// Average precision: mean of precision@(rank of each relevant item), over
+/// `total_relevant` (0 when `total_relevant` is 0).
+pub fn average_precision(
+    len: usize,
+    total_relevant: usize,
+    relevant: impl Fn(usize) -> bool,
+) -> f64 {
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for i in 0..len {
+        if relevant(i) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total_relevant as f64
+}
+
+/// DCG@k with graded gains: `Σ gain(i) / log2(i + 2)`.
+pub fn dcg_at_k(gains: &[f64], k: usize) -> f64 {
+    gains
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, g)| g / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// nDCG@k: DCG normalized by the ideal (descending-gain) DCG. Returns 0
+/// when the ideal DCG is 0 (no relevant items at all).
+pub fn ndcg_at_k(gains: &[f64], k: usize) -> f64 {
+    let dcg = dcg_at_k(gains, k);
+    let mut ideal = gains.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let idcg = dcg_at_k(&ideal, k);
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_basics() {
+        let rel = [true, false, true, true];
+        let f = |i: usize| rel[i];
+        assert_eq!(precision_at_k(4, 1, f), 1.0);
+        assert_eq!(precision_at_k(4, 2, f), 0.5);
+        assert_eq!(precision_at_k(4, 4, f), 0.75);
+        assert_eq!(precision_at_k(0, 3, f), 0.0);
+        // k beyond the list length uses what exists.
+        assert_eq!(precision_at_k(4, 10, f), 0.75);
+    }
+
+    #[test]
+    fn mrr_basics() {
+        assert_eq!(reciprocal_rank(3, |i| i == 0), 1.0);
+        assert_eq!(reciprocal_rank(3, |i| i == 2), 1.0 / 3.0);
+        assert_eq!(reciprocal_rank(3, |_| false), 0.0);
+    }
+
+    #[test]
+    fn average_precision_matches_hand_computation() {
+        // Relevant at ranks 1 and 3 (1-based), 3 relevant overall.
+        let rel = [true, false, true];
+        let ap = average_precision(3, 3, |i| rel[i]);
+        let expected = (1.0 / 1.0 + 2.0 / 3.0) / 3.0;
+        assert!((ap - expected).abs() < 1e-12);
+        assert_eq!(average_precision(3, 0, |i| rel[i]), 0.0);
+    }
+
+    #[test]
+    fn perfect_ranking_has_unit_ndcg() {
+        let gains = [3.0, 2.0, 1.0, 0.0];
+        assert!((ndcg_at_k(&gains, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worse_rankings_have_lower_ndcg() {
+        let perfect = [3.0, 2.0, 1.0];
+        let inverted = [1.0, 2.0, 3.0];
+        assert!(ndcg_at_k(&inverted, 3) < ndcg_at_k(&perfect, 3));
+        assert!(ndcg_at_k(&inverted, 3) > 0.0);
+    }
+
+    #[test]
+    fn all_zero_gains_score_zero() {
+        assert_eq!(ndcg_at_k(&[0.0, 0.0], 2), 0.0);
+    }
+
+    #[test]
+    fn dcg_discounts_by_rank() {
+        let early = dcg_at_k(&[1.0, 0.0], 2);
+        let late = dcg_at_k(&[0.0, 1.0], 2);
+        assert!(early > late);
+    }
+}

@@ -1,0 +1,41 @@
+//! Evaluation metrics for the PQS-DA reproduction — every measure the
+//! paper's §VI reports, plus standard IR utilities:
+//!
+//! * [`diversity`] — the Diversity metric of Eq. 32–33 (pairwise clicked-
+//!   page dissimilarity averaged over the suggestion list);
+//! * [`relevance`] — the ODP category common-prefix Relevance of Eq. 34;
+//! * [`ppr`] — Pseudo Personalized Relevance: cosine similarity between a
+//!   suggested query's words and the high-quality fields of the pages
+//!   clicked in the test session (§VI-C.2);
+//! * [`hpr`] — Human Personalized Relevance on the paper's 6-point scale,
+//!   with the human experts replaced by a ground-truth oracle rater with
+//!   bounded noise (see DESIGN.md §4);
+//! * [`ir`] — nDCG, MAP, MRR and precision@k (general-purpose IR
+//!   utilities for the extension experiments);
+//! * [`diversity_ir`] — α-nDCG and intent-aware precision, the standard
+//!   diversity-IR metrics graded by the synthetic facet ground truth;
+//! * [`significance`] — paired randomization tests and bootstrap CIs
+//!   backing the paper's "significantly outperforms" claims.
+//!
+//! Held-out perplexity (Eq. 35) lives in `pqsda_topics::model::perplexity`
+//! next to the models it evaluates.
+
+// Index-style loops are deliberate throughout this crate: the code mirrors
+// the paper's matrix/count-table notation (rows, columns, topic indices),
+// where explicit indices are clearer than iterator chains.
+#![allow(clippy::needless_range_loop)]
+
+pub mod diversity;
+pub mod diversity_ir;
+pub mod hpr;
+pub mod ir;
+pub mod ppr;
+pub mod relevance;
+pub mod significance;
+
+pub use diversity::DiversityMetric;
+pub use hpr::{HprRater, HprConfig};
+pub use ppr::PprMetric;
+pub use diversity_ir::{alpha_ndcg_at_k, intent_aware_precision_at_k};
+pub use relevance::relevance_at_k;
+pub use significance::{paired_bootstrap_ci, paired_randomization_test, SignificanceResult};

@@ -1,0 +1,158 @@
+//! PPR — Pseudo Personalized Relevance (paper §VI-C.2).
+//!
+//! "The PPR value is calculated as the cosine similarity between the word
+//! vectors of the suggested query and the high-quality fields (i.e., the
+//! HTML title and document title) of the clicked Web pages in the same
+//! [test] session." A high PPR means the suggestion matches what the user
+//! actually went on to click — personalized relevance without human
+//! judges.
+
+use pqsda_querylog::{QueryId, QueryLog, UrlId};
+use std::collections::HashMap;
+
+/// Precomputed field vectors for PPR scoring.
+#[derive(Clone, Debug)]
+pub struct PprMetric {
+    /// Per-URL field term counts keyed by term *string* hash id.
+    url_vectors: Vec<HashMap<String, f64>>,
+}
+
+impl PprMetric {
+    /// Builds from per-URL field terms (ground truth of the synthetic log).
+    pub fn new(url_fields: &[Vec<String>]) -> Self {
+        let url_vectors = url_fields
+            .iter()
+            .map(|fields| {
+                let mut m: HashMap<String, f64> = HashMap::new();
+                for f in fields {
+                    *m.entry(f.clone()).or_insert(0.0) += 1.0;
+                }
+                m
+            })
+            .collect();
+        PprMetric { url_vectors }
+    }
+
+    /// Cosine similarity between a suggested query's words and one clicked
+    /// page's fields.
+    pub fn query_page(&self, log: &QueryLog, suggestion: QueryId, page: UrlId) -> f64 {
+        let words: Vec<&str> = log
+            .query_terms(suggestion)
+            .iter()
+            .map(|&t| log.term_text(t))
+            .collect();
+        if words.is_empty() {
+            return 0.0;
+        }
+        let mut qv: HashMap<&str, f64> = HashMap::new();
+        for w in words {
+            *qv.entry(w).or_insert(0.0) += 1.0;
+        }
+        let pv = &self.url_vectors[page.index()];
+        let dot: f64 = qv
+            .iter()
+            .filter_map(|(w, c)| pv.get(*w).map(|p| c * p))
+            .sum();
+        let nq: f64 = qv.values().map(|v| v * v).sum::<f64>().sqrt();
+        let np: f64 = pv.values().map(|v| v * v).sum::<f64>().sqrt();
+        if nq == 0.0 || np == 0.0 {
+            0.0
+        } else {
+            dot / (nq * np)
+        }
+    }
+
+    /// PPR of one suggestion against a test session's clicked pages
+    /// (average over the pages; 0 when the session clicked nothing).
+    pub fn suggestion(&self, log: &QueryLog, suggestion: QueryId, clicked: &[UrlId]) -> f64 {
+        if clicked.is_empty() {
+            return 0.0;
+        }
+        clicked
+            .iter()
+            .map(|&u| self.query_page(log, suggestion, u))
+            .sum::<f64>()
+            / clicked.len() as f64
+    }
+
+    /// Mean PPR over the top-k suggestions.
+    pub fn at_k(
+        &self,
+        log: &QueryLog,
+        suggestions: &[QueryId],
+        clicked: &[UrlId],
+        k: usize,
+    ) -> f64 {
+        let prefix = &suggestions[..suggestions.len().min(k)];
+        if prefix.is_empty() {
+            return 0.0;
+        }
+        prefix
+            .iter()
+            .map(|&s| self.suggestion(log, s, clicked))
+            .sum::<f64>()
+            / prefix.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_querylog::{LogEntry, UserId};
+
+    fn setup() -> (QueryLog, PprMetric) {
+        let entries = vec![
+            LogEntry::new(UserId(0), "java runtime download", Some("java.com"), 0),
+            LogEntry::new(UserId(0), "star telescope", Some("astro.org"), 1),
+        ];
+        let log = QueryLog::from_entries(&entries);
+        let url_fields = vec![
+            vec!["java".into(), "runtime".into(), "jdk".into()],
+            vec!["star".into(), "sky".into()],
+        ];
+        (log, PprMetric::new(&url_fields))
+    }
+
+    #[test]
+    fn matching_suggestion_scores_high() {
+        let (log, m) = setup();
+        let java = log.find_query("java runtime download").unwrap();
+        let s = m.query_page(&log, java, UrlId(0));
+        assert!(s > 0.6, "matching query vs page: {s}");
+    }
+
+    #[test]
+    fn mismatched_suggestion_scores_zero() {
+        let (log, m) = setup();
+        let java = log.find_query("java runtime download").unwrap();
+        assert_eq!(m.query_page(&log, java, UrlId(1)), 0.0);
+    }
+
+    #[test]
+    fn session_average_over_pages() {
+        let (log, m) = setup();
+        let java = log.find_query("java runtime download").unwrap();
+        let both = m.suggestion(&log, java, &[UrlId(0), UrlId(1)]);
+        let only = m.suggestion(&log, java, &[UrlId(0)]);
+        assert!((both - only / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clickless_session_scores_zero() {
+        let (log, m) = setup();
+        let java = log.find_query("java runtime download").unwrap();
+        assert_eq!(m.suggestion(&log, java, &[]), 0.0);
+    }
+
+    #[test]
+    fn at_k_averages_prefix() {
+        let (log, m) = setup();
+        let java = log.find_query("java runtime download").unwrap();
+        let star = log.find_query("star telescope").unwrap();
+        let clicked = [UrlId(0)];
+        let k1 = m.at_k(&log, &[java, star], &clicked, 1);
+        let k2 = m.at_k(&log, &[java, star], &clicked, 2);
+        assert!(k1 > k2, "adding the mismatch dilutes: {k1} vs {k2}");
+        assert_eq!(m.at_k(&log, &[], &clicked, 3), 0.0);
+    }
+}

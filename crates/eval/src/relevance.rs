@@ -1,0 +1,83 @@
+//! The Relevance metric (paper Eq. 34): ODP category common-prefix ratio
+//! between the input query and each suggestion, averaged over the top-k.
+//!
+//! The category machinery itself lives in `pqsda_querylog::taxonomy`; this
+//! module provides the list-level aggregation the paper's Fig. 3(c,d)
+//! reports.
+
+use pqsda_querylog::{QueryId, Taxonomy};
+
+/// Mean `R(input, s)` over the top-k suggestions (Eq. 34 averaged over the
+/// list prefix). An empty prefix scores 0.
+pub fn relevance_at_k(
+    taxonomy: &Taxonomy,
+    input: QueryId,
+    suggestions: &[QueryId],
+    k: usize,
+) -> f64 {
+    let prefix = &suggestions[..suggestions.len().min(k)];
+    if prefix.is_empty() {
+        return 0.0;
+    }
+    prefix
+        .iter()
+        .map(|&s| taxonomy.relevance(input, s))
+        .sum::<f64>()
+        / prefix.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn taxonomy() -> Taxonomy {
+        let mut t = Taxonomy::new();
+        t.assign(QueryId(0), &["Top", "Computers", "Java"]);
+        t.assign(QueryId(1), &["Top", "Computers", "Java"]);
+        t.assign(QueryId(2), &["Top", "Computers", "Hardware"]);
+        t.assign(QueryId(3), &["Top", "Science", "Astronomy"]);
+        t
+    }
+
+    #[test]
+    fn averages_over_prefix() {
+        let t = taxonomy();
+        let suggestions = [QueryId(1), QueryId(2), QueryId(3)];
+        // R values: 1.0, 2/3, 1/3.
+        assert!((relevance_at_k(&t, QueryId(0), &suggestions, 1) - 1.0).abs() < 1e-12);
+        assert!(
+            (relevance_at_k(&t, QueryId(0), &suggestions, 2) - (1.0 + 2.0 / 3.0) / 2.0).abs()
+                < 1e-12
+        );
+        assert!(
+            (relevance_at_k(&t, QueryId(0), &suggestions, 3) - (2.0) / 3.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn k_beyond_length_uses_whole_list() {
+        let t = taxonomy();
+        let suggestions = [QueryId(1)];
+        assert_eq!(
+            relevance_at_k(&t, QueryId(0), &suggestions, 10),
+            relevance_at_k(&t, QueryId(0), &suggestions, 1)
+        );
+    }
+
+    #[test]
+    fn empty_list_scores_zero() {
+        let t = taxonomy();
+        assert_eq!(relevance_at_k(&t, QueryId(0), &[], 5), 0.0);
+    }
+
+    #[test]
+    fn relevance_decreases_for_worse_lists() {
+        let t = taxonomy();
+        let good = [QueryId(1), QueryId(2)];
+        let bad = [QueryId(3), QueryId(3)];
+        assert!(
+            relevance_at_k(&t, QueryId(0), &good, 2)
+                > relevance_at_k(&t, QueryId(0), &bad, 2)
+        );
+    }
+}

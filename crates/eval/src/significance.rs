@@ -1,0 +1,176 @@
+//! Paired significance testing for system comparisons.
+//!
+//! The paper reports that PQS-DA "significantly outperforms several strong
+//! baselines"; this module supplies the machinery to back such claims on
+//! per-query/per-session paired scores:
+//!
+//! * a **paired randomization (permutation) test** — the standard IR
+//!   significance test (Smucker et al., CIKM 2007): under H₀ the sign of
+//!   each per-item difference is exchangeable, so the p-value is the
+//!   fraction of random sign flips whose mean |difference| reaches the
+//!   observed one;
+//! * a **paired bootstrap** confidence interval for the mean difference.
+//!
+//! Both are seeded and deterministic.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a paired randomization test.
+#[derive(Clone, Copy, Debug)]
+pub struct SignificanceResult {
+    /// Mean of `a − b` over the pairs.
+    pub mean_difference: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Number of pairs.
+    pub n: usize,
+}
+
+/// Two-sided paired randomization test for `mean(a) ≠ mean(b)`.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn paired_randomization_test(
+    a: &[f64],
+    b: &[f64],
+    rounds: usize,
+    seed: u64,
+) -> SignificanceResult {
+    assert_eq!(a.len(), b.len(), "paired test: length mismatch");
+    assert!(!a.is_empty(), "paired test: no pairs");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let n = diffs.len();
+    let observed = diffs.iter().sum::<f64>() / n as f64;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut extreme = 0usize;
+    for _ in 0..rounds {
+        let mut sum = 0.0;
+        for &d in &diffs {
+            sum += if rng.gen::<bool>() { d } else { -d };
+        }
+        if (sum / n as f64).abs() >= observed.abs() - 1e-15 {
+            extreme += 1;
+        }
+    }
+    SignificanceResult {
+        mean_difference: observed,
+        // +1 smoothing keeps the estimate conservative and non-zero.
+        p_value: (extreme + 1) as f64 / (rounds + 1) as f64,
+        n,
+    }
+}
+
+/// Percentile bootstrap confidence interval for the mean of `a − b`.
+/// Returns `(low, high)` at the given confidence level (e.g. 0.95).
+///
+/// # Panics
+/// Panics on mismatched/empty inputs or a confidence outside (0, 1).
+pub fn paired_bootstrap_ci(
+    a: &[f64],
+    b: &[f64],
+    rounds: usize,
+    confidence: f64,
+    seed: u64,
+) -> (f64, f64) {
+    assert_eq!(a.len(), b.len(), "bootstrap: length mismatch");
+    assert!(!a.is_empty(), "bootstrap: no pairs");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "bootstrap: confidence must be in (0, 1)"
+    );
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let n = diffs.len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut means: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let mut sum = 0.0;
+            for _ in 0..n {
+                sum += diffs[rng.gen_range(0..n)];
+            }
+            sum / n as f64
+        })
+        .collect();
+    means.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((rounds as f64) * alpha) as usize;
+    let hi_idx = (((rounds as f64) * (1.0 - alpha)) as usize).min(rounds - 1);
+    (means[lo_idx], means[hi_idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(n: usize, base: f64, lift: f64, noise_seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = SmallRng::seed_from_u64(noise_seed);
+        let b: Vec<f64> = (0..n).map(|_| base + rng.gen::<f64>() * 0.1).collect();
+        let a: Vec<f64> = b.iter().map(|x| x + lift).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn clear_improvement_is_significant() {
+        let (a, b) = scores(50, 0.5, 0.2, 1);
+        let r = paired_randomization_test(&a, &b, 2_000, 7);
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+        assert!((r.mean_difference - 0.2).abs() < 1e-9);
+        assert_eq!(r.n, 50);
+    }
+
+    #[test]
+    fn identical_systems_are_not_significant() {
+        let (_, b) = scores(50, 0.5, 0.0, 2);
+        let r = paired_randomization_test(&b, &b, 2_000, 7);
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+        assert_eq!(r.mean_difference, 0.0);
+    }
+
+    #[test]
+    fn noise_only_difference_is_not_significant() {
+        // Differences symmetric around zero.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a: Vec<f64> = (0..60).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..60).map(|_| rng.gen::<f64>()).collect();
+        let r = paired_randomization_test(&a, &b, 2_000, 7);
+        assert!(r.p_value > 0.05, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn test_is_deterministic() {
+        let (a, b) = scores(30, 0.4, 0.05, 4);
+        let r1 = paired_randomization_test(&a, &b, 1_000, 11);
+        let r2 = paired_randomization_test(&a, &b, 1_000, 11);
+        assert_eq!(r1.p_value, r2.p_value);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_true_lift() {
+        // Per-item noisy lift averaging 0.1.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let b: Vec<f64> = (0..200).map(|_| 0.5 + rng.gen::<f64>() * 0.1).collect();
+        let a: Vec<f64> = b
+            .iter()
+            .map(|x| x + 0.1 + (rng.gen::<f64>() - 0.5) * 0.05)
+            .collect();
+        let (lo, hi) = paired_bootstrap_ci(&a, &b, 2_000, 0.95, 13);
+        assert!(lo <= 0.1 && 0.1 <= hi, "CI [{lo}, {hi}]");
+        assert!(lo > 0.0, "a clear improvement excludes zero: [{lo}, {hi}]");
+        assert!(hi - lo > 0.0, "noisy data gives a non-degenerate CI");
+    }
+
+    #[test]
+    fn bootstrap_ci_of_no_effect_contains_zero() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let a: Vec<f64> = (0..100).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + (rng.gen::<f64>() - 0.5) * 0.01).collect();
+        let (lo, hi) = paired_bootstrap_ci(&a, &b, 2_000, 0.95, 13);
+        assert!(lo <= 0.0 && 0.0 <= hi, "CI [{lo}, {hi}]");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_rejected() {
+        paired_randomization_test(&[1.0], &[1.0, 2.0], 10, 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Truncated expected hitting time (paper Eq. 17; Mei et al. \[14\]).
+//!
+//! For a random walk with query→query transition matrix `P` and a target
+//! set `S`, the expected hitting time satisfies
+//!
+//! ```text
+//! h(i | S) = 0                               for i ∈ S
+//! h(i | S) = 1 + Σ_j P(i, j) · h(j | S)      for i ∉ S
+//! ```
+//!
+//! computed here by the standard truncated fixed-point iteration: `h₀ = 0`
+//! and `l` sweeps of the recurrence, so `h_l(i)` is the expected number of
+//! steps *capped at the horizon `l`* — exactly the iteration of the paper's
+//! Algorithm 1 (lines 5–8). Far-away or unreachable queries saturate at the
+//! horizon, which is what makes arg-max hitting time a diversity signal:
+//! queries well-connected to the already-selected set `S` hit it quickly
+//! and are suppressed.
+
+use pqsda_linalg::csr::CsrMatrix;
+
+/// Computes truncated hitting times to `targets` for every node.
+///
+/// Dead-end nodes (all-zero transition rows) are treated as self-looping,
+/// so their hitting time saturates at the horizon instead of sticking at 1.
+///
+/// # Panics
+/// Panics if the matrix is not square, `targets` is empty, or a target is
+/// out of range.
+pub fn truncated_hitting_time(
+    transition: &CsrMatrix,
+    targets: &[usize],
+    iterations: usize,
+) -> Vec<f64> {
+    let n = transition.rows();
+    assert_eq!(n, transition.cols(), "hitting time: matrix must be square");
+    assert!(!targets.is_empty(), "hitting time: empty target set");
+    let mut in_target = vec![false; n];
+    for &t in targets {
+        assert!(t < n, "hitting time: target {t} out of range");
+        in_target[t] = true;
+    }
+
+    let mut h = vec![0.0; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..iterations {
+        for i in 0..n {
+            if in_target[i] {
+                next[i] = 0.0;
+                continue;
+            }
+            let (cols, vals) = transition.row(i);
+            if cols.is_empty() {
+                // Dead end: self-loop.
+                next[i] = 1.0 + h[i];
+                continue;
+            }
+            let mut acc = 0.0;
+            let mut mass = 0.0;
+            for (&j, &p) in cols.iter().zip(vals) {
+                acc += p * h[j as usize];
+                mass += p;
+            }
+            // Sub-stochastic rows leak mass out of the graph; treat the
+            // leaked mass as self-loop so the estimate stays conservative.
+            if mass < 1.0 {
+                acc += (1.0 - mass) * h[i];
+            }
+            next[i] = 1.0 + acc;
+        }
+        std::mem::swap(&mut h, &mut next);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_linalg::csr::CooBuilder;
+
+    /// Symmetric 4-chain 0 – 1 – 2 – 3 with uniform transitions.
+    fn chain4() -> CsrMatrix {
+        let mut b = CooBuilder::new(4, 4);
+        b.push(0, 1, 1.0);
+        b.push(1, 0, 0.5);
+        b.push(1, 2, 0.5);
+        b.push(2, 1, 0.5);
+        b.push(2, 3, 0.5);
+        b.push(3, 2, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn targets_have_zero_hitting_time() {
+        let h = truncated_hitting_time(&chain4(), &[0], 50);
+        assert_eq!(h[0], 0.0);
+    }
+
+    #[test]
+    fn hitting_time_grows_with_distance() {
+        let h = truncated_hitting_time(&chain4(), &[0], 200);
+        assert!(h[1] < h[2] && h[2] < h[3], "{h:?}");
+    }
+
+    #[test]
+    fn chain_hitting_times_match_closed_form() {
+        // For a simple symmetric random walk on a path with target at 0,
+        // h(k) = k² … actually for the reflecting end at 3:
+        // h(1) = 2*3-1 = 5, h(2) = 8, h(3) = 9 (gambler's-ruin style).
+        let h = truncated_hitting_time(&chain4(), &[0], 5_000);
+        assert!((h[1] - 5.0).abs() < 1e-6, "{h:?}");
+        assert!((h[2] - 8.0).abs() < 1e-6, "{h:?}");
+        assert!((h[3] - 9.0).abs() < 1e-6, "{h:?}");
+    }
+
+    #[test]
+    fn truncation_caps_at_horizon() {
+        let h = truncated_hitting_time(&chain4(), &[0], 3);
+        assert!(h.iter().all(|&x| x <= 3.0));
+    }
+
+    #[test]
+    fn multiple_targets_reduce_hitting_time() {
+        let single = truncated_hitting_time(&chain4(), &[0], 500);
+        let double = truncated_hitting_time(&chain4(), &[0, 3], 500);
+        assert!(double[1] <= single[1]);
+        assert!(double[2] < single[2]);
+        assert_eq!(double[3], 0.0);
+    }
+
+    #[test]
+    fn unreachable_nodes_saturate() {
+        // Two components: {0,1} and {2,3}; target in the first.
+        let mut b = CooBuilder::new(4, 4);
+        b.push(0, 1, 1.0);
+        b.push(1, 0, 1.0);
+        b.push(2, 3, 1.0);
+        b.push(3, 2, 1.0);
+        let t = b.build();
+        let l = 40;
+        let h = truncated_hitting_time(&t, &[0], l);
+        assert_eq!(h[2], l as f64);
+        assert_eq!(h[3], l as f64);
+        assert_eq!(h[1], 1.0);
+    }
+
+    #[test]
+    fn dead_ends_saturate() {
+        let mut b = CooBuilder::new(3, 3);
+        b.push(0, 1, 1.0); // 1 is a dead end
+        b.push(2, 0, 1.0);
+        let t = b.build();
+        let h = truncated_hitting_time(&t, &[0], 25);
+        assert_eq!(h[1], 25.0, "dead end must saturate, got {}", h[1]);
+        assert_eq!(h[2], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty target set")]
+    fn rejects_empty_targets() {
+        truncated_hitting_time(&chain4(), &[], 10);
+    }
+
+    #[test]
+    fn closer_connectivity_means_smaller_hitting_time() {
+        // Star: 0 is the hub; leaf 3 has a weak link.
+        let mut b = CooBuilder::new(4, 4);
+        b.push(1, 0, 1.0);
+        b.push(2, 0, 0.9);
+        b.push(2, 3, 0.1);
+        b.push(3, 2, 1.0);
+        b.push(0, 1, 0.5);
+        b.push(0, 2, 0.5);
+        let t = b.build();
+        let h = truncated_hitting_time(&t, &[0], 300);
+        assert!(h[1] < h[3] && h[2] < h[3]);
+    }
+}

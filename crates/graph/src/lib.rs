@@ -1,0 +1,35 @@
+//! Query-log graph representations for the PQS-DA reproduction.
+//!
+//! Implements the paper's §III and §IV-A:
+//!
+//! * [`bipartite`] — a generic query–entity bipartite with raw co-occurrence
+//!   counts, plus the three builders: query–URL (the classic click graph),
+//!   query–session and query–term;
+//! * [`weighting`] — the inverse-query-frequency weights `iqf^U`, `iqf^S`,
+//!   `iqf^T` (Eq. 1–3) and the `cfiqf` edge weighting (Eq. 4–6);
+//! * [`multi`] — the multi-bipartite representation bundling the three
+//!   bipartites (Fig. 2);
+//! * [`compact`] — the compact representation grown from the input query
+//!   and its search context by random-walk expansion (§IV-A);
+//! * [`walk`] — two-step query→query transition matrices and truncated
+//!   random walks (used by the FRW/BRW/DQS baselines and the cross-bipartite
+//!   walker);
+//! * [`hitting`] — truncated expected-hitting-time iteration (Eq. 17's
+//!   single-graph special case; Mei et al.'s method).
+
+// Index-style loops are deliberate throughout this crate: the code mirrors
+// the paper's matrix/count-table notation (rows, columns, topic indices),
+// where explicit indices are clearer than iterator chains.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bipartite;
+pub mod compact;
+pub mod hitting;
+pub mod multi;
+pub mod walk;
+pub mod weighting;
+
+pub use bipartite::{Bipartite, EntityKind};
+pub use compact::{CompactMulti, CompactConfig};
+pub use multi::MultiBipartite;
+pub use weighting::WeightingScheme;

@@ -1,0 +1,208 @@
+//! The multi-bipartite query-log representation (paper §III, Fig. 2).
+//!
+//! Bundles the query–URL, query–session and query–term bipartites over a
+//! shared query index, in either raw or `cfiqf`-weighted form, and exposes
+//! the per-bipartite structures the diversification component consumes.
+
+use crate::bipartite::{Bipartite, EntityKind};
+use crate::weighting::{apply_scheme, WeightingScheme};
+use pqsda_querylog::{QueryLog, Session};
+
+/// The three bipartites of Fig. 2 over one query vocabulary.
+#[derive(Clone, Debug)]
+pub struct MultiBipartite {
+    url: Bipartite,
+    session: Bipartite,
+    term: Bipartite,
+    scheme: WeightingScheme,
+}
+
+impl MultiBipartite {
+    /// Builds the representation from a sessionized log.
+    ///
+    /// # Panics
+    /// Panics if records lack session assignments.
+    pub fn build(log: &QueryLog, sessions: &[Session], scheme: WeightingScheme) -> Self {
+        let url = apply_scheme(&Bipartite::query_url(log), scheme, log);
+        let session = apply_scheme(&Bipartite::query_session(log, sessions), scheme, log);
+        let term = apply_scheme(&Bipartite::query_term(log), scheme, log);
+        MultiBipartite {
+            url,
+            session,
+            term,
+            scheme,
+        }
+    }
+
+    /// Wraps three prebuilt bipartites (must share the query count).
+    pub fn from_parts(
+        url: Bipartite,
+        session: Bipartite,
+        term: Bipartite,
+        scheme: WeightingScheme,
+    ) -> Self {
+        assert_eq!(url.num_queries(), session.num_queries());
+        assert_eq!(url.num_queries(), term.num_queries());
+        assert_eq!(url.kind(), EntityKind::Url);
+        assert_eq!(session.kind(), EntityKind::Session);
+        assert_eq!(term.kind(), EntityKind::Term);
+        MultiBipartite {
+            url,
+            session,
+            term,
+            scheme,
+        }
+    }
+
+    /// The bipartite for a kind.
+    pub fn get(&self, kind: EntityKind) -> &Bipartite {
+        match kind {
+            EntityKind::Url => &self.url,
+            EntityKind::Session => &self.session,
+            EntityKind::Term => &self.term,
+        }
+    }
+
+    /// Iterates the three bipartites in `{U, S, T}` order.
+    pub fn iter(&self) -> impl Iterator<Item = &Bipartite> {
+        [&self.url, &self.session, &self.term].into_iter()
+    }
+
+    /// Shared query count.
+    pub fn num_queries(&self) -> usize {
+        self.url.num_queries()
+    }
+
+    /// The weighting this representation was built with.
+    pub fn scheme(&self) -> WeightingScheme {
+        self.scheme
+    }
+
+    /// Total edges across the three bipartites — the coverage advantage
+    /// over the click graph alone.
+    pub fn total_edges(&self) -> usize {
+        self.iter().map(Bipartite::num_edges).sum()
+    }
+
+    /// The set of queries reachable from `q` through any single bipartite
+    /// in one query→entity→query hop (the paper's Fig. 2 walk-through).
+    pub fn one_hop_neighbors(&self, q: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.num_queries()];
+        let mut out = Vec::new();
+        for b in self.iter() {
+            let (entities, _) = b.matrix().row(q);
+            for &e in entities {
+                let (queries, _) = b.transposed().row(e as usize);
+                for &other in queries {
+                    let other = other as usize;
+                    if other != q && !seen[other] {
+                        seen[other] = true;
+                        out.push(other);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_querylog::session::{segment_sessions, SessionConfig};
+    use pqsda_querylog::{LogEntry, QueryLog, UserId};
+
+    fn table_one() -> (QueryLog, Vec<Session>) {
+        let entries = vec![
+            LogEntry::new(UserId(0), "sun", Some("www.java.com"), 100),
+            LogEntry::new(UserId(0), "sun java", Some("java.sun.com"), 120),
+            LogEntry::new(UserId(0), "jvm download", None, 200),
+            LogEntry::new(UserId(1), "sun", Some("www.suncellular.com"), 300),
+            LogEntry::new(UserId(1), "solar cell", Some("en.wikipedia.org"), 400),
+            LogEntry::new(UserId(2), "sun oracle", Some("www.oracle.com"), 500),
+            LogEntry::new(UserId(2), "java", Some("www.java.com"), 560),
+        ];
+        let mut log = QueryLog::from_entries(&entries);
+        let sessions = segment_sessions(&mut log, &SessionConfig::default());
+        (log, sessions)
+    }
+
+    #[test]
+    fn multi_bipartite_reaches_more_than_click_graph() {
+        // The paper's §III walk-through: via the click graph alone, "sun"
+        // reaches only "java"; adding session and term bipartites reaches
+        // "sun java", "jvm download", "solar cell" and "sun oracle" too.
+        let (log, sessions) = table_one();
+        let multi = MultiBipartite::build(&log, &sessions, WeightingScheme::Raw);
+        let sun = log.find_query("sun").unwrap().index();
+
+        // Click-graph only.
+        let click_only = {
+            let b = multi.get(EntityKind::Url);
+            let mut out = std::collections::HashSet::new();
+            let (urls, _) = b.matrix().row(sun);
+            for &u in urls {
+                let (qs, _) = b.transposed().row(u as usize);
+                for &q in qs {
+                    if q as usize != sun {
+                        out.insert(q as usize);
+                    }
+                }
+            }
+            out
+        };
+        assert_eq!(click_only.len(), 1, "click graph reaches only 'java'");
+
+        let all = multi.one_hop_neighbors(sun);
+        assert_eq!(all.len(), 5, "multi-bipartite reaches every other query");
+    }
+
+    #[test]
+    fn bipartite_kinds_are_wired_correctly() {
+        let (log, sessions) = table_one();
+        let multi = MultiBipartite::build(&log, &sessions, WeightingScheme::CfIqf);
+        assert_eq!(multi.get(EntityKind::Url).kind(), EntityKind::Url);
+        assert_eq!(multi.get(EntityKind::Session).kind(), EntityKind::Session);
+        assert_eq!(multi.get(EntityKind::Term).kind(), EntityKind::Term);
+        assert_eq!(multi.num_queries(), log.num_queries());
+        assert_eq!(multi.scheme(), WeightingScheme::CfIqf);
+    }
+
+    #[test]
+    fn total_edges_sums_three_bipartites() {
+        let (log, sessions) = table_one();
+        let multi = MultiBipartite::build(&log, &sessions, WeightingScheme::Raw);
+        let sum = EntityKind::ALL
+            .iter()
+            .map(|&k| multi.get(k).num_edges())
+            .sum::<usize>();
+        assert_eq!(multi.total_edges(), sum);
+        assert!(multi.total_edges() > multi.get(EntityKind::Url).num_edges());
+    }
+
+    #[test]
+    fn weighted_and_raw_share_structure() {
+        let (log, sessions) = table_one();
+        let raw = MultiBipartite::build(&log, &sessions, WeightingScheme::Raw);
+        let weighted = MultiBipartite::build(&log, &sessions, WeightingScheme::CfIqf);
+        for kind in EntityKind::ALL {
+            assert_eq!(
+                raw.get(kind).num_edges(),
+                weighted.get(kind).num_edges(),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_hop_neighbors_excludes_self_and_sorts() {
+        let (log, sessions) = table_one();
+        let multi = MultiBipartite::build(&log, &sessions, WeightingScheme::Raw);
+        for q in 0..multi.num_queries() {
+            let n = multi.one_hop_neighbors(q);
+            assert!(!n.contains(&q));
+            assert!(n.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Random-walk machinery over bipartites.
+//!
+//! A walker standing on a query moves to an entity with probability
+//! proportional to the edge weight, then from the entity to a query the
+//! same way — the *two-step* query→query transition
+//! `p^X(q_a | q_b)` of §IV-C. The same construction (on the click graph)
+//! underlies the FRW/BRW baselines of Craswell & Szummer \[15\].
+
+use crate::bipartite::Bipartite;
+use pqsda_linalg::csr::CsrMatrix;
+
+/// The two-step query→query transition matrix of a bipartite:
+/// `T = rownorm(W) · rownorm(Wᵀ)`, row-stochastic on every query with at
+/// least one edge (isolated queries get an all-zero row — the walk is
+/// absorbed).
+pub fn two_step_transition(bipartite: &Bipartite) -> CsrMatrix {
+    let q_to_e = bipartite.matrix().row_normalized();
+    let e_to_q = bipartite.transposed().row_normalized();
+    q_to_e.mul(&e_to_q)
+}
+
+/// Forward random walk: starting distribution `start`, take `steps`
+/// two-step transitions with restart probability `restart` back to the
+/// start distribution (the standard "random walk with restart" used to
+/// score suggestion candidates). Returns the final distribution.
+pub fn forward_walk(
+    transition: &CsrMatrix,
+    start: &[f64],
+    steps: usize,
+    restart: f64,
+) -> Vec<f64> {
+    assert_eq!(transition.rows(), transition.cols(), "transition not square");
+    assert_eq!(start.len(), transition.rows(), "start length mismatch");
+    assert!((0.0..=1.0).contains(&restart), "restart out of range");
+    let mut dist = start.to_vec();
+    let mut next = vec![0.0; dist.len()];
+    for _ in 0..steps {
+        // next = (1-restart) * P^T dist + restart * start
+        let prop = transition.mul_vec_transposed(&dist);
+        for i in 0..next.len() {
+            next[i] = (1.0 - restart) * prop[i] + restart * start[i];
+        }
+        std::mem::swap(&mut dist, &mut next);
+    }
+    dist
+}
+
+/// Backward random walk: the probability that a walker *arriving* at the
+/// start set came through each query — computed by walking on the reversed
+/// chain. With a row-stochastic `transition`, this is a forward walk on
+/// `Tᵀ` renormalized per row.
+pub fn backward_walk(
+    transition: &CsrMatrix,
+    start: &[f64],
+    steps: usize,
+    restart: f64,
+) -> Vec<f64> {
+    let reversed = transition.transpose().row_normalized();
+    forward_walk(&reversed, start, steps, restart)
+}
+
+/// One-hot start distribution.
+pub fn one_hot(n: usize, idx: usize) -> Vec<f64> {
+    assert!(idx < n, "one_hot: index out of range");
+    let mut v = vec![0.0; n];
+    v[idx] = 1.0;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::EntityKind;
+    use pqsda_linalg::csr::CooBuilder;
+
+    /// 3 queries, 2 entities: q0–e0, q1–e0, q1–e1, q2–e1.
+    fn chain() -> Bipartite {
+        let mut b = CooBuilder::new(3, 2);
+        b.push(0, 0, 1.0);
+        b.push(1, 0, 1.0);
+        b.push(1, 1, 1.0);
+        b.push(2, 1, 1.0);
+        Bipartite::from_matrix(EntityKind::Url, b.build())
+    }
+
+    #[test]
+    fn two_step_transition_is_row_stochastic() {
+        let t = two_step_transition(&chain());
+        for s in t.row_sums() {
+            assert!((s - 1.0).abs() < 1e-9, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn two_step_transition_values() {
+        let t = two_step_transition(&chain());
+        // From q0: to e0 (prob 1), then to {q0, q1} each 1/2.
+        assert!((t.get(0, 0) - 0.5).abs() < 1e-12);
+        assert!((t.get(0, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(t.get(0, 2), 0.0);
+        // From q1: e0 or e1 each 1/2, then 1/2 each side.
+        assert!((t.get(1, 0) - 0.25).abs() < 1e-12);
+        assert!((t.get(1, 1) - 0.5).abs() < 1e-12);
+        assert!((t.get(1, 2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_walk_conserves_mass() {
+        let t = two_step_transition(&chain());
+        let d = forward_walk(&t, &one_hot(3, 0), 5, 0.2);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(d.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn forward_walk_spreads_from_source() {
+        let t = two_step_transition(&chain());
+        let d = forward_walk(&t, &one_hot(3, 0), 3, 0.0);
+        // Mass reaches q2 only through q1: ordering by graph distance.
+        assert!(d[0] > 0.0 && d[1] > 0.0 && d[2] > 0.0);
+        assert!(d[1] > d[2], "{d:?}");
+    }
+
+    #[test]
+    fn restart_biases_toward_source() {
+        let t = two_step_transition(&chain());
+        let no_restart = forward_walk(&t, &one_hot(3, 0), 10, 0.0);
+        let restart = forward_walk(&t, &one_hot(3, 0), 10, 0.5);
+        assert!(restart[0] > no_restart[0]);
+    }
+
+    #[test]
+    fn zero_steps_returns_start() {
+        let t = two_step_transition(&chain());
+        let start = one_hot(3, 1);
+        assert_eq!(forward_walk(&t, &start, 0, 0.3), start);
+    }
+
+    #[test]
+    fn backward_walk_differs_on_asymmetric_graphs() {
+        // Asymmetric weights: q0 clicks e0 heavily; q1 lightly.
+        let mut b = CooBuilder::new(2, 1);
+        b.push(0, 0, 9.0);
+        b.push(1, 0, 1.0);
+        let bp = Bipartite::from_matrix(EntityKind::Url, b.build());
+        let t = two_step_transition(&bp);
+        let f = forward_walk(&t, &one_hot(2, 0), 1, 0.0);
+        let bwd = backward_walk(&t, &one_hot(2, 0), 1, 0.0);
+        // Forward from q0: P(q1) = 0.1. Backward: reversed chain renormalized.
+        assert!((f[1] - 0.1).abs() < 1e-12);
+        assert!(bwd[1] > 0.0);
+        assert!((f[1] - bwd[1]).abs() > 1e-9, "asymmetry must show");
+    }
+
+    #[test]
+    fn isolated_query_row_is_absorbing() {
+        let mut b = CooBuilder::new(3, 1);
+        b.push(0, 0, 1.0);
+        b.push(1, 0, 1.0);
+        // q2 has no edges.
+        let bp = Bipartite::from_matrix(EntityKind::Url, b.build());
+        let t = two_step_transition(&bp);
+        assert_eq!(t.row(2).0.len(), 0);
+        let d = forward_walk(&t, &one_hot(3, 2), 4, 0.0);
+        // All mass vanishes from the chain (absorbed) except via restart.
+        assert!(d.iter().sum::<f64>() < 1e-9);
+    }
+}

@@ -1,0 +1,250 @@
+//! Inverse-query-frequency edge weighting (paper §III, Eq. 1–6).
+//!
+//! The paper weights each bipartite edge by the product of its raw
+//! co-occurrence count and the *inverse query frequency* of the entity:
+//!
+//! ```text
+//! iqf^X(e_j)        = ln(|Q| / n^X(e_j))                (Eq. 1–3)
+//! cfiqf^X(q_i, e_j) = c^X_ij · iqf^X(e_j)               (Eq. 4–6)
+//! ```
+//!
+//! where `|Q|` is the number of distinct queries in the log and `n^X(e_j)`
+//! the number of distinct queries connected to entity `e_j`. A URL clicked
+//! from many different queries (or a session/term shared by many queries)
+//! is less discriminative and its edges are damped, exactly like IDF damps
+//! common terms.
+
+use crate::bipartite::Bipartite;
+use pqsda_querylog::QueryLog;
+
+/// Raw counts vs. `cfiqf`-weighted edges — the paper's Fig. 3/5 "(raw)" vs
+/// "(weighted)" conditions — plus the entropy-biased weighting of Deng et
+/// al. \[18\] (discussed in the paper's related work) as an extension for
+/// ablation studies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum WeightingScheme {
+    /// Keep raw co-occurrence counts.
+    Raw,
+    /// Apply `cfiqf` (Eq. 4–6).
+    #[default]
+    CfIqf,
+    /// Entropy-biased weighting: damp each entity by the Shannon entropy
+    /// of its query-attachment distribution (see [`entity_entropies`]).
+    EntropyBiased,
+}
+
+/// Computes `iqf^X` for every entity of a bipartite (Eq. 1–3).
+///
+/// Entities connected to **every** query get weight 0 (`ln 1`); entities
+/// with no connections (possible after filtering) also get 0 so they stay
+/// inert rather than infinitely attractive.
+pub fn inverse_query_frequencies(bipartite: &Bipartite, num_queries: usize) -> Vec<f64> {
+    assert!(num_queries > 0, "iqf needs a non-empty query set");
+    let q = num_queries as f64;
+    bipartite
+        .entity_query_degrees()
+        .iter()
+        .map(|&n| if n == 0 { 0.0 } else { (q / n as f64).ln() })
+        .collect()
+}
+
+/// Applies `cfiqf` weighting to one bipartite (Eq. 4–6): every column `j`
+/// is scaled by `iqf(e_j)`.
+pub fn apply_cfiqf(bipartite: &Bipartite, num_queries: usize) -> Bipartite {
+    let iqf = inverse_query_frequencies(bipartite, num_queries);
+    bipartite.with_matrix(bipartite.matrix().scale_cols(&iqf))
+}
+
+/// Shannon entropy (nats) of each entity's query-attachment distribution:
+/// `H(e_j) = −Σ_i p_ij ln p_ij` with `p_ij = c_ij / Σ_i c_ij`. An entity
+/// whose clicks are spread evenly over many queries is uninformative about
+/// query intent (high entropy); one attached to a single query is maximally
+/// discriminative (entropy 0). Entities with no edges report 0.
+pub fn entity_entropies(bipartite: &Bipartite) -> Vec<f64> {
+    let t = bipartite.transposed();
+    (0..bipartite.num_entities())
+        .map(|e| {
+            let (_, vals) = t.row(e);
+            let total: f64 = vals.iter().sum();
+            if total <= 0.0 {
+                return 0.0;
+            }
+            -vals
+                .iter()
+                .filter(|&&v| v > 0.0)
+                .map(|&v| {
+                    let p = v / total;
+                    p * p.ln()
+                })
+                .sum::<f64>()
+        })
+        .collect()
+}
+
+/// Entropy-biased weighting after Deng et al. \[18\]: each column `j` is
+/// scaled by `1 / (1 + H(e_j))`, damping entities that connect many
+/// queries indiscriminately. Unlike `iqf` it weighs by the *distribution*
+/// of attachments, not just their count: an entity clicked 100 times from
+/// one query stays fully discriminative.
+pub fn apply_entropy_biased(bipartite: &Bipartite) -> Bipartite {
+    let h = entity_entropies(bipartite);
+    let factors: Vec<f64> = h.iter().map(|&x| 1.0 / (1.0 + x)).collect();
+    bipartite.with_matrix(bipartite.matrix().scale_cols(&factors))
+}
+
+/// Applies a scheme to a bipartite (identity for [`WeightingScheme::Raw`]).
+pub fn apply_scheme(bipartite: &Bipartite, scheme: WeightingScheme, log: &QueryLog) -> Bipartite {
+    match scheme {
+        WeightingScheme::Raw => bipartite.clone(),
+        WeightingScheme::CfIqf => apply_cfiqf(bipartite, log.num_queries()),
+        WeightingScheme::EntropyBiased => apply_entropy_biased(bipartite),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::EntityKind;
+    use pqsda_linalg::csr::CooBuilder;
+
+    /// 4 queries × 3 entities:
+    /// e0 touched by all 4 queries, e1 by 2, e2 by 1.
+    fn sample() -> Bipartite {
+        let mut b = CooBuilder::new(4, 3);
+        for q in 0..4 {
+            b.push(q, 0, 1.0);
+        }
+        b.push(0, 1, 3.0);
+        b.push(1, 1, 1.0);
+        b.push(2, 2, 5.0);
+        Bipartite::from_matrix(EntityKind::Url, b.build())
+    }
+
+    #[test]
+    fn iqf_matches_formula() {
+        let b = sample();
+        let iqf = inverse_query_frequencies(&b, 4);
+        assert!((iqf[0] - (4.0f64 / 4.0).ln()).abs() < 1e-12); // 0: ubiquitous
+        assert!((iqf[1] - (4.0f64 / 2.0).ln()).abs() < 1e-12);
+        assert!((iqf[2] - (4.0f64 / 1.0).ln()).abs() < 1e-12);
+        // Rarer entity → larger iqf.
+        assert!(iqf[2] > iqf[1] && iqf[1] > iqf[0]);
+    }
+
+    #[test]
+    fn cfiqf_scales_counts_by_iqf() {
+        let b = sample();
+        let w = apply_cfiqf(&b, 4);
+        // c * iqf: edge (0,1) had count 3, iqf(e1) = ln 2.
+        assert!((w.matrix().get(0, 1) - 3.0 * 2.0f64.ln()).abs() < 1e-12);
+        // Ubiquitous entity's edges are zeroed.
+        assert_eq!(w.matrix().get(0, 0), 0.0);
+        // Rare entity keeps the largest boost.
+        assert!((w.matrix().get(2, 2) - 5.0 * 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cfiqf_preserves_structure() {
+        let b = sample();
+        let w = apply_cfiqf(&b, 4);
+        assert_eq!(w.num_edges(), b.num_edges());
+        assert_eq!(w.num_queries(), b.num_queries());
+        assert_eq!(w.num_entities(), b.num_entities());
+        assert_eq!(w.kind(), b.kind());
+    }
+
+    #[test]
+    fn empty_entities_get_zero_iqf() {
+        let mut c = CooBuilder::new(3, 2);
+        c.push(0, 0, 1.0);
+        let b = Bipartite::from_matrix(EntityKind::Term, c.build());
+        let iqf = inverse_query_frequencies(&b, 3);
+        assert_eq!(iqf[1], 0.0);
+        assert!(iqf[0] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty query set")]
+    fn iqf_rejects_empty_query_set() {
+        let b = sample();
+        inverse_query_frequencies(&b, 0);
+    }
+
+    #[test]
+    fn paper_example_common_url_is_damped() {
+        // Table I: www.java.com is clicked from two distinct queries
+        // ("sun", "java"); java.sun.com from one. After weighting, the
+        // java.sun.com edge must outweigh a same-count www.java.com edge.
+        use pqsda_querylog::{LogEntry, QueryLog, UserId};
+        let entries = vec![
+            LogEntry::new(UserId(0), "sun", Some("www.java.com"), 100),
+            LogEntry::new(UserId(0), "sun java", Some("java.sun.com"), 120),
+            LogEntry::new(UserId(2), "java", Some("www.java.com"), 560),
+        ];
+        let log = QueryLog::from_entries(&entries);
+        let b = Bipartite::query_url(&log);
+        let w = apply_cfiqf(&b, log.num_queries());
+        let sun = log.find_query("sun").unwrap();
+        let sj = log.find_query("sun java").unwrap();
+        let (sun_cols, sun_vals) = w.matrix().row(sun.index());
+        let (sj_cols, sj_vals) = w.matrix().row(sj.index());
+        assert_eq!(sun_cols.len(), 1);
+        assert_eq!(sj_cols.len(), 1);
+        assert!(sj_vals[0] > sun_vals[0], "rare URL must weigh more");
+    }
+
+    #[test]
+    fn entropy_is_zero_for_single_query_entities() {
+        let b = sample();
+        let h = entity_entropies(&b);
+        // e2 touched by exactly one query → H = 0.
+        assert!(h[2].abs() < 1e-12);
+        // e0 touched uniformly by 4 queries → H = ln 4.
+        assert!((h[0] - 4.0f64.ln()).abs() < 1e-12);
+        // e1 skewed (3 vs 1) → between 0 and ln 2.
+        assert!(h[1] > 0.0 && h[1] < 2.0f64.ln() + 1e-12);
+    }
+
+    #[test]
+    fn entropy_biased_prefers_concentrated_entities() {
+        let b = sample();
+        let w = apply_entropy_biased(&b);
+        // Concentrated entity e2 keeps its raw weight.
+        assert!((w.matrix().get(2, 2) - 5.0).abs() < 1e-12);
+        // Uniform entity e0 is damped by 1/(1 + ln 4).
+        let expected = 1.0 / (1.0 + 4.0f64.ln());
+        assert!((w.matrix().get(0, 0) - expected).abs() < 1e-12);
+        assert_eq!(w.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn entropy_vs_iqf_disagree_on_concentrated_heavy_entities() {
+        // An entity clicked many times from ONE query: iqf treats it as
+        // discriminative (n = 1 distinct query), and so does entropy —
+        // but an entity clicked once each from two queries is damped more
+        // by iqf (n = 2) than warranted when weights are skewed.
+        let mut c = CooBuilder::new(4, 2);
+        c.push(0, 0, 100.0); // e0: one query, many clicks
+        c.push(1, 1, 99.0); // e1: two queries, highly skewed
+        c.push(2, 1, 1.0);
+        let b = Bipartite::from_matrix(EntityKind::Url, c.build());
+        let h = entity_entropies(&b);
+        assert!(h[0].abs() < 1e-12);
+        assert!(h[1] > 0.0 && h[1] < 0.1, "skewed entity has low entropy: {}", h[1]);
+        let iqf = inverse_query_frequencies(&b, 4);
+        // iqf sees e1 as twice as common as e0; entropy barely damps it.
+        assert!(iqf[0] > iqf[1]);
+        let factors_ratio = (1.0 / (1.0 + h[1])) / (1.0 / (1.0 + h[0]));
+        assert!(factors_ratio > 0.9, "entropy damping is mild: {factors_ratio}");
+    }
+
+    #[test]
+    fn apply_scheme_raw_is_identity() {
+        use pqsda_querylog::{LogEntry, QueryLog, UserId};
+        let entries = vec![LogEntry::new(UserId(0), "sun", Some("a.com"), 0)];
+        let log = QueryLog::from_entries(&entries);
+        let b = Bipartite::query_url(&log);
+        let raw = apply_scheme(&b, WeightingScheme::Raw, &log);
+        assert_eq!(raw.matrix().get(0, 0), b.matrix().get(0, 0));
+    }
+}

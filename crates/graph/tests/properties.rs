@@ -1,0 +1,143 @@
+//! Property-based tests for the graph representations.
+
+use pqsda_graph::bipartite::{Bipartite, EntityKind};
+use pqsda_graph::compact::{CompactConfig, CompactMulti};
+use pqsda_graph::hitting::truncated_hitting_time;
+use pqsda_graph::multi::MultiBipartite;
+use pqsda_graph::walk::{forward_walk, one_hot, two_step_transition};
+use pqsda_graph::weighting::{apply_cfiqf, inverse_query_frequencies, WeightingScheme};
+use pqsda_linalg::csr::CooBuilder;
+use pqsda_querylog::synth::{generate, SynthConfig};
+use proptest::prelude::*;
+
+fn arbitrary_bipartite() -> impl Strategy<Value = Bipartite> {
+    prop::collection::vec((0usize..8, 0usize..6, 0.1f64..5.0), 1..40).prop_map(|edges| {
+        let mut b = CooBuilder::new(8, 6);
+        for (q, e, w) in edges {
+            b.push(q, e, w);
+        }
+        Bipartite::from_matrix(EntityKind::Url, b.build())
+    })
+}
+
+proptest! {
+    #[test]
+    fn two_step_rows_are_stochastic_or_empty(b in arbitrary_bipartite()) {
+        let t = two_step_transition(&b);
+        for s in t.row_sums() {
+            prop_assert!(s.abs() < 1e-12 || (s - 1.0).abs() < 1e-9, "row sum {}", s);
+        }
+    }
+
+    #[test]
+    fn forward_walk_mass_is_bounded(b in arbitrary_bipartite(), steps in 0usize..6) {
+        let t = two_step_transition(&b);
+        let d = forward_walk(&t, &one_hot(8, 0), steps, 0.15);
+        let total: f64 = d.iter().sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+        prop_assert!(d.iter().all(|&p| p >= -1e-15));
+    }
+
+    #[test]
+    fn iqf_is_nonnegative_and_antitone_in_degree(b in arbitrary_bipartite()) {
+        let iqf = inverse_query_frequencies(&b, 8);
+        let deg = b.entity_query_degrees();
+        for e in 0..6 {
+            prop_assert!(iqf[e] >= 0.0);
+            for e2 in 0..6 {
+                if deg[e] > 0 && deg[e2] > 0 && deg[e] < deg[e2] {
+                    prop_assert!(iqf[e] >= iqf[e2]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cfiqf_never_flips_sign_or_structure(b in arbitrary_bipartite()) {
+        let w = apply_cfiqf(&b, 8);
+        prop_assert_eq!(w.num_edges(), b.num_edges());
+        for (q, e, v) in w.matrix().iter() {
+            let _ = (q, e);
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn hitting_times_are_bounded_by_horizon(
+        b in arbitrary_bipartite(),
+        target in 0usize..8,
+        l in 1usize..30,
+    ) {
+        let t = two_step_transition(&b);
+        let h = truncated_hitting_time(&t, &[target], l);
+        prop_assert_eq!(h[target], 0.0);
+        for &x in &h {
+            prop_assert!((0.0..=l as f64 + 1e-9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn adding_targets_never_increases_hitting_time(
+        b in arbitrary_bipartite(),
+        t1 in 0usize..8,
+        t2 in 0usize..8,
+    ) {
+        prop_assume!(t1 != t2);
+        let t = two_step_transition(&b);
+        let h1 = truncated_hitting_time(&t, &[t1], 40);
+        let h12 = truncated_hitting_time(&t, &[t1, t2], 40);
+        for i in 0..8 {
+            prop_assert!(h12[i] <= h1[i] + 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn compact_expansion_invariants_on_synthetic_logs(seed in 0u64..500, q in 8usize..60) {
+        let s = generate(&SynthConfig::tiny(seed));
+        let multi = MultiBipartite::build(&s.log, &s.truth.sessions, WeightingScheme::CfIqf);
+        let input = s.log.records()[0].query;
+        let cfg = CompactConfig { max_queries: q, max_rounds: 3 };
+        let c = CompactMulti::expand(&multi, &[input], &cfg);
+        // Bounded, deduplicated, seed-first, consistent mapping.
+        prop_assert!(c.len() <= q);
+        prop_assert_eq!(c.global(0), input);
+        let mut seen = std::collections::HashSet::new();
+        for (i, &qid) in c.queries().iter().enumerate() {
+            prop_assert!(seen.insert(qid));
+            prop_assert_eq!(c.local(qid), Some(i));
+        }
+        // Projected rows match the full representation.
+        for kind in EntityKind::ALL {
+            let local = c.matrix(kind);
+            let global = multi.get(kind).matrix();
+            for (i, &qid) in c.queries().iter().enumerate() {
+                prop_assert_eq!(local.row(i), global.row(qid.index()));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_bipartite_coverage_dominates_click_graph(seed in 0u64..500) {
+        let s = generate(&SynthConfig::tiny(seed));
+        let multi = MultiBipartite::build(&s.log, &s.truth.sessions, WeightingScheme::Raw);
+        for q in (0..multi.num_queries()).step_by(7) {
+            let all = multi.one_hop_neighbors(q).len();
+            let click = {
+                let b = multi.get(EntityKind::Url);
+                let mut out = std::collections::HashSet::new();
+                let (urls, _) = b.matrix().row(q);
+                for &u in urls {
+                    let (qs, _) = b.transposed().row(u as usize);
+                    out.extend(qs.iter().map(|&x| x as usize));
+                }
+                out.remove(&q);
+                out.len()
+            };
+            prop_assert!(all >= click);
+        }
+    }
+}

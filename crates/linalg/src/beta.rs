@@ -1,0 +1,199 @@
+//! The Beta distribution over normalized timestamps.
+//!
+//! The UPM (and the Topics-over-Time baseline it borrows from, paper §V-A)
+//! models the temporal prominence of each topic with a `Beta(τ₁, τ₂)` over
+//! timestamps rescaled into `(0, 1)`. Parameters are re-estimated after each
+//! Gibbs sweep by moment matching (paper Eq. 28–29).
+
+use crate::special::ln_beta;
+
+/// A Beta(`alpha`, `beta`) distribution on the open unit interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BetaDistribution {
+    alpha: f64,
+    beta: f64,
+}
+
+/// Timestamps are clamped into `[TIME_EPS, 1 - TIME_EPS]` before density
+/// evaluation so boundary samples cannot produce infinite densities.
+pub const TIME_EPS: f64 = 1e-4;
+
+impl BetaDistribution {
+    /// Creates a Beta distribution.
+    ///
+    /// # Panics
+    /// Panics unless both shape parameters are positive and finite.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            alpha > 0.0 && beta > 0.0 && alpha.is_finite() && beta.is_finite(),
+            "BetaDistribution: invalid shapes ({alpha}, {beta})"
+        );
+        BetaDistribution { alpha, beta }
+    }
+
+    /// The uniform distribution Beta(1, 1): the uninformed prior used before
+    /// a topic has seen any timestamps.
+    pub fn uniform() -> Self {
+        BetaDistribution::new(1.0, 1.0)
+    }
+
+    /// First shape parameter τ₁.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Second shape parameter τ₂.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Mean `α / (α + β)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Variance `αβ / ((α+β)² (α+β+1))`.
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// Log density at `t`, with `t` clamped away from {0, 1}.
+    ///
+    /// Note: the paper's Eq. 22 writes the density as
+    /// `(1-t)^{τ₁-1} t^{τ₂-1} / B(τ₁, τ₂)` (inherited verbatim from the
+    /// Topics-over-Time paper), while its moment updates Eq. 28–29 set
+    /// `τ₁ = t̄·c`. Taken together those two statements would make the
+    /// fitted distribution's mean `1 − t̄`, i.e. the fit would *flee* the
+    /// observed timestamps. Every published TOT implementation resolves
+    /// this by using the textbook density `t^{τ₁-1}(1-t)^{τ₂-1}`, which
+    /// makes Eq. 28–29 an exact moment match; we do the same.
+    pub fn ln_pdf(&self, t: f64) -> f64 {
+        let t = t.clamp(TIME_EPS, 1.0 - TIME_EPS);
+        (self.alpha - 1.0) * t.ln() + (self.beta - 1.0) * (1.0 - t).ln()
+            - ln_beta(self.alpha, self.beta)
+    }
+
+    /// Density at `t` (exponentiated [`Self::ln_pdf`]).
+    pub fn pdf(&self, t: f64) -> f64 {
+        self.ln_pdf(t).exp()
+    }
+
+    /// Moment-matching fit from a sample mean and biased sample variance of
+    /// timestamps assigned to a topic — the paper's Eq. 28–29:
+    ///
+    /// ```text
+    /// τ₁ = t̄ ( t̄(1−t̄)/s² − 1 )
+    /// τ₂ = (1−t̄) ( t̄(1−t̄)/s² − 1 )
+    /// ```
+    ///
+    /// Degenerate inputs (zero/negative variance, means at the boundary,
+    /// variance too large for any Beta) fall back to the uniform prior, which
+    /// is what the sampler wants for topics with 0 or 1 timestamps.
+    pub fn fit_moments(mean: f64, variance: f64) -> Self {
+        if !(mean.is_finite() && variance.is_finite()) {
+            return BetaDistribution::uniform();
+        }
+        let mean = mean.clamp(TIME_EPS, 1.0 - TIME_EPS);
+        let bound = mean * (1.0 - mean);
+        if variance <= 0.0 || variance >= bound {
+            return BetaDistribution::uniform();
+        }
+        let common = bound / variance - 1.0;
+        let tau1 = mean * common;
+        let tau2 = (1.0 - mean) * common;
+        if tau1 <= 0.0 || tau2 <= 0.0 || !tau1.is_finite() || !tau2.is_finite() {
+            BetaDistribution::uniform()
+        } else {
+            BetaDistribution::new(tau1, tau2)
+        }
+    }
+
+    /// Fits from a slice of timestamps (mean + biased variance, per the
+    /// paper). Fewer than two samples yield the uniform prior.
+    pub fn fit_timestamps(ts: &[f64]) -> Self {
+        if ts.len() < 2 {
+            return BetaDistribution::uniform();
+        }
+        let n = ts.len() as f64;
+        let mean = ts.iter().sum::<f64>() / n;
+        let variance = ts.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / n;
+        BetaDistribution::fit_moments(mean, variance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_constant_density() {
+        let u = BetaDistribution::uniform();
+        assert!((u.pdf(0.2) - 1.0).abs() < 1e-9);
+        assert!((u.pdf(0.9) - 1.0).abs() < 1e-9);
+        assert!((u.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_parameterization_shapes() {
+        // Large tau1 (alpha) pushes density toward t = 1, large tau2 toward 0.
+        let late = BetaDistribution::new(8.0, 1.0);
+        assert!(late.pdf(0.9) > late.pdf(0.1));
+        let early = BetaDistribution::new(1.0, 8.0);
+        assert!(early.pdf(0.1) > early.pdf(0.9));
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        // Trapezoid integration over a fine grid.
+        let d = BetaDistribution::new(2.5, 4.0);
+        let n = 20_000;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = i as f64 / n as f64;
+            let b = (i + 1) as f64 / n as f64;
+            acc += 0.5 * (d.pdf(a.max(1e-6)) + d.pdf(b.min(1.0 - 1e-6))) * (b - a);
+        }
+        assert!((acc - 1.0).abs() < 1e-3, "integral = {acc}");
+    }
+
+    #[test]
+    fn moment_fit_round_trips() {
+        let d = BetaDistribution::fit_moments(0.3, 0.01);
+        assert!((d.mean() - 0.3).abs() < 1e-9, "mean = {}", d.mean());
+        assert!((d.variance() - 0.01).abs() < 1e-9, "var = {}", d.variance());
+    }
+
+    #[test]
+    fn degenerate_fits_fall_back_to_uniform() {
+        assert_eq!(
+            BetaDistribution::fit_moments(0.5, 0.0),
+            BetaDistribution::uniform()
+        );
+        assert_eq!(
+            BetaDistribution::fit_moments(0.5, 0.3), // variance >= mean(1-mean)
+            BetaDistribution::uniform()
+        );
+        assert_eq!(
+            BetaDistribution::fit_moments(f64::NAN, 0.1),
+            BetaDistribution::uniform()
+        );
+        assert_eq!(
+            BetaDistribution::fit_timestamps(&[0.4]),
+            BetaDistribution::uniform()
+        );
+    }
+
+    #[test]
+    fn fit_timestamps_prefers_observed_region() {
+        let ts: Vec<f64> = (0..100).map(|i| 0.8 + 0.001 * i as f64 % 0.1).collect();
+        let d = BetaDistribution::fit_timestamps(&ts);
+        assert!(d.pdf(0.85) > d.pdf(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shapes")]
+    fn rejects_nonpositive_shapes() {
+        BetaDistribution::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,626 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! All query-log representations in this reproduction — the click graph, the
+//! three bipartites of the multi-bipartite representation (paper §III) and
+//! the coefficient matrix of the regularization system (Eq. 15) — are sparse
+//! rectangular matrices. CSR gives `O(nnz)` mat-vec, which is exactly the
+//! complexity the paper cites for solving Eq. 15 ("linear in the number of
+//! non-zero entries").
+
+use std::fmt;
+
+/// An immutable sparse matrix in compressed sparse row format.
+///
+/// ```
+/// use pqsda_linalg::csr::CooBuilder;
+/// let mut b = CooBuilder::new(2, 3);
+/// b.push(0, 0, 1.0);
+/// b.push(0, 2, 2.0);
+/// b.push(1, 1, 3.0);
+/// let m = b.build();
+/// assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
+/// assert_eq!(m.get(0, 2), 2.0);
+/// ```
+///
+/// Invariants (checked by the builder and by `debug_assert`s):
+/// * `row_ptr.len() == rows + 1`, `row_ptr\[0\] == 0`,
+///   `row_ptr[rows] == col_idx.len() == values.len()`;
+/// * within each row, column indices are strictly increasing and `< cols`.
+#[derive(Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl fmt::Debug for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrMatrix({}x{}, nnz={})",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
+    }
+}
+
+impl CsrMatrix {
+    /// The all-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// A diagonal matrix from its diagonal entries (zeros are kept explicit
+    /// so the structure stays predictable).
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: diag.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[s..e], &self.values[s..e])
+    }
+
+    /// Mutable access to the values of row `r` (structure is immutable).
+    #[inline]
+    pub fn row_values_mut(&mut self, r: usize) -> &mut [f64] {
+        let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        &mut self.values[s..e]
+    }
+
+    /// Value at `(r, c)`, or 0.0 when the entry is structurally absent.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&(c as u32)) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates `(row, col, value)` over all stored entries in row order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (r, c as usize, v))
+        })
+    }
+
+    /// Dense mat-vec `y = A * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "mul_vec: x length mismatch");
+        assert_eq!(y.len(), self.rows, "mul_vec: y length mismatch");
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c as usize];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Allocating mat-vec `A * x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Transposed mat-vec `y = Aᵀ * x` without materializing the transpose.
+    pub fn mul_vec_transposed(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "mul_vec_transposed: x length mismatch");
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for (&c, &v) in cols.iter().zip(vals) {
+                y[c as usize] += v * xr;
+            }
+        }
+        y
+    }
+
+    /// Materialized transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr = counts.clone();
+        let mut cursor = counts;
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        for (r, c, v) in self.iter() {
+            let slot = cursor[c];
+            col_idx[slot] = r as u32;
+            values[slot] = v;
+            cursor[c] += 1;
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Sum of each row's values.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|r| self.row(r).1.iter().sum()).collect()
+    }
+
+    /// Sum of each column's values.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut s = vec![0.0; self.cols];
+        for (_, c, v) in self.iter() {
+            s[c] += v;
+        }
+        s
+    }
+
+    /// Returns a row-stochastic copy: every non-empty row is scaled to sum
+    /// to 1 (empty rows stay empty — the walk has nowhere to go from them).
+    pub fn row_normalized(&self) -> CsrMatrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let sum: f64 = out.row(r).1.iter().sum();
+            if sum > 0.0 {
+                let inv = 1.0 / sum;
+                for v in out.row_values_mut(r) {
+                    *v *= inv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales row `r` by `factors[r]` for every row.
+    pub fn scale_rows(&self, factors: &[f64]) -> CsrMatrix {
+        assert_eq!(factors.len(), self.rows, "scale_rows: factor length");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let f = factors[r];
+            for v in out.row_values_mut(r) {
+                *v *= f;
+            }
+        }
+        out
+    }
+
+    /// Scales column `c` by `factors[c]` for every column.
+    pub fn scale_cols(&self, factors: &[f64]) -> CsrMatrix {
+        assert_eq!(factors.len(), self.cols, "scale_cols: factor length");
+        let mut out = self.clone();
+        for i in 0..out.col_idx.len() {
+            out.values[i] *= factors[out.col_idx[i] as usize];
+        }
+        out
+    }
+
+    /// Applies `f` to every stored value, keeping the structure.
+    pub fn map_values(&self, f: impl Fn(f64) -> f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// Sparse-sparse product `A * B` (sorted-merge accumulation per row).
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.rows`.
+    pub fn mul(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.cols, other.rows, "mul: inner dimension mismatch");
+        let mut builder = CooBuilder::new(self.rows, other.cols);
+        // Dense accumulator per row; fine for the matrix sizes of the
+        // compact representation (a few thousand columns).
+        let mut acc = vec![0.0; other.cols];
+        let mut touched: Vec<usize> = Vec::new();
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&k, &v) in cols.iter().zip(vals) {
+                let (bcols, bvals) = other.row(k as usize);
+                for (&c, &bv) in bcols.iter().zip(bvals) {
+                    let c = c as usize;
+                    if acc[c] == 0.0 {
+                        touched.push(c);
+                    }
+                    acc[c] += v * bv;
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                if acc[c] != 0.0 {
+                    builder.push(r, c, acc[c]);
+                }
+                acc[c] = 0.0;
+            }
+            touched.clear();
+        }
+        builder.build()
+    }
+
+    /// Entry-wise linear combination `alpha * self + beta * other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&self, alpha: f64, other: &CsrMatrix, beta: f64) -> CsrMatrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_scaled: shape mismatch"
+        );
+        let mut builder = CooBuilder::new(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (ac, av) = self.row(r);
+            let (bc, bv) = other.row(r);
+            let (mut i, mut j) = (0, 0);
+            while i < ac.len() || j < bc.len() {
+                let take_a = j >= bc.len() || (i < ac.len() && ac[i] <= bc[j]);
+                let take_b = i >= ac.len() || (j < bc.len() && bc[j] <= ac[i]);
+                let (c, v) = if take_a && take_b {
+                    let out = (ac[i], alpha * av[i] + beta * bv[j]);
+                    i += 1;
+                    j += 1;
+                    out
+                } else if take_a {
+                    let out = (ac[i], alpha * av[i]);
+                    i += 1;
+                    out
+                } else {
+                    let out = (bc[j], beta * bv[j]);
+                    j += 1;
+                    out
+                };
+                if v != 0.0 {
+                    builder.push(r, c as usize, v);
+                }
+            }
+        }
+        builder.build()
+    }
+
+    /// The main diagonal (only meaningful for square matrices but defined
+    /// for any shape as `A[i,i]` for `i < min(rows, cols)`).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Coordinate-format accumulator that deduplicates (summing duplicates) and
+/// produces a canonical [`CsrMatrix`].
+#[derive(Clone, Debug)]
+pub struct CooBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl CooBuilder {
+    /// An empty builder for a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooBuilder {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records `A[r, c] += v`.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds.
+    pub fn push(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "CooBuilder: out of bounds");
+        self.entries.push((r as u32, c as u32, v));
+    }
+
+    /// Number of raw (possibly duplicate) entries recorded so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorts, merges duplicates and freezes into CSR. Entries that cancel to
+    /// exactly 0.0 are still stored (callers that care can `map_values`).
+    pub fn build(mut self) -> CsrMatrix {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.entries.len());
+        for &(r, c, v) in &self.entries {
+            match merged.last_mut() {
+                Some((lr, lc, lv)) if *lr == r && *lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = merged.iter().map(|&(_, c, _)| c).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        let m = CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        debug_assert!(m.check_invariants());
+        m
+    }
+}
+
+impl CsrMatrix {
+    /// Validates the CSR invariants; used by `debug_assert!` after builds.
+    pub fn check_invariants(&self) -> bool {
+        if self.row_ptr.len() != self.rows + 1 || self.row_ptr[0] != 0 {
+            return false;
+        }
+        if *self.row_ptr.last().unwrap() != self.values.len()
+            || self.col_idx.len() != self.values.len()
+        {
+            return false;
+        }
+        for r in 0..self.rows {
+            if self.row_ptr[r] > self.row_ptr[r + 1] {
+                return false;
+            }
+            let (cols, _) = self.row(r);
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return false;
+                }
+            }
+            if let Some(&last) = cols.last() {
+                if last as usize >= self.cols {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        let mut b = CooBuilder::new(3, 3);
+        b.push(0, 0, 1.0);
+        b.push(0, 2, 2.0);
+        b.push(2, 0, 3.0);
+        b.push(2, 1, 4.0);
+        b.build()
+    }
+
+    #[test]
+    fn build_and_get() {
+        let m = sample();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn duplicate_entries_are_summed() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 1, 1.5);
+        b.push(0, 1, 2.5);
+        b.push(1, 0, 1.0);
+        let m = b.build();
+        assert_eq!(m.get(0, 1), 4.0);
+        assert_eq!(m.nnz(), 2);
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn unsorted_pushes_are_canonicalized() {
+        let mut b = CooBuilder::new(2, 3);
+        b.push(1, 2, 1.0);
+        b.push(0, 1, 2.0);
+        b.push(1, 0, 3.0);
+        b.push(0, 0, 4.0);
+        let m = b.build();
+        assert!(m.check_invariants());
+        assert_eq!(m.row(0).0, &[0, 1]);
+        assert_eq!(m.row(1).0, &[0, 2]);
+    }
+
+    #[test]
+    fn matvec() {
+        let m = sample();
+        let y = m.mul_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_matches_explicit_transpose() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        let t = m.transpose();
+        assert_eq!(m.mul_vec_transposed(&x), t.mul_vec(&x));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn identity_is_neutral_for_matvec() {
+        let id = CsrMatrix::identity(4);
+        let x = vec![1.0, -2.0, 0.5, 9.0];
+        assert_eq!(id.mul_vec(&x), x);
+    }
+
+    #[test]
+    fn row_and_col_sums() {
+        let m = sample();
+        assert_eq!(m.row_sums(), vec![3.0, 0.0, 7.0]);
+        assert_eq!(m.col_sums(), vec![4.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn row_normalized_is_stochastic() {
+        let m = sample().row_normalized();
+        let sums = m.row_sums();
+        assert!((sums[0] - 1.0).abs() < 1e-12);
+        assert_eq!(sums[1], 0.0); // empty row stays empty
+        assert!((sums[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_rows_and_cols() {
+        let m = sample();
+        let r = m.scale_rows(&[2.0, 1.0, 0.5]);
+        assert_eq!(r.get(0, 2), 4.0);
+        assert_eq!(r.get(2, 1), 2.0);
+        let c = m.scale_cols(&[0.0, 1.0, 10.0]);
+        assert_eq!(c.get(0, 0), 0.0);
+        assert_eq!(c.get(0, 2), 20.0);
+        assert_eq!(c.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn sparse_product_matches_dense() {
+        let a = sample();
+        let b = sample().transpose();
+        let p = a.mul(&b);
+        // Dense check.
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = 0.0;
+                for k in 0..3 {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                assert!((p.get(i, j) - acc).abs() < 1e-12, "({i},{j})");
+            }
+        }
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn add_scaled_merges_structures() {
+        let a = sample();
+        let b = CsrMatrix::identity(3);
+        let s = a.add_scaled(1.0, &b, 2.0);
+        assert_eq!(s.get(0, 0), 3.0);
+        assert_eq!(s.get(1, 1), 2.0);
+        assert_eq!(s.get(2, 1), 4.0);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn diagonal_and_frobenius() {
+        let m = sample();
+        assert_eq!(m.diagonal(), vec![1.0, 0.0, 0.0]);
+        let f = m.frobenius_norm();
+        assert!((f - (1.0f64 + 4.0 + 9.0 + 16.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_diagonal_shape() {
+        let d = CsrMatrix::from_diagonal(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.mul_vec(&[1.0, 1.0, 1.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn zeros_behaves() {
+        let z = CsrMatrix::zeros(2, 5);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.mul_vec(&[1.0; 5]), vec![0.0, 0.0]);
+        assert!(z.check_invariants());
+    }
+
+    #[test]
+    fn map_values_preserves_structure() {
+        let m = sample().map_values(|v| v * v);
+        assert_eq!(m.get(2, 1), 16.0);
+        assert_eq!(m.nnz(), 4);
+    }
+}

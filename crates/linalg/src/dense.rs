@@ -1,0 +1,176 @@
+//! Small dense-vector helpers.
+//!
+//! The hot loops of the reproduction operate on plain `&[f64]` slices; this
+//! module collects the handful of BLAS-1 style kernels they share so the
+//! call sites stay readable and the kernels stay individually testable.
+
+/// Dot product of two equally sized slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// L1 norm (sum of absolute values).
+#[inline]
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Maximum absolute entry; 0 for the empty slice.
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// `y += alpha * x` (the classic axpy kernel).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place scaling `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Normalizes `x` so its entries sum to 1. Leaves an all-zero vector
+/// untouched (there is no meaningful probability normalization for it).
+/// Returns the original sum.
+pub fn normalize_l1(x: &mut [f64]) -> f64 {
+    let s: f64 = x.iter().sum();
+    if s != 0.0 {
+        let inv = 1.0 / s;
+        for xi in x.iter_mut() {
+            *xi *= inv;
+        }
+    }
+    s
+}
+
+/// Normalizes `x` to unit Euclidean length; no-op on the zero vector.
+/// Returns the original norm.
+pub fn normalize_l2(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n != 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Cosine similarity between two vectors. Returns 0 when either vector has
+/// zero norm (no direction to compare).
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm2(a);
+    let nb = norm2(b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / (na * nb)
+    }
+}
+
+/// Index of the maximum entry, breaking ties toward the smallest index.
+/// Returns `None` for an empty slice or if every entry is NaN.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm1(&[-1.0, 2.0, -3.0]), 6.0);
+        assert_eq!(norm_inf(&[-1.0, 2.0, -3.0]), 3.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn normalize_l1_sums_to_one() {
+        let mut x = vec![1.0, 3.0];
+        let s = normalize_l1(&mut x);
+        assert_eq!(s, 4.0);
+        assert!((x[0] - 0.25).abs() < 1e-12);
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_l1_zero_vector_untouched() {
+        let mut x = vec![0.0, 0.0];
+        assert_eq!(normalize_l1(&mut x), 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_l2_unit_length() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize_l2(&mut x);
+        assert!((n - 5.0).abs() < 1e-12);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_aligned_and_orthogonal() {
+        assert!((cosine(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 5.0]).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_ties_and_nan() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN]), None);
+    }
+}

@@ -1,0 +1,310 @@
+//! Limited-memory BFGS for the UPM hyperparameter updates.
+//!
+//! The paper maximizes the log-likelihood objectives of Eq. 25–27 for the
+//! Dirichlet hyperparameters α, β, δ with L-BFGS \[30\]. We implement the
+//! standard two-loop recursion with an Armijo backtracking line search,
+//! posed as *minimization* (callers negate their objective). Positivity of
+//! the hyperparameters is handled by the callers via `exp`
+//! reparameterization, keeping this optimizer unconstrained and generic.
+
+use crate::dense;
+
+/// A differentiable objective `f: Rⁿ → R` to be minimized.
+pub trait Objective {
+    /// Evaluates the objective and writes its gradient into `grad`.
+    /// `grad.len() == x.len()` is guaranteed by the driver.
+    fn evaluate(&mut self, x: &[f64], grad: &mut [f64]) -> f64;
+}
+
+impl<F> Objective for F
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
+    fn evaluate(&mut self, x: &[f64], grad: &mut [f64]) -> f64 {
+        self(x, grad)
+    }
+}
+
+/// Tunables for [`Lbfgs`].
+#[derive(Clone, Copy, Debug)]
+pub struct LbfgsConfig {
+    /// Number of curvature pairs retained (the "m" of L-BFGS).
+    pub memory: usize,
+    /// Maximum outer iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on `‖∇f‖∞`.
+    pub gradient_tolerance: f64,
+    /// Armijo sufficient-decrease constant (Wolfe condition I).
+    pub armijo_c1: f64,
+    /// Curvature constant (Wolfe condition II); must satisfy `c1 < c2 < 1`.
+    pub wolfe_c2: f64,
+    /// Maximum line-search trials per iteration.
+    pub max_line_search: usize,
+}
+
+impl Default for LbfgsConfig {
+    fn default() -> Self {
+        LbfgsConfig {
+            memory: 8,
+            max_iterations: 100,
+            gradient_tolerance: 1e-6,
+            armijo_c1: 1e-4,
+            wolfe_c2: 0.9,
+            max_line_search: 40,
+        }
+    }
+}
+
+/// Result of an optimization run.
+#[derive(Clone, Debug)]
+pub struct LbfgsOutcome {
+    /// The best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Gradient infinity-norm at `x`.
+    pub gradient_norm: f64,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// True when the gradient tolerance was met.
+    pub converged: bool,
+}
+
+/// The L-BFGS driver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Lbfgs {
+    /// Optimizer configuration.
+    pub config: LbfgsConfig,
+}
+
+impl Lbfgs {
+    /// An optimizer with the given configuration.
+    pub fn new(config: LbfgsConfig) -> Self {
+        Lbfgs { config }
+    }
+
+    /// Minimizes `objective` starting from `x0`.
+    ///
+    /// # Panics
+    /// Panics if `x0` is empty.
+    // `!(slope < 0.0)` comparisons are deliberate: they also catch NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn minimize(&self, objective: &mut dyn Objective, x0: &[f64]) -> LbfgsOutcome {
+        assert!(!x0.is_empty(), "lbfgs: empty start point");
+        let n = x0.len();
+        let cfg = &self.config;
+
+        let mut x = x0.to_vec();
+        let mut grad = vec![0.0; n];
+        let mut value = objective.evaluate(&x, &mut grad);
+
+        // Curvature history (s_i = x_{k+1} - x_k, y_i = g_{k+1} - g_k).
+        let mut s_hist: Vec<Vec<f64>> = Vec::new();
+        let mut y_hist: Vec<Vec<f64>> = Vec::new();
+        let mut rho_hist: Vec<f64> = Vec::new();
+
+        let mut iterations = 0;
+        let mut gnorm = dense::norm_inf(&grad);
+
+        while gnorm > cfg.gradient_tolerance && iterations < cfg.max_iterations {
+            // Two-loop recursion: direction = -H grad.
+            let mut q = grad.clone();
+            let mut alphas = vec![0.0; s_hist.len()];
+            for i in (0..s_hist.len()).rev() {
+                let a = rho_hist[i] * dense::dot(&s_hist[i], &q);
+                alphas[i] = a;
+                dense::axpy(-a, &y_hist[i], &mut q);
+            }
+            // Initial Hessian scaling γ = sᵀy / yᵀy from the latest pair.
+            if let (Some(s), Some(y)) = (s_hist.last(), y_hist.last()) {
+                let gamma = dense::dot(s, y) / dense::dot(y, y).max(f64::MIN_POSITIVE);
+                dense::scale(gamma.max(1e-12), &mut q);
+            }
+            for i in 0..s_hist.len() {
+                let b = rho_hist[i] * dense::dot(&y_hist[i], &q);
+                dense::axpy(alphas[i] - b, &s_hist[i], &mut q);
+            }
+            let mut direction = q;
+            dense::scale(-1.0, &mut direction);
+
+            // Ensure a descent direction; fall back to steepest descent.
+            // `!(slope < 0.0)` is deliberate: it also catches NaN slopes.
+            let mut slope = dense::dot(&grad, &direction);
+            if !(slope < 0.0) {
+                direction = grad.iter().map(|g| -g).collect();
+                slope = dense::dot(&grad, &direction);
+                if !(slope < 0.0) {
+                    break; // gradient is zero / non-finite
+                }
+            }
+
+            // Wolfe line search by interval bisection. Condition I (Armijo)
+            // shrinks the upper bracket; condition II (curvature) grows the
+            // lower one. Wolfe II guarantees the curvature pair satisfies
+            // sᵀy > 0, which keeps the inverse-Hessian estimate positive
+            // definite. If Wolfe II is never met within the budget, the best
+            // Armijo point is taken so the iteration still makes progress.
+            let mut step = 1.0;
+            let (mut lo, mut hi) = (0.0f64, f64::INFINITY);
+            let mut trial_x = vec![0.0; n];
+            let mut trial_grad = vec![0.0; n];
+            let mut found: Option<(Vec<f64>, Vec<f64>, f64)> = None;
+            for _ in 0..cfg.max_line_search {
+                for i in 0..n {
+                    trial_x[i] = x[i] + step * direction[i];
+                }
+                let trial_value = objective.evaluate(&trial_x, &mut trial_grad);
+                let armijo = trial_value.is_finite()
+                    && trial_value <= value + cfg.armijo_c1 * step * slope;
+                if !armijo {
+                    hi = step;
+                    step = 0.5 * (lo + hi);
+                    continue;
+                }
+                found = Some((trial_x.clone(), trial_grad.clone(), trial_value));
+                let dslope = dense::dot(&trial_grad, &direction);
+                if dslope < cfg.wolfe_c2 * slope {
+                    // Still descending steeply; the step is too short.
+                    lo = step;
+                    step = if hi.is_finite() { 0.5 * (lo + hi) } else { 2.0 * step };
+                    continue;
+                }
+                break;
+            }
+            let accepted = if let Some((fx, fg, fv)) = found {
+                let s: Vec<f64> = fx.iter().zip(&x).map(|(a, b)| a - b).collect();
+                let y: Vec<f64> = fg.iter().zip(&grad).map(|(a, b)| a - b).collect();
+                let sy = dense::dot(&s, &y);
+                if sy > 0.0 {
+                    if s_hist.len() == cfg.memory {
+                        s_hist.remove(0);
+                        y_hist.remove(0);
+                        rho_hist.remove(0);
+                    }
+                    rho_hist.push(1.0 / sy);
+                    s_hist.push(s);
+                    y_hist.push(y);
+                }
+                x = fx;
+                grad = fg;
+                value = fv;
+                true
+            } else {
+                false
+            };
+            if !accepted {
+                // A stale curvature history can produce a direction the line
+                // search cannot use; drop the memory and retry from steepest
+                // descent once before giving up.
+                if s_hist.is_empty() {
+                    break; // already steepest descent; x is our best point
+                }
+                s_hist.clear();
+                y_hist.clear();
+                rho_hist.clear();
+                iterations += 1;
+                continue;
+            }
+            gnorm = dense::norm_inf(&grad);
+            iterations += 1;
+        }
+
+        LbfgsOutcome {
+            converged: gnorm <= cfg.gradient_tolerance,
+            gradient_norm: gnorm,
+            x,
+            value,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_convex_quadratic() {
+        // f(x) = Σ i (x_i - i)²; minimum at x_i = i.
+        let mut f = |x: &[f64], g: &mut [f64]| {
+            let mut v = 0.0;
+            for i in 0..x.len() {
+                let w = (i + 1) as f64;
+                let d = x[i] - w;
+                v += w * d * d;
+                g[i] = 2.0 * w * d;
+            }
+            v
+        };
+        let out = Lbfgs::default().minimize(&mut f, &[0.0; 5]);
+        assert!(out.converged, "gnorm = {}", out.gradient_norm);
+        for (i, &xi) in out.x.iter().enumerate() {
+            assert!((xi - (i + 1) as f64).abs() < 1e-5, "x[{i}] = {xi}");
+        }
+        assert!(out.value < 1e-9);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let mut f = |x: &[f64], g: &mut [f64]| {
+            let (a, b) = (1.0, 100.0);
+            let v = (a - x[0]).powi(2) + b * (x[1] - x[0] * x[0]).powi(2);
+            g[0] = -2.0 * (a - x[0]) - 4.0 * b * x[0] * (x[1] - x[0] * x[0]);
+            g[1] = 2.0 * b * (x[1] - x[0] * x[0]);
+            v
+        };
+        let cfg = LbfgsConfig {
+            max_iterations: 500,
+            ..LbfgsConfig::default()
+        };
+        let out = Lbfgs::new(cfg).minimize(&mut f, &[-1.2, 1.0]);
+        assert!((out.x[0] - 1.0).abs() < 1e-4, "x = {:?}", out.x);
+        assert!((out.x[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dirichlet_style_objective_via_log_reparameterization() {
+        // Minimize -log p(counts | alpha) for a 3-cell Dirichlet-multinomial
+        // with x = ln(alpha); verifies the exact usage pattern of Eq. 25.
+        use crate::special::{digamma, ln_gamma};
+        let counts = [30.0, 10.0, 5.0];
+        let total: f64 = counts.iter().sum();
+        let mut f = move |x: &[f64], g: &mut [f64]| {
+            let alpha: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+            let a0: f64 = alpha.iter().sum();
+            let mut nll = ln_gamma(a0 + total) - ln_gamma(a0);
+            for i in 0..3 {
+                nll -= ln_gamma(alpha[i] + counts[i]) - ln_gamma(alpha[i]);
+            }
+            let d0 = digamma(a0 + total) - digamma(a0);
+            for i in 0..3 {
+                let da = d0 - (digamma(alpha[i] + counts[i]) - digamma(alpha[i]));
+                g[i] = da * alpha[i]; // chain rule through exp
+            }
+            nll
+        };
+        let out = Lbfgs::default().minimize(&mut f, &[0.0; 3]);
+        let alpha: Vec<f64> = out.x.iter().map(|v| v.exp()).collect();
+        // The MLE pseudo-count proportions should track the count skew.
+        assert!(alpha[0] > alpha[1] && alpha[1] > alpha[2], "alpha = {alpha:?}");
+        assert!(alpha.iter().all(|&a| a > 0.0));
+    }
+
+    #[test]
+    fn converges_immediately_at_optimum() {
+        let mut f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * x[0];
+            x[0] * x[0]
+        };
+        let out = Lbfgs::default().minimize(&mut f, &[0.0]);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty start point")]
+    fn rejects_empty_start() {
+        let mut f = |_: &[f64], _: &mut [f64]| 0.0;
+        Lbfgs::default().minimize(&mut f, &[]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Sparse/dense linear algebra, special functions and optimizers used by the
+//! PQS-DA reproduction.
+//!
+//! The paper's diversification component reduces to a sparse symmetric
+//! positive-definite linear system (Eq. 15), solved here with [`solver`]
+//! routines over [`csr::CsrMatrix`]. The personalization component (UPM)
+//! needs log-Gamma/digamma machinery ([`special`]), a Beta distribution with
+//! moment-matching fits ([`beta`], Eq. 28–29) and an L-BFGS optimizer for
+//! the hyperparameter updates of Eq. 25–27 ([`lbfgs`]).
+//!
+//! Everything is implemented from scratch on `std` only, so the numerical
+//! behaviour of the reproduction is fully self-contained and auditable.
+
+// Index-style loops are deliberate throughout this crate: the code mirrors
+// the paper's matrix/count-table notation (rows, columns, topic indices),
+// where explicit indices are clearer than iterator chains.
+#![allow(clippy::needless_range_loop)]
+
+pub mod beta;
+pub mod csr;
+pub mod dense;
+pub mod lbfgs;
+pub mod solver;
+pub mod special;
+pub mod stats;
+
+pub use beta::BetaDistribution;
+pub use csr::{CooBuilder, CsrMatrix};
+pub use lbfgs::{Lbfgs, LbfgsConfig, LbfgsOutcome, Objective};
+pub use solver::{ConjugateGradient, Jacobi, LinearSolver, SolveReport, SolverConfig};

@@ -1,0 +1,187 @@
+//! Special functions needed by the generative models: `ln Γ`, `ψ` (digamma)
+//! and log-Beta functions.
+//!
+//! The UPM's Gibbs conditional (paper Eq. 23) and the hyperparameter
+//! objectives (Eq. 25–27) are built from ratios and sums of Gamma
+//! functions; everything is evaluated in log space through these routines.
+
+/// Natural log of the Gamma function, via the Lanczos approximation
+/// (g = 7, n = 9 coefficients; |relative error| < 1e-13 for x > 0).
+///
+/// # Panics
+/// Panics for non-positive or non-finite input — the models only ever
+/// evaluate `ln Γ` at strictly positive counts-plus-priors.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(
+        x > 0.0 && x.is_finite(),
+        "ln_gamma: domain error, x = {x}"
+    );
+    // Lanczos coefficients for g = 7.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x) Γ(1-x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Digamma function ψ(x) = d/dx ln Γ(x), by upward recurrence into the
+/// asymptotic region followed by the standard asymptotic series.
+///
+/// # Panics
+/// Panics for non-positive or non-finite input.
+pub fn digamma(x: f64) -> f64 {
+    assert!(x > 0.0 && x.is_finite(), "digamma: domain error, x = {x}");
+    let mut x = x;
+    let mut result = 0.0;
+    // Recurrence ψ(x) = ψ(x+1) - 1/x until x >= 6.
+    while x < 6.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    // Asymptotic expansion.
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result + x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0
+                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+}
+
+/// Log of the (2-argument) Beta function `ln B(a, b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Log of the multivariate Beta function
+/// `ln B(α) = Σ ln Γ(α_i) − ln Γ(Σ α_i)` — the Dirichlet normalizer that
+/// appears throughout Eq. 19–24.
+///
+/// # Panics
+/// Panics on an empty argument.
+pub fn ln_multivariate_beta(alpha: &[f64]) -> f64 {
+    assert!(!alpha.is_empty(), "ln_multivariate_beta: empty argument");
+    let sum: f64 = alpha.iter().sum();
+    alpha.iter().map(|&a| ln_gamma(a)).sum::<f64>() - ln_gamma(sum)
+}
+
+/// Rising factorial in log-space: `ln Γ(x + n) − ln Γ(x)` computed stably.
+/// For small integer `n` the product form avoids two large `ln Γ` calls.
+pub fn ln_rising(x: f64, n: usize) -> f64 {
+    if n <= 16 {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += (x + i as f64).ln();
+        }
+        acc
+    } else {
+        ln_gamma(x + n as f64) - ln_gamma(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < EPS);
+        assert!(ln_gamma(2.0).abs() < EPS);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < EPS);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < EPS);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence_holds() {
+        // ln Γ(x+1) = ln Γ(x) + ln x across a range of magnitudes.
+        for &x in &[0.1, 0.7, 1.3, 3.9, 12.0, 150.5, 1e4] {
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = ln_gamma(x) + x.ln();
+            assert!(
+                (lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0),
+                "x = {x}: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain error")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn digamma_known_values() {
+        // psi(1) = -gamma (Euler-Mascheroni).
+        const EULER: f64 = 0.577_215_664_901_532_9;
+        assert!((digamma(1.0) + EULER).abs() < 1e-9);
+        // psi(0.5) = -gamma - 2 ln 2.
+        assert!((digamma(0.5) + EULER + 2.0 * 2.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn digamma_recurrence_holds() {
+        for &x in &[0.2, 1.5, 7.7, 42.0] {
+            let lhs = digamma(x + 1.0);
+            let rhs = digamma(x) + 1.0 / x;
+            assert!((lhs - rhs).abs() < 1e-9, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn digamma_is_derivative_of_ln_gamma() {
+        for &x in &[0.8, 2.5, 10.0] {
+            let h = 1e-6;
+            let numeric = (ln_gamma(x + h) - ln_gamma(x - h)) / (2.0 * h);
+            assert!((digamma(x) - numeric).abs() < 1e-6, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn ln_beta_symmetry_and_value() {
+        assert!((ln_beta(2.0, 3.0) - ln_beta(3.0, 2.0)).abs() < EPS);
+        // B(2, 3) = 1/12.
+        assert!((ln_beta(2.0, 3.0) - (1.0f64 / 12.0).ln()).abs() < EPS);
+    }
+
+    #[test]
+    fn ln_multivariate_beta_reduces_to_binary() {
+        let a = 1.7;
+        let b = 4.2;
+        assert!((ln_multivariate_beta(&[a, b]) - ln_beta(a, b)).abs() < EPS);
+    }
+
+    #[test]
+    fn ln_rising_both_branches_agree() {
+        for &x in &[0.3, 2.0, 11.5] {
+            for &n in &[0usize, 1, 5, 16, 17, 64] {
+                let direct = ln_gamma(x + n as f64) - ln_gamma(x);
+                assert!(
+                    (ln_rising(x, n) - direct).abs() < 1e-8,
+                    "x = {x}, n = {n}"
+                );
+            }
+        }
+    }
+}

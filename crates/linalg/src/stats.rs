@@ -1,0 +1,170 @@
+//! Small statistical helpers shared by the samplers and metrics:
+//! log-sum-exp, categorical sampling from unnormalized weights, and
+//! running mean/variance.
+
+/// Numerically stable `ln Σ exp(x_i)`. Returns `-inf` for an empty slice.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Converts log-weights into a normalized probability vector in place.
+///
+/// # Panics
+/// Panics if all weights are `-inf` (no support).
+pub fn softmax_in_place(xs: &mut [f64]) {
+    let lse = log_sum_exp(xs);
+    assert!(
+        lse > f64::NEG_INFINITY,
+        "softmax_in_place: empty support"
+    );
+    for x in xs.iter_mut() {
+        *x = (*x - lse).exp();
+    }
+}
+
+/// Samples an index proportionally to non-negative weights, given a uniform
+/// draw `u ∈ [0, 1)`. Deterministic given `u`, which keeps the Gibbs
+/// samplers reproducible and unit-testable.
+///
+/// # Panics
+/// Panics if weights are empty, contain negatives/NaN, or sum to zero.
+pub fn sample_discrete(weights: &[f64], u: f64) -> usize {
+    assert!(!weights.is_empty(), "sample_discrete: empty weights");
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0 && w.is_finite(), "sample_discrete: bad weight {w}");
+            w
+        })
+        .sum();
+    assert!(total > 0.0, "sample_discrete: zero total mass");
+    let mut target = u.clamp(0.0, 1.0 - f64::EPSILON) * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+/// Single-pass (Welford) accumulator for mean and biased variance — the
+/// moments the paper's Eq. 28–29 feed into the Beta refit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunningMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Biased sample variance `Σ(x − x̄)² / n` (0 when fewer than 2 points).
+    pub fn variance_biased(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sum_exp_matches_naive_and_is_stable() {
+        let xs: [f64; 3] = [0.0, 1.0, 2.0];
+        let naive: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+        // Stability at large magnitudes where naive overflows.
+        let big = [1000.0, 1000.0];
+        assert!((log_sum_exp(&big) - (1000.0 + 2.0f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let mut xs = [1.0, 2.0, 3.0];
+        softmax_in_place(&mut xs);
+        assert!((xs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(xs[2] > xs[1] && xs[1] > xs[0]);
+    }
+
+    #[test]
+    fn sample_discrete_respects_boundaries() {
+        let w = [1.0, 2.0, 1.0];
+        assert_eq!(sample_discrete(&w, 0.0), 0);
+        assert_eq!(sample_discrete(&w, 0.249), 0);
+        assert_eq!(sample_discrete(&w, 0.26), 1);
+        assert_eq!(sample_discrete(&w, 0.74), 1);
+        assert_eq!(sample_discrete(&w, 0.76), 2);
+        assert_eq!(sample_discrete(&w, 0.999_999), 2);
+    }
+
+    #[test]
+    fn sample_discrete_skips_zero_weights() {
+        let w = [0.0, 1.0, 0.0];
+        for &u in &[0.0, 0.5, 0.99] {
+            assert_eq!(sample_discrete(&w, u), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total mass")]
+    fn sample_discrete_rejects_zero_mass() {
+        sample_discrete(&[0.0, 0.0], 0.5);
+    }
+
+    #[test]
+    fn running_moments_match_direct_formulas() {
+        let data = [0.1, 0.4, 0.4, 0.8, 0.9];
+        let mut acc = RunningMoments::new();
+        for &x in &data {
+            acc.push(x);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert_eq!(acc.count(), 5);
+        assert!((acc.mean() - mean).abs() < 1e-12);
+        assert!((acc.variance_biased() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_moments_degenerate_cases() {
+        let mut acc = RunningMoments::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance_biased(), 0.0);
+        acc.push(3.0);
+        assert_eq!(acc.mean(), 3.0);
+        assert_eq!(acc.variance_biased(), 0.0);
+    }
+}

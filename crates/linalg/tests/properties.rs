@@ -1,0 +1,158 @@
+//! Property-based tests for the linear-algebra substrate.
+#![allow(clippy::needless_range_loop)]
+
+use pqsda_linalg::csr::{CooBuilder, CsrMatrix};
+use pqsda_linalg::solver::{ConjugateGradient, Jacobi, LinearSolver};
+use pqsda_linalg::special::{digamma, ln_gamma};
+use pqsda_linalg::{dense, stats, BetaDistribution};
+use proptest::prelude::*;
+
+/// Strategy: a random sparse matrix given as triplets over a small shape.
+fn triplets(rows: usize, cols: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0..rows, 0..cols, -10.0f64..10.0),
+        0..(rows * cols).min(64),
+    )
+}
+
+fn build(rows: usize, cols: usize, ts: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut b = CooBuilder::new(rows, cols);
+    for &(r, c, v) in ts {
+        b.push(r, c, v);
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn csr_invariants_hold_for_any_triplets(ts in triplets(7, 5)) {
+        let m = build(7, 5, &ts);
+        prop_assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn csr_get_matches_triplet_sums(ts in triplets(6, 6)) {
+        let m = build(6, 6, &ts);
+        let mut dense = vec![vec![0.0; 6]; 6];
+        for &(r, c, v) in &ts {
+            dense[r][c] += v;
+        }
+        for r in 0..6 {
+            for c in 0..6 {
+                prop_assert!((m.get(r, c) - dense[r][c]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(ts in triplets(5, 8)) {
+        let m = build(5, 8, &ts);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matvec_is_linear(ts in triplets(6, 6),
+                        x in prop::collection::vec(-5.0f64..5.0, 6),
+                        y in prop::collection::vec(-5.0f64..5.0, 6),
+                        a in -3.0f64..3.0) {
+        let m = build(6, 6, &ts);
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + yi).collect();
+        let lhs = m.mul_vec(&combo);
+        let mx = m.mul_vec(&x);
+        let my = m.mul_vec(&y);
+        for i in 0..6 {
+            prop_assert!((lhs[i] - (a * mx[i] + my[i])).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn transpose_matvec_adjoint_identity(ts in triplets(5, 7),
+                                         x in prop::collection::vec(-5.0f64..5.0, 7),
+                                         y in prop::collection::vec(-5.0f64..5.0, 5)) {
+        // <A x, y> == <x, A^T y>
+        let m = build(5, 7, &ts);
+        let ax = m.mul_vec(&x);
+        let aty = m.mul_vec_transposed(&y);
+        let lhs = dense::dot(&ax, &y);
+        let rhs = dense::dot(&x, &aty);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one_or_zero(ts in triplets(6, 6)) {
+        let m = build(6, 6, &ts).map_values(f64::abs);
+        let n = m.row_normalized();
+        for s in n.row_sums() {
+            prop_assert!(s.abs() < 1e-12 || (s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solvers_agree_on_random_sdd_systems(
+        offdiag in prop::collection::vec((0usize..8, 0usize..8, 0.01f64..1.0), 0..20),
+        rhs in prop::collection::vec(-5.0f64..5.0, 8),
+    ) {
+        // Build a symmetric strictly diagonally dominant matrix.
+        let mut b = CooBuilder::new(8, 8);
+        let mut rowsum = [0.0; 8];
+        for &(r, c, v) in &offdiag {
+            if r != c {
+                b.push(r, c, -v);
+                b.push(c, r, -v);
+                rowsum[r] += v;
+                rowsum[c] += v;
+            }
+        }
+        for (i, extra) in rowsum.iter().enumerate() {
+            b.push(i, i, extra + 1.0);
+        }
+        let a = b.build();
+        let j = Jacobi::default().solve(&a, &rhs);
+        let c = ConjugateGradient::default().solve(&a, &rhs);
+        prop_assert!(j.converged && c.converged);
+        for i in 0..8 {
+            prop_assert!((j.solution[i] - c.solution[i]).abs() < 1e-5,
+                "jacobi {:?} vs cg {:?}", j.solution, c.solution);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_recurrence(x in 0.05f64..500.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn digamma_monotone_increasing(x in 0.1f64..100.0, d in 0.01f64..10.0) {
+        prop_assert!(digamma(x + d) > digamma(x));
+    }
+
+    #[test]
+    fn beta_moment_fit_round_trip(mean in 0.05f64..0.95, frac in 0.01f64..0.9) {
+        // variance must be < mean(1-mean); parameterize by a fraction of it.
+        let variance = frac * mean * (1.0 - mean) * 0.99;
+        let d = BetaDistribution::fit_moments(mean, variance);
+        prop_assert!((d.mean() - mean).abs() < 1e-6);
+        prop_assert!((d.variance() - variance).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_discrete_in_range_and_weight_respecting(
+        w in prop::collection::vec(0.0f64..10.0, 1..20),
+        u in 0.0f64..1.0,
+    ) {
+        prop_assume!(w.iter().sum::<f64>() > 0.0);
+        let i = stats::sample_discrete(&w, u);
+        prop_assert!(i < w.len());
+        prop_assert!(w[i] > 0.0, "sampled a zero-weight cell");
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(xs in prop::collection::vec(-50.0f64..50.0, 1..30)) {
+        let lse = stats::log_sum_exp(&xs);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+    }
+}

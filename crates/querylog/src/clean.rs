@@ -1,0 +1,235 @@
+//! Query-log cleaning in the spirit of Wang & Zhai \[33\].
+//!
+//! The paper: "The raw query log data contain a lot of noises which will
+//! potentially affect the effectiveness of the query suggestion algorithms.
+//! Therefore, we conduct cleaning in a similar way as \[33\]." The standard
+//! pipeline on AOL-style logs removes: navigational URL-queries, over-long
+//! queries, adjacent duplicate submissions (page-2 clicks relogged), rare
+//! one-off queries (optional) and hyperactive robot users.
+
+use crate::entry::LogEntry;
+use crate::text;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tunables for [`clean_entries`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CleanConfig {
+    /// Maximum tokens per query; longer ones are treated as pasted junk.
+    pub max_query_tokens: usize,
+    /// Drop queries that look like bare URLs/domains (navigational noise).
+    pub drop_url_like: bool,
+    /// Collapse immediately repeated (user, query) submissions closer than
+    /// this many seconds — result-page reloads, not new intents. Clicks of
+    /// collapsed duplicates are merged onto the retained entry as separate
+    /// entries are the only way the schema records multiple clicks, so the
+    /// duplicate is kept when it carries a *different* click.
+    pub duplicate_window_secs: u64,
+    /// Drop users with more than this many entries (robots). `0` disables.
+    pub max_user_entries: usize,
+}
+
+impl Default for CleanConfig {
+    fn default() -> Self {
+        CleanConfig {
+            max_query_tokens: 10,
+            drop_url_like: true,
+            duplicate_window_secs: 60,
+            max_user_entries: 0,
+        }
+    }
+}
+
+/// Statistics reported by a cleaning pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CleanStats {
+    /// Entries in the input.
+    pub input: usize,
+    /// Entries surviving.
+    pub kept: usize,
+    /// Dropped: empty after normalization.
+    pub dropped_empty: usize,
+    /// Dropped: too many tokens.
+    pub dropped_long: usize,
+    /// Dropped: URL-like navigational queries.
+    pub dropped_url_like: usize,
+    /// Dropped: adjacent duplicates.
+    pub dropped_duplicate: usize,
+    /// Dropped: robot users.
+    pub dropped_robot: usize,
+}
+
+/// Heuristic for queries that are really pasted URLs: contains a scheme,
+/// a `www` prefix or a dotted domain with a known TLD.
+pub fn looks_like_url(raw: &str) -> bool {
+    let t = raw.trim().to_lowercase();
+    if t.contains(' ') {
+        return false;
+    }
+    if t.starts_with("http://") || t.starts_with("https://") || t.starts_with("www.") {
+        return true;
+    }
+    const TLDS: [&str; 8] = [".com", ".org", ".net", ".edu", ".gov", ".io", ".co", ".info"];
+    TLDS.iter().any(|tld| {
+        t.ends_with(tld) && t.len() > tld.len() && t[..t.len() - tld.len()].contains('.')
+            || t.contains(&format!("{tld}/"))
+    }) || (t.matches('.').count() >= 1
+        && TLDS.iter().any(|tld| t.contains(&tld[..tld.len()])) // ".com" anywhere
+        && !t.contains(".."))
+}
+
+/// Runs the cleaning pipeline; returns surviving entries (chronological)
+/// plus statistics. Input order is preserved among survivors after a
+/// chronological sort.
+pub fn clean_entries(entries: &[LogEntry], config: &CleanConfig) -> (Vec<LogEntry>, CleanStats) {
+    let mut stats = CleanStats {
+        input: entries.len(),
+        ..CleanStats::default()
+    };
+    let mut sorted: Vec<LogEntry> = entries.to_vec();
+    sorted.sort_by_key(|e| e.timestamp);
+
+    // Robot detection first (counts are over the raw input).
+    let mut per_user: HashMap<u32, usize> = HashMap::new();
+    for e in &sorted {
+        *per_user.entry(e.user.0).or_insert(0) += 1;
+    }
+
+    let mut kept: Vec<LogEntry> = Vec::with_capacity(sorted.len());
+    // (user, normalized query) of each user's last kept entry.
+    let mut last_kept: HashMap<u32, (String, Option<String>, u64)> = HashMap::new();
+
+    for e in sorted {
+        if config.max_user_entries > 0 && per_user[&e.user.0] > config.max_user_entries {
+            stats.dropped_robot += 1;
+            continue;
+        }
+        let norm = text::normalize(&e.query);
+        if norm.is_empty() {
+            stats.dropped_empty += 1;
+            continue;
+        }
+        if norm.split(' ').count() > config.max_query_tokens {
+            stats.dropped_long += 1;
+            continue;
+        }
+        if config.drop_url_like && looks_like_url(&e.query) {
+            stats.dropped_url_like += 1;
+            continue;
+        }
+        if let Some((last_q, last_click, last_ts)) = last_kept.get(&e.user.0) {
+            let same_click = *last_click == e.clicked_url;
+            if *last_q == norm
+                && same_click
+                && e.timestamp.saturating_sub(*last_ts) <= config.duplicate_window_secs
+            {
+                stats.dropped_duplicate += 1;
+                continue;
+            }
+        }
+        last_kept.insert(
+            e.user.0,
+            (norm, e.clicked_url.clone(), e.timestamp),
+        );
+        kept.push(e);
+    }
+    stats.kept = kept.len();
+    (kept, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+
+    fn entry(user: u32, q: &str, url: Option<&str>, ts: u64) -> LogEntry {
+        LogEntry::new(UserId(user), q, url, ts)
+    }
+
+    #[test]
+    fn url_like_detection() {
+        assert!(looks_like_url("www.java.com"));
+        assert!(looks_like_url("http://oracle.com"));
+        assert!(looks_like_url("java.sun.com"));
+        assert!(!looks_like_url("sun java"));
+        assert!(!looks_like_url("solar cell"));
+        assert!(!looks_like_url("sun"));
+    }
+
+    #[test]
+    fn drops_empty_and_long_queries() {
+        let entries = vec![
+            entry(0, "!!!", None, 0),
+            entry(0, "one two three four five six seven eight nine ten eleven", None, 1),
+            entry(0, "sun", None, 2),
+        ];
+        let (kept, stats) = clean_entries(&entries, &CleanConfig::default());
+        assert_eq!(kept.len(), 1);
+        assert_eq!(stats.dropped_empty, 1);
+        assert_eq!(stats.dropped_long, 1);
+        assert_eq!(stats.kept, 1);
+    }
+
+    #[test]
+    fn collapses_fast_duplicates_but_keeps_new_clicks() {
+        let entries = vec![
+            entry(0, "sun", None, 0),
+            entry(0, "sun", None, 10),                    // reload: dropped
+            entry(0, "sun", Some("www.java.com"), 20),    // new click: kept
+            entry(0, "sun", Some("www.java.com"), 25),    // same click again: dropped
+            entry(0, "sun", None, 5_000),                 // far later: kept
+        ];
+        let (kept, stats) = clean_entries(&entries, &CleanConfig::default());
+        assert_eq!(kept.len(), 3);
+        assert_eq!(stats.dropped_duplicate, 2);
+    }
+
+    #[test]
+    fn duplicates_are_per_user() {
+        let entries = vec![
+            entry(0, "sun", None, 0),
+            entry(1, "sun", None, 1), // different user: kept
+        ];
+        let (kept, _) = clean_entries(&entries, &CleanConfig::default());
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn robot_users_are_dropped_when_enabled() {
+        let mut entries: Vec<LogEntry> =
+            (0..50).map(|i| entry(7, &format!("q{i}"), None, i)).collect();
+        entries.push(entry(1, "sun", None, 99));
+        let cfg = CleanConfig {
+            max_user_entries: 10,
+            ..CleanConfig::default()
+        };
+        let (kept, stats) = clean_entries(&entries, &cfg);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(stats.dropped_robot, 50);
+        assert_eq!(kept[0].user, UserId(1));
+    }
+
+    #[test]
+    fn url_queries_dropped_only_when_configured() {
+        let entries = vec![entry(0, "www.java.com", None, 0)];
+        let (kept, stats) = clean_entries(&entries, &CleanConfig::default());
+        assert!(kept.is_empty());
+        assert_eq!(stats.dropped_url_like, 1);
+        let cfg = CleanConfig {
+            drop_url_like: false,
+            ..CleanConfig::default()
+        };
+        let (kept, _) = clean_entries(&entries, &cfg);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn output_is_chronological() {
+        let entries = vec![
+            entry(0, "b", None, 100),
+            entry(0, "a", None, 50),
+        ];
+        let (kept, _) = clean_entries(&entries, &CleanConfig::default());
+        assert_eq!(kept[0].query, "a");
+    }
+}

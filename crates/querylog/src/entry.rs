@@ -1,0 +1,285 @@
+//! The query-log data model: raw entries (paper Table I) and the interned,
+//! indexable [`QueryLog`].
+
+use crate::ids::{Interner, QueryId, SessionId, TermId, UrlId, UserId};
+use crate::text;
+use serde::{Deserialize, Serialize};
+
+/// One raw query-log line, exactly the schema of the paper's Table I:
+/// user, query text, optional clicked URL and a timestamp.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// The submitting user.
+    pub user: UserId,
+    /// Raw query text as typed.
+    pub query: String,
+    /// The clicked URL, if any (the paper's log records at most one per
+    /// line; repeated clicks appear as repeated lines).
+    pub clicked_url: Option<String>,
+    /// Seconds since the log epoch.
+    pub timestamp: u64,
+}
+
+impl LogEntry {
+    /// Convenience constructor.
+    pub fn new(
+        user: UserId,
+        query: impl Into<String>,
+        clicked_url: Option<&str>,
+        timestamp: u64,
+    ) -> Self {
+        LogEntry {
+            user,
+            query: query.into(),
+            clicked_url: clicked_url.map(str::to_owned),
+            timestamp,
+        }
+    }
+}
+
+/// An interned log line: ids instead of strings, with the session filled in
+/// by segmentation (or by the synthetic generator's ground truth).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// The submitting user.
+    pub user: UserId,
+    /// The normalized, interned query.
+    pub query: QueryId,
+    /// The clicked URL, if any.
+    pub click: Option<UrlId>,
+    /// Seconds since the log epoch.
+    pub timestamp: u64,
+    /// The session this record belongs to; `None` until assigned.
+    pub session: Option<SessionId>,
+}
+
+/// An interned query log: chronologically ordered records plus the
+/// query/URL/term vocabularies.
+///
+/// Construction normalizes query text ([`text::normalize`]) so distinct raw
+/// spellings of the same query share one [`QueryId`], and tokenizes each
+/// distinct query once into [`TermId`]s for the query–term bipartite.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct QueryLog {
+    records: Vec<LogRecord>,
+    queries: Interner,
+    urls: Interner,
+    terms: Interner,
+    /// Terms of each distinct query, indexed by `QueryId`.
+    query_terms: Vec<Vec<TermId>>,
+    num_users: usize,
+}
+
+impl QueryLog {
+    /// Builds an interned log from raw entries. Entries are sorted
+    /// chronologically (stable, so same-timestamp entries keep input
+    /// order). Queries that normalize to the empty string are dropped.
+    pub fn from_entries(entries: &[LogEntry]) -> Self {
+        let mut log = QueryLog::default();
+        let mut sorted: Vec<&LogEntry> = entries.iter().collect();
+        sorted.sort_by_key(|e| e.timestamp);
+        for e in sorted {
+            log.push_entry(e);
+        }
+        log
+    }
+
+    /// Appends one raw entry (must respect chronological order for session
+    /// segmentation to be meaningful; `from_entries` handles sorting).
+    /// Returns the record index, or `None` if the query normalized to
+    /// nothing.
+    pub fn push_entry(&mut self, e: &LogEntry) -> Option<usize> {
+        let norm = text::normalize(&e.query);
+        if norm.is_empty() {
+            return None;
+        }
+        let qid = self.queries.intern(&norm);
+        if qid as usize == self.query_terms.len() {
+            let terms = text::tokenize(&norm)
+                .into_iter()
+                .map(|t| TermId(self.terms.intern(t)))
+                .collect();
+            self.query_terms.push(terms);
+        }
+        let click = e
+            .clicked_url
+            .as_deref()
+            .filter(|u| !u.trim().is_empty())
+            .map(|u| UrlId(self.urls.intern(u.trim())));
+        self.num_users = self.num_users.max(e.user.index() + 1);
+        self.records.push(LogRecord {
+            user: e.user,
+            query: QueryId(qid),
+            click,
+            timestamp: e.timestamp,
+            session: None,
+        });
+        Some(self.records.len() - 1)
+    }
+
+    /// All records in chronological order.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Mutable records (used by session assignment).
+    pub fn records_mut(&mut self) -> &mut [LogRecord] {
+        &mut self.records
+    }
+
+    /// Number of distinct queries `|Q|` — the numerator of every inverse
+    /// query frequency (paper Eq. 1–3).
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of distinct clicked URLs.
+    pub fn num_urls(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// Number of distinct terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Number of users (max user id + 1).
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// The normalized text of a query.
+    pub fn query_text(&self, q: QueryId) -> &str {
+        self.queries.resolve(q.0)
+    }
+
+    /// The URL string of a url id.
+    pub fn url_text(&self, u: UrlId) -> &str {
+        self.urls.resolve(u.0)
+    }
+
+    /// The token string of a term id.
+    pub fn term_text(&self, t: TermId) -> &str {
+        self.terms.resolve(t.0)
+    }
+
+    /// The terms of a distinct query.
+    pub fn query_terms(&self, q: QueryId) -> &[TermId] {
+        &self.query_terms[q.index()]
+    }
+
+    /// Looks up a query id by raw text (normalizing first).
+    pub fn find_query(&self, raw: &str) -> Option<QueryId> {
+        self.queries.get(&text::normalize(raw)).map(QueryId)
+    }
+
+    /// Iterates the records of one user in chronological order.
+    pub fn user_records(&self, user: UserId) -> impl Iterator<Item = (usize, &LogRecord)> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(move |(_, r)| r.user == user)
+    }
+
+    /// Per-query occurrence counts across the whole log.
+    pub fn query_frequencies(&self) -> Vec<u32> {
+        let mut f = vec![0u32; self.num_queries()];
+        for r in &self.records {
+            f[r.query.index()] += 1;
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table I, verbatim.
+    pub fn table_one() -> Vec<LogEntry> {
+        vec![
+            LogEntry::new(UserId(0), "sun", Some("www.java.com"), 100),
+            LogEntry::new(UserId(0), "sun java", Some("java.sun.com"), 120),
+            LogEntry::new(UserId(0), "jvm download", None, 200),
+            LogEntry::new(UserId(1), "sun", Some("www.suncellular.com"), 300),
+            LogEntry::new(UserId(1), "solar cell", Some("en.wikipedia.org/wiki/Solar_cell"), 400),
+            LogEntry::new(UserId(2), "sun oracle", Some("www.oracle.com"), 500),
+            LogEntry::new(UserId(2), "java", Some("www.java.com"), 560),
+        ]
+    }
+
+    #[test]
+    fn interning_deduplicates_queries_and_urls() {
+        let log = QueryLog::from_entries(&table_one());
+        assert_eq!(log.records().len(), 7);
+        // Distinct queries: sun, sun java, jvm download, solar cell,
+        // sun oracle, java — "sun" appears twice but interns once.
+        assert_eq!(log.num_queries(), 6);
+        // www.java.com is clicked twice.
+        assert_eq!(log.num_urls(), 5);
+        assert_eq!(log.num_users(), 3);
+        let sun = log.find_query("Sun").unwrap();
+        assert_eq!(log.query_text(sun), "sun");
+    }
+
+    #[test]
+    fn query_terms_are_tokenized_once() {
+        let log = QueryLog::from_entries(&table_one());
+        let sj = log.find_query("sun java").unwrap();
+        let terms: Vec<&str> = log
+            .query_terms(sj)
+            .iter()
+            .map(|&t| log.term_text(t))
+            .collect();
+        assert_eq!(terms, vec!["sun", "java"]);
+        // The shared term "sun" has one id across queries.
+        let s = log.find_query("sun").unwrap();
+        assert_eq!(log.query_terms(s)[0], log.query_terms(sj)[0]);
+    }
+
+    #[test]
+    fn entries_are_sorted_chronologically() {
+        let mut entries = table_one();
+        entries.reverse();
+        let log = QueryLog::from_entries(&entries);
+        let ts: Vec<u64> = log.records().iter().map(|r| r.timestamp).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted);
+    }
+
+    #[test]
+    fn empty_queries_are_dropped() {
+        let entries = vec![
+            LogEntry::new(UserId(0), "???", None, 1),
+            LogEntry::new(UserId(0), "sun", None, 2),
+        ];
+        let log = QueryLog::from_entries(&entries);
+        assert_eq!(log.records().len(), 1);
+    }
+
+    #[test]
+    fn blank_click_is_none() {
+        let entries = vec![LogEntry::new(UserId(0), "sun", Some("   "), 1)];
+        let log = QueryLog::from_entries(&entries);
+        assert_eq!(log.records()[0].click, None);
+        assert_eq!(log.num_urls(), 0);
+    }
+
+    #[test]
+    fn query_frequencies_count_occurrences() {
+        let log = QueryLog::from_entries(&table_one());
+        let sun = log.find_query("sun").unwrap();
+        let freqs = log.query_frequencies();
+        assert_eq!(freqs[sun.index()], 2);
+        assert_eq!(freqs.iter().sum::<u32>(), 7);
+    }
+
+    #[test]
+    fn user_records_filters_and_orders() {
+        let log = QueryLog::from_entries(&table_one());
+        let recs: Vec<_> = log.user_records(UserId(0)).collect();
+        assert_eq!(recs.len(), 3);
+        assert!(recs.windows(2).all(|w| w[0].1.timestamp <= w[1].1.timestamp));
+    }
+}

@@ -1,0 +1,165 @@
+//! Dense integer ids for the entities of a query log, plus a string
+//! interner.
+//!
+//! Every downstream structure (bipartite graphs, topic-model count tables,
+//! metric caches) indexes by these ids, so they are thin `u32` newtypes with
+//! explicit constructors rather than raw integers — mixing up a query id and
+//! a URL id should be a type error, not a silent bug.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if the index exceeds `u32::MAX`.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                assert!(i <= u32::MAX as usize, "id overflow");
+                $name(i as u32)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A distinct (normalized) query string.
+    QueryId
+);
+define_id!(
+    /// A distinct clicked URL.
+    UrlId
+);
+define_id!(
+    /// A distinct search session (one information need).
+    SessionId
+);
+define_id!(
+    /// A distinct query term (token).
+    TermId
+);
+define_id!(
+    /// A search-engine user.
+    UserId
+);
+
+/// Bidirectional string ↔ dense-id mapping.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Interner {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `s`, allocating a new one on first sight.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(s.to_owned());
+        self.index.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned string.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// # Panics
+    /// Panics on an id this interner never produced.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(id, string)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_usize() {
+        let q = QueryId::from_index(42);
+        assert_eq!(q.index(), 42);
+        assert_eq!(usize::from(q), 42);
+        assert_eq!(q, QueryId(42));
+    }
+
+    #[test]
+    fn interner_deduplicates() {
+        let mut i = Interner::new();
+        let a = i.intern("sun");
+        let b = i.intern("sun java");
+        let a2 = i.intern("sun");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "sun");
+        assert_eq!(i.resolve(b), "sun java");
+        assert_eq!(i.get("sun"), Some(a));
+        assert_eq!(i.get("oracle"), None);
+    }
+
+    #[test]
+    fn interner_iterates_in_id_order() {
+        let mut i = Interner::new();
+        i.intern("b");
+        i.intern("a");
+        let all: Vec<_> = i.iter().collect();
+        assert_eq!(all, vec![(0, "b"), (1, "a")]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

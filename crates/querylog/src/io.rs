@@ -1,0 +1,268 @@
+//! Reading and writing query logs in the de-facto interchange format:
+//! AOL-style tab-separated values.
+//!
+//! The public AOL log (and most academic query-log releases since) uses
+//! lines of `AnonID \t Query \t QueryTime \t ItemRank \t ClickURL` with an
+//! optional header and `QueryTime` as `YYYY-MM-DD HH:MM:SS`. This module
+//! parses that format into [`LogEntry`] values (clicked rows carry the
+//! URL; query-only rows have three populated fields), and writes logs back
+//! out, so the whole PQS-DA pipeline runs on real log files as well as on
+//! the synthetic world.
+//!
+//! No external datetime crate is sanctioned, so the timestamp conversion
+//! implements the standard civil-date → epoch-day algorithm directly.
+
+use crate::entry::LogEntry;
+use crate::ids::UserId;
+use std::io::{BufRead, Write};
+
+/// A parse failure with its line number (1-based, counting data lines).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Converts `YYYY-MM-DD HH:MM:SS` to seconds since the Unix epoch (UTC,
+/// leap seconds ignored — the convention every log pipeline uses).
+///
+/// ```
+/// use pqsda_querylog::io::parse_timestamp;
+/// assert_eq!(parse_timestamp("2006-03-01 16:01:51"), Some(1_141_228_911));
+/// assert_eq!(parse_timestamp("not a date"), None);
+/// ```
+///
+/// Returns `None` for malformed input or out-of-range fields.
+pub fn parse_timestamp(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (date, time) = s.split_once(' ').or_else(|| s.split_once('T'))?;
+    let mut dp = date.split('-');
+    let year: i64 = dp.next()?.parse().ok()?;
+    let month: u64 = dp.next()?.parse().ok()?;
+    let day: u64 = dp.next()?.parse().ok()?;
+    if dp.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    let mut tp = time.split(':');
+    let hour: u64 = tp.next()?.parse().ok()?;
+    let minute: u64 = tp.next()?.parse().ok()?;
+    let second: u64 = tp.next().unwrap_or("0").parse().ok()?;
+    if tp.next().is_some() || hour >= 24 || minute >= 60 || second >= 61 {
+        return None;
+    }
+    // Howard Hinnant's days_from_civil.
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = (month + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + day - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    let days = era * 146_097 + doe as i64 - 719_468;
+    if days < 0 {
+        return None; // pre-1970 logs are out of scope
+    }
+    Some(days as u64 * 86_400 + hour * 3_600 + minute * 60 + second)
+}
+
+/// Renders an epoch timestamp back to `YYYY-MM-DD HH:MM:SS`.
+pub fn format_timestamp(epoch: u64) -> String {
+    let days = (epoch / 86_400) as i64;
+    let secs = epoch % 86_400;
+    // civil_from_days (Hinnant).
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { y + 1 } else { y };
+    format!(
+        "{year:04}-{month:02}-{day:02} {:02}:{:02}:{:02}",
+        secs / 3_600,
+        (secs / 60) % 60,
+        secs % 60
+    )
+}
+
+/// Parses one AOL-format data line. Lines have 3 fields (no click) or 5
+/// (ItemRank + ClickURL); a dash or empty ClickURL means no click.
+pub fn parse_aol_line(line: &str, line_no: usize) -> Result<Option<LogEntry>, ParseError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() != 3 && fields.len() != 5 {
+        return Err(ParseError {
+            line: line_no,
+            message: format!("expected 3 or 5 tab-separated fields, got {}", fields.len()),
+        });
+    }
+    let user: u32 = fields[0].trim().parse().map_err(|_| ParseError {
+        line: line_no,
+        message: format!("bad AnonID {:?}", fields[0]),
+    })?;
+    let query = fields[1].trim();
+    let timestamp = parse_timestamp(fields[2]).ok_or_else(|| ParseError {
+        line: line_no,
+        message: format!("bad QueryTime {:?}", fields[2]),
+    })?;
+    let url = fields
+        .get(4)
+        .map(|u| u.trim())
+        .filter(|u| !u.is_empty() && *u != "-");
+    Ok(Some(LogEntry::new(UserId(user), query, url, timestamp)))
+}
+
+/// Reads a whole AOL-format stream. A first line starting with `AnonID`
+/// is treated as the header and skipped. Returns entries in file order.
+pub fn read_aol<R: BufRead>(reader: R) -> Result<Vec<LogEntry>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| ParseError {
+            line: i + 1,
+            message: format!("io error: {e}"),
+        })?;
+        if i == 0 && line.starts_with("AnonID") {
+            continue;
+        }
+        if let Some(entry) = parse_aol_line(&line, i + 1)? {
+            out.push(entry);
+        }
+    }
+    Ok(out)
+}
+
+/// Writes entries in AOL format (always 5 fields; `-` marks no click;
+/// ItemRank is written as `-` since [`LogEntry`] does not model it).
+pub fn write_aol<W: Write>(entries: &[LogEntry], mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "AnonID\tQuery\tQueryTime\tItemRank\tClickURL")?;
+    for e in entries {
+        writeln!(
+            writer,
+            "{}\t{}\t{}\t-\t{}",
+            e.user.0,
+            e.query,
+            format_timestamp(e.timestamp),
+            e.clicked_url.as_deref().unwrap_or("-")
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_known_values() {
+        assert_eq!(parse_timestamp("1970-01-01 00:00:00"), Some(0));
+        assert_eq!(parse_timestamp("1970-01-02 00:00:01"), Some(86_401));
+        // A classic AOL-log date.
+        assert_eq!(parse_timestamp("2006-03-01 16:01:51"), Some(1_141_228_911));
+        // Leap-year handling.
+        assert_eq!(
+            parse_timestamp("2000-03-01 00:00:00").unwrap()
+                - parse_timestamp("2000-02-28 00:00:00").unwrap(),
+            2 * 86_400
+        );
+    }
+
+    #[test]
+    fn timestamp_rejects_malformed() {
+        for bad in [
+            "", "2006-03-01", "2006-13-01 00:00:00", "2006-03-32 00:00:00",
+            "2006-03-01 24:00:00", "2006-03-01 00:61:00", "junk",
+        ] {
+            assert_eq!(parse_timestamp(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn timestamp_round_trips() {
+        for &t in &[0u64, 86_399, 1_141_228_911, 1_700_000_000] {
+            assert_eq!(parse_timestamp(&format_timestamp(t)), Some(t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn parses_click_and_clickless_lines() {
+        let with_click =
+            parse_aol_line("142\tsun java\t2006-03-01 16:01:51\t1\thttp://java.sun.com", 1)
+                .unwrap()
+                .unwrap();
+        assert_eq!(with_click.user, UserId(142));
+        assert_eq!(with_click.query, "sun java");
+        assert_eq!(with_click.clicked_url.as_deref(), Some("http://java.sun.com"));
+
+        let without = parse_aol_line("142\tsun\t2006-03-01 16:00:00", 2)
+            .unwrap()
+            .unwrap();
+        assert_eq!(without.clicked_url, None);
+
+        let dash = parse_aol_line("142\tsun\t2006-03-01 16:00:00\t-\t-", 3)
+            .unwrap()
+            .unwrap();
+        assert_eq!(dash.clicked_url, None);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        let err = parse_aol_line("not\tenough", 7).unwrap_err();
+        assert_eq!(err.line, 7);
+        assert!(err.message.contains("fields"));
+        let err = parse_aol_line("abc\tq\t2006-03-01 16:00:00", 9).unwrap_err();
+        assert!(err.message.contains("AnonID"));
+        let err = parse_aol_line("1\tq\tbadtime", 11).unwrap_err();
+        assert!(err.message.contains("QueryTime"));
+    }
+
+    #[test]
+    fn read_skips_header_and_blank_lines() {
+        let data = "AnonID\tQuery\tQueryTime\tItemRank\tClickURL\n\
+                    1\tsun\t2006-03-01 16:00:00\t-\t-\n\
+                    \n\
+                    2\tjava\t2006-03-01 16:05:00\t1\tjava.com\n";
+        let entries = read_aol(data.as_bytes()).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].clicked_url.as_deref(), Some("java.com"));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let entries = vec![
+            LogEntry::new(UserId(5), "sun java", Some("java.sun.com"), 1_141_228_911),
+            LogEntry::new(UserId(6), "solar cell", None, 1_141_300_000),
+        ];
+        let mut buf = Vec::new();
+        write_aol(&entries, &mut buf).unwrap();
+        let back = read_aol(buf.as_slice()).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn full_pipeline_accepts_aol_data() {
+        // AOL text → entries → interned log: the adoption path end to end.
+        let data = "1\tsun\t2006-03-01 16:00:00\t1\twww.java.com\n\
+                    1\tsun java\t2006-03-01 16:01:00\t1\tjava.sun.com\n\
+                    2\tsolar cell\t2006-03-02 09:00:00\t2\ten.wikipedia.org\n";
+        let entries = read_aol(data.as_bytes()).unwrap();
+        let log = crate::QueryLog::from_entries(&entries);
+        assert_eq!(log.num_queries(), 3);
+        assert_eq!(log.num_urls(), 3);
+        assert_eq!(log.num_users(), 3); // ids 0 (unused), 1, 2
+    }
+}

@@ -1,0 +1,41 @@
+//! Query-log substrate for the PQS-DA reproduction.
+//!
+//! The paper evaluates on a proprietary commercial search-engine log
+//! (12,085 users). This crate supplies everything that log provided:
+//!
+//! * the **data model** — entries shaped like the paper's Table I
+//!   (user, query, clicked URL, timestamp) with interning of queries, URLs
+//!   and terms into dense ids ([`entry`], [`ids`]);
+//! * the **text pipeline** — tokenization, normalization, stopwords
+//!   ([`text`]) and log cleaning in the spirit of Wang & Zhai \[33\]
+//!   ([`clean`]);
+//! * **session segmentation** — time-gap plus lexical-similarity
+//!   segmentation in the spirit of the paper's reference \[25\]
+//!   ([`session`]);
+//! * a **synthetic log generator** ([`synth`]) — a generative *topic world*
+//!   with ambiguous head queries, per-user preferences with temporal drift,
+//!   facet-specific URLs and click noise. This is the documented
+//!   substitution for the proprietary log (see DESIGN.md §4); its ground
+//!   truth doubles as the oracle for the evaluation metrics;
+//! * an **ODP-style taxonomy** ([`taxonomy`]) used by the Relevance metric
+//!   (paper Eq. 34).
+
+// Index-style loops are deliberate throughout this crate: the code mirrors
+// the paper's matrix/count-table notation (rows, columns, topic indices),
+// where explicit indices are clearer than iterator chains.
+#![allow(clippy::needless_range_loop)]
+
+pub mod clean;
+pub mod entry;
+pub mod ids;
+pub mod io;
+pub mod session;
+pub mod synth;
+pub mod taxonomy;
+pub mod text;
+
+pub use entry::{LogEntry, LogRecord, QueryLog};
+pub use ids::{QueryId, SessionId, TermId, UrlId, UserId};
+pub use session::{segment_sessions, Session, SessionConfig};
+pub use synth::{GroundTruth, SynthConfig, SyntheticLog, TopicWorld};
+pub use taxonomy::{CategoryPath, Taxonomy};

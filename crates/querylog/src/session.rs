@@ -1,0 +1,268 @@
+//! Session segmentation.
+//!
+//! The paper (Definition 1) treats a *session* as "a series of search
+//! queries that are submitted to satisfy a single information need" and
+//! derives sessions with the method of its reference \[25\] (Jiang, Leung &
+//! Ng, CIKM 2011). We implement the same family of segmenter: per user,
+//! chronological scan; a new query stays in the current session when it is
+//! close in *time* (gap below a threshold) **or** lexically similar to a
+//! recent query of the session; otherwise a new session starts.
+
+use crate::entry::QueryLog;
+use crate::ids::{QueryId, SessionId, UserId};
+use crate::text;
+use serde::{Deserialize, Serialize};
+
+/// Tunables for [`segment_sessions`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Hard gap: a pause longer than this always breaks the session, even
+    /// with lexical overlap (the classic 30-minute web-search cutoff).
+    pub hard_gap_secs: u64,
+    /// Soft gap: pauses up to this long keep the session unconditionally.
+    pub soft_gap_secs: u64,
+    /// Jaccard token-overlap threshold that keeps lexically related
+    /// reformulations in-session for pauses between the soft and hard gap.
+    pub similarity_threshold: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            hard_gap_secs: 30 * 60,
+            soft_gap_secs: 5 * 60,
+            similarity_threshold: 0.2,
+        }
+    }
+}
+
+/// A segmented session: one user's consecutive records pursuing one need.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    /// This session's id (dense, log-wide).
+    pub id: SessionId,
+    /// Owner.
+    pub user: UserId,
+    /// Indices into `QueryLog::records()`, chronological.
+    pub record_indices: Vec<usize>,
+    /// Distinct queries of the session, in first-appearance order.
+    pub queries: Vec<QueryId>,
+    /// First record timestamp.
+    pub start: u64,
+    /// Last record timestamp.
+    pub end: u64,
+}
+
+impl Session {
+    /// Number of records in the session.
+    pub fn len(&self) -> usize {
+        self.record_indices.len()
+    }
+
+    /// True when the session holds no records (never produced by the
+    /// segmenter; useful for manually built sessions).
+    pub fn is_empty(&self) -> bool {
+        self.record_indices.is_empty()
+    }
+}
+
+/// Segments the log into sessions and stamps each record's `session` field.
+/// Returns the sessions in id order.
+pub fn segment_sessions(log: &mut QueryLog, config: &SessionConfig) -> Vec<Session> {
+    // Group record indices per user, preserving chronological order.
+    let mut per_user: Vec<Vec<usize>> = vec![Vec::new(); log.num_users()];
+    for (i, r) in log.records().iter().enumerate() {
+        per_user[r.user.index()].push(i);
+    }
+
+    let mut sessions: Vec<Session> = Vec::new();
+    for (user_idx, indices) in per_user.iter().enumerate() {
+        let user = UserId::from_index(user_idx);
+        let mut current: Vec<usize> = Vec::new();
+        for &i in indices {
+            let stay = match current.last() {
+                None => true,
+                Some(&prev) => {
+                    let prev_rec = log.records()[prev];
+                    let rec = log.records()[i];
+                    let gap = rec.timestamp.saturating_sub(prev_rec.timestamp);
+                    if gap <= config.soft_gap_secs {
+                        true
+                    } else if gap > config.hard_gap_secs {
+                        false
+                    } else {
+                        // Medium gap: keep only lexically related queries.
+                        let a = log.query_text(prev_rec.query).to_owned();
+                        let b = log.query_text(rec.query);
+                        text::token_jaccard(&a, b) >= config.similarity_threshold
+                    }
+                }
+            };
+            if !stay {
+                flush(&mut sessions, user, std::mem::take(&mut current), log);
+            }
+            current.push(i);
+        }
+        flush(&mut sessions, user, current, log);
+    }
+
+    // Stamp records.
+    for s in &sessions {
+        for &i in &s.record_indices {
+            log.records_mut()[i].session = Some(s.id);
+        }
+    }
+    sessions
+}
+
+fn flush(sessions: &mut Vec<Session>, user: UserId, indices: Vec<usize>, log: &QueryLog) {
+    if indices.is_empty() {
+        return;
+    }
+    let id = SessionId::from_index(sessions.len());
+    let mut queries = Vec::new();
+    for &i in &indices {
+        let q = log.records()[i].query;
+        if !queries.contains(&q) {
+            queries.push(q);
+        }
+    }
+    let start = log.records()[indices[0]].timestamp;
+    let end = log.records()[*indices.last().unwrap()].timestamp;
+    sessions.push(Session {
+        id,
+        user,
+        record_indices: indices,
+        queries,
+        start,
+        end,
+    });
+}
+
+/// Groups already-stamped sessions by user: `result[user] = session ids`.
+pub fn sessions_by_user(sessions: &[Session], num_users: usize) -> Vec<Vec<SessionId>> {
+    let mut out = vec![Vec::new(); num_users];
+    for s in sessions {
+        out[s.user.index()].push(s.id);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::LogEntry;
+
+    fn build(entries: Vec<LogEntry>) -> (QueryLog, Vec<Session>) {
+        let mut log = QueryLog::from_entries(&entries);
+        let sessions = segment_sessions(&mut log, &SessionConfig::default());
+        (log, sessions)
+    }
+
+    #[test]
+    fn paper_table_one_yields_three_sessions() {
+        // Table I's three sessions: {q1,q2,q3}, {q4,q5}, {q6,q7} — we space
+        // the users' bursts closely and separate users naturally.
+        let entries = vec![
+            LogEntry::new(UserId(0), "sun", Some("www.java.com"), 100),
+            LogEntry::new(UserId(0), "sun java", Some("java.sun.com"), 120),
+            LogEntry::new(UserId(0), "jvm download", None, 200),
+            LogEntry::new(UserId(1), "sun", Some("www.suncellular.com"), 300),
+            LogEntry::new(UserId(1), "solar cell", Some("en.wikipedia.org"), 400),
+            LogEntry::new(UserId(2), "sun oracle", Some("www.oracle.com"), 500),
+            LogEntry::new(UserId(2), "java", Some("www.java.com"), 560),
+        ];
+        let (log, sessions) = build(entries);
+        assert_eq!(sessions.len(), 3);
+        assert_eq!(sessions[0].len(), 3);
+        assert_eq!(sessions[1].len(), 2);
+        assert_eq!(sessions[2].len(), 2);
+        // Every record is stamped.
+        assert!(log.records().iter().all(|r| r.session.is_some()));
+    }
+
+    #[test]
+    fn hard_gap_always_breaks() {
+        let entries = vec![
+            LogEntry::new(UserId(0), "sun java", None, 0),
+            // Same words, but 2 hours later: new information need.
+            LogEntry::new(UserId(0), "sun java", None, 7200),
+        ];
+        let (_, sessions) = build(entries);
+        assert_eq!(sessions.len(), 2);
+    }
+
+    #[test]
+    fn medium_gap_kept_only_with_lexical_overlap() {
+        let cfg = SessionConfig::default();
+        let medium = cfg.soft_gap_secs + 60;
+        // Overlapping reformulation survives the medium gap...
+        let entries = vec![
+            LogEntry::new(UserId(0), "solar cell", None, 0),
+            LogEntry::new(UserId(0), "solar cell efficiency", None, medium),
+        ];
+        let (_, s1) = build(entries);
+        assert_eq!(s1.len(), 1);
+        // ...an unrelated query does not.
+        let entries = vec![
+            LogEntry::new(UserId(0), "solar cell", None, 0),
+            LogEntry::new(UserId(0), "pizza delivery", None, medium),
+        ];
+        let (_, s2) = build(entries);
+        assert_eq!(s2.len(), 2);
+    }
+
+    #[test]
+    fn sessions_never_span_users() {
+        let entries = vec![
+            LogEntry::new(UserId(0), "sun", None, 0),
+            LogEntry::new(UserId(1), "sun", None, 1),
+        ];
+        let (_, sessions) = build(entries);
+        assert_eq!(sessions.len(), 2);
+        assert_ne!(sessions[0].user, sessions[1].user);
+    }
+
+    #[test]
+    fn session_query_lists_deduplicate() {
+        let entries = vec![
+            LogEntry::new(UserId(0), "sun", None, 0),
+            LogEntry::new(UserId(0), "sun", Some("www.java.com"), 10),
+            LogEntry::new(UserId(0), "sun java", None, 20),
+        ];
+        let (_, sessions) = build(entries);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].queries.len(), 2);
+        assert_eq!(sessions[0].record_indices.len(), 3);
+    }
+
+    #[test]
+    fn start_end_timestamps() {
+        let entries = vec![
+            LogEntry::new(UserId(0), "a b", None, 5),
+            LogEntry::new(UserId(0), "a c", None, 50),
+        ];
+        let (_, sessions) = build(entries);
+        assert_eq!(sessions[0].start, 5);
+        assert_eq!(sessions[0].end, 50);
+    }
+
+    #[test]
+    fn sessions_by_user_groups() {
+        let entries = vec![
+            LogEntry::new(UserId(0), "a", None, 0),
+            LogEntry::new(UserId(1), "b", None, 1),
+            LogEntry::new(UserId(0), "c", None, 100_000),
+        ];
+        let (log, sessions) = build(entries);
+        let by_user = sessions_by_user(&sessions, log.num_users());
+        assert_eq!(by_user[0].len(), 2);
+        assert_eq!(by_user[1].len(), 1);
+    }
+
+    #[test]
+    fn empty_log_no_sessions() {
+        let (_, sessions) = build(vec![]);
+        assert!(sessions.is_empty());
+    }
+}

@@ -1,0 +1,764 @@
+//! Synthetic query-log generator — the documented substitution for the
+//! paper's proprietary commercial log (DESIGN.md §4).
+//!
+//! The generator builds a *topic world*: a set of latent topics, each with
+//! several **facets** (distinct interpretations/senses), facet-specific word
+//! and URL vocabularies, and a pool of **ambiguous head terms** that belong
+//! to facets of *different* topics — the paper's "sun" (solar system vs. Sun
+//! Microsystems vs. the UK newspaper). Users carry Dirichlet topic
+//! preferences with temporal drift and a per-topic preferred facet; sessions
+//! pick a facet (user-biased), emit a chain of lexically coherent
+//! reformulation queries, and click facet-specific URLs with configurable
+//! noise.
+//!
+//! The output carries complete ground truth — which facet generated every
+//! record, every query's facet set, every URL's facet and "high-quality
+//! field" terms, each user's true preference — which the evaluation crate
+//! uses as its oracle (ODP categories, page similarity, HPR rater).
+
+use crate::entry::{LogEntry, QueryLog};
+use crate::ids::{SessionId, UrlId, UserId};
+use crate::session::Session;
+use crate::taxonomy::Taxonomy;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the topic world and of log generation. Defaults give a
+/// laptop-scale log (hundreds of users, tens of thousands of records) that
+/// preserves the structural properties the paper's arguments rest on.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// RNG seed; every run with the same config is bit-identical.
+    pub seed: u64,
+    /// Number of latent topics.
+    pub num_topics: usize,
+    /// Facets per topic, inclusive range.
+    pub facets_per_topic: (usize, usize),
+    /// Facet-specific vocabulary size.
+    pub words_per_facet: usize,
+    /// Facet-specific URL pool size.
+    pub urls_per_facet: usize,
+    /// Number of ambiguous head terms shared across topics.
+    pub num_ambiguous: usize,
+    /// How many facets each ambiguous term belongs to.
+    pub facets_per_ambiguous: usize,
+    /// Number of users.
+    pub num_users: usize,
+    /// Sessions per user, inclusive range.
+    pub sessions_per_user: (usize, usize),
+    /// Queries per session, inclusive range.
+    pub queries_per_session: (usize, usize),
+    /// Probability a query receives a click.
+    pub click_prob: f64,
+    /// Probability a click lands on a random (off-facet) URL — the
+    /// clickthrough noise the paper calls out in §III.
+    pub click_noise: f64,
+    /// Probability a session opens with a bare ambiguous head query (when
+    /// its facet has one) — the query-uncertainty scenario.
+    pub ambiguous_open_prob: f64,
+    /// Probability a session picks the user's preferred facet of the chosen
+    /// topic rather than a uniform facet.
+    pub facet_loyalty: f64,
+    /// Dirichlet concentration of user topic preferences; lower = more
+    /// focused users, which personalization exploits.
+    pub user_focus: f64,
+    /// Strength of temporal preference drift in `[0, 1]`; a user's
+    /// preference interpolates from its initial to a second Dirichlet draw
+    /// over the log period.
+    pub drift: f64,
+    /// Log time span in seconds.
+    pub time_span_secs: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            seed: 42,
+            num_topics: 10,
+            facets_per_topic: (2, 4),
+            words_per_facet: 24,
+            urls_per_facet: 12,
+            num_ambiguous: 12,
+            facets_per_ambiguous: 3,
+            num_users: 300,
+            sessions_per_user: (12, 28),
+            queries_per_session: (1, 5),
+            click_prob: 0.7,
+            click_noise: 0.05,
+            ambiguous_open_prob: 0.35,
+            facet_loyalty: 0.75,
+            user_focus: 0.25,
+            drift: 0.35,
+            time_span_secs: 120 * 24 * 3600,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A tiny configuration for fast unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        SynthConfig {
+            seed,
+            num_topics: 4,
+            facets_per_topic: (2, 3),
+            words_per_facet: 10,
+            urls_per_facet: 5,
+            num_ambiguous: 4,
+            facets_per_ambiguous: 2,
+            num_users: 20,
+            sessions_per_user: (4, 8),
+            queries_per_session: (1, 4),
+            ..SynthConfig::default()
+        }
+    }
+}
+
+/// One facet (sense) of a topic: its vocabulary, URL pool and URL "titles".
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Facet {
+    /// Owning topic index.
+    pub topic: usize,
+    /// Taxonomy label, e.g. `facet03`.
+    pub name: String,
+    /// Facet-specific query vocabulary; `words\[0\]` is the facet head word.
+    pub words: Vec<String>,
+    /// Ambiguous head terms attached to this facet (also usable in queries).
+    pub ambiguous: Vec<String>,
+    /// Facet URL strings.
+    pub urls: Vec<String>,
+    /// Per-URL "high-quality field" terms (HTML title + document title per
+    /// the paper's PPR metric) drawn from the facet vocabulary.
+    pub url_fields: Vec<Vec<String>>,
+}
+
+/// The latent world: topics, facets and the ambiguous-term pool.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TopicWorld {
+    /// Taxonomy label per topic, e.g. `topic02`.
+    pub topic_names: Vec<String>,
+    /// All facets, global ids; `facets[f].topic` links back.
+    pub facets: Vec<Facet>,
+    /// Facet ids per topic.
+    pub topic_facets: Vec<Vec<usize>>,
+    /// `(term, facet ids)` for each ambiguous head term.
+    pub ambiguous: Vec<(String, Vec<usize>)>,
+}
+
+impl TopicWorld {
+    /// Builds the world deterministically from the config.
+    pub fn generate(cfg: &SynthConfig, rng: &mut SmallRng) -> Self {
+        assert!(cfg.num_topics >= 1, "need at least one topic");
+        assert!(
+            cfg.facets_per_topic.0 >= 1 && cfg.facets_per_topic.0 <= cfg.facets_per_topic.1,
+            "invalid facets_per_topic range"
+        );
+        let mut word_counter = 0usize;
+        let mut facets: Vec<Facet> = Vec::new();
+        let mut topic_facets: Vec<Vec<usize>> = Vec::new();
+        let mut topic_names = Vec::new();
+        for t in 0..cfg.num_topics {
+            topic_names.push(format!("topic{t:02}"));
+            let n_facets = rng.gen_range(cfg.facets_per_topic.0..=cfg.facets_per_topic.1);
+            let mut ids = Vec::new();
+            for _ in 0..n_facets {
+                let fid = facets.len();
+                ids.push(fid);
+                let words: Vec<String> = (0..cfg.words_per_facet)
+                    .map(|_| {
+                        word_counter += 1;
+                        pseudo_word(rng, word_counter)
+                    })
+                    .collect();
+                let urls: Vec<String> = (0..cfg.urls_per_facet)
+                    .map(|u| format!("www.{}-{}.com/page{}", words[0], fid, u))
+                    .collect();
+                let url_fields = (0..cfg.urls_per_facet)
+                    .map(|_| {
+                        // Title ≈ head word + 3–6 facet words.
+                        let k = rng.gen_range(3..=6);
+                        let mut fields = vec![words[0].clone()];
+                        for _ in 0..k {
+                            fields.push(words[rng.gen_range(0..words.len())].clone());
+                        }
+                        fields
+                    })
+                    .collect();
+                facets.push(Facet {
+                    topic: t,
+                    name: format!("facet{fid:02}"),
+                    words,
+                    ambiguous: Vec::new(),
+                    urls,
+                    url_fields,
+                });
+            }
+            topic_facets.push(ids);
+        }
+        // Ambiguous head terms spanning facets of different topics.
+        let mut ambiguous = Vec::new();
+        for _ in 0..cfg.num_ambiguous {
+            word_counter += 1;
+            let term = pseudo_word(rng, word_counter);
+            let mut chosen: Vec<usize> = Vec::new();
+            let mut chosen_topics: Vec<usize> = Vec::new();
+            let want = cfg.facets_per_ambiguous.min(cfg.num_topics);
+            let mut guard = 0;
+            while chosen.len() < want && guard < 1000 {
+                guard += 1;
+                let f = rng.gen_range(0..facets.len());
+                if !chosen.contains(&f) && !chosen_topics.contains(&facets[f].topic) {
+                    chosen_topics.push(facets[f].topic);
+                    chosen.push(f);
+                }
+            }
+            for &f in &chosen {
+                facets[f].ambiguous.push(term.clone());
+            }
+            ambiguous.push((term, chosen));
+        }
+        TopicWorld {
+            topic_names,
+            facets,
+            topic_facets,
+            ambiguous,
+        }
+    }
+
+    /// Number of facets across all topics.
+    pub fn num_facets(&self) -> usize {
+        self.facets.len()
+    }
+}
+
+/// Ground truth emitted alongside the log; indexes are parallel to the
+/// interned [`QueryLog`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Facet that generated each record (parallel to `log.records()`).
+    pub record_facet: Vec<u32>,
+    /// The generator's sessions (the oracle the segmenter is tested
+    /// against); records carry these ids in their `session` field.
+    pub sessions: Vec<Session>,
+    /// Facet of each session (parallel to `sessions`).
+    pub session_facet: Vec<u32>,
+    /// All facets that ever generated each distinct query
+    /// (indexed by `QueryId`); ambiguous queries list several.
+    pub query_facets: Vec<Vec<u32>>,
+    /// Facet of each URL (indexed by `UrlId`).
+    pub url_facet: Vec<u32>,
+    /// "High-quality field" terms of each URL (indexed by `UrlId`).
+    pub url_fields: Vec<Vec<String>>,
+    /// Each user's *final* topic preference distribution.
+    pub user_pref: Vec<Vec<f64>>,
+    /// Each user's preferred facet per topic (global facet id).
+    pub user_facet_pref: Vec<Vec<u32>>,
+    /// Owning topic of each facet.
+    pub facet_topic: Vec<u32>,
+    /// ODP-style taxonomy: every query mapped to `Top/<topic>/<facet>` of
+    /// its dominant generating facet.
+    pub taxonomy: Taxonomy,
+}
+
+/// A generated log: the interned records plus the world and ground truth.
+#[derive(Clone, Debug)]
+pub struct SyntheticLog {
+    /// The interned query log (records already carry generator sessions).
+    pub log: QueryLog,
+    /// The latent topic world.
+    pub world: TopicWorld,
+    /// The oracle.
+    pub truth: GroundTruth,
+}
+
+/// Generates a complete synthetic log from the configuration.
+pub fn generate(cfg: &SynthConfig) -> SyntheticLog {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let world = TopicWorld::generate(cfg, &mut rng);
+
+    // --- users -----------------------------------------------------------
+    let mut pref_start = Vec::with_capacity(cfg.num_users);
+    let mut pref_end = Vec::with_capacity(cfg.num_users);
+    let mut facet_pref = Vec::with_capacity(cfg.num_users);
+    for _ in 0..cfg.num_users {
+        pref_start.push(dirichlet(&mut rng, cfg.num_topics, cfg.user_focus));
+        pref_end.push(dirichlet(&mut rng, cfg.num_topics, cfg.user_focus));
+        let prefs: Vec<u32> = world
+            .topic_facets
+            .iter()
+            .map(|fs| fs[rng.gen_range(0..fs.len())] as u32)
+            .collect();
+        facet_pref.push(prefs);
+    }
+
+    // --- sessions --------------------------------------------------------
+    struct PendingEntry {
+        entry: LogEntry,
+        facet: u32,
+        gen_session: usize,
+    }
+    let mut pending: Vec<PendingEntry> = Vec::new();
+    let mut session_facets: Vec<u32> = Vec::new();
+    let mut num_sessions = 0usize;
+
+    for u in 0..cfg.num_users {
+        let n_sessions = rng.gen_range(cfg.sessions_per_user.0..=cfg.sessions_per_user.1);
+        // Session start times, sorted, spaced at least an hour apart.
+        let mut starts: Vec<u64> = (0..n_sessions)
+            .map(|_| rng.gen_range(0..cfg.time_span_secs))
+            .collect();
+        starts.sort_unstable();
+        for (si, &start) in starts.iter().enumerate() {
+            let _ = si;
+            let t_norm = start as f64 / cfg.time_span_secs as f64;
+            // Interpolated preference with drift.
+            let w = cfg.drift * t_norm;
+            let pref: Vec<f64> = pref_start[u]
+                .iter()
+                .zip(&pref_end[u])
+                .map(|(a, b)| (1.0 - w) * a + w * b)
+                .collect();
+            let topic = pqsda_sample(&pref, rng.gen::<f64>());
+            let facet = if rng.gen::<f64>() < cfg.facet_loyalty {
+                facet_pref[u][topic] as usize
+            } else {
+                let fs = &world.topic_facets[topic];
+                fs[rng.gen_range(0..fs.len())]
+            };
+            let fobj = &world.facets[facet];
+            let n_queries = rng.gen_range(cfg.queries_per_session.0..=cfg.queries_per_session.1);
+            let gen_session = num_sessions;
+            num_sessions += 1;
+            session_facets.push(facet as u32);
+
+            let mut ts = start;
+            let mut prev_words: Vec<String> = Vec::new();
+            for qi in 0..n_queries {
+                let open_ambiguous = qi == 0
+                    && !fobj.ambiguous.is_empty()
+                    && rng.gen::<f64>() < cfg.ambiguous_open_prob;
+                let words: Vec<String> = if open_ambiguous {
+                    vec![fobj.ambiguous[rng.gen_range(0..fobj.ambiguous.len())].clone()]
+                } else if prev_words.is_empty() {
+                    // Fresh query: head word with high probability + 0–2 more.
+                    let mut ws = Vec::new();
+                    if rng.gen::<f64>() < 0.6 {
+                        ws.push(fobj.words[0].clone());
+                    }
+                    let extra = rng.gen_range(1..=2);
+                    for _ in 0..extra {
+                        ws.push(fobj.words[rng.gen_range(0..fobj.words.len())].clone());
+                    }
+                    ws.dedup();
+                    ws
+                } else {
+                    // Reformulation: keep one previous word, add a facet word.
+                    let keep = prev_words[rng.gen_range(0..prev_words.len())].clone();
+                    let mut ws = vec![keep];
+                    let add = fobj.words[rng.gen_range(0..fobj.words.len())].clone();
+                    if ws[0] != add {
+                        ws.push(add);
+                    }
+                    ws
+                };
+                prev_words = words.clone();
+                let query = words.join(" ");
+                // Click: facet URL (Zipf-weighted) or noise.
+                let clicked: Option<String> = if rng.gen::<f64>() < cfg.click_prob {
+                    if rng.gen::<f64>() < cfg.click_noise {
+                        let rf = rng.gen_range(0..world.facets.len());
+                        let ru = rng.gen_range(0..world.facets[rf].urls.len());
+                        Some(world.facets[rf].urls[ru].clone())
+                    } else {
+                        let ru = zipf_index(&mut rng, fobj.urls.len());
+                        Some(fobj.urls[ru].clone())
+                    }
+                } else {
+                    None
+                };
+                pending.push(PendingEntry {
+                    entry: LogEntry::new(
+                        UserId::from_index(u),
+                        query,
+                        clicked.as_deref(),
+                        ts,
+                    ),
+                    facet: facet as u32,
+                    gen_session,
+                });
+                ts += rng.gen_range(15..120);
+            }
+        }
+    }
+
+    // --- intern, preserving ground-truth alignment ------------------------
+    pending.sort_by_key(|p| p.entry.timestamp);
+    let mut log = QueryLog::default();
+    let mut record_facet: Vec<u32> = Vec::with_capacity(pending.len());
+    let mut record_gen_session: Vec<usize> = Vec::with_capacity(pending.len());
+    for p in &pending {
+        let idx = log
+            .push_entry(&p.entry)
+            .expect("generator never emits empty queries");
+        debug_assert_eq!(idx, record_facet.len());
+        record_facet.push(p.facet);
+        record_gen_session.push(p.gen_session);
+    }
+
+    // Sessions: map generator sessions to dense SessionIds in first-record
+    // order and stamp the records.
+    let mut session_map: Vec<Option<SessionId>> = vec![None; num_sessions];
+    let mut sessions: Vec<Session> = Vec::new();
+    let mut session_facet_out: Vec<u32> = Vec::new();
+    for (i, &gs) in record_gen_session.iter().enumerate() {
+        let rec = log.records()[i];
+        let sid = match session_map[gs] {
+            Some(sid) => sid,
+            None => {
+                let sid = SessionId::from_index(sessions.len());
+                session_map[gs] = Some(sid);
+                sessions.push(Session {
+                    id: sid,
+                    user: rec.user,
+                    record_indices: Vec::new(),
+                    queries: Vec::new(),
+                    start: rec.timestamp,
+                    end: rec.timestamp,
+                });
+                session_facet_out.push(session_facets[gs]);
+                sid
+            }
+        };
+        let s = &mut sessions[sid.index()];
+        s.record_indices.push(i);
+        if !s.queries.contains(&rec.query) {
+            s.queries.push(rec.query);
+        }
+        s.start = s.start.min(rec.timestamp);
+        s.end = s.end.max(rec.timestamp);
+        log.records_mut()[i].session = Some(sid);
+    }
+
+    // Query → facet sets, URL ground truth, taxonomy.
+    let mut query_facets: Vec<Vec<u32>> = vec![Vec::new(); log.num_queries()];
+    let mut query_facet_counts: Vec<std::collections::HashMap<u32, u32>> =
+        vec![std::collections::HashMap::new(); log.num_queries()];
+    for (i, r) in log.records().iter().enumerate() {
+        let f = record_facet[i];
+        let qf = &mut query_facets[r.query.index()];
+        if !qf.contains(&f) {
+            qf.push(f);
+        }
+        *query_facet_counts[r.query.index()].entry(f).or_insert(0) += 1;
+    }
+    let mut url_facet = vec![u32::MAX; log.num_urls()];
+    let mut url_fields: Vec<Vec<String>> = vec![Vec::new(); log.num_urls()];
+    for (fid, facet) in world.facets.iter().enumerate() {
+        for (ui, url) in facet.urls.iter().enumerate() {
+            // Only URLs that were actually clicked exist in the log.
+            if let Some(uid) = lookup_url(&log, url) {
+                url_facet[uid.index()] = fid as u32;
+                url_fields[uid.index()] = facet.url_fields[ui].clone();
+            }
+        }
+    }
+
+    let mut taxonomy = Taxonomy::new();
+    for q in 0..log.num_queries() {
+        if let Some((&facet, _)) = query_facet_counts[q]
+            .iter()
+            .max_by_key(|&(&f, &c)| (c, std::cmp::Reverse(f)))
+        {
+            let f = &world.facets[facet as usize];
+            taxonomy.assign(
+                crate::ids::QueryId::from_index(q),
+                &["Top", &world.topic_names[f.topic], &f.name],
+            );
+        }
+    }
+
+    let facet_topic: Vec<u32> = world.facets.iter().map(|f| f.topic as u32).collect();
+    // Final preference = drift-interpolated at t = 1.
+    let user_pref: Vec<Vec<f64>> = (0..cfg.num_users)
+        .map(|u| {
+            pref_start[u]
+                .iter()
+                .zip(&pref_end[u])
+                .map(|(a, b)| (1.0 - cfg.drift) * a + cfg.drift * b)
+                .collect()
+        })
+        .collect();
+
+    SyntheticLog {
+        truth: GroundTruth {
+            record_facet,
+            sessions,
+            session_facet: session_facet_out,
+            query_facets,
+            url_facet,
+            url_fields,
+            user_pref,
+            user_facet_pref: facet_pref,
+            facet_topic,
+            taxonomy,
+        },
+        world,
+        log,
+    }
+}
+
+fn lookup_url(log: &QueryLog, url: &str) -> Option<UrlId> {
+    // QueryLog has no public URL lookup by design (URLs are write-mostly);
+    // a linear probe over the interner keeps the generator self-contained.
+    (0..log.num_urls())
+        .map(UrlId::from_index)
+        .find(|&u| log.url_text(u) == url)
+}
+
+/// A pronounceable pseudo-word with a uniqueness suffix, e.g. `korita17`.
+fn pseudo_word(rng: &mut SmallRng, counter: usize) -> String {
+    const SYL: [&str; 16] = [
+        "ba", "ko", "ri", "ta", "mu", "ne", "so", "lu", "pi", "da", "ve", "zo", "ga", "hi",
+        "fe", "wa",
+    ];
+    let n = rng.gen_range(2..=3);
+    let mut w = String::new();
+    for _ in 0..n {
+        w.push_str(SYL[rng.gen_range(0..SYL.len())]);
+    }
+    w.push_str(&counter.to_string());
+    w
+}
+
+/// A symmetric Dirichlet(concentration) sample via Gamma draws
+/// (Marsaglia–Tsang, with the shape<1 boost).
+fn dirichlet(rng: &mut SmallRng, k: usize, concentration: f64) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..k).map(|_| gamma_sample(rng, concentration)).collect();
+    let s: f64 = v.iter().sum();
+    if s <= 0.0 {
+        return vec![1.0 / k as f64; k];
+    }
+    for x in &mut v {
+        *x /= s;
+    }
+    v
+}
+
+/// Gamma(shape, 1) sampler (Marsaglia & Tsang 2000).
+fn gamma_sample(rng: &mut SmallRng, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma_sample: shape must be positive");
+    if shape < 1.0 {
+        // Boost: G(a) = G(a+1) * U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma_sample(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Zipf-weighted index in `0..n` (rank-1 most likely).
+fn zipf_index(rng: &mut SmallRng, n: usize) -> usize {
+    debug_assert!(n > 0);
+    let weights: Vec<f64> = (1..=n).map(|r| 1.0 / r as f64).collect();
+    pqsda_sample(&weights, rng.gen::<f64>())
+}
+
+/// Categorical sample from non-negative weights given a uniform draw
+/// (duplicated from `pqsda-linalg` to keep this crate dependency-light).
+fn pqsda_sample(weights: &[f64], u: f64) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut target = u.clamp(0.0, 1.0 - f64::EPSILON) * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticLog {
+        generate(&SynthConfig::tiny(7))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&SynthConfig::tiny(7));
+        let b = generate(&SynthConfig::tiny(7));
+        assert_eq!(a.log.records().len(), b.log.records().len());
+        assert_eq!(a.truth.record_facet, b.truth.record_facet);
+        assert_eq!(a.log.num_queries(), b.log.num_queries());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SynthConfig::tiny(7));
+        let b = generate(&SynthConfig::tiny(8));
+        // Overwhelmingly likely to produce different record counts or facets.
+        assert!(
+            a.log.records().len() != b.log.records().len()
+                || a.truth.record_facet != b.truth.record_facet
+        );
+    }
+
+    #[test]
+    fn ground_truth_is_aligned() {
+        let s = small();
+        assert_eq!(s.truth.record_facet.len(), s.log.records().len());
+        assert_eq!(s.truth.query_facets.len(), s.log.num_queries());
+        assert_eq!(s.truth.url_facet.len(), s.log.num_urls());
+        assert_eq!(s.truth.url_fields.len(), s.log.num_urls());
+        assert_eq!(s.truth.user_pref.len(), 20);
+        assert_eq!(s.truth.session_facet.len(), s.truth.sessions.len());
+    }
+
+    #[test]
+    fn every_record_has_a_session() {
+        let s = small();
+        assert!(s.log.records().iter().all(|r| r.session.is_some()));
+        // And sessions index their records consistently.
+        for sess in &s.truth.sessions {
+            for &i in &sess.record_indices {
+                assert_eq!(s.log.records()[i].session, Some(sess.id));
+                assert_eq!(s.log.records()[i].user, sess.user);
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_are_single_facet_and_single_user() {
+        let s = small();
+        for (sess, &facet) in s.truth.sessions.iter().zip(&s.truth.session_facet) {
+            for &i in &sess.record_indices {
+                assert_eq!(s.truth.record_facet[i], facet);
+            }
+        }
+    }
+
+    #[test]
+    fn ambiguous_terms_span_topics() {
+        let s = small();
+        assert!(!s.world.ambiguous.is_empty());
+        for (term, facets) in &s.world.ambiguous {
+            assert!(!term.is_empty());
+            assert!(facets.len() >= 2, "ambiguous term in only {facets:?}");
+            let topics: std::collections::HashSet<usize> =
+                facets.iter().map(|&f| s.world.facets[f].topic).collect();
+            assert_eq!(topics.len(), facets.len(), "facets must be in distinct topics");
+        }
+    }
+
+    #[test]
+    fn some_queries_are_ambiguous() {
+        let s = small();
+        let multi = s
+            .truth
+            .query_facets
+            .iter()
+            .filter(|fs| fs.len() >= 2)
+            .count();
+        assert!(multi > 0, "no ambiguous queries were generated");
+    }
+
+    #[test]
+    fn clicked_urls_have_ground_truth() {
+        let s = small();
+        for u in 0..s.log.num_urls() {
+            assert_ne!(s.truth.url_facet[u], u32::MAX, "url {u} missing facet");
+            assert!(!s.truth.url_fields[u].is_empty(), "url {u} missing fields");
+        }
+    }
+
+    #[test]
+    fn taxonomy_covers_every_query() {
+        let s = small();
+        assert_eq!(s.truth.taxonomy.assigned_count(), s.log.num_queries());
+        // Paths are Top/<topic>/<facet> — depth 3.
+        for q in 0..s.log.num_queries() {
+            let p = s
+                .truth
+                .taxonomy
+                .category(crate::ids::QueryId::from_index(q))
+                .unwrap();
+            assert_eq!(p.len(), 3);
+        }
+    }
+
+    #[test]
+    fn user_preferences_are_distributions() {
+        let s = small();
+        for pref in &s.truth.user_pref {
+            assert_eq!(pref.len(), 4);
+            assert!((pref.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(pref.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn click_volume_matches_probability_roughly() {
+        let s = generate(&SynthConfig {
+            num_users: 100,
+            ..SynthConfig::tiny(3)
+        });
+        let clicks = s.log.records().iter().filter(|r| r.click.is_some()).count();
+        let frac = clicks as f64 / s.log.records().len() as f64;
+        assert!((frac - 0.7).abs() < 0.08, "click fraction {frac}");
+    }
+
+    #[test]
+    fn records_are_chronological() {
+        let s = small();
+        let ts: Vec<u64> = s.log.records().iter().map(|r| r.timestamp).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn gamma_sampler_mean_is_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for &shape in &[0.3f64, 1.0, 4.5] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| gamma_sample(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.1 * shape.max(0.5),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = dirichlet(&mut rng, 8, 0.2);
+        assert_eq!(d.len(), 8);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            counts[zipf_index(&mut rng, 5)] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+    }
+}

@@ -1,0 +1,200 @@
+//! An ODP-style category taxonomy over queries.
+//!
+//! The paper's Relevance metric (Eq. 34) scores two queries by the
+//! ODP (dmoz) categories they map to: the length of the categories' longest
+//! common path prefix divided by the longer path length. ODP is gone (and
+//! was never redistributable), so this module provides the same *shape*:
+//! a rooted tree of labelled categories plus a query → category-path
+//! assignment. The synthetic generator assigns each query the path
+//! `Top / <topic> / <facet>`, and hand-built logs can assign arbitrary
+//! deeper paths.
+
+use crate::ids::{Interner, QueryId};
+use serde::{Deserialize, Serialize};
+
+/// A path from the taxonomy root, as interned label segments
+/// (e.g. `Top / Computers / Java`). The root itself is the empty path.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CategoryPath {
+    /// Interned label id per segment, from the root down.
+    pub segments: Vec<u32>,
+}
+
+impl CategoryPath {
+    /// Path depth (number of segments).
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True for the root path.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Length of the longest common prefix with `other` — the `|PF(·,·)|`
+    /// of Eq. 34.
+    pub fn common_prefix_len(&self, other: &CategoryPath) -> usize {
+        self.segments
+            .iter()
+            .zip(&other.segments)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+}
+
+/// A query → category-path assignment with interned labels.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Taxonomy {
+    labels: Interner,
+    assignments: Vec<Option<CategoryPath>>,
+}
+
+impl Taxonomy {
+    /// An empty taxonomy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns `query` the category path given by `labels` (root-first).
+    pub fn assign(&mut self, query: QueryId, labels: &[&str]) {
+        let path = CategoryPath {
+            segments: labels.iter().map(|l| self.labels.intern(l)).collect(),
+        };
+        if self.assignments.len() <= query.index() {
+            self.assignments.resize(query.index() + 1, None);
+        }
+        self.assignments[query.index()] = Some(path);
+    }
+
+    /// The category path of a query, if assigned.
+    pub fn category(&self, query: QueryId) -> Option<&CategoryPath> {
+        self.assignments.get(query.index()).and_then(Option::as_ref)
+    }
+
+    /// Renders a path back to `Top/Computers/Java` form.
+    pub fn render(&self, path: &CategoryPath) -> String {
+        path.segments
+            .iter()
+            .map(|&s| self.labels.resolve(s))
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+
+    /// The paper's Eq. 34:
+    /// `R(q_i, q_j) = |PF(A_i, A_j)| / max(|A_i|, |A_j|)`.
+    ///
+    /// Queries without an assigned category score 0 against everything —
+    /// the conservative choice the paper's automatic evaluation also makes
+    /// for unmapped queries.
+    pub fn relevance(&self, a: QueryId, b: QueryId) -> f64 {
+        match (self.category(a), self.category(b)) {
+            (Some(pa), Some(pb)) => {
+                let denom = pa.len().max(pb.len());
+                if denom == 0 {
+                    0.0
+                } else {
+                    pa.common_prefix_len(pb) as f64 / denom as f64
+                }
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Number of queries with an assignment.
+    pub fn assigned_count(&self) -> usize {
+        self.assignments.iter().filter(|a| a.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Taxonomy {
+        let mut t = Taxonomy::new();
+        t.assign(QueryId(0), &["Top", "Computers", "Java"]);
+        t.assign(QueryId(1), &["Top", "Computers", "Hardware"]);
+        t.assign(QueryId(2), &["Top", "Science", "Astronomy"]);
+        t.assign(QueryId(3), &["Top", "Computers", "Java"]);
+        t
+    }
+
+    #[test]
+    fn identical_categories_score_one() {
+        let t = setup();
+        assert!((t.relevance(QueryId(0), QueryId(3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sibling_categories_share_prefix() {
+        let t = setup();
+        // Common prefix Top/Computers (2 of 3).
+        assert!((t.relevance(QueryId(0), QueryId(1)) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distant_categories_share_only_root() {
+        let t = setup();
+        assert!((t.relevance(QueryId(0), QueryId(2)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relevance_is_symmetric() {
+        let t = setup();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                assert_eq!(
+                    t.relevance(QueryId(a), QueryId(b)),
+                    t.relevance(QueryId(b), QueryId(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_depths_use_max_length() {
+        let mut t = Taxonomy::new();
+        t.assign(QueryId(0), &["Top", "Computers"]);
+        t.assign(QueryId(1), &["Top", "Computers", "Java", "JVM"]);
+        assert!((t.relevance(QueryId(0), QueryId(1)) - 2.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unassigned_queries_score_zero() {
+        let t = setup();
+        assert_eq!(t.relevance(QueryId(0), QueryId(99)), 0.0);
+        assert_eq!(t.relevance(QueryId(99), QueryId(100)), 0.0);
+    }
+
+    #[test]
+    fn labels_are_shared_across_paths() {
+        let t = setup();
+        let p0 = t.category(QueryId(0)).unwrap();
+        let p1 = t.category(QueryId(1)).unwrap();
+        assert_eq!(p0.segments[0], p1.segments[0]);
+        assert_eq!(p0.segments[1], p1.segments[1]);
+        assert_ne!(p0.segments[2], p1.segments[2]);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let t = setup();
+        assert_eq!(
+            t.render(t.category(QueryId(2)).unwrap()),
+            "Top/Science/Astronomy"
+        );
+    }
+
+    #[test]
+    fn reassignment_overwrites() {
+        let mut t = setup();
+        t.assign(QueryId(0), &["Top", "Science"]);
+        assert_eq!(t.render(t.category(QueryId(0)).unwrap()), "Top/Science");
+    }
+
+    #[test]
+    fn assigned_count_tracks() {
+        let t = setup();
+        assert_eq!(t.assigned_count(), 4);
+    }
+}

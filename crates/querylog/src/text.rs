@@ -1,0 +1,134 @@
+//! Query text normalization and tokenization.
+//!
+//! Search queries are short, case-insensitive and noisy; the pipeline here
+//! is deliberately simple and deterministic: Unicode-lowercase, split on
+//! anything that is not alphanumeric, drop pure stopwords and over-long
+//! tokens. The query–term bipartite (paper §III, Fig. 2(c)) is built from
+//! exactly these tokens.
+
+/// Stopwords excluded from the query–term bipartite. Common web-search
+/// operators and English function words; a short list on purpose — query
+/// terms carry most of the signal and over-aggressive filtering starves the
+/// term bipartite.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "how", "in", "is", "it",
+    "of", "on", "or", "that", "the", "this", "to", "was", "what", "when", "where", "which",
+    "who", "will", "with", "www", "com", "http", "https",
+];
+
+/// Maximum token length kept; longer tokens are almost always junk
+/// (base64 fragments, session ids pasted into the search box).
+pub const MAX_TOKEN_LEN: usize = 24;
+
+/// Returns `true` for tokens on the stopword list.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.contains(&token)
+}
+
+/// Normalizes a raw query string: lowercases and collapses all
+/// non-alphanumeric runs to single spaces, trimming the ends.
+///
+/// Normalized equality is the identity used when interning queries, so
+/// `"Sun  Java"` and `"sun java"` become the same [`crate::QueryId`].
+pub fn normalize(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut last_space = true;
+    for ch in raw.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Tokenizes a *normalized* query into indexable terms: splits on spaces,
+/// drops stopwords and over-long tokens. Duplicate terms are preserved
+/// (term frequency matters for the `cfiqf` weights).
+pub fn tokenize(normalized: &str) -> Vec<&str> {
+    normalized
+        .split(' ')
+        .filter(|t| !t.is_empty() && !is_stopword(t) && t.len() <= MAX_TOKEN_LEN)
+        .collect()
+}
+
+/// Convenience: normalize + tokenize, returning owned tokens.
+pub fn normalize_and_tokenize(raw: &str) -> Vec<String> {
+    let norm = normalize(raw);
+    tokenize(&norm).into_iter().map(str::to_owned).collect()
+}
+
+/// Jaccard similarity between the token sets of two normalized queries;
+/// the lexical signal used by session segmentation.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<&str> = tokenize(a).into_iter().collect();
+    let sb: HashSet<&str> = tokenize(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_lowercases_and_collapses() {
+        assert_eq!(normalize("Sun  Java!!"), "sun java");
+        assert_eq!(normalize("  JVM-Download "), "jvm download");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("???"), "");
+    }
+
+    #[test]
+    fn normalize_handles_unicode() {
+        assert_eq!(normalize("Café MÜNCHEN"), "café münchen");
+    }
+
+    #[test]
+    fn tokenize_drops_stopwords_and_long_tokens() {
+        assert_eq!(tokenize("the sun and java"), vec!["sun", "java"]);
+        let long = "a".repeat(MAX_TOKEN_LEN + 1);
+        let norm = normalize(&format!("sun {long}"));
+        assert_eq!(tokenize(&norm), vec!["sun"]);
+    }
+
+    #[test]
+    fn tokenize_preserves_duplicates() {
+        assert_eq!(tokenize("sun sun java"), vec!["sun", "sun", "java"]);
+    }
+
+    #[test]
+    fn normalize_and_tokenize_end_to_end() {
+        assert_eq!(
+            normalize_and_tokenize("How to Download JVM?"),
+            vec!["download", "jvm"]
+        );
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert!((token_jaccard("sun java", "java sun") - 1.0).abs() < 1e-12);
+        assert!((token_jaccard("sun java", "sun oracle") - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(token_jaccard("sun", "moon"), 0.0);
+        assert_eq!(token_jaccard("", ""), 0.0);
+    }
+
+    #[test]
+    fn stopword_membership() {
+        assert!(is_stopword("the"));
+        assert!(!is_stopword("sun"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the query-log substrate.
+
+use pqsda_querylog::clean::{clean_entries, CleanConfig};
+use pqsda_querylog::io::{format_timestamp, parse_timestamp, read_aol, write_aol};
+use pqsda_querylog::session::{segment_sessions, SessionConfig};
+use pqsda_querylog::text;
+use pqsda_querylog::{LogEntry, QueryLog, UserId};
+use proptest::prelude::*;
+
+/// Strategy: a plausible raw query string (possibly messy).
+fn raw_query() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just("sun".to_owned()),
+            Just("java".to_owned()),
+            Just("solar".to_owned()),
+            Just("the".to_owned()),
+            "[a-z]{1,8}",
+            Just("!!!".to_owned()),
+        ],
+        1..5,
+    )
+    .prop_map(|ws| ws.join(" "))
+}
+
+fn entries() -> impl Strategy<Value = Vec<LogEntry>> {
+    prop::collection::vec(
+        (0u32..5, raw_query(), prop::option::of("[a-z]{3,6}\\.com"), 0u64..100_000),
+        0..60,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(u, q, url, ts)| LogEntry::new(UserId(u), q, url.as_deref(), ts))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn normalize_is_idempotent(raw in ".{0,40}") {
+        let once = text::normalize(&raw);
+        let twice = text::normalize(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalized_queries_have_no_double_spaces(raw in ".{0,40}") {
+        let n = text::normalize(&raw);
+        prop_assert!(!n.contains("  "));
+        prop_assert!(!n.starts_with(' '));
+        prop_assert!(!n.ends_with(' '));
+    }
+
+    #[test]
+    fn tokenize_only_emits_nonstopword_tokens(raw in ".{0,40}") {
+        let n = text::normalize(&raw);
+        for t in text::tokenize(&n) {
+            prop_assert!(!t.is_empty());
+            prop_assert!(!text::is_stopword(t));
+            prop_assert!(t.len() <= text::MAX_TOKEN_LEN);
+        }
+    }
+
+    #[test]
+    fn jaccard_is_symmetric_and_bounded(a in ".{0,30}", b in ".{0,30}") {
+        let na = text::normalize(&a);
+        let nb = text::normalize(&b);
+        let ab = text::token_jaccard(&na, &nb);
+        let ba = text::token_jaccard(&nb, &na);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn log_construction_never_loses_nonempty_queries(es in entries()) {
+        let log = QueryLog::from_entries(&es);
+        let expected = es
+            .iter()
+            .filter(|e| !text::normalize(&e.query).is_empty())
+            .count();
+        prop_assert_eq!(log.records().len(), expected);
+    }
+
+    #[test]
+    fn log_records_are_chronological(es in entries()) {
+        let log = QueryLog::from_entries(&es);
+        let ts: Vec<u64> = log.records().iter().map(|r| r.timestamp).collect();
+        prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn query_ids_are_dense_and_resolvable(es in entries()) {
+        let log = QueryLog::from_entries(&es);
+        for r in log.records() {
+            prop_assert!(r.query.index() < log.num_queries());
+            prop_assert!(!log.query_text(r.query).is_empty());
+            if let Some(u) = r.click {
+                prop_assert!(u.index() < log.num_urls());
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_partition_all_records(es in entries()) {
+        let mut log = QueryLog::from_entries(&es);
+        let sessions = segment_sessions(&mut log, &SessionConfig::default());
+        let mut seen = vec![false; log.records().len()];
+        for s in &sessions {
+            for &i in &s.record_indices {
+                prop_assert!(!seen[i], "record {} in two sessions", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b), "some record is unsessioned");
+    }
+
+    #[test]
+    fn sessions_are_user_pure_and_time_ordered(es in entries()) {
+        let mut log = QueryLog::from_entries(&es);
+        let sessions = segment_sessions(&mut log, &SessionConfig::default());
+        for s in &sessions {
+            let mut last_ts = 0u64;
+            for &i in &s.record_indices {
+                let r = log.records()[i];
+                prop_assert_eq!(r.user, s.user);
+                prop_assert!(r.timestamp >= last_ts);
+                last_ts = r.timestamp;
+            }
+            prop_assert!(s.start <= s.end);
+        }
+    }
+
+    #[test]
+    fn cleaning_is_idempotent(es in entries()) {
+        let cfg = CleanConfig::default();
+        let (once, _) = clean_entries(&es, &cfg);
+        let (twice, stats) = clean_entries(&once, &cfg);
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(stats.kept, once.len());
+    }
+
+    #[test]
+    fn aol_io_round_trips_clean_entries(es in entries()) {
+        // AOL format cannot carry tabs/newlines inside queries or URLs;
+        // our strategies only generate word-like content, so every entry
+        // must survive a write→read cycle byte-exactly.
+        let mut buf = Vec::new();
+        write_aol(&es, &mut buf).unwrap();
+        let back = read_aol(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), es.len());
+        for (a, b) in back.iter().zip(&es) {
+            prop_assert_eq!(a.user, b.user);
+            prop_assert_eq!(a.timestamp, b.timestamp);
+            prop_assert_eq!(&a.clicked_url, &b.clicked_url);
+            // Queries may gain/lose surrounding whitespace only.
+            prop_assert_eq!(a.query.trim(), b.query.trim());
+        }
+    }
+
+    #[test]
+    fn timestamp_codec_round_trips(t in 0u64..4_102_444_800) { // through 2099
+        prop_assert_eq!(parse_timestamp(&format_timestamp(t)), Some(t));
+    }
+
+    #[test]
+    fn cleaning_never_increases_entries(es in entries()) {
+        let (kept, stats) = clean_entries(&es, &CleanConfig::default());
+        prop_assert!(kept.len() <= es.len());
+        prop_assert_eq!(
+            stats.input,
+            stats.kept
+                + stats.dropped_empty
+                + stats.dropped_long
+                + stats.dropped_url_like
+                + stats.dropped_duplicate
+                + stats.dropped_robot
+        );
+    }
+}

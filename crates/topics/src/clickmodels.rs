@@ -1,0 +1,377 @@
+//! The query-log topic models of Jiang et al. \[34\] ("Beyond click graph"):
+//! the Meta-word Model (MWM), the Term–URL Model (TUM) and the
+//! Clickthrough Model (CTM) — three baselines of the paper's Fig. 4.
+//!
+//! * **MWM** folds URLs into the word vocabulary as *meta-words* and runs
+//!   token-level topics over the joint stream;
+//! * **TUM** keeps separate topic–word and topic–URL distributions, with an
+//!   independent token-level topic for every word and URL occurrence;
+//! * **CTM** assigns one topic per query record, generating words, the
+//!   clicked URL, and a per-topic Bernoulli *click propensity* (whether the
+//!   record has a click at all).
+
+use crate::corpus::Corpus;
+use crate::counts::{smoothed, Counts2D};
+use crate::model::{TopicModel, TrainConfig};
+use crate::record_gibbs::{RecordFactors, RecordGibbs};
+use pqsda_linalg::stats::sample_discrete;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+// --------------------------------------------------------------------- MWM
+
+/// The Meta-word Model: URLs are words. Joint vocabulary
+/// `0..num_words` = words, `num_words..num_words+num_urls` = URL meta-words.
+#[derive(Clone, Debug)]
+pub struct Mwm {
+    cfg: TrainConfig,
+    num_words: usize,
+    doc_topic: Counts2D,
+    topic_meta: Counts2D,
+}
+
+impl Mwm {
+    /// Trains token-level LDA over the joint word ∪ URL stream.
+    pub fn train(corpus: &Corpus, cfg: &TrainConfig) -> Self {
+        assert!(cfg.num_topics > 0, "mwm: need at least one topic");
+        let k = cfg.num_topics;
+        let joint = corpus.num_words + corpus.num_urls;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut doc_topic = Counts2D::new(corpus.num_docs(), k);
+        let mut topic_meta = Counts2D::new(k, joint.max(1));
+
+        let mut tokens: Vec<(usize, u32, u32)> = Vec::new();
+        for (d, doc) in corpus.docs.iter().enumerate() {
+            for s in &doc.sessions {
+                for &w in &s.words {
+                    tokens.push((d, w, 0));
+                }
+                for &u in &s.urls {
+                    tokens.push((d, corpus.num_words as u32 + u, 0));
+                }
+            }
+        }
+        for t in tokens.iter_mut() {
+            let z = rng.gen_range(0..k) as u32;
+            t.2 = z;
+            doc_topic.inc(t.0, z as usize, 1);
+            topic_meta.inc(z as usize, t.1 as usize, 1);
+        }
+
+        let vocab = joint as f64;
+        let mut weights = vec![0.0; k];
+        for _ in 0..cfg.iterations {
+            for i in 0..tokens.len() {
+                let (d, m, z_old) = tokens[i];
+                doc_topic.dec(d, z_old as usize, 1);
+                topic_meta.dec(z_old as usize, m as usize, 1);
+                for (z, wt) in weights.iter_mut().enumerate() {
+                    *wt = (doc_topic.get(d, z) as f64 + cfg.alpha)
+                        * (topic_meta.get(z, m as usize) as f64 + cfg.beta)
+                        / (topic_meta.row_sum(z) as f64 + vocab * cfg.beta);
+                }
+                let z_new = sample_discrete(&weights, rng.gen::<f64>()) as u32;
+                doc_topic.inc(d, z_new as usize, 1);
+                topic_meta.inc(z_new as usize, m as usize, 1);
+                tokens[i].2 = z_new;
+            }
+        }
+        Mwm {
+            cfg: *cfg,
+            num_words: corpus.num_words,
+            doc_topic,
+            topic_meta,
+        }
+    }
+}
+
+impl TopicModel for Mwm {
+    fn name(&self) -> &str {
+        "MWM"
+    }
+    fn num_topics(&self) -> usize {
+        self.cfg.num_topics
+    }
+    fn doc_topic(&self, doc: usize) -> Vec<f64> {
+        (0..self.cfg.num_topics)
+            .map(|z| smoothed(&self.doc_topic, doc, z, self.cfg.alpha))
+            .collect()
+    }
+    fn topic_word_prob(&self, _doc: usize, k: usize, w: u32) -> f64 {
+        // Conditional on the token being a word: renormalize over the word
+        // sub-vocabulary so word perplexity is comparable across models.
+        let joint = smoothed(&self.topic_meta, k, w as usize, self.cfg.beta);
+        let word_mass: f64 = (0..self.num_words)
+            .map(|v| smoothed(&self.topic_meta, k, v, self.cfg.beta))
+            .sum();
+        joint / word_mass
+    }
+    fn topic_url_prob(&self, _doc: usize, k: usize, u: u32) -> f64 {
+        smoothed(
+            &self.topic_meta,
+            k,
+            self.num_words + u as usize,
+            self.cfg.beta,
+        )
+    }
+}
+
+// --------------------------------------------------------------------- TUM
+
+/// The Term–URL Model: independent token-level topics for words and URLs,
+/// separate φ (topic–word) and Ω (topic–URL).
+#[derive(Clone, Debug)]
+pub struct Tum {
+    cfg: TrainConfig,
+    doc_topic: Counts2D,
+    topic_word: Counts2D,
+    topic_url: Counts2D,
+}
+
+impl Tum {
+    /// Trains with a shared document–topic mixture across both streams.
+    pub fn train(corpus: &Corpus, cfg: &TrainConfig) -> Self {
+        assert!(cfg.num_topics > 0, "tum: need at least one topic");
+        let k = cfg.num_topics;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut doc_topic = Counts2D::new(corpus.num_docs(), k);
+        let mut topic_word = Counts2D::new(k, corpus.num_words);
+        let mut topic_url = Counts2D::new(k, corpus.num_urls.max(1));
+
+        // (doc, id, is_url, z)
+        let mut tokens: Vec<(usize, u32, bool, u32)> = Vec::new();
+        for (d, doc) in corpus.docs.iter().enumerate() {
+            for s in &doc.sessions {
+                for &w in &s.words {
+                    let z = rng.gen_range(0..k) as u32;
+                    doc_topic.inc(d, z as usize, 1);
+                    topic_word.inc(z as usize, w as usize, 1);
+                    tokens.push((d, w, false, z));
+                }
+                for &u in &s.urls {
+                    let z = rng.gen_range(0..k) as u32;
+                    doc_topic.inc(d, z as usize, 1);
+                    topic_url.inc(z as usize, u as usize, 1);
+                    tokens.push((d, u, true, z));
+                }
+            }
+        }
+
+        let w_vocab = corpus.num_words as f64;
+        let u_vocab = corpus.num_urls.max(1) as f64;
+        let mut weights = vec![0.0; k];
+        for _ in 0..cfg.iterations {
+            for i in 0..tokens.len() {
+                let (d, id, is_url, z_old) = tokens[i];
+                doc_topic.dec(d, z_old as usize, 1);
+                if is_url {
+                    topic_url.dec(z_old as usize, id as usize, 1);
+                } else {
+                    topic_word.dec(z_old as usize, id as usize, 1);
+                }
+                for (z, wt) in weights.iter_mut().enumerate() {
+                    let emission = if is_url {
+                        (topic_url.get(z, id as usize) as f64 + cfg.delta)
+                            / (topic_url.row_sum(z) as f64 + u_vocab * cfg.delta)
+                    } else {
+                        (topic_word.get(z, id as usize) as f64 + cfg.beta)
+                            / (topic_word.row_sum(z) as f64 + w_vocab * cfg.beta)
+                    };
+                    *wt = (doc_topic.get(d, z) as f64 + cfg.alpha) * emission;
+                }
+                let z_new = sample_discrete(&weights, rng.gen::<f64>()) as u32;
+                doc_topic.inc(d, z_new as usize, 1);
+                if is_url {
+                    topic_url.inc(z_new as usize, id as usize, 1);
+                } else {
+                    topic_word.inc(z_new as usize, id as usize, 1);
+                }
+                tokens[i].3 = z_new;
+            }
+        }
+        Tum {
+            cfg: *cfg,
+            doc_topic,
+            topic_word,
+            topic_url,
+        }
+    }
+}
+
+impl TopicModel for Tum {
+    fn name(&self) -> &str {
+        "TUM"
+    }
+    fn num_topics(&self) -> usize {
+        self.cfg.num_topics
+    }
+    fn doc_topic(&self, doc: usize) -> Vec<f64> {
+        (0..self.cfg.num_topics)
+            .map(|z| smoothed(&self.doc_topic, doc, z, self.cfg.alpha))
+            .collect()
+    }
+    fn topic_word_prob(&self, _doc: usize, k: usize, w: u32) -> f64 {
+        smoothed(&self.topic_word, k, w as usize, self.cfg.beta)
+    }
+    fn topic_url_prob(&self, _doc: usize, k: usize, u: u32) -> f64 {
+        smoothed(&self.topic_url, k, u as usize, self.cfg.delta)
+    }
+}
+
+// --------------------------------------------------------------------- CTM
+
+/// The Clickthrough Model: record-level topics, word + URL emission, and a
+/// per-topic Bernoulli click propensity.
+#[derive(Clone, Debug)]
+pub struct Ctm {
+    inner: RecordGibbs,
+}
+
+impl Ctm {
+    /// Trains CTM.
+    pub fn train(corpus: &Corpus, cfg: &TrainConfig) -> Self {
+        Ctm {
+            inner: RecordGibbs::train(
+                corpus,
+                cfg,
+                RecordFactors {
+                    use_urls: true,
+                    use_click_indicator: true,
+                },
+            ),
+        }
+    }
+
+    /// Posterior probability that a record of topic `k` carries a click.
+    pub fn click_propensity(&self, k: usize) -> f64 {
+        self.inner.click_propensity(k)
+    }
+}
+
+impl TopicModel for Ctm {
+    fn name(&self) -> &str {
+        "CTM"
+    }
+    fn num_topics(&self) -> usize {
+        self.inner.cfg.num_topics
+    }
+    fn doc_topic(&self, doc: usize) -> Vec<f64> {
+        self.inner.doc_topic(doc)
+    }
+    fn topic_word_prob(&self, _doc: usize, k: usize, w: u32) -> f64 {
+        self.inner.topic_word_prob(k, w)
+    }
+    fn topic_url_prob(&self, _doc: usize, k: usize, u: u32) -> f64 {
+        self.inner.topic_url_prob(k, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{DocSession, Document};
+    use pqsda_querylog::UserId;
+
+    fn corpus() -> Corpus {
+        let doc = |u: u32, wbase: u32, ubase: u32, click: bool| Document {
+            user: UserId(u),
+            sessions: (0..6)
+                .map(|i| {
+                    DocSession::from_records(
+                        vec![(
+                            vec![wbase, wbase + (i % 2)],
+                            if click { Some(ubase) } else { None },
+                        )],
+                        0.5,
+                    )
+                })
+                .collect(),
+        };
+        Corpus {
+            docs: vec![
+                doc(0, 0, 0, true),
+                doc(1, 0, 0, true),
+                doc(2, 2, 1, false),
+                doc(3, 2, 1, false),
+            ],
+            num_words: 4,
+            num_urls: 2,
+        }
+    }
+
+    fn cfg() -> TrainConfig {
+        TrainConfig {
+            num_topics: 2,
+            iterations: 60,
+            seed: 21,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn mwm_uses_joint_vocabulary() {
+        let c = corpus();
+        let m = Mwm::train(&c, &cfg());
+        assert_eq!(m.name(), "MWM");
+        // Word distribution renormalized over words sums to 1.
+        for z in 0..2 {
+            let s: f64 = (0..4).map(|w| m.topic_word_prob(0, z, w)).sum();
+            assert!((s - 1.0).abs() < 1e-9, "topic {z} word mass {s}");
+        }
+        // URL meta-words carry probability in the cluster that clicks.
+        let t0 = m.doc_topic(0);
+        let d0 = if t0[0] > t0[1] { 0 } else { 1 };
+        assert!(m.topic_url_prob(0, d0, 0) > m.topic_url_prob(0, d0, 1));
+    }
+
+    #[test]
+    fn tum_separates_word_and_url_distributions() {
+        let c = corpus();
+        let m = Tum::train(&c, &cfg());
+        assert_eq!(m.name(), "TUM");
+        for z in 0..2 {
+            let sw: f64 = (0..4).map(|w| m.topic_word_prob(0, z, w)).sum();
+            let su: f64 = (0..2).map(|u| m.topic_url_prob(0, z, u)).sum();
+            assert!((sw - 1.0).abs() < 1e-9);
+            assert!((su - 1.0).abs() < 1e-9);
+        }
+        let t0 = m.doc_topic(0);
+        let t2 = m.doc_topic(2);
+        let d0 = if t0[0] > t0[1] { 0 } else { 1 };
+        let d2 = if t2[0] > t2[1] { 0 } else { 1 };
+        assert_ne!(d0, d2);
+    }
+
+    #[test]
+    fn ctm_learns_click_propensity_contrast() {
+        let c = corpus();
+        let m = Ctm::train(&c, &cfg());
+        assert_eq!(m.name(), "CTM");
+        // One cluster always clicks, the other never: propensities differ.
+        let t0 = m.doc_topic(0);
+        let d0 = if t0[0] > t0[1] { 0 } else { 1 };
+        let clicky = m.click_propensity(d0);
+        let non = m.click_propensity(1 - d0);
+        assert!(
+            clicky > non + 0.3,
+            "propensities not separated: {clicky} vs {non}"
+        );
+    }
+
+    #[test]
+    fn all_three_are_deterministic() {
+        let c = corpus();
+        assert_eq!(
+            Mwm::train(&c, &cfg()).doc_topic(0),
+            Mwm::train(&c, &cfg()).doc_topic(0)
+        );
+        assert_eq!(
+            Tum::train(&c, &cfg()).doc_topic(0),
+            Tum::train(&c, &cfg()).doc_topic(0)
+        );
+        assert_eq!(
+            Ctm::train(&c, &cfg()).doc_topic(0),
+            Ctm::train(&c, &cfg()).doc_topic(0)
+        );
+    }
+}

@@ -1,0 +1,323 @@
+//! The per-user document corpus all topic models train on.
+//!
+//! Following the paper (§V-A): "We organize the query log entries of each
+//! user as a document", with the *session* as the basic generative unit —
+//! the words and URLs of one session share a topic in the UPM, and each
+//! session carries a timestamp (normalized into the unit interval for the
+//! Beta distributions).
+
+use pqsda_querylog::{QueryLog, Session, UserId};
+
+/// One session inside a document: its word tokens (with multiplicity,
+/// across all queries of the session), clicked URLs and normalized time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DocSession {
+    /// Term ids (token multiset over the session's queries).
+    pub words: Vec<u32>,
+    /// Clicked URL ids (multiset).
+    pub urls: Vec<u32>,
+    /// Per-record granularity: `(query terms, clicked URL)` for each log
+    /// record of the session — the unit the record-level models (PTM, CTM)
+    /// assign topics to. Concatenating the pieces reproduces
+    /// `words`/`urls`.
+    pub records: Vec<(Vec<u32>, Option<u32>)>,
+    /// Session timestamp normalized into `(0, 1)` (midpoint of the
+    /// session's time range).
+    pub time: f64,
+}
+
+impl DocSession {
+    /// Builds a session from record granularity, deriving the flattened
+    /// word/URL multisets.
+    pub fn from_records(records: Vec<(Vec<u32>, Option<u32>)>, time: f64) -> Self {
+        let words = records.iter().flat_map(|(ws, _)| ws.iter().copied()).collect();
+        let urls = records.iter().filter_map(|(_, u)| *u).collect();
+        DocSession {
+            words,
+            urls,
+            records,
+            time,
+        }
+    }
+
+    /// The paper's URL-existence indicator `X_ds`.
+    pub fn has_urls(&self) -> bool {
+        !self.urls.is_empty()
+    }
+}
+
+/// One user's search history as a document of sessions.
+#[derive(Clone, Debug)]
+pub struct Document {
+    /// The user this document profiles.
+    pub user: UserId,
+    /// Chronologically ordered sessions.
+    pub sessions: Vec<DocSession>,
+}
+
+impl Document {
+    /// Total word tokens across sessions.
+    pub fn num_words(&self) -> usize {
+        self.sessions.iter().map(|s| s.words.len()).sum()
+    }
+}
+
+/// The corpus: one document per user (users without usable sessions are
+/// skipped), with vocabulary sizes carried along.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    /// Documents in user order.
+    pub docs: Vec<Document>,
+    /// Word vocabulary size (the log's distinct terms).
+    pub num_words: usize,
+    /// URL vocabulary size.
+    pub num_urls: usize,
+}
+
+impl Corpus {
+    /// Builds the corpus from a sessionized log.
+    ///
+    /// Sessions with no word tokens (queries made solely of stopwords) are
+    /// dropped; users left with no sessions are skipped.
+    ///
+    /// # Panics
+    /// Panics if records lack session assignments.
+    pub fn build(log: &QueryLog, sessions: &[Session]) -> Self {
+        let (t_min, t_max) = sessions
+            .iter()
+            .fold((u64::MAX, 0u64), |(lo, hi), s| (lo.min(s.start), hi.max(s.end)));
+        let span = (t_max.saturating_sub(t_min)).max(1) as f64;
+
+        let mut per_user: Vec<Vec<DocSession>> = vec![Vec::new(); log.num_users()];
+        for s in sessions {
+            let mut records = Vec::new();
+            for &i in &s.record_indices {
+                let r = log.records()[i];
+                debug_assert_eq!(r.session, Some(s.id), "stale session stamps");
+                let words: Vec<u32> = log.query_terms(r.query).iter().map(|t| t.0).collect();
+                let url = r.click.map(|u| u.0);
+                if words.is_empty() && url.is_none() {
+                    continue;
+                }
+                records.push((words, url));
+            }
+            let mid = (s.start + s.end) / 2;
+            let time = ((mid - t_min) as f64 / span).clamp(1e-4, 1.0 - 1e-4);
+            let sess = DocSession::from_records(records, time);
+            if sess.words.is_empty() {
+                continue;
+            }
+            per_user[s.user.index()].push(sess);
+        }
+
+        let docs: Vec<Document> = per_user
+            .into_iter()
+            .enumerate()
+            .filter(|(_, ss)| !ss.is_empty())
+            .map(|(u, sessions)| Document {
+                user: UserId::from_index(u),
+                sessions,
+            })
+            .collect();
+
+        Corpus {
+            docs,
+            num_words: log.num_terms(),
+            num_urls: log.num_urls(),
+        }
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// The document index of a user, if the user has one.
+    pub fn doc_of_user(&self, user: UserId) -> Option<usize> {
+        self.docs.iter().position(|d| d.user == user)
+    }
+
+    /// Total word tokens in the corpus.
+    pub fn total_words(&self) -> usize {
+        self.docs.iter().map(Document::num_words).sum()
+    }
+}
+
+/// An observed/held-out split of a corpus, used both by the perplexity
+/// experiment (observe a prefix of each user's history, predict the rest —
+/// paper Eq. 35) and by the personalization experiment (profile on history,
+/// test on the most recent sessions).
+#[derive(Clone, Debug)]
+pub struct SplitCorpus {
+    /// The observed (training) part; same vocabularies as the source.
+    pub observed: Corpus,
+    /// Held-out sessions per *observed-corpus document index*.
+    pub held_out: Vec<Vec<DocSession>>,
+}
+
+impl SplitCorpus {
+    /// Splits each document at `observe_fraction` of its sessions
+    /// (at least one observed session; documents with a single session
+    /// contribute no held-out data).
+    pub fn by_fraction(corpus: &Corpus, observe_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&observe_fraction),
+            "observe_fraction out of range"
+        );
+        Self::split_with(corpus, |n| {
+            ((n as f64 * observe_fraction).round() as usize).clamp(1, n)
+        })
+    }
+
+    /// Holds out the last `k` sessions of each document (the paper's
+    /// "ten most recent sessions as the testing sessions").
+    pub fn last_k(corpus: &Corpus, k: usize) -> Self {
+        Self::split_with(corpus, move |n| n.saturating_sub(k).max(1))
+    }
+
+    fn split_with(corpus: &Corpus, observed_count: impl Fn(usize) -> usize) -> Self {
+        let mut observed_docs = Vec::new();
+        let mut held_out = Vec::new();
+        for d in &corpus.docs {
+            let cut = observed_count(d.sessions.len());
+            observed_docs.push(Document {
+                user: d.user,
+                sessions: d.sessions[..cut].to_vec(),
+            });
+            held_out.push(d.sessions[cut..].to_vec());
+        }
+        SplitCorpus {
+            observed: Corpus {
+                docs: observed_docs,
+                num_words: corpus.num_words,
+                num_urls: corpus.num_urls,
+            },
+            held_out,
+        }
+    }
+
+    /// Total held-out word tokens.
+    pub fn held_out_words(&self) -> usize {
+        self.held_out
+            .iter()
+            .flat_map(|ss| ss.iter())
+            .map(|s| s.words.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_querylog::synth::{generate, SynthConfig};
+
+    fn corpus() -> Corpus {
+        let s = generate(&SynthConfig::tiny(5));
+        Corpus::build(&s.log, &s.truth.sessions)
+    }
+
+    #[test]
+    fn corpus_covers_active_users() {
+        let s = generate(&SynthConfig::tiny(5));
+        let c = Corpus::build(&s.log, &s.truth.sessions);
+        assert!(c.num_docs() > 0);
+        assert!(c.num_docs() <= s.log.num_users());
+        assert_eq!(c.num_words, s.log.num_terms());
+        assert_eq!(c.num_urls, s.log.num_urls());
+    }
+
+    #[test]
+    fn sessions_carry_words_urls_time() {
+        let c = corpus();
+        for d in &c.docs {
+            assert!(!d.sessions.is_empty());
+            for s in &d.sessions {
+                assert!(!s.words.is_empty());
+                assert!((0.0..1.0).contains(&s.time));
+                for &w in &s.words {
+                    assert!((w as usize) < c.num_words);
+                }
+                for &u in &s.urls {
+                    assert!((u as usize) < c.num_urls);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn records_flatten_to_session_multisets() {
+        let c = corpus();
+        for d in &c.docs {
+            for s in &d.sessions {
+                let flat_words: Vec<u32> = s
+                    .records
+                    .iter()
+                    .flat_map(|(ws, _)| ws.iter().copied())
+                    .collect();
+                let flat_urls: Vec<u32> =
+                    s.records.iter().filter_map(|(_, u)| *u).collect();
+                assert_eq!(flat_words, s.words);
+                assert_eq!(flat_urls, s.urls);
+            }
+        }
+    }
+
+    #[test]
+    fn doc_of_user_is_consistent() {
+        let c = corpus();
+        for (i, d) in c.docs.iter().enumerate() {
+            assert_eq!(c.doc_of_user(d.user), Some(i));
+        }
+    }
+
+    #[test]
+    fn fraction_split_preserves_sessions() {
+        let c = corpus();
+        let split = SplitCorpus::by_fraction(&c, 0.6);
+        assert_eq!(split.observed.num_docs(), c.num_docs());
+        for (i, d) in c.docs.iter().enumerate() {
+            let obs = split.observed.docs[i].sessions.len();
+            let held = split.held_out[i].len();
+            assert_eq!(obs + held, d.sessions.len());
+            assert!(obs >= 1);
+            // Observed sessions are the chronological prefix.
+            assert_eq!(&d.sessions[..obs], &split.observed.docs[i].sessions[..]);
+        }
+    }
+
+    #[test]
+    fn last_k_split_holds_out_recent_sessions() {
+        let c = corpus();
+        let split = SplitCorpus::last_k(&c, 2);
+        for (i, d) in c.docs.iter().enumerate() {
+            let held = split.held_out[i].len();
+            assert!(held <= 2);
+            if d.sessions.len() > 2 {
+                assert_eq!(held, 2);
+            }
+            assert!(!split.observed.docs[i].sessions.is_empty());
+        }
+    }
+
+    #[test]
+    fn extreme_fractions_are_clamped() {
+        let c = corpus();
+        let all = SplitCorpus::by_fraction(&c, 1.0);
+        assert_eq!(all.held_out_words(), 0);
+        let none = SplitCorpus::by_fraction(&c, 0.0);
+        // At least one session stays observed per doc.
+        for d in &none.observed.docs {
+            assert_eq!(d.sessions.len(), 1);
+        }
+    }
+
+    #[test]
+    fn total_words_adds_up() {
+        let c = corpus();
+        let split = SplitCorpus::by_fraction(&c, 0.5);
+        assert_eq!(
+            split.observed.total_words() + split.held_out_words(),
+            c.total_words()
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Latent Dirichlet Allocation (Blei et al. \[19\]) by collapsed Gibbs
+//! sampling — the first baseline of the paper's Fig. 4.
+//!
+//! Token-level topic assignments over user documents; words only (URLs and
+//! timestamps are ignored, which is precisely the information the richer
+//! models exploit).
+
+use crate::corpus::Corpus;
+use crate::counts::{smoothed, Counts2D};
+use crate::model::{TopicModel, TrainConfig};
+use pqsda_linalg::stats::sample_discrete;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A trained LDA model.
+#[derive(Clone, Debug)]
+pub struct Lda {
+    cfg: TrainConfig,
+    doc_topic: Counts2D,
+    topic_word: Counts2D,
+}
+
+impl Lda {
+    /// Trains by collapsed Gibbs sampling.
+    ///
+    /// # Panics
+    /// Panics on an empty corpus or zero topics.
+    pub fn train(corpus: &Corpus, cfg: &TrainConfig) -> Self {
+        assert!(cfg.num_topics > 0, "lda: need at least one topic");
+        assert!(corpus.num_docs() > 0, "lda: empty corpus");
+        let k = cfg.num_topics;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut doc_topic = Counts2D::new(corpus.num_docs(), k);
+        let mut topic_word = Counts2D::new(k, corpus.num_words);
+
+        // Flatten tokens with random initial assignments.
+        let mut tokens: Vec<(usize, u32, u32)> = Vec::new(); // (doc, word, z)
+        for (d, doc) in corpus.docs.iter().enumerate() {
+            for s in &doc.sessions {
+                for &w in &s.words {
+                    let z = rng.gen_range(0..k) as u32;
+                    doc_topic.inc(d, z as usize, 1);
+                    topic_word.inc(z as usize, w as usize, 1);
+                    tokens.push((d, w, z));
+                }
+            }
+        }
+
+        let w_prior = cfg.beta;
+        let vocab = corpus.num_words as f64;
+        let mut weights = vec![0.0; k];
+        for _ in 0..cfg.iterations {
+            for t in 0..tokens.len() {
+                let (d, w, z_old) = tokens[t];
+                doc_topic.dec(d, z_old as usize, 1);
+                topic_word.dec(z_old as usize, w as usize, 1);
+                for (z, wt) in weights.iter_mut().enumerate() {
+                    *wt = (doc_topic.get(d, z) as f64 + cfg.alpha)
+                        * (topic_word.get(z, w as usize) as f64 + w_prior)
+                        / (topic_word.row_sum(z) as f64 + vocab * w_prior);
+                }
+                let z_new = sample_discrete(&weights, rng.gen::<f64>()) as u32;
+                doc_topic.inc(d, z_new as usize, 1);
+                topic_word.inc(z_new as usize, w as usize, 1);
+                tokens[t] = (d, w, z_new);
+            }
+        }
+
+        Lda {
+            cfg: *cfg,
+            doc_topic,
+            topic_word,
+        }
+    }
+
+    /// The document–topic count table (exposed for tests and diagnostics).
+    pub fn doc_topic_counts(&self) -> &Counts2D {
+        &self.doc_topic
+    }
+}
+
+impl TopicModel for Lda {
+    fn name(&self) -> &str {
+        "LDA"
+    }
+
+    fn num_topics(&self) -> usize {
+        self.cfg.num_topics
+    }
+
+    fn doc_topic(&self, doc: usize) -> Vec<f64> {
+        (0..self.cfg.num_topics)
+            .map(|z| smoothed(&self.doc_topic, doc, z, self.cfg.alpha))
+            .collect()
+    }
+
+    fn topic_word_prob(&self, _doc: usize, k: usize, w: u32) -> f64 {
+        smoothed(&self.topic_word, k, w as usize, self.cfg.beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{DocSession, Document};
+    use pqsda_querylog::UserId;
+
+    /// Two clearly separated "topics": words {0,1,2} vs {3,4,5}; docs use
+    /// one side each.
+    pub fn two_cluster_corpus() -> Corpus {
+        let mk = |words: Vec<u32>, t: f64| DocSession::from_records(vec![(words, None)], t);
+        let doc = |u: u32, base: u32| Document {
+            user: UserId(u),
+            sessions: (0..6)
+                .map(|i| mk(vec![base, base + 1, base + 2, base + (i % 3)], 0.5))
+                .collect(),
+        };
+        Corpus {
+            docs: vec![doc(0, 0), doc(1, 0), doc(2, 3), doc(3, 3)],
+            num_words: 6,
+            num_urls: 0,
+        }
+    }
+
+    fn cfg(k: usize) -> TrainConfig {
+        TrainConfig {
+            num_topics: k,
+            iterations: 80,
+            seed: 3,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn recovers_two_clusters() {
+        let corpus = two_cluster_corpus();
+        let lda = Lda::train(&corpus, &cfg(2));
+        // Docs 0,1 should share a dominant topic distinct from docs 2,3.
+        let t0 = lda.doc_topic(0);
+        let t2 = lda.doc_topic(2);
+        let dom0 = if t0[0] > t0[1] { 0 } else { 1 };
+        let dom2 = if t2[0] > t2[1] { 0 } else { 1 };
+        assert_ne!(dom0, dom2, "clusters not separated: {t0:?} vs {t2:?}");
+        assert!(t0[dom0] > 0.7, "{t0:?}");
+        // The dominant topic of doc 0 prefers its cluster's words.
+        assert!(
+            lda.topic_word_prob(0, dom0, 0) > lda.topic_word_prob(0, dom0, 3),
+            "topic-word distributions not separated"
+        );
+    }
+
+    #[test]
+    fn doc_topic_is_a_distribution() {
+        let corpus = two_cluster_corpus();
+        let lda = Lda::train(&corpus, &cfg(3));
+        for d in 0..corpus.num_docs() {
+            let theta = lda.doc_topic(d);
+            assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(theta.iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn topic_word_is_a_distribution() {
+        let corpus = two_cluster_corpus();
+        let lda = Lda::train(&corpus, &cfg(2));
+        for z in 0..2 {
+            let total: f64 = (0..6).map(|w| lda.topic_word_prob(0, z, w)).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = two_cluster_corpus();
+        let a = Lda::train(&corpus, &cfg(2));
+        let b = Lda::train(&corpus, &cfg(2));
+        assert_eq!(a.doc_topic(0), b.doc_topic(0));
+    }
+
+    #[test]
+    fn counts_are_conserved() {
+        let corpus = two_cluster_corpus();
+        let lda = Lda::train(&corpus, &cfg(4));
+        assert_eq!(
+            lda.doc_topic_counts().total() as usize,
+            corpus.total_words()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one topic")]
+    fn zero_topics_rejected() {
+        let corpus = two_cluster_corpus();
+        Lda::train(&corpus, &cfg(0));
+    }
+}

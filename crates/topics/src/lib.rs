@@ -1,0 +1,45 @@
+//! Generative topic models over search-engine query logs: the paper's
+//! **User Profiling Model (UPM)** and the eight baselines of its Fig. 4.
+//!
+//! * [`corpus`] — the shared document structure: one document per user,
+//!   sessions as the atomic generative unit (words + URLs + a normalized
+//!   timestamp), plus the observed/held-out splits used for perplexity and
+//!   for profile-then-test personalization;
+//! * [`counts`] — dense count tables shared by all collapsed Gibbs
+//!   samplers;
+//! * [`model`] — the [`model::TopicModel`] trait and the held-out
+//!   perplexity harness (paper Eq. 35);
+//! * [`lda`] — Latent Dirichlet Allocation \[19\];
+//! * [`tot`] — Topics-over-Time \[29\];
+//! * [`ptm`] — PTM1 / PTM2, the query-log personalization topic models of
+//!   Carman et al. \[21\];
+//! * [`clickmodels`] — the Meta-word (MWM), Term–URL (TUM) and
+//!   Clickthrough (CTM) models of Jiang et al. \[34\];
+//! * [`sstm`] — the session-and-time model standing in for SSTM \[35\]
+//!   (spatial signals absent from our log; see DESIGN.md §4);
+//! * [`upm`] — the paper's contribution: session-level topics, per-user
+//!   word/URL distributions with *learned* Dirichlet hyperpriors
+//!   (Eq. 23–27), Beta-distributed timestamps (Eq. 28–29) and the user
+//!   profile θ (Eq. 30).
+
+// Index-style loops are deliberate throughout this crate: the code mirrors
+// the paper's matrix/count-table notation (rows, columns, topic indices),
+// where explicit indices are clearer than iterator chains.
+#![allow(clippy::needless_range_loop)]
+
+pub mod clickmodels;
+pub mod corpus;
+pub mod counts;
+pub mod lda;
+pub mod model;
+pub mod ptm;
+pub mod record_gibbs;
+pub mod sstm;
+pub mod store;
+pub mod tot;
+pub mod upm;
+
+pub use corpus::{Corpus, DocSession, Document, SplitCorpus};
+pub use model::{perplexity, TopicModel, TrainConfig};
+pub use store::{load_upm, save_upm, StoreError};
+pub use upm::{Upm, UpmConfig};

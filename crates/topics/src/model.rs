@@ -1,0 +1,210 @@
+//! The common topic-model interface and the held-out perplexity harness
+//! (paper Eq. 35 / Fig. 4).
+
+use crate::corpus::SplitCorpus;
+
+/// Shared training configuration for all models.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Number of latent topics `K`.
+    pub num_topics: usize,
+    /// Gibbs sweeps.
+    pub iterations: usize,
+    /// RNG seed (sampling is fully deterministic given the seed).
+    pub seed: u64,
+    /// Symmetric Dirichlet prior on document–topic mixtures.
+    pub alpha: f64,
+    /// Symmetric Dirichlet prior on topic–word distributions.
+    pub beta: f64,
+    /// Symmetric Dirichlet prior on topic–URL distributions.
+    pub delta: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            num_topics: 10,
+            iterations: 120,
+            seed: 7,
+            alpha: 0.5,
+            beta: 0.05,
+            delta: 0.05,
+        }
+    }
+}
+
+/// A trained generative model over user documents.
+///
+/// The interface covers exactly what the reproduction needs: the user
+/// profile θ_d, the (possibly per-user) topic–word and topic–URL
+/// distributions, and an optional temporal density — from which the
+/// provided [`TopicModel::predictive_word_prob`] assembles the predictive
+/// distribution `p(w | d, t)` used by perplexity and by the online
+/// personalization score (paper Eq. 31 evaluates the same building blocks).
+pub trait TopicModel {
+    /// Model name as reported in Fig. 4.
+    fn name(&self) -> &str;
+
+    /// Number of topics.
+    fn num_topics(&self) -> usize;
+
+    /// The posterior document–topic mixture θ_d (a distribution over
+    /// topics; the user profile of paper Eq. 30).
+    fn doc_topic(&self, doc: usize) -> Vec<f64>;
+
+    /// `p(word w | topic k, document d)`. Global-distribution models ignore
+    /// `doc`; the UPM's per-user distributions use it.
+    fn topic_word_prob(&self, doc: usize, k: usize, w: u32) -> f64;
+
+    /// `p(url u | topic k, document d)`. Models without a URL component
+    /// return a uniform distribution so URL likelihoods cancel in
+    /// comparisons.
+    fn topic_url_prob(&self, _doc: usize, _k: usize, _u: u32) -> f64 {
+        1.0
+    }
+
+    /// `ln p(t | topic k)` for temporal models; non-temporal models return
+    /// 0 (an improper uniform that cancels during weight normalization).
+    fn topic_time_ln_pdf(&self, _k: usize, _t: f64) -> f64 {
+        0.0
+    }
+
+    /// Predictive word distribution
+    /// `p(w | d, t) = Σ_k p(k | d, t) · p(w | k, d)` with
+    /// `p(k | d, t) ∝ θ_dk · p(t | k)`.
+    fn predictive_word_prob(&self, doc: usize, w: u32, time: f64) -> f64 {
+        let theta = self.doc_topic(doc);
+        let k = self.num_topics();
+        let mut weights = vec![0.0; k];
+        let mut ln_ts: Vec<f64> = (0..k).map(|z| self.topic_time_ln_pdf(z, time)).collect();
+        let max_ln = ln_ts.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for z in 0..k {
+            ln_ts[z] -= max_ln;
+            weights[z] = theta[z] * ln_ts[z].exp();
+        }
+        let wsum: f64 = weights.iter().sum();
+        if wsum <= 0.0 {
+            return f64::MIN_POSITIVE;
+        }
+        let mut p = 0.0;
+        for z in 0..k {
+            p += weights[z] / wsum * self.topic_word_prob(doc, z, w);
+        }
+        p.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Held-out perplexity (paper Eq. 35): train on the observed split, then
+///
+/// ```text
+/// Perplexity = exp( − Σ_d Σ_i ln p(w_i | M, w_observed) / N_held )
+/// ```
+///
+/// Lower is better. Returns `None` when the split has no held-out words.
+pub fn perplexity(model: &dyn TopicModel, split: &SplitCorpus) -> Option<f64> {
+    let mut ln_sum = 0.0;
+    let mut n = 0usize;
+    for (doc, sessions) in split.held_out.iter().enumerate() {
+        for s in sessions {
+            for &w in &s.words {
+                ln_sum += model.predictive_word_prob(doc, w, s.time).ln();
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((-ln_sum / n as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, DocSession, Document};
+    use pqsda_querylog::UserId;
+
+    /// An oracle model that knows the true word distribution.
+    struct Oracle {
+        probs: Vec<f64>,
+    }
+
+    impl TopicModel for Oracle {
+        fn name(&self) -> &str {
+            "oracle"
+        }
+        fn num_topics(&self) -> usize {
+            1
+        }
+        fn doc_topic(&self, _d: usize) -> Vec<f64> {
+            vec![1.0]
+        }
+        fn topic_word_prob(&self, _d: usize, _k: usize, w: u32) -> f64 {
+            self.probs[w as usize]
+        }
+    }
+
+    fn one_doc_split(words: Vec<u32>) -> SplitCorpus {
+        let c = Corpus {
+            docs: vec![Document {
+                user: UserId(0),
+                sessions: vec![
+                    DocSession::from_records(vec![(vec![0], None)], 0.2),
+                    DocSession::from_records(vec![(words, None)], 0.8),
+                ],
+            }],
+            num_words: 4,
+            num_urls: 0,
+        };
+        SplitCorpus::by_fraction(&c, 0.5)
+    }
+
+    #[test]
+    fn uniform_model_has_vocab_perplexity() {
+        let m = Oracle {
+            probs: vec![0.25; 4],
+        };
+        let split = one_doc_split(vec![0, 1, 2, 3]);
+        let p = perplexity(&m, &split).unwrap();
+        assert!((p - 4.0).abs() < 1e-9, "perplexity {p}");
+    }
+
+    #[test]
+    fn better_models_get_lower_perplexity() {
+        let split = one_doc_split(vec![0, 0, 0, 1]);
+        let uniform = Oracle {
+            probs: vec![0.25; 4],
+        };
+        let informed = Oracle {
+            probs: vec![0.7, 0.1, 0.1, 0.1],
+        };
+        assert!(
+            perplexity(&informed, &split).unwrap() < perplexity(&uniform, &split).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_held_out_is_none() {
+        let c = Corpus {
+            docs: vec![Document {
+                user: UserId(0),
+                sessions: vec![DocSession::from_records(vec![(vec![0], None)], 0.5)],
+            }],
+            num_words: 1,
+            num_urls: 0,
+        };
+        let split = SplitCorpus::by_fraction(&c, 1.0);
+        let m = Oracle { probs: vec![1.0] };
+        assert!(perplexity(&m, &split).is_none());
+    }
+
+    #[test]
+    fn predictive_probability_is_normalized_for_oracle() {
+        let m = Oracle {
+            probs: vec![0.1, 0.2, 0.3, 0.4],
+        };
+        let total: f64 = (0..4).map(|w| m.predictive_word_prob(0, w, 0.5)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

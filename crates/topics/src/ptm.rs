@@ -1,0 +1,168 @@
+//! PTM1 / PTM2 — the query-log personalization topic models of Carman et
+//! al. \[21\], two baselines of the paper's Fig. 4.
+//!
+//! Both assign one topic per *query record* within a user document. PTM1
+//! generates only the query words from the topic; PTM2 additionally
+//! generates the clicked URL from a topic–URL distribution, coupling query
+//! intent and click behaviour.
+
+use crate::corpus::Corpus;
+use crate::model::{TopicModel, TrainConfig};
+use crate::record_gibbs::{RecordFactors, RecordGibbs};
+
+/// PTM1: record-level topics, words only.
+#[derive(Clone, Debug)]
+pub struct Ptm1 {
+    inner: RecordGibbs,
+}
+
+impl Ptm1 {
+    /// Trains PTM1.
+    pub fn train(corpus: &Corpus, cfg: &TrainConfig) -> Self {
+        Ptm1 {
+            inner: RecordGibbs::train(
+                corpus,
+                cfg,
+                RecordFactors {
+                    use_urls: false,
+                    use_click_indicator: false,
+                },
+            ),
+        }
+    }
+}
+
+impl TopicModel for Ptm1 {
+    fn name(&self) -> &str {
+        "PTM1"
+    }
+    fn num_topics(&self) -> usize {
+        self.inner.cfg.num_topics
+    }
+    fn doc_topic(&self, doc: usize) -> Vec<f64> {
+        self.inner.doc_topic(doc)
+    }
+    fn topic_word_prob(&self, _doc: usize, k: usize, w: u32) -> f64 {
+        self.inner.topic_word_prob(k, w)
+    }
+}
+
+/// PTM2: record-level topics generating words and the clicked URL.
+#[derive(Clone, Debug)]
+pub struct Ptm2 {
+    inner: RecordGibbs,
+}
+
+impl Ptm2 {
+    /// Trains PTM2.
+    pub fn train(corpus: &Corpus, cfg: &TrainConfig) -> Self {
+        Ptm2 {
+            inner: RecordGibbs::train(
+                corpus,
+                cfg,
+                RecordFactors {
+                    use_urls: true,
+                    use_click_indicator: false,
+                },
+            ),
+        }
+    }
+}
+
+impl TopicModel for Ptm2 {
+    fn name(&self) -> &str {
+        "PTM2"
+    }
+    fn num_topics(&self) -> usize {
+        self.inner.cfg.num_topics
+    }
+    fn doc_topic(&self, doc: usize) -> Vec<f64> {
+        self.inner.doc_topic(doc)
+    }
+    fn topic_word_prob(&self, _doc: usize, k: usize, w: u32) -> f64 {
+        self.inner.topic_word_prob(k, w)
+    }
+    fn topic_url_prob(&self, _doc: usize, k: usize, u: u32) -> f64 {
+        self.inner.topic_url_prob(k, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{DocSession, Document};
+    use pqsda_querylog::UserId;
+
+    fn corpus() -> Corpus {
+        let doc = |u: u32, wbase: u32, ubase: u32| Document {
+            user: UserId(u),
+            sessions: (0..6)
+                .map(|i| {
+                    DocSession::from_records(
+                        vec![(vec![wbase, wbase + (i % 2)], Some(ubase))],
+                        0.5,
+                    )
+                })
+                .collect(),
+        };
+        Corpus {
+            docs: vec![doc(0, 0, 0), doc(1, 2, 1)],
+            num_words: 4,
+            num_urls: 2,
+        }
+    }
+
+    fn cfg() -> TrainConfig {
+        TrainConfig {
+            num_topics: 2,
+            iterations: 50,
+            seed: 9,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn ptm1_separates_users_by_words() {
+        let c = corpus();
+        let m = Ptm1::train(&c, &cfg());
+        assert_eq!(m.name(), "PTM1");
+        let t0 = m.doc_topic(0);
+        let t1 = m.doc_topic(1);
+        let d0 = if t0[0] > t0[1] { 0 } else { 1 };
+        let d1 = if t1[0] > t1[1] { 0 } else { 1 };
+        assert_ne!(d0, d1);
+    }
+
+    #[test]
+    fn ptm1_urls_are_uniform_placeholder() {
+        let c = corpus();
+        let m = Ptm1::train(&c, &cfg());
+        // Default trait impl: URL factor cancels.
+        assert_eq!(m.topic_url_prob(0, 0, 0), 1.0);
+        assert_eq!(m.topic_url_prob(0, 1, 1), 1.0);
+    }
+
+    #[test]
+    fn ptm2_learns_url_distributions() {
+        let c = corpus();
+        let m = Ptm2::train(&c, &cfg());
+        assert_eq!(m.name(), "PTM2");
+        let t0 = m.doc_topic(0);
+        let d0 = if t0[0] > t0[1] { 0 } else { 1 };
+        // User 0 always clicks url 0.
+        assert!(m.topic_url_prob(0, d0, 0) > m.topic_url_prob(0, d0, 1));
+    }
+
+    #[test]
+    fn both_models_expose_normalized_word_distributions() {
+        let c = corpus();
+        let m1 = Ptm1::train(&c, &cfg());
+        let m2 = Ptm2::train(&c, &cfg());
+        for z in 0..2 {
+            let s1: f64 = (0..4).map(|w| m1.topic_word_prob(0, z, w)).sum();
+            let s2: f64 = (0..4).map(|w| m2.topic_word_prob(0, z, w)).sum();
+            assert!((s1 - 1.0).abs() < 1e-9);
+            assert!((s2 - 1.0).abs() < 1e-9);
+        }
+    }
+}

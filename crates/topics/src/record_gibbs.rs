@@ -1,0 +1,318 @@
+//! Shared record-level collapsed Gibbs engine.
+//!
+//! PTM1/PTM2 (Carman et al. \[21\]) and the Clickthrough Model (Jiang et al.
+//! \[34\]) all assign one topic per *log record* (one query submission and
+//! its clicked URL); they differ only in which factors enter the
+//! conditional: the query words always, the clicked URL optionally, and —
+//! for CTM — a per-topic Bernoulli click propensity. This engine implements
+//! the union and the wrappers pick the factors.
+
+use crate::corpus::Corpus;
+use crate::counts::{ln_block_weight, smoothed, to_multiset, Counts2D};
+use crate::model::TrainConfig;
+use pqsda_linalg::stats::{sample_discrete, softmax_in_place};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which factors the record-level conditional uses.
+#[derive(Clone, Copy, Debug)]
+pub struct RecordFactors {
+    /// Include the clicked URL's topic–URL factor.
+    pub use_urls: bool,
+    /// Include the per-topic Bernoulli click-propensity factor (CTM).
+    pub use_click_indicator: bool,
+}
+
+/// A trained record-level model (the state shared by PTM1/PTM2/CTM).
+#[derive(Clone, Debug)]
+pub struct RecordGibbs {
+    pub(crate) cfg: TrainConfig,
+    pub(crate) factors: RecordFactors,
+    /// Documents × topics, counting *records*.
+    pub(crate) doc_topic: Counts2D,
+    /// Topics × words.
+    pub(crate) topic_word: Counts2D,
+    /// Topics × URLs.
+    pub(crate) topic_url: Counts2D,
+    /// Per topic: (records with a click, records total) for the click
+    /// propensity π_z under a Beta(1,1) prior.
+    pub(crate) clicks: Vec<(u32, u32)>,
+}
+
+struct RecordSlot {
+    doc: usize,
+    words: Vec<(u32, u32)>,
+    url: Option<u32>,
+    z: u32,
+}
+
+impl RecordGibbs {
+    /// Trains on the corpus with the chosen factors.
+    pub fn train(corpus: &Corpus, cfg: &TrainConfig, factors: RecordFactors) -> Self {
+        assert!(cfg.num_topics > 0, "record model: need at least one topic");
+        assert!(corpus.num_docs() > 0, "record model: empty corpus");
+        let k = cfg.num_topics;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut doc_topic = Counts2D::new(corpus.num_docs(), k);
+        let mut topic_word = Counts2D::new(k, corpus.num_words);
+        let mut topic_url = Counts2D::new(k, corpus.num_urls.max(1));
+        let mut clicks = vec![(0u32, 0u32); k];
+
+        let mut slots: Vec<RecordSlot> = Vec::new();
+        for (d, doc) in corpus.docs.iter().enumerate() {
+            for s in &doc.sessions {
+                for (words, url) in &s.records {
+                    let z = rng.gen_range(0..k) as u32;
+                    let ws = to_multiset(words);
+                    add(
+                        &mut doc_topic,
+                        &mut topic_word,
+                        &mut topic_url,
+                        &mut clicks,
+                        d,
+                        &ws,
+                        *url,
+                        z,
+                    );
+                    slots.push(RecordSlot {
+                        doc: d,
+                        words: ws,
+                        url: *url,
+                        z,
+                    });
+                }
+            }
+        }
+
+        let mut ln_w = vec![0.0; k];
+        for _ in 0..cfg.iterations {
+            for i in 0..slots.len() {
+                let RecordSlot { doc, z, url, .. } = slots[i];
+                let words = std::mem::take(&mut slots[i].words);
+                remove(
+                    &mut doc_topic,
+                    &mut topic_word,
+                    &mut topic_url,
+                    &mut clicks,
+                    doc,
+                    &words,
+                    url,
+                    z,
+                );
+                for (zz, lw) in ln_w.iter_mut().enumerate() {
+                    let mut acc = (doc_topic.get(doc, zz) as f64 + cfg.alpha).ln();
+                    acc += ln_block_weight(&topic_word, zz, &words, cfg.beta);
+                    if factors.use_urls {
+                        if let Some(u) = url {
+                            acc += ln_block_weight(&topic_url, zz, &[(u, 1)], cfg.delta);
+                        }
+                    }
+                    if factors.use_click_indicator {
+                        let (c, n) = clicks[zz];
+                        // Collapsed Bernoulli with Beta(1,1) prior.
+                        let p_click = (c as f64 + 1.0) / (n as f64 + 2.0);
+                        acc += if url.is_some() {
+                            p_click.ln()
+                        } else {
+                            (1.0 - p_click).ln()
+                        };
+                    }
+                    *lw = acc;
+                }
+                softmax_in_place(&mut ln_w);
+                let z_new = sample_discrete(&ln_w, rng.gen::<f64>()) as u32;
+                add(
+                    &mut doc_topic,
+                    &mut topic_word,
+                    &mut topic_url,
+                    &mut clicks,
+                    doc,
+                    &words,
+                    url,
+                    z_new,
+                );
+                slots[i].words = words;
+                slots[i].z = z_new;
+            }
+        }
+
+        RecordGibbs {
+            cfg: *cfg,
+            factors,
+            doc_topic,
+            topic_word,
+            topic_url,
+            clicks,
+        }
+    }
+
+    /// θ_d over record counts.
+    pub fn doc_topic(&self, doc: usize) -> Vec<f64> {
+        (0..self.cfg.num_topics)
+            .map(|z| smoothed(&self.doc_topic, doc, z, self.cfg.alpha))
+            .collect()
+    }
+
+    /// Collapsed topic–word posterior mean.
+    pub fn topic_word_prob(&self, k: usize, w: u32) -> f64 {
+        smoothed(&self.topic_word, k, w as usize, self.cfg.beta)
+    }
+
+    /// Collapsed topic–URL posterior mean.
+    pub fn topic_url_prob(&self, k: usize, u: u32) -> f64 {
+        smoothed(&self.topic_url, k, u as usize, self.cfg.delta)
+    }
+
+    /// The factor set this model was trained with.
+    pub fn factors(&self) -> RecordFactors {
+        self.factors
+    }
+
+    /// Posterior click propensity of a topic.
+    pub fn click_propensity(&self, k: usize) -> f64 {
+        let (c, n) = self.clicks[k];
+        (c as f64 + 1.0) / (n as f64 + 2.0)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn add(
+    doc_topic: &mut Counts2D,
+    topic_word: &mut Counts2D,
+    topic_url: &mut Counts2D,
+    clicks: &mut [(u32, u32)],
+    d: usize,
+    words: &[(u32, u32)],
+    url: Option<u32>,
+    z: u32,
+) {
+    doc_topic.inc(d, z as usize, 1);
+    for &(w, n) in words {
+        topic_word.inc(z as usize, w as usize, n);
+    }
+    if let Some(u) = url {
+        topic_url.inc(z as usize, u as usize, 1);
+        clicks[z as usize].0 += 1;
+    }
+    clicks[z as usize].1 += 1;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn remove(
+    doc_topic: &mut Counts2D,
+    topic_word: &mut Counts2D,
+    topic_url: &mut Counts2D,
+    clicks: &mut [(u32, u32)],
+    d: usize,
+    words: &[(u32, u32)],
+    url: Option<u32>,
+    z: u32,
+) {
+    doc_topic.dec(d, z as usize, 1);
+    for &(w, n) in words {
+        topic_word.dec(z as usize, w as usize, n);
+    }
+    if let Some(u) = url {
+        topic_url.dec(z as usize, u as usize, 1);
+        clicks[z as usize].0 -= 1;
+    }
+    clicks[z as usize].1 -= 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{DocSession, Document};
+    use pqsda_querylog::UserId;
+
+    /// Two clusters where words AND urls co-vary.
+    fn clustered_corpus() -> Corpus {
+        let doc = |u: u32, wbase: u32, ubase: u32| Document {
+            user: UserId(u),
+            sessions: (0..5)
+                .map(|i| {
+                    DocSession::from_records(
+                        vec![
+                            (vec![wbase, wbase + 1], Some(ubase)),
+                            (vec![wbase + (i % 3)], if i % 2 == 0 { Some(ubase + 1) } else { None }),
+                        ],
+                        0.5,
+                    )
+                })
+                .collect(),
+        };
+        Corpus {
+            docs: vec![doc(0, 0, 0), doc(1, 0, 0), doc(2, 3, 2), doc(3, 3, 2)],
+            num_words: 6,
+            num_urls: 4,
+        }
+    }
+
+    fn cfg() -> TrainConfig {
+        TrainConfig {
+            num_topics: 2,
+            iterations: 60,
+            seed: 5,
+            ..TrainConfig::default()
+        }
+    }
+
+    const BOTH: RecordFactors = RecordFactors {
+        use_urls: true,
+        use_click_indicator: false,
+    };
+
+    #[test]
+    fn separates_clusters_with_urls() {
+        let corpus = clustered_corpus();
+        let m = RecordGibbs::train(&corpus, &cfg(), BOTH);
+        let t0 = m.doc_topic(0);
+        let t2 = m.doc_topic(2);
+        let dom0 = if t0[0] > t0[1] { 0 } else { 1 };
+        let dom2 = if t2[0] > t2[1] { 0 } else { 1 };
+        assert_ne!(dom0, dom2, "{t0:?} vs {t2:?}");
+        // URL distributions separate too.
+        assert!(m.topic_url_prob(dom0, 0) > m.topic_url_prob(dom0, 2));
+    }
+
+    #[test]
+    fn distributions_are_normalized() {
+        let corpus = clustered_corpus();
+        let m = RecordGibbs::train(&corpus, &cfg(), BOTH);
+        for z in 0..2 {
+            let pw: f64 = (0..6).map(|w| m.topic_word_prob(z, w)).sum();
+            let pu: f64 = (0..4).map(|u| m.topic_url_prob(z, u)).sum();
+            assert!((pw - 1.0).abs() < 1e-9);
+            assert!((pu - 1.0).abs() < 1e-9);
+        }
+        for d in 0..4 {
+            let th = m.doc_topic(d);
+            assert!((th.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn click_propensity_tracks_data() {
+        let corpus = clustered_corpus();
+        let m = RecordGibbs::train(
+            &corpus,
+            &cfg(),
+            RecordFactors {
+                use_urls: true,
+                use_click_indicator: true,
+            },
+        );
+        for z in 0..2 {
+            let p = m.click_propensity(z);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let corpus = clustered_corpus();
+        let a = RecordGibbs::train(&corpus, &cfg(), BOTH);
+        let b = RecordGibbs::train(&corpus, &cfg(), BOTH);
+        assert_eq!(a.doc_topic(1), b.doc_topic(1));
+    }
+}

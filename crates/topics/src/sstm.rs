@@ -1,0 +1,252 @@
+//! SSTM-style session/temporal topic model (Jiang & Ng \[35\]) — the last
+//! Fig. 4 baseline before the UPM.
+//!
+//! The original SSTM mines topics with *spatio*-temporal patterns; a plain
+//! query log carries no locations, so per DESIGN.md §4 we implement its
+//! log-applicable core: one topic per **session** (all words and URLs of a
+//! session share it), global topic–word and topic–URL distributions, and a
+//! per-topic Beta over session timestamps. Structurally this is "UPM minus
+//! the per-user distributions and hyperparameter learning", which is what
+//! makes it the most informative baseline bar in Fig. 4.
+
+use crate::corpus::Corpus;
+use crate::counts::{ln_block_weight, smoothed, to_multiset, Counts2D};
+use crate::model::{TopicModel, TrainConfig};
+use pqsda_linalg::stats::{sample_discrete, softmax_in_place, RunningMoments};
+use pqsda_linalg::BetaDistribution;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A trained session-temporal model.
+#[derive(Clone, Debug)]
+pub struct Sstm {
+    cfg: TrainConfig,
+    doc_topic: Counts2D,
+    topic_word: Counts2D,
+    topic_url: Counts2D,
+    taus: Vec<BetaDistribution>,
+}
+
+impl Sstm {
+    /// Trains by session-blocked collapsed Gibbs with per-sweep Beta refits.
+    pub fn train(corpus: &Corpus, cfg: &TrainConfig) -> Self {
+        assert!(cfg.num_topics > 0, "sstm: need at least one topic");
+        assert!(corpus.num_docs() > 0, "sstm: empty corpus");
+        let k = cfg.num_topics;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut doc_topic = Counts2D::new(corpus.num_docs(), k);
+        let mut topic_word = Counts2D::new(k, corpus.num_words);
+        let mut topic_url = Counts2D::new(k, corpus.num_urls.max(1));
+        let mut taus = vec![BetaDistribution::uniform(); k];
+
+        struct Slot {
+            doc: usize,
+            words: Vec<(u32, u32)>,
+            urls: Vec<(u32, u32)>,
+            time: f64,
+            z: u32,
+        }
+        let mut slots: Vec<Slot> = Vec::new();
+        for (d, doc) in corpus.docs.iter().enumerate() {
+            for s in &doc.sessions {
+                let z = rng.gen_range(0..k) as u32;
+                let words = to_multiset(&s.words);
+                let urls = to_multiset(&s.urls);
+                doc_topic.inc(d, z as usize, 1);
+                for &(w, n) in &words {
+                    topic_word.inc(z as usize, w as usize, n);
+                }
+                for &(u, n) in &urls {
+                    topic_url.inc(z as usize, u as usize, n);
+                }
+                slots.push(Slot {
+                    doc: d,
+                    words,
+                    urls,
+                    time: s.time,
+                    z,
+                });
+            }
+        }
+
+        let mut ln_w = vec![0.0; k];
+        for _ in 0..cfg.iterations {
+            for i in 0..slots.len() {
+                let (doc, time, z_old) = (slots[i].doc, slots[i].time, slots[i].z);
+                let words = std::mem::take(&mut slots[i].words);
+                let urls = std::mem::take(&mut slots[i].urls);
+                doc_topic.dec(doc, z_old as usize, 1);
+                for &(w, n) in &words {
+                    topic_word.dec(z_old as usize, w as usize, n);
+                }
+                for &(u, n) in &urls {
+                    topic_url.dec(z_old as usize, u as usize, n);
+                }
+                for (z, lw) in ln_w.iter_mut().enumerate() {
+                    let mut acc = (doc_topic.get(doc, z) as f64 + cfg.alpha).ln();
+                    acc += ln_block_weight(&topic_word, z, &words, cfg.beta);
+                    if !urls.is_empty() {
+                        acc += ln_block_weight(&topic_url, z, &urls, cfg.delta);
+                    }
+                    acc += taus[z].ln_pdf(time);
+                    *lw = acc;
+                }
+                softmax_in_place(&mut ln_w);
+                let z_new = sample_discrete(&ln_w, rng.gen::<f64>()) as u32;
+                doc_topic.inc(doc, z_new as usize, 1);
+                for &(w, n) in &words {
+                    topic_word.inc(z_new as usize, w as usize, n);
+                }
+                for &(u, n) in &urls {
+                    topic_url.inc(z_new as usize, u as usize, n);
+                }
+                slots[i].words = words;
+                slots[i].urls = urls;
+                slots[i].z = z_new;
+            }
+            // Beta refit from session timestamps (paper Eq. 28–29).
+            let mut moments = vec![RunningMoments::new(); k];
+            for s in &slots {
+                moments[s.z as usize].push(s.time);
+            }
+            for z in 0..k {
+                taus[z] = if moments[z].count() >= 2 {
+                    BetaDistribution::fit_moments(
+                        moments[z].mean(),
+                        moments[z].variance_biased(),
+                    )
+                } else {
+                    BetaDistribution::uniform()
+                };
+            }
+        }
+
+        Sstm {
+            cfg: *cfg,
+            doc_topic,
+            topic_word,
+            topic_url,
+            taus,
+        }
+    }
+
+    /// The fitted temporal distribution of a topic.
+    pub fn tau(&self, k: usize) -> &BetaDistribution {
+        &self.taus[k]
+    }
+}
+
+impl TopicModel for Sstm {
+    fn name(&self) -> &str {
+        "SSTM"
+    }
+    fn num_topics(&self) -> usize {
+        self.cfg.num_topics
+    }
+    fn doc_topic(&self, doc: usize) -> Vec<f64> {
+        (0..self.cfg.num_topics)
+            .map(|z| smoothed(&self.doc_topic, doc, z, self.cfg.alpha))
+            .collect()
+    }
+    fn topic_word_prob(&self, _doc: usize, k: usize, w: u32) -> f64 {
+        smoothed(&self.topic_word, k, w as usize, self.cfg.beta)
+    }
+    fn topic_url_prob(&self, _doc: usize, k: usize, u: u32) -> f64 {
+        smoothed(&self.topic_url, k, u as usize, self.cfg.delta)
+    }
+    fn topic_time_ln_pdf(&self, k: usize, t: f64) -> f64 {
+        self.taus[k].ln_pdf(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{DocSession, Document};
+    use pqsda_querylog::UserId;
+
+    /// Sessions whose words straddle two clusters; session coherence is the
+    /// only signal that keeps cluster words together.
+    fn session_corpus() -> Corpus {
+        let mut docs = Vec::new();
+        for u in 0..4u32 {
+            let mut sessions = Vec::new();
+            for i in 0..8 {
+                let (wbase, ubase, t) = if i % 2 == 0 {
+                    (0u32, 0u32, 0.15)
+                } else {
+                    (3u32, 1u32, 0.85)
+                };
+                sessions.push(DocSession::from_records(
+                    vec![
+                        (vec![wbase, wbase + 1], Some(ubase)),
+                        (vec![wbase + 2], None),
+                    ],
+                    t + 0.01 * (i as f64 % 4.0),
+                ));
+            }
+            docs.push(Document {
+                user: UserId(u),
+                sessions,
+            });
+        }
+        Corpus {
+            docs,
+            num_words: 6,
+            num_urls: 2,
+        }
+    }
+
+    fn cfg() -> TrainConfig {
+        TrainConfig {
+            num_topics: 2,
+            iterations: 80,
+            seed: 17,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn sessions_keep_cluster_words_together() {
+        let c = session_corpus();
+        let m = Sstm::train(&c, &cfg());
+        // Topics separate by time and words jointly.
+        let m0 = m.tau(0).mean();
+        let m1 = m.tau(1).mean();
+        let (early, late) = if m0 < m1 { (0, 1) } else { (1, 0) };
+        assert!(m.tau(early).mean() < 0.5 && m.tau(late).mean() > 0.5);
+        assert!(m.topic_word_prob(0, early, 0) > m.topic_word_prob(0, early, 3));
+        assert!(m.topic_word_prob(0, late, 3) > m.topic_word_prob(0, late, 0));
+        assert!(m.topic_url_prob(0, early, 0) > m.topic_url_prob(0, early, 1));
+    }
+
+    #[test]
+    fn distributions_are_normalized() {
+        let c = session_corpus();
+        let m = Sstm::train(&c, &cfg());
+        for z in 0..2 {
+            let sw: f64 = (0..6).map(|w| m.topic_word_prob(0, z, w)).sum();
+            let su: f64 = (0..2).map(|u| m.topic_url_prob(0, z, u)).sum();
+            assert!((sw - 1.0).abs() < 1e-9);
+            assert!((su - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = session_corpus();
+        assert_eq!(
+            Sstm::train(&c, &cfg()).doc_topic(0),
+            Sstm::train(&c, &cfg()).doc_topic(0)
+        );
+    }
+
+    #[test]
+    fn temporal_prediction_uses_session_time() {
+        let c = session_corpus();
+        let m = Sstm::train(&c, &cfg());
+        let p_early = m.predictive_word_prob(0, 0, 0.12);
+        let p_wrong_era = m.predictive_word_prob(0, 0, 0.9);
+        assert!(p_early > p_wrong_era, "{p_early} vs {p_wrong_era}");
+    }
+}

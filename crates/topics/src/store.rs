@@ -1,0 +1,384 @@
+//! Binary persistence for trained UPM profiles.
+//!
+//! The paper motivates the UPM partly by storage: it "reduces the data
+//! dimension of the plain text of query log data and makes the user
+//! profiles concise enough for **offline storage** and efficient online
+//! personalization" (§V-A). This module delivers that: a compact,
+//! versioned, self-describing binary encoding of a trained [`Upm`] —
+//! per-document count tables are stored sparsely, so a profile costs a few
+//! bytes per (topic, word) a user actually touched rather than the dense
+//! K×W table.
+//!
+//! The format is little-endian, length-prefixed, with a magic header and a
+//! version byte; [`load_upm`] validates every length and bound, so a
+//! truncated or corrupted file fails with a typed error instead of a
+//! panic.
+
+use crate::counts::Counts2D;
+use crate::upm::Upm;
+use bytes::{Buf, BufMut};
+
+/// Magic bytes opening every profile file.
+pub const MAGIC: &[u8; 4] = b"UPM\x01";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// Missing or wrong magic header.
+    BadMagic,
+    /// Unsupported version byte.
+    BadVersion(u8),
+    /// Input ended before a declared field.
+    Truncated(&'static str),
+    /// A count or index exceeded its declared bounds.
+    OutOfBounds(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::BadMagic => write!(f, "not a UPM profile file"),
+            StoreError::BadVersion(v) => write!(f, "unsupported profile version {v}"),
+            StoreError::Truncated(what) => write!(f, "truncated profile: {what}"),
+            StoreError::OutOfBounds(what) => write!(f, "corrupt profile: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn put_f64_slice(buf: &mut Vec<u8>, xs: &[f64]) {
+    buf.put_u32_le(xs.len() as u32);
+    for &x in xs {
+        buf.put_f64_le(x);
+    }
+}
+
+fn get_f64_slice(data: &mut &[u8], what: &'static str) -> Result<Vec<f64>, StoreError> {
+    if data.remaining() < 4 {
+        return Err(StoreError::Truncated(what));
+    }
+    let n = data.get_u32_le() as usize;
+    if data.remaining() < n * 8 {
+        return Err(StoreError::Truncated(what));
+    }
+    Ok((0..n).map(|_| data.get_f64_le()).collect())
+}
+
+/// Sparse encoding of a count table: rows, cols, then per row the number
+/// of non-zero cells followed by (col, value) pairs.
+fn put_counts(buf: &mut Vec<u8>, c: &Counts2D) {
+    buf.put_u32_le(c.rows() as u32);
+    buf.put_u32_le(c.cols() as u32);
+    for r in 0..c.rows() {
+        let row = c.row(r);
+        let nnz = row.iter().filter(|&&v| v > 0).count();
+        buf.put_u32_le(nnz as u32);
+        for (col, &v) in row.iter().enumerate() {
+            if v > 0 {
+                buf.put_u32_le(col as u32);
+                buf.put_u32_le(v);
+            }
+        }
+    }
+}
+
+fn get_counts(data: &mut &[u8]) -> Result<Counts2D, StoreError> {
+    if data.remaining() < 8 {
+        return Err(StoreError::Truncated("count table header"));
+    }
+    let rows = data.get_u32_le() as usize;
+    let cols = data.get_u32_le() as usize;
+    // A corrupted header must not drive a huge allocation: each row costs
+    // at least 4 bytes (its nnz header), each column at least one cell
+    // somewhere, so bound the dense table by what the input could encode.
+    if rows.saturating_mul(cols) > 64 * 1024 * 1024 {
+        return Err(StoreError::OutOfBounds("count table size"));
+    }
+    let mut c = Counts2D::new(rows, cols);
+    for r in 0..rows {
+        if data.remaining() < 4 {
+            return Err(StoreError::Truncated("count row header"));
+        }
+        let nnz = data.get_u32_le() as usize;
+        if data.remaining() < nnz * 8 {
+            return Err(StoreError::Truncated("count row cells"));
+        }
+        for _ in 0..nnz {
+            let col = data.get_u32_le() as usize;
+            let v = data.get_u32_le();
+            if col >= cols {
+                return Err(StoreError::OutOfBounds("count column index"));
+            }
+            c.inc(r, col, v);
+        }
+    }
+    Ok(c)
+}
+
+/// Serializes a trained model into `buf`.
+pub fn save_upm(upm: &Upm, buf: &mut Vec<u8>) {
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    let (cfg, num_words, num_urls, docs, globals) = upm.store_parts();
+    // Config (enough to resume scoring; training state is not needed).
+    buf.put_u32_le(globals.0.len() as u32); // K
+    buf.put_u32_le(num_words as u32);
+    buf.put_u32_le(num_urls as u32);
+    buf.put_f64_le(cfg.base.alpha);
+    buf.put_f64_le(cfg.base.beta);
+    buf.put_f64_le(cfg.base.delta);
+    // Globals.
+    let (alpha, beta, delta, taus, beta_sums, delta_sums) = globals;
+    put_f64_slice(buf, alpha);
+    for b in beta {
+        put_f64_slice(buf, b);
+    }
+    for d in delta {
+        put_f64_slice(buf, d);
+    }
+    put_f64_slice(buf, beta_sums);
+    put_f64_slice(buf, delta_sums);
+    buf.put_u32_le(taus.len() as u32);
+    for t in taus {
+        buf.put_f64_le(t.alpha());
+        buf.put_f64_le(t.beta());
+    }
+    // Per-document state.
+    buf.put_u32_le(docs.len() as u32);
+    for (topic_counts, topic_word, topic_url) in docs {
+        buf.put_u32_le(topic_counts.len() as u32);
+        for &c in topic_counts {
+            buf.put_u32_le(c);
+        }
+        put_counts(buf, topic_word);
+        put_counts(buf, topic_url);
+    }
+}
+
+/// Deserializes a model saved with [`save_upm`].
+pub fn load_upm(mut data: &[u8]) -> Result<Upm, StoreError> {
+    if data.remaining() < 5 {
+        return Err(StoreError::BadMagic);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(StoreError::BadVersion(version));
+    }
+    if data.remaining() < 12 + 24 {
+        return Err(StoreError::Truncated("header"));
+    }
+    let k = data.get_u32_le() as usize;
+    let num_words = data.get_u32_le() as usize;
+    let num_urls = data.get_u32_le() as usize;
+    if k == 0 || k > 1 << 16 || num_words > 1 << 28 || num_urls > 1 << 28 {
+        return Err(StoreError::OutOfBounds("header sizes"));
+    }
+    let base_alpha = data.get_f64_le();
+    let base_beta = data.get_f64_le();
+    let base_delta = data.get_f64_le();
+
+    let alpha = get_f64_slice(&mut data, "alpha")?;
+    if alpha.len() != k {
+        return Err(StoreError::OutOfBounds("alpha length"));
+    }
+    let mut beta = Vec::new();
+    for _ in 0..k {
+        let b = get_f64_slice(&mut data, "beta")?;
+        if b.len() != num_words {
+            return Err(StoreError::OutOfBounds("beta length"));
+        }
+        beta.push(b);
+    }
+    let mut delta = Vec::new();
+    for _ in 0..k {
+        let d = get_f64_slice(&mut data, "delta")?;
+        if d.len() != num_urls {
+            return Err(StoreError::OutOfBounds("delta length"));
+        }
+        delta.push(d);
+    }
+    let beta_sums = get_f64_slice(&mut data, "beta sums")?;
+    let delta_sums = get_f64_slice(&mut data, "delta sums")?;
+    if beta_sums.len() != k || delta_sums.len() != k {
+        return Err(StoreError::OutOfBounds("prior sum lengths"));
+    }
+    if data.remaining() < 4 {
+        return Err(StoreError::Truncated("taus"));
+    }
+    let n_taus = data.get_u32_le() as usize;
+    if n_taus != k || data.remaining() < n_taus * 16 {
+        return Err(StoreError::Truncated("taus"));
+    }
+    let mut taus = Vec::new();
+    for _ in 0..k {
+        let a = data.get_f64_le();
+        let b = data.get_f64_le();
+        if !(a > 0.0 && b > 0.0 && a.is_finite() && b.is_finite()) {
+            return Err(StoreError::OutOfBounds("tau parameters"));
+        }
+        taus.push(pqsda_linalg::BetaDistribution::new(a, b));
+    }
+
+    if data.remaining() < 4 {
+        return Err(StoreError::Truncated("documents"));
+    }
+    let n_docs = data.get_u32_le() as usize;
+    let mut docs = Vec::new();
+    for _ in 0..n_docs {
+        if data.remaining() < 4 {
+            return Err(StoreError::Truncated("doc header"));
+        }
+        let tc_len = data.get_u32_le() as usize;
+        if tc_len != k || data.remaining() < tc_len * 4 {
+            return Err(StoreError::Truncated("topic counts"));
+        }
+        let topic_counts: Vec<u32> = (0..tc_len).map(|_| data.get_u32_le()).collect();
+        let topic_word = get_counts(&mut data)?;
+        let topic_url = get_counts(&mut data)?;
+        if topic_word.rows() != k
+            || topic_word.cols() != num_words
+            || topic_url.rows() != k
+            || topic_url.cols() != num_urls.max(1)
+        {
+            return Err(StoreError::OutOfBounds("document table shape"));
+        }
+        docs.push((topic_counts, topic_word, topic_url));
+    }
+
+    Ok(Upm::from_store_parts(
+        (base_alpha, base_beta, base_delta),
+        num_words,
+        num_urls,
+        alpha,
+        (beta, beta_sums),
+        (delta, delta_sums),
+        taus,
+        docs,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, DocSession, Document};
+    use crate::model::{TopicModel, TrainConfig};
+    use crate::upm::UpmConfig;
+    use pqsda_querylog::UserId;
+
+    fn trained() -> Upm {
+        let session =
+            |ws: Vec<u32>, u: Option<u32>, t: f64| DocSession::from_records(vec![(ws, u)], t);
+        let corpus = Corpus {
+            docs: vec![
+                Document {
+                    user: UserId(0),
+                    sessions: (0..6).map(|i| session(vec![i % 3, 3], Some(0), 0.3)).collect(),
+                },
+                Document {
+                    user: UserId(1),
+                    sessions: (0..6).map(|i| session(vec![4 + (i % 2)], Some(1), 0.7)).collect(),
+                },
+            ],
+            num_words: 6,
+            num_urls: 2,
+        };
+        Upm::train(
+            &corpus,
+            &UpmConfig {
+                base: TrainConfig {
+                    num_topics: 2,
+                    iterations: 30,
+                    seed: 9,
+                    ..TrainConfig::default()
+                },
+                hyper_every: 10,
+                hyper_iterations: 5,
+                threads: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_every_prediction() {
+        let upm = trained();
+        let mut buf = Vec::new();
+        save_upm(&upm, &mut buf);
+        let loaded = load_upm(&buf).unwrap();
+        assert_eq!(loaded.num_docs(), upm.num_docs());
+        assert_eq!(loaded.alpha(), upm.alpha());
+        for d in 0..upm.num_docs() {
+            assert_eq!(loaded.doc_topic(d), upm.doc_topic(d));
+            for z in 0..2 {
+                for w in 0..6 {
+                    assert_eq!(
+                        loaded.user_word_prob(d, z, w),
+                        upm.user_word_prob(d, z, w)
+                    );
+                }
+                for u in 0..2 {
+                    assert_eq!(loaded.user_url_prob(d, z, u), upm.user_url_prob(d, z, u));
+                }
+                assert_eq!(loaded.tau(z).alpha(), upm.tau(z).alpha());
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_encoding_is_compact() {
+        let upm = trained();
+        let mut buf = Vec::new();
+        save_upm(&upm, &mut buf);
+        // Dense per-doc tables would be 2 docs × 2 topics × (6+2) cells × 4B
+        // plus the global vectors; the sparse profile must beat the naive
+        // dense-plus-floats bound comfortably at real scales. Here we just
+        // sanity-check the file is small and non-trivial.
+        assert!(buf.len() > 64);
+        assert!(buf.len() < 4096, "profile unexpectedly large: {}", buf.len());
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_version() {
+        assert_eq!(load_upm(b"nope").unwrap_err(), StoreError::BadMagic);
+        let mut buf = Vec::new();
+        save_upm(&trained(), &mut buf);
+        buf[4] = 99; // version byte
+        assert_eq!(load_upm(&buf).unwrap_err(), StoreError::BadVersion(99));
+    }
+
+    #[test]
+    fn rejects_truncation_at_any_point() {
+        let mut buf = Vec::new();
+        save_upm(&trained(), &mut buf);
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in (0..buf.len()).step_by(7) {
+            let r = load_upm(&buf[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn rejects_corrupted_column_index() {
+        let upm = trained();
+        let mut buf = Vec::new();
+        save_upm(&upm, &mut buf);
+        // Flip bytes late in the stream (count-table region) until decoding
+        // errs; it must never panic.
+        let mut rejected = 0;
+        for i in (buf.len() - 64..buf.len()).step_by(3) {
+            let mut copy = buf.clone();
+            copy[i] ^= 0xFF;
+            if load_upm(&copy).is_err() {
+                rejected += 1;
+            }
+        }
+        let _ = rejected; // any outcome is fine as long as nothing panicked
+    }
+}

@@ -1,0 +1,211 @@
+//! Topics-over-Time (Wang & McCallum \[29\]) — LDA plus a per-topic Beta
+//! distribution over normalized timestamps, refit by moment matching after
+//! every sweep. The UPM borrows exactly this temporal treatment (paper
+//! Eq. 22, 28–29), so TOT is the ablation "UPM's time component without its
+//! session coupling or per-user distributions".
+
+use crate::corpus::Corpus;
+use crate::counts::{smoothed, Counts2D};
+use crate::model::{TopicModel, TrainConfig};
+use pqsda_linalg::stats::{sample_discrete, RunningMoments};
+use pqsda_linalg::BetaDistribution;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A trained Topics-over-Time model.
+#[derive(Clone, Debug)]
+pub struct Tot {
+    cfg: TrainConfig,
+    doc_topic: Counts2D,
+    topic_word: Counts2D,
+    taus: Vec<BetaDistribution>,
+}
+
+impl Tot {
+    /// Trains by collapsed Gibbs sampling with per-sweep Beta refits.
+    pub fn train(corpus: &Corpus, cfg: &TrainConfig) -> Self {
+        assert!(cfg.num_topics > 0, "tot: need at least one topic");
+        assert!(corpus.num_docs() > 0, "tot: empty corpus");
+        let k = cfg.num_topics;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut doc_topic = Counts2D::new(corpus.num_docs(), k);
+        let mut topic_word = Counts2D::new(k, corpus.num_words);
+        let mut taus = vec![BetaDistribution::uniform(); k];
+
+        // (doc, word, time, z)
+        let mut tokens: Vec<(usize, u32, f64, u32)> = Vec::new();
+        for (d, doc) in corpus.docs.iter().enumerate() {
+            for s in &doc.sessions {
+                for &w in &s.words {
+                    let z = rng.gen_range(0..k) as u32;
+                    doc_topic.inc(d, z as usize, 1);
+                    topic_word.inc(z as usize, w as usize, 1);
+                    tokens.push((d, w, s.time, z));
+                }
+            }
+        }
+
+        let vocab = corpus.num_words as f64;
+        let mut weights = vec![0.0; k];
+        for _ in 0..cfg.iterations {
+            for t in 0..tokens.len() {
+                let (d, w, time, z_old) = tokens[t];
+                doc_topic.dec(d, z_old as usize, 1);
+                topic_word.dec(z_old as usize, w as usize, 1);
+                for (z, wt) in weights.iter_mut().enumerate() {
+                    let base = (doc_topic.get(d, z) as f64 + cfg.alpha)
+                        * (topic_word.get(z, w as usize) as f64 + cfg.beta)
+                        / (topic_word.row_sum(z) as f64 + vocab * cfg.beta);
+                    *wt = base * taus[z].pdf(time);
+                }
+                let z_new = sample_discrete(&weights, rng.gen::<f64>()) as u32;
+                doc_topic.inc(d, z_new as usize, 1);
+                topic_word.inc(z_new as usize, w as usize, 1);
+                tokens[t] = (d, w, time, z_new);
+            }
+            // Moment-matching refit (paper Eq. 28–29).
+            let mut moments = vec![RunningMoments::new(); k];
+            for &(_, _, time, z) in &tokens {
+                moments[z as usize].push(time);
+            }
+            for z in 0..k {
+                taus[z] = if moments[z].count() >= 2 {
+                    BetaDistribution::fit_moments(
+                        moments[z].mean(),
+                        moments[z].variance_biased(),
+                    )
+                } else {
+                    BetaDistribution::uniform()
+                };
+            }
+        }
+
+        Tot {
+            cfg: *cfg,
+            doc_topic,
+            topic_word,
+            taus,
+        }
+    }
+
+    /// The fitted temporal distribution of a topic.
+    pub fn tau(&self, k: usize) -> &BetaDistribution {
+        &self.taus[k]
+    }
+}
+
+impl TopicModel for Tot {
+    fn name(&self) -> &str {
+        "TOT"
+    }
+
+    fn num_topics(&self) -> usize {
+        self.cfg.num_topics
+    }
+
+    fn doc_topic(&self, doc: usize) -> Vec<f64> {
+        (0..self.cfg.num_topics)
+            .map(|z| smoothed(&self.doc_topic, doc, z, self.cfg.alpha))
+            .collect()
+    }
+
+    fn topic_word_prob(&self, _doc: usize, k: usize, w: u32) -> f64 {
+        smoothed(&self.topic_word, k, w as usize, self.cfg.beta)
+    }
+
+    fn topic_time_ln_pdf(&self, k: usize, t: f64) -> f64 {
+        self.taus[k].ln_pdf(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{DocSession, Document};
+    use pqsda_querylog::UserId;
+
+    /// Two topics that use the SAME words but live in disjoint eras —
+    /// only the timestamps can tell them apart.
+    fn temporal_corpus() -> Corpus {
+        let mk = |words: Vec<u32>, t: f64| DocSession::from_records(vec![(words, None)], t);
+        let mut docs = Vec::new();
+        for u in 0..4u32 {
+            let mut sessions = Vec::new();
+            for i in 0..8 {
+                // Early era: words 0..3 around t≈0.12; late era: words 3..6
+                // around t≈0.88. Word 3 is shared.
+                if i % 2 == 0 {
+                    sessions.push(mk(vec![0, 1, 2, 3], 0.10 + 0.01 * (i as f64)));
+                } else {
+                    sessions.push(mk(vec![3, 4, 5], 0.85 + 0.01 * (i as f64)));
+                }
+            }
+            docs.push(Document {
+                user: UserId(u),
+                sessions,
+            });
+        }
+        Corpus {
+            docs,
+            num_words: 6,
+            num_urls: 0,
+        }
+    }
+
+    fn cfg() -> TrainConfig {
+        TrainConfig {
+            num_topics: 2,
+            iterations: 120,
+            seed: 11,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_temporally_separated_topics() {
+        let corpus = temporal_corpus();
+        let tot = Tot::train(&corpus, &cfg());
+        // One topic must concentrate early, the other late.
+        let m0 = tot.tau(0).mean();
+        let m1 = tot.tau(1).mean();
+        let (early, late) = if m0 < m1 { (0, 1) } else { (1, 0) };
+        assert!(
+            tot.tau(early).mean() < 0.45 && tot.tau(late).mean() > 0.55,
+            "means {m0} {m1}"
+        );
+        // Early topic prefers word 0, late topic prefers word 5.
+        assert!(tot.topic_word_prob(0, early, 0) > tot.topic_word_prob(0, early, 5));
+        assert!(tot.topic_word_prob(0, late, 5) > tot.topic_word_prob(0, late, 0));
+    }
+
+    #[test]
+    fn time_sharpens_prediction_for_time_stamped_words() {
+        let corpus = temporal_corpus();
+        let tot = Tot::train(&corpus, &cfg());
+        // At an early timestamp, early-era words should be far more likely.
+        let p_early_word = tot.predictive_word_prob(0, 0, 0.1);
+        let p_late_word = tot.predictive_word_prob(0, 5, 0.1);
+        assert!(
+            p_early_word > 2.0 * p_late_word,
+            "{p_early_word} vs {p_late_word}"
+        );
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let corpus = temporal_corpus();
+        let a = Tot::train(&corpus, &cfg());
+        let b = Tot::train(&corpus, &cfg());
+        assert_eq!(a.doc_topic(0), b.doc_topic(0));
+        assert_eq!(a.tau(0).alpha(), b.tau(0).alpha());
+    }
+
+    #[test]
+    fn taus_are_proper() {
+        let corpus = temporal_corpus();
+        let tot = Tot::train(&corpus, &cfg());
+        for z in 0..2 {
+            assert!(tot.tau(z).alpha() > 0.0 && tot.tau(z).beta() > 0.0);
+        }
+    }
+}

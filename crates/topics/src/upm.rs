@@ -1,0 +1,772 @@
+//! The **User Profiling Model** (paper §V-A, Algorithm 2) — the
+//! personalization engine of PQS-DA.
+//!
+//! Per the paper's generative process:
+//!
+//! * each user's log is one document `d` with mixture `θ_d ~ Dir(α)`;
+//! * each topic `k` has **per-document** word and URL distributions
+//!   `φ_kd ~ Dir(β_k)`, `Ω_kd ~ Dir(δ_k)` — two users interested in the
+//!   same topic keep their own word usage ("Toyota" vs "Ford") while
+//!   sharing strength through the common hyperprior vectors `β_k`, `δ_k`;
+//! * each **session** draws one topic `z ~ Mult(θ_d)`; its words come from
+//!   `φ_zd`, its URLs (when the indicator `X_ds = 1`) from `Ω_zd`, and its
+//!   timestamp from `Beta(τ_z)`;
+//! * inference is collapsed Gibbs over session assignments (Eq. 23) with
+//!   the Gamma-ratio products evaluated as rising factorials;
+//! * "different from conventional topic models such as LDA, it is
+//!   imperative to learn the hyperparameters of UPM": α, β, δ are
+//!   re-estimated by L-BFGS on the complete-likelihood objectives of
+//!   Eq. 25–27 (log-reparameterized for positivity), and τ by moment
+//!   matching (Eq. 28–29);
+//! * the user profile is `θ_dk = (C_dk + α_k) / Σ_k' (C_dk' + α_k')`
+//!   (Eq. 30).
+//!
+//! ## Parallel sampling
+//!
+//! The paper notes the UPM "can take advantage of parallel Gibbs sampling
+//! paradigms such as \[31\] and it can scale to very large datasets". For
+//! the UPM this is better than the approximate AD-LDA of \[31\]: because
+//! *every count table is per-document* (only the hyperparameters and τ are
+//! global, and those update between sweeps), document-parallel sampling is
+//! **exact**, not approximate. Each document draws from its own
+//! deterministic RNG stream seeded by `(seed, sweep, doc)`, so the result
+//! is bit-identical for any thread count — `threads: 1` and `threads: 8`
+//! produce the same model.
+
+use crate::corpus::Corpus;
+use crate::counts::{to_multiset, Counts2D};
+use crate::model::{TopicModel, TrainConfig};
+use pqsda_linalg::special::{digamma, ln_gamma, ln_rising};
+use pqsda_linalg::stats::{sample_discrete, softmax_in_place, RunningMoments};
+use pqsda_linalg::{BetaDistribution, Lbfgs, LbfgsConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// UPM-specific training configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct UpmConfig {
+    /// The shared sampler settings (topic count, sweeps, seed, initial
+    /// symmetric values for α/β/δ).
+    pub base: TrainConfig,
+    /// Run the hyperparameter optimization every this many sweeps
+    /// (0 disables learning — the "UPM minus hyperlearning" ablation).
+    pub hyper_every: usize,
+    /// L-BFGS iteration budget per hyperparameter update.
+    pub hyper_iterations: usize,
+    /// Worker threads for the (exact) document-parallel sweep; results are
+    /// identical for any value. 0 and 1 both mean single-threaded.
+    pub threads: usize,
+}
+
+impl Default for UpmConfig {
+    fn default() -> Self {
+        UpmConfig {
+            base: TrainConfig::default(),
+            hyper_every: 20,
+            hyper_iterations: 15,
+            threads: 1,
+        }
+    }
+}
+
+/// One session's sampling slot.
+#[derive(Clone, Debug)]
+struct Slot {
+    words: Vec<(u32, u32)>,
+    urls: Vec<(u32, u32)>,
+    time: f64,
+    z: u32,
+}
+
+/// All mutable per-document sampler state — the unit of parallelism.
+#[derive(Clone, Debug)]
+struct DocState {
+    /// `C_dk`: sessions assigned to each topic.
+    topic_counts: Vec<u32>,
+    /// `C^{KWD}` for this document: topics × words.
+    topic_word: Counts2D,
+    /// `C^{KUD}` for this document: topics × URLs.
+    topic_url: Counts2D,
+    /// The document's sessions.
+    slots: Vec<Slot>,
+}
+
+/// Global (read-only within a sweep) parameters.
+#[derive(Clone, Debug)]
+struct Globals {
+    alpha: Vec<f64>,
+    beta: Vec<Vec<f64>>,
+    delta: Vec<Vec<f64>>,
+    beta_sums: Vec<f64>,
+    delta_sums: Vec<f64>,
+    taus: Vec<BetaDistribution>,
+}
+
+/// A trained User Profiling Model.
+#[derive(Clone, Debug)]
+pub struct Upm {
+    cfg: UpmConfig,
+    num_words: usize,
+    num_urls: usize,
+    docs: Vec<DocState>,
+    globals: Globals,
+}
+
+impl Upm {
+    /// Trains the UPM on a corpus.
+    pub fn train(corpus: &Corpus, cfg: &UpmConfig) -> Self {
+        let base = cfg.base;
+        assert!(base.num_topics > 0, "upm: need at least one topic");
+        assert!(corpus.num_docs() > 0, "upm: empty corpus");
+        let k = base.num_topics;
+        let w_vocab = corpus.num_words;
+        let u_vocab = corpus.num_urls.max(1);
+
+        let globals = Globals {
+            alpha: vec![base.alpha; k],
+            beta: vec![vec![base.beta; w_vocab]; k],
+            delta: vec![vec![base.delta; u_vocab]; k],
+            beta_sums: vec![base.beta * w_vocab as f64; k],
+            delta_sums: vec![base.delta * u_vocab as f64; k],
+            taus: vec![BetaDistribution::uniform(); k],
+        };
+
+        // Per-document initialization, seeded per doc (sweep index 0).
+        let docs: Vec<DocState> = corpus
+            .docs
+            .iter()
+            .enumerate()
+            .map(|(d, doc)| {
+                let mut rng = doc_rng(base.seed, 0, d);
+                let mut state = DocState {
+                    topic_counts: vec![0; k],
+                    topic_word: Counts2D::new(k, w_vocab),
+                    topic_url: Counts2D::new(k, u_vocab),
+                    slots: Vec::with_capacity(doc.sessions.len()),
+                };
+                for s in &doc.sessions {
+                    let z = rng.gen_range(0..k) as u32;
+                    let slot = Slot {
+                        words: to_multiset(&s.words),
+                        urls: to_multiset(&s.urls),
+                        time: s.time,
+                        z,
+                    };
+                    state.add(&slot, z);
+                    state.slots.push(slot);
+                }
+                state
+            })
+            .collect();
+
+        let mut model = Upm {
+            cfg: *cfg,
+            num_words: w_vocab,
+            num_urls: u_vocab,
+            docs,
+            globals,
+        };
+
+        for sweep in 1..=base.iterations {
+            model.sweep(sweep);
+            model.refit_taus();
+            if cfg.hyper_every > 0 && sweep % cfg.hyper_every == 0 {
+                model.optimize_hyperparameters();
+            }
+        }
+        model
+    }
+
+    /// One full Gibbs sweep, document-parallel when configured.
+    fn sweep(&mut self, sweep: usize) {
+        let seed = self.cfg.base.seed;
+        let threads = self.cfg.threads.max(1);
+        let globals = &self.globals;
+        if threads == 1 || self.docs.len() < 2 * threads {
+            for (d, doc) in self.docs.iter_mut().enumerate() {
+                let mut rng = doc_rng(seed, sweep, d);
+                doc.sample_all(globals, &mut rng);
+            }
+            return;
+        }
+        // Exact document-parallel sweep: disjoint &mut chunks, shared
+        // read-only globals. Chunk boundaries do not affect the result —
+        // each document's RNG stream depends only on (seed, sweep, doc).
+        let chunk = self.docs.len().div_ceil(threads);
+        let doc_base: Vec<usize> = (0..self.docs.len()).collect();
+        crossbeam::scope(|scope| {
+            for (ci, docs_chunk) in self.docs.chunks_mut(chunk).enumerate() {
+                let base_idx = doc_base[ci * chunk];
+                scope.spawn(move |_| {
+                    for (off, doc) in docs_chunk.iter_mut().enumerate() {
+                        let mut rng = doc_rng(seed, sweep, base_idx + off);
+                        doc.sample_all(globals, &mut rng);
+                    }
+                });
+            }
+        })
+        .expect("gibbs worker panicked");
+    }
+
+    fn refit_taus(&mut self) {
+        let k = self.globals.alpha.len();
+        let mut moments = vec![RunningMoments::new(); k];
+        for doc in &self.docs {
+            for s in &doc.slots {
+                moments[s.z as usize].push(s.time);
+            }
+        }
+        for z in 0..k {
+            self.globals.taus[z] = if moments[z].count() >= 2 {
+                BetaDistribution::fit_moments(moments[z].mean(), moments[z].variance_biased())
+            } else {
+                BetaDistribution::uniform()
+            };
+        }
+    }
+
+    /// One alternating pass of the Eq. 25–27 maximizations via L-BFGS with
+    /// `x = ln(param)` reparameterization.
+    fn optimize_hyperparameters(&mut self) {
+        self.optimize_alpha();
+        self.optimize_emission(true);
+        self.optimize_emission(false);
+    }
+
+    /// Eq. 25: α over the document–topic counts.
+    fn optimize_alpha(&mut self) {
+        let k = self.globals.alpha.len();
+        let rows: Vec<(Vec<f64>, f64)> = self
+            .docs
+            .iter()
+            .map(|doc| {
+                let row: Vec<f64> = doc.topic_counts.iter().map(|&c| c as f64).collect();
+                let sum: f64 = row.iter().sum();
+                (row, sum)
+            })
+            .collect();
+        let mut objective = |x: &[f64], grad: &mut [f64]| -> f64 {
+            let alpha: Vec<f64> = x.iter().map(|v| v.exp().clamp(1e-8, 1e6)).collect();
+            let a0: f64 = alpha.iter().sum();
+            let mut nll = 0.0;
+            let mut g = vec![0.0; k];
+            for (row, sum) in &rows {
+                nll -= ln_gamma(a0) - ln_gamma(sum + a0);
+                let d0 = digamma(a0) - digamma(sum + a0);
+                for z in 0..k {
+                    if row[z] > 0.0 {
+                        nll -= ln_gamma(row[z] + alpha[z]) - ln_gamma(alpha[z]);
+                        g[z] -= digamma(row[z] + alpha[z]) - digamma(alpha[z]);
+                    }
+                    g[z] -= d0;
+                }
+            }
+            for z in 0..k {
+                grad[z] = g[z] * alpha[z];
+            }
+            nll
+        };
+        let x0: Vec<f64> = self.globals.alpha.iter().map(|a| a.ln()).collect();
+        let out = Lbfgs::new(LbfgsConfig {
+            max_iterations: self.cfg.hyper_iterations,
+            ..LbfgsConfig::default()
+        })
+        .minimize(&mut objective, &x0);
+        self.globals.alpha = out.x.iter().map(|v| v.exp().clamp(1e-8, 1e6)).collect();
+    }
+
+    /// Eq. 26 (words, `is_words = true`) / Eq. 27 (URLs): per-topic prior
+    /// vectors over the per-document emission tables.
+    fn optimize_emission(&mut self, is_words: bool) {
+        let k = self.globals.alpha.len();
+        let vocab = if is_words { self.num_words } else { self.num_urls };
+        for z in 0..k {
+            let mut doc_rows: Vec<(Vec<(usize, f64)>, f64)> = Vec::new();
+            for doc in &self.docs {
+                let t = if is_words { &doc.topic_word } else { &doc.topic_url };
+                let sum = t.row_sum(z) as f64;
+                if sum == 0.0 {
+                    continue; // document never uses topic z: contributes nothing
+                }
+                let sparse: Vec<(usize, f64)> = t
+                    .row(z)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(v, &c)| (v, c as f64))
+                    .collect();
+                doc_rows.push((sparse, sum));
+            }
+            if doc_rows.is_empty() {
+                continue;
+            }
+            // MAP rather than MLE: a weak Gamma(a, b) hyperprior on every
+            // prior cell. Pure maximum likelihood drives the prior of words
+            // a topic never emitted (in the observed split) to zero, which
+            // crushes their held-out probability; the Gamma acts as a soft
+            // floor while leaving well-evidenced cells free to move. Shape
+            // is chosen so the hyperprior mode sits at the symmetric
+            // initialization.
+            let init = if is_words { self.cfg.base.beta } else { self.cfg.base.delta };
+            let gamma_b = 1.0;
+            let gamma_a = 1.0 + gamma_b * init; // mode (a-1)/b = init
+            let n_rows = doc_rows.len() as f64;
+            let mut objective = |x: &[f64], grad: &mut [f64]| -> f64 {
+                let prior: Vec<f64> = x.iter().map(|v| v.exp().clamp(1e-8, 1e6)).collect();
+                let p0: f64 = prior.iter().sum();
+                let mut nll = 0.0;
+                let mut g = vec![0.0; vocab];
+                let dig_p0 = digamma(p0);
+                let ln_gamma_p0 = ln_gamma(p0);
+                for (sparse, sum) in &doc_rows {
+                    nll -= ln_gamma_p0 - ln_gamma(sum + p0);
+                    let d0 = dig_p0 - digamma(sum + p0);
+                    for gz in g.iter_mut() {
+                        *gz -= d0;
+                    }
+                    for &(v, c) in sparse {
+                        nll -= ln_gamma(c + prior[v]) - ln_gamma(prior[v]);
+                        g[v] -= digamma(c + prior[v]) - digamma(prior[v]);
+                    }
+                }
+                // Gamma hyperprior, scaled with the number of groups so its
+                // pull does not vanish on large corpora.
+                for v in 0..vocab {
+                    nll -= n_rows * ((gamma_a - 1.0) * prior[v].ln() - gamma_b * prior[v]);
+                    g[v] -= n_rows * ((gamma_a - 1.0) / prior[v] - gamma_b);
+                    grad[v] = g[v] * prior[v];
+                }
+                nll
+            };
+            let current = if is_words {
+                &self.globals.beta[z]
+            } else {
+                &self.globals.delta[z]
+            };
+            let x0: Vec<f64> = current.iter().map(|b| b.ln()).collect();
+            let out = Lbfgs::new(LbfgsConfig {
+                max_iterations: self.cfg.hyper_iterations,
+                ..LbfgsConfig::default()
+            })
+            .minimize(&mut objective, &x0);
+            let learned: Vec<f64> = out.x.iter().map(|v| v.exp().clamp(1e-8, 1e6)).collect();
+            let sum: f64 = learned.iter().sum();
+            if is_words {
+                self.globals.beta[z] = learned;
+                self.globals.beta_sums[z] = sum;
+            } else {
+                self.globals.delta[z] = learned;
+                self.globals.delta_sums[z] = sum;
+            }
+        }
+    }
+
+    /// The learned α vector.
+    pub fn alpha(&self) -> &[f64] {
+        &self.globals.alpha
+    }
+
+    /// The learned word hyperprior of topic `k` (β_k, length W).
+    pub fn beta_k(&self, k: usize) -> &[f64] {
+        &self.globals.beta[k]
+    }
+
+    /// The learned URL hyperprior of topic `k` (δ_k, length U).
+    pub fn delta_k(&self, k: usize) -> &[f64] {
+        &self.globals.delta[k]
+    }
+
+    /// The fitted temporal distribution of topic `k`.
+    pub fn tau(&self, k: usize) -> &BetaDistribution {
+        &self.globals.taus[k]
+    }
+
+    /// The paper's Eq. 31 numerator building block:
+    /// `p(w | z = k, d)` under the per-user distribution.
+    pub fn user_word_prob(&self, doc: usize, k: usize, w: u32) -> f64 {
+        let t = &self.docs[doc].topic_word;
+        (t.get(k, w as usize) as f64 + self.globals.beta[k][w as usize])
+            / (t.row_sum(k) as f64 + self.globals.beta_sums[k])
+    }
+
+    /// Per-user URL probability `p(u | z = k, d)`.
+    pub fn user_url_prob(&self, doc: usize, k: usize, u: u32) -> f64 {
+        let t = &self.docs[doc].topic_url;
+        (t.get(k, u as usize) as f64 + self.globals.delta[k][u as usize])
+            / (t.row_sum(k) as f64 + self.globals.delta_sums[k])
+    }
+
+    /// Number of documents profiled.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Internal view for the binary profile store (`crate::store`).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn store_parts(
+        &self,
+    ) -> (
+        &UpmConfig,
+        usize,
+        usize,
+        Vec<(&Vec<u32>, &Counts2D, &Counts2D)>,
+        (&[f64], &[Vec<f64>], &[Vec<f64>], &[BetaDistribution], &[f64], &[f64]),
+    ) {
+        (
+            &self.cfg,
+            self.num_words,
+            self.num_urls,
+            self.docs
+                .iter()
+                .map(|d| (&d.topic_counts, &d.topic_word, &d.topic_url))
+                .collect(),
+            (
+                &self.globals.alpha,
+                &self.globals.beta,
+                &self.globals.delta,
+                &self.globals.taus,
+                &self.globals.beta_sums,
+                &self.globals.delta_sums,
+            ),
+        )
+    }
+
+    /// Rebuilds a model from stored parts (`crate::store`). The training
+    /// slots are not persisted — a loaded model scores and profiles but
+    /// cannot resume sampling.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_store_parts(
+        base_priors: (f64, f64, f64),
+        num_words: usize,
+        num_urls: usize,
+        alpha: Vec<f64>,
+        beta: (Vec<Vec<f64>>, Vec<f64>),
+        delta: (Vec<Vec<f64>>, Vec<f64>),
+        taus: Vec<BetaDistribution>,
+        docs: Vec<(Vec<u32>, Counts2D, Counts2D)>,
+    ) -> Self {
+        let (beta, beta_sums) = beta;
+        let (delta, delta_sums) = delta;
+        Upm {
+            cfg: UpmConfig {
+                base: TrainConfig {
+                    num_topics: alpha.len(),
+                    iterations: 0,
+                    seed: 0,
+                    alpha: base_priors.0,
+                    beta: base_priors.1,
+                    delta: base_priors.2,
+                },
+                hyper_every: 0,
+                hyper_iterations: 0,
+                threads: 1,
+            },
+            num_words,
+            num_urls,
+            docs: docs
+                .into_iter()
+                .map(|(topic_counts, topic_word, topic_url)| DocState {
+                    topic_counts,
+                    topic_word,
+                    topic_url,
+                    slots: Vec::new(),
+                })
+                .collect(),
+            globals: Globals {
+                alpha,
+                beta,
+                delta,
+                beta_sums,
+                delta_sums,
+                taus,
+            },
+        }
+    }
+}
+
+impl DocState {
+    fn add(&mut self, s: &Slot, z: u32) {
+        self.topic_counts[z as usize] += 1;
+        for &(w, n) in &s.words {
+            self.topic_word.inc(z as usize, w as usize, n);
+        }
+        for &(u, n) in &s.urls {
+            self.topic_url.inc(z as usize, u as usize, n);
+        }
+    }
+
+    fn remove(&mut self, s: &Slot, z: u32) {
+        self.topic_counts[z as usize] -= 1;
+        for &(w, n) in &s.words {
+            self.topic_word.dec(z as usize, w as usize, n);
+        }
+        for &(u, n) in &s.urls {
+            self.topic_url.dec(z as usize, u as usize, n);
+        }
+    }
+
+    /// The paper's Eq. 23 in log space, with the Gamma ratios written as
+    /// rising factorials over this document's tables.
+    fn ln_conditional(&self, g: &Globals, s: &Slot, z: usize) -> f64 {
+        let mut acc = (self.topic_counts[z] as f64 + g.alpha[z]).ln();
+        let tw = &self.topic_word;
+        let mut n_total = 0usize;
+        for &(w, n) in &s.words {
+            acc += ln_rising(
+                tw.get(z, w as usize) as f64 + g.beta[z][w as usize],
+                n as usize,
+            );
+            n_total += n as usize;
+        }
+        acc -= ln_rising(tw.row_sum(z) as f64 + g.beta_sums[z], n_total);
+        if !s.urls.is_empty() {
+            let tu = &self.topic_url;
+            let mut m_total = 0usize;
+            for &(u, n) in &s.urls {
+                acc += ln_rising(
+                    tu.get(z, u as usize) as f64 + g.delta[z][u as usize],
+                    n as usize,
+                );
+                m_total += n as usize;
+            }
+            acc -= ln_rising(tu.row_sum(z) as f64 + g.delta_sums[z], m_total);
+        }
+        acc + g.taus[z].ln_pdf(s.time)
+    }
+
+    /// Resamples every session of this document.
+    fn sample_all(&mut self, g: &Globals, rng: &mut SmallRng) {
+        let k = g.alpha.len();
+        let mut ln_w = vec![0.0; k];
+        for i in 0..self.slots.len() {
+            let z_old = self.slots[i].z;
+            let slot = std::mem::replace(
+                &mut self.slots[i],
+                Slot {
+                    words: Vec::new(),
+                    urls: Vec::new(),
+                    time: 0.0,
+                    z: 0,
+                },
+            );
+            self.remove(&slot, z_old);
+            for (z, lw) in ln_w.iter_mut().enumerate() {
+                *lw = self.ln_conditional(g, &slot, z);
+            }
+            softmax_in_place(&mut ln_w);
+            let z_new = sample_discrete(&ln_w, rng.gen::<f64>()) as u32;
+            self.add(&slot, z_new);
+            self.slots[i] = Slot { z: z_new, ..slot };
+        }
+    }
+}
+
+/// The per-(seed, sweep, document) RNG stream — the key to exact,
+/// thread-count-independent parallel sampling.
+fn doc_rng(seed: u64, sweep: usize, doc: usize) -> SmallRng {
+    SmallRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((sweep as u64) << 32)
+            .wrapping_add(doc as u64),
+    )
+}
+
+impl TopicModel for Upm {
+    fn name(&self) -> &str {
+        "UPM"
+    }
+
+    fn num_topics(&self) -> usize {
+        self.globals.alpha.len()
+    }
+
+    /// Eq. 30 with the learned (generally asymmetric) α.
+    fn doc_topic(&self, doc: usize) -> Vec<f64> {
+        let a0: f64 = self.globals.alpha.iter().sum();
+        let total: u32 = self.docs[doc].topic_counts.iter().sum();
+        let denom = total as f64 + a0;
+        self.docs[doc]
+            .topic_counts
+            .iter()
+            .zip(&self.globals.alpha)
+            .map(|(&c, &a)| (c as f64 + a) / denom)
+            .collect()
+    }
+
+    fn topic_word_prob(&self, doc: usize, k: usize, w: u32) -> f64 {
+        self.user_word_prob(doc, k, w)
+    }
+
+    fn topic_url_prob(&self, doc: usize, k: usize, u: u32) -> f64 {
+        self.user_url_prob(doc, k, u)
+    }
+
+    fn topic_time_ln_pdf(&self, k: usize, t: f64) -> f64 {
+        self.globals.taus[k].ln_pdf(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{DocSession, Document};
+    use pqsda_querylog::UserId;
+
+    /// The paper's Toyota/Ford scenario: two users share a "cars" topic
+    /// (words 0..4 = generic car words) but differ in brand words
+    /// (4 = toyota, 5 = ford); a third user is in another topic entirely
+    /// (words 6..9).
+    fn toyota_ford_corpus() -> Corpus {
+        let session =
+            |ws: Vec<u32>, u: Option<u32>, t: f64| DocSession::from_records(vec![(ws, u)], t);
+        let cars_user = |uid: u32, brand: u32, url: u32| Document {
+            user: UserId(uid),
+            sessions: (0..8)
+                .map(|i| {
+                    session(
+                        vec![i % 4, brand],
+                        Some(url),
+                        0.3 + 0.05 * (i % 4) as f64,
+                    )
+                })
+                .collect(),
+        };
+        let other_user = Document {
+            user: UserId(2),
+            sessions: (0..8)
+                .map(|i| session(vec![6 + (i % 4)], Some(2), 0.7 + 0.02 * (i % 4) as f64))
+                .collect(),
+        };
+        Corpus {
+            docs: vec![cars_user(0, 4, 0), cars_user(1, 5, 1), other_user],
+            num_words: 10,
+            num_urls: 3,
+        }
+    }
+
+    fn cfg() -> UpmConfig {
+        UpmConfig {
+            base: TrainConfig {
+                num_topics: 2,
+                iterations: 60,
+                seed: 23,
+                ..TrainConfig::default()
+            },
+            hyper_every: 20,
+            hyper_iterations: 10,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn cars_users_share_topic_but_keep_brand_words() {
+        let c = toyota_ford_corpus();
+        let m = Upm::train(&c, &cfg());
+        let t0 = m.doc_topic(0);
+        let t1 = m.doc_topic(1);
+        let t2 = m.doc_topic(2);
+        let dom0 = if t0[0] > t0[1] { 0 } else { 1 };
+        let dom1 = if t1[0] > t1[1] { 0 } else { 1 };
+        let dom2 = if t2[0] > t2[1] { 0 } else { 1 };
+        assert_eq!(dom0, dom1, "car users must share the cars topic");
+        assert_ne!(dom0, dom2, "other user is in the other topic");
+        // Per-user word distributions: the paper's core claim. User 0
+        // weighs "toyota" (4) over "ford" (5) in the SAME topic; user 1
+        // the reverse.
+        assert!(
+            m.user_word_prob(0, dom0, 4) > 3.0 * m.user_word_prob(0, dom0, 5),
+            "user 0 must prefer toyota"
+        );
+        assert!(
+            m.user_word_prob(1, dom1, 5) > 3.0 * m.user_word_prob(1, dom1, 4),
+            "user 1 must prefer ford"
+        );
+        // And per-user URL preferences.
+        assert!(m.user_url_prob(0, dom0, 0) > m.user_url_prob(0, dom0, 1));
+        assert!(m.user_url_prob(1, dom1, 1) > m.user_url_prob(1, dom1, 0));
+    }
+
+    #[test]
+    fn hyperparameter_learning_breaks_symmetry() {
+        let c = toyota_ford_corpus();
+        let m = Upm::train(&c, &cfg());
+        let t0 = m.doc_topic(0);
+        let cars = if t0[0] > t0[1] { 0 } else { 1 };
+        let b = m.beta_k(cars);
+        let car_avg: f64 = (0..4).map(|w| b[w]).sum::<f64>() / 4.0;
+        let other_avg: f64 = (6..10).map(|w| b[w]).sum::<f64>() / 4.0;
+        assert!(
+            car_avg > other_avg,
+            "learned beta must favor topic words: {car_avg} vs {other_avg}"
+        );
+        assert!(m.alpha().iter().all(|&a| a > 0.0 && a.is_finite()));
+    }
+
+    #[test]
+    fn profiles_are_distributions() {
+        let c = toyota_ford_corpus();
+        let m = Upm::train(&c, &cfg());
+        for d in 0..3 {
+            let th = m.doc_topic(d);
+            assert!((th.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            let pw: f64 = (0..10).map(|w| m.user_word_prob(d, 0, w)).sum();
+            assert!((pw - 1.0).abs() < 1e-9);
+            let pu: f64 = (0..3).map(|u| m.user_url_prob(d, 0, u)).sum();
+            assert!((pu - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn temporal_components_fit_session_times() {
+        let c = toyota_ford_corpus();
+        let m = Upm::train(&c, &cfg());
+        let t2 = m.doc_topic(2);
+        let other = if t2[0] > t2[1] { 0 } else { 1 };
+        assert!(m.tau(other).mean() > m.tau(1 - other).mean());
+    }
+
+    #[test]
+    fn disabling_hyperlearning_keeps_symmetric_priors() {
+        let c = toyota_ford_corpus();
+        let mut cfg = cfg();
+        cfg.hyper_every = 0;
+        let m = Upm::train(&c, &cfg);
+        let b = m.beta_k(0);
+        assert!(b.iter().all(|&x| (x - cfg.base.beta).abs() < 1e-12));
+        assert!(m.alpha().iter().all(|&a| (a - cfg.base.alpha).abs() < 1e-12));
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let c = toyota_ford_corpus();
+        let a = Upm::train(&c, &cfg());
+        let b = Upm::train(&c, &cfg());
+        assert_eq!(a.doc_topic(0), b.doc_topic(0));
+        assert_eq!(a.alpha(), b.alpha());
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical_to_sequential() {
+        // The headline property of the per-document design: thread count
+        // does not change the model at all.
+        let c = toyota_ford_corpus();
+        let seq = Upm::train(&c, &cfg());
+        for threads in [2usize, 4] {
+            let par = Upm::train(
+                &c,
+                &UpmConfig {
+                    threads,
+                    ..cfg()
+                },
+            );
+            for d in 0..3 {
+                assert_eq!(seq.doc_topic(d), par.doc_topic(d), "threads={threads}");
+            }
+            assert_eq!(seq.alpha(), par.alpha(), "threads={threads}");
+            for z in 0..2 {
+                assert_eq!(seq.beta_k(z), par.beta_k(z), "threads={threads}");
+                assert_eq!(seq.tau(z).alpha(), par.tau(z).alpha());
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Cross-model integration test: on a synthetic topic-world log, richer
+//! models must not predict worse than the uniform baseline, and the UPM
+//! should beat plain LDA — the qualitative ordering of the paper's Fig. 4.
+
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_topics::clickmodels::{Ctm, Mwm, Tum};
+use pqsda_topics::lda::Lda;
+use pqsda_topics::ptm::{Ptm1, Ptm2};
+use pqsda_topics::sstm::Sstm;
+use pqsda_topics::tot::Tot;
+use pqsda_topics::{perplexity, Corpus, SplitCorpus, TrainConfig, Upm, UpmConfig};
+
+fn setup() -> SplitCorpus {
+    let synth = generate(&SynthConfig {
+        num_users: 40,
+        sessions_per_user: (20, 30),
+        ..SynthConfig::tiny(101)
+    });
+    let corpus = Corpus::build(&synth.log, &synth.truth.sessions);
+    SplitCorpus::by_fraction(&corpus, 0.7)
+}
+
+fn cfg() -> TrainConfig {
+    // K at world-topic granularity: the regime the paper studies, where a
+    // topic is broad ("cars") and users differ in facet-level word usage
+    // ("toyota" vs "ford"). Per-user distributions only pay off there; at
+    // K ≈ #facets every model degenerates to facet-specific topics.
+    TrainConfig {
+        num_topics: 4,
+        iterations: 40,
+        seed: 77,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn all_models_beat_uniform_and_upm_beats_lda() {
+    let split = setup();
+    let vocab = split.observed.num_words as f64;
+    let cfg = cfg();
+
+    let lda = Lda::train(&split.observed, &cfg);
+    let tot = Tot::train(&split.observed, &cfg);
+    let ptm1 = Ptm1::train(&split.observed, &cfg);
+    let ptm2 = Ptm2::train(&split.observed, &cfg);
+    let mwm = Mwm::train(&split.observed, &cfg);
+    let tum = Tum::train(&split.observed, &cfg);
+    let ctm = Ctm::train(&split.observed, &cfg);
+    let sstm = Sstm::train(&split.observed, &cfg);
+    let upm = Upm::train(
+        &split.observed,
+        &UpmConfig {
+            base: cfg,
+            hyper_every: 15,
+            hyper_iterations: 8,
+            threads: 1,
+        },
+    );
+
+    let models: Vec<(&str, f64)> = vec![
+        ("LDA", perplexity(&lda, &split).unwrap()),
+        ("TOT", perplexity(&tot, &split).unwrap()),
+        ("PTM1", perplexity(&ptm1, &split).unwrap()),
+        ("PTM2", perplexity(&ptm2, &split).unwrap()),
+        ("MWM", perplexity(&mwm, &split).unwrap()),
+        ("TUM", perplexity(&tum, &split).unwrap()),
+        ("CTM", perplexity(&ctm, &split).unwrap()),
+        ("SSTM", perplexity(&sstm, &split).unwrap()),
+        ("UPM", perplexity(&upm, &split).unwrap()),
+    ];
+
+    for (name, p) in &models {
+        assert!(p.is_finite() && *p > 1.0, "{name}: degenerate perplexity {p}");
+        assert!(
+            *p < vocab,
+            "{name}: perplexity {p} no better than uniform ({vocab})"
+        );
+    }
+    let lda_p = models[0].1;
+    let upm_p = models[8].1;
+    assert!(
+        upm_p < lda_p,
+        "UPM ({upm_p:.1}) must beat LDA ({lda_p:.1}) as in Fig. 4"
+    );
+}

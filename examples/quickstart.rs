@@ -1,0 +1,57 @@
+//! Quickstart: build a PQS-DA engine from a handful of log lines — the
+//! paper's Table I — and ask for suggestions.
+//!
+//! Run with: `cargo run -p pqsda --example quickstart`
+
+use pqsda::{PqsDa, PqsDaConfig};
+use pqsda_baselines::{SuggestRequest, Suggester};
+use pqsda_graph::multi::MultiBipartite;
+use pqsda_graph::weighting::WeightingScheme;
+use pqsda_querylog::session::{segment_sessions, SessionConfig};
+use pqsda_querylog::{LogEntry, QueryLog, UserId};
+
+fn main() {
+    // 1. Raw query-log lines, exactly the paper's Table I schema:
+    //    (user, query, clicked URL, timestamp).
+    let entries = vec![
+        LogEntry::new(UserId(0), "sun", Some("www.java.com"), 100),
+        LogEntry::new(UserId(0), "sun java", Some("java.sun.com"), 120),
+        LogEntry::new(UserId(0), "jvm download", None, 200),
+        LogEntry::new(UserId(1), "sun", Some("www.suncellular.com"), 300),
+        LogEntry::new(UserId(1), "solar cell", Some("en.wikipedia.org/wiki/Solar_cell"), 400),
+        LogEntry::new(UserId(2), "sun oracle", Some("www.oracle.com"), 500),
+        LogEntry::new(UserId(2), "java", Some("www.java.com"), 560),
+    ];
+
+    // 2. Intern the log and segment sessions (paper Definition 1).
+    let mut log = QueryLog::from_entries(&entries);
+    let sessions = segment_sessions(&mut log, &SessionConfig::default());
+    println!(
+        "log: {} records, {} distinct queries, {} sessions",
+        log.records().len(),
+        log.num_queries(),
+        sessions.len()
+    );
+
+    // 3. Build the multi-bipartite representation (paper §III) with
+    //    cfiqf edge weighting (Eq. 1–6).
+    let multi = MultiBipartite::build(&log, &sessions, WeightingScheme::CfIqf);
+    println!(
+        "multi-bipartite edges: {} (click graph alone: {})",
+        multi.total_edges(),
+        multi.get(pqsda_graph::EntityKind::Url).num_edges()
+    );
+
+    // 4. The engine: diversification only here (no user profiles from 7
+    //    log lines); see the other examples for personalization.
+    let engine = PqsDa::new(log, multi, None, PqsDaConfig::default());
+
+    // 5. Suggest for the ambiguous query "sun".
+    let sun = engine.log().find_query("sun").expect("'sun' is in the log");
+    let suggestions = engine.suggest(&SuggestRequest::simple(sun, 5));
+    println!("\nsuggestions for \"sun\":");
+    for (rank, q) in suggestions.iter().enumerate() {
+        println!("  {}. {}", rank + 1, engine.log().query_text(*q));
+    }
+    assert!(!suggestions.is_empty());
+}

@@ -1,0 +1,92 @@
+//! Concurrency tests: the engine is an online service in the paper's
+//! deployment story (§VI-D), so it must serve suggestion requests from many
+//! threads at once, and the parallel UPM trainer must scale without
+//! changing results.
+
+use pqsda::{PqsDa, PqsDaConfig};
+use pqsda_baselines::{SuggestRequest, Suggester};
+use pqsda_graph::compact::CompactConfig;
+use pqsda_graph::multi::MultiBipartite;
+use pqsda_graph::weighting::WeightingScheme;
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_querylog::QueryId;
+use pqsda_topics::{Corpus, TopicModel, TrainConfig, Upm, UpmConfig};
+
+#[test]
+fn engine_serves_concurrent_requests_consistently() {
+    let synth = generate(&SynthConfig::tiny(41));
+    let multi =
+        MultiBipartite::build(&synth.log, &synth.truth.sessions, WeightingScheme::CfIqf);
+    let engine = PqsDa::new(
+        synth.log.clone(),
+        multi,
+        None,
+        PqsDaConfig {
+            compact: CompactConfig {
+                max_queries: 64,
+                max_rounds: 2,
+            },
+            ..PqsDaConfig::default()
+        },
+    );
+
+    let queries: Vec<QueryId> = (0..synth.log.num_queries())
+        .step_by(17)
+        .map(QueryId::from_index)
+        .collect();
+
+    // Reference answers, computed single-threaded.
+    let expected: Vec<Vec<QueryId>> = queries
+        .iter()
+        .map(|&q| engine.suggest(&SuggestRequest::simple(q, 6)))
+        .collect();
+
+    // Hammer the same engine from 8 threads; every thread must see exactly
+    // the single-threaded answers (the compact-representation cache is
+    // shared state — this exercises it under contention).
+    crossbeam::scope(|scope| {
+        for t in 0..8 {
+            let engine = &engine;
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move |_| {
+                for round in 0..3 {
+                    for (i, &q) in queries.iter().enumerate() {
+                        let got = engine.suggest(&SuggestRequest::simple(q, 6));
+                        assert_eq!(
+                            got, expected[i],
+                            "thread {t} round {round} query {q:?} diverged"
+                        );
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+}
+
+#[test]
+fn parallel_upm_matches_sequential_on_a_real_corpus() {
+    let synth = generate(&SynthConfig::tiny(43));
+    let corpus = Corpus::build(&synth.log, &synth.truth.sessions);
+    let cfg = |threads: usize| UpmConfig {
+        base: TrainConfig {
+            num_topics: 4,
+            iterations: 20,
+            seed: 3,
+            ..TrainConfig::default()
+        },
+        hyper_every: 10,
+        hyper_iterations: 5,
+        threads,
+    };
+    let seq = Upm::train(&corpus, &cfg(1));
+    let par = Upm::train(&corpus, &cfg(8));
+    assert_eq!(seq.alpha(), par.alpha());
+    for d in (0..corpus.num_docs()).step_by(5) {
+        assert_eq!(seq.doc_topic(d), par.doc_topic(d), "doc {d}");
+    }
+    for z in 0..4 {
+        assert_eq!(seq.beta_k(z), par.beta_k(z), "topic {z}");
+    }
+}

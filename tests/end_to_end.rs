@@ -1,0 +1,177 @@
+//! End-to-end integration: the full pipeline — raw entries → cleaning →
+//! our own session segmentation (not the generator's oracle) → corpus →
+//! UPM → multi-bipartite → PQS-DA engine — holds its contracts on a
+//! synthetic world.
+
+use pqsda::{Personalizer, PqsDa, PqsDaConfig};
+use pqsda_baselines::{SuggestRequest, Suggester};
+use pqsda_graph::compact::CompactConfig;
+use pqsda_graph::multi::MultiBipartite;
+use pqsda_graph::weighting::WeightingScheme;
+use pqsda_querylog::clean::{clean_entries, CleanConfig};
+use pqsda_querylog::session::{segment_sessions, SessionConfig};
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_querylog::{LogEntry, QueryLog};
+use pqsda_topics::{Corpus, TrainConfig, Upm, UpmConfig};
+
+/// Builds the full pipeline from *raw re-exported entries* so the cleaning
+/// and segmentation stages are genuinely exercised.
+fn build_pipeline() -> (PqsDa, QueryLog) {
+    let synth = generate(&SynthConfig {
+        seed: 17,
+        num_users: 40,
+        sessions_per_user: (15, 25),
+        ..SynthConfig::tiny(17)
+    });
+    // Re-export raw entries (as if we received a foreign log file).
+    let raw: Vec<LogEntry> = synth
+        .log
+        .records()
+        .iter()
+        .map(|r| {
+            LogEntry::new(
+                r.user,
+                synth.log.query_text(r.query),
+                r.click.map(|u| synth.log.url_text(u)),
+                r.timestamp,
+            )
+        })
+        .collect();
+
+    let (cleaned, stats) = clean_entries(&raw, &CleanConfig::default());
+    assert!(stats.kept as f64 > 0.8 * raw.len() as f64);
+
+    let mut log = QueryLog::from_entries(&cleaned);
+    let sessions = segment_sessions(&mut log, &SessionConfig::default());
+    assert!(!sessions.is_empty());
+
+    let corpus = Corpus::build(&log, &sessions);
+    let upm = Upm::train(
+        &corpus,
+        &UpmConfig {
+            base: TrainConfig {
+                num_topics: 4,
+                iterations: 25,
+                seed: 5,
+                ..TrainConfig::default()
+            },
+            hyper_every: 0,
+            hyper_iterations: 0,
+            threads: 1,
+        },
+    );
+    let personalizer = Personalizer::new(upm, &corpus, log.num_users());
+    let multi = MultiBipartite::build(&log, &sessions, WeightingScheme::CfIqf);
+    let engine = PqsDa::new(
+        log.clone(),
+        multi,
+        Some(personalizer),
+        PqsDaConfig {
+            compact: CompactConfig {
+                max_queries: 128,
+                max_rounds: 3,
+            },
+            ..PqsDaConfig::default()
+        },
+    );
+    (engine, log)
+}
+
+#[test]
+fn pipeline_contracts_hold_for_many_queries() {
+    let (engine, log) = build_pipeline();
+    let mut non_empty = 0;
+    for q in (0..log.num_queries()).step_by(13) {
+        let qid = pqsda_querylog::QueryId::from_index(q);
+        let out = engine.suggest(&SuggestRequest::simple(qid, 8));
+        assert!(out.len() <= 8);
+        assert!(!out.contains(&qid), "suggested the input itself");
+        let mut dedup = out.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), out.len(), "duplicate suggestions");
+        for s in &out {
+            assert!(s.index() < log.num_queries(), "dangling suggestion id");
+        }
+        if !out.is_empty() {
+            non_empty += 1;
+        }
+    }
+    assert!(non_empty > 0, "engine never produced suggestions");
+}
+
+#[test]
+fn suggestions_are_deterministic_across_engine_rebuilds() {
+    let (engine_a, log) = build_pipeline();
+    let (engine_b, _) = build_pipeline();
+    let q = log.records()[0].query;
+    let req = SuggestRequest::simple(q, 6).for_user(log.records()[0].user);
+    assert_eq!(engine_a.suggest(&req), engine_b.suggest(&req));
+}
+
+#[test]
+fn context_and_user_change_results_somewhere() {
+    let (engine, log) = build_pipeline();
+    let mut context_mattered = false;
+    let mut user_mattered = false;
+    for r in log.records().iter().step_by(29) {
+        let base = engine.suggest(&SuggestRequest::simple(r.query, 6));
+        if base.is_empty() {
+            continue;
+        }
+        // Another query of the same user as context.
+        if let Some(other) = log
+            .records()
+            .iter()
+            .find(|o| o.user == r.user && o.query != r.query)
+        {
+            let ctx = SuggestRequest::simple(r.query, 6).with_context(
+                vec![other.query],
+                vec![r.timestamp.saturating_sub(60)],
+                r.timestamp,
+            );
+            if engine.suggest(&ctx) != base {
+                context_mattered = true;
+            }
+        }
+        let personal = engine.suggest(&SuggestRequest::simple(r.query, 6).for_user(r.user));
+        if personal != base {
+            user_mattered = true;
+        }
+        if context_mattered && user_mattered {
+            break;
+        }
+    }
+    assert!(user_mattered, "personalization never changed any ranking");
+    assert!(context_mattered, "context never changed any result");
+}
+
+#[test]
+fn segmented_sessions_approximate_ground_truth() {
+    // The segmenter (time-gap + lexical) should roughly recover the
+    // generator's sessions: the session count must be within 2x.
+    let synth = generate(&SynthConfig::tiny(23));
+    let raw: Vec<LogEntry> = synth
+        .log
+        .records()
+        .iter()
+        .map(|r| {
+            LogEntry::new(
+                r.user,
+                synth.log.query_text(r.query),
+                r.click.map(|u| synth.log.url_text(u)),
+                r.timestamp,
+            )
+        })
+        .collect();
+    let mut log = QueryLog::from_entries(&raw);
+    let sessions = segment_sessions(&mut log, &SessionConfig::default());
+    let truth = synth.truth.sessions.len();
+    assert!(
+        sessions.len() as f64 >= truth as f64 * 0.5
+            && sessions.len() as f64 <= truth as f64 * 2.0,
+        "segmenter found {} sessions vs {} ground truth",
+        sessions.len(),
+        truth
+    );
+}

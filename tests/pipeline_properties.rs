@@ -1,0 +1,88 @@
+//! Property-based integration tests: engine invariants over randomly
+//! generated worlds and requests.
+
+use pqsda_baselines::{SuggestRequest, Suggester};
+use pqsda_graph::compact::CompactConfig;
+use pqsda_graph::multi::MultiBipartite;
+use pqsda_graph::weighting::WeightingScheme;
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_querylog::QueryId;
+use pqsda::{PqsDa, PqsDaConfig};
+use proptest::prelude::*;
+
+fn engine_for_seed(seed: u64) -> PqsDa {
+    let synth = generate(&SynthConfig::tiny(seed));
+    let multi =
+        MultiBipartite::build(&synth.log, &synth.truth.sessions, WeightingScheme::CfIqf);
+    PqsDa::new(
+        synth.log,
+        multi,
+        None,
+        PqsDaConfig {
+            compact: CompactConfig {
+                max_queries: 64,
+                max_rounds: 2,
+            },
+            ..PqsDaConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn engine_invariants_over_random_worlds(
+        seed in 0u64..200,
+        query_pick in 0usize..1000,
+        k in 1usize..12,
+    ) {
+        let engine = engine_for_seed(seed);
+        let n = engine.log().num_queries();
+        let q = QueryId::from_index(query_pick % n);
+        let out = engine.suggest(&SuggestRequest::simple(q, k));
+        prop_assert!(out.len() <= k);
+        prop_assert!(!out.contains(&q));
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), out.len(), "duplicates in suggestions");
+        for s in &out {
+            prop_assert!(s.index() < n);
+        }
+        // Determinism: the same request yields the same list. (Note:
+        // different k are NOT prefix-stable by design — Algorithm 1's
+        // relevance pool scales with k.)
+        let again = engine.suggest(&SuggestRequest::simple(q, k));
+        prop_assert_eq!(out, again);
+    }
+
+    #[test]
+    fn baselines_share_the_contract(
+        seed in 0u64..100,
+        query_pick in 0usize..1000,
+    ) {
+        let synth = generate(&SynthConfig::tiny(seed));
+        let log = &synth.log;
+        let n = log.num_queries();
+        let q = QueryId::from_index(query_pick % n);
+        use pqsda_baselines::*;
+        let methods: Vec<Box<dyn Suggester>> = vec![
+            Box::new(ForwardWalk::new(log, WeightingScheme::Raw, Default::default())),
+            Box::new(BackwardWalk::new(log, WeightingScheme::Raw, Default::default())),
+            Box::new(HittingTime::new(log, WeightingScheme::Raw, Default::default())),
+            Box::new(Dqs::new(log, WeightingScheme::Raw, Default::default())),
+            Box::new(PersonalizedHittingTime::new(log, WeightingScheme::Raw, Default::default())),
+            Box::new(ConceptBased::new(log, WeightingScheme::Raw, Default::default())),
+        ];
+        for m in &methods {
+            let out = m.suggest(&SuggestRequest::simple(q, 7));
+            prop_assert!(out.len() <= 7, "{}", m.name());
+            prop_assert!(!out.contains(&q), "{} suggested the input", m.name());
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), out.len(), "{} duplicated", m.name());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Failure-injection and degenerate-input robustness across the stack.
+
+use pqsda::{PqsDa, PqsDaConfig};
+use pqsda_baselines::{SuggestRequest, Suggester};
+use pqsda_graph::multi::MultiBipartite;
+use pqsda_graph::weighting::WeightingScheme;
+use pqsda_querylog::io::read_aol;
+use pqsda_querylog::session::{segment_sessions, SessionConfig};
+use pqsda_querylog::{LogEntry, QueryLog, UserId};
+use proptest::prelude::*;
+
+/// A log with NO clicks at all: the click graph is empty, every click-graph
+/// baseline is blind — but PQS-DA still works through the session and term
+/// bipartites. This is the paper's §III coverage argument taken to the
+/// extreme.
+#[test]
+fn engine_survives_a_click_free_log() {
+    let mut entries = Vec::new();
+    for rep in 0..4u64 {
+        let base = rep * 50_000;
+        entries.push(LogEntry::new(UserId(0), "sun", None, base));
+        entries.push(LogEntry::new(UserId(0), "sun java", None, base + 30));
+        entries.push(LogEntry::new(UserId(1), "sun", None, base + 1000));
+        entries.push(LogEntry::new(UserId(1), "sun solar", None, base + 1030));
+    }
+    let mut log = QueryLog::from_entries(&entries);
+    let sessions = segment_sessions(&mut log, &SessionConfig::default());
+    assert_eq!(log.num_urls(), 0);
+
+    let multi = MultiBipartite::build(&log, &sessions, WeightingScheme::CfIqf);
+    let engine = PqsDa::new(log, multi, None, PqsDaConfig::default());
+    let sun = engine.log().find_query("sun").unwrap();
+
+    // Click-graph baselines have nothing.
+    use pqsda_baselines::*;
+    let frw = ForwardWalk::new(engine.log(), WeightingScheme::CfIqf, Default::default());
+    assert!(frw.suggest(&SuggestRequest::simple(sun, 5)).is_empty());
+
+    // PQS-DA still reaches both facets.
+    let out = engine.suggest(&SuggestRequest::simple(sun, 4));
+    let texts: Vec<&str> = out.iter().map(|&q| engine.log().query_text(q)).collect();
+    assert!(
+        texts.iter().any(|t| t.contains("java"))
+            && texts.iter().any(|t| t.contains("solar")),
+        "click-free engine failed: {texts:?}"
+    );
+}
+
+/// A single-user, single-session log — the smallest world where anything
+/// can be suggested at all. Note the weighting: with |Q| = 2 every entity
+/// touches every query, so all iqf weights are ln(2/2) = 0 and the
+/// *weighted* graph is empty — the exact analogue of IDF degenerating on a
+/// two-document corpus. The paper's Eq. 1 is kept literal, so tiny logs
+/// should use the raw representation; the engine degrades to an empty
+/// suggestion list (never a panic) on the weighted one.
+#[test]
+fn engine_survives_a_minimal_log() {
+    let entries = vec![
+        LogEntry::new(UserId(0), "sun", Some("a.com"), 0),
+        LogEntry::new(UserId(0), "sun java", Some("a.com"), 10),
+    ];
+    let mut log = QueryLog::from_entries(&entries);
+    let sessions = segment_sessions(&mut log, &SessionConfig::default());
+
+    let raw = MultiBipartite::build(&log, &sessions, WeightingScheme::Raw);
+    let engine = PqsDa::new(log.clone(), raw, None, PqsDaConfig::default());
+    let sun = engine.log().find_query("sun").unwrap();
+    let out = engine.suggest(&SuggestRequest::simple(sun, 5));
+    assert_eq!(out.len(), 1);
+    assert_eq!(engine.log().query_text(out[0]), "sun java");
+
+    // The weighted representation is degenerate here: empty output, no panic.
+    let weighted = MultiBipartite::build(&log, &sessions, WeightingScheme::CfIqf);
+    let engine_w = PqsDa::new(log, weighted, None, PqsDaConfig::default());
+    assert!(engine_w.suggest(&SuggestRequest::simple(sun, 5)).is_empty());
+}
+
+/// A log where one "user" produced everything — no personalization signal,
+/// but nothing crashes.
+#[test]
+fn single_user_world_is_fine() {
+    let entries: Vec<LogEntry> = (0..40)
+        .map(|i| {
+            LogEntry::new(
+                UserId(0),
+                format!("query number {i}"),
+                Some("site.com"),
+                i * 3_600,
+            )
+        })
+        .collect();
+    let mut log = QueryLog::from_entries(&entries);
+    let sessions = segment_sessions(&mut log, &SessionConfig::default());
+    let multi = MultiBipartite::build(&log, &sessions, WeightingScheme::CfIqf);
+    let engine = PqsDa::new(log, multi, None, PqsDaConfig::default());
+    let q = engine.log().records()[0].query;
+    let _ = engine.suggest(&SuggestRequest::simple(q, 5));
+}
+
+proptest! {
+    /// The AOL reader must never panic, whatever bytes it is fed — only
+    /// return entries or a typed error.
+    #[test]
+    fn aol_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_aol(bytes.as_slice());
+    }
+
+    /// Same for text-ish inputs with plenty of tabs and newlines (the
+    /// interesting corner of the format).
+    #[test]
+    fn aol_reader_never_panics_on_tabby_text(s in "[a-z0-9\\t\\n :-]{0,256}") {
+        let _ = read_aol(s.as_bytes());
+    }
+
+    /// The UPM profile loader must never panic on arbitrary bytes.
+    #[test]
+    fn upm_loader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = pqsda_topics::load_upm(&bytes);
+    }
+
+    /// Nor the personalizer loader.
+    #[test]
+    fn personalizer_loader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = pqsda::Personalizer::read_from(&bytes);
+    }
+}

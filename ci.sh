@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, lints, formatting.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
+echo "ci: all green"

@@ -71,7 +71,12 @@ impl Suggester for Dqs {
         }
         // Stage 1: relevance pool by random walk.
         let start = one_hot(n, req.query.index());
-        let dist = forward_walk(&self.transition, &start, self.params.walk_steps, self.params.restart);
+        let dist = forward_walk(
+            &self.transition,
+            &start,
+            self.params.walk_steps,
+            self.params.restart,
+        );
         let mut pool: Vec<usize> = (0..n)
             .filter(|&i| i != req.query.index() && dist[i] > 0.0)
             .collect();

@@ -79,8 +79,7 @@ impl Suggester for PersonalizedHittingTime {
             Some(user) => self.augmented_transition(user),
             // Without a user, PHT degrades to plain HT.
             None => {
-                let bip =
-                    Bipartite::from_matrix(pqsda_graph::EntityKind::Url, self.click.clone());
+                let bip = Bipartite::from_matrix(pqsda_graph::EntityKind::Url, self.click.clone());
                 two_step_transition(&bip)
             }
         };
@@ -123,8 +122,7 @@ mod tests {
     #[test]
     fn history_biases_the_ranking() {
         let log = log();
-        let pht =
-            PersonalizedHittingTime::new(&log, WeightingScheme::Raw, HtParams::default());
+        let pht = PersonalizedHittingTime::new(&log, WeightingScheme::Raw, HtParams::default());
         let sun = log.find_query("sun").unwrap();
         let java = log.find_query("java download").unwrap();
         let astro = log.find_query("astro pictures").unwrap();
@@ -147,8 +145,7 @@ mod tests {
     #[test]
     fn anonymous_request_degrades_to_ht() {
         let log = log();
-        let pht =
-            PersonalizedHittingTime::new(&log, WeightingScheme::Raw, HtParams::default());
+        let pht = PersonalizedHittingTime::new(&log, WeightingScheme::Raw, HtParams::default());
         let sun = log.find_query("sun").unwrap();
         let out = pht.suggest(&SuggestRequest::simple(sun, 4));
         assert!(!out.is_empty());
@@ -158,8 +155,7 @@ mod tests {
     #[test]
     fn unknown_user_behaves_gracefully() {
         let log = log();
-        let pht =
-            PersonalizedHittingTime::new(&log, WeightingScheme::Raw, HtParams::default());
+        let pht = PersonalizedHittingTime::new(&log, WeightingScheme::Raw, HtParams::default());
         let sun = log.find_query("sun").unwrap();
         let out = pht.suggest(&SuggestRequest::simple(sun, 4).for_user(UserId(99)));
         assert!(!out.contains(&sun));

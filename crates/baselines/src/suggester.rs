@@ -99,8 +99,7 @@ mod tests {
 
     #[test]
     fn finalize_excludes_input_and_context_and_truncates() {
-        let r = SuggestRequest::simple(QueryId(1), 2)
-            .with_context(vec![QueryId(2)], vec![0], 1);
+        let r = SuggestRequest::simple(QueryId(1), 2).with_context(vec![QueryId(2)], vec![0], 1);
         let out = finalize(
             &r,
             vec![QueryId(1), QueryId(2), QueryId(3), QueryId(4), QueryId(5)],

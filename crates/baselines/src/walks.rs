@@ -72,7 +72,12 @@ impl Suggester for ForwardWalk {
             return Vec::new();
         }
         let start = one_hot(n, req.query.index());
-        let dist = forward_walk(&self.transition, &start, self.params.steps, self.params.restart);
+        let dist = forward_walk(
+            &self.transition,
+            &start,
+            self.params.steps,
+            self.params.restart,
+        );
         finalize(req, rank_by_mass(&dist))
     }
 }
@@ -106,7 +111,12 @@ impl Suggester for BackwardWalk {
             return Vec::new();
         }
         let start = one_hot(n, req.query.index());
-        let dist = backward_walk(&self.transition, &start, self.params.steps, self.params.restart);
+        let dist = backward_walk(
+            &self.transition,
+            &start,
+            self.params.steps,
+            self.params.restart,
+        );
         finalize(req, rank_by_mass(&dist))
     }
 }
@@ -209,7 +219,10 @@ mod tests {
             .suggest(&SuggestRequest::simple(sun, 5))
             .iter()
             .position(|&q| q == solar);
-        assert!(w_rank <= raw_rank, "weighting must not demote the rare link");
+        assert!(
+            w_rank <= raw_rank,
+            "weighting must not demote the rare link"
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| {
             tests
                 .iter()
-                .map(|&q| engine_weighted.suggest(&SuggestRequest::simple(q, 10)).len())
+                .map(|&q| {
+                    engine_weighted
+                        .suggest(&SuggestRequest::simple(q, 10))
+                        .len()
+                })
                 .sum::<usize>()
         })
     });
@@ -59,11 +63,7 @@ fn bench_ablations(c: &mut Criterion) {
 
     // --- 2. multi-bipartite vs URL-only walker ---------------------------
     let input = tests[0];
-    let compact = CompactMulti::expand(
-        &world.multi_weighted,
-        &[input],
-        &CompactConfig::default(),
-    );
+    let compact = CompactMulti::expand(&world.multi_weighted, &[input], &CompactConfig::default());
     let uniform = CrossBipartiteWalk::uniform(&compact);
     let url_only = CrossBipartiteWalk::with_cross_matrix(
         &compact,

@@ -23,11 +23,9 @@ fn bench_hitting(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("cross_bipartite_hitting_time");
     for horizon in [5usize, 10, 20, 40] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(horizon),
-            &horizon,
-            |b, &h| b.iter(|| walk.hitting_time(&targets, h)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(horizon), &horizon, |b, &h| {
+            b.iter(|| walk.hitting_time(&targets, h))
+        });
     }
     group.finish();
 

@@ -79,7 +79,11 @@ fn main() {
         "cfiqf vs raw on a-nDCG: Δ = {:+.4}, p = {:.4} ({})",
         sig.mean_difference,
         sig.p_value,
-        if sig.p_value < 0.05 { "significant" } else { "not significant" }
+        if sig.p_value < 0.05 {
+            "significant"
+        } else {
+            "not significant"
+        }
     );
 
     // ---------------------------------------- 2. multi- vs single-bipartite
@@ -92,18 +96,17 @@ fn main() {
         let q = url.num_queries();
         let empty_sessions = Bipartite::from_matrix(
             EntityKind::Session,
-            CsrMatrix::zeros(q, world.multi_weighted.get(EntityKind::Session).num_entities()),
+            CsrMatrix::zeros(
+                q,
+                world.multi_weighted.get(EntityKind::Session).num_entities(),
+            ),
         );
         let empty_terms = Bipartite::from_matrix(
             EntityKind::Term,
             CsrMatrix::zeros(q, world.multi_weighted.get(EntityKind::Term).num_entities()),
         );
-        let multi = MultiBipartite::from_parts(
-            url,
-            empty_sessions,
-            empty_terms,
-            WeightingScheme::CfIqf,
-        );
+        let multi =
+            MultiBipartite::from_parts(url, empty_sessions, empty_terms, WeightingScheme::CfIqf);
         PqsDa::new(
             world.log().clone(),
             multi,
@@ -161,6 +164,7 @@ fn main() {
                     cross: choice,
                     ..DiversifyConfig::default()
                 },
+                cache: Default::default(),
             },
         );
         let (div, rel, andcg) = measure(&engine);
@@ -195,8 +199,14 @@ fn main() {
         // Personalization-only: sort purely by P(q|d).
         let mut pref_only: Vec<QueryId> = diversified.clone();
         pref_only.sort_by(|&a, &b| {
-            let sa = setup.personalizer.score(user, world.log(), a).unwrap_or(0.0);
-            let sb = setup.personalizer.score(user, world.log(), b).unwrap_or(0.0);
+            let sa = setup
+                .personalizer
+                .score(user, world.log(), a)
+                .unwrap_or(0.0);
+            let sb = setup
+                .personalizer
+                .score(user, world.log(), b)
+                .unwrap_or(0.0);
             sb.partial_cmp(&sa).unwrap().then(a.cmp(&b))
         });
         hpr_borda.push((
@@ -251,6 +261,7 @@ fn main() {
                     pool_factor: pf,
                     ..DiversifyConfig::default()
                 },
+                cache: Default::default(),
             },
         );
         let (div, rel, andcg) = measure(&engine);

@@ -50,8 +50,7 @@ fn main() {
                 let div: Vec<f64> = div_ks
                     .iter()
                     .map(|&k| {
-                        lists.iter().map(|l| diversity.at_k(l, k)).sum::<f64>()
-                            / lists.len() as f64
+                        lists.iter().map(|l| diversity.at_k(l, k)).sum::<f64>() / lists.len() as f64
                     })
                     .collect();
                 let rel: Vec<f64> = rel_ks

@@ -53,7 +53,12 @@ fn main() {
                 let start = std::time::Instant::now();
                 let model = $m;
                 let p = perplexity(&model, &split).expect("held-out words exist");
-                eprintln!("  [K={k}] {}: perplexity {:.1} ({:?})", $name, p, start.elapsed());
+                eprintln!(
+                    "  [K={k}] {}: perplexity {:.1} ({:?})",
+                    $name,
+                    p,
+                    start.elapsed()
+                );
                 results.push(($name.to_owned(), p));
             }};
         }

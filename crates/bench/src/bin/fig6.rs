@@ -9,8 +9,7 @@
 //! Usage: `cargo run -p pqsda-bench --release --bin fig6 [--scale s] [--seed n]`
 
 use pqsda_bench::{
-    banner, print_series, session_facet, session_user, Cli, ExperimentWorld,
-    PersonalizationSetup,
+    banner, print_series, session_facet, session_user, Cli, ExperimentWorld, PersonalizationSetup,
 };
 use pqsda_eval::{HprConfig, HprRater};
 use pqsda_graph::weighting::WeightingScheme;

@@ -1,0 +1,186 @@
+//! `BENCH_perf.json` emitter: times the four parallelized hot-path kernels
+//! at 1 thread vs the machine's maximum and writes the comparison to the
+//! repo root (or the path in `PQSDA_BENCH_OUT`).
+//!
+//! Kernels, at fixed sizes (Small world, seed 42):
+//!
+//! - `graphbuild` — the two-step transition `Pq = norm(B)·norm(Bᵀ)` over the
+//!   full multi-bipartite click graph (row-normalization + SpGEMM).
+//! - `hitting`    — the cross-bipartite hitting-time sweep of Eq. 17.
+//! - `solver`     — Jacobi on the Eq. 15 regularization system.
+//! - `gibbs`      — one UPM training run (collapsed Gibbs sweeps).
+//!
+//! Every kernel is bit-identical across thread counts (asserted here, not
+//! just in the test suite), so `speedup` is a pure wall-clock ratio.
+//!
+//! Usage: `cargo run --release -p pqsda-bench --bin perf`
+
+use pqsda::crosswalk::CrossBipartiteWalk;
+use pqsda::regularize::{RegularizationConfig, Regularizer};
+use pqsda_bench::{ExperimentWorld, Scale};
+use pqsda_graph::bipartite::Bipartite;
+use pqsda_graph::compact::{CompactConfig, CompactMulti};
+use pqsda_graph::walk::two_step_transition_with_threads;
+use pqsda_linalg::solver::Jacobi;
+use pqsda_topics::{Corpus, TrainConfig, Upm, UpmConfig};
+use std::time::Instant;
+
+/// One measured configuration.
+struct Row {
+    bench: &'static str,
+    threads: usize,
+    ns_per_iter: f64,
+    /// Wall-clock ratio vs the same kernel at 1 thread.
+    speedup: f64,
+}
+
+/// Mean ns/iter of `f`: one warmup call, then enough iterations to fill the
+/// time budget (`PQSDA_BENCH_BUDGET_MS`, default 300 ms per configuration).
+fn time_ns<T>(mut f: impl FnMut() -> T) -> f64 {
+    let budget_ms: u64 = std::env::var("PQSDA_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    std::hint::black_box(f()); // warmup
+    let probe = Instant::now();
+    std::hint::black_box(f());
+    let once_ns = probe.elapsed().as_nanos().max(1) as u64;
+    let iters = (budget_ms * 1_000_000 / once_ns).clamp(1, 10_000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Times one kernel at each thread count; asserts outputs are identical.
+fn measure<T: PartialEq>(
+    bench: &'static str,
+    thread_counts: &[usize],
+    mut kernel: impl FnMut(usize) -> T,
+) -> Vec<Row> {
+    let reference = kernel(1);
+    let mut rows = Vec::new();
+    for &t in thread_counts {
+        assert!(
+            kernel(t) == reference,
+            "{bench}: output at {t} threads differs from 1 thread"
+        );
+        let ns = time_ns(|| kernel(t));
+        rows.push(Row {
+            bench,
+            threads: t,
+            ns_per_iter: ns,
+            speedup: 1.0,
+        });
+        eprintln!("  {bench} @ {t} thread(s): {ns:.0} ns/iter");
+    }
+    let base = rows[0].ns_per_iter;
+    for r in &mut rows {
+        r.speedup = base / r.ns_per_iter;
+    }
+    rows
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_threads = pqsda_parallel::max_threads().max(1);
+    let thread_counts: Vec<usize> = if max_threads > 1 {
+        vec![1, max_threads]
+    } else {
+        vec![1]
+    };
+    eprintln!("perf: {cores} core(s), measuring at threads = {thread_counts:?}");
+
+    let world = ExperimentWorld::build(Scale::Small, 42);
+    let mut rows = Vec::new();
+
+    // graphbuild: normalization + SpGEMM over the session bipartite (the
+    // densest of the three), forced parallel-eligible via explicit threads.
+    let session_graph = Bipartite::query_url(world.log());
+    rows.extend(measure("graphbuild", &thread_counts, |t| {
+        two_step_transition_with_threads(&session_graph, t)
+    }));
+
+    // hitting: Eq. 17 sweep on a compact expansion around one test query.
+    let input = world.sample_test_queries(1, 7)[0];
+    let compact = CompactMulti::expand(
+        &world.multi_weighted,
+        &[input],
+        &CompactConfig {
+            max_queries: 256,
+            max_rounds: 3,
+        },
+    );
+    let walk = CrossBipartiteWalk::uniform(&compact);
+    let targets = [0usize, 1, 2];
+    rows.extend(measure("hitting", &thread_counts, |t| {
+        walk.hitting_time_with_threads(&targets, 20, t)
+    }));
+
+    // solver: Jacobi on the Eq. 15 system from the same expansion.
+    let reg = Regularizer::new(&compact, RegularizationConfig::default());
+    let a = reg.coefficient().clone();
+    let f0 = {
+        let mut v = vec![0.0; a.rows()];
+        v[0] = 1.0;
+        v
+    };
+    rows.extend(measure("solver", &thread_counts, |t| {
+        let r = Jacobi::default().solve_with_threads(&a, &f0, t);
+        assert!(r.converged);
+        r.solution
+    }));
+
+    // gibbs: one UPM training run; thread count flows through UpmConfig.
+    let corpus = Corpus::build(world.log(), world.sessions());
+    rows.extend(measure("gibbs", &thread_counts, |t| {
+        let upm = Upm::train(
+            &corpus,
+            &UpmConfig {
+                base: TrainConfig {
+                    num_topics: 5,
+                    iterations: 10,
+                    seed: 7,
+                    ..TrainConfig::default()
+                },
+                hyper_every: 0,
+                hyper_iterations: 0,
+                threads: t,
+            },
+        );
+        // Compare the learned topic-word distributions, not the struct.
+        (0..5).map(|k| upm.beta_k(k).to_vec()).collect::<Vec<_>>()
+    }));
+
+    let out_path = std::env::var("PQSDA_BENCH_OUT").unwrap_or_else(|_| "BENCH_perf.json".into());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"generated_by\": \"cargo run --release -p pqsda-bench --bin perf\",\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"max_threads\": {max_threads},\n"));
+    json.push_str(&format!(
+        "  \"note\": \"speedup = wall-clock ratio vs 1 thread; outputs asserted \
+         bit-identical across thread counts. Measured on a {cores}-core host\
+         {}.\",\n",
+        if cores == 1 {
+            " — speedup ~1.0 is expected there; re-run on a multi-core machine \
+             to see parallel gains"
+        } else {
+            ""
+        }
+    ));
+    json.push_str("  \"scale\": \"small\",\n");
+    json.push_str("  \"seed\": 42,\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"threads\": {}, \"ns_per_iter\": {:.0}, \"speedup\": {:.3}}}{comma}\n",
+            r.bench, r.threads, r.ns_per_iter, r.speedup
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_perf.json");
+    eprintln!("perf: wrote {out_path}");
+}

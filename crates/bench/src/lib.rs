@@ -290,10 +290,7 @@ impl ExperimentWorld {
     }
 
     /// The four click-graph baselines of §VI-B on one scheme.
-    pub fn diversification_baselines(
-        &self,
-        scheme: WeightingScheme,
-    ) -> Vec<Box<dyn Suggester>> {
+    pub fn diversification_baselines(&self, scheme: WeightingScheme) -> Vec<Box<dyn Suggester>> {
         let log = self.log();
         vec![
             Box::new(ForwardWalk::new(log, scheme, WalkParams::default())),
@@ -408,7 +405,11 @@ impl PersonalizationSetup {
                 self.personalizer.clone(),
                 self.log.clone(),
             )),
-            Box::new(PersonalizedHittingTime::new(log, scheme, HtParams::default())),
+            Box::new(PersonalizedHittingTime::new(
+                log,
+                scheme,
+                HtParams::default(),
+            )),
             Box::new(ConceptBased::new(log, scheme, CmParams::default())),
         ];
         let multi = match scheme {

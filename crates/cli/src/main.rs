@@ -150,11 +150,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn train_upm(
-    log: &QueryLog,
-    sessions: &[Session],
-    flags: &Flags,
-) -> Result<(Upm, Corpus), String> {
+fn train_upm(log: &QueryLog, sessions: &[Session], flags: &Flags) -> Result<(Upm, Corpus), String> {
     let corpus = Corpus::build(log, sessions);
     if corpus.num_docs() == 0 {
         return Err("no usable user documents in the log".into());
@@ -257,8 +253,18 @@ fn cmd_demo() -> Result<(), String> {
         LogEntry::new(UserId(1), "sun java", Some("java.sun.com"), 1_141_228_830),
         LogEntry::new(UserId(1), "jvm download", None, 1_141_228_900),
         LogEntry::new(UserId(2), "sun", Some("www.suncellular.com"), 1_141_230_000),
-        LogEntry::new(UserId(2), "solar cell", Some("en.wikipedia.org"), 1_141_230_060),
-        LogEntry::new(UserId(3), "sun oracle", Some("www.oracle.com"), 1_141_231_000),
+        LogEntry::new(
+            UserId(2),
+            "solar cell",
+            Some("en.wikipedia.org"),
+            1_141_230_060,
+        ),
+        LogEntry::new(
+            UserId(3),
+            "sun oracle",
+            Some("www.oracle.com"),
+            1_141_231_000,
+        ),
         LogEntry::new(UserId(3), "java", Some("www.java.com"), 1_141_231_050),
     ];
     let mut log = QueryLog::from_entries(&entries);

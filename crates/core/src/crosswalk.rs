@@ -15,6 +15,11 @@ use pqsda_graph::bipartite::EntityKind;
 use pqsda_graph::compact::CompactMulti;
 use pqsda_graph::walk::two_step_transition;
 use pqsda_linalg::csr::CsrMatrix;
+use pqsda_parallel::{effective_threads, sweep_iterate};
+
+/// Work gate for the parallel hitting-time sweep (augmented-chain states
+/// weighted by nonzeros, per thread).
+const MIN_WORK_PER_THREAD: usize = 16_384;
 
 /// A cross-bipartite walker over a compact representation.
 #[derive(Clone, Debug)]
@@ -95,56 +100,106 @@ impl CrossBipartiteWalk {
     /// horizon `l`. The returned value per query averages the three
     /// possible start bipartites (the paper's uniform `M⁰`).
     ///
+    /// Thread count is resolved automatically; use
+    /// [`CrossBipartiteWalk::hitting_time_with_threads`] to pin it. Results
+    /// are bit-identical for every thread count.
+    ///
     /// # Panics
     /// Panics if `targets` is empty or out of range.
     pub fn hitting_time(&self, targets: &[usize], horizon: usize) -> Vec<f64> {
+        self.hitting_time_with_threads(targets, horizon, 0)
+    }
+
+    /// [`CrossBipartiteWalk::hitting_time`] with an explicit thread count
+    /// (`0` = auto).
+    ///
+    /// The augmented chain is flattened to a single `3q` state vector
+    /// (state `x·q + i` = bipartite `x`, query `i`) so the whole horizon
+    /// runs in one barrier-synchronized parallel region; the per-state
+    /// accumulation order matches the sequential nested loops exactly, so
+    /// results are bit-identical for any `threads`.
+    pub fn hitting_time_with_threads(
+        &self,
+        targets: &[usize],
+        horizon: usize,
+        threads: usize,
+    ) -> Vec<f64> {
+        let mut scratch = HittingTimeScratch::default();
+        let mut out = Vec::new();
+        self.hitting_time_into(targets, horizon, threads, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`CrossBipartiteWalk::hitting_time_with_threads`] writing into
+    /// caller-owned buffers, so repeated evaluations (e.g. the greedy
+    /// selection loop of Algorithm 1, which re-solves with a growing target
+    /// set every round) reuse their allocations instead of re-allocating
+    /// `3q`-sized vectors per round. Results are identical to
+    /// [`CrossBipartiteWalk::hitting_time`].
+    pub fn hitting_time_into(
+        &self,
+        targets: &[usize],
+        horizon: usize,
+        threads: usize,
+        scratch: &mut HittingTimeScratch,
+        out: &mut Vec<f64>,
+    ) {
         assert!(!targets.is_empty(), "hitting_time: empty target set");
         let q = self.num_queries;
-        let mut in_target = vec![false; q];
+        scratch.in_target.clear();
+        scratch.in_target.resize(q, false);
         for &t in targets {
             assert!(t < q, "hitting_time: target {t} out of range");
-            in_target[t] = true;
+            scratch.in_target[t] = true;
         }
-        // h[x][i]: hitting time from state (bipartite x, query i).
-        let mut h = vec![vec![0.0; q]; 3];
-        let mut next = vec![vec![0.0; q]; 3];
-        for _ in 0..horizon {
-            for x in 0..3 {
-                for i in 0..q {
-                    if in_target[i] {
-                        next[x][i] = 0.0;
-                        continue;
-                    }
-                    // One step: teleport to bipartite y (prob N[x][y]),
-                    // then move within y. Mass that cannot move (empty
-                    // row) self-loops in place.
-                    let mut acc = 0.0;
-                    for y in 0..3 {
-                        let p_y = self.n[x][y];
-                        if p_y == 0.0 {
-                            continue;
-                        }
-                        let (cols, vals) = self.transitions[y].row(i);
-                        let mut mass = 0.0;
-                        let mut inner = 0.0;
-                        for (&j, &p) in cols.iter().zip(vals) {
-                            inner += p * h[y][j as usize];
-                            mass += p;
-                        }
-                        if mass < 1.0 {
-                            inner += (1.0 - mass) * h[y][i];
-                        }
-                        acc += p_y * inner;
-                    }
-                    next[x][i] = 1.0 + acc;
-                }
+        let work = self.transitions.iter().map(|t| t.nnz()).sum::<usize>() + 3 * q;
+        let threads = effective_threads(threads, work, MIN_WORK_PER_THREAD);
+        // h[x*q + i]: hitting time from state (bipartite x, query i).
+        scratch.h.clear();
+        scratch.h.resize(3 * q, 0.0);
+        scratch.next.clear();
+        scratch.next.resize(3 * q, 0.0);
+        let (h, next) = (&mut scratch.h, &mut scratch.next);
+        let in_target = &scratch.in_target;
+        sweep_iterate(h, next, horizon, threads, |s, h| {
+            let (x, i) = (s / q, s % q);
+            if in_target[i] {
+                return 0.0;
             }
-            std::mem::swap(&mut h, &mut next);
-        }
-        (0..q)
-            .map(|i| (h[0][i] + h[1][i] + h[2][i]) / 3.0)
-            .collect()
+            // One step: teleport to bipartite y (prob N[x][y]), then move
+            // within y. Mass that cannot move (empty row) self-loops in
+            // place.
+            let mut acc = 0.0;
+            for (y, &p_y) in self.n[x].iter().enumerate() {
+                if p_y == 0.0 {
+                    continue;
+                }
+                let (cols, vals) = self.transitions[y].row(i);
+                let mut mass = 0.0;
+                let mut inner = 0.0;
+                for (&j, &p) in cols.iter().zip(vals) {
+                    inner += p * h[y * q + j as usize];
+                    mass += p;
+                }
+                if mass < 1.0 {
+                    inner += (1.0 - mass) * h[y * q + i];
+                }
+                acc += p_y * inner;
+            }
+            1.0 + acc
+        });
+        out.clear();
+        let h = &scratch.h;
+        out.extend((0..q).map(|i| (h[i] + h[q + i] + h[2 * q + i]) / 3.0));
     }
+}
+
+/// Reusable buffers for [`CrossBipartiteWalk::hitting_time_into`].
+#[derive(Clone, Debug, Default)]
+pub struct HittingTimeScratch {
+    h: Vec<f64>,
+    next: Vec<f64>,
+    in_target: Vec<bool>,
 }
 
 #[cfg(test)]

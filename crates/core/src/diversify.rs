@@ -9,7 +9,7 @@
 //! ranking ("sorted with a descending relevance … and potentially covers
 //! different facets").
 
-use crate::crosswalk::CrossBipartiteWalk;
+use crate::crosswalk::{CrossBipartiteWalk, HittingTimeScratch};
 use crate::regularize::{RegularizationConfig, Regularizer};
 use pqsda_graph::compact::CompactMulti;
 use pqsda_querylog::QueryId;
@@ -80,18 +80,12 @@ impl Diversifier {
     ///
     /// `input_local` is the input query's local index; `context` pairs
     /// each context query's local index with its age in seconds.
-    pub fn select(
-        &self,
-        input_local: usize,
-        context: &[(usize, u64)],
-        k: usize,
-    ) -> Vec<usize> {
+    pub fn select(&self, input_local: usize, context: &[(usize, u64)], k: usize) -> Vec<usize> {
         if k == 0 {
             return Vec::new();
         }
         // Line 1–3: first candidate via Eq. 15.
-        let Some((first, f_star)) = self.regularizer.first_candidate(input_local, context)
-        else {
+        let Some((first, f_star)) = self.regularizer.first_candidate(input_local, context) else {
             return Vec::new();
         };
         let mut selected = vec![first];
@@ -109,11 +103,17 @@ impl Diversifier {
 
         // Lines 4–11: iteratively add the arg-max hitting-time query.
         // The target set is S ∪ {input}: candidates must diversify away
-        // from both the picks so far and the input query itself.
+        // from both the picks so far and the input query itself. The
+        // target list, hitting-time vector and sweep buffers persist
+        // across rounds — each round only appends the newest pick and
+        // re-solves in place.
+        let mut targets = selected.clone();
+        targets.push(input_local);
+        let mut scratch = HittingTimeScratch::default();
+        let mut h = Vec::new();
         while selected.len() < k {
-            let mut targets = selected.clone();
-            targets.push(input_local);
-            let h = self.walk.hitting_time(&targets, self.config.horizon);
+            self.walk
+                .hitting_time_into(&targets, self.config.horizon, 0, &mut scratch, &mut h);
             let next = pool
                 .iter()
                 .copied()
@@ -126,7 +126,10 @@ impl Diversifier {
                         .then(b.cmp(&a))
                 });
             match next {
-                Some(i) => selected.push(i),
+                Some(i) => {
+                    selected.push(i);
+                    targets.push(i);
+                }
                 None => break,
             }
         }
@@ -257,8 +260,7 @@ mod tests {
         let greedy_facets: std::collections::HashSet<u8> =
             by_rel.iter().take(2).map(|&i| facet(i)).collect();
         let div = d.select(sun, &[], 2);
-        let div_facets: std::collections::HashSet<u8> =
-            div.iter().map(|&i| facet(i)).collect();
+        let div_facets: std::collections::HashSet<u8> = div.iter().map(|&i| facet(i)).collect();
         assert!(
             div_facets.len() >= greedy_facets.len(),
             "diversified list must cover at least as many facets"

@@ -7,14 +7,13 @@
 //! anonymous request) the engine returns the diversification ranking —
 //! exactly the intermediate result the paper evaluates in §VI-B.
 
+use crate::cache::{CacheConfig, CacheStats, ShardedLruCache};
 use crate::diversify::{Diversifier, DiversifyConfig};
 use crate::personalize::Personalizer;
-use parking_lot::Mutex;
 use pqsda_baselines::{SuggestRequest, Suggester};
 use pqsda_graph::compact::{CompactConfig, CompactMulti};
 use pqsda_graph::multi::MultiBipartite;
 use pqsda_querylog::{QueryId, QueryLog};
-use std::collections::HashMap;
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug, Default)]
@@ -23,6 +22,8 @@ pub struct PqsDaConfig {
     pub compact: CompactConfig,
     /// Diversification settings (§IV-B/C).
     pub diversify: DiversifyConfig,
+    /// Sizing of the per-seed-set expansion memo.
+    pub cache: CacheConfig,
 }
 
 /// The PQS-DA query-suggestion engine.
@@ -33,8 +34,9 @@ pub struct PqsDa {
     config: PqsDaConfig,
     /// Memo of compact representations per (input, context) seed set —
     /// online suggestion re-serves hot queries, and expansion dominates
-    /// the per-request cost.
-    cache: Mutex<HashMap<Vec<QueryId>, CompactCacheEntry>>,
+    /// the per-request cost. Sharded and LRU-bounded so concurrent
+    /// requests don't serialize on one lock and residency stays bounded.
+    cache: ShardedLruCache<Vec<QueryId>, CompactCacheEntry>,
 }
 
 struct CompactCacheEntry {
@@ -61,8 +63,8 @@ impl PqsDa {
             log,
             multi,
             personalizer,
+            cache: ShardedLruCache::new(config.cache),
             config,
-            cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -71,18 +73,26 @@ impl PqsDa {
         &self.log
     }
 
+    /// Expansion-memo counters (hits/misses/evictions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Runs only the diversification component (§IV) — the paper's
     /// intermediate result.
     pub fn diversify(&self, req: &SuggestRequest) -> Vec<QueryId> {
         if req.query.index() >= self.log.num_queries() || req.k == 0 {
             return Vec::new();
         }
+        // Order-preserving full dedup. (`Vec::dedup` only folds *adjacent*
+        // duplicates, so e.g. [q, c, q] and [q, c] used to produce distinct
+        // cache keys — and distinct expansions — for the same seed set.)
         let mut seeds = vec![req.query];
         seeds.extend(req.context.iter().copied());
-        seeds.dedup();
+        let mut seen = std::collections::HashSet::with_capacity(seeds.len());
+        seeds.retain(|q| seen.insert(*q));
 
-        let mut cache = self.cache.lock();
-        let entry = cache.entry(seeds.clone()).or_insert_with(|| {
+        let entry = self.cache.get_or_insert_with(seeds.clone(), || {
             let compact = CompactMulti::expand(&self.multi, &seeds, &self.config.compact);
             let diversifier = Diversifier::new(&compact, self.config.diversify);
             CompactCacheEntry {
@@ -109,6 +119,25 @@ impl PqsDa {
         entry
             .diversifier
             .select_global(&entry.compact, input_local, &context, req.k)
+    }
+
+    /// Serves a batch of requests, fanning the batch out across threads
+    /// (`0` = auto; see [`pqsda_parallel`]). Output order matches input
+    /// order, and each answer is identical to calling
+    /// [`Suggester::suggest`] serially — requests share the expansion memo
+    /// but touch no other mutable state.
+    pub fn suggest_many_with_threads(
+        &self,
+        reqs: &[SuggestRequest],
+        threads: usize,
+    ) -> Vec<Vec<QueryId>> {
+        let threads = pqsda_parallel::effective_threads(threads, reqs.len(), 1);
+        pqsda_parallel::map_indexed(reqs.len(), threads, |i| self.suggest(&reqs[i]))
+    }
+
+    /// [`PqsDa::suggest_many_with_threads`] with automatic thread count.
+    pub fn suggest_many(&self, reqs: &[SuggestRequest]) -> Vec<Vec<QueryId>> {
+        self.suggest_many_with_threads(reqs, 0)
     }
 }
 
@@ -144,9 +173,24 @@ mod tests {
         for rep in 0..4u64 {
             let base = rep * 50_000;
             entries.push(LogEntry::new(UserId(0), "sun", Some("java.com"), base));
-            entries.push(LogEntry::new(UserId(0), "sun java", Some("java.com"), base + 30));
-            entries.push(LogEntry::new(UserId(0), "java jdk", Some("jdk.com"), base + 60));
-            entries.push(LogEntry::new(UserId(1), "sun", Some("solar.org"), base + 1000));
+            entries.push(LogEntry::new(
+                UserId(0),
+                "sun java",
+                Some("java.com"),
+                base + 30,
+            ));
+            entries.push(LogEntry::new(
+                UserId(0),
+                "java jdk",
+                Some("jdk.com"),
+                base + 60,
+            ));
+            entries.push(LogEntry::new(
+                UserId(1),
+                "sun",
+                Some("solar.org"),
+                base + 1000,
+            ));
             entries.push(LogEntry::new(
                 UserId(1),
                 "sun solar energy",
@@ -201,8 +245,7 @@ mod tests {
         assert!(!out.is_empty());
         let texts: Vec<&str> = out.iter().map(|&q| engine.log().query_text(q)).collect();
         assert!(
-            texts.iter().any(|t| t.contains("java"))
-                && texts.iter().any(|t| t.contains("solar")),
+            texts.iter().any(|t| t.contains("java")) && texts.iter().any(|t| t.contains("solar")),
             "{texts:?}"
         );
     }
@@ -235,8 +278,7 @@ mod tests {
         for out in [&for_java, &for_solar] {
             let ts = texts(out);
             assert!(
-                ts.iter().any(|t| t.contains("java"))
-                    && ts.iter().any(|t| t.contains("solar")),
+                ts.iter().any(|t| t.contains("java")) && ts.iter().any(|t| t.contains("solar")),
                 "{ts:?}"
             );
         }

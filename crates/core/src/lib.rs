@@ -28,6 +28,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod borda;
+pub mod cache;
 pub mod crosswalk;
 pub mod diversify;
 pub mod engine;
@@ -35,8 +36,9 @@ pub mod personalize;
 pub mod regularize;
 
 pub use borda::borda_aggregate;
+pub use cache::{CacheConfig, CacheStats, ShardedLruCache};
 pub use crosswalk::CrossBipartiteWalk;
-pub use diversify::{CrossMatrixChoice, DiversifyConfig, Diversifier};
+pub use diversify::{CrossMatrixChoice, Diversifier, DiversifyConfig};
 pub use engine::{PqsDa, PqsDaConfig};
 pub use personalize::{preference_score, Personalizer, RerankedSuggester};
 pub use regularize::{RegularizationConfig, Regularizer};

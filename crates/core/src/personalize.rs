@@ -85,12 +85,7 @@ impl Personalizer {
     /// the (relevance-descending) diversification ranking via Borda.
     /// Returns the diversification ranking untouched when the user has no
     /// profile.
-    pub fn rerank(
-        &self,
-        user: UserId,
-        log: &QueryLog,
-        diversified: &[QueryId],
-    ) -> Vec<QueryId> {
+    pub fn rerank(&self, user: UserId, log: &QueryLog, diversified: &[QueryId]) -> Vec<QueryId> {
         if diversified.is_empty() || !self.has_profile(user) {
             return diversified.to_vec();
         }
@@ -278,10 +273,17 @@ mod tests {
         assert_eq!(fused.len(), 2);
         // Borda over 2 lists of length 2: tie (2+1 vs 1+2) → first ranking
         // wins; preference shows once lists are longer.
-        let many = vec![solar_q, java_q, log.find_query("solar panels energy").unwrap()];
+        let many = vec![
+            solar_q,
+            java_q,
+            log.find_query("solar panels energy").unwrap(),
+        ];
         let fused3 = p.rerank(UserId(0), &log, &many);
         let jpos = fused3.iter().position(|&q| q == java_q).unwrap();
-        assert!(jpos <= 1, "java candidate must climb for the java user: {fused3:?}");
+        assert!(
+            jpos <= 1,
+            "java candidate must climb for the java user: {fused3:?}"
+        );
     }
 
     #[test]

@@ -135,12 +135,7 @@ impl Regularizer {
             .collect();
         let best = (0..n)
             .filter(|i| !excluded.contains(i) && f_star[*i] > 0.0)
-            .max_by(|&a, &b| {
-                f_star[a]
-                    .partial_cmp(&f_star[b])
-                    .unwrap()
-                    .then(b.cmp(&a))
-            });
+            .max_by(|&a, &b| f_star[a].partial_cmp(&f_star[b]).unwrap().then(b.cmp(&a)));
         best.map(|i| (i, f_star))
     }
 }
@@ -238,7 +233,9 @@ mod tests {
             "unexpected first candidate {text} (f = {f:?})"
         );
         // "jvm download" shares only the diluted session: never the winner.
-        let jvm = compact.local(log.find_query("jvm download").unwrap()).unwrap();
+        let jvm = compact
+            .local(log.find_query("jvm download").unwrap())
+            .unwrap();
         assert!(f[first] > f[jvm]);
     }
 
@@ -247,7 +244,9 @@ mod tests {
         let (log, compact) = compact_from_table_one();
         let reg = Regularizer::new(&compact, RegularizationConfig::default());
         let sun = compact.local(log.find_query("sun").unwrap()).unwrap();
-        let solar = compact.local(log.find_query("solar cell").unwrap()).unwrap();
+        let solar = compact
+            .local(log.find_query("solar cell").unwrap())
+            .unwrap();
         // With "solar cell" as fresh context, mass shifts toward the
         // astronomy/energy facet: the first candidate's score with context
         // must differ from the context-free one.

@@ -104,13 +104,7 @@ impl<'a> HprRater<'a> {
     }
 
     /// Mean rating over the top-k suggestions (the Fig. 6 quantity).
-    pub fn at_k(
-        &self,
-        user: UserId,
-        session_facet: u32,
-        suggestions: &[QueryId],
-        k: usize,
-    ) -> f64 {
+    pub fn at_k(&self, user: UserId, session_facet: u32, suggestions: &[QueryId], k: usize) -> f64 {
         let prefix = &suggestions[..suggestions.len().min(k)];
         if prefix.is_empty() {
             return 0.0;
@@ -156,7 +150,13 @@ mod tests {
     #[test]
     fn session_facet_match_grades_highest() {
         let t = truth();
-        let rater = HprRater::new(&t, HprConfig { noise: 0.0, seed: 1 });
+        let rater = HprRater::new(
+            &t,
+            HprConfig {
+                noise: 0.0,
+                seed: 1,
+            },
+        );
         // Find a query with a unique facet and grade it against that facet.
         let (q, f) = t
             .query_facets
@@ -171,7 +171,13 @@ mod tests {
     #[test]
     fn unrelated_topic_grades_zero() {
         let t = truth();
-        let rater = HprRater::new(&t, HprConfig { noise: 0.0, seed: 1 });
+        let rater = HprRater::new(
+            &t,
+            HprConfig {
+                noise: 0.0,
+                seed: 1,
+            },
+        );
         // Pick a query of topic A and a facet of topic B ≠ A.
         let (q, qf) = t
             .query_facets
@@ -208,40 +214,43 @@ mod tests {
     #[test]
     fn at_k_averages_and_handles_empty() {
         let t = truth();
-        let rater = HprRater::new(&t, HprConfig { noise: 0.0, seed: 1 });
+        let rater = HprRater::new(
+            &t,
+            HprConfig {
+                noise: 0.0,
+                seed: 1,
+            },
+        );
         assert_eq!(rater.at_k(UserId(0), 0, &[], 5), 0.0);
         let qs: Vec<QueryId> = (0..4).map(QueryId::from_index).collect();
         let avg = rater.at_k(UserId(0), 0, &qs, 4);
-        let manual: f64 =
-            qs.iter().map(|&q| rater.rate(UserId(0), 0, q)).sum::<f64>() / 4.0;
+        let manual: f64 = qs.iter().map(|&q| rater.rate(UserId(0), 0, q)).sum::<f64>() / 4.0;
         assert!((avg - manual).abs() < 1e-12);
     }
 
     #[test]
     fn preferred_facet_outgrades_other_facet_of_same_topic() {
         let t = truth();
-        let rater = HprRater::new(&t, HprConfig { noise: 0.0, seed: 1 });
+        let rater = HprRater::new(
+            &t,
+            HprConfig {
+                noise: 0.0,
+                seed: 1,
+            },
+        );
         // Construct the comparison directly from ground truth: pick a user
         // and a topic with ≥2 facets where some query lives in the
         // preferred facet.
         for user in 0..t.user_facet_pref.len() {
             for (topic, &pref) in t.user_facet_pref[user].iter().enumerate() {
-                let other = (0..t.facet_topic.len() as u32).find(|&f| {
-                    t.facet_topic[f as usize] == topic as u32 && f != pref
-                });
+                let other = (0..t.facet_topic.len() as u32)
+                    .find(|&f| t.facet_topic[f as usize] == topic as u32 && f != pref);
                 let Some(other) = other else { continue };
-                let pref_query = t
-                    .query_facets
-                    .iter()
-                    .position(|fs| fs == &vec![pref]);
+                let pref_query = t.query_facets.iter().position(|fs| fs == &vec![pref]);
                 let Some(pq) = pref_query else { continue };
                 // Session pursues the *other* facet; the suggestion from
                 // the user's preferred facet must grade 0.8.
-                let g = rater.grade(
-                    UserId::from_index(user),
-                    other,
-                    QueryId::from_index(pq),
-                );
+                let g = rater.grade(UserId::from_index(user), other, QueryId::from_index(pq));
                 assert_eq!(g, 0.8);
                 return;
             }

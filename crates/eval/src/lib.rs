@@ -34,8 +34,8 @@ pub mod relevance;
 pub mod significance;
 
 pub use diversity::DiversityMetric;
-pub use hpr::{HprRater, HprConfig};
-pub use ppr::PprMetric;
 pub use diversity_ir::{alpha_ndcg_at_k, intent_aware_precision_at_k};
+pub use hpr::{HprConfig, HprRater};
+pub use ppr::PprMetric;
 pub use relevance::relevance_at_k;
 pub use significance::{paired_bootstrap_ci, paired_randomization_test, SignificanceResult};

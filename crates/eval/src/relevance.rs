@@ -49,9 +49,7 @@ mod tests {
             (relevance_at_k(&t, QueryId(0), &suggestions, 2) - (1.0 + 2.0 / 3.0) / 2.0).abs()
                 < 1e-12
         );
-        assert!(
-            (relevance_at_k(&t, QueryId(0), &suggestions, 3) - (2.0) / 3.0).abs() < 1e-12
-        );
+        assert!((relevance_at_k(&t, QueryId(0), &suggestions, 3) - (2.0) / 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -75,9 +73,6 @@ mod tests {
         let t = taxonomy();
         let good = [QueryId(1), QueryId(2)];
         let bad = [QueryId(3), QueryId(3)];
-        assert!(
-            relevance_at_k(&t, QueryId(0), &good, 2)
-                > relevance_at_k(&t, QueryId(0), &bad, 2)
-        );
+        assert!(relevance_at_k(&t, QueryId(0), &good, 2) > relevance_at_k(&t, QueryId(0), &bad, 2));
     }
 }

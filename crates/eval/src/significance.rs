@@ -163,7 +163,10 @@ mod tests {
     fn bootstrap_ci_of_no_effect_contains_zero() {
         let mut rng = SmallRng::seed_from_u64(6);
         let a: Vec<f64> = (0..100).map(|_| rng.gen::<f64>()).collect();
-        let b: Vec<f64> = a.iter().map(|x| x + (rng.gen::<f64>() - 0.5) * 0.01).collect();
+        let b: Vec<f64> = a
+            .iter()
+            .map(|x| x + (rng.gen::<f64>() - 0.5) * 0.01)
+            .collect();
         let (lo, hi) = paired_bootstrap_ci(&a, &b, 2_000, 0.95, 13);
         assert!(lo <= 0.0 && 0.0 <= hi, "CI [{lo}, {hi}]");
     }

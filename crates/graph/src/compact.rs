@@ -265,11 +265,8 @@ mod tests {
     #[test]
     fn expansion_is_deterministic() {
         let synth = generate(&SynthConfig::tiny(11));
-        let multi = MultiBipartite::build(
-            &synth.log,
-            &synth.truth.sessions,
-            WeightingScheme::CfIqf,
-        );
+        let multi =
+            MultiBipartite::build(&synth.log, &synth.truth.sessions, WeightingScheme::CfIqf);
         let seed = synth.log.records()[0].query;
         let cfg = CompactConfig {
             max_queries: 40,
@@ -283,11 +280,7 @@ mod tests {
     #[test]
     fn expansion_prefers_strongly_connected_queries() {
         let synth = generate(&SynthConfig::tiny(13));
-        let multi = MultiBipartite::build(
-            &synth.log,
-            &synth.truth.sessions,
-            WeightingScheme::Raw,
-        );
+        let multi = MultiBipartite::build(&synth.log, &synth.truth.sessions, WeightingScheme::Raw);
         let seed = synth.log.records()[0].query;
         let cfg = CompactConfig {
             max_queries: 15,
@@ -298,8 +291,7 @@ mod tests {
         // Every admitted query (beyond the seed) is reachable within two
         // hops of the seed in the multi-bipartite.
         let one_hop = multi.one_hop_neighbors(seed.index());
-        let mut two_hop: std::collections::HashSet<usize> =
-            one_hop.iter().copied().collect();
+        let mut two_hop: std::collections::HashSet<usize> = one_hop.iter().copied().collect();
         for &q in &one_hop {
             two_hop.extend(multi.one_hop_neighbors(q));
         }

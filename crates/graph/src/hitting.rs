@@ -17,11 +17,20 @@
 //! and are suppressed.
 
 use pqsda_linalg::csr::CsrMatrix;
+use pqsda_parallel::{effective_threads, sweep_iterate};
+
+/// Below this many nonzeros per thread the sweep stays serial; spawning
+/// scoped threads costs more than the row work it would save.
+const MIN_NNZ_PER_THREAD: usize = 16_384;
 
 /// Computes truncated hitting times to `targets` for every node.
 ///
 /// Dead-end nodes (all-zero transition rows) are treated as self-looping,
 /// so their hitting time saturates at the horizon instead of sticking at 1.
+///
+/// Thread count is resolved automatically (see [`pqsda_parallel`]); use
+/// [`truncated_hitting_time_with_threads`] to pin it. Results are
+/// bit-identical for every thread count.
 ///
 /// # Panics
 /// Panics if the matrix is not square, `targets` is empty, or a target is
@@ -30,6 +39,19 @@ pub fn truncated_hitting_time(
     transition: &CsrMatrix,
     targets: &[usize],
     iterations: usize,
+) -> Vec<f64> {
+    truncated_hitting_time_with_threads(transition, targets, iterations, 0)
+}
+
+/// [`truncated_hitting_time`] with an explicit thread count (`0` = auto).
+///
+/// The sweep is row-parallel with the same per-row accumulation order as the
+/// sequential loop, so results are bit-identical for any `threads`.
+pub fn truncated_hitting_time_with_threads(
+    transition: &CsrMatrix,
+    targets: &[usize],
+    iterations: usize,
+    threads: usize,
 ) -> Vec<f64> {
     let n = transition.rows();
     assert_eq!(n, transition.cols(), "hitting time: matrix must be square");
@@ -40,35 +62,32 @@ pub fn truncated_hitting_time(
         in_target[t] = true;
     }
 
+    let threads = effective_threads(threads, transition.nnz().max(n), MIN_NNZ_PER_THREAD);
     let mut h = vec![0.0; n];
     let mut next = vec![0.0; n];
-    for _ in 0..iterations {
-        for i in 0..n {
-            if in_target[i] {
-                next[i] = 0.0;
-                continue;
-            }
-            let (cols, vals) = transition.row(i);
-            if cols.is_empty() {
-                // Dead end: self-loop.
-                next[i] = 1.0 + h[i];
-                continue;
-            }
-            let mut acc = 0.0;
-            let mut mass = 0.0;
-            for (&j, &p) in cols.iter().zip(vals) {
-                acc += p * h[j as usize];
-                mass += p;
-            }
-            // Sub-stochastic rows leak mass out of the graph; treat the
-            // leaked mass as self-loop so the estimate stays conservative.
-            if mass < 1.0 {
-                acc += (1.0 - mass) * h[i];
-            }
-            next[i] = 1.0 + acc;
+    let in_target = &in_target;
+    sweep_iterate(&mut h, &mut next, iterations, threads, |i, h| {
+        if in_target[i] {
+            return 0.0;
         }
-        std::mem::swap(&mut h, &mut next);
-    }
+        let (cols, vals) = transition.row(i);
+        if cols.is_empty() {
+            // Dead end: self-loop.
+            return 1.0 + h[i];
+        }
+        let mut acc = 0.0;
+        let mut mass = 0.0;
+        for (&j, &p) in cols.iter().zip(vals) {
+            acc += p * h[j as usize];
+            mass += p;
+        }
+        // Sub-stochastic rows leak mass out of the graph; treat the
+        // leaked mass as self-loop so the estimate stays conservative.
+        if mass < 1.0 {
+            acc += (1.0 - mass) * h[i];
+        }
+        1.0 + acc
+    });
     h
 }
 

@@ -30,6 +30,6 @@ pub mod walk;
 pub mod weighting;
 
 pub use bipartite::{Bipartite, EntityKind};
-pub use compact::{CompactMulti, CompactConfig};
+pub use compact::{CompactConfig, CompactMulti};
 pub use multi::MultiBipartite;
 pub use weighting::WeightingScheme;

@@ -13,23 +13,32 @@ use pqsda_linalg::csr::CsrMatrix;
 /// `T = rownorm(W) · rownorm(Wᵀ)`, row-stochastic on every query with at
 /// least one edge (isolated queries get an all-zero row — the walk is
 /// absorbed).
+///
+/// Thread count is resolved automatically; use
+/// [`two_step_transition_with_threads`] to pin it. Both the normalizations
+/// and the sparse product are row-parallel, so the result is bit-identical
+/// for any thread count.
 pub fn two_step_transition(bipartite: &Bipartite) -> CsrMatrix {
-    let q_to_e = bipartite.matrix().row_normalized();
-    let e_to_q = bipartite.transposed().row_normalized();
-    q_to_e.mul(&e_to_q)
+    two_step_transition_with_threads(bipartite, 0)
+}
+
+/// [`two_step_transition`] with an explicit thread count (`0` = auto).
+pub fn two_step_transition_with_threads(bipartite: &Bipartite, threads: usize) -> CsrMatrix {
+    let q_to_e = bipartite.matrix().row_normalized_with_threads(threads);
+    let e_to_q = bipartite.transposed().row_normalized_with_threads(threads);
+    q_to_e.mul_with_threads(&e_to_q, threads)
 }
 
 /// Forward random walk: starting distribution `start`, take `steps`
 /// two-step transitions with restart probability `restart` back to the
 /// start distribution (the standard "random walk with restart" used to
 /// score suggestion candidates). Returns the final distribution.
-pub fn forward_walk(
-    transition: &CsrMatrix,
-    start: &[f64],
-    steps: usize,
-    restart: f64,
-) -> Vec<f64> {
-    assert_eq!(transition.rows(), transition.cols(), "transition not square");
+pub fn forward_walk(transition: &CsrMatrix, start: &[f64], steps: usize, restart: f64) -> Vec<f64> {
+    assert_eq!(
+        transition.rows(),
+        transition.cols(),
+        "transition not square"
+    );
     assert_eq!(start.len(), transition.rows(), "start length mismatch");
     assert!((0.0..=1.0).contains(&restart), "restart out of range");
     let mut dist = start.to_vec();

@@ -230,12 +230,19 @@ mod tests {
         let b = Bipartite::from_matrix(EntityKind::Url, c.build());
         let h = entity_entropies(&b);
         assert!(h[0].abs() < 1e-12);
-        assert!(h[1] > 0.0 && h[1] < 0.1, "skewed entity has low entropy: {}", h[1]);
+        assert!(
+            h[1] > 0.0 && h[1] < 0.1,
+            "skewed entity has low entropy: {}",
+            h[1]
+        );
         let iqf = inverse_query_frequencies(&b, 4);
         // iqf sees e1 as twice as common as e0; entropy barely damps it.
         assert!(iqf[0] > iqf[1]);
         let factors_ratio = (1.0 / (1.0 + h[1])) / (1.0 / (1.0 + h[0]));
-        assert!(factors_ratio > 0.9, "entropy damping is mild: {factors_ratio}");
+        assert!(
+            factors_ratio > 0.9,
+            "entropy damping is mild: {factors_ratio}"
+        );
     }
 
     #[test]

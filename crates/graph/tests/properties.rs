@@ -141,3 +141,38 @@ proptest! {
         }
     }
 }
+
+// Bit-identity of the parallel graph kernels: any thread count must produce
+// exactly the single-threaded result (the parallel paths only split rows,
+// never reorder a per-row reduction).
+proptest! {
+    #[test]
+    fn two_step_transition_is_bit_identical_across_thread_counts(
+        b in arbitrary_bipartite(),
+        threads in 2usize..9,
+    ) {
+        use pqsda_graph::walk::two_step_transition_with_threads;
+        prop_assert_eq!(
+            two_step_transition_with_threads(&b, 1),
+            two_step_transition_with_threads(&b, threads)
+        );
+    }
+
+    #[test]
+    fn truncated_hitting_time_is_bit_identical_across_thread_counts(
+        b in arbitrary_bipartite(),
+        targets in prop::collection::vec(0usize..8, 1..4),
+        iterations in 0usize..30,
+        threads in 2usize..9,
+    ) {
+        use pqsda_graph::hitting::truncated_hitting_time_with_threads;
+        let t = two_step_transition(&b);
+        let mut targets = targets;
+        targets.sort_unstable();
+        targets.dedup();
+        prop_assert_eq!(
+            truncated_hitting_time_with_threads(&t, &targets, iterations, 1),
+            truncated_hitting_time_with_threads(&t, &targets, iterations, threads)
+        );
+    }
+}

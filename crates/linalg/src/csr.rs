@@ -9,6 +9,14 @@
 
 use std::fmt;
 
+use pqsda_parallel::{
+    effective_threads, for_each_chunk_mut, for_each_part_mut, map_indexed, split_even,
+};
+
+/// Work gate for row-parallel kernels: below this many nonzeros per thread
+/// the serial path wins (scoped-thread spawn cost dominates).
+const MIN_NNZ_PER_THREAD: usize = 16_384;
+
 /// An immutable sparse matrix in compressed sparse row format.
 ///
 /// ```
@@ -136,19 +144,31 @@ impl CsrMatrix {
 
     /// Dense mat-vec `y = A * x`.
     ///
+    /// Thread count is resolved automatically (`0` = auto with a work gate);
+    /// use [`CsrMatrix::mul_vec_into_with_threads`] to pin it. Row-parallel,
+    /// so results are bit-identical for any thread count.
+    ///
     /// # Panics
     /// Panics if `x.len() != cols` or `y.len() != rows`.
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        self.mul_vec_into_with_threads(x, y, 0);
+    }
+
+    /// [`CsrMatrix::mul_vec_into`] with an explicit thread count (`0` = auto).
+    pub fn mul_vec_into_with_threads(&self, x: &[f64], y: &mut [f64], threads: usize) {
         assert_eq!(x.len(), self.cols, "mul_vec: x length mismatch");
         assert_eq!(y.len(), self.rows, "mul_vec: y length mismatch");
-        for r in 0..self.rows {
-            let (cols, vals) = self.row(r);
-            let mut acc = 0.0;
-            for (&c, &v) in cols.iter().zip(vals) {
-                acc += v * x[c as usize];
+        let threads = effective_threads(threads, self.nnz(), MIN_NNZ_PER_THREAD);
+        for_each_chunk_mut(y, threads, |offset, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let (cols, vals) = self.row(offset + k);
+                let mut acc = 0.0;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    acc += v * x[c as usize];
+                }
+                *slot = acc;
             }
-            y[r] = acc;
-        }
+        });
     }
 
     /// Allocating mat-vec `A * x`.
@@ -219,17 +239,39 @@ impl CsrMatrix {
 
     /// Returns a row-stochastic copy: every non-empty row is scaled to sum
     /// to 1 (empty rows stay empty — the walk has nowhere to go from them).
+    ///
+    /// Thread count is resolved automatically; use
+    /// [`CsrMatrix::row_normalized_with_threads`] to pin it. Row-parallel,
+    /// so results are bit-identical for any thread count.
     pub fn row_normalized(&self) -> CsrMatrix {
+        self.row_normalized_with_threads(0)
+    }
+
+    /// [`CsrMatrix::row_normalized`] with an explicit thread count (`0` = auto).
+    pub fn row_normalized_with_threads(&self, threads: usize) -> CsrMatrix {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let sum: f64 = out.row(r).1.iter().sum();
-            if sum > 0.0 {
-                let inv = 1.0 / sum;
-                for v in out.row_values_mut(r) {
-                    *v *= inv;
+        let threads = effective_threads(threads, out.nnz(), MIN_NNZ_PER_THREAD);
+        // Value parts are cut at row boundaries so each thread normalizes
+        // whole rows of its own disjoint slice.
+        let spans = split_even(out.rows, threads);
+        let mut bounds: Vec<usize> = Vec::with_capacity(spans.len() + 1);
+        bounds.push(0);
+        bounds.extend(spans.iter().map(|&(_, end)| out.row_ptr[end]));
+        let row_ptr = &out.row_ptr;
+        for_each_part_mut(&mut out.values, &bounds, |k, part| {
+            let (r0, r1) = spans[k];
+            let base = row_ptr[r0];
+            for r in r0..r1 {
+                let row = &mut part[row_ptr[r] - base..row_ptr[r + 1] - base];
+                let sum: f64 = row.iter().sum();
+                if sum > 0.0 {
+                    let inv = 1.0 / sum;
+                    for v in row {
+                        *v *= inv;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -267,37 +309,79 @@ impl CsrMatrix {
 
     /// Sparse-sparse product `A * B` (sorted-merge accumulation per row).
     ///
+    /// Thread count is resolved automatically; use
+    /// [`CsrMatrix::mul_with_threads`] to pin it. Row-parallel with the same
+    /// per-row accumulation order, so results are bit-identical for any
+    /// thread count.
+    ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
     pub fn mul(&self, other: &CsrMatrix) -> CsrMatrix {
+        self.mul_with_threads(other, 0)
+    }
+
+    /// [`CsrMatrix::mul`] with an explicit thread count (`0` = auto).
+    pub fn mul_with_threads(&self, other: &CsrMatrix, threads: usize) -> CsrMatrix {
         assert_eq!(self.cols, other.rows, "mul: inner dimension mismatch");
-        let mut builder = CooBuilder::new(self.rows, other.cols);
-        // Dense accumulator per row; fine for the matrix sizes of the
-        // compact representation (a few thousand columns).
-        let mut acc = vec![0.0; other.cols];
-        let mut touched: Vec<usize> = Vec::new();
-        for r in 0..self.rows {
-            let (cols, vals) = self.row(r);
-            for (&k, &v) in cols.iter().zip(vals) {
-                let (bcols, bvals) = other.row(k as usize);
-                for (&c, &bv) in bcols.iter().zip(bvals) {
-                    let c = c as usize;
-                    if acc[c] == 0.0 {
-                        touched.push(c);
+        let threads = effective_threads(threads, self.nnz() + other.nnz(), MIN_NNZ_PER_THREAD);
+        let spans = split_even(self.rows, threads);
+        // One thread per span, each with its own dense accumulator (fine for
+        // the matrix sizes of the compact representation — a few thousand
+        // columns), producing its rows as (cols, values) runs in row order.
+        let parts: Vec<(Vec<u32>, Vec<f64>, Vec<usize>)> =
+            map_indexed(spans.len(), spans.len(), |t| {
+                let (r0, r1) = spans[t];
+                let mut acc = vec![0.0; other.cols];
+                let mut touched: Vec<usize> = Vec::new();
+                let mut out_cols: Vec<u32> = Vec::new();
+                let mut out_vals: Vec<f64> = Vec::new();
+                let mut row_lens: Vec<usize> = Vec::with_capacity(r1 - r0);
+                for r in r0..r1 {
+                    let (cols, vals) = self.row(r);
+                    for (&k, &v) in cols.iter().zip(vals) {
+                        let (bcols, bvals) = other.row(k as usize);
+                        for (&c, &bv) in bcols.iter().zip(bvals) {
+                            let c = c as usize;
+                            if acc[c] == 0.0 {
+                                touched.push(c);
+                            }
+                            acc[c] += v * bv;
+                        }
                     }
-                    acc[c] += v * bv;
+                    touched.sort_unstable();
+                    let before = out_cols.len();
+                    for &c in &touched {
+                        if acc[c] != 0.0 {
+                            out_cols.push(c as u32);
+                            out_vals.push(acc[c]);
+                        }
+                        acc[c] = 0.0;
+                    }
+                    row_lens.push(out_cols.len() - before);
+                    touched.clear();
                 }
+                (out_cols, out_vals, row_lens)
+            });
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for (cols, vals, row_lens) in parts {
+            for len in row_lens {
+                row_ptr.push(row_ptr.last().unwrap() + len);
             }
-            touched.sort_unstable();
-            for &c in &touched {
-                if acc[c] != 0.0 {
-                    builder.push(r, c, acc[c]);
-                }
-                acc[c] = 0.0;
-            }
-            touched.clear();
+            col_idx.extend_from_slice(&cols);
+            values.extend_from_slice(&vals);
         }
-        builder.build()
+        let m = CsrMatrix {
+            rows: self.rows,
+            cols: other.cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        debug_assert!(m.check_invariants());
+        m
     }
 
     /// Entry-wise linear combination `alpha * self + beta * other`.

@@ -154,8 +154,8 @@ impl Lbfgs {
                     trial_x[i] = x[i] + step * direction[i];
                 }
                 let trial_value = objective.evaluate(&trial_x, &mut trial_grad);
-                let armijo = trial_value.is_finite()
-                    && trial_value <= value + cfg.armijo_c1 * step * slope;
+                let armijo =
+                    trial_value.is_finite() && trial_value <= value + cfg.armijo_c1 * step * slope;
                 if !armijo {
                     hi = step;
                     step = 0.5 * (lo + hi);
@@ -166,7 +166,11 @@ impl Lbfgs {
                 if dslope < cfg.wolfe_c2 * slope {
                     // Still descending steeply; the step is too short.
                     lo = step;
-                    step = if hi.is_finite() { 0.5 * (lo + hi) } else { 2.0 * step };
+                    step = if hi.is_finite() {
+                        0.5 * (lo + hi)
+                    } else {
+                        2.0 * step
+                    };
                     continue;
                 }
                 break;
@@ -286,7 +290,10 @@ mod tests {
         let out = Lbfgs::default().minimize(&mut f, &[0.0; 3]);
         let alpha: Vec<f64> = out.x.iter().map(|v| v.exp()).collect();
         // The MLE pseudo-count proportions should track the count skew.
-        assert!(alpha[0] > alpha[1] && alpha[1] > alpha[2], "alpha = {alpha:?}");
+        assert!(
+            alpha[0] > alpha[1] && alpha[1] > alpha[2],
+            "alpha = {alpha:?}"
+        );
         assert!(alpha.iter().all(|&a| a > 0.0));
     }
 

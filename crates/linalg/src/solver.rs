@@ -13,6 +13,10 @@
 
 use crate::csr::CsrMatrix;
 use crate::dense;
+use pqsda_parallel::{effective_threads, for_each_chunk_mut};
+
+/// Work gate for the parallel Jacobi sweep (nonzeros per thread).
+const MIN_NNZ_PER_THREAD: usize = 16_384;
 
 /// Convergence controls shared by all solvers.
 #[derive(Clone, Copy, Debug)]
@@ -59,8 +63,8 @@ fn check_shapes(a: &CsrMatrix, b: &[f64]) {
     assert_eq!(a.rows(), b.len(), "solver: rhs length mismatch");
 }
 
-fn residual_norm(a: &CsrMatrix, x: &[f64], b: &[f64], scratch: &mut [f64]) -> f64 {
-    a.mul_vec_into(x, scratch);
+fn residual_norm(a: &CsrMatrix, x: &[f64], b: &[f64], scratch: &mut [f64], threads: usize) -> f64 {
+    a.mul_vec_into_with_threads(x, scratch, threads);
     scratch
         .iter()
         .zip(b)
@@ -83,10 +87,13 @@ impl Jacobi {
     pub fn new(config: SolverConfig) -> Self {
         Jacobi { config }
     }
-}
 
-impl LinearSolver for Jacobi {
-    fn solve(&self, a: &CsrMatrix, b: &[f64]) -> SolveReport {
+    /// [`LinearSolver::solve`] with an explicit thread count (`0` = auto).
+    ///
+    /// The row sweep and the residual mat-vec are row-parallel with the same
+    /// per-row accumulation order as the serial loop; the residual norm is
+    /// reduced serially. Results are bit-identical for any `threads`.
+    pub fn solve_with_threads(&self, a: &CsrMatrix, b: &[f64], threads: usize) -> SolveReport {
         check_shapes(a, b);
         let n = a.rows();
         let diag = a.diagonal();
@@ -94,26 +101,33 @@ impl LinearSolver for Jacobi {
             diag.iter().all(|&d| d != 0.0),
             "Jacobi: zero diagonal entry"
         );
+        let threads = effective_threads(threads, a.nnz(), MIN_NNZ_PER_THREAD);
         let target = self.config.tolerance * dense::norm2(b).max(1.0);
         let mut x = vec![0.0; n];
         let mut next = vec![0.0; n];
         let mut scratch = vec![0.0; n];
         let mut iterations = 0;
-        let mut res = residual_norm(a, &x, b, &mut scratch);
+        let mut res = residual_norm(a, &x, b, &mut scratch, threads);
         while res > target && iterations < self.config.max_iterations {
-            for r in 0..n {
-                let (cols, vals) = a.row(r);
-                let mut off = 0.0;
-                for (&c, &v) in cols.iter().zip(vals) {
-                    if c as usize != r {
-                        off += v * x[c as usize];
+            {
+                let x = &x;
+                for_each_chunk_mut(&mut next, threads, |offset, chunk| {
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        let r = offset + k;
+                        let (cols, vals) = a.row(r);
+                        let mut off = 0.0;
+                        for (&c, &v) in cols.iter().zip(vals) {
+                            if c as usize != r {
+                                off += v * x[c as usize];
+                            }
+                        }
+                        *slot = (b[r] - off) / diag[r];
                     }
-                }
-                next[r] = (b[r] - off) / diag[r];
+                });
             }
             std::mem::swap(&mut x, &mut next);
             iterations += 1;
-            res = residual_norm(a, &x, b, &mut scratch);
+            res = residual_norm(a, &x, b, &mut scratch, threads);
         }
         SolveReport {
             converged: res <= target,
@@ -121,6 +135,12 @@ impl LinearSolver for Jacobi {
             iterations,
             residual_norm: res,
         }
+    }
+}
+
+impl LinearSolver for Jacobi {
+    fn solve(&self, a: &CsrMatrix, b: &[f64]) -> SolveReport {
+        self.solve_with_threads(a, b, 0)
     }
 }
 
@@ -137,10 +157,14 @@ impl ConjugateGradient {
     pub fn new(config: SolverConfig) -> Self {
         ConjugateGradient { config }
     }
-}
 
-impl LinearSolver for ConjugateGradient {
-    fn solve(&self, a: &CsrMatrix, b: &[f64]) -> SolveReport {
+    /// [`LinearSolver::solve`] with an explicit thread count (`0` = auto).
+    ///
+    /// Only the mat-vec is parallel (row-parallel, same per-row accumulation
+    /// order); dot products and vector updates stay serial so the reduction
+    /// order — and therefore every iterate — is bit-identical for any
+    /// `threads`.
+    pub fn solve_with_threads(&self, a: &CsrMatrix, b: &[f64], threads: usize) -> SolveReport {
         check_shapes(a, b);
         let n = a.rows();
         let diag = a.diagonal();
@@ -148,6 +172,7 @@ impl LinearSolver for ConjugateGradient {
             .iter()
             .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
             .collect();
+        let threads = effective_threads(threads, a.nnz(), MIN_NNZ_PER_THREAD);
         let target = self.config.tolerance * dense::norm2(b).max(1.0);
 
         let mut x = vec![0.0; n];
@@ -160,7 +185,7 @@ impl LinearSolver for ConjugateGradient {
         let mut res = dense::norm2(&r);
 
         while res > target && iterations < self.config.max_iterations {
-            a.mul_vec_into(&p, &mut ap);
+            a.mul_vec_into_with_threads(&p, &mut ap, threads);
             let pap = dense::dot(&p, &ap);
             if pap <= 0.0 {
                 // Not SPD along this direction; bail with what we have.
@@ -190,6 +215,12 @@ impl LinearSolver for ConjugateGradient {
             iterations,
             residual_norm: res,
         }
+    }
+}
+
+impl LinearSolver for ConjugateGradient {
+    fn solve(&self, a: &CsrMatrix, b: &[f64]) -> SolveReport {
+        self.solve_with_threads(a, b, 0)
     }
 }
 
@@ -244,8 +275,10 @@ mod tests {
     fn identity_system_is_trivial() {
         let a = CsrMatrix::identity(5);
         let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
-        for solver in [&Jacobi::default() as &dyn LinearSolver, &ConjugateGradient::default()]
-        {
+        for solver in [
+            &Jacobi::default() as &dyn LinearSolver,
+            &ConjugateGradient::default(),
+        ] {
             let r = solver.solve(&a, &b);
             assert!(r.converged);
             assert_close(&r.solution, &b, 1e-10);

@@ -12,10 +12,7 @@
 /// Panics for non-positive or non-finite input — the models only ever
 /// evaluate `ln Γ` at strictly positive counts-plus-priors.
 pub fn ln_gamma(x: f64) -> f64 {
-    assert!(
-        x > 0.0 && x.is_finite(),
-        "ln_gamma: domain error, x = {x}"
-    );
+    assert!(x > 0.0 && x.is_finite(), "ln_gamma: domain error, x = {x}");
     // Lanczos coefficients for g = 7.
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
@@ -60,10 +57,9 @@ pub fn digamma(x: f64) -> f64 {
     // Asymptotic expansion.
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+    result + x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
 }
 
 /// Log of the (2-argument) Beta function `ln B(a, b)`.
@@ -177,10 +173,7 @@ mod tests {
         for &x in &[0.3, 2.0, 11.5] {
             for &n in &[0usize, 1, 5, 16, 17, 64] {
                 let direct = ln_gamma(x + n as f64) - ln_gamma(x);
-                assert!(
-                    (ln_rising(x, n) - direct).abs() < 1e-8,
-                    "x = {x}, n = {n}"
-                );
+                assert!((ln_rising(x, n) - direct).abs() < 1e-8, "x = {x}, n = {n}");
             }
         }
     }

@@ -17,10 +17,7 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
 /// Panics if all weights are `-inf` (no support).
 pub fn softmax_in_place(xs: &mut [f64]) {
     let lse = log_sum_exp(xs);
-    assert!(
-        lse > f64::NEG_INFINITY,
-        "softmax_in_place: empty support"
-    );
+    assert!(lse > f64::NEG_INFINITY, "softmax_in_place: empty support");
     for x in xs.iter_mut() {
         *x = (*x - lse).exp();
     }

@@ -9,10 +9,7 @@ use proptest::prelude::*;
 
 /// Strategy: a random sparse matrix given as triplets over a small shape.
 fn triplets(rows: usize, cols: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
-    prop::collection::vec(
-        (0..rows, 0..cols, -10.0f64..10.0),
-        0..(rows * cols).min(64),
-    )
+    prop::collection::vec((0..rows, 0..cols, -10.0f64..10.0), 0..(rows * cols).min(64))
 }
 
 fn build(rows: usize, cols: usize, ts: &[(usize, usize, f64)]) -> CsrMatrix {
@@ -154,5 +151,77 @@ proptest! {
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(lse >= max - 1e-12);
         prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+    }
+}
+
+// Bit-identity of the parallel kernels: for ANY thread count the result must
+// equal the single-threaded one exactly (== on f64, no tolerance). The
+// parallel paths split rows across threads but keep every per-row reduction
+// in the same order, so this is an equality the implementation guarantees,
+// not a numerical accident.
+proptest! {
+    #[test]
+    fn spmv_is_bit_identical_across_thread_counts(
+        ts in triplets(9, 9),
+        x in prop::collection::vec(-5.0f64..5.0, 9),
+        threads in 2usize..9,
+    ) {
+        let m = build(9, 9, &ts);
+        let mut serial = vec![0.0; 9];
+        let mut parallel = vec![0.0; 9];
+        m.mul_vec_into_with_threads(&x, &mut serial, 1);
+        m.mul_vec_into_with_threads(&x, &mut parallel, threads);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn row_normalize_is_bit_identical_across_thread_counts(
+        ts in triplets(8, 6),
+        threads in 2usize..9,
+    ) {
+        let m = build(8, 6, &ts);
+        prop_assert_eq!(
+            m.row_normalized_with_threads(1),
+            m.row_normalized_with_threads(threads)
+        );
+    }
+
+    #[test]
+    fn spgemm_is_bit_identical_across_thread_counts(
+        a in triplets(7, 5),
+        b in triplets(5, 6),
+        threads in 2usize..9,
+    ) {
+        let a = build(7, 5, &a);
+        let b = build(5, 6, &b);
+        prop_assert_eq!(a.mul_with_threads(&b, 1), a.mul_with_threads(&b, threads));
+    }
+
+    #[test]
+    fn solvers_are_bit_identical_across_thread_counts(
+        ts in triplets(6, 6),
+        threads in 2usize..9,
+    ) {
+        // Diagonally-dominant SPD-ish system so both solvers converge.
+        let mut b = CooBuilder::new(6, 6);
+        for &(r, c, v) in &ts {
+            b.push(r, c, v / 100.0);
+            b.push(c, r, v / 100.0);
+        }
+        for i in 0..6 {
+            b.push(i, i, 4.0);
+        }
+        let a = b.build();
+        let rhs: Vec<f64> = (0..6).map(|i| (i as f64) - 2.5).collect();
+
+        let j1 = Jacobi::default().solve_with_threads(&a, &rhs, 1);
+        let jn = Jacobi::default().solve_with_threads(&a, &rhs, threads);
+        prop_assert_eq!(j1.solution, jn.solution);
+        prop_assert_eq!(j1.iterations, jn.iterations);
+
+        let c1 = ConjugateGradient::default().solve_with_threads(&a, &rhs, 1);
+        let cn = ConjugateGradient::default().solve_with_threads(&a, &rhs, threads);
+        prop_assert_eq!(c1.solution, cn.solution);
+        prop_assert_eq!(c1.iterations, cn.iterations);
     }
 }

@@ -1,0 +1,301 @@
+//! Deterministic thread-parallel primitives for the PQS-DA kernels.
+//!
+//! Everything here is *row parallel*: work is split into disjoint index
+//! ranges, each range is computed by exactly one thread, and the per-index
+//! arithmetic is identical to the sequential code (same reduction order
+//! within a row). That makes every parallel result bit-identical to the
+//! serial result for any thread count — the scheduler only decides *who*
+//! computes a row, never *how*.
+//!
+//! Thread-count resolution: kernels take `threads: usize` where `0` means
+//! "auto" — the `PQSDA_THREADS` environment variable if set, otherwise
+//! [`std::thread::available_parallelism`]. Small inputs are kept serial via
+//! [`effective_threads`] work gates so the scoped-thread spawn cost never
+//! dominates tiny problems.
+
+use std::sync::{Barrier, OnceLock};
+use std::thread;
+
+/// Resolves the process-wide "auto" thread count: `PQSDA_THREADS` if set to a
+/// positive integer, else available parallelism, else 1. Cached after first
+/// use (explicit `threads` arguments bypass this entirely).
+pub fn max_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("PQSDA_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Clamps a requested thread count (`0` = auto) by the amount of work: never
+/// more threads than `work / min_work_per_thread`, never fewer than 1. This
+/// is the gate that keeps tiny inputs on the serial path.
+pub fn effective_threads(requested: usize, work: usize, min_work_per_thread: usize) -> usize {
+    let req = if requested == 0 {
+        max_threads()
+    } else {
+        requested
+    };
+    let by_work = work.checked_div(min_work_per_thread).unwrap_or(req);
+    req.min(by_work).max(1)
+}
+
+/// Splits `0..len` into `threads` contiguous ranges of near-equal size.
+/// Public so callers can pre-compute work partitions that must align with
+/// other structures (e.g. CSR row boundaries).
+pub fn split_even(len: usize, threads: usize) -> Vec<(usize, usize)> {
+    ranges(len, threads)
+}
+
+/// Splits `0..len` into `threads` contiguous ranges of near-equal size.
+fn ranges(len: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.min(len).max(1);
+    let base = len / threads;
+    let extra = len % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let size = base + usize::from(t < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// Runs `f(offset, chunk)` over disjoint contiguous chunks of `data`, one
+/// chunk per thread. `offset` is the index of `chunk[0]` in `data`. With
+/// `threads <= 1` this degenerates to a single call on the whole slice —
+/// same arithmetic, no spawn.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    let threads = threads.min(len).max(1);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let spans = ranges(len, threads);
+    thread::scope(|s| {
+        let mut rest = data;
+        let mut consumed = 0;
+        let f = &f;
+        for &(start, end) in &spans {
+            let (chunk, tail) = rest.split_at_mut(end - consumed);
+            rest = tail;
+            consumed = end;
+            debug_assert_eq!(start + chunk.len(), end);
+            s.spawn(move || f(start, chunk));
+        }
+    });
+}
+
+/// Runs `f(part_index, part)` over the parts of `data` delimited by
+/// `bounds` (ascending split points: `bounds[0] == 0`, last == `data.len()`),
+/// one thread per part. Used when parts must align with an external
+/// structure, e.g. CSR value ranges cut at row boundaries.
+///
+/// # Panics
+/// Panics if `bounds` is not an ascending cover of `data`.
+pub fn for_each_part_mut<T, F>(data: &mut [T], bounds: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(
+        bounds.first() == Some(&0) && bounds.last() == Some(&data.len()),
+        "for_each_part_mut: bounds must cover the slice"
+    );
+    if bounds.len() == 2 {
+        f(0, data);
+        return;
+    }
+    thread::scope(|s| {
+        let mut rest = data;
+        let mut consumed = 0;
+        let f = &f;
+        for (k, w) in bounds.windows(2).enumerate() {
+            assert!(w[0] <= w[1], "for_each_part_mut: bounds must be ascending");
+            let (part, tail) = rest.split_at_mut(w[1] - consumed);
+            rest = tail;
+            consumed = w[1];
+            s.spawn(move || f(k, part));
+        }
+    });
+}
+
+/// Maps `0..len` through `f`, preserving index order in the output. Each
+/// thread fills a contiguous range, so the result is identical to
+/// `(0..len).map(f).collect()` for any thread count.
+pub fn map_indexed<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(len).max(1);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let spans = ranges(len, threads);
+    let mut parts: Vec<Vec<T>> = thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|&(start, end)| s.spawn(move || (start..end).map(f).collect::<Vec<T>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for part in parts.iter_mut() {
+        out.append(part);
+    }
+    out
+}
+
+/// Raw-pointer wrapper so scoped threads can share two buffers they write
+/// disjoint ranges of. All aliasing discipline lives in [`sweep_iterate`].
+#[derive(Clone, Copy)]
+struct SharedBuf(*mut f64);
+unsafe impl Send for SharedBuf {}
+unsafe impl Sync for SharedBuf {}
+
+/// Runs `iterations` Jacobi-style sweeps of `next[i] = f(i, &cur)` with
+/// double buffering, leaving the final iterate in `cur` (as the serial
+/// swap-per-sweep loop would). One parallel region spans all iterations: the
+/// worker threads are spawned once and separate sweeps with a [`Barrier`],
+/// so per-sweep cost is a barrier wait rather than a thread spawn.
+///
+/// Each thread owns a fixed disjoint index range of the destination buffer
+/// and only reads the (fully written, barrier-separated) source buffer, so
+/// results are bit-identical to the serial loop for any thread count.
+pub fn sweep_iterate<F>(cur: &mut [f64], next: &mut [f64], iterations: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &[f64]) -> f64 + Sync,
+{
+    assert_eq!(cur.len(), next.len(), "sweep buffers must match");
+    let len = cur.len();
+    if iterations == 0 || len == 0 {
+        return;
+    }
+    let threads = threads.min(len).max(1);
+    if threads <= 1 {
+        for _ in 0..iterations {
+            for (i, slot) in next.iter_mut().enumerate() {
+                *slot = f(i, cur);
+            }
+            cur.swap_with_slice(next);
+        }
+        return;
+    }
+
+    let a = SharedBuf(cur.as_mut_ptr());
+    let b = SharedBuf(next.as_mut_ptr());
+    let barrier = Barrier::new(threads);
+    let spans = ranges(len, threads);
+    thread::scope(|s| {
+        let f = &f;
+        let barrier = &barrier;
+        for &(start, end) in &spans {
+            s.spawn(move || {
+                for sweep in 0..iterations {
+                    let (src, dst) = if sweep % 2 == 0 { (a, b) } else { (b, a) };
+                    // SAFETY: `src` was fully written by the previous sweep
+                    // (or is the caller's initial buffer) and no thread
+                    // writes it during this sweep; every thread writes only
+                    // its own `start..end` of `dst`. The barrier below keeps
+                    // sweeps from overlapping.
+                    unsafe {
+                        let src = std::slice::from_raw_parts(src.0, len);
+                        for i in start..end {
+                            *dst.0.add(i) = f(i, src);
+                        }
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    });
+    if iterations % 2 == 1 {
+        // Final iterate landed in `next`; mirror the serial loop's invariant
+        // that `cur` holds the latest sweep.
+        cur.swap_with_slice(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for len in [0usize, 1, 5, 16, 17, 1000] {
+            for threads in [1usize, 2, 3, 8] {
+                let spans = ranges(len, threads);
+                let mut expect = 0;
+                for &(s, e) in &spans {
+                    assert_eq!(s, expect);
+                    assert!(e >= s);
+                    expect = e;
+                }
+                assert_eq!(expect, len);
+            }
+        }
+    }
+
+    #[test]
+    fn effective_threads_gates_small_work() {
+        assert_eq!(effective_threads(8, 100, 1000), 1);
+        assert_eq!(effective_threads(8, 8000, 1000), 8);
+        assert_eq!(effective_threads(8, 4000, 1000), 4);
+        assert_eq!(effective_threads(1, usize::MAX, 1), 1);
+        assert!(effective_threads(0, usize::MAX, 1) >= 1);
+    }
+
+    #[test]
+    fn chunked_map_matches_serial() {
+        let f = |i: usize| (i as f64).sqrt() * 3.0 + i as f64;
+        for threads in [1usize, 2, 3, 8] {
+            let par = map_indexed(103, threads, f);
+            let ser: Vec<f64> = (0..103).map(f).collect();
+            assert_eq!(par, ser, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_writes_all_offsets() {
+        for threads in [1usize, 2, 4, 7] {
+            let mut data = vec![0usize; 57];
+            for_each_chunk_mut(&mut data, threads, |offset, chunk| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = offset + k;
+                }
+            });
+            let expect: Vec<usize> = (0..57).collect();
+            assert_eq!(data, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_iterate_bit_identical_across_thread_counts() {
+        // next[i] = 0.5 * cur[(i+1) % n] + 1.0 — a toy contraction whose
+        // fixed point all thread counts must hit with identical bits.
+        let n = 129;
+        let f = |i: usize, cur: &[f64]| 0.5 * cur[(i + 1) % n] + 1.0;
+        for iterations in [0usize, 1, 2, 7, 20] {
+            let mut reference: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let mut scratch = vec![0.0; n];
+            sweep_iterate(&mut reference, &mut scratch, iterations, 1, f);
+            for threads in [2usize, 3, 8] {
+                let mut cur: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                let mut next = vec![0.0; n];
+                sweep_iterate(&mut cur, &mut next, iterations, threads, f);
+                assert_eq!(cur, reference, "threads={threads} iters={iterations}");
+            }
+        }
+    }
+}

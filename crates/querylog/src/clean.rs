@@ -69,7 +69,9 @@ pub fn looks_like_url(raw: &str) -> bool {
     if t.starts_with("http://") || t.starts_with("https://") || t.starts_with("www.") {
         return true;
     }
-    const TLDS: [&str; 8] = [".com", ".org", ".net", ".edu", ".gov", ".io", ".co", ".info"];
+    const TLDS: [&str; 8] = [
+        ".com", ".org", ".net", ".edu", ".gov", ".io", ".co", ".info",
+    ];
     TLDS.iter().any(|tld| {
         t.ends_with(tld) && t.len() > tld.len() && t[..t.len() - tld.len()].contains('.')
             || t.contains(&format!("{tld}/"))
@@ -127,10 +129,7 @@ pub fn clean_entries(entries: &[LogEntry], config: &CleanConfig) -> (Vec<LogEntr
                 continue;
             }
         }
-        last_kept.insert(
-            e.user.0,
-            (norm, e.clicked_url.clone(), e.timestamp),
-        );
+        last_kept.insert(e.user.0, (norm, e.clicked_url.clone(), e.timestamp));
         kept.push(e);
     }
     stats.kept = kept.len();
@@ -160,7 +159,12 @@ mod tests {
     fn drops_empty_and_long_queries() {
         let entries = vec![
             entry(0, "!!!", None, 0),
-            entry(0, "one two three four five six seven eight nine ten eleven", None, 1),
+            entry(
+                0,
+                "one two three four five six seven eight nine ten eleven",
+                None,
+                1,
+            ),
             entry(0, "sun", None, 2),
         ];
         let (kept, stats) = clean_entries(&entries, &CleanConfig::default());
@@ -174,10 +178,10 @@ mod tests {
     fn collapses_fast_duplicates_but_keeps_new_clicks() {
         let entries = vec![
             entry(0, "sun", None, 0),
-            entry(0, "sun", None, 10),                    // reload: dropped
-            entry(0, "sun", Some("www.java.com"), 20),    // new click: kept
-            entry(0, "sun", Some("www.java.com"), 25),    // same click again: dropped
-            entry(0, "sun", None, 5_000),                 // far later: kept
+            entry(0, "sun", None, 10),                 // reload: dropped
+            entry(0, "sun", Some("www.java.com"), 20), // new click: kept
+            entry(0, "sun", Some("www.java.com"), 25), // same click again: dropped
+            entry(0, "sun", None, 5_000),              // far later: kept
         ];
         let (kept, stats) = clean_entries(&entries, &CleanConfig::default());
         assert_eq!(kept.len(), 3);
@@ -196,8 +200,9 @@ mod tests {
 
     #[test]
     fn robot_users_are_dropped_when_enabled() {
-        let mut entries: Vec<LogEntry> =
-            (0..50).map(|i| entry(7, &format!("q{i}"), None, i)).collect();
+        let mut entries: Vec<LogEntry> = (0..50)
+            .map(|i| entry(7, &format!("q{i}"), None, i))
+            .collect();
         entries.push(entry(1, "sun", None, 99));
         let cfg = CleanConfig {
             max_user_entries: 10,
@@ -225,10 +230,7 @@ mod tests {
 
     #[test]
     fn output_is_chronological() {
-        let entries = vec![
-            entry(0, "b", None, 100),
-            entry(0, "a", None, 50),
-        ];
+        let entries = vec![entry(0, "b", None, 100), entry(0, "a", None, 50)];
         let (kept, _) = clean_entries(&entries, &CleanConfig::default());
         assert_eq!(kept[0].query, "a");
     }

@@ -202,7 +202,12 @@ mod tests {
             LogEntry::new(UserId(0), "sun java", Some("java.sun.com"), 120),
             LogEntry::new(UserId(0), "jvm download", None, 200),
             LogEntry::new(UserId(1), "sun", Some("www.suncellular.com"), 300),
-            LogEntry::new(UserId(1), "solar cell", Some("en.wikipedia.org/wiki/Solar_cell"), 400),
+            LogEntry::new(
+                UserId(1),
+                "solar cell",
+                Some("en.wikipedia.org/wiki/Solar_cell"),
+                400,
+            ),
             LogEntry::new(UserId(2), "sun oracle", Some("www.oracle.com"), 500),
             LogEntry::new(UserId(2), "java", Some("www.java.com"), 560),
         ]
@@ -280,6 +285,8 @@ mod tests {
         let log = QueryLog::from_entries(&table_one());
         let recs: Vec<_> = log.user_records(UserId(0)).collect();
         assert_eq!(recs.len(), 3);
-        assert!(recs.windows(2).all(|w| w[0].1.timestamp <= w[1].1.timestamp));
+        assert!(recs
+            .windows(2)
+            .all(|w| w[0].1.timestamp <= w[1].1.timestamp));
     }
 }

@@ -184,8 +184,13 @@ mod tests {
     #[test]
     fn timestamp_rejects_malformed() {
         for bad in [
-            "", "2006-03-01", "2006-13-01 00:00:00", "2006-03-32 00:00:00",
-            "2006-03-01 24:00:00", "2006-03-01 00:61:00", "junk",
+            "",
+            "2006-03-01",
+            "2006-13-01 00:00:00",
+            "2006-03-32 00:00:00",
+            "2006-03-01 24:00:00",
+            "2006-03-01 00:61:00",
+            "junk",
         ] {
             assert_eq!(parse_timestamp(bad), None, "{bad:?}");
         }
@@ -200,13 +205,18 @@ mod tests {
 
     #[test]
     fn parses_click_and_clickless_lines() {
-        let with_click =
-            parse_aol_line("142\tsun java\t2006-03-01 16:01:51\t1\thttp://java.sun.com", 1)
-                .unwrap()
-                .unwrap();
+        let with_click = parse_aol_line(
+            "142\tsun java\t2006-03-01 16:01:51\t1\thttp://java.sun.com",
+            1,
+        )
+        .unwrap()
+        .unwrap();
         assert_eq!(with_click.user, UserId(142));
         assert_eq!(with_click.query, "sun java");
-        assert_eq!(with_click.clicked_url.as_deref(), Some("http://java.sun.com"));
+        assert_eq!(
+            with_click.clicked_url.as_deref(),
+            Some("http://java.sun.com")
+        );
 
         let without = parse_aol_line("142\tsun\t2006-03-01 16:00:00", 2)
             .unwrap()

@@ -377,12 +377,7 @@ pub fn generate(cfg: &SynthConfig) -> SyntheticLog {
                     None
                 };
                 pending.push(PendingEntry {
-                    entry: LogEntry::new(
-                        UserId::from_index(u),
-                        query,
-                        clicked.as_deref(),
-                        ts,
-                    ),
+                    entry: LogEntry::new(UserId::from_index(u), query, clicked.as_deref(), ts),
                     facet: facet as u32,
                     gen_session,
                 });
@@ -518,8 +513,8 @@ fn lookup_url(log: &QueryLog, url: &str) -> Option<UrlId> {
 /// A pronounceable pseudo-word with a uniqueness suffix, e.g. `korita17`.
 fn pseudo_word(rng: &mut SmallRng, counter: usize) -> String {
     const SYL: [&str; 16] = [
-        "ba", "ko", "ri", "ta", "mu", "ne", "so", "lu", "pi", "da", "ve", "zo", "ga", "hi",
-        "fe", "wa",
+        "ba", "ko", "ri", "ta", "mu", "ne", "so", "lu", "pi", "da", "ve", "zo", "ga", "hi", "fe",
+        "wa",
     ];
     let n = rng.gen_range(2..=3);
     let mut w = String::new();
@@ -662,7 +657,11 @@ mod tests {
             assert!(facets.len() >= 2, "ambiguous term in only {facets:?}");
             let topics: std::collections::HashSet<usize> =
                 facets.iter().map(|&f| s.world.facets[f].topic).collect();
-            assert_eq!(topics.len(), facets.len(), "facets must be in distinct topics");
+            assert_eq!(
+                topics.len(),
+                facets.len(),
+                "facets must be in distinct topics"
+            );
         }
     }
 
@@ -735,8 +734,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         for &shape in &[0.3f64, 1.0, 4.5] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| gamma_sample(&mut rng, shape)).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| gamma_sample(&mut rng, shape)).sum::<f64>() / n as f64;
             assert!(
                 (mean - shape).abs() < 0.1 * shape.max(0.5),
                 "shape {shape}: mean {mean}"

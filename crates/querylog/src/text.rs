@@ -11,9 +11,9 @@
 /// terms carry most of the signal and over-aggressive filtering starves the
 /// term bipartite.
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "how", "in", "is", "it",
-    "of", "on", "or", "that", "the", "this", "to", "was", "what", "when", "where", "which",
-    "who", "will", "with", "www", "com", "http", "https",
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "how", "in", "is", "it", "of",
+    "on", "or", "that", "the", "this", "to", "was", "what", "when", "where", "which", "who",
+    "will", "with", "www", "com", "http", "https",
 ];
 
 /// Maximum token length kept; longer tokens are almost always junk

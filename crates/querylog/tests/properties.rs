@@ -25,7 +25,12 @@ fn raw_query() -> impl Strategy<Value = String> {
 
 fn entries() -> impl Strategy<Value = Vec<LogEntry>> {
     prop::collection::vec(
-        (0u32..5, raw_query(), prop::option::of("[a-z]{3,6}\\.com"), 0u64..100_000),
+        (
+            0u32..5,
+            raw_query(),
+            prop::option::of("[a-z]{3,6}\\.com"),
+            0u64..100_000,
+        ),
         0..60,
     )
     .prop_map(|rows| {

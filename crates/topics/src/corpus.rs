@@ -30,7 +30,10 @@ impl DocSession {
     /// Builds a session from record granularity, deriving the flattened
     /// word/URL multisets.
     pub fn from_records(records: Vec<(Vec<u32>, Option<u32>)>, time: f64) -> Self {
-        let words = records.iter().flat_map(|(ws, _)| ws.iter().copied()).collect();
+        let words = records
+            .iter()
+            .flat_map(|(ws, _)| ws.iter().copied())
+            .collect();
         let urls = records.iter().filter_map(|(_, u)| *u).collect();
         DocSession {
             words,
@@ -83,9 +86,9 @@ impl Corpus {
     /// # Panics
     /// Panics if records lack session assignments.
     pub fn build(log: &QueryLog, sessions: &[Session]) -> Self {
-        let (t_min, t_max) = sessions
-            .iter()
-            .fold((u64::MAX, 0u64), |(lo, hi), s| (lo.min(s.start), hi.max(s.end)));
+        let (t_min, t_max) = sessions.iter().fold((u64::MAX, 0u64), |(lo, hi), s| {
+            (lo.min(s.start), hi.max(s.end))
+        });
         let span = (t_max.saturating_sub(t_min)).max(1) as f64;
 
         let mut per_user: Vec<Vec<DocSession>> = vec![Vec::new(); log.num_users()];
@@ -254,8 +257,7 @@ mod tests {
                     .iter()
                     .flat_map(|(ws, _)| ws.iter().copied())
                     .collect();
-                let flat_urls: Vec<u32> =
-                    s.records.iter().filter_map(|(_, u)| *u).collect();
+                let flat_urls: Vec<u32> = s.records.iter().filter_map(|(_, u)| *u).collect();
                 assert_eq!(flat_words, s.words);
                 assert_eq!(flat_urls, s.urls);
             }

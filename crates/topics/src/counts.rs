@@ -82,8 +82,7 @@ impl Counts2D {
 /// cols·prior)` — the collapsed posterior mean every model uses for its
 /// predictive distributions.
 pub fn smoothed(counts: &Counts2D, r: usize, c: usize, prior: f64) -> f64 {
-    (counts.get(r, c) as f64 + prior)
-        / (counts.row_sum(r) as f64 + counts.cols() as f64 * prior)
+    (counts.get(r, c) as f64 + prior) / (counts.row_sum(r) as f64 + counts.cols() as f64 * prior)
 }
 
 /// Log-weight of assigning a whole *block* of items (a session's words or

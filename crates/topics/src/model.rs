@@ -179,9 +179,7 @@ mod tests {
         let informed = Oracle {
             probs: vec![0.7, 0.1, 0.1, 0.1],
         };
-        assert!(
-            perplexity(&informed, &split).unwrap() < perplexity(&uniform, &split).unwrap()
-        );
+        assert!(perplexity(&informed, &split).unwrap() < perplexity(&uniform, &split).unwrap());
     }
 
     #[test]

@@ -98,10 +98,7 @@ mod tests {
             user: UserId(u),
             sessions: (0..6)
                 .map(|i| {
-                    DocSession::from_records(
-                        vec![(vec![wbase, wbase + (i % 2)], Some(ubase))],
-                        0.5,
-                    )
+                    DocSession::from_records(vec![(vec![wbase, wbase + (i % 2)], Some(ubase))], 0.5)
                 })
                 .collect(),
         };

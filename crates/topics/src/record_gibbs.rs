@@ -234,7 +234,10 @@ mod tests {
                     DocSession::from_records(
                         vec![
                             (vec![wbase, wbase + 1], Some(ubase)),
-                            (vec![wbase + (i % 3)], if i % 2 == 0 { Some(ubase + 1) } else { None }),
+                            (
+                                vec![wbase + (i % 3)],
+                                if i % 2 == 0 { Some(ubase + 1) } else { None },
+                            ),
                         ],
                         0.5,
                     )

@@ -111,10 +111,7 @@ impl Sstm {
             }
             for z in 0..k {
                 taus[z] = if moments[z].count() >= 2 {
-                    BetaDistribution::fit_moments(
-                        moments[z].mean(),
-                        moments[z].variance_biased(),
-                    )
+                    BetaDistribution::fit_moments(moments[z].mean(), moments[z].variance_biased())
                 } else {
                     BetaDistribution::uniform()
                 };

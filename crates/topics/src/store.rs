@@ -280,11 +280,15 @@ mod tests {
             docs: vec![
                 Document {
                     user: UserId(0),
-                    sessions: (0..6).map(|i| session(vec![i % 3, 3], Some(0), 0.3)).collect(),
+                    sessions: (0..6)
+                        .map(|i| session(vec![i % 3, 3], Some(0), 0.3))
+                        .collect(),
                 },
                 Document {
                     user: UserId(1),
-                    sessions: (0..6).map(|i| session(vec![4 + (i % 2)], Some(1), 0.7)).collect(),
+                    sessions: (0..6)
+                        .map(|i| session(vec![4 + (i % 2)], Some(1), 0.7))
+                        .collect(),
                 },
             ],
             num_words: 6,
@@ -318,10 +322,7 @@ mod tests {
             assert_eq!(loaded.doc_topic(d), upm.doc_topic(d));
             for z in 0..2 {
                 for w in 0..6 {
-                    assert_eq!(
-                        loaded.user_word_prob(d, z, w),
-                        upm.user_word_prob(d, z, w)
-                    );
+                    assert_eq!(loaded.user_word_prob(d, z, w), upm.user_word_prob(d, z, w));
                 }
                 for u in 0..2 {
                     assert_eq!(loaded.user_url_prob(d, z, u), upm.user_url_prob(d, z, u));
@@ -341,7 +342,11 @@ mod tests {
         // dense-plus-floats bound comfortably at real scales. Here we just
         // sanity-check the file is small and non-trivial.
         assert!(buf.len() > 64);
-        assert!(buf.len() < 4096, "profile unexpectedly large: {}", buf.len());
+        assert!(
+            buf.len() < 4096,
+            "profile unexpectedly large: {}",
+            buf.len()
+        );
     }
 
     #[test]

@@ -70,10 +70,7 @@ impl Tot {
             }
             for z in 0..k {
                 taus[z] = if moments[z].count() >= 2 {
-                    BetaDistribution::fit_moments(
-                        moments[z].mean(),
-                        moments[z].variance_biased(),
-                    )
+                    BetaDistribution::fit_moments(moments[z].mean(), moments[z].variance_biased())
                 } else {
                     BetaDistribution::uniform()
                 };

@@ -279,11 +279,19 @@ impl Upm {
     /// vectors over the per-document emission tables.
     fn optimize_emission(&mut self, is_words: bool) {
         let k = self.globals.alpha.len();
-        let vocab = if is_words { self.num_words } else { self.num_urls };
+        let vocab = if is_words {
+            self.num_words
+        } else {
+            self.num_urls
+        };
         for z in 0..k {
             let mut doc_rows: Vec<(Vec<(usize, f64)>, f64)> = Vec::new();
             for doc in &self.docs {
-                let t = if is_words { &doc.topic_word } else { &doc.topic_url };
+                let t = if is_words {
+                    &doc.topic_word
+                } else {
+                    &doc.topic_url
+                };
                 let sum = t.row_sum(z) as f64;
                 if sum == 0.0 {
                     continue; // document never uses topic z: contributes nothing
@@ -307,7 +315,11 @@ impl Upm {
             // floor while leaving well-evidenced cells free to move. Shape
             // is chosen so the hyperprior mode sits at the symmetric
             // initialization.
-            let init = if is_words { self.cfg.base.beta } else { self.cfg.base.delta };
+            let init = if is_words {
+                self.cfg.base.beta
+            } else {
+                self.cfg.base.delta
+            };
             let gamma_b = 1.0;
             let gamma_a = 1.0 + gamma_b * init; // mode (a-1)/b = init
             let n_rows = doc_rows.len() as f64;
@@ -410,7 +422,14 @@ impl Upm {
         usize,
         usize,
         Vec<(&Vec<u32>, &Counts2D, &Counts2D)>,
-        (&[f64], &[Vec<f64>], &[Vec<f64>], &[BetaDistribution], &[f64], &[f64]),
+        (
+            &[f64],
+            &[Vec<f64>],
+            &[Vec<f64>],
+            &[BetaDistribution],
+            &[f64],
+            &[f64],
+        ),
     ) {
         (
             &self.cfg,
@@ -622,13 +641,7 @@ mod tests {
         let cars_user = |uid: u32, brand: u32, url: u32| Document {
             user: UserId(uid),
             sessions: (0..8)
-                .map(|i| {
-                    session(
-                        vec![i % 4, brand],
-                        Some(url),
-                        0.3 + 0.05 * (i % 4) as f64,
-                    )
-                })
+                .map(|i| session(vec![i % 4, brand], Some(url), 0.3 + 0.05 * (i % 4) as f64))
                 .collect(),
         };
         let other_user = Document {
@@ -733,7 +746,10 @@ mod tests {
         let m = Upm::train(&c, &cfg);
         let b = m.beta_k(0);
         assert!(b.iter().all(|&x| (x - cfg.base.beta).abs() < 1e-12));
-        assert!(m.alpha().iter().all(|&a| (a - cfg.base.alpha).abs() < 1e-12));
+        assert!(m
+            .alpha()
+            .iter()
+            .all(|&a| (a - cfg.base.alpha).abs() < 1e-12));
     }
 
     #[test]
@@ -752,13 +768,7 @@ mod tests {
         let c = toyota_ford_corpus();
         let seq = Upm::train(&c, &cfg());
         for threads in [2usize, 4] {
-            let par = Upm::train(
-                &c,
-                &UpmConfig {
-                    threads,
-                    ..cfg()
-                },
-            );
+            let par = Upm::train(&c, &UpmConfig { threads, ..cfg() });
             for d in 0..3 {
                 assert_eq!(seq.doc_topic(d), par.doc_topic(d), "threads={threads}");
             }

@@ -70,7 +70,10 @@ fn all_models_beat_uniform_and_upm_beats_lda() {
     ];
 
     for (name, p) in &models {
-        assert!(p.is_finite() && *p > 1.0, "{name}: degenerate perplexity {p}");
+        assert!(
+            p.is_finite() && *p > 1.0,
+            "{name}: degenerate perplexity {p}"
+        );
         assert!(
             *p < vocab,
             "{name}: perplexity {p} no better than uniform ({vocab})"

@@ -32,15 +32,40 @@ fn main() {
         entries.push(LogEntry::new(DEV, "sun", Some("java.sun.com"), t));
         entries.push(LogEntry::new(DEV, "sun java", Some("java.sun.com"), t + 40));
         entries.push(LogEntry::new(DEV, "sun oracle", Some("oracle.com"), t + 90));
-        entries.push(LogEntry::new(DEV, "java jvm download", Some("java.sun.com"), t + 140));
+        entries.push(LogEntry::new(
+            DEV,
+            "java jvm download",
+            Some("java.sun.com"),
+            t + 140,
+        ));
         // The astronomer: solar system world.
         entries.push(LogEntry::new(ASTRO, "sun", Some("nasa.gov/sun"), t + 1000));
-        entries.push(LogEntry::new(ASTRO, "sun solar system", Some("nasa.gov/sun"), t + 1050));
-        entries.push(LogEntry::new(ASTRO, "solar eclipse dates", Some("skycal.org"), t + 1100));
+        entries.push(LogEntry::new(
+            ASTRO,
+            "sun solar system",
+            Some("nasa.gov/sun"),
+            t + 1050,
+        ));
+        entries.push(LogEntry::new(
+            ASTRO,
+            "solar eclipse dates",
+            Some("skycal.org"),
+            t + 1100,
+        ));
         // The newspaper reader: UK tabloid world.
         entries.push(LogEntry::new(PRESS, "sun", Some("thesun.co.uk"), t + 2000));
-        entries.push(LogEntry::new(PRESS, "sun daily uk", Some("thesun.co.uk"), t + 2050));
-        entries.push(LogEntry::new(PRESS, "uk tabloid news", Some("news.uk"), t + 2100));
+        entries.push(LogEntry::new(
+            PRESS,
+            "sun daily uk",
+            Some("thesun.co.uk"),
+            t + 2050,
+        ));
+        entries.push(LogEntry::new(
+            PRESS,
+            "uk tabloid news",
+            Some("news.uk"),
+            t + 2100,
+        ));
     }
 
     let mut log = QueryLog::from_entries(&entries);
@@ -76,13 +101,19 @@ fn main() {
 
     // 1. Diversification only: one list covering all facets.
     let diversified = engine.diversify(&SuggestRequest::simple(sun, 6));
-    show("diversified candidates for \"sun\" (anonymous):", &diversified);
+    show(
+        "diversified candidates for \"sun\" (anonymous):",
+        &diversified,
+    );
     let covers = |needle: &str| {
         diversified
             .iter()
             .any(|&q| engine.log().query_text(q).contains(needle))
     };
-    assert!(covers("java") || covers("oracle"), "computing facet missing");
+    assert!(
+        covers("java") || covers("oracle"),
+        "computing facet missing"
+    );
     assert!(covers("solar"), "astronomy facet missing");
     assert!(covers("uk") || covers("daily"), "newspaper facet missing");
 

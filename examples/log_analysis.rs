@@ -27,11 +27,21 @@ fn main() {
         raw.push(LogEntry::new(r.user, &text, url.as_deref(), r.timestamp));
         if i % 7 == 0 {
             // A reload of the same query seconds later.
-            raw.push(LogEntry::new(r.user, &text, url.as_deref(), r.timestamp + 2));
+            raw.push(LogEntry::new(
+                r.user,
+                &text,
+                url.as_deref(),
+                r.timestamp + 2,
+            ));
         }
         if i % 13 == 0 {
             // A pasted URL "query".
-            raw.push(LogEntry::new(r.user, "www.somewhere.com", None, r.timestamp + 5));
+            raw.push(LogEntry::new(
+                r.user,
+                "www.somewhere.com",
+                None,
+                r.timestamp + 5,
+            ));
         }
         if i % 17 == 0 {
             raw.push(LogEntry::new(UserId(999), "!!!", None, r.timestamp + 6));
@@ -43,15 +53,17 @@ fn main() {
     let (cleaned, stats) = clean_entries(&raw, &CleanConfig::default());
     println!(
         "cleaning: kept {} | dropped {} empty, {} url-like, {} duplicates, {} long",
-        stats.kept, stats.dropped_empty, stats.dropped_url_like, stats.dropped_duplicate,
+        stats.kept,
+        stats.dropped_empty,
+        stats.dropped_url_like,
+        stats.dropped_duplicate,
         stats.dropped_long
     );
 
     // 2. Interning + session segmentation (paper Definition 1, ref [25]).
     let mut log = QueryLog::from_entries(&cleaned);
     let sessions = segment_sessions(&mut log, &SessionConfig::default());
-    let avg_len =
-        sessions.iter().map(|s| s.len()).sum::<usize>() as f64 / sessions.len() as f64;
+    let avg_len = sessions.iter().map(|s| s.len()).sum::<usize>() as f64 / sessions.len() as f64;
     println!(
         "sessions: {} (avg {:.2} records); {} distinct queries, {} URLs, {} terms",
         sessions.len(),
@@ -83,7 +95,11 @@ fn main() {
     }
     println!("\naverage one-hop query neighbours:");
     for (i, kind) in EntityKind::ALL.iter().enumerate() {
-        println!("  {:?} bipartite only: {:.2}", kind, per_kind[i] as f64 / n as f64);
+        println!(
+            "  {:?} bipartite only: {:.2}",
+            kind,
+            per_kind[i] as f64 / n as f64
+        );
     }
     println!("  multi-bipartite:      {:.2}", all as f64 / n as f64);
     assert!(
@@ -98,10 +114,18 @@ fn main() {
     order.sort_by(|&a, &b| iqf[b].partial_cmp(&iqf[a]).unwrap());
     println!("\nmost discriminative URLs (highest iqf):");
     for &u in order.iter().take(3) {
-        println!("  {:.3}  {}", iqf[u], log.url_text(pqsda_querylog::UrlId::from_index(u)));
+        println!(
+            "  {:.3}  {}",
+            iqf[u],
+            log.url_text(pqsda_querylog::UrlId::from_index(u))
+        );
     }
     println!("least discriminative URLs:");
     for &u in order.iter().rev().take(3) {
-        println!("  {:.3}  {}", iqf[u], log.url_text(pqsda_querylog::UrlId::from_index(u)));
+        println!(
+            "  {:.3}  {}",
+            iqf[u],
+            log.url_text(pqsda_querylog::UrlId::from_index(u))
+        );
     }
 }

@@ -18,7 +18,12 @@ fn main() {
         LogEntry::new(UserId(0), "sun java", Some("java.sun.com"), 120),
         LogEntry::new(UserId(0), "jvm download", None, 200),
         LogEntry::new(UserId(1), "sun", Some("www.suncellular.com"), 300),
-        LogEntry::new(UserId(1), "solar cell", Some("en.wikipedia.org/wiki/Solar_cell"), 400),
+        LogEntry::new(
+            UserId(1),
+            "solar cell",
+            Some("en.wikipedia.org/wiki/Solar_cell"),
+            400,
+        ),
         LogEntry::new(UserId(2), "sun oracle", Some("www.oracle.com"), 500),
         LogEntry::new(UserId(2), "java", Some("www.java.com"), 560),
     ];

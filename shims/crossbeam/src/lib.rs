@@ -1,0 +1,66 @@
+//! Minimal offline stand-in for `crossbeam`'s scoped threads, implemented
+//! over `std::thread::scope`. Only the `crossbeam::scope(|s| s.spawn(...))`
+//! surface used by this workspace is provided. A panic in a spawned worker
+//! propagates when the scope exits (std semantics), so `.expect(...)` on the
+//! returned `Result` behaves equivalently to crossbeam for passing runs.
+
+use std::any::Any;
+use std::thread;
+
+/// Error type mirroring crossbeam's boxed panic payload.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope handle passed to the closure; spawn borrows from the environment.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker. The closure receives the scope (crossbeam
+    /// signature) so nested spawns keep working.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed threads can be spawned; joins all
+/// of them before returning.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_mutate_disjoint_chunks() {
+        let mut data = vec![0u64; 64];
+        let mid = data.len() / 2;
+        let (a, b) = data.split_at_mut(mid);
+        super::scope(|s| {
+            s.spawn(move |_| a.iter_mut().for_each(|x| *x = 1));
+            s.spawn(move |_| b.iter_mut().for_each(|x| *x = 2));
+        })
+        .expect("worker panicked");
+        assert!(data[..mid].iter().all(|&x| x == 1));
+        assert!(data[mid..].iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let out = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+    }
+}

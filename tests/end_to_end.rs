@@ -168,8 +168,7 @@ fn segmented_sessions_approximate_ground_truth() {
     let sessions = segment_sessions(&mut log, &SessionConfig::default());
     let truth = synth.truth.sessions.len();
     assert!(
-        sessions.len() as f64 >= truth as f64 * 0.5
-            && sessions.len() as f64 <= truth as f64 * 2.0,
+        sessions.len() as f64 >= truth as f64 * 0.5 && sessions.len() as f64 <= truth as f64 * 2.0,
         "segmenter found {} sessions vs {} ground truth",
         sessions.len(),
         truth

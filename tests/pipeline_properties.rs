@@ -1,19 +1,18 @@
 //! Property-based integration tests: engine invariants over randomly
 //! generated worlds and requests.
 
+use pqsda::{PqsDa, PqsDaConfig};
 use pqsda_baselines::{SuggestRequest, Suggester};
 use pqsda_graph::compact::CompactConfig;
 use pqsda_graph::multi::MultiBipartite;
 use pqsda_graph::weighting::WeightingScheme;
 use pqsda_querylog::synth::{generate, SynthConfig};
 use pqsda_querylog::QueryId;
-use pqsda::{PqsDa, PqsDaConfig};
 use proptest::prelude::*;
 
 fn engine_for_seed(seed: u64) -> PqsDa {
     let synth = generate(&SynthConfig::tiny(seed));
-    let multi =
-        MultiBipartite::build(&synth.log, &synth.truth.sessions, WeightingScheme::CfIqf);
+    let multi = MultiBipartite::build(&synth.log, &synth.truth.sessions, WeightingScheme::CfIqf);
     PqsDa::new(
         synth.log,
         multi,

@@ -40,8 +40,7 @@ fn engine_survives_a_click_free_log() {
     let out = engine.suggest(&SuggestRequest::simple(sun, 4));
     let texts: Vec<&str> = out.iter().map(|&q| engine.log().query_text(q)).collect();
     assert!(
-        texts.iter().any(|t| t.contains("java"))
-            && texts.iter().any(|t| t.contains("solar")),
+        texts.iter().any(|t| t.contains("java")) && texts.iter().any(|t| t.contains("solar")),
         "click-free engine failed: {texts:?}"
     );
 }

@@ -7,4 +7,7 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+# Perf harness in smoke mode: asserts every kernel is bit-identical
+# across thread counts (minimal time budget, no BENCH_perf.json write).
+cargo run --release -q -p pqsda-bench --bin perf -- --smoke
 echo "ci: all green"

@@ -1,0 +1,134 @@
+//! Microbenches for the sampler's arithmetic substrate: the special
+//! functions on the Gibbs hot path (`ln Γ`, `ln_rising`, `ψ`) and the
+//! per-document count tables (dense `Counts2D` vs `SparseCounts`).
+//!
+//! These are the quantities the UPM cost model in DESIGN.md §7 is built
+//! from: one `ln_rising` call per (session item, topic) and a handful of
+//! count-table reads per conditional, times K topics, times every session,
+//! every sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pqsda_linalg::special::{digamma, ln_gamma, ln_rising, ln_rising1_table};
+use pqsda_topics::{Counts2D, SparseCounts};
+
+fn bench_special_functions(c: &mut Criterion) {
+    // A spread of arguments matching what the sampler feeds these
+    // functions: counts-plus-priors from well under 1 to the hundreds.
+    let xs: Vec<f64> = (1..256).map(|i| 0.01 + i as f64 * 0.37).collect();
+
+    let mut group = c.benchmark_group("special_functions");
+    group.bench_function("ln_gamma_256", |b| {
+        b.iter(|| xs.iter().map(|&x| ln_gamma(x)).sum::<f64>())
+    });
+    group.bench_function("digamma_256", |b| {
+        b.iter(|| xs.iter().map(|&x| digamma(x)).sum::<f64>())
+    });
+    // n = 1: the sampler's overwhelmingly common case (one occurrence of a
+    // word in a session) — the one the ln_rising1 cache removes entirely.
+    group.bench_function("ln_rising_n1_256", |b| {
+        b.iter(|| xs.iter().map(|&x| ln_rising(x, 1)).sum::<f64>())
+    });
+    // Small n: the product branch (session blocks).
+    group.bench_function("ln_rising_n4_256", |b| {
+        b.iter(|| xs.iter().map(|&x| ln_rising(x, 4)).sum::<f64>())
+    });
+    // Large n: the two-ln_gamma branch.
+    group.bench_function("ln_rising_n64_256", |b| {
+        b.iter(|| xs.iter().map(|&x| ln_rising(x, 64)).sum::<f64>())
+    });
+    // The cache build itself (amortized over a whole hyperparameter epoch).
+    group.bench_function("ln_rising1_table_256", |b| b.iter(|| ln_rising1_table(&xs)));
+    group.finish();
+}
+
+/// The UPM's per-document access pattern: K topic rows over a V-word
+/// vocabulary of which each document touches only a few dozen columns —
+/// remove a session block, probe all K rows, add it back.
+fn bench_count_tables(c: &mut Criterion) {
+    const K: usize = 10;
+    const V: usize = 4096;
+    // 48 distinct "words" per document, multiplicity 1–3.
+    let cells: Vec<(usize, u32)> = (0..48).map(|i| (i * 85 % V, (i % 3 + 1) as u32)).collect();
+
+    let mut group = c.benchmark_group("doc_count_tables");
+    group.bench_function("dense_inc_get_dec", |b| {
+        b.iter(|| {
+            let mut t = Counts2D::new(K, V);
+            for z in 0..K {
+                for &(v, n) in &cells {
+                    t.inc(z, v, n);
+                }
+            }
+            let mut acc = 0u64;
+            for z in 0..K {
+                for &(v, _) in &cells {
+                    acc += t.get(z, v) as u64;
+                }
+            }
+            for z in 0..K {
+                for &(v, n) in &cells {
+                    t.dec(z, v, n);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("sparse_inc_get_dec", |b| {
+        b.iter(|| {
+            let mut t = SparseCounts::new(K, V);
+            for z in 0..K {
+                for &(v, n) in &cells {
+                    t.inc(z, v, n);
+                }
+            }
+            let mut acc = 0u64;
+            for z in 0..K {
+                for &(v, _) in &cells {
+                    acc += t.get(z, v) as u64;
+                }
+            }
+            for z in 0..K {
+                for &(v, n) in &cells {
+                    t.dec(z, v, n);
+                }
+            }
+            acc
+        })
+    });
+    // Row scan: what the hyperparameter optimizer does per topic — the
+    // dense table walks all V columns, the sparse one only the nnz.
+    let mut dense = Counts2D::new(K, V);
+    let mut sparse = SparseCounts::new(K, V);
+    for z in 0..K {
+        for &(v, n) in &cells {
+            dense.inc(z, v, n);
+            sparse.inc(z, v, n);
+        }
+    }
+    group.bench_function("dense_row_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for z in 0..K {
+                for (v, &n) in dense.row(z).iter().enumerate() {
+                    if n > 0 {
+                        acc += (v as u64) ^ n as u64;
+                    }
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("sparse_row_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for z in 0..K {
+                sparse.for_each_nonzero(z, |v, n| acc += (v as u64) ^ n as u64);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_special_functions, bench_count_tables);
+criterion_main!(benches);

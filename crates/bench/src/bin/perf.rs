@@ -10,10 +10,19 @@
 //! - `solver`     — Jacobi on the Eq. 15 regularization system.
 //! - `gibbs`      — one UPM training run (collapsed Gibbs sweeps).
 //!
+//! The gibbs kernel additionally reports a per-phase breakdown (session
+//! resampling vs τ refits vs L-BFGS hyperparameter updates) from
+//! [`Upm::train_with_stats`], so regressions can be attributed to a phase
+//! rather than the whole training loop.
+//!
 //! Every kernel is bit-identical across thread counts (asserted here, not
 //! just in the test suite), so `speedup` is a pure wall-clock ratio.
 //!
-//! Usage: `cargo run --release -p pqsda-bench --bin perf`
+//! Usage: `cargo run --release -p pqsda-bench --bin perf [-- --smoke]`
+//!
+//! `--smoke` shrinks the time budget to the minimum and skips the JSON
+//! write: it keeps every cross-thread bit-identity assertion (that is the
+//! point of running it in CI) while finishing in seconds.
 
 use pqsda::crosswalk::CrossBipartiteWalk;
 use pqsda::regularize::{RegularizationConfig, Regularizer};
@@ -82,7 +91,73 @@ fn measure<T: PartialEq>(
     rows
 }
 
+/// One gibbs-phase measurement (see `Upm::train_with_stats`).
+struct PhaseRow {
+    phase: &'static str,
+    threads: usize,
+    ns: u64,
+    /// This phase's share of the training run's total wall-clock.
+    share: f64,
+}
+
+/// Trains the UPM *with* hyperparameter learning at each thread count,
+/// asserting the learned models are identical, and returns the per-phase
+/// wall-clock split. Unlike the `gibbs` kernel rows (hyperlearning off, so
+/// they time the pure sweep), this names where a full training run spends
+/// its time.
+fn gibbs_phase_breakdown(corpus: &Corpus, thread_counts: &[usize]) -> Vec<PhaseRow> {
+    let cfg = |threads| UpmConfig {
+        base: TrainConfig {
+            num_topics: 5,
+            iterations: 10,
+            seed: 7,
+            ..TrainConfig::default()
+        },
+        hyper_every: 5,
+        hyper_iterations: 5,
+        threads,
+    };
+    let mut rows = Vec::new();
+    let mut reference: Option<Vec<Vec<f64>>> = None;
+    for &t in thread_counts {
+        let (upm, stats) = Upm::train_with_stats(corpus, &cfg(t));
+        let betas: Vec<Vec<f64>> = (0..5).map(|k| upm.beta_k(k).to_vec()).collect();
+        match &reference {
+            None => reference = Some(betas),
+            Some(r) => assert!(
+                &betas == r,
+                "gibbs phases: model at {t} threads differs from 1 thread"
+            ),
+        }
+        let total = (stats.sample_ns + stats.tau_ns + stats.hyper_ns).max(1);
+        for (phase, ns) in [
+            ("sample", stats.sample_ns),
+            ("tau_refit", stats.tau_ns),
+            ("hyper_opt", stats.hyper_ns),
+        ] {
+            let share = ns as f64 / total as f64;
+            eprintln!(
+                "  gibbs phase {phase} @ {t} thread(s): {ns} ns ({:.1}%)",
+                share * 100.0
+            );
+            rows.push(PhaseRow {
+                phase,
+                threads: t,
+                ns,
+                share,
+            });
+        }
+    }
+    rows
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke && std::env::var("PQSDA_BENCH_BUDGET_MS").is_err() {
+        // Minimum budget: every configuration runs (and asserts
+        // bit-identity) at least once, but nothing loops for wall-clock.
+        std::env::set_var("PQSDA_BENCH_BUDGET_MS", "1");
+    }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let max_threads = pqsda_parallel::max_threads().max(1);
     let thread_counts: Vec<usize> = if max_threads > 1 {
@@ -153,6 +228,18 @@ fn main() {
         (0..5).map(|k| upm.beta_k(k).to_vec()).collect::<Vec<_>>()
     }));
 
+    // gibbs phase breakdown: full training (hyperlearning on), split by
+    // phase, cross-thread model equality asserted inside.
+    let phases = gibbs_phase_breakdown(&corpus, &thread_counts);
+
+    if smoke {
+        eprintln!(
+            "perf: smoke mode — all kernels bit-identical across threads = {thread_counts:?}; \
+             no file written"
+        );
+        return;
+    }
+
     let out_path = std::env::var("PQSDA_BENCH_OUT").unwrap_or_else(|_| "BENCH_perf.json".into());
     let mut json = String::new();
     json.push_str("{\n");
@@ -161,11 +248,12 @@ fn main() {
     json.push_str(&format!("  \"max_threads\": {max_threads},\n"));
     json.push_str(&format!(
         "  \"note\": \"speedup = wall-clock ratio vs 1 thread; outputs asserted \
-         bit-identical across thread counts. Measured on a {cores}-core host\
-         {}.\",\n",
+         bit-identical across thread counts. Kernels run on the persistent \
+         worker pool, which never oversubscribes the hardware. Measured on a \
+         {cores}-core host{}.\",\n",
         if cores == 1 {
-            " — speedup ~1.0 is expected there; re-run on a multi-core machine \
-             to see parallel gains"
+            " — speedup ~1.0 is expected there (parallel regions run inline); \
+             re-run on a multi-core machine to see parallel gains"
         } else {
             ""
         }
@@ -178,6 +266,15 @@ fn main() {
         json.push_str(&format!(
             "    {{\"bench\": \"{}\", \"threads\": {}, \"ns_per_iter\": {:.0}, \"speedup\": {:.3}}}{comma}\n",
             r.bench, r.threads, r.ns_per_iter, r.speedup
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"gibbs_phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"threads\": {}, \"ns\": {}, \"share\": {:.3}}}{comma}\n",
+            p.phase, p.threads, p.ns, p.share
         ));
     }
     json.push_str("  ]\n}\n");

@@ -79,6 +79,26 @@ impl BetaDistribution {
         self.ln_pdf(t).exp()
     }
 
+    /// The affine form of [`Self::ln_pdf`]: `(τ₁−1, τ₂−1, ln B(τ₁, τ₂))`.
+    /// With `t' = t.clamp(TIME_EPS, 1 − TIME_EPS)`,
+    ///
+    /// ```text
+    /// ln_pdf(t) == a1 * t'.ln() + b1 * (1.0 - t').ln() - norm
+    /// ```
+    ///
+    /// evaluated in exactly that operation order — **bit-identical** to
+    /// calling `ln_pdf` directly. Samplers precompute this triple once per
+    /// τ refit (amortizing the `ln Γ` normalizer) and the per-slot
+    /// `t'.ln()` / `(1 − t')`.ln()` once per slot, turning each density
+    /// evaluation into two multiply-adds.
+    pub fn ln_pdf_terms(&self) -> (f64, f64, f64) {
+        (
+            self.alpha - 1.0,
+            self.beta - 1.0,
+            ln_beta(self.alpha, self.beta),
+        )
+    }
+
     /// Moment-matching fit from a sample mean and biased sample variance of
     /// timestamps assigned to a topic — the paper's Eq. 28–29:
     ///
@@ -195,5 +215,26 @@ mod tests {
     #[should_panic(expected = "invalid shapes")]
     fn rejects_nonpositive_shapes() {
         BetaDistribution::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn ln_pdf_terms_reproduce_ln_pdf_bitwise() {
+        for d in [
+            BetaDistribution::uniform(),
+            BetaDistribution::new(2.5, 4.0),
+            BetaDistribution::new(0.7, 9.3),
+            BetaDistribution::new(31.0, 0.2),
+        ] {
+            let (a1, b1, norm) = d.ln_pdf_terms();
+            for &t in &[0.0f64, 1e-6, 0.1, 0.5, 0.73, 0.9999, 1.0] {
+                let tc = t.clamp(TIME_EPS, 1.0 - TIME_EPS);
+                let via_terms = a1 * tc.ln() + b1 * (1.0 - tc).ln() - norm;
+                assert_eq!(
+                    via_terms.to_bits(),
+                    d.ln_pdf(t).to_bits(),
+                    "terms diverge at t = {t} for {d:?}"
+                );
+            }
+        }
     }
 }

@@ -79,10 +79,14 @@ pub fn ln_multivariate_beta(alpha: &[f64]) -> f64 {
     alpha.iter().map(|&a| ln_gamma(a)).sum::<f64>() - ln_gamma(sum)
 }
 
+/// Largest `n` for which [`ln_rising`] uses the running-sum product form
+/// rather than two `ln Γ` evaluations.
+const LN_RISING_PRODUCT_CUTOFF: usize = 16;
+
 /// Rising factorial in log-space: `ln Γ(x + n) − ln Γ(x)` computed stably.
 /// For small integer `n` the product form avoids two large `ln Γ` calls.
 pub fn ln_rising(x: f64, n: usize) -> f64 {
-    if n <= 16 {
+    if n <= LN_RISING_PRODUCT_CUTOFF {
         let mut acc = 0.0;
         for i in 0..n {
             acc += (x + i as f64).ln();
@@ -91,6 +95,39 @@ pub fn ln_rising(x: f64, n: usize) -> f64 {
     } else {
         ln_gamma(x + n as f64) - ln_gamma(x)
     }
+}
+
+/// Table of `ln_rising(x, n)` for `n = 1..=max_n`, each entry bit-identical
+/// to the direct call.
+///
+/// Within the product regime, [`ln_rising`]'s accumulator for `n` is
+/// exactly its accumulator for `n − 1` plus one more `ln`, so the whole
+/// prefix of the row is built with `max_n` logarithms instead of
+/// `Σ n = max_n(max_n+1)/2`; past the cutoff each entry switches to the
+/// two-`ln Γ` branch and is evaluated directly, just as `ln_rising` would.
+pub fn ln_rising_row(x: f64, max_n: usize) -> Vec<f64> {
+    let mut row = Vec::with_capacity(max_n);
+    let mut acc = 0.0;
+    for n in 1..=max_n.min(LN_RISING_PRODUCT_CUTOFF) {
+        acc += (x + (n - 1) as f64).ln();
+        row.push(acc);
+    }
+    for n in (LN_RISING_PRODUCT_CUTOFF + 1)..=max_n {
+        row.push(ln_rising(x, n));
+    }
+    row
+}
+
+/// Element-wise table of `ln_rising(x, 1)` over a prior vector — the
+/// transcendental cache behind the Gibbs samplers' zero-count fast path
+/// (a prior vector only changes at hyperparameter updates, while the
+/// sampler evaluates these terms every sweep).
+///
+/// Every entry is produced by calling [`ln_rising`] itself, so a cache hit
+/// is **bit-identical** to direct evaluation — the invariant the samplers'
+/// exactness proofs rely on, asserted by the property tests.
+pub fn ln_rising1_table(priors: &[f64]) -> Vec<f64> {
+    priors.iter().map(|&x| ln_rising(x, 1)).collect()
 }
 
 #[cfg(test)]
@@ -166,6 +203,40 @@ mod tests {
         let a = 1.7;
         let b = 4.2;
         assert!((ln_multivariate_beta(&[a, b]) - ln_beta(a, b)).abs() < EPS);
+    }
+
+    #[test]
+    fn ln_rising1_table_is_bit_identical_to_direct_evaluation() {
+        let priors: Vec<f64> = (1..60).map(|i| 0.01 * i as f64 * 1.7).collect();
+        let table = ln_rising1_table(&priors);
+        for (i, &p) in priors.iter().enumerate() {
+            assert_eq!(
+                table[i].to_bits(),
+                ln_rising(p, 1).to_bits(),
+                "cache divergence at prior {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_rising_row_is_bit_identical_to_direct_evaluation() {
+        // Spans the product branch, the cutoff boundary and the ln Γ
+        // branch — every entry must equal the direct call to the bit.
+        for &x in &[0.003, 0.7, 5.25, 211.0] {
+            for &max_n in &[1usize, 3, 16, 17, 40] {
+                let row = ln_rising_row(x, max_n);
+                assert_eq!(row.len(), max_n);
+                for (i, &v) in row.iter().enumerate() {
+                    assert_eq!(
+                        v.to_bits(),
+                        ln_rising(x, i + 1).to_bits(),
+                        "x = {x}, n = {}",
+                        i + 1
+                    );
+                }
+            }
+        }
+        assert!(ln_rising_row(1.0, 0).is_empty());
     }
 
     #[test]

@@ -1,20 +1,29 @@
 //! Deterministic thread-parallel primitives for the PQS-DA kernels.
 //!
 //! Everything here is *row parallel*: work is split into disjoint index
-//! ranges, each range is computed by exactly one thread, and the per-index
-//! arithmetic is identical to the sequential code (same reduction order
-//! within a row). That makes every parallel result bit-identical to the
-//! serial result for any thread count — the scheduler only decides *who*
-//! computes a row, never *how*.
+//! ranges, each range is computed by exactly one executor, and the
+//! per-index arithmetic is identical to the sequential code (same reduction
+//! order within a row). That makes every parallel result bit-identical to
+//! the serial result for any thread count — the scheduler only decides
+//! *who* computes a row, never *how*.
+//!
+//! Execution runs on the persistent [`WorkerPool`] (see [`pool`]): workers
+//! are spawned once per process and parked between regions, so a parallel
+//! region costs condvar wakeups, not thread spawns. The pool never
+//! oversubscribes the hardware — on a single-core host every region runs
+//! inline at its serial cost.
 //!
 //! Thread-count resolution: kernels take `threads: usize` where `0` means
 //! "auto" — the `PQSDA_THREADS` environment variable if set, otherwise
 //! [`std::thread::available_parallelism`]. Small inputs are kept serial via
-//! [`effective_threads`] work gates so the scoped-thread spawn cost never
-//! dominates tiny problems.
+//! [`effective_threads`] work gates so dispatch overhead never dominates
+//! tiny problems.
 
 use std::sync::{Barrier, OnceLock};
-use std::thread;
+
+mod pool;
+
+pub use pool::{hardware_threads, Job, WorkerPool};
 
 /// Resolves the process-wide "auto" thread count: `PQSDA_THREADS` if set to a
 /// positive integer, else available parallelism, else 1. Cached after first
@@ -26,7 +35,7 @@ pub fn max_threads() -> usize {
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&n| n >= 1)
-            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+            .unwrap_or_else(hardware_threads)
     })
 }
 
@@ -66,10 +75,19 @@ fn ranges(len: usize, threads: usize) -> Vec<(usize, usize)> {
 }
 
 /// Runs `f(offset, chunk)` over disjoint contiguous chunks of `data`, one
-/// chunk per thread. `offset` is the index of `chunk[0]` in `data`. With
-/// `threads <= 1` this degenerates to a single call on the whole slice —
-/// same arithmetic, no spawn.
+/// chunk per logical thread, on the global [`WorkerPool`]. `offset` is the
+/// index of `chunk[0]` in `data`. With `threads <= 1` this degenerates to a
+/// single call on the whole slice — same arithmetic, no dispatch.
 pub fn for_each_chunk_mut<T, F>(data: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    for_each_chunk_mut_on(WorkerPool::global(), data, threads, f);
+}
+
+/// [`for_each_chunk_mut`] on an explicit pool.
+pub fn for_each_chunk_mut_on<T, F>(pool: &WorkerPool, data: &mut [T], threads: usize, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
@@ -81,23 +99,23 @@ where
         return;
     }
     let spans = ranges(len, threads);
-    thread::scope(|s| {
-        let mut rest = data;
-        let mut consumed = 0;
-        let f = &f;
-        for &(start, end) in &spans {
-            let (chunk, tail) = rest.split_at_mut(end - consumed);
-            rest = tail;
-            consumed = end;
-            debug_assert_eq!(start + chunk.len(), end);
-            s.spawn(move || f(start, chunk));
-        }
-    });
+    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(spans.len());
+    let mut rest = data;
+    let mut consumed = 0;
+    let f = &f;
+    for &(start, end) in &spans {
+        let (chunk, tail) = rest.split_at_mut(end - consumed);
+        rest = tail;
+        consumed = end;
+        debug_assert_eq!(start + chunk.len(), end);
+        jobs.push(Box::new(move || f(start, chunk)));
+    }
+    pool.run(jobs);
 }
 
 /// Runs `f(part_index, part)` over the parts of `data` delimited by
 /// `bounds` (ascending split points: `bounds[0] == 0`, last == `data.len()`),
-/// one thread per part. Used when parts must align with an external
+/// one job per part. Used when parts must align with an external
 /// structure, e.g. CSR value ranges cut at row boundaries.
 ///
 /// # Panics
@@ -115,22 +133,22 @@ where
         f(0, data);
         return;
     }
-    thread::scope(|s| {
-        let mut rest = data;
-        let mut consumed = 0;
-        let f = &f;
-        for (k, w) in bounds.windows(2).enumerate() {
-            assert!(w[0] <= w[1], "for_each_part_mut: bounds must be ascending");
-            let (part, tail) = rest.split_at_mut(w[1] - consumed);
-            rest = tail;
-            consumed = w[1];
-            s.spawn(move || f(k, part));
-        }
-    });
+    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(bounds.len() - 1);
+    let mut rest = data;
+    let mut consumed = 0;
+    let f = &f;
+    for (k, w) in bounds.windows(2).enumerate() {
+        assert!(w[0] <= w[1], "for_each_part_mut: bounds must be ascending");
+        let (part, tail) = rest.split_at_mut(w[1] - consumed);
+        rest = tail;
+        consumed = w[1];
+        jobs.push(Box::new(move || f(k, part)));
+    }
+    WorkerPool::global().run(jobs);
 }
 
 /// Maps `0..len` through `f`, preserving index order in the output. Each
-/// thread fills a contiguous range, so the result is identical to
+/// job fills a contiguous range, so the result is identical to
 /// `(0..len).map(f).collect()` for any thread count.
 pub fn map_indexed<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
 where
@@ -142,14 +160,18 @@ where
         return (0..len).map(f).collect();
     }
     let spans = ranges(len, threads);
-    let mut parts: Vec<Vec<T>> = thread::scope(|s| {
+    let mut parts: Vec<Vec<T>> = spans.iter().map(|_| Vec::new()).collect();
+    {
         let f = &f;
-        let handles: Vec<_> = spans
-            .iter()
-            .map(|&(start, end)| s.spawn(move || (start..end).map(f).collect::<Vec<T>>()))
+        let jobs: Vec<Job<'_>> = parts
+            .iter_mut()
+            .zip(&spans)
+            .map(|(slot, &(start, end))| {
+                Box::new(move || *slot = (start..end).map(f).collect::<Vec<T>>()) as Job<'_>
+            })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+        WorkerPool::global().run(jobs);
+    }
     let mut out = Vec::with_capacity(len);
     for part in parts.iter_mut() {
         out.append(part);
@@ -157,8 +179,8 @@ where
     out
 }
 
-/// Raw-pointer wrapper so scoped threads can share two buffers they write
-/// disjoint ranges of. All aliasing discipline lives in [`sweep_iterate`].
+/// Raw-pointer wrapper so pool jobs can share two buffers they write
+/// disjoint ranges of. All aliasing discipline lives in [`sweep_iterate_on`].
 #[derive(Clone, Copy)]
 struct SharedBuf(*mut f64);
 unsafe impl Send for SharedBuf {}
@@ -166,15 +188,33 @@ unsafe impl Sync for SharedBuf {}
 
 /// Runs `iterations` Jacobi-style sweeps of `next[i] = f(i, &cur)` with
 /// double buffering, leaving the final iterate in `cur` (as the serial
-/// swap-per-sweep loop would). One parallel region spans all iterations: the
-/// worker threads are spawned once and separate sweeps with a [`Barrier`],
+/// swap-per-sweep loop would). One parallel region spans all iterations:
+/// the participants are pool executors separated per sweep by a [`Barrier`],
 /// so per-sweep cost is a barrier wait rather than a thread spawn.
 ///
-/// Each thread owns a fixed disjoint index range of the destination buffer
-/// and only reads the (fully written, barrier-separated) source buffer, so
-/// results are bit-identical to the serial loop for any thread count.
+/// Each participant owns a fixed disjoint index range of the destination
+/// buffer and only reads the (fully written, barrier-separated) source
+/// buffer, so results are bit-identical to the serial loop for any thread
+/// count.
 pub fn sweep_iterate<F>(cur: &mut [f64], next: &mut [f64], iterations: usize, threads: usize, f: F)
 where
+    F: Fn(usize, &[f64]) -> f64 + Sync,
+{
+    sweep_iterate_on(WorkerPool::global(), cur, next, iterations, threads, f);
+}
+
+/// [`sweep_iterate`] on an explicit pool. The participant count is clamped
+/// to the pool's [`WorkerPool::parallelism`] — a barrier region needs every
+/// participant running concurrently, so it can never exceed the executors —
+/// and falls back to the serial loop when the pool declines (busy/nested).
+pub fn sweep_iterate_on<F>(
+    pool: &WorkerPool,
+    cur: &mut [f64],
+    next: &mut [f64],
+    iterations: usize,
+    threads: usize,
+    f: F,
+) where
     F: Fn(usize, &[f64]) -> f64 + Sync,
 {
     assert_eq!(cur.len(), next.len(), "sweep buffers must match");
@@ -182,33 +222,38 @@ where
     if iterations == 0 || len == 0 {
         return;
     }
-    let threads = threads.min(len).max(1);
-    if threads <= 1 {
+    let participants = threads.min(pool.parallelism()).min(len).max(1);
+    let serial = |cur: &mut [f64], next: &mut [f64]| {
         for _ in 0..iterations {
             for (i, slot) in next.iter_mut().enumerate() {
                 *slot = f(i, cur);
             }
             cur.swap_with_slice(next);
         }
+    };
+    if participants <= 1 {
+        serial(cur, next);
         return;
     }
 
     let a = SharedBuf(cur.as_mut_ptr());
     let b = SharedBuf(next.as_mut_ptr());
-    let barrier = Barrier::new(threads);
-    let spans = ranges(len, threads);
-    thread::scope(|s| {
-        let f = &f;
-        let barrier = &barrier;
-        for &(start, end) in &spans {
-            s.spawn(move || {
+    let barrier = Barrier::new(participants);
+    let spans = ranges(len, participants);
+    let jobs: Vec<Job<'_>> = spans
+        .iter()
+        .map(|&(start, end)| {
+            let barrier = &barrier;
+            let f = &f;
+            Box::new(move || {
                 for sweep in 0..iterations {
                     let (src, dst) = if sweep % 2 == 0 { (a, b) } else { (b, a) };
                     // SAFETY: `src` was fully written by the previous sweep
-                    // (or is the caller's initial buffer) and no thread
-                    // writes it during this sweep; every thread writes only
-                    // its own `start..end` of `dst`. The barrier below keeps
-                    // sweeps from overlapping.
+                    // (or is the caller's initial buffer) and no participant
+                    // writes it during this sweep; every participant writes
+                    // only its own `start..end` of `dst`. The barrier below
+                    // keeps sweeps from overlapping, and `run_concurrent`
+                    // guarantees all participants run at once.
                     unsafe {
                         let src = std::slice::from_raw_parts(src.0, len);
                         for i in start..end {
@@ -217,9 +262,13 @@ where
                     }
                     barrier.wait();
                 }
-            });
-        }
-    });
+            }) as Job<'_>
+        })
+        .collect();
+    if !pool.run_concurrent(jobs) {
+        serial(cur, next);
+        return;
+    }
     if iterations % 2 == 1 {
         // Final iterate landed in `next`; mirror the serial loop's invariant
         // that `cur` holds the latest sweep.
@@ -281,6 +330,23 @@ mod tests {
     }
 
     #[test]
+    fn for_each_chunk_on_explicit_pool_crosses_threads() {
+        // A 3-worker pool exists regardless of host core count, so this
+        // exercises real cross-thread chunk execution even on 1-core CI.
+        let pool = WorkerPool::new(3);
+        for threads in [2usize, 3, 4, 9] {
+            let mut data = vec![0usize; 41];
+            for_each_chunk_mut_on(&pool, &mut data, threads, |offset, chunk| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = offset + k;
+                }
+            });
+            let expect: Vec<usize> = (0..41).collect();
+            assert_eq!(data, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn sweep_iterate_bit_identical_across_thread_counts() {
         // next[i] = 0.5 * cur[(i+1) % n] + 1.0 — a toy contraction whose
         // fixed point all thread counts must hit with identical bits.
@@ -294,6 +360,24 @@ mod tests {
                 let mut cur: Vec<f64> = (0..n).map(|i| i as f64).collect();
                 let mut next = vec![0.0; n];
                 sweep_iterate(&mut cur, &mut next, iterations, threads, f);
+                assert_eq!(cur, reference, "threads={threads} iters={iterations}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_iterate_on_explicit_pool_matches_serial_bitwise() {
+        let pool = WorkerPool::new(3);
+        let n = 97;
+        let f = |i: usize, cur: &[f64]| 0.25 * cur[(i + 3) % n] + (i as f64).sin() * 1e-3;
+        for iterations in [1usize, 2, 5, 8] {
+            let mut reference: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5).collect();
+            let mut scratch = vec![0.0; n];
+            sweep_iterate_on(&pool, &mut reference, &mut scratch, iterations, 1, f);
+            for threads in [2usize, 3, 4, 16] {
+                let mut cur: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5).collect();
+                let mut next = vec![0.0; n];
+                sweep_iterate_on(&pool, &mut cur, &mut next, iterations, threads, f);
                 assert_eq!(cur, reference, "threads={threads} iters={iterations}");
             }
         }

@@ -1,0 +1,439 @@
+//! A persistent worker pool: spawn once, park between parallel regions.
+//!
+//! The PR 1 kernels spawned fresh scoped threads for *every* parallel
+//! region — for the Gibbs sampler that meant hundreds of spawns per
+//! training run and a measured parallel *slowdown*. The pool keeps a fixed
+//! set of workers parked on condvars; a region costs a handful of unpark
+//! wakeups instead of thread spawns.
+//!
+//! Determinism is unchanged from the scoped-thread design: the pool only
+//! decides *where* a job runs, never *what* it computes, so every kernel
+//! routed through it stays bit-identical for any thread count (including
+//! the inline fallbacks below).
+//!
+//! Three deliberate policies:
+//!
+//! * **Caller participation.** The dispatching thread executes its own
+//!   share of the jobs while the workers run theirs, so a pool of `W`
+//!   workers yields `W + 1` parallel executors ([`WorkerPool::parallelism`]).
+//! * **No oversubscription.** [`WorkerPool::global`] sizes itself by
+//!   [`hardware_threads`]` - 1`. Requesting more chunks than executors is
+//!   fine (batches queue on the executors round-robin), but the pool never
+//!   creates more OS threads than the hardware can actually run — the
+//!   source of the PR 1 `gibbs` regression on small hosts.
+//! * **Inline fallback instead of deadlock.** A `run` from inside a pool
+//!   job (nested parallelism) or while another region is in flight simply
+//!   executes inline on the caller. [`WorkerPool::run_concurrent`] — the
+//!   variant barrier kernels need, which must place every job on its own
+//!   thread — instead *declines* (returns `false`) so the caller can take
+//!   its serial path.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, TryLockError};
+use std::thread::JoinHandle;
+
+/// A unit of work handed to [`WorkerPool::run`]. The borrow lifetime is the
+/// caller's: `run` does not return until every job has finished.
+pub type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+type StaticJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Cached [`std::thread::available_parallelism`] (1 if unknown). This is the
+/// *hardware* bound, deliberately independent of the `PQSDA_THREADS`
+/// logical-thread override: requesting 8-way chunking on a 1-core host
+/// changes how work is batched, not how many OS threads contend for the
+/// core.
+pub fn hardware_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+struct WorkerSlot {
+    batch: Vec<StaticJob>,
+    shutdown: bool,
+}
+
+struct WorkerShared {
+    slot: Mutex<WorkerSlot>,
+    ready: Condvar,
+}
+
+/// Completion latch for one dispatched region: counts worker batches still
+/// running; the dispatcher waits for zero.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    worker_panicked: AtomicBool,
+}
+
+/// A fixed set of persistent worker threads. See the module docs for the
+/// dispatch policies.
+pub struct WorkerPool {
+    workers: Vec<Arc<WorkerShared>>,
+    handles: Vec<JoinHandle<()>>,
+    latch: Arc<Latch>,
+    /// Held for the duration of one dispatched region; `try_lock` failure
+    /// means nested or concurrent use and triggers the inline fallback.
+    coordinator: Mutex<()>,
+}
+
+impl WorkerPool {
+    /// The process-wide pool: `hardware_threads() - 1` workers (zero on a
+    /// single-core host, where every region runs inline), spawned lazily on
+    /// first use and parked for the life of the process.
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| WorkerPool::new(hardware_threads().saturating_sub(1)))
+    }
+
+    /// A pool with exactly `workers` background threads (plus the caller at
+    /// dispatch time). Tests use this to exercise real cross-thread
+    /// execution regardless of the host's core count.
+    pub fn new(workers: usize) -> Self {
+        let latch = Arc::new(Latch {
+            remaining: Mutex::new(0),
+            done: Condvar::new(),
+            worker_panicked: AtomicBool::new(false),
+        });
+        let mut shared = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let ws = Arc::new(WorkerShared {
+                slot: Mutex::new(WorkerSlot {
+                    batch: Vec::new(),
+                    shutdown: false,
+                }),
+                ready: Condvar::new(),
+            });
+            let worker_ws = Arc::clone(&ws);
+            let worker_latch = Arc::clone(&latch);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pqsda-pool-{i}"))
+                    .spawn(move || worker_main(&worker_ws, &worker_latch))
+                    .expect("spawn pool worker"),
+            );
+            shared.push(ws);
+        }
+        WorkerPool {
+            workers: shared,
+            handles,
+            latch,
+            coordinator: Mutex::new(()),
+        }
+    }
+
+    /// Number of parallel executors a dispatched region can use: the
+    /// workers plus the dispatching caller.
+    pub fn parallelism(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Executes every job to completion. Jobs are assigned round-robin over
+    /// the executors (caller first), so up to [`Self::parallelism`] jobs run
+    /// concurrently and any excess queues behind them deterministically.
+    /// Jobs must be independent — there is no concurrency *guarantee* (the
+    /// whole batch runs inline on the caller when the pool is busy, nested,
+    /// or has no workers).
+    ///
+    /// # Panics
+    /// Propagates a panic from any job after all jobs have finished.
+    pub fn run<'env>(&self, mut jobs: Vec<Job<'env>>) {
+        match jobs.len() {
+            0 => return,
+            1 => return (jobs.pop().expect("len checked"))(),
+            _ => {}
+        }
+        if self.workers.is_empty() {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let guard = match self.coordinator.try_lock() {
+            Ok(g) => g,
+            // A previous region's panic poisoned the lock while propagating;
+            // the region itself had fully completed, so the pool is idle.
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                // Nested or concurrent use: inline. Same results, no threads.
+                for job in jobs {
+                    job();
+                }
+                return;
+            }
+        };
+        self.dispatch(jobs);
+        drop(guard);
+    }
+
+    /// Like [`Self::run`], but *guarantees* each job runs on its own thread,
+    /// all concurrently — what barrier-synchronized kernels require.
+    /// Returns `false` (dropping the jobs unrun) when that cannot be
+    /// guaranteed: more jobs than executors, the pool is busy, or the call
+    /// is nested inside a pool job. The caller must then take its serial
+    /// path.
+    #[must_use]
+    pub fn run_concurrent<'env>(&self, mut jobs: Vec<Job<'env>>) -> bool {
+        match jobs.len() {
+            0 => return true,
+            1 => {
+                (jobs.pop().expect("len checked"))();
+                return true;
+            }
+            _ => {}
+        }
+        if jobs.len() > self.parallelism() {
+            return false;
+        }
+        let guard = match self.coordinator.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return false,
+        };
+        self.dispatch(jobs);
+        drop(guard);
+        true
+    }
+
+    /// Dispatches with the coordinator held: round-robin assignment, wake
+    /// the involved workers, run the caller's own batch, wait on the latch.
+    fn dispatch<'env>(&self, jobs: Vec<Job<'env>>) {
+        let executors = self.parallelism();
+        let mut batches: Vec<Vec<StaticJob>> = (0..executors).map(|_| Vec::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            // SAFETY: the erased 'env borrows outlive every use — `dispatch`
+            // waits on the latch for all worker batches (even panicking
+            // ones, which are caught in `worker_main`) before returning.
+            let job: StaticJob =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, StaticJob>(job) };
+            batches[i % executors].push(job);
+        }
+        let mut batches = batches.into_iter();
+        let caller_batch = batches.next().expect("executors >= 1");
+        let worker_batches: Vec<Vec<StaticJob>> = batches.collect();
+        let used = worker_batches.iter().filter(|b| !b.is_empty()).count();
+        self.latch.worker_panicked.store(false, Ordering::Relaxed);
+        *self.latch.remaining.lock().expect("latch lock") = used;
+        for (w, batch) in worker_batches.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let mut slot = self.workers[w].slot.lock().expect("worker slot lock");
+            debug_assert!(slot.batch.is_empty(), "worker {w} still has work");
+            slot.batch = batch;
+            drop(slot);
+            self.workers[w].ready.notify_one();
+        }
+        let mut caller_panic = None;
+        for job in caller_batch {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                // Keep running: the workers may be mid-barrier with our
+                // remaining jobs, and the latch must drain before unwinding
+                // past the borrowed environment.
+                caller_panic = Some(payload);
+            }
+        }
+        let mut remaining = self.latch.remaining.lock().expect("latch lock");
+        while *remaining > 0 {
+            remaining = self.latch.done.wait(remaining).expect("latch wait");
+        }
+        drop(remaining);
+        if let Some(payload) = caller_panic {
+            resume_unwind(payload);
+        }
+        if self.latch.worker_panicked.load(Ordering::Relaxed) {
+            panic!("pqsda-parallel: a pool worker job panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let mut slot = w.slot.lock().expect("worker slot lock");
+            slot.shutdown = true;
+            drop(slot);
+            w.ready.notify_one();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_main(shared: &WorkerShared, latch: &Latch) {
+    loop {
+        let batch = {
+            let mut slot = shared.slot.lock().expect("worker slot lock");
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if !slot.batch.is_empty() {
+                    break std::mem::take(&mut slot.batch);
+                }
+                slot = shared.ready.wait(slot).expect("worker wait");
+            }
+        };
+        for job in batch {
+            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                latch.worker_panicked.store(true, Ordering::Relaxed);
+            }
+        }
+        let mut remaining = latch.remaining.lock().expect("latch lock");
+        *remaining -= 1;
+        if *remaining == 0 {
+            latch.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn run_executes_every_job_exactly_once() {
+        let pool = WorkerPool::new(3);
+        for jobs_n in [0usize, 1, 2, 4, 9, 33] {
+            let hits: Vec<AtomicUsize> = (0..jobs_n).map(|_| AtomicUsize::new(0)).collect();
+            let jobs: Vec<Job<'_>> = hits
+                .iter()
+                .map(|h| {
+                    Box::new(move || {
+                        h.fetch_add(1, Ordering::SeqCst);
+                    }) as Job<'_>
+                })
+                .collect();
+            pool.run(jobs);
+            assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.parallelism(), 1);
+        let counter = AtomicUsize::new(0);
+        pool.run(
+            (0..5)
+                .map(|_| {
+                    Box::new(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }) as Job<'_>
+                })
+                .collect(),
+        );
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn jobs_mutate_disjoint_borrowed_chunks() {
+        let pool = WorkerPool::new(2);
+        let mut data = vec![0usize; 30];
+        {
+            let mut jobs: Vec<Job<'_>> = Vec::new();
+            for (ci, chunk) in data.chunks_mut(7).enumerate() {
+                jobs.push(Box::new(move || {
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        *slot = ci * 100 + k;
+                    }
+                }));
+            }
+            pool.run(jobs);
+        }
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 7) * 100 + i % 7);
+        }
+    }
+
+    #[test]
+    fn nested_run_falls_back_inline() {
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        let jobs: Vec<Job<'_>> = (0..3)
+            .map(|_| {
+                let total = &total;
+                Box::new(move || {
+                    // A parallel region from inside a pool job must not
+                    // deadlock; it runs inline.
+                    let inner: Vec<Job<'_>> = (0..4)
+                        .map(|_| {
+                            Box::new(move || {
+                                total.fetch_add(1, Ordering::SeqCst);
+                            }) as Job<'_>
+                        })
+                        .collect();
+                    WorkerPool::global().run(inner);
+                }) as Job<'_>
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(total.load(Ordering::SeqCst), 12);
+    }
+
+    #[test]
+    fn run_concurrent_declines_oversized_batches() {
+        let pool = WorkerPool::new(1);
+        let jobs: Vec<Job<'_>> = (0..3).map(|_| Box::new(|| {}) as Job<'_>).collect();
+        assert!(!pool.run_concurrent(jobs));
+    }
+
+    #[test]
+    fn run_concurrent_places_each_job_on_its_own_thread() {
+        use std::sync::Barrier;
+        let pool = WorkerPool::new(2);
+        // Three jobs that can only finish if all three run at once.
+        let barrier = Barrier::new(3);
+        let jobs: Vec<Job<'_>> = (0..3)
+            .map(|_| {
+                let barrier = &barrier;
+                Box::new(move || {
+                    barrier.wait();
+                }) as Job<'_>
+            })
+            .collect();
+        assert!(pool.run_concurrent(jobs));
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_completion() {
+        let pool = WorkerPool::new(2);
+        let survivors = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Job<'_>> = (0..4)
+                .map(|i| {
+                    let survivors = &survivors;
+                    Box::new(move || {
+                        if i == 1 {
+                            panic!("boom");
+                        }
+                        survivors.fetch_add(1, Ordering::SeqCst);
+                    }) as Job<'_>
+                })
+                .collect();
+            pool.run(jobs);
+        }));
+        assert!(result.is_err());
+        assert_eq!(survivors.load(Ordering::SeqCst), 3);
+        // The pool must remain usable after a panic.
+        let ok = AtomicUsize::new(0);
+        pool.run(
+            (0..3)
+                .map(|_| {
+                    Box::new(|| {
+                        ok.fetch_add(1, Ordering::SeqCst);
+                    }) as Job<'_>
+                })
+                .collect(),
+        );
+        assert_eq!(ok.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn hardware_threads_is_positive() {
+        assert!(hardware_threads() >= 1);
+    }
+}

@@ -78,6 +78,189 @@ impl Counts2D {
     }
 }
 
+/// Maximum sparse-row length before [`SparseCounts`] promotes a row to the
+/// dense representation (also requires the fill fraction test below, so
+/// mid-sized vocabularies never promote on length alone).
+const SPARSE_PROMOTE_MIN_NNZ: usize = 64;
+
+/// Column count at or below which [`SparseCounts`] rows are dense from the
+/// start: a row this short costs at most a few KB and lives in L1/L2, and
+/// the sampler's `get` on the hot path is then a single indexed load
+/// instead of a binary search. The sorted-vec representation only wins
+/// once the vocabulary is large enough that dense rows would blow the
+/// cache (and the memory budget) while each document still touches a
+/// sliver of the columns.
+const DENSE_ROW_MAX_COLS: usize = 1024;
+
+#[derive(Clone, Debug)]
+enum CountRow {
+    /// `(col, count)` pairs sorted by column, counts strictly positive.
+    Sparse(Vec<(u32, u32)>),
+    Dense(Vec<u32>),
+}
+
+/// A `rows × cols` count table whose rows store only the columns actually
+/// touched — the per-document `C^{KWD}` / `C^{KUD}` tables of the UPM,
+/// where each user's vocabulary is a sliver of the global one.
+///
+/// Rows start as sorted `(col, count)` vectors (binary-searched `get`,
+/// shift-insert `inc`, entries removed when they hit zero) and promote to a
+/// dense row once they are both long (≥ [`SPARSE_PROMOTE_MIN_NNZ`]) and
+/// dense enough (> ¼ of the columns), so scan and memory cost track the
+/// document's actual vocabulary with a dense fallback for pathological
+/// fill. Counts returned are always exactly those of the equivalent
+/// [`Counts2D`]; the property tests assert the mirror.
+#[derive(Clone, Debug)]
+pub struct SparseCounts {
+    cols: usize,
+    rows: Vec<CountRow>,
+    row_sums: Vec<u32>,
+}
+
+impl SparseCounts {
+    /// An all-zero table. Rows start dense for small column counts (see
+    /// [`DENSE_ROW_MAX_COLS`]) and sparse otherwise.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let row = || {
+            if cols <= DENSE_ROW_MAX_COLS {
+                CountRow::Dense(vec![0; cols])
+            } else {
+                CountRow::Sparse(Vec::new())
+            }
+        };
+        SparseCounts {
+            cols,
+            rows: (0..rows).map(|_| row()).collect(),
+            row_sums: vec![0; rows],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.row_sums.len()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The count at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u32 {
+        match &self.rows[r] {
+            CountRow::Sparse(cells) => match cells.binary_search_by_key(&(c as u32), |&(v, _)| v) {
+                Ok(i) => cells[i].1,
+                Err(_) => 0,
+            },
+            CountRow::Dense(cells) => cells[c],
+        }
+    }
+
+    /// Sum of row `r`.
+    #[inline]
+    pub fn row_sum(&self, r: usize) -> u32 {
+        self.row_sums[r]
+    }
+
+    /// Number of non-zero cells in row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        match &self.rows[r] {
+            CountRow::Sparse(cells) => cells.len(),
+            CountRow::Dense(cells) => cells.iter().filter(|&&v| v > 0).count(),
+        }
+    }
+
+    /// Increments `(r, c)` by `by`.
+    pub fn inc(&mut self, r: usize, c: usize, by: u32) {
+        if by == 0 {
+            return;
+        }
+        self.row_sums[r] += by;
+        let promote = match &mut self.rows[r] {
+            CountRow::Sparse(cells) => {
+                match cells.binary_search_by_key(&(c as u32), |&(v, _)| v) {
+                    Ok(i) => cells[i].1 += by,
+                    Err(i) => cells.insert(i, (c as u32, by)),
+                }
+                cells.len() >= SPARSE_PROMOTE_MIN_NNZ && cells.len() * 4 > self.cols
+            }
+            CountRow::Dense(cells) => {
+                cells[c] += by;
+                false
+            }
+        };
+        if promote {
+            let mut dense = vec![0u32; self.cols];
+            if let CountRow::Sparse(cells) = &self.rows[r] {
+                for &(v, n) in cells {
+                    dense[v as usize] = n;
+                }
+            }
+            self.rows[r] = CountRow::Dense(dense);
+        }
+    }
+
+    /// Decrements `(r, c)` by `by`, dropping sparse cells that reach zero.
+    ///
+    /// # Panics
+    /// Panics (in debug) on underflow — an underflow always means the
+    /// sampler double-removed an assignment.
+    pub fn dec(&mut self, r: usize, c: usize, by: u32) {
+        if by == 0 {
+            return;
+        }
+        debug_assert!(self.row_sums[r] >= by, "row sum underflow at ({r},{c})");
+        self.row_sums[r] -= by;
+        match &mut self.rows[r] {
+            CountRow::Sparse(cells) => {
+                match cells.binary_search_by_key(&(c as u32), |&(v, _)| v) {
+                    Ok(i) => {
+                        debug_assert!(cells[i].1 >= by, "count underflow at ({r},{c})");
+                        cells[i].1 -= by;
+                        if cells[i].1 == 0 {
+                            cells.remove(i);
+                        }
+                    }
+                    Err(_) => {
+                        #[cfg(debug_assertions)]
+                        panic!("count underflow at ({r},{c})");
+                    }
+                };
+            }
+            CountRow::Dense(cells) => {
+                debug_assert!(cells[c] >= by, "count underflow at ({r},{c})");
+                cells[c] -= by;
+            }
+        }
+    }
+
+    /// Calls `f(col, count)` for every non-zero cell of row `r` in
+    /// ascending column order — the same order a dense row scan visits
+    /// them, so consumers accumulate bit-identically.
+    pub fn for_each_nonzero(&self, r: usize, mut f: impl FnMut(usize, u32)) {
+        match &self.rows[r] {
+            CountRow::Sparse(cells) => {
+                for &(v, n) in cells {
+                    f(v as usize, n);
+                }
+            }
+            CountRow::Dense(cells) => {
+                for (v, &n) in cells.iter().enumerate() {
+                    if n > 0 {
+                        f(v, n);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total count over the whole table.
+    pub fn total(&self) -> u64 {
+        self.row_sums.iter().map(|&s| s as u64).sum()
+    }
+}
+
 /// Smoothed row-distribution helper: `(count + prior) / (row_sum +
 /// cols·prior)` — the collapsed posterior mean every model uses for its
 /// predictive distributions.
@@ -102,6 +285,44 @@ pub fn ln_block_weight(counts: &Counts2D, r: usize, items: &[(u32, u32)], prior:
     let mut total = 0usize;
     for &(v, n) in items {
         ln_w += ln_rising(counts.get(r, v as usize) as f64 + prior, n as usize);
+        total += n as usize;
+    }
+    ln_w -= ln_rising(
+        counts.row_sum(r) as f64 + counts.cols() as f64 * prior,
+        total,
+    );
+    ln_w
+}
+
+/// [`ln_block_weight`] with the zero-count fast path cached: `ln_prior1`
+/// must equal `ln_rising(prior, 1)` **to the bit** (compute it once per
+/// prior change with that very expression). Most cells of a topic–item
+/// table are zero, and most multiplicities are 1, so the common term
+/// `ln_rising(0 + prior, 1)` collapses to the cached scalar; every other
+/// case evaluates exactly as [`ln_block_weight`] does, keeping the result
+/// bit-identical.
+pub fn ln_block_weight_cached(
+    counts: &Counts2D,
+    r: usize,
+    items: &[(u32, u32)],
+    prior: f64,
+    ln_prior1: f64,
+) -> f64 {
+    use pqsda_linalg::special::ln_rising;
+    debug_assert_eq!(
+        ln_prior1.to_bits(),
+        ln_rising(prior, 1).to_bits(),
+        "stale ln_prior1 cache"
+    );
+    let mut ln_w = 0.0;
+    let mut total = 0usize;
+    for &(v, n) in items {
+        let c = counts.get(r, v as usize);
+        ln_w += if c == 0 && n == 1 {
+            ln_prior1
+        } else {
+            ln_rising(c as f64 + prior, n as usize)
+        };
         total += n as usize;
     }
     ln_w -= ln_rising(
@@ -205,6 +426,132 @@ mod tests {
         c.inc(1, 2, 10);
         let block = [(0u32, 3u32)];
         assert!(ln_block_weight(&c, 0, &block, 0.1) > ln_block_weight(&c, 1, &block, 0.1));
+    }
+
+    #[test]
+    fn ln_block_weight_cached_is_bit_identical() {
+        use pqsda_linalg::special::ln_rising;
+        let mut c = Counts2D::new(3, 5);
+        c.inc(0, 1, 4);
+        c.inc(1, 2, 7);
+        c.inc(1, 4, 1);
+        for prior in [0.05, 0.3, 2.0] {
+            let ln_prior1 = ln_rising(prior, 1);
+            for r in 0..3 {
+                for block in [
+                    vec![(0u32, 1u32)],
+                    vec![(1, 1), (2, 1)],
+                    vec![(2, 3), (3, 1), (4, 2)],
+                    vec![],
+                ] {
+                    let plain = ln_block_weight(&c, r, &block, prior);
+                    let cached = ln_block_weight_cached(&c, r, &block, prior, ln_prior1);
+                    assert_eq!(cached.to_bits(), plain.to_bits(), "r={r} block={block:?}");
+                }
+            }
+        }
+    }
+
+    /// Deterministic mirror-test: a long pseudo-random inc/dec trace must
+    /// leave `SparseCounts` (including across dense promotion) exactly equal
+    /// to `Counts2D`.
+    #[test]
+    fn sparse_counts_mirror_dense_table() {
+        let rows = 3;
+        let cols = 300;
+        let mut sparse = SparseCounts::new(rows, cols);
+        let mut dense = Counts2D::new(rows, cols);
+        let mut state = 0x9E37_79B9u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut live: Vec<(usize, usize, u32)> = Vec::new();
+        for step in 0..4000 {
+            let remove = !live.is_empty() && (step % 3 == 2);
+            if remove {
+                let i = next() % live.len();
+                let (r, c, by) = live.swap_remove(i);
+                sparse.dec(r, c, by);
+                dense.dec(r, c, by);
+            } else {
+                let r = next() % rows;
+                let c = next() % cols;
+                let by = (next() % 3 + 1) as u32;
+                sparse.inc(r, c, by);
+                dense.inc(r, c, by);
+                live.push((r, c, by));
+            }
+        }
+        assert_eq!(sparse.total(), dense.total());
+        for r in 0..rows {
+            assert_eq!(sparse.row_sum(r), dense.row_sum(r), "row {r}");
+            assert_eq!(
+                sparse.row_nnz(r),
+                dense.row(r).iter().filter(|&&v| v > 0).count()
+            );
+            for c in 0..cols {
+                assert_eq!(sparse.get(r, c), dense.get(r, c), "({r},{c})");
+            }
+            let mut via_iter: Vec<(usize, u32)> = Vec::new();
+            sparse.for_each_nonzero(r, |c, n| via_iter.push((c, n)));
+            let expect: Vec<(usize, u32)> = dense
+                .row(r)
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v > 0)
+                .map(|(c, &v)| (c, v))
+                .collect();
+            assert_eq!(via_iter, expect, "row {r} iteration order/content");
+        }
+    }
+
+    #[test]
+    fn sparse_counts_promote_and_stay_correct() {
+        // 2000 columns (> DENSE_ROW_MAX_COLS, so the row starts sparse):
+        // promotion once nnz >= 64 and nnz*4 > 2000.
+        let mut s = SparseCounts::new(1, 2000);
+        assert!(matches!(s.rows[0], CountRow::Sparse(_)));
+        for c in 0..600 {
+            s.inc(0, c, (c + 1) as u32);
+        }
+        assert!(
+            matches!(s.rows[0], CountRow::Dense(_)),
+            "600/2000 nnz must have promoted"
+        );
+        assert_eq!(s.row_nnz(0), 600);
+        for c in 0..2000 {
+            let expect = if c < 600 { (c + 1) as u32 } else { 0 };
+            assert_eq!(s.get(0, c), expect);
+        }
+        // Dec after promotion still works and keeps sums.
+        s.dec(0, 10, 11);
+        assert_eq!(s.get(0, 10), 0);
+        assert_eq!(s.row_nnz(0), 599);
+    }
+
+    #[test]
+    fn small_vocab_rows_are_dense_from_the_start() {
+        // cols <= DENSE_ROW_MAX_COLS: the row is a plain array from new(),
+        // so the sampler's hot-path get is an indexed load.
+        let mut s = SparseCounts::new(2, 10);
+        assert!(matches!(s.rows[1], CountRow::Dense(_)));
+        for c in 0..10 {
+            s.inc(1, c, 2);
+        }
+        assert_eq!(s.row_sum(1), 20);
+        assert_eq!(s.row_nnz(1), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn sparse_debug_underflow_panics() {
+        let mut s = SparseCounts::new(1, 4);
+        s.inc(0, 2, 1);
+        s.dec(0, 3, 1);
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //!   sessions as the atomic generative unit (words + URLs + a normalized
 //!   timestamp), plus the observed/held-out splits used for perplexity and
 //!   for profile-then-test personalization;
-//! * [`counts`] — dense count tables shared by all collapsed Gibbs
-//!   samplers;
+//! * [`counts`] — count tables shared by all collapsed Gibbs samplers:
+//!   dense [`counts::Counts2D`] for global tables and sparse
+//!   [`counts::SparseCounts`] for the UPM's per-document tables;
 //! * [`model`] — the [`model::TopicModel`] trait and the held-out
 //!   perplexity harness (paper Eq. 35);
 //! * [`lda`] — Latent Dirichlet Allocation \[19\];
@@ -20,7 +21,10 @@
 //! * [`upm`] — the paper's contribution: session-level topics, per-user
 //!   word/URL distributions with *learned* Dirichlet hyperpriors
 //!   (Eq. 23–27), Beta-distributed timestamps (Eq. 28–29) and the user
-//!   profile θ (Eq. 30).
+//!   profile θ (Eq. 30);
+//! * [`upm_reference`] — a frozen copy of the pre-optimization UPM
+//!   sampler, kept as the golden model the optimized sampler is proven
+//!   bit-identical to.
 
 // Index-style loops are deliberate throughout this crate: the code mirrors
 // the paper's matrix/count-table notation (rows, columns, topic indices),
@@ -38,8 +42,11 @@ pub mod sstm;
 pub mod store;
 pub mod tot;
 pub mod upm;
+pub mod upm_reference;
 
 pub use corpus::{Corpus, DocSession, Document, SplitCorpus};
+pub use counts::{Counts2D, SparseCounts};
 pub use model::{perplexity, TopicModel, TrainConfig};
 pub use store::{load_upm, save_upm, StoreError};
-pub use upm::{Upm, UpmConfig};
+pub use upm::{GibbsPhaseStats, Upm, UpmConfig};
+pub use upm_reference::UpmReference;

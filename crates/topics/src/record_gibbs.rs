@@ -8,11 +8,17 @@
 //! the union and the wrappers pick the factors.
 
 use crate::corpus::Corpus;
-use crate::counts::{ln_block_weight, smoothed, to_multiset, Counts2D};
+use crate::counts::{ln_block_weight_cached, smoothed, to_multiset, Counts2D};
 use crate::model::TrainConfig;
+use pqsda_linalg::special::ln_rising;
 use pqsda_linalg::stats::{sample_discrete, softmax_in_place};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Minimum per-thread work (topic count × record size) before the
+/// conditional evaluation fans out over the worker pool; test-sized topic
+/// counts stay on the serial path where dispatch would dominate.
+const MIN_TOPIC_WORK: usize = 8192;
 
 /// Which factors the record-level conditional uses.
 #[derive(Clone, Copy, Debug)]
@@ -84,6 +90,11 @@ impl RecordGibbs {
             }
         }
 
+        // Prior-only `ln_rising(prior, 1)` terms — the zero-count fast path
+        // of the Eq. 23-style numerators. The symmetric priors never change
+        // during training, so these are computed exactly once.
+        let ln_beta1 = ln_rising(cfg.beta, 1);
+        let ln_delta1 = ln_rising(cfg.delta, 1);
         let mut ln_w = vec![0.0; k];
         for _ in 0..cfg.iterations {
             for i in 0..slots.len() {
@@ -99,25 +110,45 @@ impl RecordGibbs {
                     url,
                     z,
                 );
-                for (zz, lw) in ln_w.iter_mut().enumerate() {
-                    let mut acc = (doc_topic.get(doc, zz) as f64 + cfg.alpha).ln();
-                    acc += ln_block_weight(&topic_word, zz, &words, cfg.beta);
-                    if factors.use_urls {
-                        if let Some(u) = url {
-                            acc += ln_block_weight(&topic_url, zz, &[(u, 1)], cfg.delta);
+                {
+                    // Per-topic conditionals are independent, so they fan
+                    // out over the worker pool for large topic counts; the
+                    // chunked evaluation writes the same values the serial
+                    // loop would, in the same slots.
+                    let (doc_topic, topic_word, topic_url, clicks, words) =
+                        (&doc_topic, &topic_word, &topic_url, &clicks, &words);
+                    let eval_threads =
+                        pqsda_parallel::effective_threads(0, k * (words.len() + 2), MIN_TOPIC_WORK);
+                    pqsda_parallel::for_each_chunk_mut(&mut ln_w, eval_threads, |base, chunk| {
+                        for (off, lw) in chunk.iter_mut().enumerate() {
+                            let zz = base + off;
+                            let mut acc = (doc_topic.get(doc, zz) as f64 + cfg.alpha).ln();
+                            acc +=
+                                ln_block_weight_cached(topic_word, zz, words, cfg.beta, ln_beta1);
+                            if factors.use_urls {
+                                if let Some(u) = url {
+                                    acc += ln_block_weight_cached(
+                                        topic_url,
+                                        zz,
+                                        &[(u, 1)],
+                                        cfg.delta,
+                                        ln_delta1,
+                                    );
+                                }
+                            }
+                            if factors.use_click_indicator {
+                                let (c, n) = clicks[zz];
+                                // Collapsed Bernoulli with Beta(1,1) prior.
+                                let p_click = (c as f64 + 1.0) / (n as f64 + 2.0);
+                                acc += if url.is_some() {
+                                    p_click.ln()
+                                } else {
+                                    (1.0 - p_click).ln()
+                                };
+                            }
+                            *lw = acc;
                         }
-                    }
-                    if factors.use_click_indicator {
-                        let (c, n) = clicks[zz];
-                        // Collapsed Bernoulli with Beta(1,1) prior.
-                        let p_click = (c as f64 + 1.0) / (n as f64 + 2.0);
-                        acc += if url.is_some() {
-                            p_click.ln()
-                        } else {
-                            (1.0 - p_click).ln()
-                        };
-                    }
-                    *lw = acc;
+                    });
                 }
                 softmax_in_place(&mut ln_w);
                 let z_new = sample_discrete(&ln_w, rng.gen::<f64>()) as u32;

@@ -14,7 +14,7 @@
 //! truncated or corrupted file fails with a typed error instead of a
 //! panic.
 
-use crate::counts::Counts2D;
+use crate::counts::SparseCounts;
 use crate::upm::Upm;
 use bytes::{Buf, BufMut};
 
@@ -68,24 +68,23 @@ fn get_f64_slice(data: &mut &[u8], what: &'static str) -> Result<Vec<f64>, Store
 }
 
 /// Sparse encoding of a count table: rows, cols, then per row the number
-/// of non-zero cells followed by (col, value) pairs.
-fn put_counts(buf: &mut Vec<u8>, c: &Counts2D) {
+/// of non-zero cells followed by (col, value) pairs in ascending column
+/// order. [`SparseCounts::for_each_nonzero`] visits cells exactly the way
+/// the original dense row scan did, so the byte stream is identical to the
+/// format every version-1 profile was written with.
+fn put_counts(buf: &mut Vec<u8>, c: &SparseCounts) {
     buf.put_u32_le(c.rows() as u32);
     buf.put_u32_le(c.cols() as u32);
     for r in 0..c.rows() {
-        let row = c.row(r);
-        let nnz = row.iter().filter(|&&v| v > 0).count();
-        buf.put_u32_le(nnz as u32);
-        for (col, &v) in row.iter().enumerate() {
-            if v > 0 {
-                buf.put_u32_le(col as u32);
-                buf.put_u32_le(v);
-            }
-        }
+        buf.put_u32_le(c.row_nnz(r) as u32);
+        c.for_each_nonzero(r, |col, v| {
+            buf.put_u32_le(col as u32);
+            buf.put_u32_le(v);
+        });
     }
 }
 
-fn get_counts(data: &mut &[u8]) -> Result<Counts2D, StoreError> {
+fn get_counts(data: &mut &[u8]) -> Result<SparseCounts, StoreError> {
     if data.remaining() < 8 {
         return Err(StoreError::Truncated("count table header"));
     }
@@ -93,11 +92,12 @@ fn get_counts(data: &mut &[u8]) -> Result<Counts2D, StoreError> {
     let cols = data.get_u32_le() as usize;
     // A corrupted header must not drive a huge allocation: each row costs
     // at least 4 bytes (its nnz header), each column at least one cell
-    // somewhere, so bound the dense table by what the input could encode.
+    // somewhere, so bound the table by what the input could encode (the
+    // sparse representation can still promote a row to dense).
     if rows.saturating_mul(cols) > 64 * 1024 * 1024 {
         return Err(StoreError::OutOfBounds("count table size"));
     }
-    let mut c = Counts2D::new(rows, cols);
+    let mut c = SparseCounts::new(rows, cols);
     for r in 0..rows {
         if data.remaining() < 4 {
             return Err(StoreError::Truncated("count row header"));

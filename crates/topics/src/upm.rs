@@ -21,6 +21,36 @@
 //! * the user profile is `θ_dk = (C_dk + α_k) / Σ_k' (C_dk' + α_k')`
 //!   (Eq. 30).
 //!
+//! ## Sampler performance
+//!
+//! Three mechanisms make the sweep fast without changing a single bit of
+//! its output (asserted against [`crate::upm_reference::UpmReference`] by
+//! the property tests; DESIGN.md §7 has the cost model):
+//!
+//! * **Transcendental caching.** The Eq. 23 numerator terms for
+//!   zero-count cells — the overwhelming majority, since each user
+//!   touches a sliver of the vocabulary — collapse to cached
+//!   `ln_rising(β_zw, n)` tables over every in-session multiplicity
+//!   ([`NumerTable`]), rebuilt only when a hyperparameter update changes
+//!   `β`/`δ`. The denominator `ln_rising(C_zd + Σβ_z, n)`
+//!   and the `ln(C_dz + α_z)` topic term depend on their counts only
+//!   through small integers, so they read per-topic tables over the
+//!   integer grid the corpus can reach ([`DenomTable`]), rebuilt at the
+//!   same hyperparameter updates. The Beta(τ) density is evaluated
+//!   through its affine form `a₁·ln t' + b₁·ln(1−t') − ln B(τ₁,τ₂)`: the
+//!   `(a₁, b₁, norm)` triple is refreshed at each τ refit and `ln t'`/
+//!   `ln(1−t')` are computed once per slot at corpus load. Together these
+//!   take the steady-state per-(slot, topic) cost from roughly six
+//!   logarithms to table reads plus two multiply-adds.
+//! * **Sparse per-document counts.** Per-document tables are
+//!   [`SparseCounts`] (sorted `(col, count)` rows with a dense fallback
+//!   for pathological fill) instead of dense `K × V` tables, so memory
+//!   and cache traffic track each user's actual vocabulary.
+//! * **Pooled parallel sweeps.** Document-parallel sweeps run on the
+//!   persistent [`pqsda_parallel::WorkerPool`] — workers are parked
+//!   between sweeps, not respawned per sweep — and the pool never
+//!   oversubscribes the hardware.
+//!
 //! ## Parallel sampling
 //!
 //! The paper notes the UPM "can take advantage of parallel Gibbs sampling
@@ -33,10 +63,13 @@
 //! is bit-identical for any thread count — `threads: 1` and `threads: 8`
 //! produce the same model.
 
+use std::time::Instant;
+
 use crate::corpus::Corpus;
-use crate::counts::{to_multiset, Counts2D};
+use crate::counts::{to_multiset, SparseCounts};
 use crate::model::{TopicModel, TrainConfig};
-use pqsda_linalg::special::{digamma, ln_gamma, ln_rising};
+use pqsda_linalg::beta::TIME_EPS;
+use pqsda_linalg::special::{digamma, ln_gamma, ln_rising, ln_rising_row};
 use pqsda_linalg::stats::{sample_discrete, softmax_in_place, RunningMoments};
 use pqsda_linalg::{BetaDistribution, Lbfgs, LbfgsConfig};
 use rand::rngs::SmallRng;
@@ -69,29 +102,213 @@ impl Default for UpmConfig {
     }
 }
 
+/// Wall-clock breakdown of one training run, split by Gibbs phase.
+/// Produced by [`Upm::train_with_stats`]; the perf harness reports these
+/// as the "gibbs phase" rows of `BENCH_perf.json`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GibbsPhaseStats {
+    /// Nanoseconds spent resampling session assignments (Eq. 23 sweeps).
+    pub sample_ns: u64,
+    /// Nanoseconds spent refitting the τ temporal components (Eq. 28–29).
+    pub tau_ns: u64,
+    /// Nanoseconds spent in L-BFGS hyperparameter updates (Eq. 25–27).
+    pub hyper_ns: u64,
+    /// Number of sweeps timed.
+    pub sweeps: u32,
+}
+
 /// One session's sampling slot.
 #[derive(Clone, Debug)]
 struct Slot {
     words: Vec<(u32, u32)>,
     urls: Vec<(u32, u32)>,
+    /// Raw (unclamped) timestamp — what the τ moment refits consume.
     time: f64,
+    /// `ln t'` for `t' = time.clamp(TIME_EPS, 1 − TIME_EPS)`: the slot's
+    /// half of the cached Beta log-density (see `Globals::tau_terms`).
+    ln_t: f64,
+    /// `ln (1 − t')`, cached alongside `ln_t`.
+    ln_1mt: f64,
     z: u32,
+}
+
+impl Slot {
+    fn new(words: Vec<(u32, u32)>, urls: Vec<(u32, u32)>, time: f64, z: u32) -> Self {
+        let tc = time.clamp(TIME_EPS, 1.0 - TIME_EPS);
+        Slot {
+            words,
+            urls,
+            time,
+            ln_t: tc.ln(),
+            ln_1mt: (1.0 - tc).ln(),
+            z,
+        }
+    }
+}
+
+/// The per-document count tables — kept separate from the slot list so the
+/// sampler can hold `&mut` counts and `&mut` slots simultaneously (the
+/// pre-optimization code had to move each slot out of its vector and back
+/// per resample, churning two `Vec` allocations per session per sweep).
+#[derive(Clone, Debug)]
+struct DocCounts {
+    /// `C_dk`: sessions assigned to each topic.
+    topic_counts: Vec<u32>,
+    /// `C^{KWD}` for this document: topics × words.
+    topic_word: SparseCounts,
+    /// `C^{KUD}` for this document: topics × URLs.
+    topic_url: SparseCounts,
 }
 
 /// All mutable per-document sampler state — the unit of parallelism.
 #[derive(Clone, Debug)]
 struct DocState {
-    /// `C_dk`: sessions assigned to each topic.
-    topic_counts: Vec<u32>,
-    /// `C^{KWD}` for this document: topics × words.
-    topic_word: Counts2D,
-    /// `C^{KUD}` for this document: topics × URLs.
-    topic_url: Counts2D,
+    counts: DocCounts,
     /// The document's sessions.
     slots: Vec<Slot>,
 }
 
-/// Global (read-only within a sweep) parameters.
+/// The integer ranges the sampler's count-keyed terms can take on a given
+/// corpus — fixed at corpus load, they size the [`DenomTable`]s and the
+/// `ln(c + α_z)` table. All bounds are inclusive maxima.
+#[derive(Clone, Copy, Debug, Default)]
+struct CacheDims {
+    /// Sessions in the largest document (bounds every `C_dz`).
+    max_sessions: usize,
+    /// Total word multiplicity of the wordiest document (bounds every
+    /// word-table row sum).
+    max_doc_words: usize,
+    /// Largest per-session word block (bounds the word denominator `n`).
+    max_session_words: usize,
+    /// Largest multiplicity of a single word within one session (bounds
+    /// the word numerator `n`).
+    max_word_mult: usize,
+    /// URL analogue of `max_doc_words`.
+    max_doc_urls: usize,
+    /// URL analogue of `max_session_words`.
+    max_session_urls: usize,
+    /// URL analogue of `max_word_mult`.
+    max_url_mult: usize,
+}
+
+impl CacheDims {
+    fn measure(docs: &[DocState]) -> Self {
+        let mut d = CacheDims::default();
+        for doc in docs {
+            d.max_sessions = d.max_sessions.max(doc.slots.len());
+            let (mut words, mut urls) = (0usize, 0usize);
+            for s in &doc.slots {
+                let mut sw = 0usize;
+                for &(_, n) in &s.words {
+                    sw += n as usize;
+                    d.max_word_mult = d.max_word_mult.max(n as usize);
+                }
+                let mut su = 0usize;
+                for &(_, n) in &s.urls {
+                    su += n as usize;
+                    d.max_url_mult = d.max_url_mult.max(n as usize);
+                }
+                d.max_session_words = d.max_session_words.max(sw);
+                d.max_session_urls = d.max_session_urls.max(su);
+                words += sw;
+                urls += su;
+            }
+            d.max_doc_words = d.max_doc_words.max(words);
+            d.max_doc_urls = d.max_doc_urls.max(urls);
+        }
+        d
+    }
+}
+
+/// Upper bound on one topic's denominator table, in `f64` cells. A table
+/// that would exceed it is left empty and every lookup falls back to
+/// direct `ln_rising` — correctness never depends on the cache.
+const DENOM_TABLE_MAX_CELLS: usize = 1 << 21;
+
+/// Per-topic cache of the Eq. 23 denominator
+/// `ln_rising(c + Σ prior, n)` over the integer grid `(c, n)` the corpus
+/// can reach: `c` is a per-document count-row sum, `n` a session block
+/// size. Rows are built with [`ln_rising_row`], so every entry is
+/// bit-identical to the direct call it replaces.
+#[derive(Clone, Debug, Default)]
+struct DenomTable {
+    /// Cached `n` range is `1..=max_n`.
+    max_n: usize,
+    /// Cached `c` range is `0..rows`.
+    rows: usize,
+    /// Row-major `[c * max_n + (n - 1)]`.
+    vals: Vec<f64>,
+}
+
+impl DenomTable {
+    fn build(prior_sum: f64, max_count: usize, max_n: usize) -> Self {
+        let rows = max_count + 1;
+        if max_n == 0 || rows.saturating_mul(max_n) > DENOM_TABLE_MAX_CELLS {
+            return DenomTable::default();
+        }
+        let mut vals = Vec::with_capacity(rows * max_n);
+        for c in 0..rows {
+            vals.extend(ln_rising_row(c as f64 + prior_sum, max_n));
+        }
+        DenomTable { max_n, rows, vals }
+    }
+
+    #[inline]
+    fn get(&self, c: usize, n: usize) -> Option<f64> {
+        if c < self.rows && n.wrapping_sub(1) < self.max_n {
+            Some(self.vals[c * self.max_n + (n - 1)])
+        } else {
+            None
+        }
+    }
+}
+
+/// Cap on the numerator tables' multiplicity axis: a single word repeated
+/// more often than this within one session falls back to direct
+/// `ln_rising` rather than growing the table.
+const NUMER_TABLE_MAX_N: usize = 16;
+
+/// Per-topic cache of the Eq. 23 numerator for **zero-count** cells:
+/// `ln_rising(prior_zw, n)` for every vocabulary item and every in-session
+/// multiplicity `n = 1..=max_n` the corpus contains. Zero count is the
+/// overwhelmingly common case (each user touches a sliver of the
+/// vocabulary), and `0 + prior` is bitwise `prior` for the strictly
+/// positive priors the model maintains, so a hit equals the direct
+/// evaluation to the last bit. Rows are built with [`ln_rising_row`].
+#[derive(Clone, Debug)]
+struct NumerTable {
+    /// Cached `n` range is `1..=max_n`.
+    max_n: usize,
+    /// Row-major `[item * max_n + (n - 1)]`.
+    vals: Vec<f64>,
+}
+
+impl NumerTable {
+    fn build(priors: &[f64], max_n: usize) -> Self {
+        let max_n = max_n.clamp(1, NUMER_TABLE_MAX_N);
+        let mut vals = Vec::with_capacity(priors.len() * max_n);
+        for &p in priors {
+            vals.extend(ln_rising_row(p, max_n));
+        }
+        NumerTable { max_n, vals }
+    }
+
+    #[inline]
+    fn get(&self, item: usize, n: usize) -> Option<f64> {
+        if n.wrapping_sub(1) < self.max_n {
+            Some(self.vals[item * self.max_n + (n - 1)])
+        } else {
+            None
+        }
+    }
+}
+
+/// Global (read-only within a sweep) parameters, plus the transcendental
+/// caches derived from them. Cache invalidation is strictly tied to the
+/// three places the underlying parameters change: `numer_w[z]` /
+/// `numer_u[z]` / `denom_w[z]` / `denom_u[z]` are rebuilt per-topic by
+/// the Eq. 26/27 updates, `ln_alpha` by the Eq. 25 update, and
+/// `tau_terms` after every τ refit.
 #[derive(Clone, Debug)]
 struct Globals {
     alpha: Vec<f64>,
@@ -100,6 +317,109 @@ struct Globals {
     beta_sums: Vec<f64>,
     delta_sums: Vec<f64>,
     taus: Vec<BetaDistribution>,
+    /// Zero-count word-numerator table per topic.
+    numer_w: Vec<NumerTable>,
+    /// Zero-count URL-numerator table per topic.
+    numer_u: Vec<NumerTable>,
+    /// `BetaDistribution::ln_pdf_terms` per topic: `(τ₁−1, τ₂−1,
+    /// ln B(τ₁,τ₂))`, combined with the per-slot `ln_t`/`ln_1mt`.
+    tau_terms: Vec<(f64, f64, f64)>,
+    /// The corpus-fixed integer ranges sizing the count-keyed tables.
+    dims: CacheDims,
+    /// `ln(c + α_z)` per topic for `c = 0..=max_sessions` — the Eq. 23
+    /// topic term.
+    ln_alpha: Vec<Vec<f64>>,
+    /// Word-denominator table per topic.
+    denom_w: Vec<DenomTable>,
+    /// URL-denominator table per topic.
+    denom_u: Vec<DenomTable>,
+}
+
+impl Globals {
+    fn new(
+        alpha: Vec<f64>,
+        beta: Vec<Vec<f64>>,
+        delta: Vec<Vec<f64>>,
+        beta_sums: Vec<f64>,
+        delta_sums: Vec<f64>,
+        taus: Vec<BetaDistribution>,
+        dims: CacheDims,
+    ) -> Self {
+        let numer_w = beta
+            .iter()
+            .map(|row| NumerTable::build(row, dims.max_word_mult))
+            .collect();
+        let numer_u = delta
+            .iter()
+            .map(|row| NumerTable::build(row, dims.max_url_mult))
+            .collect();
+        let tau_terms = taus.iter().map(|t| t.ln_pdf_terms()).collect();
+        let ln_alpha = Self::alpha_table(&alpha, &dims);
+        let denom_w = beta_sums
+            .iter()
+            .map(|&s| DenomTable::build(s, dims.max_doc_words, dims.max_session_words))
+            .collect();
+        let denom_u = delta_sums
+            .iter()
+            .map(|&s| DenomTable::build(s, dims.max_doc_urls, dims.max_session_urls))
+            .collect();
+        Globals {
+            alpha,
+            beta,
+            delta,
+            beta_sums,
+            delta_sums,
+            taus,
+            numer_w,
+            numer_u,
+            tau_terms,
+            dims,
+            ln_alpha,
+            denom_w,
+            denom_u,
+        }
+    }
+
+    fn alpha_table(alpha: &[f64], dims: &CacheDims) -> Vec<Vec<f64>> {
+        alpha
+            .iter()
+            .map(|&a| {
+                (0..=dims.max_sessions)
+                    .map(|c| (c as f64 + a).ln())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Re-derives `ln_alpha` from `alpha`; must follow every α update.
+    fn refresh_alpha_table(&mut self) {
+        self.ln_alpha = Self::alpha_table(&self.alpha, &self.dims);
+    }
+
+    /// Re-derives topic `z`'s denominator table from its prior sum; must
+    /// follow every β (words) / δ (URLs) update.
+    fn refresh_denom(&mut self, z: usize, is_words: bool) {
+        if is_words {
+            self.denom_w[z] = DenomTable::build(
+                self.beta_sums[z],
+                self.dims.max_doc_words,
+                self.dims.max_session_words,
+            );
+        } else {
+            self.denom_u[z] = DenomTable::build(
+                self.delta_sums[z],
+                self.dims.max_doc_urls,
+                self.dims.max_session_urls,
+            );
+        }
+    }
+
+    /// Re-derives `tau_terms` from `taus`; must follow every τ refit.
+    fn refresh_tau_terms(&mut self) {
+        for (slot, t) in self.tau_terms.iter_mut().zip(&self.taus) {
+            *slot = t.ln_pdf_terms();
+        }
+    }
 }
 
 /// A trained User Profiling Model.
@@ -115,21 +435,17 @@ pub struct Upm {
 impl Upm {
     /// Trains the UPM on a corpus.
     pub fn train(corpus: &Corpus, cfg: &UpmConfig) -> Self {
+        Self::train_with_stats(corpus, cfg).0
+    }
+
+    /// Trains the UPM and reports the per-phase wall-clock breakdown.
+    pub fn train_with_stats(corpus: &Corpus, cfg: &UpmConfig) -> (Self, GibbsPhaseStats) {
         let base = cfg.base;
         assert!(base.num_topics > 0, "upm: need at least one topic");
         assert!(corpus.num_docs() > 0, "upm: empty corpus");
         let k = base.num_topics;
         let w_vocab = corpus.num_words;
         let u_vocab = corpus.num_urls.max(1);
-
-        let globals = Globals {
-            alpha: vec![base.alpha; k],
-            beta: vec![vec![base.beta; w_vocab]; k],
-            delta: vec![vec![base.delta; u_vocab]; k],
-            beta_sums: vec![base.beta * w_vocab as f64; k],
-            delta_sums: vec![base.delta * u_vocab as f64; k],
-            taus: vec![BetaDistribution::uniform(); k],
-        };
 
         // Per-document initialization, seeded per doc (sweep index 0).
         let docs: Vec<DocState> = corpus
@@ -139,25 +455,32 @@ impl Upm {
             .map(|(d, doc)| {
                 let mut rng = doc_rng(base.seed, 0, d);
                 let mut state = DocState {
-                    topic_counts: vec![0; k],
-                    topic_word: Counts2D::new(k, w_vocab),
-                    topic_url: Counts2D::new(k, u_vocab),
+                    counts: DocCounts {
+                        topic_counts: vec![0; k],
+                        topic_word: SparseCounts::new(k, w_vocab),
+                        topic_url: SparseCounts::new(k, u_vocab),
+                    },
                     slots: Vec::with_capacity(doc.sessions.len()),
                 };
                 for s in &doc.sessions {
                     let z = rng.gen_range(0..k) as u32;
-                    let slot = Slot {
-                        words: to_multiset(&s.words),
-                        urls: to_multiset(&s.urls),
-                        time: s.time,
-                        z,
-                    };
-                    state.add(&slot, z);
+                    let slot = Slot::new(to_multiset(&s.words), to_multiset(&s.urls), s.time, z);
+                    state.counts.add(&slot, z);
                     state.slots.push(slot);
                 }
                 state
             })
             .collect();
+
+        let globals = Globals::new(
+            vec![base.alpha; k],
+            vec![vec![base.beta; w_vocab]; k],
+            vec![vec![base.delta; u_vocab]; k],
+            vec![base.beta * w_vocab as f64; k],
+            vec![base.delta * u_vocab as f64; k],
+            vec![BetaDistribution::uniform(); k],
+            CacheDims::measure(&docs),
+        );
 
         let mut model = Upm {
             cfg: *cfg,
@@ -167,45 +490,48 @@ impl Upm {
             globals,
         };
 
+        let mut stats = GibbsPhaseStats::default();
         for sweep in 1..=base.iterations {
+            let t = Instant::now();
             model.sweep(sweep);
+            stats.sample_ns += t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
             model.refit_taus();
+            stats.tau_ns += t.elapsed().as_nanos() as u64;
             if cfg.hyper_every > 0 && sweep % cfg.hyper_every == 0 {
+                let t = Instant::now();
                 model.optimize_hyperparameters();
+                stats.hyper_ns += t.elapsed().as_nanos() as u64;
             }
+            stats.sweeps += 1;
         }
-        model
+        (model, stats)
     }
 
-    /// One full Gibbs sweep, document-parallel when configured.
+    /// One full Gibbs sweep, document-parallel when configured. Parallel
+    /// sweeps run on the persistent global [`pqsda_parallel::WorkerPool`];
+    /// chunk geometry never affects the result — each document's RNG
+    /// stream depends only on (seed, sweep, doc).
     fn sweep(&mut self, sweep: usize) {
         let seed = self.cfg.base.seed;
         let threads = self.cfg.threads.max(1);
+        let k = self.globals.alpha.len();
         let globals = &self.globals;
         if threads == 1 || self.docs.len() < 2 * threads {
+            let mut ln_w = vec![0.0; k];
             for (d, doc) in self.docs.iter_mut().enumerate() {
                 let mut rng = doc_rng(seed, sweep, d);
-                doc.sample_all(globals, &mut rng);
+                doc.sample_all(globals, &mut rng, &mut ln_w);
             }
             return;
         }
-        // Exact document-parallel sweep: disjoint &mut chunks, shared
-        // read-only globals. Chunk boundaries do not affect the result —
-        // each document's RNG stream depends only on (seed, sweep, doc).
-        let chunk = self.docs.len().div_ceil(threads);
-        let doc_base: Vec<usize> = (0..self.docs.len()).collect();
-        crossbeam::scope(|scope| {
-            for (ci, docs_chunk) in self.docs.chunks_mut(chunk).enumerate() {
-                let base_idx = doc_base[ci * chunk];
-                scope.spawn(move |_| {
-                    for (off, doc) in docs_chunk.iter_mut().enumerate() {
-                        let mut rng = doc_rng(seed, sweep, base_idx + off);
-                        doc.sample_all(globals, &mut rng);
-                    }
-                });
+        pqsda_parallel::for_each_chunk_mut(&mut self.docs, threads, |base, chunk| {
+            let mut ln_w = vec![0.0; k];
+            for (off, doc) in chunk.iter_mut().enumerate() {
+                let mut rng = doc_rng(seed, sweep, base + off);
+                doc.sample_all(globals, &mut rng, &mut ln_w);
             }
-        })
-        .expect("gibbs worker panicked");
+        });
     }
 
     fn refit_taus(&mut self) {
@@ -223,6 +549,7 @@ impl Upm {
                 BetaDistribution::uniform()
             };
         }
+        self.globals.refresh_tau_terms();
     }
 
     /// One alternating pass of the Eq. 25–27 maximizations via L-BFGS with
@@ -240,7 +567,7 @@ impl Upm {
             .docs
             .iter()
             .map(|doc| {
-                let row: Vec<f64> = doc.topic_counts.iter().map(|&c| c as f64).collect();
+                let row: Vec<f64> = doc.counts.topic_counts.iter().map(|&c| c as f64).collect();
                 let sum: f64 = row.iter().sum();
                 (row, sum)
             })
@@ -273,6 +600,7 @@ impl Upm {
         })
         .minimize(&mut objective, &x0);
         self.globals.alpha = out.x.iter().map(|v| v.exp().clamp(1e-8, 1e6)).collect();
+        self.globals.refresh_alpha_table();
     }
 
     /// Eq. 26 (words, `is_words = true`) / Eq. 27 (URLs): per-topic prior
@@ -288,21 +616,16 @@ impl Upm {
             let mut doc_rows: Vec<(Vec<(usize, f64)>, f64)> = Vec::new();
             for doc in &self.docs {
                 let t = if is_words {
-                    &doc.topic_word
+                    &doc.counts.topic_word
                 } else {
-                    &doc.topic_url
+                    &doc.counts.topic_url
                 };
                 let sum = t.row_sum(z) as f64;
                 if sum == 0.0 {
                     continue; // document never uses topic z: contributes nothing
                 }
-                let sparse: Vec<(usize, f64)> = t
-                    .row(z)
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &c)| c > 0)
-                    .map(|(v, &c)| (v, c as f64))
-                    .collect();
+                let mut sparse: Vec<(usize, f64)> = Vec::with_capacity(t.row_nnz(z));
+                t.for_each_nonzero(z, |v, c| sparse.push((v, c as f64)));
                 doc_rows.push((sparse, sum));
             }
             if doc_rows.is_empty() {
@@ -363,13 +686,21 @@ impl Upm {
             .minimize(&mut objective, &x0);
             let learned: Vec<f64> = out.x.iter().map(|v| v.exp().clamp(1e-8, 1e6)).collect();
             let sum: f64 = learned.iter().sum();
+            // The prior vector changed: rebuild this topic's numerator
+            // and denominator tables (the only invalidation point
+            // besides init/load).
             if is_words {
+                self.globals.numer_w[z] =
+                    NumerTable::build(&learned, self.globals.dims.max_word_mult);
                 self.globals.beta[z] = learned;
                 self.globals.beta_sums[z] = sum;
             } else {
+                self.globals.numer_u[z] =
+                    NumerTable::build(&learned, self.globals.dims.max_url_mult);
                 self.globals.delta[z] = learned;
                 self.globals.delta_sums[z] = sum;
             }
+            self.globals.refresh_denom(z, is_words);
         }
     }
 
@@ -396,14 +727,14 @@ impl Upm {
     /// The paper's Eq. 31 numerator building block:
     /// `p(w | z = k, d)` under the per-user distribution.
     pub fn user_word_prob(&self, doc: usize, k: usize, w: u32) -> f64 {
-        let t = &self.docs[doc].topic_word;
+        let t = &self.docs[doc].counts.topic_word;
         (t.get(k, w as usize) as f64 + self.globals.beta[k][w as usize])
             / (t.row_sum(k) as f64 + self.globals.beta_sums[k])
     }
 
     /// Per-user URL probability `p(u | z = k, d)`.
     pub fn user_url_prob(&self, doc: usize, k: usize, u: u32) -> f64 {
-        let t = &self.docs[doc].topic_url;
+        let t = &self.docs[doc].counts.topic_url;
         (t.get(k, u as usize) as f64 + self.globals.delta[k][u as usize])
             / (t.row_sum(k) as f64 + self.globals.delta_sums[k])
     }
@@ -421,7 +752,7 @@ impl Upm {
         &UpmConfig,
         usize,
         usize,
-        Vec<(&Vec<u32>, &Counts2D, &Counts2D)>,
+        Vec<(&Vec<u32>, &SparseCounts, &SparseCounts)>,
         (
             &[f64],
             &[Vec<f64>],
@@ -437,7 +768,13 @@ impl Upm {
             self.num_urls,
             self.docs
                 .iter()
-                .map(|d| (&d.topic_counts, &d.topic_word, &d.topic_url))
+                .map(|d| {
+                    (
+                        &d.counts.topic_counts,
+                        &d.counts.topic_word,
+                        &d.counts.topic_url,
+                    )
+                })
                 .collect(),
             (
                 &self.globals.alpha,
@@ -452,7 +789,8 @@ impl Upm {
 
     /// Rebuilds a model from stored parts (`crate::store`). The training
     /// slots are not persisted — a loaded model scores and profiles but
-    /// cannot resume sampling.
+    /// cannot resume sampling. The transcendental caches are re-derived
+    /// from the loaded parameters.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_store_parts(
         base_priors: (f64, f64, f64),
@@ -462,7 +800,7 @@ impl Upm {
         beta: (Vec<Vec<f64>>, Vec<f64>),
         delta: (Vec<Vec<f64>>, Vec<f64>),
         taus: Vec<BetaDistribution>,
-        docs: Vec<(Vec<u32>, Counts2D, Counts2D)>,
+        docs: Vec<(Vec<u32>, SparseCounts, SparseCounts)>,
     ) -> Self {
         let (beta, beta_sums) = beta;
         let (delta, delta_sums) = delta;
@@ -485,25 +823,30 @@ impl Upm {
             docs: docs
                 .into_iter()
                 .map(|(topic_counts, topic_word, topic_url)| DocState {
-                    topic_counts,
-                    topic_word,
-                    topic_url,
+                    counts: DocCounts {
+                        topic_counts,
+                        topic_word,
+                        topic_url,
+                    },
                     slots: Vec::new(),
                 })
                 .collect(),
-            globals: Globals {
+            // Loaded models score and profile but never resume sampling,
+            // so the count-keyed sweep tables can stay empty.
+            globals: Globals::new(
                 alpha,
                 beta,
                 delta,
                 beta_sums,
                 delta_sums,
                 taus,
-            },
+                CacheDims::default(),
+            ),
         }
     }
 }
 
-impl DocState {
+impl DocCounts {
     fn add(&mut self, s: &Slot, z: u32) {
         self.topic_counts[z as usize] += 1;
         for &(w, n) in &s.words {
@@ -526,56 +869,83 @@ impl DocState {
 
     /// The paper's Eq. 23 in log space, with the Gamma ratios written as
     /// rising factorials over this document's tables.
+    ///
+    /// The common case — zero count — reads the cached `ln_rising(prior,
+    /// n)` tables ([`NumerTable`]); `0.0 + prior` is bitwise `prior` for
+    /// the strictly positive priors the model maintains, so the cached
+    /// term equals direct evaluation to the last bit (the invariant the
+    /// `upm_bit_identity` property tests pin down). The topic term and the
+    /// denominators depend on their counts only through small integers, so
+    /// they read the count-keyed tables (`ln_alpha`, [`DenomTable`]); the
+    /// direct evaluation remains as the fallback for out-of-range keys
+    /// (only possible when a table was size-capped away).
     fn ln_conditional(&self, g: &Globals, s: &Slot, z: usize) -> f64 {
-        let mut acc = (self.topic_counts[z] as f64 + g.alpha[z]).ln();
+        let tc = self.topic_counts[z] as usize;
+        let la = &g.ln_alpha[z];
+        let mut acc = if tc < la.len() {
+            la[tc]
+        } else {
+            (tc as f64 + g.alpha[z]).ln()
+        };
         let tw = &self.topic_word;
+        let nw = &g.numer_w[z];
         let mut n_total = 0usize;
         for &(w, n) in &s.words {
-            acc += ln_rising(
-                tw.get(z, w as usize) as f64 + g.beta[z][w as usize],
-                n as usize,
-            );
+            let c = tw.get(z, w as usize);
+            let cached = if c == 0 {
+                nw.get(w as usize, n as usize)
+            } else {
+                None
+            };
+            acc +=
+                cached.unwrap_or_else(|| ln_rising(c as f64 + g.beta[z][w as usize], n as usize));
             n_total += n as usize;
         }
-        acc -= ln_rising(tw.row_sum(z) as f64 + g.beta_sums[z], n_total);
+        let row = tw.row_sum(z) as usize;
+        acc -= g.denom_w[z]
+            .get(row, n_total)
+            .unwrap_or_else(|| ln_rising(row as f64 + g.beta_sums[z], n_total));
         if !s.urls.is_empty() {
             let tu = &self.topic_url;
+            let nu = &g.numer_u[z];
             let mut m_total = 0usize;
             for &(u, n) in &s.urls {
-                acc += ln_rising(
-                    tu.get(z, u as usize) as f64 + g.delta[z][u as usize],
-                    n as usize,
-                );
+                let c = tu.get(z, u as usize);
+                let cached = if c == 0 {
+                    nu.get(u as usize, n as usize)
+                } else {
+                    None
+                };
+                acc += cached
+                    .unwrap_or_else(|| ln_rising(c as f64 + g.delta[z][u as usize], n as usize));
                 m_total += n as usize;
             }
-            acc -= ln_rising(tu.row_sum(z) as f64 + g.delta_sums[z], m_total);
+            let row = tu.row_sum(z) as usize;
+            acc -= g.denom_u[z]
+                .get(row, m_total)
+                .unwrap_or_else(|| ln_rising(row as f64 + g.delta_sums[z], m_total));
         }
-        acc + g.taus[z].ln_pdf(s.time)
+        // Beta(τ_z) log-density via its cached affine form — the same
+        // operations `taus[z].ln_pdf(s.time)` performs, in the same order.
+        let (a1, b1, norm) = g.tau_terms[z];
+        acc + (a1 * s.ln_t + b1 * s.ln_1mt - norm)
     }
+}
 
-    /// Resamples every session of this document.
-    fn sample_all(&mut self, g: &Globals, rng: &mut SmallRng) {
-        let k = g.alpha.len();
-        let mut ln_w = vec![0.0; k];
-        for i in 0..self.slots.len() {
-            let z_old = self.slots[i].z;
-            let slot = std::mem::replace(
-                &mut self.slots[i],
-                Slot {
-                    words: Vec::new(),
-                    urls: Vec::new(),
-                    time: 0.0,
-                    z: 0,
-                },
-            );
-            self.remove(&slot, z_old);
+impl DocState {
+    /// Resamples every session of this document. `ln_w` is caller-provided
+    /// scratch of length K, reused across the whole sweep.
+    fn sample_all(&mut self, g: &Globals, rng: &mut SmallRng, ln_w: &mut [f64]) {
+        let counts = &mut self.counts;
+        for slot in &mut self.slots {
+            counts.remove(slot, slot.z);
             for (z, lw) in ln_w.iter_mut().enumerate() {
-                *lw = self.ln_conditional(g, &slot, z);
+                *lw = counts.ln_conditional(g, slot, z);
             }
-            softmax_in_place(&mut ln_w);
-            let z_new = sample_discrete(&ln_w, rng.gen::<f64>()) as u32;
-            self.add(&slot, z_new);
-            self.slots[i] = Slot { z: z_new, ..slot };
+            softmax_in_place(ln_w);
+            let z_new = sample_discrete(ln_w, rng.gen::<f64>()) as u32;
+            counts.add(slot, z_new);
+            slot.z = z_new;
         }
     }
 }
@@ -602,9 +972,10 @@ impl TopicModel for Upm {
     /// Eq. 30 with the learned (generally asymmetric) α.
     fn doc_topic(&self, doc: usize) -> Vec<f64> {
         let a0: f64 = self.globals.alpha.iter().sum();
-        let total: u32 = self.docs[doc].topic_counts.iter().sum();
+        let total: u32 = self.docs[doc].counts.topic_counts.iter().sum();
         let denom = total as f64 + a0;
         self.docs[doc]
+            .counts
             .topic_counts
             .iter()
             .zip(&self.globals.alpha)
@@ -629,6 +1000,7 @@ impl TopicModel for Upm {
 mod tests {
     use super::*;
     use crate::corpus::{DocSession, Document};
+    use crate::upm_reference::UpmReference;
     use pqsda_querylog::UserId;
 
     /// The paper's Toyota/Ford scenario: two users share a "cars" topic
@@ -778,5 +1150,57 @@ mod tests {
                 assert_eq!(seq.tau(z).alpha(), par.tau(z).alpha());
             }
         }
+    }
+
+    #[test]
+    fn optimized_sampler_is_bit_identical_to_reference() {
+        // The acceptance bar of the whole optimization: cached
+        // transcendentals + sparse counts + pooled sweeps reproduce the
+        // pre-optimization sampler bit for bit, hyperlearning included.
+        let c = toyota_ford_corpus();
+        let reference = UpmReference::train(&c, &cfg());
+        for threads in [1usize, 2, 4] {
+            let m = Upm::train(&c, &UpmConfig { threads, ..cfg() });
+            assert_eq!(m.alpha(), reference.alpha(), "threads={threads}");
+            for z in 0..2 {
+                assert_eq!(m.beta_k(z), reference.beta_k(z), "threads={threads}");
+                assert_eq!(m.delta_k(z), reference.delta_k(z), "threads={threads}");
+                assert_eq!(
+                    m.tau(z).alpha().to_bits(),
+                    reference.tau(z).alpha().to_bits()
+                );
+                assert_eq!(m.tau(z).beta().to_bits(), reference.tau(z).beta().to_bits());
+            }
+            for d in 0..3 {
+                assert_eq!(m.doc_topic(d), reference.doc_topic(d), "threads={threads}");
+                for w in 0..10 {
+                    assert_eq!(
+                        m.user_word_prob(d, 0, w).to_bits(),
+                        reference.user_word_prob(d, 0, w).to_bits()
+                    );
+                }
+                for u in 0..3 {
+                    assert_eq!(
+                        m.user_url_prob(d, 1, u).to_bits(),
+                        reference.user_url_prob(d, 1, u).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn train_with_stats_reports_phases() {
+        let c = toyota_ford_corpus();
+        let (m, stats) = Upm::train_with_stats(&c, &cfg());
+        assert_eq!(stats.sweeps, 60);
+        // 60 sweeps of real sampling cannot take literally zero time.
+        assert!(stats.sample_ns > 0);
+        // hyper_every = 20 over 60 iterations: three L-BFGS passes ran.
+        assert!(stats.hyper_ns > 0);
+        // And the stats-reporting path trains the same model.
+        let plain = Upm::train(&c, &cfg());
+        assert_eq!(m.alpha(), plain.alpha());
+        assert_eq!(m.doc_topic(0), plain.doc_topic(0));
     }
 }

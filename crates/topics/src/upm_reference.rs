@@ -1,0 +1,449 @@
+//! Golden-model oracle for the UPM sampler.
+//!
+//! This is a **verbatim copy of the pre-optimization sampler**: dense
+//! [`Counts2D`] per-document tables, serial sweeps, and direct
+//! `ln_rising`/`ln_pdf` evaluation with no transcendental caching. It
+//! exists solely so the property tests can assert that the optimized
+//! [`crate::upm::Upm`] — sparse counts, cached transcendentals, pooled
+//! sweeps — is **bit-identical** to the original arithmetic for every
+//! seed, corpus and thread count.
+//!
+//! Do not optimize this file. Its value is that it stays simple and
+//! obviously equal to the model as first derived from the paper
+//! (Eq. 23, 25–30); any divergence between [`UpmReference`] and `Upm`
+//! is a bug in the optimized path, never in this one.
+
+use crate::corpus::Corpus;
+use crate::counts::{to_multiset, Counts2D};
+use crate::model::TopicModel;
+use crate::upm::UpmConfig;
+use pqsda_linalg::special::{digamma, ln_gamma, ln_rising};
+use pqsda_linalg::stats::{sample_discrete, softmax_in_place, RunningMoments};
+use pqsda_linalg::{BetaDistribution, Lbfgs, LbfgsConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One session's sampling slot.
+#[derive(Clone, Debug)]
+struct Slot {
+    words: Vec<(u32, u32)>,
+    urls: Vec<(u32, u32)>,
+    time: f64,
+    z: u32,
+}
+
+/// All mutable per-document sampler state.
+#[derive(Clone, Debug)]
+struct DocState {
+    topic_counts: Vec<u32>,
+    topic_word: Counts2D,
+    topic_url: Counts2D,
+    slots: Vec<Slot>,
+}
+
+/// Global (read-only within a sweep) parameters.
+#[derive(Clone, Debug)]
+struct Globals {
+    alpha: Vec<f64>,
+    beta: Vec<Vec<f64>>,
+    delta: Vec<Vec<f64>>,
+    beta_sums: Vec<f64>,
+    delta_sums: Vec<f64>,
+    taus: Vec<BetaDistribution>,
+}
+
+/// The reference (pre-optimization) UPM implementation.
+#[derive(Clone, Debug)]
+pub struct UpmReference {
+    cfg: UpmConfig,
+    num_words: usize,
+    num_urls: usize,
+    docs: Vec<DocState>,
+    globals: Globals,
+}
+
+impl UpmReference {
+    /// Trains the reference model — always serial; the original parallel
+    /// path was bit-identical to this by construction, so the serial loop
+    /// stands in for every thread count.
+    pub fn train(corpus: &Corpus, cfg: &UpmConfig) -> Self {
+        let base = cfg.base;
+        assert!(base.num_topics > 0, "upm: need at least one topic");
+        assert!(corpus.num_docs() > 0, "upm: empty corpus");
+        let k = base.num_topics;
+        let w_vocab = corpus.num_words;
+        let u_vocab = corpus.num_urls.max(1);
+
+        let globals = Globals {
+            alpha: vec![base.alpha; k],
+            beta: vec![vec![base.beta; w_vocab]; k],
+            delta: vec![vec![base.delta; u_vocab]; k],
+            beta_sums: vec![base.beta * w_vocab as f64; k],
+            delta_sums: vec![base.delta * u_vocab as f64; k],
+            taus: vec![BetaDistribution::uniform(); k],
+        };
+
+        let docs: Vec<DocState> = corpus
+            .docs
+            .iter()
+            .enumerate()
+            .map(|(d, doc)| {
+                let mut rng = doc_rng(base.seed, 0, d);
+                let mut state = DocState {
+                    topic_counts: vec![0; k],
+                    topic_word: Counts2D::new(k, w_vocab),
+                    topic_url: Counts2D::new(k, u_vocab),
+                    slots: Vec::with_capacity(doc.sessions.len()),
+                };
+                for s in &doc.sessions {
+                    let z = rng.gen_range(0..k) as u32;
+                    let slot = Slot {
+                        words: to_multiset(&s.words),
+                        urls: to_multiset(&s.urls),
+                        time: s.time,
+                        z,
+                    };
+                    state.add(&slot, z);
+                    state.slots.push(slot);
+                }
+                state
+            })
+            .collect();
+
+        let mut model = UpmReference {
+            cfg: *cfg,
+            num_words: w_vocab,
+            num_urls: u_vocab,
+            docs,
+            globals,
+        };
+
+        for sweep in 1..=base.iterations {
+            model.sweep(sweep);
+            model.refit_taus();
+            if cfg.hyper_every > 0 && sweep % cfg.hyper_every == 0 {
+                model.optimize_hyperparameters();
+            }
+        }
+        model
+    }
+
+    fn sweep(&mut self, sweep: usize) {
+        let seed = self.cfg.base.seed;
+        let globals = &self.globals;
+        for (d, doc) in self.docs.iter_mut().enumerate() {
+            let mut rng = doc_rng(seed, sweep, d);
+            doc.sample_all(globals, &mut rng);
+        }
+    }
+
+    fn refit_taus(&mut self) {
+        let k = self.globals.alpha.len();
+        let mut moments = vec![RunningMoments::new(); k];
+        for doc in &self.docs {
+            for s in &doc.slots {
+                moments[s.z as usize].push(s.time);
+            }
+        }
+        for z in 0..k {
+            self.globals.taus[z] = if moments[z].count() >= 2 {
+                BetaDistribution::fit_moments(moments[z].mean(), moments[z].variance_biased())
+            } else {
+                BetaDistribution::uniform()
+            };
+        }
+    }
+
+    fn optimize_hyperparameters(&mut self) {
+        self.optimize_alpha();
+        self.optimize_emission(true);
+        self.optimize_emission(false);
+    }
+
+    fn optimize_alpha(&mut self) {
+        let k = self.globals.alpha.len();
+        let rows: Vec<(Vec<f64>, f64)> = self
+            .docs
+            .iter()
+            .map(|doc| {
+                let row: Vec<f64> = doc.topic_counts.iter().map(|&c| c as f64).collect();
+                let sum: f64 = row.iter().sum();
+                (row, sum)
+            })
+            .collect();
+        let mut objective = |x: &[f64], grad: &mut [f64]| -> f64 {
+            let alpha: Vec<f64> = x.iter().map(|v| v.exp().clamp(1e-8, 1e6)).collect();
+            let a0: f64 = alpha.iter().sum();
+            let mut nll = 0.0;
+            let mut g = vec![0.0; k];
+            for (row, sum) in &rows {
+                nll -= ln_gamma(a0) - ln_gamma(sum + a0);
+                let d0 = digamma(a0) - digamma(sum + a0);
+                for z in 0..k {
+                    if row[z] > 0.0 {
+                        nll -= ln_gamma(row[z] + alpha[z]) - ln_gamma(alpha[z]);
+                        g[z] -= digamma(row[z] + alpha[z]) - digamma(alpha[z]);
+                    }
+                    g[z] -= d0;
+                }
+            }
+            for z in 0..k {
+                grad[z] = g[z] * alpha[z];
+            }
+            nll
+        };
+        let x0: Vec<f64> = self.globals.alpha.iter().map(|a| a.ln()).collect();
+        let out = Lbfgs::new(LbfgsConfig {
+            max_iterations: self.cfg.hyper_iterations,
+            ..LbfgsConfig::default()
+        })
+        .minimize(&mut objective, &x0);
+        self.globals.alpha = out.x.iter().map(|v| v.exp().clamp(1e-8, 1e6)).collect();
+    }
+
+    fn optimize_emission(&mut self, is_words: bool) {
+        let k = self.globals.alpha.len();
+        let vocab = if is_words {
+            self.num_words
+        } else {
+            self.num_urls
+        };
+        for z in 0..k {
+            let mut doc_rows: Vec<(Vec<(usize, f64)>, f64)> = Vec::new();
+            for doc in &self.docs {
+                let t = if is_words {
+                    &doc.topic_word
+                } else {
+                    &doc.topic_url
+                };
+                let sum = t.row_sum(z) as f64;
+                if sum == 0.0 {
+                    continue;
+                }
+                let sparse: Vec<(usize, f64)> = t
+                    .row(z)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(v, &c)| (v, c as f64))
+                    .collect();
+                doc_rows.push((sparse, sum));
+            }
+            if doc_rows.is_empty() {
+                continue;
+            }
+            let init = if is_words {
+                self.cfg.base.beta
+            } else {
+                self.cfg.base.delta
+            };
+            let gamma_b = 1.0;
+            let gamma_a = 1.0 + gamma_b * init;
+            let n_rows = doc_rows.len() as f64;
+            let mut objective = |x: &[f64], grad: &mut [f64]| -> f64 {
+                let prior: Vec<f64> = x.iter().map(|v| v.exp().clamp(1e-8, 1e6)).collect();
+                let p0: f64 = prior.iter().sum();
+                let mut nll = 0.0;
+                let mut g = vec![0.0; vocab];
+                let dig_p0 = digamma(p0);
+                let ln_gamma_p0 = ln_gamma(p0);
+                for (sparse, sum) in &doc_rows {
+                    nll -= ln_gamma_p0 - ln_gamma(sum + p0);
+                    let d0 = dig_p0 - digamma(sum + p0);
+                    for gz in g.iter_mut() {
+                        *gz -= d0;
+                    }
+                    for &(v, c) in sparse {
+                        nll -= ln_gamma(c + prior[v]) - ln_gamma(prior[v]);
+                        g[v] -= digamma(c + prior[v]) - digamma(prior[v]);
+                    }
+                }
+                for v in 0..vocab {
+                    nll -= n_rows * ((gamma_a - 1.0) * prior[v].ln() - gamma_b * prior[v]);
+                    g[v] -= n_rows * ((gamma_a - 1.0) / prior[v] - gamma_b);
+                    grad[v] = g[v] * prior[v];
+                }
+                nll
+            };
+            let current = if is_words {
+                &self.globals.beta[z]
+            } else {
+                &self.globals.delta[z]
+            };
+            let x0: Vec<f64> = current.iter().map(|b| b.ln()).collect();
+            let out = Lbfgs::new(LbfgsConfig {
+                max_iterations: self.cfg.hyper_iterations,
+                ..LbfgsConfig::default()
+            })
+            .minimize(&mut objective, &x0);
+            let learned: Vec<f64> = out.x.iter().map(|v| v.exp().clamp(1e-8, 1e6)).collect();
+            let sum: f64 = learned.iter().sum();
+            if is_words {
+                self.globals.beta[z] = learned;
+                self.globals.beta_sums[z] = sum;
+            } else {
+                self.globals.delta[z] = learned;
+                self.globals.delta_sums[z] = sum;
+            }
+        }
+    }
+
+    /// The learned α vector.
+    pub fn alpha(&self) -> &[f64] {
+        &self.globals.alpha
+    }
+
+    /// The learned word hyperprior of topic `k`.
+    pub fn beta_k(&self, k: usize) -> &[f64] {
+        &self.globals.beta[k]
+    }
+
+    /// The learned URL hyperprior of topic `k`.
+    pub fn delta_k(&self, k: usize) -> &[f64] {
+        &self.globals.delta[k]
+    }
+
+    /// The fitted temporal distribution of topic `k`.
+    pub fn tau(&self, k: usize) -> &BetaDistribution {
+        &self.globals.taus[k]
+    }
+
+    /// Eq. 31 numerator building block `p(w | z = k, d)`.
+    pub fn user_word_prob(&self, doc: usize, k: usize, w: u32) -> f64 {
+        let t = &self.docs[doc].topic_word;
+        (t.get(k, w as usize) as f64 + self.globals.beta[k][w as usize])
+            / (t.row_sum(k) as f64 + self.globals.beta_sums[k])
+    }
+
+    /// Per-user URL probability `p(u | z = k, d)`.
+    pub fn user_url_prob(&self, doc: usize, k: usize, u: u32) -> f64 {
+        let t = &self.docs[doc].topic_url;
+        (t.get(k, u as usize) as f64 + self.globals.delta[k][u as usize])
+            / (t.row_sum(k) as f64 + self.globals.delta_sums[k])
+    }
+
+    /// Number of documents profiled.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+}
+
+impl DocState {
+    fn add(&mut self, s: &Slot, z: u32) {
+        self.topic_counts[z as usize] += 1;
+        for &(w, n) in &s.words {
+            self.topic_word.inc(z as usize, w as usize, n);
+        }
+        for &(u, n) in &s.urls {
+            self.topic_url.inc(z as usize, u as usize, n);
+        }
+    }
+
+    fn remove(&mut self, s: &Slot, z: u32) {
+        self.topic_counts[z as usize] -= 1;
+        for &(w, n) in &s.words {
+            self.topic_word.dec(z as usize, w as usize, n);
+        }
+        for &(u, n) in &s.urls {
+            self.topic_url.dec(z as usize, u as usize, n);
+        }
+    }
+
+    /// Eq. 23 in log space, Gamma ratios as rising factorials — evaluated
+    /// directly, no caching.
+    fn ln_conditional(&self, g: &Globals, s: &Slot, z: usize) -> f64 {
+        let mut acc = (self.topic_counts[z] as f64 + g.alpha[z]).ln();
+        let tw = &self.topic_word;
+        let mut n_total = 0usize;
+        for &(w, n) in &s.words {
+            acc += ln_rising(
+                tw.get(z, w as usize) as f64 + g.beta[z][w as usize],
+                n as usize,
+            );
+            n_total += n as usize;
+        }
+        acc -= ln_rising(tw.row_sum(z) as f64 + g.beta_sums[z], n_total);
+        if !s.urls.is_empty() {
+            let tu = &self.topic_url;
+            let mut m_total = 0usize;
+            for &(u, n) in &s.urls {
+                acc += ln_rising(
+                    tu.get(z, u as usize) as f64 + g.delta[z][u as usize],
+                    n as usize,
+                );
+                m_total += n as usize;
+            }
+            acc -= ln_rising(tu.row_sum(z) as f64 + g.delta_sums[z], m_total);
+        }
+        acc + g.taus[z].ln_pdf(s.time)
+    }
+
+    fn sample_all(&mut self, g: &Globals, rng: &mut SmallRng) {
+        let k = g.alpha.len();
+        let mut ln_w = vec![0.0; k];
+        for i in 0..self.slots.len() {
+            let z_old = self.slots[i].z;
+            let slot = std::mem::replace(
+                &mut self.slots[i],
+                Slot {
+                    words: Vec::new(),
+                    urls: Vec::new(),
+                    time: 0.0,
+                    z: 0,
+                },
+            );
+            self.remove(&slot, z_old);
+            for (z, lw) in ln_w.iter_mut().enumerate() {
+                *lw = self.ln_conditional(g, &slot, z);
+            }
+            softmax_in_place(&mut ln_w);
+            let z_new = sample_discrete(&ln_w, rng.gen::<f64>()) as u32;
+            self.add(&slot, z_new);
+            self.slots[i] = Slot { z: z_new, ..slot };
+        }
+    }
+}
+
+/// The per-(seed, sweep, document) RNG stream — must match
+/// `crate::upm::doc_rng` constant-for-constant.
+fn doc_rng(seed: u64, sweep: usize, doc: usize) -> SmallRng {
+    SmallRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((sweep as u64) << 32)
+            .wrapping_add(doc as u64),
+    )
+}
+
+impl TopicModel for UpmReference {
+    fn name(&self) -> &str {
+        "UPM-reference"
+    }
+
+    fn num_topics(&self) -> usize {
+        self.globals.alpha.len()
+    }
+
+    fn doc_topic(&self, doc: usize) -> Vec<f64> {
+        let a0: f64 = self.globals.alpha.iter().sum();
+        let total: u32 = self.docs[doc].topic_counts.iter().sum();
+        let denom = total as f64 + a0;
+        self.docs[doc]
+            .topic_counts
+            .iter()
+            .zip(&self.globals.alpha)
+            .map(|(&c, &a)| (c as f64 + a) / denom)
+            .collect()
+    }
+
+    fn topic_word_prob(&self, doc: usize, k: usize, w: u32) -> f64 {
+        self.user_word_prob(doc, k, w)
+    }
+
+    fn topic_url_prob(&self, doc: usize, k: usize, u: u32) -> f64 {
+        self.user_url_prob(doc, k, u)
+    }
+
+    fn topic_time_ln_pdf(&self, k: usize, t: f64) -> f64 {
+        self.globals.taus[k].ln_pdf(t)
+    }
+}

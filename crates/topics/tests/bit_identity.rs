@@ -1,0 +1,143 @@
+//! Bit-identity property tests for the optimized UPM sampler.
+//!
+//! The optimized sampler (`Upm`: cached transcendentals, sparse
+//! per-document counts, pooled parallel sweeps) must reproduce the frozen
+//! pre-optimization sampler (`UpmReference`: dense counts, serial, direct
+//! `ln_rising`/`ln_pdf`) **to the last bit** on any corpus, any seed and
+//! any thread count — not merely to a tolerance. These tests generate
+//! random small corpora and training configurations and compare every
+//! observable of the two models with exact `f64` equality.
+
+use pqsda_linalg::special::{ln_rising, ln_rising1_table};
+use pqsda_querylog::UserId;
+use pqsda_topics::corpus::{Corpus, DocSession, Document};
+use pqsda_topics::model::{TopicModel, TrainConfig};
+use pqsda_topics::upm::{Upm, UpmConfig};
+use pqsda_topics::upm_reference::UpmReference;
+use proptest::prelude::*;
+
+/// Raw generated shape: per doc, per session, (word ids, optional url,
+/// timestamp). Ids are drawn from a wide range and reduced modulo the
+/// vocabulary in `build_corpus`, since the shim has no flat-map strategy.
+type RawDocs = Vec<Vec<(Vec<u32>, Option<u32>, f64)>>;
+
+fn build_corpus(num_words: usize, num_urls: usize, raw: RawDocs) -> Corpus {
+    let docs = raw
+        .into_iter()
+        .enumerate()
+        .map(|(d, sessions)| Document {
+            user: UserId(d as u32),
+            sessions: sessions
+                .into_iter()
+                .map(|(words, url, time)| {
+                    let words: Vec<u32> = words.into_iter().map(|w| w % num_words as u32).collect();
+                    let url = if num_urls == 0 {
+                        None
+                    } else {
+                        url.map(|u| u % num_urls as u32)
+                    };
+                    DocSession::from_records(vec![(words, url)], time)
+                })
+                .collect(),
+        })
+        .collect();
+    Corpus {
+        docs,
+        num_words,
+        num_urls,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole acceptance property: for random corpora, seeds,
+    /// iteration counts, with and without hyperparameter learning, and at
+    /// every thread count, the optimized sampler's observables equal the
+    /// reference's bitwise.
+    #[test]
+    fn optimized_upm_matches_reference_bitwise(
+        num_words in 4usize..12,
+        num_urls in 0usize..4,
+        raw in prop::collection::vec(
+            prop::collection::vec(
+                (
+                    prop::collection::vec(0u32..1024, 1..5),
+                    prop::option::of(0u32..1024),
+                    0.02f64..0.98,
+                ),
+                1..7,
+            ),
+            1..6,
+        ),
+        k in 1usize..4,
+        iterations in 3usize..9,
+        learn_hypers in 0u32..2,
+        seed in 0u64..1 << 40,
+    ) {
+        let corpus = build_corpus(num_words, num_urls, raw);
+        let cfg = UpmConfig {
+            base: TrainConfig {
+                num_topics: k,
+                iterations,
+                seed,
+                ..TrainConfig::default()
+            },
+            hyper_every: if learn_hypers == 0 { 0 } else { 2 },
+            hyper_iterations: 5,
+            threads: 1,
+        };
+        let reference = UpmReference::train(&corpus, &cfg);
+        for threads in [1usize, 2, 4] {
+            let m = Upm::train(&corpus, &UpmConfig { threads, ..cfg });
+            prop_assert_eq!(m.num_docs(), reference.num_docs());
+            for (a, r) in m.alpha().iter().zip(reference.alpha()) {
+                prop_assert_eq!(a.to_bits(), r.to_bits(), "alpha, threads={}", threads);
+            }
+            for z in 0..k {
+                for (a, r) in m.beta_k(z).iter().zip(reference.beta_k(z)) {
+                    prop_assert_eq!(a.to_bits(), r.to_bits(), "beta[{}], threads={}", z, threads);
+                }
+                for (a, r) in m.delta_k(z).iter().zip(reference.delta_k(z)) {
+                    prop_assert_eq!(a.to_bits(), r.to_bits(), "delta[{}], threads={}", z, threads);
+                }
+                prop_assert_eq!(m.tau(z).alpha().to_bits(), reference.tau(z).alpha().to_bits());
+                prop_assert_eq!(m.tau(z).beta().to_bits(), reference.tau(z).beta().to_bits());
+            }
+            for d in 0..m.num_docs() {
+                let (td, rd) = (m.doc_topic(d), reference.doc_topic(d));
+                for (a, r) in td.iter().zip(&rd) {
+                    prop_assert_eq!(a.to_bits(), r.to_bits(), "theta[{}], threads={}", d, threads);
+                }
+                for z in 0..k {
+                    for w in 0..num_words as u32 {
+                        prop_assert_eq!(
+                            m.user_word_prob(d, z, w).to_bits(),
+                            reference.user_word_prob(d, z, w).to_bits()
+                        );
+                    }
+                    for u in 0..num_urls.max(1) as u32 {
+                        prop_assert_eq!(
+                            m.user_url_prob(d, z, u).to_bits(),
+                            reference.user_url_prob(d, z, u).to_bits()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The transcendental cache's contract: a table hit equals direct
+    /// `ln_rising` evaluation to the bit, including through the sampler's
+    /// actual read pattern (`count 0` → `0.0 + prior`).
+    #[test]
+    fn ln_rising_cache_hit_is_bit_identical(
+        priors in prop::collection::vec(1e-6f64..10.0, 1..40),
+    ) {
+        let table = ln_rising1_table(&priors);
+        for (i, &p) in priors.iter().enumerate() {
+            prop_assert_eq!(table[i].to_bits(), ln_rising(p, 1).to_bits());
+            prop_assert_eq!(table[i].to_bits(), ln_rising(0.0 + p, 1).to_bits());
+        }
+    }
+}

@@ -10,4 +10,7 @@ cargo fmt --check
 # Perf harness in smoke mode: asserts every kernel is bit-identical
 # across thread counts (minimal time budget, no BENCH_perf.json write).
 cargo run --release -q -p pqsda-bench --bin perf -- --smoke
+# Serving smoke: 1-shard output asserted identical to the unsharded
+# engine, then a 2-shard server through a mid-stream ingest + swap.
+cargo run --release -q -p pqsda-cli --bin pqsda -- serve --smoke
 echo "ci: all green"

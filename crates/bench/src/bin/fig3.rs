@@ -6,7 +6,7 @@
 
 use pqsda_baselines::SuggestRequest;
 use pqsda_bench::{banner, print_series, Cli, ExperimentWorld};
-use pqsda_eval::{relevance_at_k, DiversityMetric};
+use pqsda_eval::{fold_collect, fold_mean, relevance_at_k, DiversityMetric};
 use pqsda_graph::weighting::WeightingScheme;
 
 const K_MAX: usize = 10;
@@ -43,25 +43,21 @@ fn main() {
             let mut rel_rows = Vec::new();
             for method in &methods {
                 let start = std::time::Instant::now();
-                let lists: Vec<_> = tests
-                    .iter()
-                    .map(|&q| method.suggest(&SuggestRequest::simple(q, K_MAX)))
-                    .collect();
+                // Fan the per-query suggests over the worker pool; the
+                // fold is bit-identical to the serial loop it replaced.
+                let lists = fold_collect(0, tests.len(), |i| {
+                    method.suggest(&SuggestRequest::simple(tests[i], K_MAX))
+                });
                 let div: Vec<f64> = div_ks
                     .iter()
-                    .map(|&k| {
-                        lists.iter().map(|l| diversity.at_k(l, k)).sum::<f64>() / lists.len() as f64
-                    })
+                    .map(|&k| fold_mean(0, lists.len(), |i| diversity.at_k(&lists[i], k)))
                     .collect();
                 let rel: Vec<f64> = rel_ks
                     .iter()
                     .map(|&k| {
-                        lists
-                            .iter()
-                            .zip(tests.iter())
-                            .map(|(l, &q)| relevance_at_k(taxonomy, q, l, k))
-                            .sum::<f64>()
-                            / lists.len() as f64
+                        fold_mean(0, lists.len(), |i| {
+                            relevance_at_k(taxonomy, tests[i], &lists[i], k)
+                        })
                     })
                     .collect();
                 eprintln!(

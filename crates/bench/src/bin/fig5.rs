@@ -13,7 +13,7 @@
 use pqsda_bench::{
     banner, print_series, session_clicks, Cli, ExperimentWorld, PersonalizationSetup,
 };
-use pqsda_eval::{DiversityMetric, PprMetric};
+use pqsda_eval::{fold_collect, fold_mean, DiversityMetric, PprMetric};
 use pqsda_graph::weighting::WeightingScheme;
 
 const K_MAX: usize = 10;
@@ -39,28 +39,28 @@ fn main() {
         let mut ppr_rows = Vec::new();
         for method in &methods {
             let start = std::time::Instant::now();
-            let mut lists = Vec::new();
-            let mut clicks = Vec::new();
-            for &si in &setup.test_sessions {
+            // Per-session suggest + click extraction, fanned over the
+            // worker pool in session order (bit-identical to the serial
+            // loop it replaced).
+            let per_session = fold_collect(0, setup.test_sessions.len(), |i| {
+                let si = setup.test_sessions[i];
                 let req = setup.request(&world, si, K_MAX);
-                lists.push(method.suggest(&req));
-                clicks.push(session_clicks(world.log(), &world.sessions()[si]));
-            }
+                (
+                    method.suggest(&req),
+                    session_clicks(world.log(), &world.sessions()[si]),
+                )
+            });
+            let (lists, clicks): (Vec<_>, Vec<_>) = per_session.into_iter().unzip();
             let div: Vec<f64> = div_ks
                 .iter()
-                .map(|&k| {
-                    lists.iter().map(|l| diversity.at_k(l, k)).sum::<f64>() / lists.len() as f64
-                })
+                .map(|&k| fold_mean(0, lists.len(), |i| diversity.at_k(&lists[i], k)))
                 .collect();
             let pprs: Vec<f64> = ppr_ks
                 .iter()
                 .map(|&k| {
-                    lists
-                        .iter()
-                        .zip(&clicks)
-                        .map(|(l, c)| ppr.at_k(world.log(), l, c, k))
-                        .sum::<f64>()
-                        / lists.len() as f64
+                    fold_mean(0, lists.len(), |i| {
+                        ppr.at_k(world.log(), &lists[i], &clicks[i], k)
+                    })
                 })
                 .collect();
             eprintln!(

@@ -11,7 +11,7 @@
 use pqsda_bench::{
     banner, print_series, session_facet, session_user, Cli, ExperimentWorld, PersonalizationSetup,
 };
-use pqsda_eval::{HprConfig, HprRater};
+use pqsda_eval::{fold_collect, fold_mean, HprConfig, HprRater};
 use pqsda_graph::weighting::WeightingScheme;
 
 const K_MAX: usize = 10;
@@ -42,21 +42,24 @@ fn main() {
         let mut rows = Vec::new();
         for method in &methods {
             let start = std::time::Instant::now();
+            // Suggest once per session on the worker pool (the old loop
+            // recomputed the same deterministic list for every k), then
+            // grade the cached lists at each cutoff.
+            let lists = fold_collect(0, setup.test_sessions.len(), |i| {
+                method.suggest(&setup.request(&world, setup.test_sessions[i], K_MAX))
+            });
             let hpr: Vec<f64> = ks
                 .iter()
                 .map(|&k| {
-                    let mut total = 0.0;
-                    for &si in &setup.test_sessions {
-                        let req = setup.request(&world, si, K_MAX);
-                        let list = method.suggest(&req);
-                        total += rater.at_k(
+                    fold_mean(0, setup.test_sessions.len(), |i| {
+                        let si = setup.test_sessions[i];
+                        rater.at_k(
                             session_user(&world, si),
                             session_facet(&world, si),
-                            &list,
+                            &lists[i],
                             k,
-                        );
-                    }
-                    total / setup.test_sessions.len() as f64
+                        )
+                    })
                 })
                 .collect();
             eprintln!("  [{label}] {}: {:?}", method.name(), start.elapsed());

@@ -26,11 +26,14 @@
 
 use pqsda::crosswalk::CrossBipartiteWalk;
 use pqsda::regularize::{RegularizationConfig, Regularizer};
+use pqsda::{EngineBuildOptions, PqsDa};
+use pqsda_baselines::SuggestRequest;
 use pqsda_bench::{ExperimentWorld, Scale};
 use pqsda_graph::bipartite::Bipartite;
 use pqsda_graph::compact::{CompactConfig, CompactMulti};
 use pqsda_graph::walk::two_step_transition_with_threads;
 use pqsda_linalg::solver::Jacobi;
+use pqsda_serve::{ServeConfig, ShardedPqsDa};
 use pqsda_topics::{Corpus, TrainConfig, Upm, UpmConfig};
 use std::time::Instant;
 
@@ -231,6 +234,37 @@ fn main() {
     // gibbs phase breakdown: full training (hyperlearning on), split by
     // phase, cross-thread model equality asserted inside.
     let phases = gibbs_phase_breakdown(&corpus, &thread_counts);
+
+    // serving: the same batched request stream through the plain engine
+    // and through the 2-shard scatter-gather server (pqsda-serve). Both
+    // fan over the worker pool; per-bench cross-thread bit-identity is
+    // asserted by `measure` as usual.
+    let entries = world.log().entries();
+    let build = EngineBuildOptions::default();
+    let unsharded = PqsDa::build_from_entries(&entries, &build);
+    let sharded = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            build,
+            ..ServeConfig::default()
+        },
+    );
+    let reqs: Vec<SuggestRequest> = world
+        .sample_test_queries(32, 7)
+        .into_iter()
+        .map(|q| SuggestRequest::simple(q, 10))
+        .collect();
+    rows.extend(measure("serve_unsharded", &thread_counts, |t| {
+        unsharded.suggest_many_with_threads(&reqs, t)
+    }));
+    rows.extend(measure("serve_sharded", &thread_counts, |t| {
+        sharded
+            .suggest_many_with_threads(&reqs, t)
+            .iter()
+            .map(pqsda_serve::ServeReply::ranked)
+            .collect::<Vec<_>>()
+    }));
 
     if smoke {
         eprintln!(

@@ -289,8 +289,12 @@ impl ExperimentWorld {
         )
     }
 
-    /// The four click-graph baselines of §VI-B on one scheme.
-    pub fn diversification_baselines(&self, scheme: WeightingScheme) -> Vec<Box<dyn Suggester>> {
+    /// The four click-graph baselines of §VI-B on one scheme. `Sync` so
+    /// the figure harnesses can fan requests over the worker pool.
+    pub fn diversification_baselines(
+        &self,
+        scheme: WeightingScheme,
+    ) -> Vec<Box<dyn Suggester + Sync>> {
         let log = self.log();
         vec![
             Box::new(ForwardWalk::new(log, scheme, WalkParams::default())),
@@ -382,9 +386,9 @@ impl PersonalizationSetup {
         &self,
         world: &ExperimentWorld,
         scheme: WeightingScheme,
-    ) -> Vec<Box<dyn Suggester>> {
+    ) -> Vec<Box<dyn Suggester + Sync>> {
         let log = world.log();
-        let mut out: Vec<Box<dyn Suggester>> = vec![
+        let mut out: Vec<Box<dyn Suggester + Sync>> = vec![
             Box::new(pqsda::RerankedSuggester::new(
                 ForwardWalk::new(log, scheme, WalkParams::default()),
                 self.personalizer.clone(),

@@ -12,7 +12,7 @@
 //! `--topics K`, `--iters N`, `--raw` (disable cfiqf weighting),
 //! `--threads N`.
 
-use pqsda::{Personalizer, PqsDa, PqsDaConfig};
+use pqsda::{EngineBuildOptions, Personalizer, PqsDa, PqsDaConfig};
 use pqsda_baselines::{SuggestRequest, Suggester};
 use pqsda_graph::multi::MultiBipartite;
 use pqsda_graph::weighting::WeightingScheme;
@@ -20,6 +20,7 @@ use pqsda_querylog::clean::{clean_entries, CleanConfig};
 use pqsda_querylog::io::read_aol;
 use pqsda_querylog::session::{segment_sessions, Session, SessionConfig};
 use pqsda_querylog::{LogEntry, QueryLog, UserId};
+use pqsda_serve::{PartitionKey, ServeConfig, ShardedPqsDa};
 use pqsda_topics::{Corpus, TrainConfig, Upm, UpmConfig};
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("suggest") => cmd_suggest(&args[1..]),
         Some("profiles") => cmd_profiles(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
@@ -55,6 +57,9 @@ USAGE:
                  [--profiles FILE | --personalize] [--topics K] [--iters N]
                  [--raw] [--threads N]
   pqsda profiles <log.tsv> --out FILE [--topics K] [--iters N] [--threads N]
+  pqsda serve    <log.tsv> --query \"sun\" [--shards N] [--key user|query]
+                 [--k 10] [--threads N]
+  pqsda serve    --smoke
   pqsda demo
 
 Logs are AOL-format TSV: AnonID\\tQuery\\tQueryTime\\tItemRank\\tClickURL.
@@ -75,7 +80,7 @@ impl Flags {
             if let Some(name) = args[i].strip_prefix("--") {
                 let value = match name {
                     // boolean flags
-                    "raw" | "personalize" => None,
+                    "raw" | "personalize" | "smoke" => None,
                     _ => {
                         i += 1;
                         Some(
@@ -246,6 +251,171 @@ fn cmd_suggest(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_key(flags: &Flags) -> Result<PartitionKey, String> {
+    match flags.get("key") {
+        None | Some("user") => Ok(PartitionKey::User),
+        Some("query") => Ok(PartitionKey::Query),
+        Some(other) => Err(format!("--key: expected user|query, got {other:?}")),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    if flags.has("smoke") {
+        return serve_smoke();
+    }
+    let path = flags
+        .positional
+        .first()
+        .ok_or("serve needs a log file path (or --smoke)")?;
+    let query_text = flags.get("query").ok_or("serve needs --query \"...\"")?;
+    let k = flags.get_num("k", 10usize)?;
+    let shards = flags.get_num("shards", 2usize)?;
+    let threads = flags.get_num("threads", 0usize)?;
+    let key = parse_key(&flags)?;
+
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let raw = read_aol(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    let (entries, stats) = clean_entries(&raw, &CleanConfig::default());
+    eprintln!(
+        "loaded {path}: {} entries, {} kept after cleaning",
+        stats.input, stats.kept
+    );
+    let build = EngineBuildOptions {
+        scheme: if flags.has("raw") {
+            WeightingScheme::Raw
+        } else {
+            WeightingScheme::CfIqf
+        },
+        ..EngineBuildOptions::default()
+    };
+    let server = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards,
+            key,
+            build,
+            ..ServeConfig::default()
+        },
+    );
+    let query = server
+        .find_query(query_text)
+        .ok_or_else(|| format!("query {query_text:?} does not occur in the log"))?;
+    let mut req = SuggestRequest::simple(query, k);
+    if let Some(uid) = flags.get("user") {
+        let uid: u32 = uid.parse().map_err(|_| "--user: bad id".to_owned())?;
+        req = req.for_user(UserId(uid));
+    }
+    let reply = &server.suggest_many_with_threads(std::slice::from_ref(&req), threads)[0];
+    if reply.suggestions.is_empty() {
+        println!("(no suggestions — the query has no graph neighbourhood)");
+    }
+    for (i, (q, score)) in reply.suggestions.iter().enumerate() {
+        let text = server.query_text(*q).unwrap_or_default();
+        println!("{:>2}. {text}  (F* {score:.4})", i + 1);
+    }
+    let stats = server.stats();
+    eprintln!(
+        "served by {} shard snapshot(s); generations {:?}; cache {}h/{}m",
+        reply.tags.len(),
+        stats.generations,
+        stats.cache.hits,
+        stats.cache.misses
+    );
+    Ok(())
+}
+
+/// The CI smoke: on a synthetic log, assert the sharded server's N = 1
+/// output is identical to the plain engine, then exercise a 2-shard
+/// server through a mid-stream ingest + snapshot swap.
+fn serve_smoke() -> Result<(), String> {
+    use pqsda_querylog::synth::{generate, SynthConfig};
+
+    let synth = generate(&SynthConfig::tiny(42));
+    let entries = synth.log.entries();
+    let build = EngineBuildOptions::default();
+    let plain = PqsDa::build_from_entries(&entries, &build);
+    let reqs: Vec<SuggestRequest> = synth
+        .log
+        .records()
+        .iter()
+        .step_by(7)
+        .map(|r| SuggestRequest::simple(r.query, 8).for_user(r.user))
+        .collect();
+    let expected = plain.suggest_many(&reqs);
+
+    // Equivalence: one shard must reproduce the plain engine bit for bit.
+    for key in [PartitionKey::User, PartitionKey::Query] {
+        let one = ShardedPqsDa::build(
+            &entries,
+            ServeConfig {
+                shards: 1,
+                key,
+                build,
+                ..ServeConfig::default()
+            },
+        );
+        for (reply, want) in one.suggest_many(&reqs).iter().zip(&expected) {
+            if &reply.ranked() != want {
+                return Err(format!("smoke: 1-shard output diverged under {key:?} key"));
+            }
+        }
+    }
+    println!(
+        "smoke: 1-shard == unsharded on {} requests (both keys)",
+        reqs.len()
+    );
+
+    // 2 shards with a swap mid-stream.
+    let server = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            build,
+            ..ServeConfig::default()
+        },
+    );
+    let before = server.suggest_many(&reqs);
+    for i in 0..4u32 {
+        let accepted = server.ingest(LogEntry::new(
+            UserId(900 + i),
+            format!("smoke query {i}"),
+            Some("smoke.example"),
+            3_000_000 + u64::from(i),
+        ));
+        if !accepted {
+            return Err("smoke: ingest rejected below capacity".into());
+        }
+    }
+    let report = server.apply_deltas();
+    if report.drained != 4 || report.rebuilt.is_empty() {
+        return Err(format!("smoke: unexpected swap report {report:?}"));
+    }
+    let after = server.suggest_many(&reqs);
+    let registered = server.registered_tags();
+    for reply in before.iter().chain(&after) {
+        for tag in &reply.tags {
+            if !registered.contains(tag) {
+                return Err(format!("smoke: unregistered tag {tag:?}"));
+            }
+        }
+    }
+    let q = server
+        .find_query("smoke query 0")
+        .ok_or("smoke: ingested query missing from router")?;
+    let _ = server.suggest(&SuggestRequest::simple(q, 5));
+    let stats = server.stats();
+    if stats.ingest.depth() != 0 || stats.total_swaps == 0 {
+        return Err(format!("smoke: inconsistent stats {stats:?}"));
+    }
+    println!(
+        "smoke: 2-shard swap ok — {} shard rebuild(s), generations {:?}, queue empty",
+        report.rebuilt.len(),
+        stats.generations
+    );
+    Ok(())
+}
+
 fn cmd_demo() -> Result<(), String> {
     // The paper's Table I, inline, so the binary demos without any files.
     let entries = vec![
@@ -317,5 +487,10 @@ mod tests {
     #[test]
     fn demo_runs() {
         cmd_demo().unwrap();
+    }
+
+    #[test]
+    fn serve_smoke_passes() {
+        serve_smoke().unwrap();
     }
 }

@@ -81,6 +81,22 @@ impl Diversifier {
     /// `input_local` is the input query's local index; `context` pairs
     /// each context query's local index with its age in seconds.
     pub fn select(&self, input_local: usize, context: &[(usize, u64)], k: usize) -> Vec<usize> {
+        self.select_scored(input_local, context, k)
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect()
+    }
+
+    /// [`Diversifier::select`] with each pick's `F*` regularized relevance
+    /// (Eq. 15) attached. The selection and its order are exactly those of
+    /// `select` — the score is a passenger, used by the serving layer to
+    /// merge candidate lists from independent shards by relevance.
+    pub fn select_scored(
+        &self,
+        input_local: usize,
+        context: &[(usize, u64)],
+        k: usize,
+    ) -> Vec<(usize, f64)> {
         if k == 0 {
             return Vec::new();
         }
@@ -133,7 +149,7 @@ impl Diversifier {
                 None => break,
             }
         }
-        selected
+        selected.into_iter().map(|l| (l, f_star[l])).collect()
     }
 
     /// Convenience: resolves the selection to global [`QueryId`]s.
@@ -147,6 +163,20 @@ impl Diversifier {
         self.select(input_local, context, k)
             .into_iter()
             .map(|l| compact.global(l))
+            .collect()
+    }
+
+    /// [`Diversifier::select_scored`] resolved to global [`QueryId`]s.
+    pub fn select_global_scored(
+        &self,
+        compact: &CompactMulti,
+        input_local: usize,
+        context: &[(usize, u64)],
+        k: usize,
+    ) -> Vec<(QueryId, f64)> {
+        self.select_scored(input_local, context, k)
+            .into_iter()
+            .map(|(l, s)| (compact.global(l), s))
             .collect()
     }
 }
@@ -227,6 +257,25 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn scored_selection_matches_plain_and_carries_relevance() {
+        let (log, compact) = two_facet();
+        let d = Diversifier::new(&compact, DiversifyConfig::default());
+        let sun = compact.local(log.find_query("sun").unwrap()).unwrap();
+        let plain = d.select(sun, &[], 4);
+        let scored = d.select_scored(sun, &[], 4);
+        assert_eq!(
+            plain,
+            scored.iter().map(|&(l, _)| l).collect::<Vec<_>>(),
+            "scored selection must be the same ranking"
+        );
+        // Scores are the F* relevances: positive (the pool filters on
+        // f_star > 0) and maximal for the first pick (Algorithm 1 line 3).
+        assert!(scored.iter().all(|&(_, s)| s > 0.0));
+        let first = scored[0].1;
+        assert!(scored.iter().all(|&(_, s)| s <= first));
     }
 
     #[test]

@@ -13,7 +13,10 @@ use crate::personalize::Personalizer;
 use pqsda_baselines::{SuggestRequest, Suggester};
 use pqsda_graph::compact::{CompactConfig, CompactMulti};
 use pqsda_graph::multi::MultiBipartite;
-use pqsda_querylog::{QueryId, QueryLog};
+use pqsda_graph::weighting::WeightingScheme;
+use pqsda_querylog::session::{segment_sessions, SessionConfig};
+use pqsda_querylog::{LogEntry, QueryId, QueryLog};
+use pqsda_topics::{Corpus, TrainConfig, Upm, UpmConfig};
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug, Default)]
@@ -24,6 +27,53 @@ pub struct PqsDaConfig {
     pub diversify: DiversifyConfig,
     /// Sizing of the per-seed-set expansion memo.
     pub cache: CacheConfig,
+}
+
+/// UPM training options for [`PqsDa::build_from_entries`].
+#[derive(Clone, Copy, Debug)]
+pub struct ProfileTrainOptions {
+    /// Topic count `K`.
+    pub num_topics: usize,
+    /// Gibbs sweeps.
+    pub iterations: usize,
+    /// Sampler seed.
+    pub seed: u64,
+    /// Hyperparameter-learning cadence (0 = off).
+    pub hyper_every: usize,
+    /// L-BFGS iterations per hyperparameter update.
+    pub hyper_iterations: usize,
+    /// Training threads (0 = auto).
+    pub threads: usize,
+}
+
+impl Default for ProfileTrainOptions {
+    fn default() -> Self {
+        ProfileTrainOptions {
+            num_topics: 10,
+            iterations: 60,
+            seed: 42,
+            hyper_every: 20,
+            hyper_iterations: 10,
+            threads: 1,
+        }
+    }
+}
+
+/// Everything needed to build a [`PqsDa`] from raw log entries — the
+/// whole offline pipeline (interning, session segmentation, weighting,
+/// optional UPM training) in one value, so a serving shard can be rebuilt
+/// from any log partition with the exact recipe of the full engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineBuildOptions {
+    /// Edge weighting for the multi-bipartite representation.
+    pub scheme: WeightingScheme,
+    /// Session segmentation settings.
+    pub session: SessionConfig,
+    /// Engine (expansion/diversification/cache) settings.
+    pub config: PqsDaConfig,
+    /// `Some` trains a UPM personalizer on the entries; `None` builds the
+    /// diversification-only engine.
+    pub personalize: Option<ProfileTrainOptions>,
 }
 
 /// The PQS-DA query-suggestion engine.
@@ -68,9 +118,55 @@ impl PqsDa {
         }
     }
 
+    /// Runs the whole offline pipeline on raw entries: interning +
+    /// chronological sort, session segmentation, multi-bipartite
+    /// construction, optional UPM training. This is how a serving shard is
+    /// built from a log partition — and because [`QueryLog::from_entries`]
+    /// is deterministic, building from the *full* entry list reproduces
+    /// the unsharded engine exactly.
+    pub fn build_from_entries(entries: &[LogEntry], opts: &EngineBuildOptions) -> Self {
+        let mut log = QueryLog::from_entries(entries);
+        let sessions = segment_sessions(&mut log, &opts.session);
+        let multi = MultiBipartite::build(&log, &sessions, opts.scheme);
+        let personalizer = opts.personalize.and_then(|p| {
+            let corpus = Corpus::build(&log, &sessions);
+            if corpus.num_docs() == 0 {
+                // A partition can land zero usable user documents; serve
+                // it unpersonalized rather than training on nothing.
+                return None;
+            }
+            let upm = Upm::train(
+                &corpus,
+                &UpmConfig {
+                    base: TrainConfig {
+                        num_topics: p.num_topics,
+                        iterations: p.iterations,
+                        seed: p.seed,
+                        ..TrainConfig::default()
+                    },
+                    hyper_every: p.hyper_every,
+                    hyper_iterations: p.hyper_iterations,
+                    threads: p.threads,
+                },
+            );
+            Some(Personalizer::new(upm, &corpus, log.num_users()))
+        });
+        PqsDa::new(log, multi, personalizer, opts.config)
+    }
+
     /// The engine's log (for resolving suggestion text).
     pub fn log(&self) -> &QueryLog {
         &self.log
+    }
+
+    /// The multi-bipartite representation (for structural digests).
+    pub fn multi(&self) -> &MultiBipartite {
+        &self.multi
+    }
+
+    /// The personalization component, if enabled.
+    pub fn personalizer(&self) -> Option<&Personalizer> {
+        self.personalizer.as_ref()
     }
 
     /// Expansion-memo counters (hits/misses/evictions).
@@ -81,6 +177,16 @@ impl PqsDa {
     /// Runs only the diversification component (§IV) — the paper's
     /// intermediate result.
     pub fn diversify(&self, req: &SuggestRequest) -> Vec<QueryId> {
+        self.diversify_scored(req)
+            .into_iter()
+            .map(|(q, _)| q)
+            .collect()
+    }
+
+    /// [`PqsDa::diversify`] with each suggestion's `F*` regularized
+    /// relevance (Eq. 15) attached — the ranking is identical; the score
+    /// is what a shard router merges candidate lists by.
+    pub fn diversify_scored(&self, req: &SuggestRequest) -> Vec<(QueryId, f64)> {
         if req.query.index() >= self.log.num_queries() || req.k == 0 {
             return Vec::new();
         }
@@ -118,7 +224,29 @@ impl PqsDa {
             .collect();
         entry
             .diversifier
-            .select_global(&entry.compact, input_local, &context, req.k)
+            .select_global_scored(&entry.compact, input_local, &context, req.k)
+    }
+
+    /// [`Suggester::suggest`] with relevance scores attached: the
+    /// diversified, optionally personalization-reranked list, where each
+    /// entry keeps the `F*` score it earned in diversification. The query
+    /// sequence is exactly `suggest`'s.
+    pub fn suggest_scored(&self, req: &SuggestRequest) -> Vec<(QueryId, f64)> {
+        let diversified = self.diversify_scored(req);
+        match (&self.personalizer, req.user) {
+            (Some(p), Some(user)) => {
+                let qids: Vec<QueryId> = diversified.iter().map(|&(q, _)| q).collect();
+                let reranked = p.rerank(user, &self.log, &qids);
+                // Scores travel with their query through the rerank.
+                let score_of: std::collections::HashMap<QueryId, f64> =
+                    diversified.into_iter().collect();
+                reranked
+                    .into_iter()
+                    .map(|q| (q, score_of.get(&q).copied().unwrap_or(0.0)))
+                    .collect()
+            }
+            _ => diversified,
+        }
     }
 
     /// Serves a batch of requests, fanning the batch out across threads
@@ -151,11 +279,10 @@ impl Suggester for PqsDa {
     }
 
     fn suggest(&self, req: &SuggestRequest) -> Vec<QueryId> {
-        let diversified = self.diversify(req);
-        match (&self.personalizer, req.user) {
-            (Some(p), Some(user)) => p.rerank(user, &self.log, &diversified),
-            _ => diversified,
-        }
+        self.suggest_scored(req)
+            .into_iter()
+            .map(|(q, _)| q)
+            .collect()
     }
 }
 
@@ -306,6 +433,59 @@ mod tests {
     fn names_reflect_configuration() {
         assert_eq!(build_engine(false).name(), "PQS-DA (div)");
         assert_eq!(build_engine(true).name(), "PQS-DA");
+    }
+
+    #[test]
+    fn scored_suggest_matches_plain_ranking() {
+        for personalized in [false, true] {
+            let engine = build_engine(personalized);
+            let sun = engine.log().find_query("sun").unwrap();
+            for req in [
+                SuggestRequest::simple(sun, 4),
+                SuggestRequest::simple(sun, 4).for_user(UserId(1)),
+            ] {
+                let plain = engine.suggest(&req);
+                let scored = engine.suggest_scored(&req);
+                assert_eq!(
+                    plain,
+                    scored.iter().map(|&(q, _)| q).collect::<Vec<_>>(),
+                    "personalized={personalized} user={:?}",
+                    req.user
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_from_entries_reproduces_manual_construction() {
+        // The factored builder must be bit-identical to the hand-wired
+        // pipeline — that equivalence is what makes an N=1 "shard" the
+        // unsharded engine.
+        let entries: Vec<LogEntry> = build_engine(false).log().entries();
+        let opts = EngineBuildOptions {
+            scheme: WeightingScheme::CfIqf,
+            ..EngineBuildOptions::default()
+        };
+        let rebuilt = PqsDa::build_from_entries(&entries, &opts);
+        let manual = build_engine(false);
+        let sun = manual.log().find_query("sun").unwrap();
+        for k in [1usize, 3, 5] {
+            assert_eq!(
+                manual.suggest(&SuggestRequest::simple(sun, k)),
+                rebuilt.suggest(&SuggestRequest::simple(sun, k)),
+                "k={k}"
+            );
+        }
+        assert_eq!(manual.multi().digest(), rebuilt.multi().digest());
+    }
+
+    #[test]
+    fn build_from_entries_handles_empty_partition() {
+        let engine = PqsDa::build_from_entries(&[], &EngineBuildOptions::default());
+        assert_eq!(engine.log().num_queries(), 0);
+        assert!(engine
+            .suggest(&SuggestRequest::simple(QueryId(0), 5))
+            .is_empty());
     }
 
     #[test]

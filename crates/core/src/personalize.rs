@@ -116,6 +116,17 @@ impl Personalizer {
         pqsda_topics::save_upm(&self.upm, buf);
     }
 
+    /// A stable content digest: FNV-1a over the [`Personalizer::write_to`]
+    /// byte image, covering the user → document mapping and (via
+    /// [`pqsda_topics::upm_digest`]'s underlying serialization) every
+    /// count and hyperparameter of the trained model. The serving layer
+    /// stamps shard snapshots with it for torn-read detection.
+    pub fn digest(&self) -> u64 {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf);
+        pqsda_querylog::hash::fnv1a_bytes(&buf)
+    }
+
     /// Deserializes a personalizer written by [`Personalizer::write_to`].
     pub fn read_from(mut data: &[u8]) -> Result<Personalizer, pqsda_topics::StoreError> {
         use bytes::Buf;
@@ -322,6 +333,16 @@ mod tests {
         for cut in (0..buf.len()).step_by(97) {
             assert!(Personalizer::read_from(&buf[..cut]).is_err());
         }
+    }
+
+    #[test]
+    fn digest_survives_round_trip_and_separates_models() {
+        let (_log, p) = setup();
+        assert_eq!(p.digest(), p.digest());
+        let mut buf = Vec::new();
+        p.write_to(&mut buf);
+        let loaded = Personalizer::read_from(&buf).unwrap();
+        assert_eq!(loaded.digest(), p.digest());
     }
 
     #[test]

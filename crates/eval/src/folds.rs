@@ -1,0 +1,92 @@
+//! Parallel evaluation folds on the persistent worker pool.
+//!
+//! Every figure harness has the same shape: a per-item computation
+//! (suggest for one test query, grade one list) folded into lists or
+//! means over the whole test set. These helpers run the per-item part on
+//! [`pqsda_parallel::WorkerPool`] while keeping the results **bit-identical
+//! to the serial loop at any thread count**: items are mapped in index
+//! order (contiguous ranges per worker, reassembled in order) and every
+//! reduction — the mean's left-to-right sum — happens serially on the
+//! collected values. The scheduler decides who computes an item, never
+//! the arithmetic or its order.
+
+use pqsda_parallel::{effective_threads, map_indexed_on, WorkerPool};
+
+/// Maps `0..len` through `f` on `pool`, preserving index order. `threads`
+/// of `0` means auto; the count is work-gated so tiny folds stay serial.
+pub fn fold_collect_on<T, F>(pool: &WorkerPool, threads: usize, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(threads, len, 1);
+    map_indexed_on(pool, len, threads, f)
+}
+
+/// [`fold_collect_on`] on the process-global pool.
+pub fn fold_collect<T, F>(threads: usize, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    fold_collect_on(WorkerPool::global(), threads, len, f)
+}
+
+/// The mean of `f(0..len)` computed as a parallel map followed by one
+/// serial left-to-right sum — the float result is bit-identical to the
+/// serial `iter().map(f).sum() / len` for any thread count. Returns 0 for
+/// an empty fold.
+pub fn fold_mean_on<F>(pool: &WorkerPool, threads: usize, len: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    if len == 0 {
+        return 0.0;
+    }
+    fold_collect_on(pool, threads, len, f).iter().sum::<f64>() / len as f64
+}
+
+/// [`fold_mean_on`] on the process-global pool.
+pub fn fold_mean<F>(threads: usize, len: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    fold_mean_on(WorkerPool::global(), threads, len, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_preserves_index_order() {
+        let pool = WorkerPool::new(3);
+        let serial: Vec<usize> = (0..57).map(|i| i * 3).collect();
+        for threads in [1usize, 2, 4, 9] {
+            assert_eq!(
+                fold_collect_on(&pool, threads, 57, |i| i * 3),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_is_bit_identical_to_the_serial_sum() {
+        let pool = WorkerPool::new(3);
+        // Values whose sum is order-sensitive in floating point: the fold
+        // must reproduce the serial left-to-right bits exactly.
+        let f = |i: usize| 1.0 / (i as f64 + 1.0) * if i.is_multiple_of(2) { 1e8 } else { 1e-8 };
+        let serial = (0..201).map(f).sum::<f64>() / 201.0;
+        for threads in [1usize, 2, 4] {
+            let par = fold_mean_on(&pool, threads, 201, f);
+            assert_eq!(par.to_bits(), serial.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_fold_is_zero() {
+        assert_eq!(fold_mean(4, 0, |_| f64::NAN), 0.0);
+        assert!(fold_collect(4, 0, |i| i).is_empty());
+    }
+}

@@ -15,7 +15,9 @@
 //! * [`diversity_ir`] — α-nDCG and intent-aware precision, the standard
 //!   diversity-IR metrics graded by the synthetic facet ground truth;
 //! * [`significance`] — paired randomization tests and bootstrap CIs
-//!   backing the paper's "significantly outperforms" claims.
+//!   backing the paper's "significantly outperforms" claims;
+//! * [`folds`] — worker-pool parallel evaluation folds whose results are
+//!   bit-identical to the serial loops at any thread count.
 //!
 //! Held-out perplexity (Eq. 35) lives in `pqsda_topics::model::perplexity`
 //! next to the models it evaluates.
@@ -27,6 +29,7 @@
 
 pub mod diversity;
 pub mod diversity_ir;
+pub mod folds;
 pub mod hpr;
 pub mod ir;
 pub mod ppr;
@@ -35,6 +38,7 @@ pub mod significance;
 
 pub use diversity::DiversityMetric;
 pub use diversity_ir::{alpha_ndcg_at_k, intent_aware_precision_at_k};
+pub use folds::{fold_collect, fold_collect_on, fold_mean, fold_mean_on};
 pub use hpr::{HprConfig, HprRater};
 pub use ppr::PprMetric;
 pub use relevance::relevance_at_k;

@@ -1,0 +1,70 @@
+//! The figure harnesses' contract with [`pqsda_eval::folds`]: evaluation
+//! metrics folded on the worker pool must be **bit-identical** at 1, 2
+//! and 4 threads — otherwise parallel evaluation would silently change
+//! the reported numbers.
+
+use pqsda_eval::{fold_collect_on, fold_mean_on, relevance_at_k, DiversityMetric};
+use pqsda_parallel::WorkerPool;
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_querylog::QueryId;
+
+#[test]
+fn fold_metrics_are_bit_identical_at_1_2_4_threads() {
+    let s = generate(&SynthConfig::tiny(17));
+    let diversity = DiversityMetric::new(&s.log, &s.truth.url_fields);
+    let taxonomy = &s.truth.taxonomy;
+
+    // Synthetic suggestion lists: each test query "suggests" a window of
+    // its neighbors in id space — cheap, deterministic, metric-exercising.
+    let n = s.log.num_queries();
+    let tests: Vec<QueryId> = (0..n).step_by(3).map(|i| QueryId(i as u32)).collect();
+    let lists: Vec<Vec<QueryId>> = tests
+        .iter()
+        .map(|q| {
+            (1..=8)
+                .map(|d| QueryId(((q.index() + d * 7) % n) as u32))
+                .collect()
+        })
+        .collect();
+
+    // A 3-worker pool exists regardless of host core count, so requesting
+    // 2 and 4 threads crosses real threads even on 1-core CI.
+    let pool = WorkerPool::new(3);
+
+    let div_serial: Vec<f64> = lists.iter().map(|l| diversity.at_k(l, 6)).collect();
+    let div_mean_serial = div_serial.iter().sum::<f64>() / div_serial.len() as f64;
+    let rel_mean_serial = tests
+        .iter()
+        .zip(&lists)
+        .map(|(&q, l)| relevance_at_k(taxonomy, q, l, 5))
+        .sum::<f64>()
+        / tests.len() as f64;
+
+    for threads in [1usize, 2, 4] {
+        let div = fold_collect_on(&pool, threads, lists.len(), |i| {
+            diversity.at_k(&lists[i], 6)
+        });
+        assert_eq!(
+            div, div_serial,
+            "diversity lists diverged at {threads} threads"
+        );
+
+        let div_mean = fold_mean_on(&pool, threads, lists.len(), |i| {
+            diversity.at_k(&lists[i], 6)
+        });
+        assert_eq!(
+            div_mean.to_bits(),
+            div_mean_serial.to_bits(),
+            "diversity mean diverged at {threads} threads"
+        );
+
+        let rel_mean = fold_mean_on(&pool, threads, tests.len(), |i| {
+            relevance_at_k(taxonomy, tests[i], &lists[i], 5)
+        });
+        assert_eq!(
+            rel_mean.to_bits(),
+            rel_mean_serial.to_bits(),
+            "relevance mean diverged at {threads} threads"
+        );
+    }
+}

@@ -51,6 +51,11 @@ pub fn inverse_query_frequencies(bipartite: &Bipartite, num_queries: usize) -> V
 /// Applies `cfiqf` weighting to one bipartite (Eq. 4–6): every column `j`
 /// is scaled by `iqf(e_j)`.
 pub fn apply_cfiqf(bipartite: &Bipartite, num_queries: usize) -> Bipartite {
+    if num_queries == 0 {
+        // An empty query set has no edges to weight; identity keeps empty
+        // log partitions (a valid serving-shard case) constructible.
+        return bipartite.clone();
+    }
     let iqf = inverse_query_frequencies(bipartite, num_queries);
     bipartite.with_matrix(bipartite.matrix().scale_cols(&iqf))
 }

@@ -155,6 +155,15 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    map_indexed_on(WorkerPool::global(), len, threads, f)
+}
+
+/// [`map_indexed`] on an explicit pool.
+pub fn map_indexed_on<T, F>(pool: &WorkerPool, len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let threads = threads.min(len).max(1);
     if threads <= 1 {
         return (0..len).map(f).collect();
@@ -170,7 +179,7 @@ where
                 Box::new(move || *slot = (start..end).map(f).collect::<Vec<T>>()) as Job<'_>
             })
             .collect();
-        WorkerPool::global().run(jobs);
+        pool.run(jobs);
     }
     let mut out = Vec::with_capacity(len);
     for part in parts.iter_mut() {
@@ -312,6 +321,22 @@ mod tests {
             let par = map_indexed(103, threads, f);
             let ser: Vec<f64> = (0..103).map(f).collect();
             assert_eq!(par, ser, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_on_explicit_pool_matches_serial() {
+        // A 3-worker pool exists regardless of host core count, so this
+        // crosses real threads even on 1-core CI.
+        let pool = WorkerPool::new(3);
+        let f = |i: usize| (i as f64).sqrt() * 3.0 + i as f64;
+        let ser: Vec<f64> = (0..103).map(f).collect();
+        for threads in [1usize, 2, 3, 4, 9] {
+            assert_eq!(
+                map_indexed_on(&pool, 103, threads, f),
+                ser,
+                "threads={threads}"
+            );
         }
     }
 

@@ -181,6 +181,27 @@ impl QueryLog {
             .filter(move |(_, r)| r.user == user)
     }
 
+    /// Reconstructs raw [`LogEntry`]s from the interned records, in record
+    /// (chronological) order. Session assignments are not part of a raw
+    /// entry and are dropped — re-segment after rebuilding.
+    ///
+    /// This is the partitioning entry point for sharded serving: because
+    /// record order is chronological and [`QueryLog::from_entries`] sorts
+    /// stably by timestamp, `QueryLog::from_entries(&log.entries())`
+    /// reproduces `log` exactly (same interned ids, same record order), and
+    /// any subsequence keeps its relative order inside a shard.
+    pub fn entries(&self) -> Vec<LogEntry> {
+        self.records
+            .iter()
+            .map(|r| LogEntry {
+                user: r.user,
+                query: self.query_text(r.query).to_owned(),
+                clicked_url: r.click.map(|u| self.url_text(u).to_owned()),
+                timestamp: r.timestamp,
+            })
+            .collect()
+    }
+
     /// Per-query occurrence counts across the whole log.
     pub fn query_frequencies(&self) -> Vec<u32> {
         let mut f = vec![0u32; self.num_queries()];
@@ -269,6 +290,20 @@ mod tests {
         let log = QueryLog::from_entries(&entries);
         assert_eq!(log.records()[0].click, None);
         assert_eq!(log.num_urls(), 0);
+    }
+
+    #[test]
+    fn entries_roundtrip_reproduces_the_log() {
+        let log = QueryLog::from_entries(&table_one());
+        let rebuilt = QueryLog::from_entries(&log.entries());
+        assert_eq!(rebuilt.records(), log.records());
+        assert_eq!(rebuilt.num_queries(), log.num_queries());
+        assert_eq!(rebuilt.num_urls(), log.num_urls());
+        assert_eq!(rebuilt.num_users(), log.num_users());
+        for q in 0..log.num_queries() {
+            let q = QueryId::from_index(q);
+            assert_eq!(rebuilt.query_text(q), log.query_text(q));
+        }
     }
 
     #[test]

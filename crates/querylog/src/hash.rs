@@ -1,0 +1,64 @@
+//! Stable 64-bit FNV-1a hashing.
+//!
+//! The serving layer routes users and queries to shards by hash, and the
+//! snapshot-swap protocol tags each shard generation with content digests.
+//! Both need a hash that is identical across processes, platforms and Rust
+//! versions — `std::hash` makes no such promise (`RandomState` is seeded
+//! per process), so routing built on it would scatter the same user to
+//! different shards on every restart. FNV-1a is tiny, stable, and good
+//! enough for the near-uniform spread shard routing needs.
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a state. Start from [`FNV_OFFSET`]
+/// (or any previous state, to chain fields into one digest).
+#[inline]
+pub fn fnv1a_extend(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a of a byte string.
+#[inline]
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    fnv1a_extend(FNV_OFFSET, bytes)
+}
+
+/// FNV-1a of one little-endian `u64` (for chaining numeric fields).
+#[inline]
+pub fn fnv1a_u64(state: u64, value: u64) -> u64 {
+    fnv1a_extend(state, &value.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn chaining_equals_concatenation() {
+        let whole = fnv1a_bytes(b"hello world");
+        let chained = fnv1a_extend(fnv1a_bytes(b"hello "), b"world");
+        assert_eq!(whole, chained);
+    }
+
+    #[test]
+    fn u64_folding_is_le_bytes() {
+        let v = 0x0102_0304_0506_0708u64;
+        assert_eq!(fnv1a_u64(FNV_OFFSET, v), fnv1a_bytes(&v.to_le_bytes()));
+    }
+}

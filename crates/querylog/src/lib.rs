@@ -27,6 +27,7 @@
 
 pub mod clean;
 pub mod entry;
+pub mod hash;
 pub mod ids;
 pub mod io;
 pub mod session;

@@ -1,0 +1,173 @@
+//! Asynchronous log ingestion: a bounded multi-producer queue feeding the
+//! per-shard delta rebuilds.
+//!
+//! Producers call [`IngestQueue::offer`] from any thread; it never blocks.
+//! When the queue is full the entry is *rejected* and counted — bounded
+//! backpressure, so a slow rebuild loop can never let the queue grow
+//! without limit. The (single) writer drains the queue, partitions the
+//! deltas per shard and swaps rebuilt snapshots in.
+//!
+//! Built on `std::sync::mpsc::sync_channel` — the in-repo crossbeam shim
+//! has no channels, and the std bounded channel gives the same non-blocking
+//! `try_send` contract a lock-free ring would.
+
+use pqsda_querylog::LogEntry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+
+/// Counters of one queue's lifetime (monotone; read them for stats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Entries accepted into the queue.
+    pub accepted: u64,
+    /// Entries rejected because the queue was at capacity.
+    pub rejected: u64,
+    /// Entries drained by the writer so far.
+    pub drained: u64,
+}
+
+impl IngestStats {
+    /// Entries currently waiting (accepted − drained).
+    pub fn depth(&self) -> u64 {
+        self.accepted - self.drained
+    }
+}
+
+/// The bounded ingestion queue.
+pub struct IngestQueue {
+    tx: SyncSender<LogEntry>,
+    rx: parking_lot::Mutex<Receiver<LogEntry>>,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    drained: AtomicU64,
+    capacity: usize,
+}
+
+impl IngestQueue {
+    /// A queue holding at most `capacity` undrained entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ingestion queue needs positive capacity");
+        let (tx, rx) = sync_channel(capacity);
+        IngestQueue {
+            tx,
+            rx: parking_lot::Mutex::new(rx),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers one entry; `false` means the queue was full and the entry
+    /// was dropped (backpressure — the producer decides whether to retry).
+    /// Never blocks.
+    pub fn offer(&self, entry: LogEntry) -> bool {
+        match self.tx.try_send(entry) {
+            Ok(()) => {
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Drains everything currently queued, in arrival order. Called by the
+    /// rebuild writer; concurrent producers keep offering while this runs
+    /// (their entries land in this or the next drain).
+    pub fn drain(&self) -> Vec<LogEntry> {
+        let rx = self.rx.lock();
+        let mut out = Vec::new();
+        while let Ok(e) = rx.try_recv() {
+            out.push(e);
+        }
+        self.drained.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> IngestStats {
+        // Load drained before accepted so a racing `offer` can only make
+        // the reported depth conservative (never negative).
+        let drained = self.drained.load(Ordering::Relaxed);
+        let rejected = self.rejected.load(Ordering::Relaxed);
+        let accepted = self.accepted.load(Ordering::Relaxed);
+        IngestStats {
+            accepted: accepted.max(drained),
+            rejected,
+            drained,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_querylog::UserId;
+
+    fn entry(i: u64) -> LogEntry {
+        LogEntry::new(UserId(i as u32), format!("q{i}"), None, i)
+    }
+
+    #[test]
+    fn accepts_until_capacity_then_rejects() {
+        let q = IngestQueue::new(3);
+        assert!(q.offer(entry(0)));
+        assert!(q.offer(entry(1)));
+        assert!(q.offer(entry(2)));
+        assert!(!q.offer(entry(3)), "fourth offer must hit backpressure");
+        let s = q.stats();
+        assert_eq!((s.accepted, s.rejected, s.depth()), (3, 1, 3));
+    }
+
+    #[test]
+    fn drain_returns_arrival_order_and_frees_capacity() {
+        let q = IngestQueue::new(2);
+        q.offer(entry(0));
+        q.offer(entry(1));
+        let drained = q.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].timestamp, 0);
+        assert_eq!(drained[1].timestamp, 1);
+        assert_eq!(q.stats().depth(), 0);
+        assert!(q.offer(entry(2)), "drain must free capacity");
+        assert_eq!(q.drain().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_accepted() {
+        let q = std::sync::Arc::new(IngestQueue::new(64));
+        let mut total_accepted = 0u64;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let q = std::sync::Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut ok = 0u64;
+                        for i in 0..100u64 {
+                            if q.offer(entry(t * 1000 + i)) {
+                                ok += 1;
+                            }
+                        }
+                        ok
+                    })
+                })
+                .collect();
+            for h in handles {
+                total_accepted += h.join().unwrap();
+            }
+        });
+        let drained = q.drain().len() as u64;
+        assert_eq!(drained, total_accepted, "every accepted entry is drained");
+        let s = q.stats();
+        assert_eq!(s.accepted, total_accepted);
+        assert_eq!(s.accepted + s.rejected, 400);
+    }
+}

@@ -1,0 +1,29 @@
+//! Sharded serving for PQS-DA: scale-out of the suggestion engine across
+//! N independent shards with online log ingestion and zero-downtime
+//! snapshot reloads.
+//!
+//! The crate is a thin production layer over `pqsda`'s single-node engine:
+//!
+//! - [`router`] — stable FNV-1a routing of users/queries/log entries to
+//!   shards (pure content hashing; survives restarts and rebuilds),
+//! - [`swap`] — `ArcSwap`-style snapshot publication with generation tags
+//!   and content digests ([`ShardTag`]),
+//! - [`ingest`] — a bounded, non-blocking delta queue with backpressure,
+//! - [`sharded`] — [`ShardedPqsDa`], the scatter-gather facade tying the
+//!   three together: build, serve, ingest, `apply_deltas` (rebuild +
+//!   swap), stats.
+//!
+//! With one shard the router-merged output is bit-identical to the plain
+//! [`pqsda::PqsDa`] engine — pinned by the equivalence proptest in
+//! `tests/equivalence.rs` — so sharding is a pure deployment decision,
+//! not a quality trade-off.
+
+pub mod ingest;
+pub mod router;
+pub mod sharded;
+pub mod swap;
+
+pub use ingest::{IngestQueue, IngestStats};
+pub use router::{partition_entries, route_query, route_query_text, route_user, PartitionKey};
+pub use sharded::{ServeConfig, ServeReply, ServeStats, ShardedPqsDa, SwapReport};
+pub use swap::{ShardSnapshot, ShardTag, Swap};

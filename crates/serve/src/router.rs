@@ -1,0 +1,140 @@
+//! Shard routing: stable-hash partitioning of users, queries and raw log
+//! entries across N independent shards.
+//!
+//! Routing must be a pure function of the *content* being routed — never
+//! of interning order, process state or `std::hash`'s per-process seed —
+//! so the same user lands on the same shard across restarts and across
+//! the router/shard rebuilds of the swap protocol. Users route by their
+//! external id; queries route by their **normalized text** (the id a
+//! query gets is an artifact of interning order and would differ between
+//! the global log and a shard's partition log).
+
+use pqsda_querylog::hash::{fnv1a_bytes, fnv1a_u64, FNV_OFFSET};
+use pqsda_querylog::{text, LogEntry, QueryId, QueryLog, UserId};
+
+/// Which field of a log entry determines its shard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PartitionKey {
+    /// Partition by user: each user's whole history (sessions, clicks and
+    /// therefore their UPM profile document) lives in exactly one shard,
+    /// so personalization stays intact. Popular queries appear in many
+    /// shards and anonymous requests scatter-gather across all of them.
+    #[default]
+    User,
+    /// Partition by query text: every record of a query lands in one home
+    /// shard, so a request touches exactly one shard. Users spread across
+    /// shards (a profile is trained from the user's in-shard records only).
+    Query,
+}
+
+/// The home shard of a user. Pure in `(user, shards)`.
+pub fn route_user(user: UserId, shards: usize) -> usize {
+    assert!(shards > 0, "route_user needs at least one shard");
+    (fnv1a_u64(FNV_OFFSET, u64::from(user.0)) % shards as u64) as usize
+}
+
+/// The home shard of a *normalized* query text. Pure in `(text, shards)`.
+pub fn route_query_text(normalized: &str, shards: usize) -> usize {
+    assert!(shards > 0, "route_query_text needs at least one shard");
+    (fnv1a_bytes(normalized.as_bytes()) % shards as u64) as usize
+}
+
+/// The home shard of an interned query: routes by its normalized text, so
+/// the answer is independent of which log interned the id.
+pub fn route_query(log: &QueryLog, query: QueryId, shards: usize) -> usize {
+    route_query_text(log.query_text(query), shards)
+}
+
+/// Splits raw entries into per-shard partitions by the chosen key,
+/// preserving relative order within each partition. Every entry lands in
+/// exactly one partition.
+pub fn partition_entries(
+    entries: &[LogEntry],
+    key: PartitionKey,
+    shards: usize,
+) -> Vec<Vec<LogEntry>> {
+    assert!(shards > 0, "partition_entries needs at least one shard");
+    let mut parts: Vec<Vec<LogEntry>> = (0..shards).map(|_| Vec::new()).collect();
+    for e in entries {
+        let s = match key {
+            PartitionKey::User => route_user(e.user, shards),
+            PartitionKey::Query => route_query_text(&text::normalize(&e.query), shards),
+        };
+        parts[s].push(e.clone());
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 4, 7] {
+            for raw in 0..200u32 {
+                let s = route_user(UserId(raw), shards);
+                assert!(s < shards);
+                assert_eq!(s, route_user(UserId(raw), shards));
+            }
+            for t in ["sun", "sun java", "solar panels", ""] {
+                let s = route_query_text(t, shards);
+                assert!(s < shards);
+                assert_eq!(s, route_query_text(t, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_takes_everything() {
+        for raw in 0..50u32 {
+            assert_eq!(route_user(UserId(raw), 1), 0);
+        }
+        assert_eq!(route_query_text("anything", 1), 0);
+    }
+
+    #[test]
+    fn routing_spreads_across_shards() {
+        // Not a uniformity proof — just that FNV doesn't collapse
+        // consecutive ids onto one shard.
+        let shards = 4;
+        let mut hit = vec![false; shards];
+        for raw in 0..64u32 {
+            hit[route_user(UserId(raw), shards)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "all shards should receive users");
+    }
+
+    #[test]
+    fn partition_is_exhaustive_and_disjoint() {
+        let entries: Vec<LogEntry> = (0..40)
+            .map(|i| {
+                LogEntry::new(
+                    UserId(i % 7),
+                    format!("query {}", i % 11),
+                    Some("u.com"),
+                    u64::from(i) * 10,
+                )
+            })
+            .collect();
+        for key in [PartitionKey::User, PartitionKey::Query] {
+            for shards in [1usize, 2, 4] {
+                let parts = partition_entries(&entries, key, shards);
+                assert_eq!(parts.len(), shards);
+                assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), entries.len());
+                // Same-key entries stay together.
+                for (s, part) in parts.iter().enumerate() {
+                    for e in part {
+                        let home = match key {
+                            PartitionKey::User => route_user(e.user, shards),
+                            PartitionKey::Query => {
+                                route_query_text(&text::normalize(&e.query), shards)
+                            }
+                        };
+                        assert_eq!(home, s);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! The sharded serving engine: scatter-gather suggestion over N
+//! independent [`PqsDa`] shards with score-ordered merging, plus the
+//! writer side (delta ingestion → per-shard rebuild → snapshot swap).
+//!
+//! ## Id spaces
+//!
+//! Requests and responses speak the **router log**'s [`QueryId`] space
+//! (the interned full log). Each shard interns its own partition, so ids
+//! differ per shard; translation goes through normalized query *text* in
+//! both directions — an O(1) hash lookup per id, and the only
+//! representation that is stable across rebuilds.
+//!
+//! ## Merge
+//!
+//! Each consulted shard returns its top-k `(query, F*)` list in rank
+//! order. The router merges **rank-stratified**: all shards' rank-0
+//! candidates (ordered by relevance score, ties toward the smaller global
+//! id), then rank-1, and so on until `k` distinct queries are collected.
+//! Rank position encodes the diversification order (Algorithm 1's
+//! discovery order *is* the ranking), so stratifying by rank preserves
+//! each shard's diversity structure while relevance orders candidates
+//! within a stratum. With one shard the merge is the identity — the
+//! equivalence proptest pins sharded N=1 output to the unsharded engine,
+//! bit for bit.
+
+use crate::ingest::{IngestQueue, IngestStats};
+use crate::router::{partition_entries, route_query_text, PartitionKey};
+use crate::swap::{ShardSnapshot, ShardTag, Swap};
+use pqsda::{CacheStats, EngineBuildOptions, PqsDa};
+use pqsda_baselines::SuggestRequest;
+use pqsda_querylog::{text, LogEntry, QueryId, QueryLog};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of a sharded server.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// How entries are partitioned.
+    pub key: PartitionKey,
+    /// The per-shard engine build recipe.
+    pub build: EngineBuildOptions,
+    /// Ingestion-queue capacity (backpressure bound).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 2,
+            key: PartitionKey::default(),
+            build: EngineBuildOptions::default(),
+            queue_capacity: 4096,
+        }
+    }
+}
+
+/// One answered request: the merged suggestions (global ids, with the
+/// relevance score each earned in its shard) and the exact snapshot tags
+/// that produced them.
+#[derive(Clone, Debug)]
+pub struct ServeReply {
+    /// Merged top-k, rank order, global [`QueryId`]s.
+    pub suggestions: Vec<(QueryId, f64)>,
+    /// The tag of every shard snapshot consulted (one per consulted
+    /// shard, in shard order). Readers use these to verify generation
+    /// consistency — see the soak test.
+    pub tags: Vec<ShardTag>,
+}
+
+impl ServeReply {
+    /// The suggestion ranking without scores.
+    pub fn ranked(&self) -> Vec<QueryId> {
+        self.suggestions.iter().map(|&(q, _)| q).collect()
+    }
+}
+
+/// A point-in-time view of the server's counters.
+#[derive(Clone, Debug)]
+pub struct ServeStats {
+    /// Shard count.
+    pub shards: usize,
+    /// Current generation of each shard.
+    pub generations: Vec<u64>,
+    /// Snapshot swaps performed since construction (across all shards).
+    pub total_swaps: u64,
+    /// Ingestion-queue counters (accepted/rejected/drained; depth derives).
+    pub ingest: IngestStats,
+    /// Expansion-memo counters aggregated over all live shard snapshots.
+    pub cache: CacheStats,
+}
+
+/// What one [`ShardedPqsDa::apply_deltas`] call did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SwapReport {
+    /// Entries drained from the ingestion queue.
+    pub drained: usize,
+    /// Shards rebuilt and swapped (those whose partition got deltas).
+    pub rebuilt: Vec<usize>,
+}
+
+struct Shard {
+    snap: Swap<ShardSnapshot>,
+    /// The raw entries the *current* snapshot was built from. Writer-only
+    /// (guarded by the rebuild lock); readers never touch it.
+    base: parking_lot::Mutex<Vec<LogEntry>>,
+}
+
+/// N independent PQS-DA shards behind one request-level facade.
+pub struct ShardedPqsDa {
+    config: ServeConfig,
+    /// The global id-space log: interns every entry ever built or
+    /// ingested, so request/response ids outlive shard rebuilds. Swapped
+    /// (grow-only) *before* the shards it feeds.
+    router: Swap<QueryLog>,
+    shards: Vec<Shard>,
+    queue: IngestQueue,
+    /// Every tag ever published, registered before its snapshot goes
+    /// live — the ground truth the soak test checks responses against.
+    registered: parking_lot::Mutex<Vec<ShardTag>>,
+    /// Serializes writers (`apply_deltas`).
+    rebuild_lock: parking_lot::Mutex<()>,
+    total_swaps: AtomicU64,
+}
+
+impl ShardedPqsDa {
+    /// Partitions `entries` and builds every shard with `config.build`.
+    pub fn build(entries: &[LogEntry], config: ServeConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        let router = QueryLog::from_entries(entries);
+        let parts = partition_entries(entries, config.key, config.shards);
+        let mut registered = Vec::with_capacity(config.shards);
+        let shards: Vec<Shard> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(s, part)| {
+                let engine = PqsDa::build_from_entries(&part, &config.build);
+                let snap = ShardSnapshot::stamp(engine, s, 0);
+                registered.push(snap.tag);
+                Shard {
+                    snap: Swap::new(Arc::new(snap)),
+                    base: parking_lot::Mutex::new(part),
+                }
+            })
+            .collect();
+        ShardedPqsDa {
+            queue: IngestQueue::new(config.queue_capacity),
+            config,
+            router: Swap::new(Arc::new(router)),
+            shards,
+            registered: parking_lot::Mutex::new(registered),
+            rebuild_lock: parking_lot::Mutex::new(()),
+            total_swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The current global id-space log (for resolving suggestion text).
+    pub fn router_log(&self) -> Arc<QueryLog> {
+        self.router.load()
+    }
+
+    /// The tag of every shard's *current* snapshot, in shard order.
+    pub fn shard_tags(&self) -> Vec<ShardTag> {
+        self.shards.iter().map(|s| s.snap.load().tag).collect()
+    }
+
+    /// Every tag ever published (including superseded generations).
+    /// A response's tags must all appear here — the torn-read invariant.
+    pub fn registered_tags(&self) -> Vec<ShardTag> {
+        self.registered.lock().clone()
+    }
+
+    /// Serves one request: scatter to the responsible shard(s), gather
+    /// scored candidates, merge rank-stratified.
+    pub fn suggest(&self, req: &SuggestRequest) -> ServeReply {
+        let router = self.router.load();
+        if req.query.index() >= router.num_queries() || req.k == 0 {
+            return ServeReply {
+                suggestions: Vec::new(),
+                tags: Vec::new(),
+            };
+        }
+        let input_text = router.query_text(req.query);
+        let targets: Vec<usize> = match self.config.key {
+            // The query's home shard holds every record of it.
+            PartitionKey::Query => vec![route_query_text(input_text, self.config.shards)],
+            // User partitions spread a query's evidence across shards:
+            // consult all of them and merge.
+            PartitionKey::User => (0..self.config.shards).collect(),
+        };
+
+        let mut tags = Vec::with_capacity(targets.len());
+        let mut lists: Vec<Vec<(QueryId, f64)>> = Vec::with_capacity(targets.len());
+        for s in targets {
+            // One load per shard: the whole per-shard computation runs
+            // against this single immutable snapshot.
+            let snap = self.shards[s].snap.load();
+            tags.push(snap.tag);
+            let shard_log = snap.engine.log();
+            let Some(local_query) = shard_log.find_query(input_text) else {
+                continue; // this shard never saw the query
+            };
+            // Translate the context into the shard's id space, dropping
+            // context queries the shard has never seen (the compact
+            // expansion drops unknown seeds the same way).
+            let mut context = Vec::with_capacity(req.context.len());
+            let mut context_times = Vec::with_capacity(req.context.len());
+            for (&c, &t) in req.context.iter().zip(&req.context_times) {
+                if c.index() >= router.num_queries() {
+                    continue;
+                }
+                if let Some(lc) = shard_log.find_query(router.query_text(c)) {
+                    context.push(lc);
+                    context_times.push(t);
+                }
+            }
+            let local_req = SuggestRequest {
+                query: local_query,
+                context,
+                context_times,
+                query_time: req.query_time,
+                user: req.user,
+                k: req.k,
+            };
+            let scored = snap.engine.suggest_scored(&local_req);
+            lists.push(
+                scored
+                    .into_iter()
+                    .filter_map(|(q, score)| {
+                        // Shard vocabularies are subsets of the router's
+                        // (the router swaps first on ingest), so this
+                        // lookup only filters pathological races out.
+                        router
+                            .find_query(shard_log.query_text(q))
+                            .map(|g| (g, score))
+                    })
+                    .collect(),
+            );
+        }
+        ServeReply {
+            suggestions: merge_rank_stratified(&lists, req.k),
+            tags,
+        }
+    }
+
+    /// Serves a batch, fanning requests across the worker pool (`0` =
+    /// auto). Output order matches input order and each reply is identical
+    /// to a serial [`ShardedPqsDa::suggest`] call.
+    pub fn suggest_many_with_threads(
+        &self,
+        reqs: &[SuggestRequest],
+        threads: usize,
+    ) -> Vec<ServeReply> {
+        let threads = pqsda_parallel::effective_threads(threads, reqs.len(), 1);
+        pqsda_parallel::map_indexed(reqs.len(), threads, |i| self.suggest(&reqs[i]))
+    }
+
+    /// [`ShardedPqsDa::suggest_many_with_threads`] with automatic threads.
+    pub fn suggest_many(&self, reqs: &[SuggestRequest]) -> Vec<ServeReply> {
+        self.suggest_many_with_threads(reqs, 0)
+    }
+
+    /// Offers one new log entry to the ingestion queue (non-blocking;
+    /// `false` = backpressure rejection). The entry takes effect at the
+    /// next [`ShardedPqsDa::apply_deltas`].
+    pub fn ingest(&self, entry: LogEntry) -> bool {
+        self.queue.offer(entry)
+    }
+
+    /// The writer step: drains the queue, extends the router id space,
+    /// rebuilds the shards whose partitions received deltas and swaps the
+    /// new snapshots in. Readers are never blocked — they keep answering
+    /// from the old `Arc`s until the pointer store, and from the new ones
+    /// after. Safe to call from any thread; writers serialize.
+    pub fn apply_deltas(&self) -> SwapReport {
+        let _writer = self.rebuild_lock.lock();
+        let deltas = self.queue.drain();
+        if deltas.is_empty() {
+            return SwapReport::default();
+        }
+
+        // Router first: its vocabulary must cover every shard's before a
+        // rebuilt shard goes live (response translation relies on it).
+        // Growth is append-only, so existing global ids stay valid.
+        let mut grown = (*self.router.load()).clone();
+        for e in &deltas {
+            grown.push_entry(e);
+        }
+        self.router.store(Arc::new(grown));
+
+        let parts = partition_entries(&deltas, self.config.key, self.config.shards);
+        let mut rebuilt = Vec::new();
+        for (s, delta) in parts.into_iter().enumerate() {
+            if delta.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[s];
+            let entries: Vec<LogEntry> = {
+                let mut base = shard.base.lock();
+                base.extend(delta);
+                base.clone()
+            };
+            // Full off-line rebuild of this shard's world (the engine
+            // build sorts by timestamp, so late-arriving old entries
+            // land in their chronological place).
+            let engine = PqsDa::build_from_entries(&entries, &self.config.build);
+            let generation = shard.snap.load().tag.generation + 1;
+            let snap = ShardSnapshot::stamp(engine, s, generation);
+            // Register the tag BEFORE publishing: a reader can never hold
+            // a tag the registry hasn't seen.
+            self.registered.lock().push(snap.tag);
+            shard.snap.store(Arc::new(snap));
+            self.total_swaps.fetch_add(1, Ordering::Relaxed);
+            rebuilt.push(s);
+        }
+        SwapReport {
+            drained: deltas.len(),
+            rebuilt,
+        }
+    }
+
+    /// Counters: per-shard generations, swap count, queue and cache stats.
+    pub fn stats(&self) -> ServeStats {
+        let mut cache = CacheStats::default();
+        let mut generations = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            let snap = s.snap.load();
+            generations.push(snap.tag.generation);
+            let c = snap.engine.cache_stats();
+            cache.hits += c.hits;
+            cache.misses += c.misses;
+            cache.evictions += c.evictions;
+        }
+        ServeStats {
+            shards: self.shards.len(),
+            generations,
+            total_swaps: self.total_swaps.load(Ordering::Relaxed),
+            ingest: self.queue.stats(),
+            cache,
+        }
+    }
+
+    /// Resolves a global id to its text (current router generation).
+    pub fn query_text(&self, q: QueryId) -> Option<String> {
+        let router = self.router.load();
+        (q.index() < router.num_queries()).then(|| router.query_text(q).to_owned())
+    }
+
+    /// Looks a query up in the global id space.
+    pub fn find_query(&self, raw: &str) -> Option<QueryId> {
+        self.router.load().find_query(raw)
+    }
+
+    /// The home shard of `raw` under the configured key (Query key only
+    /// routes by text; under the User key data placement is per-user).
+    pub fn home_shard_of_query(&self, raw: &str) -> usize {
+        route_query_text(&text::normalize(raw), self.config.shards)
+    }
+}
+
+/// Rank-stratified, score-ordered merge of per-shard candidate lists.
+///
+/// Stratum `r` holds every list's rank-`r` candidate; within a stratum
+/// candidates order by `(score desc, global id asc)`; duplicates keep
+/// their first (highest-stratum) occurrence. Stops at `k`. With a single
+/// list this is the identity (already ≤ k and duplicate-free).
+fn merge_rank_stratified(lists: &[Vec<(QueryId, f64)>], k: usize) -> Vec<(QueryId, f64)> {
+    let max_len = lists.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = Vec::new();
+    let mut seen: HashSet<QueryId> = HashSet::new();
+    'strata: for r in 0..max_len {
+        let mut stratum: Vec<(QueryId, f64)> =
+            lists.iter().filter_map(|l| l.get(r)).copied().collect();
+        stratum.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("relevance scores are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        for (q, score) in stratum {
+            if seen.insert(q) {
+                out.push((q, score));
+                if out.len() == k {
+                    break 'strata;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_querylog::UserId;
+
+    fn q(i: u32) -> QueryId {
+        QueryId(i)
+    }
+
+    #[test]
+    fn merge_single_list_is_identity() {
+        let list = vec![(q(3), 0.9), (q(1), 0.5), (q(7), 0.4)];
+        let lists = std::slice::from_ref(&list);
+        assert_eq!(merge_rank_stratified(lists, 5), list);
+        assert_eq!(merge_rank_stratified(lists, 2), list[..2].to_vec());
+    }
+
+    #[test]
+    fn merge_orders_within_stratum_by_score_then_id() {
+        let a = vec![(q(1), 0.5), (q(2), 0.4)];
+        let b = vec![(q(3), 0.9), (q(4), 0.1)];
+        let merged = merge_rank_stratified(&[a, b], 10);
+        // Stratum 0: q3 (0.9) before q1 (0.5); stratum 1: q2 before q4.
+        assert_eq!(
+            merged,
+            vec![(q(3), 0.9), (q(1), 0.5), (q(2), 0.4), (q(4), 0.1)]
+        );
+    }
+
+    #[test]
+    fn merge_dedups_keeping_first_stratum() {
+        let a = vec![(q(1), 0.8), (q(2), 0.6)];
+        let b = vec![(q(2), 0.7), (q(1), 0.3)];
+        let merged = merge_rank_stratified(&[a, b], 10);
+        assert_eq!(merged, vec![(q(1), 0.8), (q(2), 0.7)]);
+    }
+
+    #[test]
+    fn merge_breaks_score_ties_toward_smaller_id() {
+        let a = vec![(q(9), 0.5)];
+        let b = vec![(q(2), 0.5)];
+        let merged = merge_rank_stratified(&[a, b], 10);
+        assert_eq!(merged, vec![(q(2), 0.5), (q(9), 0.5)]);
+    }
+
+    #[test]
+    fn end_to_end_two_shards_cover_both_facets() {
+        // A tiny world; user key with 2 shards: users split somehow, and
+        // an anonymous request must still gather candidates from every
+        // shard that knows the query.
+        let mut entries = Vec::new();
+        for rep in 0..4u64 {
+            let base = rep * 50_000;
+            for (u, qtext, url, dt) in [
+                (0u32, "sun", "java.com", 0u64),
+                (0, "sun java", "java.com", 30),
+                (0, "java jdk", "jdk.com", 60),
+                (1, "sun", "solar.org", 1000),
+                (1, "sun solar energy", "solar.org", 1030),
+                (1, "solar panels", "panels.com", 1060),
+                (2, "sun java", "java.com", 2000),
+            ] {
+                entries.push(LogEntry::new(UserId(u), qtext, Some(url), base + dt));
+            }
+        }
+        let server = ShardedPqsDa::build(
+            &entries,
+            ServeConfig {
+                shards: 2,
+                key: PartitionKey::User,
+                ..ServeConfig::default()
+            },
+        );
+        let sun = server.find_query("sun").unwrap();
+        let reply = server.suggest(&SuggestRequest::simple(sun, 4));
+        assert!(!reply.suggestions.is_empty());
+        assert_eq!(reply.tags.len(), 2, "user key consults every shard");
+        // All returned ids live in the router space.
+        for (qid, _) in &reply.suggestions {
+            assert!(server.query_text(*qid).is_some());
+        }
+        // Batch serving matches serial.
+        let reqs = vec![SuggestRequest::simple(sun, 4); 8];
+        for r in server.suggest_many_with_threads(&reqs, 4) {
+            assert_eq!(r.ranked(), reply.ranked());
+        }
+    }
+
+    #[test]
+    fn ingest_then_apply_deltas_swaps_only_touched_shards() {
+        let entries: Vec<LogEntry> = (0..30)
+            .map(|i| {
+                LogEntry::new(
+                    UserId(i % 5),
+                    format!("query {}", i % 7),
+                    Some("u.com"),
+                    u64::from(i) * 100,
+                )
+            })
+            .collect();
+        let server = ShardedPqsDa::build(
+            &entries,
+            ServeConfig {
+                shards: 4,
+                key: PartitionKey::User,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(server.stats().generations, vec![0, 0, 0, 0]);
+        assert_eq!(server.apply_deltas(), SwapReport::default());
+
+        // One new user's entries → exactly one shard rebuilds.
+        let new_user = UserId(77);
+        assert!(server.ingest(LogEntry::new(new_user, "brand new query", None, 9_000)));
+        assert!(server.ingest(LogEntry::new(new_user, "query 1", Some("u.com"), 9_100)));
+        let report = server.apply_deltas();
+        assert_eq!(report.drained, 2);
+        assert_eq!(report.rebuilt, vec![crate::router::route_user(new_user, 4)]);
+        let stats = server.stats();
+        assert_eq!(stats.total_swaps, 1);
+        assert_eq!(stats.generations.iter().sum::<u64>(), 1);
+        assert_eq!(stats.ingest.depth(), 0);
+
+        // The ingested query is now servable end to end.
+        let nq = server.find_query("brand new query").unwrap();
+        let reply = server.suggest(&SuggestRequest::simple(nq, 3).for_user(new_user));
+        assert_eq!(reply.tags.len(), 4);
+        // Every consulted tag is registered (torn-read invariant).
+        let registered = server.registered_tags();
+        for t in &reply.tags {
+            assert!(registered.contains(t), "unregistered tag {t:?}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Sharding is a deployment decision, not a quality trade-off: with one
+//! shard the router-merged output must be **bit-identical** to the plain
+//! single-node engine, and routing must place every user and query on
+//! exactly one stable shard for any shard count.
+
+use pqsda::{EngineBuildOptions, PqsDa, ProfileTrainOptions};
+use pqsda_baselines::SuggestRequest;
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_querylog::{text, QueryLog};
+use pqsda_serve::{
+    partition_entries, route_query, route_user, PartitionKey, ServeConfig, ShardedPqsDa,
+};
+use proptest::prelude::*;
+
+/// A request mix exercising every code path: anonymous, contextual,
+/// personalized, k = 0 and out-of-range ids.
+fn request_mix(log: &QueryLog) -> Vec<SuggestRequest> {
+    let records = log.records();
+    let mut reqs = Vec::new();
+    for (i, r) in records.iter().enumerate().step_by(records.len() / 12 + 1) {
+        let mut req = SuggestRequest::simple(r.query, 1 + i % 8).for_user(r.user);
+        if i > 0 {
+            let prev = &records[i - 1];
+            req = req.with_context(vec![prev.query], vec![prev.timestamp], r.timestamp);
+        }
+        reqs.push(req);
+        reqs.push(SuggestRequest::simple(r.query, 5)); // anonymous
+    }
+    reqs.push(SuggestRequest::simple(records[0].query, 0)); // k = 0
+    reqs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// N = 1 sharded serving reproduces `PqsDa::suggest_many` bit for bit,
+    /// under both partition keys.
+    #[test]
+    fn one_shard_matches_plain_engine(seed in 0u64..400) {
+        let s = generate(&SynthConfig::tiny(seed));
+        let entries = s.log.entries();
+        let build = EngineBuildOptions::default();
+        let plain = PqsDa::build_from_entries(&entries, &build);
+        let reqs = request_mix(plain.log());
+        let expected = plain.suggest_many(&reqs);
+        for key in [PartitionKey::User, PartitionKey::Query] {
+            let server = ShardedPqsDa::build(
+                &entries,
+                ServeConfig { shards: 1, key, build, ..ServeConfig::default() },
+            );
+            let replies = server.suggest_many(&reqs);
+            prop_assert_eq!(replies.len(), expected.len());
+            for (reply, want) in replies.iter().zip(&expected) {
+                prop_assert_eq!(&reply.ranked(), want, "key {:?}", key);
+            }
+        }
+    }
+
+    /// Every user and every query routes to exactly one in-range shard,
+    /// stably, for N ∈ {1, 2, 4}; partitioning the raw entries is
+    /// exhaustive and disjoint under both keys.
+    #[test]
+    fn routing_is_a_stable_single_assignment(seed in 0u64..400) {
+        let s = generate(&SynthConfig::tiny(seed));
+        let entries = s.log.entries();
+        for shards in [1usize, 2, 4] {
+            for r in s.log.records() {
+                let su = route_user(r.user, shards);
+                prop_assert!(su < shards);
+                prop_assert_eq!(su, route_user(r.user, shards));
+                let sq = route_query(&s.log, r.query, shards);
+                prop_assert!(sq < shards);
+                prop_assert_eq!(sq, route_query(&s.log, r.query, shards));
+            }
+            for key in [PartitionKey::User, PartitionKey::Query] {
+                let parts = partition_entries(&entries, key, shards);
+                prop_assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), entries.len());
+                for (shard, part) in parts.iter().enumerate() {
+                    for e in part {
+                        let home = match key {
+                            PartitionKey::User => route_user(e.user, shards),
+                            PartitionKey::Query => {
+                                pqsda_serve::route_query_text(&text::normalize(&e.query), shards)
+                            }
+                        };
+                        prop_assert_eq!(home, shard, "entry in a foreign shard");
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// The N = 1 identity survives personalization: the shard trains the
+    /// same UPM from the same partition, so personalized rankings match too.
+    #[test]
+    fn one_shard_matches_plain_engine_personalized(seed in 0u64..100) {
+        let s = generate(&SynthConfig::tiny(seed));
+        let entries = s.log.entries();
+        let build = EngineBuildOptions {
+            personalize: Some(ProfileTrainOptions {
+                num_topics: 5,
+                iterations: 15,
+                hyper_every: 0,
+                ..ProfileTrainOptions::default()
+            }),
+            ..EngineBuildOptions::default()
+        };
+        let plain = PqsDa::build_from_entries(&entries, &build);
+        let reqs = request_mix(plain.log());
+        let expected = plain.suggest_many(&reqs);
+        let server = ShardedPqsDa::build(
+            &entries,
+            ServeConfig { shards: 1, build, ..ServeConfig::default() },
+        );
+        for (reply, want) in server.suggest_many(&reqs).iter().zip(&expected) {
+            prop_assert_eq!(&reply.ranked(), want);
+        }
+    }
+}
+
+/// Multi-shard serving stays well-formed (ids valid, length ≤ k, no
+/// duplicates, input excluded) even though rankings legitimately differ
+/// from the unsharded engine.
+#[test]
+fn multi_shard_replies_are_well_formed() {
+    let s = generate(&SynthConfig::tiny(7));
+    let entries = s.log.entries();
+    for key in [PartitionKey::User, PartitionKey::Query] {
+        for shards in [2usize, 4] {
+            let server = ShardedPqsDa::build(
+                &entries,
+                ServeConfig {
+                    shards,
+                    key,
+                    ..ServeConfig::default()
+                },
+            );
+            for r in s.log.records().iter().step_by(9) {
+                let req = SuggestRequest::simple(r.query, 6).for_user(r.user);
+                let reply = server.suggest(&req);
+                assert!(reply.suggestions.len() <= 6);
+                let mut seen = std::collections::HashSet::new();
+                for &(q, score) in &reply.suggestions {
+                    assert!(seen.insert(q), "duplicate suggestion");
+                    assert_ne!(q, r.query, "input query suggested back");
+                    assert!(score.is_finite());
+                    assert!(server.query_text(q).is_some(), "unknown global id");
+                }
+            }
+        }
+    }
+}

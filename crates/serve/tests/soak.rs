@@ -1,0 +1,139 @@
+//! Concurrency soak: reader threads hammer `suggest` while the writer
+//! drives ingestion and snapshot swaps underneath them. Checks the swap
+//! protocol's externally visible invariants:
+//!
+//! - **no torn reads** — every tag a response carries was registered
+//!   before its snapshot went live, and a response never mixes two
+//!   generations of the same shard;
+//! - **no lost requests** — every reader request gets exactly one reply;
+//! - **monotone generations** — a reader never observes a shard going
+//!   backwards;
+//! - **consistent stats** — swap and queue counters add up afterwards.
+
+use pqsda_baselines::SuggestRequest;
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_querylog::{LogEntry, UserId};
+use pqsda_serve::{PartitionKey, ServeConfig, ShardedPqsDa};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const READERS: usize = 4;
+const SWAPS: usize = 4;
+
+#[test]
+fn readers_survive_snapshot_swaps_without_torn_or_lost_reads() {
+    let s = generate(&SynthConfig::tiny(23));
+    let entries = s.log.entries();
+    let server = Arc::new(ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            key: PartitionKey::User,
+            ..ServeConfig::default()
+        },
+    ));
+    let queries: Vec<_> = s.log.records().iter().step_by(5).map(|r| r.query).collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let answered = Arc::new(AtomicU64::new(0));
+    let swaps_done = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..READERS)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                let stop = Arc::clone(&stop);
+                let answered = Arc::clone(&answered);
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut issued = 0u64;
+                    let mut replies = 0u64;
+                    // Highest generation seen per shard: must never regress.
+                    let mut high_water = [0u64; 2];
+                    let mut observed_tags = HashSet::new();
+                    let mut i = t; // stagger readers across the query list
+                    while !stop.load(Ordering::Relaxed) || issued < 50 {
+                        let q = queries[i % queries.len()];
+                        i += 1;
+                        issued += 1;
+                        let reply = server.suggest(&SuggestRequest::simple(q, 5));
+                        replies += 1;
+                        let mut shards_in_reply = HashSet::new();
+                        for tag in &reply.tags {
+                            // One generation of each shard per response.
+                            assert!(
+                                shards_in_reply.insert(tag.shard),
+                                "response mixed two snapshots of shard {}",
+                                tag.shard
+                            );
+                            assert!(
+                                tag.generation >= high_water[tag.shard],
+                                "shard {} went backwards: gen {} after {}",
+                                tag.shard,
+                                tag.generation,
+                                high_water[tag.shard]
+                            );
+                            high_water[tag.shard] = high_water[tag.shard].max(tag.generation);
+                            observed_tags.insert(*tag);
+                        }
+                        answered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    assert_eq!(issued, replies, "a request went unanswered");
+                    observed_tags
+                })
+            })
+            .collect();
+
+        // Writer: feed fresh entries and swap SWAPS times under the readers.
+        let mut swaps = 0usize;
+        for round in 0..SWAPS {
+            for j in 0..6u64 {
+                let user = UserId(1000 + (round as u32) * 10 + j as u32);
+                let entry = LogEntry::new(
+                    user,
+                    format!("soak query {round} {j}"),
+                    Some("soak.example"),
+                    2_000_000 + (round as u64) * 1000 + j,
+                );
+                assert!(server.ingest(entry), "queue rejected under capacity");
+            }
+            let report = server.apply_deltas();
+            assert_eq!(report.drained, 6);
+            assert!(!report.rebuilt.is_empty(), "deltas must rebuild a shard");
+            swaps += report.rebuilt.len();
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        let registered: HashSet<_> = server.registered_tags().into_iter().collect();
+        for r in readers {
+            let observed = r.join().expect("reader panicked");
+            for tag in observed {
+                assert!(
+                    registered.contains(&tag),
+                    "reader held unregistered tag {tag:?} — torn publication"
+                );
+            }
+        }
+        swaps
+    });
+
+    assert!(swaps_done >= SWAPS, "expected at least {SWAPS} swaps");
+    let stats = server.stats();
+    assert_eq!(stats.total_swaps, swaps_done as u64);
+    assert_eq!(stats.ingest.accepted, (SWAPS * 6) as u64);
+    assert_eq!(stats.ingest.rejected, 0);
+    assert_eq!(stats.ingest.depth(), 0, "all deltas were applied");
+    assert_eq!(
+        stats.generations.iter().sum::<u64>(),
+        swaps_done as u64,
+        "per-shard generations must account for every swap"
+    );
+    // The memo caches served real traffic.
+    assert!(stats.cache.hits + stats.cache.misses > 0);
+    assert!(answered.load(Ordering::Relaxed) >= (READERS * 50) as u64);
+
+    // Post-soak: the ingested queries are fully servable.
+    let q = server.find_query("soak query 0 0").expect("ingested query");
+    let reply = server.suggest(&SuggestRequest::simple(q, 3));
+    assert_eq!(reply.tags.len(), 2);
+}

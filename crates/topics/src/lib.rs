@@ -47,6 +47,6 @@ pub mod upm_reference;
 pub use corpus::{Corpus, DocSession, Document, SplitCorpus};
 pub use counts::{Counts2D, SparseCounts};
 pub use model::{perplexity, TopicModel, TrainConfig};
-pub use store::{load_upm, save_upm, StoreError};
+pub use store::{load_upm, save_upm, upm_digest, StoreError};
 pub use upm::{GibbsPhaseStats, Upm, UpmConfig};
 pub use upm_reference::UpmReference;

@@ -158,6 +158,19 @@ pub fn save_upm(upm: &Upm, buf: &mut Vec<u8>) {
     }
 }
 
+/// A stable content digest of a trained model: FNV-1a over the
+/// [`save_upm`] byte image. Two models digest equal iff they serialize
+/// identically — every count, hyperparameter and τ bit participates.
+///
+/// The serving layer stamps each shard snapshot's profile store with this
+/// value (next to the graph digest) so concurrent readers can verify the
+/// graph+profile pair they answered from is one registered generation.
+pub fn upm_digest(upm: &Upm) -> u64 {
+    let mut buf = Vec::new();
+    save_upm(upm, &mut buf);
+    pqsda_querylog::hash::fnv1a_bytes(&buf)
+}
+
 /// Deserializes a model saved with [`save_upm`].
 pub fn load_upm(mut data: &[u8]) -> Result<Upm, StoreError> {
     if data.remaining() < 5 {
@@ -330,6 +343,41 @@ mod tests {
                 assert_eq!(loaded.tau(z).alpha(), upm.tau(z).alpha());
             }
         }
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let upm = trained();
+        assert_eq!(upm_digest(&upm), upm_digest(&upm));
+        // A round-tripped model carries identical content.
+        let mut buf = Vec::new();
+        save_upm(&upm, &mut buf);
+        assert_eq!(upm_digest(&load_upm(&buf).unwrap()), upm_digest(&upm));
+        // A smaller model (different content) digests differently.
+        let other = Upm::train(
+            &Corpus {
+                docs: vec![Document {
+                    user: UserId(0),
+                    sessions: (0..4)
+                        .map(|i| DocSession::from_records(vec![(vec![i % 3], Some(0))], 0.4))
+                        .collect(),
+                }],
+                num_words: 6,
+                num_urls: 2,
+            },
+            &UpmConfig {
+                base: TrainConfig {
+                    num_topics: 2,
+                    iterations: 10,
+                    seed: 11,
+                    ..TrainConfig::default()
+                },
+                hyper_every: 0,
+                hyper_iterations: 0,
+                threads: 1,
+            },
+        );
+        assert_ne!(upm_digest(&other), upm_digest(&upm));
     }
 
     #[test]

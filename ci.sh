@@ -8,9 +8,12 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 # Perf harness in smoke mode: asserts every kernel is bit-identical
-# across thread counts (minimal time budget, no BENCH_perf.json write).
+# across thread counts, and that a 1% delta through `apply_delta` is
+# digest-equal to — and at least 5x cheaper than — a cold full rebuild
+# (minimal time budget, no BENCH_perf.json write).
 cargo run --release -q -p pqsda-bench --bin perf -- --smoke
 # Serving smoke: 1-shard output asserted identical to the unsharded
-# engine, then a 2-shard server through a mid-stream ingest + swap.
+# engine, then a 2-shard server through a mid-stream ingest + swap,
+# with the incremental path asserted equivalent to a cold rebuild.
 cargo run --release -q -p pqsda-cli --bin pqsda -- serve --smoke
 echo "ci: all green"

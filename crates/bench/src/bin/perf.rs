@@ -15,6 +15,12 @@
 //! [`Upm::train_with_stats`], so regressions can be attributed to a phase
 //! rather than the whole training loop.
 //!
+//! Two freshness rows time the incremental-update pipeline: `delta_apply`
+//! (a 1% chronological tail through `PqsDa::apply_delta`) against
+//! `full_rebuild` (cold `build_from_entries` over the full log), with the
+//! resulting graphs asserted digest-equal and the delta path gated at
+//! ≥ 5× cheaper.
+//!
 //! Every kernel is bit-identical across thread counts (asserted here, not
 //! just in the test suite), so `speedup` is a pure wall-clock ratio.
 //!
@@ -265,6 +271,55 @@ fn main() {
             .map(pqsda_serve::ServeReply::ranked)
             .collect::<Vec<_>>()
     }));
+
+    // incremental update: the freshness cost of the serving layer. A 1%
+    // chronological tail is applied through `PqsDa::apply_delta` (log
+    // append → scoped CF-IQF reweight → scoped cache invalidation) and
+    // timed against a cold `build_from_entries` over the full log. The
+    // digest equivalence against the resident full build is asserted once
+    // up front; the timed kernels then measure the two pipelines alone,
+    // without the digest's O(edges) hashing pass inflating both sides.
+    let cold_digest = unsharded.multi().digest();
+    let cut = entries.len() - (entries.len() / 100).max(1);
+    let base_engine = PqsDa::build_from_entries(&entries[..cut], &build);
+    {
+        let cold = PqsDa::build_from_entries(&entries, &build);
+        assert_eq!(cold.multi().digest(), cold_digest);
+        let (engine, report) = base_engine
+            .apply_delta(&entries[cut..], &build)
+            .expect("tail of entries() is chronological");
+        assert!(!report.full_reweight || report.new_records > 0);
+        assert_eq!(
+            engine.multi().digest(),
+            cold_digest,
+            "delta apply must equal cold rebuild"
+        );
+    }
+    let rebuild_rows = measure("full_rebuild", &[1], |_| {
+        let engine = PqsDa::build_from_entries(&entries, &build);
+        engine.log().records().len()
+    });
+    let delta_rows = measure("delta_apply", &[1], |_| {
+        let (engine, _) = base_engine
+            .apply_delta(&entries[cut..], &build)
+            .expect("tail of entries() is chronological");
+        engine.log().records().len()
+    });
+    let rebuild_ns = rebuild_rows[0].ns_per_iter;
+    let delta_ns = delta_rows[0].ns_per_iter;
+    let delta_speedup = rebuild_ns / delta_ns;
+    eprintln!(
+        "  delta_apply vs full_rebuild (1% delta, {} of {} entries): {delta_speedup:.1}x",
+        entries.len() - cut,
+        entries.len()
+    );
+    assert!(
+        delta_speedup >= 5.0,
+        "delta_apply must be at least 5x cheaper than full_rebuild for a 1% \
+         delta, got {delta_speedup:.1}x ({delta_ns:.0} vs {rebuild_ns:.0} ns/iter)"
+    );
+    rows.extend(rebuild_rows);
+    rows.extend(delta_rows);
 
     if smoke {
         eprintln!(

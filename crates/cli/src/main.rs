@@ -327,7 +327,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 /// The CI smoke: on a synthetic log, assert the sharded server's N = 1
 /// output is identical to the plain engine, then exercise a 2-shard
-/// server through a mid-stream ingest + snapshot swap.
+/// server through a mid-stream ingest + incremental snapshot swap, and
+/// assert the swapped state answers exactly like a cold rebuild over the
+/// concatenated log.
 fn serve_smoke() -> Result<(), String> {
     use pqsda_querylog::synth::{generate, SynthConfig};
 
@@ -376,14 +378,21 @@ fn serve_smoke() -> Result<(), String> {
         },
     );
     let before = server.suggest_many(&reqs);
-    for i in 0..4u32 {
-        let accepted = server.ingest(LogEntry::new(
-            UserId(900 + i),
-            format!("smoke query {i}"),
-            Some("smoke.example"),
-            3_000_000 + u64::from(i),
-        ));
-        if !accepted {
+    // Chronological deltas (past the log's end), so the swap must take
+    // the incremental path rather than the cold-rebuild fallback.
+    let t0 = 1 + entries.iter().map(|e| e.timestamp).max().unwrap_or(0);
+    let smoke_entries: Vec<LogEntry> = (0..4u32)
+        .map(|i| {
+            LogEntry::new(
+                UserId(900 + i),
+                format!("smoke query {i}"),
+                Some("smoke.example"),
+                t0 + u64::from(i),
+            )
+        })
+        .collect();
+    for e in &smoke_entries {
+        if !server.ingest(e.clone()) {
             return Err("smoke: ingest rejected below capacity".into());
         }
     }
@@ -391,7 +400,33 @@ fn serve_smoke() -> Result<(), String> {
     if report.drained != 4 || report.rebuilt.is_empty() {
         return Err(format!("smoke: unexpected swap report {report:?}"));
     }
+    if report.incremental != report.rebuilt {
+        return Err(format!(
+            "smoke: chronological delta fell back to a cold rebuild {report:?}"
+        ));
+    }
     let after = server.suggest_many(&reqs);
+
+    // Incremental-vs-cold equivalence: the swapped server must answer
+    // exactly like one cold-built from the concatenated log.
+    let all: Vec<LogEntry> = entries.iter().cloned().chain(smoke_entries).collect();
+    let cold = ShardedPqsDa::build(
+        &all,
+        ServeConfig {
+            shards: 2,
+            build,
+            ..ServeConfig::default()
+        },
+    );
+    for (got, want) in after.iter().zip(cold.suggest_many(&reqs)) {
+        if got.suggestions != want.suggestions {
+            return Err("smoke: incremental state diverged from cold rebuild".into());
+        }
+    }
+    println!(
+        "smoke: incremental apply == cold rebuild on {} requests",
+        reqs.len()
+    );
     let registered = server.registered_tags();
     for reply in before.iter().chain(&after) {
         for tag in &reply.tags {
@@ -409,7 +444,8 @@ fn serve_smoke() -> Result<(), String> {
         return Err(format!("smoke: inconsistent stats {stats:?}"));
     }
     println!(
-        "smoke: 2-shard swap ok — {} shard rebuild(s), generations {:?}, queue empty",
+        "smoke: 2-shard swap ok — {} shard update(s), all incremental, generations {:?}, \
+         queue empty",
         report.rebuilt.len(),
         stats.generations
     );

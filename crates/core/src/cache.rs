@@ -142,6 +142,51 @@ impl<K: Hash + Eq, V> ShardedLruCache<K, V> {
         }
     }
 
+    /// Inserts an already-wrapped value, evicting LRU entries if the shard
+    /// overflows — the delta-application path, which carries surviving
+    /// entries from the previous engine's memo into the new one.
+    pub fn insert(&self, key: K, value: Arc<V>) {
+        let shard = &self.shards[self.shard_of(&key)];
+        let mut map = shard.lock();
+        map.insert(
+            key,
+            Slot {
+                value,
+                last_used: self.next_tick(),
+            },
+        );
+        if map.len() > self.per_shard_capacity {
+            self.evict_lru(&mut map);
+        }
+    }
+
+    /// Snapshots every resident entry as `(key, value)` pairs, in shard
+    /// order. Handles are cheap clones; the cache itself is unchanged.
+    pub fn entries(&self) -> Vec<(K, Arc<V>)>
+    where
+        K: Clone,
+    {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock();
+            out.extend(map.iter().map(|(k, s)| (k.clone(), Arc::clone(&s.value))));
+        }
+        out
+    }
+
+    /// Drops every entry for which `pred` returns false, returning how
+    /// many were removed (scoped invalidation after a graph delta).
+    pub fn retain(&self, mut pred: impl FnMut(&K, &V) -> bool) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut map = shard.lock();
+            let before = map.len();
+            map.retain(|k, slot| pred(k, &slot.value));
+            removed += before - map.len();
+        }
+        removed
+    }
+
     /// Total resident entries across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()

@@ -14,7 +14,9 @@ use pqsda_baselines::{SuggestRequest, Suggester};
 use pqsda_graph::compact::{CompactConfig, CompactMulti};
 use pqsda_graph::multi::MultiBipartite;
 use pqsda_graph::weighting::WeightingScheme;
-use pqsda_querylog::session::{segment_sessions, SessionConfig};
+use pqsda_querylog::session::{
+    restamp_appended, segment_sessions, segment_sessions_append, SessionConfig,
+};
 use pqsda_querylog::{LogEntry, QueryId, QueryLog};
 use pqsda_topics::{Corpus, TrainConfig, Upm, UpmConfig};
 
@@ -57,6 +59,43 @@ impl Default for ProfileTrainOptions {
             threads: 1,
         }
     }
+}
+
+impl ProfileTrainOptions {
+    fn upm_config(&self) -> UpmConfig {
+        UpmConfig {
+            base: TrainConfig {
+                num_topics: self.num_topics,
+                iterations: self.iterations,
+                seed: self.seed,
+                ..TrainConfig::default()
+            },
+            hyper_every: self.hyper_every,
+            hyper_iterations: self.hyper_iterations,
+            threads: self.threads,
+        }
+    }
+}
+
+/// What [`PqsDa::apply_delta`] touched at each layer — the delta analogue
+/// of a build report.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineDeltaReport {
+    /// Log records the delta appended (after normalization drops).
+    pub new_records: usize,
+    /// Query rows whose multi-bipartite weights changed (union over the
+    /// three bipartites).
+    pub changed_rows: usize,
+    /// Whether the CF-IQF rescope had to reweight every row (the query
+    /// vocabulary grew, so every `|Q|`-dependent weight moved).
+    pub full_reweight: bool,
+    /// Expansion-memo entries carried into the new engine unchanged.
+    pub cache_retained: usize,
+    /// Expansion-memo entries dropped by scoped invalidation.
+    pub cache_invalidated: usize,
+    /// Whether the personalizer was warm-started (as opposed to
+    /// cold-trained or absent).
+    pub personalizer_warm: bool,
 }
 
 /// Everything needed to build a [`PqsDa`] from raw log entries — the
@@ -135,23 +174,120 @@ impl PqsDa {
                 // it unpersonalized rather than training on nothing.
                 return None;
             }
-            let upm = Upm::train(
-                &corpus,
-                &UpmConfig {
-                    base: TrainConfig {
-                        num_topics: p.num_topics,
-                        iterations: p.iterations,
-                        seed: p.seed,
-                        ..TrainConfig::default()
-                    },
-                    hyper_every: p.hyper_every,
-                    hyper_iterations: p.hyper_iterations,
-                    threads: p.threads,
-                },
-            );
+            let upm = Upm::train(&corpus, &p.upm_config());
             Some(Personalizer::new(upm, &corpus, log.num_users()))
         });
         PqsDa::new(log, multi, personalizer, opts.config)
+    }
+
+    /// Applies a batch of new log entries as a **delta**, producing the
+    /// engine for the grown log without rebuilding it from scratch: the
+    /// log appends in place ([`QueryLog::append_entries`]), the
+    /// multi-bipartite takes a scoped CF-IQF reweight
+    /// ([`MultiBipartite::apply_delta`]), the expansion memo keeps every
+    /// entry the delta provably cannot affect, and the personalizer
+    /// warm-starts from its converged sampler state
+    /// ([`crate::personalize::Personalizer::retrain_delta`]).
+    ///
+    /// `opts` must be the options the engine was originally built with.
+    /// Returns `None` when any layer cannot take the delta incrementally —
+    /// out-of-order entries, a representation without raw counts, an
+    /// entropy-weighted scheme, or a store-loaded personalizer — and the
+    /// caller falls back to a cold [`PqsDa::build_from_entries`] over the
+    /// concatenated log.
+    ///
+    /// Equivalence contract (property-tested in `pqsda-serve`): the graph,
+    /// every unpersonalized suggestion, and every retained cache entry are
+    /// **bit-identical** to the cold rebuild's; a warm-started personalizer
+    /// ranks the same candidate set with bounded quality drift (its Gibbs
+    /// chain differs from the cold chain).
+    pub fn apply_delta(
+        &self,
+        entries: &[LogEntry],
+        opts: &EngineBuildOptions,
+    ) -> Option<(PqsDa, EngineDeltaReport)> {
+        let mut log = self.log.clone();
+        let delta = log.append_entries(entries)?;
+        let mut report = EngineDeltaReport {
+            new_records: delta.num_new_records(&log),
+            ..EngineDeltaReport::default()
+        };
+        // The graph layer reads session membership from the record stamps
+        // and only needs the session count, so the session list itself is
+        // materialized only when the personalizer will build a corpus.
+        let sessions = opts
+            .personalize
+            .is_some()
+            .then(|| segment_sessions_append(&mut log, &opts.session, delta.first_record));
+        let num_sessions = match &sessions {
+            Some(s) => s.len(),
+            None => restamp_appended(&mut log, &opts.session, delta.first_record),
+        };
+        let (multi, graph) = self.multi.apply_delta(&log, num_sessions, &delta)?;
+        report.changed_rows = graph.changed_rows.len();
+        report.full_reweight = graph.full_reweight;
+
+        let mut warm = false;
+        let personalizer = match (&self.personalizer, opts.personalize) {
+            (Some(p), Some(_)) => {
+                let sessions = sessions
+                    .as_deref()
+                    .expect("materialized when personalizing");
+                let corpus = Corpus::build(&log, sessions);
+                if corpus.num_docs() == 0 {
+                    None
+                } else {
+                    let np = p.retrain_delta(&corpus, &delta.touched_users, log.num_users())?;
+                    warm = true;
+                    Some(np)
+                }
+            }
+            (None, Some(p)) => {
+                // The base partition had no usable user documents; the
+                // delta may have created the first ones — train cold.
+                let sessions = sessions
+                    .as_deref()
+                    .expect("materialized when personalizing");
+                let corpus = Corpus::build(&log, sessions);
+                (corpus.num_docs() > 0).then(|| {
+                    let upm = Upm::train(&corpus, &p.upm_config());
+                    Personalizer::new(upm, &corpus, log.num_users())
+                })
+            }
+            _ => None,
+        };
+        report.personalizer_warm = warm;
+
+        let engine = PqsDa::new(log, multi, personalizer, opts.config);
+
+        // Scoped expansion-memo carry-over. An expansion reads exactly the
+        // rows of its member set and of the members' one-hop neighbors
+        // (candidate mass flows through shared entities), so an entry is
+        // reusable iff no member lies in the changed rows' one-hop
+        // neighborhood — one-hop adjacency is symmetric, and the merged
+        // graph's adjacency is a superset of the old one's, so the danger
+        // set is computed on the new representation. A full reweight
+        // leaves nothing reusable.
+        if graph.full_reweight {
+            report.cache_invalidated = self.cache.len();
+        } else {
+            let mut danger = vec![false; engine.multi.num_queries()];
+            for &r in &graph.changed_rows {
+                danger[r as usize] = true;
+                for q in engine.multi.one_hop_neighbors(r as usize) {
+                    danger[q] = true;
+                }
+            }
+            for (key, value) in self.cache.entries() {
+                if value.compact.queries().iter().all(|q| !danger[q.index()]) {
+                    engine.cache.insert(key, value);
+                    report.cache_retained += 1;
+                } else {
+                    report.cache_invalidated += 1;
+                }
+            }
+        }
+        Some((engine, report))
     }
 
     /// The engine's log (for resolving suggestion text).
@@ -493,5 +629,88 @@ mod tests {
         let engine = build_engine(false);
         let out = engine.suggest(&SuggestRequest::simple(QueryId(9999), 3));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn apply_delta_matches_cold_rebuild_bit_for_bit() {
+        let entries: Vec<LogEntry> = build_engine(false).log().entries();
+        let opts = EngineBuildOptions {
+            scheme: WeightingScheme::CfIqf,
+            ..EngineBuildOptions::default()
+        };
+        for cut in [entries.len() / 3, entries.len() / 2, entries.len() - 1] {
+            let base = PqsDa::build_from_entries(&entries[..cut], &opts);
+            // Warm the base cache so carry-over/invalidation is exercised.
+            for q in 0..base.log().num_queries() {
+                base.suggest(&SuggestRequest::simple(QueryId::from_index(q), 3));
+            }
+            let (warm, report) = base
+                .apply_delta(&entries[cut..], &opts)
+                .expect("chronological tail must apply as a delta");
+            let cold = PqsDa::build_from_entries(&entries, &opts);
+            assert_eq!(report.new_records, entries.len() - cut);
+            assert_eq!(warm.multi().digest(), cold.multi().digest(), "cut={cut}");
+            for q in 0..cold.log().num_queries() {
+                for k in [1usize, 3, 5] {
+                    let req = SuggestRequest::simple(QueryId::from_index(q), k);
+                    assert_eq!(warm.suggest(&req), cold.suggest(&req), "q={q} k={k}");
+                    // Ask twice: the second answer is served through the
+                    // (partially carried-over) memo and must not differ.
+                    assert_eq!(warm.suggest(&req), cold.suggest(&req));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_warm_starts_the_personalizer() {
+        let entries: Vec<LogEntry> = build_engine(true).log().entries();
+        let opts = EngineBuildOptions {
+            scheme: WeightingScheme::CfIqf,
+            personalize: Some(ProfileTrainOptions {
+                num_topics: 2,
+                iterations: 30,
+                seed: 13,
+                hyper_every: 0,
+                hyper_iterations: 0,
+                threads: 1,
+            }),
+            ..EngineBuildOptions::default()
+        };
+        let cut = 21; // three complete rounds of the 7-entry pattern
+        let base = PqsDa::build_from_entries(&entries[..cut], &opts);
+        let (warm, report) = base.apply_delta(&entries[cut..], &opts).unwrap();
+        assert!(report.personalizer_warm, "converged model must warm-start");
+        let cold = PqsDa::build_from_entries(&entries, &opts);
+        let sun = cold.log().find_query("sun").unwrap();
+        // Diversification stays bit-identical; personalization reranks the
+        // same candidate set (Borda permutes, never drops or adds).
+        for k in [2usize, 4] {
+            let req = SuggestRequest::simple(sun, k);
+            assert_eq!(warm.diversify(&req), cold.diversify(&req));
+            for user in [UserId(0), UserId(1)] {
+                let mut w = warm.suggest(&req.clone().for_user(user));
+                let mut c = cold.suggest(&req.clone().for_user(user));
+                w.sort_unstable();
+                c.sort_unstable();
+                assert_eq!(w, c, "user {user:?} candidate sets must match");
+            }
+        }
+        // The warm personalizer still separates the two user bases.
+        let for_java = warm.suggest(&SuggestRequest::simple(sun, 4).for_user(UserId(0)));
+        let top = warm.log().query_text(for_java[0]);
+        assert!(top.contains("java"), "java user got {top:?}");
+    }
+
+    #[test]
+    fn apply_delta_rejects_out_of_order_entries() {
+        let entries: Vec<LogEntry> = build_engine(false).log().entries();
+        let opts = EngineBuildOptions {
+            scheme: WeightingScheme::CfIqf,
+            ..EngineBuildOptions::default()
+        };
+        let base = PqsDa::build_from_entries(&entries, &opts);
+        let stale = vec![LogEntry::new(UserId(0), "ancient query", None, 0)];
+        assert!(base.apply_delta(&stale, &opts).is_none());
     }
 }

@@ -39,6 +39,6 @@ pub use borda::borda_aggregate;
 pub use cache::{CacheConfig, CacheStats, ShardedLruCache};
 pub use crosswalk::CrossBipartiteWalk;
 pub use diversify::{CrossMatrixChoice, Diversifier, DiversifyConfig};
-pub use engine::{EngineBuildOptions, PqsDa, PqsDaConfig, ProfileTrainOptions};
+pub use engine::{EngineBuildOptions, EngineDeltaReport, PqsDa, PqsDaConfig, ProfileTrainOptions};
 pub use personalize::{preference_score, Personalizer, RerankedSuggester};
 pub use regularize::{RegularizationConfig, Regularizer};

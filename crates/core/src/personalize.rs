@@ -40,6 +40,7 @@ pub fn preference_score(upm: &Upm, doc: usize, log: &QueryLog, q: QueryId) -> f6
 
 /// The personalization component: a trained UPM plus the user → document
 /// mapping of its training corpus.
+#[derive(Clone)]
 pub struct Personalizer {
     upm: Upm,
     doc_of_user: Vec<Option<usize>>,
@@ -65,6 +66,33 @@ impl Personalizer {
     /// The underlying model.
     pub fn upm(&self) -> &Upm {
         &self.upm
+    }
+
+    /// Warm-start retraining against a post-delta corpus (the
+    /// personalization stage of the incremental update pipeline).
+    ///
+    /// `corpus` is the corpus built from the appended log;
+    /// `touched_users` the (sorted) users the delta gave new records to.
+    /// Documents of untouched users keep their converged sampler state via
+    /// [`Upm::retrain_delta`]; touched and first-seen users are resampled
+    /// from scratch. Returns `None` when the model cannot warm-start
+    /// (e.g. it was loaded from a profile store and has no sampler slots)
+    /// — the caller then falls back to a cold train.
+    pub fn retrain_delta(
+        &self,
+        corpus: &Corpus,
+        touched_users: &[UserId],
+        num_users: usize,
+    ) -> Option<Personalizer> {
+        let mut old_doc_of = Vec::with_capacity(corpus.num_docs());
+        let mut changed = Vec::with_capacity(corpus.num_docs());
+        for d in &corpus.docs {
+            let old = self.doc_of_user.get(d.user.index()).copied().flatten();
+            changed.push(old.is_none() || touched_users.binary_search(&d.user).is_ok());
+            old_doc_of.push(old);
+        }
+        let upm = self.upm.retrain_delta(corpus, &old_doc_of, &changed)?;
+        Some(Personalizer::new(upm, corpus, num_users))
     }
 
     /// Whether a user has a profile.

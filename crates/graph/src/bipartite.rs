@@ -137,6 +137,12 @@ impl Bipartite {
         deg
     }
 
+    /// Consumes the bipartite, yielding its weight matrix (the transpose
+    /// is dropped — used when only the raw counts need to be kept around).
+    pub fn into_matrix(self) -> CsrMatrix {
+        self.matrix
+    }
+
     /// Replaces the weight matrix, keeping the transpose in sync.
     pub fn with_matrix(&self, matrix: CsrMatrix) -> Self {
         assert_eq!(matrix.rows(), self.matrix.rows(), "with_matrix: row count");

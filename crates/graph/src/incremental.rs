@@ -1,0 +1,362 @@
+//! Incremental multi-bipartite updates from a [`LogDelta`].
+//!
+//! A batch of appended records changes each bipartite in two ways:
+//!
+//! 1. **Counts** — additive `(query, entity) += k` cell merges for the
+//!    query–URL and query–session bipartites (one unit per appended
+//!    record/click), and whole-row recomputation for the query–term
+//!    bipartite (a recurring query's frequency `f` scales its entire term
+//!    row, Eq. 6). Both are exact: counts are integer-valued `f64`s, so the
+//!    merged values are bit-identical to a cold [`CooBuilder`] rebuild.
+//! 2. **Weights** — CF-IQF (Eq. 1–6) couples every edge to `|Q|` and to
+//!    the entity's distinct-query degree `n^X(e_j)`. The *rescope rule*:
+//!    * if the batch introduced a new distinct query, `|Q|` grew and every
+//!      `iqf` changed → full recomputation over the merged counts;
+//!    * otherwise only columns whose degree changed have a new `iqf`, so
+//!      only **rows with count changes plus rows attached to a
+//!      degree-changed column** need reweighting — every other row's
+//!      weighted values are copied verbatim (same bits) from the previous
+//!      representation.
+//!
+//! Either way the result is **bit-identical** to
+//! [`MultiBipartite::build`] on the grown log — the property the digest
+//! tests at the bottom pin down. Entropy-biased weighting couples every
+//! column to the full click distribution, so it reports "not incremental"
+//! and callers rebuild cold.
+//!
+//! [`CooBuilder`]: pqsda_linalg::csr::CooBuilder
+
+use crate::bipartite::{Bipartite, EntityKind};
+use crate::multi::MultiBipartite;
+use crate::weighting::{iqf_from_degrees, WeightingScheme};
+use pqsda_linalg::csr::CsrMatrix;
+use pqsda_querylog::{LogDelta, QueryLog};
+use std::collections::HashMap;
+
+/// What an incremental graph update changed — the engine layer scopes its
+/// expansion-cache invalidation with this.
+#[derive(Clone, Debug, Default)]
+pub struct GraphDeltaReport {
+    /// Query rows whose weighted values changed in at least one bipartite
+    /// (sorted, deduplicated). A conservative superset: every row that was
+    /// merged or reweighted, whether or not its bits moved.
+    pub changed_rows: Vec<u32>,
+    /// True when `|Q|` grew and every weight was rescaled — downstream
+    /// caches keyed on weighted rows must be dropped wholesale.
+    pub full_reweight: bool,
+}
+
+impl MultiBipartite {
+    /// Applies a log delta incrementally, returning the grown
+    /// representation plus a change report — or `None` when this
+    /// representation cannot take deltas (no raw counts retained, or an
+    /// entropy-biased scheme) and the caller must rebuild cold.
+    ///
+    /// `log` must be the **post-append, re-segmented** state (session
+    /// membership is read from the record stamps, so `num_sessions` is the
+    /// only session-list fact needed); `delta` is what
+    /// [`pqsda_querylog::QueryLog::append_entries`] reported. The result
+    /// is bit-identical (per [`MultiBipartite::digest`]) to
+    /// `MultiBipartite::build` over the grown log and its session list.
+    pub fn apply_delta(
+        &self,
+        log: &QueryLog,
+        num_sessions: usize,
+        delta: &LogDelta,
+    ) -> Option<(MultiBipartite, GraphDeltaReport)> {
+        if self.scheme() == WeightingScheme::EntropyBiased {
+            return None;
+        }
+        // Verify raw counts exist for every kind before building anything.
+        for kind in EntityKind::ALL {
+            self.raw_counts(kind)?;
+        }
+        let new_records = &log.records()[delta.first_record..];
+        let full_reweight = delta.grew_queries(log);
+
+        // Per-kind count updates derived from the appended records.
+        let mut url_adds: HashMap<(u32, u32), f64> = HashMap::new();
+        let mut session_adds: HashMap<(u32, u32), f64> = HashMap::new();
+        for r in new_records {
+            let q = r.query.0;
+            if let Some(u) = r.click {
+                *url_adds.entry((q, u.0)).or_insert(0.0) += 1.0;
+            }
+            let s = r
+                .session
+                .expect("apply_delta: re-run session segmentation first");
+            *session_adds.entry((q, s.0)).or_insert(0.0) += 1.0;
+        }
+        // Recurring queries rescale their whole term row: value = f * mult.
+        let freqs = log.query_frequencies();
+        let mut term_replacements: Vec<(u32, Vec<(u32, f64)>)> = Vec::new();
+        for &q in &delta.touched_queries {
+            let f = freqs[q.index()] as f64;
+            let mut mult: HashMap<u32, f64> = HashMap::new();
+            for &t in log.query_terms(q) {
+                *mult.entry(t.0).or_insert(0.0) += 1.0;
+            }
+            let mut row: Vec<(u32, f64)> = mult.into_iter().map(|(t, m)| (t, f * m)).collect();
+            row.sort_unstable_by_key(|&(t, _)| t);
+            term_replacements.push((q.0, row));
+        }
+        term_replacements.sort_unstable_by_key(|&(q, _)| q);
+
+        let new_rows = log.num_queries();
+        let report_rows: Vec<u32> = delta.touched_queries.iter().map(|q| q.0).collect();
+
+        let (url, raw_url, url_changed) = self.updated_bipartite(
+            EntityKind::Url,
+            log,
+            new_rows,
+            log.num_urls(),
+            &sorted_additions(url_adds),
+            &[],
+            full_reweight,
+        );
+        let (session, raw_session, session_changed) = self.updated_bipartite(
+            EntityKind::Session,
+            log,
+            new_rows,
+            num_sessions,
+            &sorted_additions(session_adds),
+            &[],
+            full_reweight,
+        );
+        let (term, raw_term, term_changed) = self.updated_bipartite(
+            EntityKind::Term,
+            log,
+            new_rows,
+            log.num_terms(),
+            &[],
+            &term_replacements,
+            full_reweight,
+        );
+
+        let mut changed_rows = report_rows;
+        changed_rows.extend(url_changed);
+        changed_rows.extend(session_changed);
+        changed_rows.extend(term_changed);
+        changed_rows.sort_unstable();
+        changed_rows.dedup();
+
+        let multi = MultiBipartite::from_weighted_and_raw(
+            url,
+            session,
+            term,
+            self.scheme(),
+            Box::new([raw_url, raw_session, raw_term]),
+        );
+        Some((
+            multi,
+            GraphDeltaReport {
+                changed_rows,
+                full_reweight,
+            },
+        ))
+    }
+
+    /// Merges one bipartite's counts and reweights it, returning the new
+    /// weighted bipartite, its raw counts and the extra rows (beyond the
+    /// count-touched ones) whose weights changed via the rescope rule.
+    #[allow(clippy::too_many_arguments)]
+    fn updated_bipartite(
+        &self,
+        kind: EntityKind,
+        log: &QueryLog,
+        new_rows: usize,
+        new_cols: usize,
+        additions: &[(u32, u32, f64)],
+        replacements: &[(u32, Vec<(u32, f64)>)],
+        full_reweight: bool,
+    ) -> (Bipartite, CsrMatrix, Vec<u32>) {
+        let old_raw = self.raw_counts(kind).expect("checked by apply_delta");
+        let merged = old_raw.merge_grown(new_rows, new_cols, additions, replacements);
+
+        if self.scheme() == WeightingScheme::Raw {
+            return (
+                Bipartite::from_matrix(kind, merged.clone()),
+                merged,
+                Vec::new(),
+            );
+        }
+
+        // CF-IQF. Full rescale when |Q| grew; otherwise reweight only the
+        // scoped rows and copy the rest bit-for-bit from the old weights.
+        // Both branches weight `merged` via its column degrees directly —
+        // constructing a raw-count Bipartite first would transpose the
+        // matrix just to count the same degrees and then throw it away.
+        let new_deg = column_degrees(&merged);
+        if full_reweight {
+            let iqf = iqf_from_degrees(&new_deg, log.num_queries());
+            let weighted = merged.scale_cols(&iqf);
+            return (Bipartite::from_matrix(kind, weighted), merged, Vec::new());
+        }
+
+        let old_deg = column_degrees(old_raw);
+        let mut scope = vec![false; new_rows];
+        for &(r, _, _) in additions {
+            scope[r as usize] = true;
+        }
+        for &(r, _) in replacements {
+            scope[r as usize] = true;
+        }
+        // Rows attached to a degree-changed column get a new iqf factor.
+        let old_transposed = self.get(kind).transposed();
+        let mut rescoped = Vec::new();
+        for c in 0..new_cols {
+            let grown = c >= old_deg.len() || old_deg[c] != new_deg[c];
+            if grown && c < old_deg.len() {
+                let (rows, _) = old_transposed.row(c);
+                for &r in rows {
+                    if !scope[r as usize] {
+                        scope[r as usize] = true;
+                        rescoped.push(r);
+                    }
+                }
+            }
+            // Brand-new columns only touch count-changed rows, already in
+            // scope.
+        }
+
+        let iqf = iqf_from_degrees(&new_deg, log.num_queries());
+        let weighted = merged.scale_cols_scoped(&iqf, &scope, self.get(kind).matrix());
+        (Bipartite::from_matrix(kind, weighted), merged, rescoped)
+    }
+}
+
+fn sorted_additions(adds: HashMap<(u32, u32), f64>) -> Vec<(u32, u32, f64)> {
+    let mut v: Vec<(u32, u32, f64)> = adds.into_iter().map(|((r, c), x)| (r, c, x)).collect();
+    v.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+    v
+}
+
+/// Distinct-query degree of every column — `n^X(e_j)` over raw counts.
+fn column_degrees(m: &CsrMatrix) -> Vec<u32> {
+    let mut deg = vec![0u32; m.cols()];
+    for (_, c, v) in m.iter() {
+        if v > 0.0 {
+            deg[c] += 1;
+        }
+    }
+    deg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_querylog::session::{segment_sessions, SessionConfig};
+    use pqsda_querylog::synth::{generate, SynthConfig};
+    use pqsda_querylog::{LogEntry, UserId};
+
+    fn delta_vs_cold(entries: &[LogEntry], cut: usize, scheme: WeightingScheme) {
+        let mut cold_log = pqsda_querylog::QueryLog::from_entries(entries);
+        let cold_sessions = segment_sessions(&mut cold_log, &SessionConfig::default());
+        let cold = MultiBipartite::build(&cold_log, &cold_sessions, scheme);
+
+        let mut log = pqsda_querylog::QueryLog::from_entries(&entries[..cut]);
+        let base_sessions = segment_sessions(&mut log, &SessionConfig::default());
+        let base = MultiBipartite::build(&log, &base_sessions, scheme);
+        let delta = log.append_entries(&entries[cut..]).expect("chronological");
+        let sessions = segment_sessions(&mut log, &SessionConfig::default());
+        let (updated, report) = base
+            .apply_delta(&log, sessions.len(), &delta)
+            .expect("raw counts retained");
+
+        assert_eq!(
+            updated.digest(),
+            cold.digest(),
+            "scheme {scheme:?}, cut {cut}: delta-applied graph must be bit-identical"
+        );
+        // Raw counts stay in sync for the next delta.
+        for kind in EntityKind::ALL {
+            assert_eq!(
+                updated.raw_counts(kind).unwrap(),
+                cold.raw_counts(kind).unwrap(),
+                "{kind:?} raw counts"
+            );
+        }
+        // The report covers every row whose weighted bits actually moved.
+        if !report.full_reweight {
+            let changed: std::collections::HashSet<u32> =
+                report.changed_rows.iter().copied().collect();
+            for kind in EntityKind::ALL {
+                let (old_m, new_m) = (base.get(kind).matrix(), updated.get(kind).matrix());
+                for r in 0..old_m.rows() {
+                    if changed.contains(&(r as u32)) {
+                        continue;
+                    }
+                    assert_eq!(
+                        old_m.row(r),
+                        new_m.row(r),
+                        "{kind:?} row {r} moved unreported"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_matches_cold_build_across_splits_and_schemes() {
+        for seed in [1u64, 9, 33] {
+            let s = generate(&SynthConfig::tiny(seed));
+            let entries = s.log.entries();
+            for scheme in [WeightingScheme::Raw, WeightingScheme::CfIqf] {
+                for cut in [entries.len() / 4, entries.len() / 2, entries.len() - 1] {
+                    delta_vs_cold(&entries, cut, scheme);
+                }
+            }
+        }
+    }
+
+    /// A delta of only recurring queries keeps |Q| fixed and exercises the
+    /// scoped (non-full) reweighting path.
+    #[test]
+    fn recurring_query_delta_takes_the_scoped_path() {
+        let base = vec![
+            LogEntry::new(UserId(0), "sun java", Some("java.com"), 100),
+            LogEntry::new(UserId(1), "solar cell", Some("solar.org"), 200),
+            LogEntry::new(UserId(2), "sun java", None, 300),
+        ];
+        let tail = vec![
+            // Recurring query, recurring URL, new user: no vocab growth.
+            LogEntry::new(UserId(3), "solar cell", Some("java.com"), 4000),
+        ];
+        let mut log = pqsda_querylog::QueryLog::from_entries(&base);
+        let base_sessions = segment_sessions(&mut log, &SessionConfig::default());
+        let multi = MultiBipartite::build(&log, &base_sessions, WeightingScheme::CfIqf);
+        let delta = log.append_entries(&tail).unwrap();
+        assert!(!delta.grew_queries(&log));
+        let sessions = segment_sessions(&mut log, &SessionConfig::default());
+        let (updated, report) = multi.apply_delta(&log, sessions.len(), &delta).unwrap();
+        assert!(!report.full_reweight);
+        // java.com's degree grew (solar cell now clicks it), so the rescope
+        // rule must pull in "sun java"'s row even though its counts are
+        // untouched.
+        let sun_java = log.find_query("sun java").unwrap();
+        assert!(report.changed_rows.contains(&sun_java.0));
+
+        let cold = MultiBipartite::build(&log, &sessions, WeightingScheme::CfIqf);
+        assert_eq!(updated.digest(), cold.digest());
+    }
+
+    #[test]
+    fn entropy_scheme_and_partless_representations_fall_back() {
+        let s = generate(&SynthConfig::tiny(2));
+        let entries = s.log.entries();
+        let cut = entries.len() - 2;
+        let mut log = pqsda_querylog::QueryLog::from_entries(&entries[..cut]);
+        let base_sessions = segment_sessions(&mut log, &SessionConfig::default());
+        let entropy = MultiBipartite::build(&log, &base_sessions, WeightingScheme::EntropyBiased);
+        let parts = MultiBipartite::from_parts(
+            Bipartite::query_url(&log),
+            Bipartite::query_session(&log, &base_sessions),
+            Bipartite::query_term(&log),
+            WeightingScheme::Raw,
+        );
+        let delta = log.append_entries(&entries[cut..]).unwrap();
+        let sessions = segment_sessions(&mut log, &SessionConfig::default());
+        assert!(entropy.apply_delta(&log, sessions.len(), &delta).is_none());
+        assert!(parts.apply_delta(&log, sessions.len(), &delta).is_none());
+    }
+}

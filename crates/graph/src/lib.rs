@@ -25,11 +25,13 @@
 pub mod bipartite;
 pub mod compact;
 pub mod hitting;
+pub mod incremental;
 pub mod multi;
 pub mod walk;
 pub mod weighting;
 
 pub use bipartite::{Bipartite, EntityKind};
 pub use compact::{CompactConfig, CompactMulti};
+pub use incremental::GraphDeltaReport;
 pub use multi::MultiBipartite;
 pub use weighting::WeightingScheme;

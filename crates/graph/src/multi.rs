@@ -6,15 +6,27 @@
 
 use crate::bipartite::{Bipartite, EntityKind};
 use crate::weighting::{apply_scheme, WeightingScheme};
+use pqsda_linalg::csr::CsrMatrix;
 use pqsda_querylog::{QueryLog, Session};
 
 /// The three bipartites of Fig. 2 over one query vocabulary.
+///
+/// Alongside the (scheme-weighted) bipartites, [`MultiBipartite::build`]
+/// retains the **raw co-occurrence counts** `c^U`, `c^S`, `c^T` (Eq. 4–6).
+/// Raw counts are not recoverable from `cfiqf` weights (an entity attached
+/// to every query has `iqf = ln 1 = 0`, zeroing its whole column), yet they
+/// are what a log delta increments — so they are the substrate of
+/// [`MultiBipartite::apply_delta`](crate::incremental).
 #[derive(Clone, Debug)]
 pub struct MultiBipartite {
     url: Bipartite,
     session: Bipartite,
     term: Bipartite,
     scheme: WeightingScheme,
+    /// Raw `{U, S, T}` count matrices; `None` for hand-assembled
+    /// representations ([`MultiBipartite::from_parts`]), which then cannot
+    /// take incremental deltas.
+    raw: Option<Box<[CsrMatrix; 3]>>,
 }
 
 impl MultiBipartite {
@@ -23,18 +35,28 @@ impl MultiBipartite {
     /// # Panics
     /// Panics if records lack session assignments.
     pub fn build(log: &QueryLog, sessions: &[Session], scheme: WeightingScheme) -> Self {
-        let url = apply_scheme(&Bipartite::query_url(log), scheme, log);
-        let session = apply_scheme(&Bipartite::query_session(log, sessions), scheme, log);
-        let term = apply_scheme(&Bipartite::query_term(log), scheme, log);
+        let raw_url = Bipartite::query_url(log);
+        let raw_session = Bipartite::query_session(log, sessions);
+        let raw_term = Bipartite::query_term(log);
+        let url = apply_scheme(&raw_url, scheme, log);
+        let session = apply_scheme(&raw_session, scheme, log);
+        let term = apply_scheme(&raw_term, scheme, log);
         MultiBipartite {
             url,
             session,
             term,
             scheme,
+            raw: Some(Box::new([
+                raw_url.into_matrix(),
+                raw_session.into_matrix(),
+                raw_term.into_matrix(),
+            ])),
         }
     }
 
     /// Wraps three prebuilt bipartites (must share the query count).
+    /// The result carries no raw counts and therefore always falls back to
+    /// cold rebuilds under deltas.
     pub fn from_parts(
         url: Bipartite,
         session: Bipartite,
@@ -51,7 +73,35 @@ impl MultiBipartite {
             session,
             term,
             scheme,
+            raw: None,
         }
+    }
+
+    /// Assembles from weighted bipartites plus their raw count matrices
+    /// (the incremental update path).
+    pub(crate) fn from_weighted_and_raw(
+        url: Bipartite,
+        session: Bipartite,
+        term: Bipartite,
+        scheme: WeightingScheme,
+        raw: Box<[CsrMatrix; 3]>,
+    ) -> Self {
+        MultiBipartite {
+            url,
+            session,
+            term,
+            scheme,
+            raw: Some(raw),
+        }
+    }
+
+    /// The raw `{U, S, T}` count matrix of a kind, when retained.
+    pub fn raw_counts(&self, kind: EntityKind) -> Option<&CsrMatrix> {
+        self.raw.as_ref().map(|r| match kind {
+            EntityKind::Url => &r[0],
+            EntityKind::Session => &r[1],
+            EntityKind::Term => &r[2],
+        })
     }
 
     /// The bipartite for a kind.

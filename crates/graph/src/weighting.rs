@@ -39,10 +39,19 @@ pub enum WeightingScheme {
 /// with no connections (possible after filtering) also get 0 so they stay
 /// inert rather than infinitely attractive.
 pub fn inverse_query_frequencies(bipartite: &Bipartite, num_queries: usize) -> Vec<f64> {
+    iqf_from_degrees(&bipartite.entity_query_degrees(), num_queries)
+}
+
+/// The matrix-level form of [`inverse_query_frequencies`]: `iqf^X` from
+/// precomputed distinct-query degrees. The incremental update path uses
+/// this to weight a merged count matrix without materializing a throwaway
+/// [`Bipartite`] (whose construction would transpose the matrix only to
+/// discard it); the arithmetic is the same expression, so the results are
+/// bit-identical.
+pub fn iqf_from_degrees(degrees: &[u32], num_queries: usize) -> Vec<f64> {
     assert!(num_queries > 0, "iqf needs a non-empty query set");
     let q = num_queries as f64;
-    bipartite
-        .entity_query_degrees()
+    degrees
         .iter()
         .map(|&n| if n == 0 { 0.0 } else { (q / n as f64).ln() })
         .collect()

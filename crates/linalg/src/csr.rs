@@ -424,6 +424,138 @@ impl CsrMatrix {
         builder.build()
     }
 
+    /// Linear-time merge of sparse count updates into a (possibly grown)
+    /// copy — the incremental substitute for re-running a [`CooBuilder`]
+    /// over a whole log.
+    ///
+    /// * `additions` — `(row, col, v)` cell increments, sorted by
+    ///   `(row, col)` with unique coordinates; merged as `old + v` (new
+    ///   cells are inserted).
+    /// * `replacements` — whole rows to overwrite, sorted by row with
+    ///   strictly increasing columns; a replaced row ignores both the old
+    ///   row and any additions (callers keep the two sets disjoint).
+    ///
+    /// Rows `>= self.rows` / columns `>= self.cols` extend the shape; every
+    /// untouched row's `(col, value)` slice is copied verbatim, so its bits
+    /// are exactly the old ones.
+    ///
+    /// # Panics
+    /// Panics if the new shape shrinks or an update lands out of bounds.
+    pub fn merge_grown(
+        &self,
+        new_rows: usize,
+        new_cols: usize,
+        additions: &[(u32, u32, f64)],
+        replacements: &[(u32, Vec<(u32, f64)>)],
+    ) -> CsrMatrix {
+        assert!(
+            new_rows >= self.rows && new_cols >= self.cols,
+            "merge_grown: shape cannot shrink"
+        );
+        debug_assert!(additions
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        debug_assert!(replacements.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut row_ptr = Vec::with_capacity(new_rows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::with_capacity(self.col_idx.len() + additions.len());
+        let mut values = Vec::with_capacity(self.values.len() + additions.len());
+        let (mut ai, mut ri) = (0usize, 0usize);
+        for r in 0..new_rows {
+            if ri < replacements.len() && replacements[ri].0 as usize == r {
+                for &(c, v) in &replacements[ri].1 {
+                    assert!((c as usize) < new_cols, "merge_grown: column out of bounds");
+                    col_idx.push(c);
+                    values.push(v);
+                }
+                ri += 1;
+                // Additions for a replaced row would be silently lost.
+                debug_assert!(!(ai < additions.len() && additions[ai].0 as usize == r));
+            } else {
+                let (oc, ov) = if r < self.rows {
+                    self.row(r)
+                } else {
+                    (&[][..], &[][..])
+                };
+                let mut i = 0usize;
+                while i < oc.len() || (ai < additions.len() && additions[ai].0 as usize == r) {
+                    let add_here = ai < additions.len() && additions[ai].0 as usize == r;
+                    if add_here && (i >= oc.len() || additions[ai].1 <= oc[i]) {
+                        let (_, c, v) = additions[ai];
+                        assert!((c as usize) < new_cols, "merge_grown: column out of bounds");
+                        if i < oc.len() && c == oc[i] {
+                            col_idx.push(c);
+                            values.push(ov[i] + v);
+                            i += 1;
+                        } else {
+                            col_idx.push(c);
+                            values.push(v);
+                        }
+                        ai += 1;
+                    } else {
+                        col_idx.push(oc[i]);
+                        values.push(ov[i]);
+                        i += 1;
+                    }
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        assert!(
+            ai == additions.len() && ri == replacements.len(),
+            "merge_grown: update row out of bounds"
+        );
+        let m = CsrMatrix {
+            rows: new_rows,
+            cols: new_cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        debug_assert!(m.check_invariants());
+        m
+    }
+
+    /// Row-scoped column scaling — the incremental counterpart of
+    /// [`CsrMatrix::scale_cols`]. Rows flagged in `scope` are scaled from
+    /// `self`'s values exactly like `scale_cols` would (`v *= factors[c]`,
+    /// same operation, same bits); every other row takes its value slice
+    /// verbatim from `keep`, which must hold the previously scaled copy
+    /// with identical structure in those rows (`keep` may have fewer
+    /// rows/columns than `self` — out-of-scope rows must then lie inside
+    /// `keep`'s shape).
+    ///
+    /// # Panics
+    /// Panics if `scope`/`factors` lengths mismatch or an unscoped row's
+    /// structure differs between `self` and `keep`.
+    pub fn scale_cols_scoped(
+        &self,
+        factors: &[f64],
+        scope: &[bool],
+        keep: &CsrMatrix,
+    ) -> CsrMatrix {
+        assert_eq!(factors.len(), self.cols, "scale_cols_scoped: factor length");
+        assert_eq!(scope.len(), self.rows, "scale_cols_scoped: scope length");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let (start, end) = (out.row_ptr[r], out.row_ptr[r + 1]);
+            if scope[r] {
+                for i in start..end {
+                    out.values[i] *= factors[out.col_idx[i] as usize];
+                }
+            } else {
+                let (kc, kv) = keep.row(r);
+                assert_eq!(
+                    kc,
+                    &out.col_idx[start..end],
+                    "scale_cols_scoped: unscoped row {r} changed structure"
+                );
+                out.values[start..end].copy_from_slice(kv);
+            }
+        }
+        out
+    }
+
     /// The main diagonal (only meaningful for square matrices but defined
     /// for any shape as `A[i,i]` for `i < min(rows, cols)`).
     pub fn diagonal(&self) -> Vec<f64> {
@@ -706,5 +838,64 @@ mod tests {
         let m = sample().map_values(|v| v * v);
         assert_eq!(m.get(2, 1), 16.0);
         assert_eq!(m.nnz(), 4);
+    }
+
+    #[test]
+    fn merge_grown_matches_a_cold_coo_rebuild() {
+        // Base counts, then a batch of increments + one replaced row + a
+        // grown shape: the merged result must equal building everything
+        // from scratch.
+        let mut base = CooBuilder::new(3, 3);
+        base.push(0, 0, 2.0);
+        base.push(0, 2, 1.0);
+        base.push(2, 1, 4.0);
+        let old = base.build();
+        let additions = vec![(0u32, 1u32, 3.0), (0, 2, 1.0), (3, 0, 5.0)];
+        let replacements = vec![(2u32, vec![(1u32, 6.0), (3u32, 7.0)])];
+        let merged = old.merge_grown(4, 4, &additions, &replacements);
+        assert!(merged.check_invariants());
+
+        let mut cold = CooBuilder::new(4, 4);
+        cold.push(0, 0, 2.0);
+        cold.push(0, 2, 1.0);
+        cold.push(0, 1, 3.0);
+        cold.push(0, 2, 1.0);
+        cold.push(2, 1, 6.0);
+        cold.push(2, 3, 7.0);
+        cold.push(3, 0, 5.0);
+        assert_eq!(merged, cold.build());
+        // Untouched row 1 (empty) stays empty.
+        assert_eq!(merged.row(1).0.len(), 0);
+    }
+
+    #[test]
+    fn merge_grown_with_no_updates_is_a_grown_copy() {
+        let m = sample();
+        let grown = m.merge_grown(m.rows() + 2, m.cols() + 1, &[], &[]);
+        for r in 0..m.rows() {
+            assert_eq!(grown.row(r), m.row(r));
+        }
+        assert_eq!(grown.nnz(), m.nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape cannot shrink")]
+    fn merge_grown_rejects_shrinking() {
+        sample().merge_grown(1, 1, &[], &[]);
+    }
+
+    #[test]
+    fn scale_cols_scoped_matches_full_scale() {
+        let m = sample();
+        let factors: Vec<f64> = (0..m.cols()).map(|c| 0.5 + c as f64).collect();
+        let full = m.scale_cols(&factors);
+        // Scaling every row reproduces scale_cols bit for bit.
+        let all = vec![true; m.rows()];
+        assert_eq!(m.scale_cols_scoped(&factors, &all, &full), full);
+        // Scoping only some rows and keeping the rest from the previous
+        // scaled copy also reproduces it.
+        let mut scope = vec![false; m.rows()];
+        scope[0] = true;
+        assert_eq!(m.scale_cols_scoped(&factors, &scope, &full), full);
     }
 }

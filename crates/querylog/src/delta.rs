@@ -1,0 +1,234 @@
+//! Delta-aware log growth: append a batch of raw entries to an existing
+//! [`QueryLog`] **in place of** a rebuild, and report exactly which parts
+//! of the id space the batch touched.
+//!
+//! The contract that makes this exact (bit-identical to a cold
+//! [`QueryLog::from_entries`] on the concatenated entry list):
+//!
+//! * **Append-only ids.** Interners only grow, `from_entries` sorts stably
+//!   by timestamp, and session ids are numbered by first-record position
+//!   ([`crate::session::segment_sessions`]). So as long as the delta is
+//!   *chronological* — every surviving delta entry is no earlier than the
+//!   last existing record — appending reproduces the cold build's record
+//!   order, and with it every query/url/term/session id.
+//! * **Fallback, not failure.** A delta that violates the chronological
+//!   contract returns `None` from [`QueryLog::append_entries`]; callers
+//!   fall back to a cold rebuild. Incremental updates are an optimization,
+//!   never a semantic fork.
+//!
+//! [`LogDelta`] records the pre-append vocabulary sizes and the id sets the
+//! batch touched; the graph layer derives scoped reweighting from it and
+//! the engine layer derives cache invalidation.
+
+use crate::entry::{LogEntry, QueryLog};
+use crate::ids::{QueryId, TermId, UrlId, UserId};
+use crate::text;
+
+/// What one appended batch changed, relative to the pre-append log.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogDelta {
+    /// Index of the first appended record (== pre-append record count).
+    pub first_record: usize,
+    /// `|Q|` before the append — if the log's `num_queries()` grew past
+    /// this, every inverse query frequency changed (Eq. 1–3).
+    pub prior_queries: usize,
+    /// URL vocabulary size before the append.
+    pub prior_urls: usize,
+    /// Term vocabulary size before the append.
+    pub prior_terms: usize,
+    /// User-id-space size before the append.
+    pub prior_users: usize,
+    /// Users with at least one appended record (sorted, deduplicated).
+    pub touched_users: Vec<UserId>,
+    /// Queries with at least one appended record (sorted, deduplicated).
+    /// These are the rows whose raw counts changed in every bipartite.
+    pub touched_queries: Vec<QueryId>,
+    /// URLs clicked by appended records (sorted, deduplicated).
+    pub touched_urls: Vec<UrlId>,
+    /// Terms of the touched queries (sorted, deduplicated).
+    pub touched_terms: Vec<TermId>,
+}
+
+impl LogDelta {
+    /// Number of records the batch appended.
+    pub fn num_new_records(&self, log: &QueryLog) -> usize {
+        log.records().len() - self.first_record
+    }
+
+    /// True when the batch introduced at least one new distinct query —
+    /// the trigger for a full CF-IQF rescale (|Q| is in every weight).
+    pub fn grew_queries(&self, log: &QueryLog) -> bool {
+        log.num_queries() > self.prior_queries
+    }
+
+    /// True when the batch appended nothing (all entries normalized away).
+    pub fn is_empty(&self, log: &QueryLog) -> bool {
+        self.num_new_records(log) == 0
+    }
+}
+
+impl QueryLog {
+    /// Appends a batch of raw entries, returning what changed — or `None`
+    /// when the batch is not chronological (some surviving entry is earlier
+    /// than the last existing record), in which case the log is untouched
+    /// and the caller must rebuild cold.
+    ///
+    /// Entries are stable-sorted by timestamp among themselves first, so
+    /// the result is bit-identical to `QueryLog::from_entries` on the
+    /// concatenation of `self.entries()` and `entries`.
+    ///
+    /// Appended records carry `session: None`; re-run
+    /// [`crate::session::segment_sessions`] afterwards (existing sessions
+    /// keep their ids — see the segmenter's doc comment).
+    pub fn append_entries(&mut self, entries: &[LogEntry]) -> Option<LogDelta> {
+        let mut surviving: Vec<&LogEntry> = entries
+            .iter()
+            .filter(|e| !text::normalize(&e.query).is_empty())
+            .collect();
+        if let (Some(last), Some(min)) = (
+            self.records().last().map(|r| r.timestamp),
+            surviving.iter().map(|e| e.timestamp).min(),
+        ) {
+            if min < last {
+                return None;
+            }
+        }
+        surviving.sort_by_key(|e| e.timestamp);
+
+        let mut delta = LogDelta {
+            first_record: self.records().len(),
+            prior_queries: self.num_queries(),
+            prior_urls: self.num_urls(),
+            prior_terms: self.num_terms(),
+            prior_users: self.num_users(),
+            ..LogDelta::default()
+        };
+        for e in surviving {
+            let i = self
+                .push_entry(e)
+                .expect("surviving entries have non-empty normalized queries");
+            let r = self.records()[i];
+            delta.touched_users.push(r.user);
+            delta.touched_queries.push(r.query);
+            if let Some(u) = r.click {
+                delta.touched_urls.push(u);
+            }
+        }
+        sort_dedup(&mut delta.touched_users);
+        sort_dedup(&mut delta.touched_queries);
+        sort_dedup(&mut delta.touched_urls);
+        for &q in &delta.touched_queries {
+            delta.touched_terms.extend_from_slice(self.query_terms(q));
+        }
+        sort_dedup(&mut delta.touched_terms);
+        Some(delta)
+    }
+}
+
+fn sort_dedup<T: Ord>(v: &mut Vec<T>) {
+    v.sort_unstable();
+    v.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{segment_sessions, SessionConfig};
+    use crate::synth::{generate, SynthConfig};
+
+    /// Append at every split point reproduces the cold build exactly —
+    /// records, vocabularies and session assignments (ids included).
+    #[test]
+    fn append_matches_cold_build_at_every_split() {
+        for seed in [3u64, 11, 42] {
+            let s = generate(&SynthConfig::tiny(seed));
+            let entries = s.log.entries();
+            let mut cold = QueryLog::from_entries(&entries);
+            let cold_sessions = segment_sessions(&mut cold, &SessionConfig::default());
+            for cut in [0, 1, entries.len() / 2, entries.len() - 1, entries.len()] {
+                let mut warm = QueryLog::from_entries(&entries[..cut]);
+                let delta = warm
+                    .append_entries(&entries[cut..])
+                    .expect("entries() order is chronological");
+                assert_eq!(delta.first_record, cut);
+                assert_eq!(delta.num_new_records(&warm), entries.len() - cut);
+                assert_eq!(warm.num_queries(), cold.num_queries());
+                assert_eq!(warm.num_urls(), cold.num_urls());
+                assert_eq!(warm.num_terms(), cold.num_terms());
+                assert_eq!(warm.num_users(), cold.num_users());
+                let warm_sessions = segment_sessions(&mut warm, &SessionConfig::default());
+                assert_eq!(warm_sessions, cold_sessions);
+                assert_eq!(warm.records(), cold.records());
+            }
+        }
+    }
+
+    /// Session ids are append-stable: segmenting the base log first, then
+    /// appending and re-segmenting, leaves every pre-existing session with
+    /// the same id (extended last sessions included).
+    #[test]
+    fn session_ids_survive_appends() {
+        let s = generate(&SynthConfig::tiny(7));
+        let entries = s.log.entries();
+        let cut = entries.len() * 3 / 4;
+        let mut log = QueryLog::from_entries(&entries[..cut]);
+        let base_sessions = segment_sessions(&mut log, &SessionConfig::default());
+        log.append_entries(&entries[cut..]).expect("chronological");
+        let new_sessions = segment_sessions(&mut log, &SessionConfig::default());
+        assert!(new_sessions.len() >= base_sessions.len());
+        for (old, new) in base_sessions.iter().zip(&new_sessions) {
+            assert_eq!(old.id, new.id);
+            assert_eq!(old.user, new.user);
+            assert_eq!(old.record_indices[0], new.record_indices[0]);
+            // A session can only grow by absorbing appended records.
+            assert!(new.record_indices.starts_with(&old.record_indices));
+        }
+    }
+
+    /// An out-of-order batch is rejected and leaves the log untouched.
+    #[test]
+    fn out_of_order_batch_is_rejected() {
+        let entries = vec![
+            LogEntry::new(UserId(0), "sun java", None, 100),
+            LogEntry::new(UserId(0), "solar cell", None, 200),
+        ];
+        let mut log = QueryLog::from_entries(&entries);
+        let before = log.records().to_vec();
+        let stale = vec![LogEntry::new(UserId(1), "jvm", None, 150)];
+        assert!(log.append_entries(&stale).is_none());
+        assert_eq!(log.records(), &before[..]);
+        // Equal timestamps are allowed (stable-sort tie: base first).
+        let tied = vec![LogEntry::new(UserId(1), "jvm", None, 200)];
+        assert!(log.append_entries(&tied).is_some());
+    }
+
+    /// Touched sets cover exactly the appended records' ids; vocabulary
+    /// growth is visible through the prior sizes.
+    #[test]
+    fn touched_sets_and_growth_flags() {
+        let base = vec![LogEntry::new(UserId(0), "sun java", Some("java.com"), 10)];
+        let mut log = QueryLog::from_entries(&base);
+        // Recurring query: no growth.
+        let d = log
+            .append_entries(&[LogEntry::new(UserId(1), "sun java", None, 20)])
+            .unwrap();
+        assert!(!d.grew_queries(&log));
+        assert_eq!(d.touched_queries, vec![log.find_query("sun java").unwrap()]);
+        assert_eq!(d.touched_users, vec![UserId(1)]);
+        assert!(d.touched_urls.is_empty());
+        assert_eq!(d.touched_terms.len(), 2);
+        // New query grows |Q| and the term space.
+        let d = log
+            .append_entries(&[LogEntry::new(UserId(0), "solar cell", Some("s.org"), 30)])
+            .unwrap();
+        assert!(d.grew_queries(&log));
+        assert_eq!(d.prior_queries, 1);
+        assert_eq!(log.num_queries(), 2);
+        assert_eq!(d.touched_urls.len(), 1);
+        // All-empty batch appends nothing but still succeeds.
+        let d = log
+            .append_entries(&[LogEntry::new(UserId(0), "???", None, 40)])
+            .unwrap();
+        assert!(d.is_empty(&log));
+    }
+}

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident) => {
@@ -65,10 +66,15 @@ define_id!(
 );
 
 /// Bidirectional string ↔ dense-id mapping.
+///
+/// Each distinct string is allocated once and shared (`Arc<str>`) between
+/// the id → string table and the string → id index, so cloning an interner
+/// — the hot first step of `QueryLog::clone` in the incremental update
+/// path — bumps refcounts instead of copying every string.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Interner {
-    strings: Vec<String>,
-    index: HashMap<String, u32>,
+    strings: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, u32>,
 }
 
 impl Interner {
@@ -83,8 +89,9 @@ impl Interner {
             return id;
         }
         let id = self.strings.len() as u32;
-        self.strings.push(s.to_owned());
-        self.index.insert(s.to_owned(), id);
+        let shared: Arc<str> = Arc::from(s);
+        self.strings.push(Arc::clone(&shared));
+        self.index.insert(shared, id);
         id
     }
 
@@ -116,7 +123,7 @@ impl Interner {
         self.strings
             .iter()
             .enumerate()
-            .map(|(i, s)| (i as u32, s.as_str()))
+            .map(|(i, s)| (i as u32, s.as_ref()))
     }
 }
 

@@ -26,6 +26,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod clean;
+pub mod delta;
 pub mod entry;
 pub mod hash;
 pub mod ids;
@@ -35,8 +36,11 @@ pub mod synth;
 pub mod taxonomy;
 pub mod text;
 
+pub use delta::LogDelta;
 pub use entry::{LogEntry, LogRecord, QueryLog};
 pub use ids::{QueryId, SessionId, TermId, UrlId, UserId};
-pub use session::{segment_sessions, Session, SessionConfig};
+pub use session::{
+    restamp_appended, segment_sessions, segment_sessions_append, Session, SessionConfig,
+};
 pub use synth::{GroundTruth, SynthConfig, SyntheticLog, TopicWorld};
 pub use taxonomy::{CategoryPath, Taxonomy};

@@ -8,7 +8,7 @@
 //! close in *time* (gap below a threshold) **or** lexically similar to a
 //! recent query of the session; otherwise a new session starts.
 
-use crate::entry::QueryLog;
+use crate::entry::{LogRecord, QueryLog};
 use crate::ids::{QueryId, SessionId, UserId};
 use crate::text;
 use serde::{Deserialize, Serialize};
@@ -68,6 +68,15 @@ impl Session {
 
 /// Segments the log into sessions and stamps each record's `session` field.
 /// Returns the sessions in id order.
+///
+/// Session ids are assigned by the index of each session's **first record**
+/// (not by user grouping), which makes the id space append-only: appending
+/// strictly-later records can only extend a user's last open session
+/// (whose first record — and therefore id — is unchanged) or create
+/// sessions whose first record lies past every existing one (which sort
+/// after all existing ids). [`crate::delta::LogDelta`] relies on this to
+/// keep untouched session columns bit-identical across incremental
+/// updates.
 pub fn segment_sessions(log: &mut QueryLog, config: &SessionConfig) -> Vec<Session> {
     // Group record indices per user, preserving chronological order.
     let mut per_user: Vec<Vec<usize>> = vec![Vec::new(); log.num_users()];
@@ -82,21 +91,7 @@ pub fn segment_sessions(log: &mut QueryLog, config: &SessionConfig) -> Vec<Sessi
         for &i in indices {
             let stay = match current.last() {
                 None => true,
-                Some(&prev) => {
-                    let prev_rec = log.records()[prev];
-                    let rec = log.records()[i];
-                    let gap = rec.timestamp.saturating_sub(prev_rec.timestamp);
-                    if gap <= config.soft_gap_secs {
-                        true
-                    } else if gap > config.hard_gap_secs {
-                        false
-                    } else {
-                        // Medium gap: keep only lexically related queries.
-                        let a = log.query_text(prev_rec.query).to_owned();
-                        let b = log.query_text(rec.query);
-                        text::token_jaccard(&a, b) >= config.similarity_threshold
-                    }
-                }
+                Some(&prev) => same_session(log, &log.records()[prev], &log.records()[i], config),
             };
             if !stay {
                 flush(&mut sessions, user, std::mem::take(&mut current), log);
@@ -104,6 +99,13 @@ pub fn segment_sessions(log: &mut QueryLog, config: &SessionConfig) -> Vec<Sessi
             current.push(i);
         }
         flush(&mut sessions, user, current, log);
+    }
+
+    // Number sessions by first-record position (see the doc comment); the
+    // per-user scan above already built each one with a placeholder id.
+    sessions.sort_by_key(|s| s.record_indices[0]);
+    for (i, s) in sessions.iter_mut().enumerate() {
+        s.id = SessionId::from_index(i);
     }
 
     // Stamp records.
@@ -115,10 +117,167 @@ pub fn segment_sessions(log: &mut QueryLog, config: &SessionConfig) -> Vec<Sessi
     sessions
 }
 
+/// The segmenter's stay/break decision for one record against its user's
+/// previous record: stay within the soft gap, break past the hard gap, and
+/// in between keep only lexically related reformulations.
+fn same_session(
+    log: &QueryLog,
+    prev_rec: &LogRecord,
+    rec: &LogRecord,
+    config: &SessionConfig,
+) -> bool {
+    let gap = rec.timestamp.saturating_sub(prev_rec.timestamp);
+    if gap <= config.soft_gap_secs {
+        true
+    } else if gap > config.hard_gap_secs {
+        false
+    } else {
+        let a = log.query_text(prev_rec.query).to_owned();
+        let b = log.query_text(rec.query);
+        text::token_jaccard(&a, b) >= config.similarity_threshold
+    }
+}
+
+/// Re-segments after [`QueryLog::append_entries`] without rescanning the
+/// base: sessions of the records before `first_appended` are reconstructed
+/// from their stamps in one linear pass, and the gap/similarity logic runs
+/// only over the appended tail. Output — session contents, ids, and record
+/// stamps — is identical to a full [`segment_sessions`] pass over the grown
+/// log: appended records are chronologically last per user, so each can
+/// only extend its user's final session or open a new one, and new sessions
+/// open in first-record order (their ids therefore continue the existing
+/// dense, first-record-ordered id space).
+///
+/// Falls back to the full segmenter when any base record is unstamped
+/// (a log that was never segmented).
+pub fn segment_sessions_append(
+    log: &mut QueryLog,
+    config: &SessionConfig,
+    first_appended: usize,
+) -> Vec<Session> {
+    let first_appended = first_appended.min(log.records().len());
+    if log.records()[..first_appended]
+        .iter()
+        .any(|r| r.session.is_none())
+    {
+        return segment_sessions(log, config);
+    }
+
+    // Rebuild the base sessions from their stamps. Ids are dense and
+    // ordered by first record, so each id's first appearance in record
+    // order is exactly `sessions.len()` at that moment.
+    let mut sessions: Vec<Session> = Vec::new();
+    for (i, r) in log.records()[..first_appended].iter().enumerate() {
+        let sid = r.session.expect("unstamped bases fall back above");
+        if sid.index() == sessions.len() {
+            sessions.push(Session {
+                id: sid,
+                user: r.user,
+                record_indices: Vec::new(),
+                queries: Vec::new(),
+                start: r.timestamp,
+                end: r.timestamp,
+            });
+        }
+        debug_assert!(sid.index() < sessions.len(), "session ids must be dense");
+        let s = &mut sessions[sid.index()];
+        s.record_indices.push(i);
+        if !s.queries.contains(&r.query) {
+            s.queries.push(r.query);
+        }
+        s.end = r.timestamp;
+    }
+
+    // Each user's chronologically-last session: ids order by first record,
+    // and one user's sessions never interleave, so the highest id wins.
+    let mut last_of_user: Vec<Option<usize>> = vec![None; log.num_users()];
+    for (si, s) in sessions.iter().enumerate() {
+        last_of_user[s.user.index()] = Some(si);
+    }
+
+    // The appended tail goes through the same stay/break decision as the
+    // full segmenter, comparing against its user's latest record.
+    for i in first_appended..log.records().len() {
+        let rec = log.records()[i];
+        let stay = last_of_user[rec.user.index()].filter(|&si| {
+            let prev = *sessions[si].record_indices.last().expect("non-empty");
+            same_session(log, &log.records()[prev], &rec, config)
+        });
+        let si = stay.unwrap_or_else(|| {
+            let si = sessions.len();
+            sessions.push(Session {
+                id: SessionId::from_index(si),
+                user: rec.user,
+                record_indices: Vec::new(),
+                queries: Vec::new(),
+                start: rec.timestamp,
+                end: rec.timestamp,
+            });
+            last_of_user[rec.user.index()] = Some(si);
+            si
+        });
+        let s = &mut sessions[si];
+        s.record_indices.push(i);
+        if !s.queries.contains(&rec.query) {
+            s.queries.push(rec.query);
+        }
+        s.end = rec.timestamp;
+        log.records_mut()[i].session = Some(s.id);
+    }
+    sessions
+}
+
+/// Stamp-only re-segmentation after [`QueryLog::append_entries`]: stamps
+/// the appended records' `session` fields exactly as
+/// [`segment_sessions_append`] would and returns the grown session count,
+/// but never materializes the session list. The incremental graph update
+/// reads session membership from the stamps and only needs the count, so
+/// the unpersonalized delta path skips a per-session allocation storm.
+/// Falls back to a full [`segment_sessions`] pass when any base record is
+/// unstamped.
+pub fn restamp_appended(
+    log: &mut QueryLog,
+    config: &SessionConfig,
+    first_appended: usize,
+) -> usize {
+    let first_appended = first_appended.min(log.records().len());
+    if log.records()[..first_appended]
+        .iter()
+        .any(|r| r.session.is_none())
+    {
+        return segment_sessions(log, config).len();
+    }
+    // Per-user latest record: its stamp is the user's last session (ids
+    // order by first record, and one user's sessions never interleave).
+    let mut last_rec: Vec<Option<usize>> = vec![None; log.num_users()];
+    let mut num_sessions = 0usize;
+    for (i, r) in log.records()[..first_appended].iter().enumerate() {
+        last_rec[r.user.index()] = Some(i);
+        let sid = r.session.expect("unstamped bases fall back above");
+        num_sessions = num_sessions.max(sid.index() + 1);
+    }
+    for i in first_appended..log.records().len() {
+        let rec = log.records()[i];
+        let sid = last_rec[rec.user.index()]
+            .map(|prev| log.records()[prev])
+            .filter(|prev_rec| same_session(log, prev_rec, &rec, config))
+            .map(|prev_rec| prev_rec.session.expect("base and tail stamps exist"))
+            .unwrap_or_else(|| {
+                let s = SessionId::from_index(num_sessions);
+                num_sessions += 1;
+                s
+            });
+        log.records_mut()[i].session = Some(sid);
+        last_rec[rec.user.index()] = Some(i);
+    }
+    num_sessions
+}
+
 fn flush(sessions: &mut Vec<Session>, user: UserId, indices: Vec<usize>, log: &QueryLog) {
     if indices.is_empty() {
         return;
     }
+    // Placeholder id; the caller renumbers by first-record order.
     let id = SessionId::from_index(sessions.len());
     let mut queries = Vec::new();
     for &i in &indices {
@@ -264,5 +423,62 @@ mod tests {
     fn empty_log_no_sessions() {
         let (_, sessions) = build(vec![]);
         assert!(sessions.is_empty());
+    }
+
+    #[test]
+    fn incremental_segmentation_matches_full() {
+        use crate::synth::{generate, SynthConfig};
+        let cfg = SessionConfig::default();
+        for seed in [3u64, 11, 42] {
+            let s = generate(&SynthConfig::tiny(seed));
+            let entries = s.log.entries();
+            for cut in [entries.len() / 4, entries.len() / 2, entries.len() - 1] {
+                let mut warm = QueryLog::from_entries(&entries[..cut]);
+                segment_sessions(&mut warm, &cfg);
+                let delta = warm.append_entries(&entries[cut..]).expect("chronological");
+                let inc = segment_sessions_append(&mut warm, &cfg, delta.first_record);
+
+                let mut cold = QueryLog::from_entries(&entries);
+                let full = segment_sessions(&mut cold, &cfg);
+                assert_eq!(inc, full, "seed {seed}, cut {cut}");
+                assert_eq!(warm.records(), cold.records(), "seed {seed}, cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn restamp_matches_full_segmentation() {
+        use crate::synth::{generate, SynthConfig};
+        let cfg = SessionConfig::default();
+        for seed in [5u64, 27] {
+            let s = generate(&SynthConfig::tiny(seed));
+            let entries = s.log.entries();
+            for cut in [entries.len() / 3, entries.len() - 1] {
+                let mut warm = QueryLog::from_entries(&entries[..cut]);
+                segment_sessions(&mut warm, &cfg);
+                let delta = warm.append_entries(&entries[cut..]).expect("chronological");
+                let n = restamp_appended(&mut warm, &cfg, delta.first_record);
+
+                let mut cold = QueryLog::from_entries(&entries);
+                let full = segment_sessions(&mut cold, &cfg);
+                assert_eq!(n, full.len(), "seed {seed}, cut {cut}");
+                // Record equality covers the stamps.
+                assert_eq!(warm.records(), cold.records(), "seed {seed}, cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_segmentation_falls_back_on_unstamped_logs() {
+        let entries = vec![
+            LogEntry::new(UserId(0), "sun", None, 0),
+            LogEntry::new(UserId(0), "sun java", None, 10),
+        ];
+        let mut log = QueryLog::from_entries(&entries);
+        // Never segmented: the incremental entry point must do a full pass.
+        let n = log.records().len();
+        let sessions = segment_sessions_append(&mut log, &SessionConfig::default(), n);
+        assert_eq!(sessions.len(), 1);
+        assert!(log.records().iter().all(|r| r.session.is_some()));
     }
 }

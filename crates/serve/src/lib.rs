@@ -4,14 +4,17 @@
 //!
 //! The crate is a thin production layer over `pqsda`'s single-node engine:
 //!
-//! - [`router`] — stable FNV-1a routing of users/queries/log entries to
-//!   shards (pure content hashing; survives restarts and rebuilds),
+//! - [`router`] — consistent-hash routing of users/queries/log entries to
+//!   shards over a deterministic FNV-1a virtual-node ring ([`HashRing`]:
+//!   pure content hashing, survives restarts and rebuilds, and a resize
+//!   only relocates the ~1/N of keys the new shard claims),
 //! - [`swap`] — `ArcSwap`-style snapshot publication with generation tags
 //!   and content digests ([`ShardTag`]),
 //! - [`ingest`] — a bounded, non-blocking delta queue with backpressure,
 //! - [`sharded`] — [`ShardedPqsDa`], the scatter-gather facade tying the
-//!   three together: build, serve, ingest, `apply_deltas` (rebuild +
-//!   swap), stats.
+//!   three together: build, serve, ingest, `apply_deltas` (per-shard
+//!   incremental delta application with a cold-rebuild fallback + swap),
+//!   stats.
 //!
 //! With one shard the router-merged output is bit-identical to the plain
 //! [`pqsda::PqsDa`] engine — pinned by the equivalence proptest in
@@ -24,6 +27,9 @@ pub mod sharded;
 pub mod swap;
 
 pub use ingest::{IngestQueue, IngestStats};
-pub use router::{partition_entries, route_query, route_query_text, route_user, PartitionKey};
+pub use router::{
+    partition_entries, route_query, route_query_text, route_user, HashRing, PartitionKey,
+    VNODES_PER_SHARD,
+};
 pub use sharded::{ServeConfig, ServeReply, ServeStats, ShardedPqsDa, SwapReport};
 pub use swap::{ShardSnapshot, ShardTag, Swap};

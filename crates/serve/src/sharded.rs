@@ -1,6 +1,7 @@
 //! The sharded serving engine: scatter-gather suggestion over N
 //! independent [`PqsDa`] shards with score-ordered merging, plus the
-//! writer side (delta ingestion → per-shard rebuild → snapshot swap).
+//! writer side (delta ingestion → per-shard incremental update, with a
+//! cold-rebuild fallback → snapshot swap).
 //!
 //! ## Id spaces
 //!
@@ -97,8 +98,15 @@ pub struct ServeStats {
 pub struct SwapReport {
     /// Entries drained from the ingestion queue.
     pub drained: usize,
-    /// Shards rebuilt and swapped (those whose partition got deltas).
+    /// Shards that swapped in a new snapshot (those whose partition got
+    /// deltas), whether the snapshot was produced incrementally or cold.
     pub rebuilt: Vec<usize>,
+    /// The subset of `rebuilt` whose snapshot was produced by the
+    /// incremental delta path ([`PqsDa::apply_delta`]) instead of a cold
+    /// `build_from_entries` over the whole partition. A chronological
+    /// delta always takes this path; a late-arriving batch (older than
+    /// the shard's newest record) falls back to the cold rebuild.
+    pub incremental: Vec<usize>,
 }
 
 struct Shard {
@@ -275,10 +283,20 @@ impl ShardedPqsDa {
     }
 
     /// The writer step: drains the queue, extends the router id space,
-    /// rebuilds the shards whose partitions received deltas and swaps the
+    /// updates the shards whose partitions received deltas and swaps the
     /// new snapshots in. Readers are never blocked — they keep answering
     /// from the old `Arc`s until the pointer store, and from the new ones
     /// after. Safe to call from any thread; writers serialize.
+    ///
+    /// Each touched shard first tries the **incremental** path: the live
+    /// snapshot's [`PqsDa::apply_delta`] threads the batch through every
+    /// layer as a delta (log append, scoped CF-IQF reweight, warm-started
+    /// UPM retrain, scoped expansion-memo invalidation), which is
+    /// equivalent to — and far cheaper than — rebuilding the partition
+    /// from scratch. When the delta violates the chronological contract
+    /// (an entry older than the shard's newest record) the shard falls
+    /// back to a full cold rebuild; either way the swap protocol below is
+    /// identical, so readers cannot tell the paths apart.
     pub fn apply_deltas(&self) -> SwapReport {
         let _writer = self.rebuild_lock.lock();
         let deltas = self.queue.drain();
@@ -297,21 +315,37 @@ impl ShardedPqsDa {
 
         let parts = partition_entries(&deltas, self.config.key, self.config.shards);
         let mut rebuilt = Vec::new();
+        let mut incremental = Vec::new();
         for (s, delta) in parts.into_iter().enumerate() {
             if delta.is_empty() {
                 continue;
             }
             let shard = &self.shards[s];
+            let previous = shard.snap.load();
+            let warm = previous.engine.apply_delta(&delta, &self.config.build);
+            // The base entry list stays current either way: it is the
+            // cold-rebuild ground truth for any *future* delta that
+            // arrives out of order.
             let entries: Vec<LogEntry> = {
                 let mut base = shard.base.lock();
                 base.extend(delta);
-                base.clone()
+                if warm.is_some() {
+                    Vec::new()
+                } else {
+                    base.clone()
+                }
             };
-            // Full off-line rebuild of this shard's world (the engine
-            // build sorts by timestamp, so late-arriving old entries
-            // land in their chronological place).
-            let engine = PqsDa::build_from_entries(&entries, &self.config.build);
-            let generation = shard.snap.load().tag.generation + 1;
+            let engine = match warm {
+                Some((engine, _delta_report)) => {
+                    incremental.push(s);
+                    engine
+                }
+                // Full off-line rebuild of this shard's world (the engine
+                // build sorts by timestamp, so late-arriving old entries
+                // land in their chronological place).
+                None => PqsDa::build_from_entries(&entries, &self.config.build),
+            };
+            let generation = previous.tag.generation + 1;
             let snap = ShardSnapshot::stamp(engine, s, generation);
             // Register the tag BEFORE publishing: a reader can never hold
             // a tag the registry hasn't seen.
@@ -323,6 +357,7 @@ impl ShardedPqsDa {
         SwapReport {
             drained: deltas.len(),
             rebuilt,
+            incremental,
         }
     }
 
@@ -513,6 +548,8 @@ mod tests {
         let report = server.apply_deltas();
         assert_eq!(report.drained, 2);
         assert_eq!(report.rebuilt, vec![crate::router::route_user(new_user, 4)]);
+        // The batch is chronological, so the swap took the delta path.
+        assert_eq!(report.incremental, report.rebuilt);
         let stats = server.stats();
         assert_eq!(stats.total_swaps, 1);
         assert_eq!(stats.generations.iter().sum::<u64>(), 1);

@@ -1,0 +1,133 @@
+//! Incremental updates are an optimization, never a semantic fork: a
+//! server that ingests the tail of a log as a delta and applies it
+//! incrementally must answer **identically** to a server cold-built from
+//! the whole log — for any split point, any shard count and any serving
+//! thread count. The per-shard engines are bit-identical by the engine
+//! layer's own property tests; this suite pins the serving layer on top
+//! (router growth, partitioning, snapshot swap, rank-stratified merge).
+
+use pqsda_baselines::SuggestRequest;
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_querylog::{LogEntry, QueryLog};
+use pqsda_serve::{PartitionKey, ServeConfig, ShardedPqsDa, SwapReport};
+use proptest::prelude::*;
+
+/// A request mix over the full log: anonymous, personalized and
+/// contextual lookups, including queries that only exist in the tail.
+fn request_mix(log: &QueryLog) -> Vec<SuggestRequest> {
+    let records = log.records();
+    let mut reqs = Vec::new();
+    for (i, r) in records.iter().enumerate().step_by(records.len() / 16 + 1) {
+        reqs.push(SuggestRequest::simple(r.query, 1 + i % 6).for_user(r.user));
+        reqs.push(SuggestRequest::simple(r.query, 5));
+        if i > 0 {
+            let prev = &records[i - 1];
+            reqs.push(SuggestRequest::simple(r.query, 4).with_context(
+                vec![prev.query],
+                vec![prev.timestamp],
+                r.timestamp,
+            ));
+        }
+    }
+    if let Some(last) = records.last() {
+        reqs.push(SuggestRequest::simple(last.query, 5)); // tail-only query
+    }
+    reqs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Build from a prefix, ingest the chronological tail, apply: every
+    /// touched shard must take the incremental path, and afterwards the
+    /// server must be indistinguishable from a cold build over the full
+    /// log — same global ids, same rankings, same scores — at shard
+    /// counts {1, 2, 4} and serving thread counts {1, 2, 4}.
+    #[test]
+    fn incremental_apply_matches_cold_rebuild(seed in 0u64..300, eighths in 3usize..8) {
+        let s = generate(&SynthConfig::tiny(seed));
+        let entries = s.log.entries();
+        let cut = entries.len() * eighths / 8;
+        for shards in [1usize, 2, 4] {
+            let config = ServeConfig {
+                shards,
+                key: PartitionKey::User,
+                ..ServeConfig::default()
+            };
+            let warm = ShardedPqsDa::build(&entries[..cut], config);
+            for e in &entries[cut..] {
+                prop_assert!(warm.ingest(e.clone()), "queue rejected under capacity");
+            }
+            let report = warm.apply_deltas();
+            prop_assert_eq!(report.drained, entries.len() - cut);
+            // `entries()` is chronological, so no shard may fall back cold.
+            prop_assert_eq!(&report.incremental, &report.rebuilt);
+            prop_assert!(!report.rebuilt.is_empty());
+
+            let cold = ShardedPqsDa::build(&entries, config);
+            // The warm router appended the tail in timestamp order — the
+            // same order the cold build interns — so the two servers
+            // share one global id space and replies compare directly.
+            prop_assert_eq!(
+                warm.router_log().num_queries(),
+                cold.router_log().num_queries()
+            );
+            let reqs = request_mix(&cold.router_log());
+            for threads in [1usize, 2, 4] {
+                let got = warm.suggest_many_with_threads(&reqs, threads);
+                let want = cold.suggest_many_with_threads(&reqs, threads);
+                prop_assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    prop_assert_eq!(
+                        &g.suggestions,
+                        &w.suggestions,
+                        "shards {} threads {}",
+                        shards,
+                        threads
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A batch older than a shard's newest record cannot apply incrementally;
+/// the shard must fall back to a cold rebuild and still serve the entry.
+#[test]
+fn late_batch_falls_back_to_cold_rebuild() {
+    let s = generate(&SynthConfig::tiny(91));
+    let entries = s.log.entries();
+    let server = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            key: PartitionKey::User,
+            ..ServeConfig::default()
+        },
+    );
+    // Timestamp 0 predates everything: chronologically invalid.
+    let user = entries[0].user;
+    assert!(server.ingest(LogEntry::new(user, "late straggler", Some("l.com"), 0)));
+    let report = server.apply_deltas();
+    assert_eq!(report.drained, 1);
+    assert_eq!(report.rebuilt.len(), 1);
+    assert!(
+        report.incremental.is_empty(),
+        "stale batch must rebuild cold"
+    );
+    assert!(server.find_query("late straggler").is_some());
+}
+
+/// `SwapReport::default()` stays the no-op report for an empty queue.
+#[test]
+fn empty_apply_is_a_noop_report() {
+    let s = generate(&SynthConfig::tiny(5));
+    let server = ShardedPqsDa::build(
+        &s.log.entries(),
+        ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        },
+    );
+    assert_eq!(server.apply_deltas(), SwapReport::default());
+}

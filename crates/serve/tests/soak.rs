@@ -83,26 +83,48 @@ fn readers_survive_snapshot_swaps_without_torn_or_lost_reads() {
             })
             .collect();
 
-        // Writer: feed fresh entries and swap SWAPS times under the readers.
+        // Writer: feed fresh entries and swap SWAPS times under the
+        // readers. Half of each batch comes from users the base log
+        // already knows, so the incremental path updates populated
+        // engines (profiles, caches) and not just near-empty partitions.
+        let known_users: Vec<UserId> = s.log.records().iter().map(|r| r.user).collect();
+        // Deltas start past the base log's end so every batch is
+        // chronological — the contract the incremental path needs.
+        let t0 = 1 + entries.iter().map(|e| e.timestamp).max().unwrap();
         let mut swaps = 0usize;
+        let mut incremental_swaps = 0usize;
         for round in 0..SWAPS {
             for j in 0..6u64 {
-                let user = UserId(1000 + (round as u32) * 10 + j as u32);
+                let user = if j % 2 == 0 {
+                    known_users[(round * 7 + j as usize) % known_users.len()]
+                } else {
+                    UserId(1000 + (round as u32) * 10 + j as u32)
+                };
                 let entry = LogEntry::new(
                     user,
                     format!("soak query {round} {j}"),
                     Some("soak.example"),
-                    2_000_000 + (round as u64) * 1000 + j,
+                    t0 + (round as u64) * 1000 + j,
                 );
                 assert!(server.ingest(entry), "queue rejected under capacity");
             }
             let report = server.apply_deltas();
             assert_eq!(report.drained, 6);
             assert!(!report.rebuilt.is_empty(), "deltas must rebuild a shard");
+            for shard in &report.incremental {
+                assert!(report.rebuilt.contains(shard), "incremental ⊆ rebuilt");
+            }
             swaps += report.rebuilt.len();
+            incremental_swaps += report.incremental.len();
             std::thread::yield_now();
         }
         stop.store(true, Ordering::Relaxed);
+        // Every batch is chronological (timestamps only grow), so every
+        // swap must have taken the delta path — none fell back cold.
+        assert_eq!(
+            incremental_swaps, swaps,
+            "chronological batches must apply incrementally"
+        );
 
         let registered: HashSet<_> = server.registered_tags().into_iter().collect();
         for r in readers {

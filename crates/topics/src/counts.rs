@@ -135,6 +135,23 @@ impl SparseCounts {
         }
     }
 
+    /// Widens the table to `new_cols` columns, all-zero in the new range —
+    /// the incremental-retrain path, where a log delta grows the global
+    /// vocabulary underneath an existing per-document table. No-op when
+    /// `new_cols` does not exceed the current width; existing counts are
+    /// untouched either way.
+    pub fn grow_cols(&mut self, new_cols: usize) {
+        if new_cols <= self.cols {
+            return;
+        }
+        self.cols = new_cols;
+        for row in &mut self.rows {
+            if let CountRow::Dense(cells) = row {
+                cells.resize(new_cols, 0);
+            }
+        }
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.row_sums.len()

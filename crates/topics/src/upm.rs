@@ -32,7 +32,11 @@
 //!   touches a sliver of the vocabulary — collapse to cached
 //!   `ln_rising(β_zw, n)` tables over every in-session multiplicity
 //!   ([`NumerTable`]), rebuilt only when a hyperparameter update changes
-//!   `β`/`δ`. The denominator `ln_rising(C_zd + Σβ_z, n)`
+//!   `β`/`δ`. Nonzero-count cells with multiplicity ≥ 2 — recurring
+//!   vocabulary under an already-used topic — read a lazily-filled,
+//!   size-capped per-`(item, count)` row cache ([`NzNumerCache`]) shared
+//!   across sweep workers and invalidated at the same points. The
+//!   denominator `ln_rising(C_zd + Σβ_z, n)`
 //!   and the `ln(C_dz + α_z)` topic term depend on their counts only
 //!   through small integers, so they read per-topic tables over the
 //!   integer grid the corpus can reach ([`DenomTable`]), rebuilt at the
@@ -303,6 +307,103 @@ impl NumerTable {
     }
 }
 
+/// Size cap on one topic's nonzero-count numerator cache, in entries.
+/// Each entry is one `ln_rising_row` over the multiplicity axis (≤
+/// [`NUMER_TABLE_MAX_N`] cells), so a full cache stays well under a
+/// megabyte per topic.
+const NZ_NUMER_MAX_ENTRIES: usize = 1 << 15;
+
+/// Lock shards of an [`NzNumerCache`]; sweeps fill the cache from many
+/// worker threads at once.
+const NZ_NUMER_SHARDS: usize = 16;
+
+/// Size-capped per-`(item, count)` extension of [`NumerTable`] to
+/// **nonzero**-count cells of the Eq. 23 numerator.
+///
+/// When a session re-expresses vocabulary its document already used under
+/// the candidate topic, the numerator is `ln_rising(c + prior, n)` with a
+/// per-document count `c > 0` — outside the zero-count table, but keyed by
+/// the small integer pair `(item, c)` that recurs across documents sharing
+/// hot vocabulary. This cache memoizes the whole [`ln_rising_row`] for such
+/// a pair on first touch, behind sharded mutexes so concurrent sweep
+/// workers share it. Every stored entry is bit-identical to the direct
+/// `ln_rising` it replaces (the row-prefix property), so hits and misses
+/// are indistinguishable in the sampled model. Invalidation is exactly the
+/// [`NumerTable`] rule: the cache is reset wherever the topic's prior
+/// vector changes (construction and the Eq. 26/27 updates). Lookups with
+/// `n < 2` skip the cache — a direct single-`ln` evaluation is cheaper
+/// than a lock — and once a shard reaches its cap, misses simply fall back
+/// to direct evaluation.
+struct NzNumerCache {
+    shards: Vec<std::sync::Mutex<std::collections::HashMap<u64, Box<[f64]>>>>,
+    /// Cached `n` range is `2..=max_n`.
+    max_n: usize,
+    cap_per_shard: usize,
+}
+
+impl NzNumerCache {
+    fn new(max_mult: usize) -> Self {
+        NzNumerCache {
+            shards: (0..NZ_NUMER_SHARDS)
+                .map(|_| std::sync::Mutex::new(std::collections::HashMap::new()))
+                .collect(),
+            max_n: max_mult.clamp(1, NUMER_TABLE_MAX_N),
+            cap_per_shard: NZ_NUMER_MAX_ENTRIES / NZ_NUMER_SHARDS,
+        }
+    }
+
+    /// `ln_rising(count + priors[item], n)` through the cache, or `None`
+    /// when the lookup is out of cached range (caller falls back to the
+    /// direct evaluation, which a hit matches bit-for-bit).
+    #[inline]
+    fn get(&self, item: usize, count: u32, n: usize, priors: &[f64]) -> Option<f64> {
+        if n < 2 || n > self.max_n {
+            return None;
+        }
+        let key = ((item as u64) << 32) | u64::from(count);
+        let shard = &self.shards[(item + count as usize) % NZ_NUMER_SHARDS];
+        let mut map = shard.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(row) = map.get(&key) {
+            return Some(row[n - 1]);
+        }
+        if map.len() >= self.cap_per_shard {
+            return None;
+        }
+        let row: Box<[f64]> = ln_rising_row(f64::from(count) + priors[item], self.max_n).into();
+        let v = row[n - 1];
+        map.insert(key, row);
+        Some(v)
+    }
+}
+
+impl Clone for NzNumerCache {
+    fn clone(&self) -> Self {
+        NzNumerCache {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| std::sync::Mutex::new(s.lock().unwrap_or_else(|e| e.into_inner()).clone()))
+                .collect(),
+            max_n: self.max_n,
+            cap_per_shard: self.cap_per_shard,
+        }
+    }
+}
+
+impl std::fmt::Debug for NzNumerCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entries: usize = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum();
+        f.debug_struct("NzNumerCache")
+            .field("max_n", &self.max_n)
+            .field("entries", &entries)
+            .finish()
+    }
+}
+
 /// Global (read-only within a sweep) parameters, plus the transcendental
 /// caches derived from them. Cache invalidation is strictly tied to the
 /// three places the underlying parameters change: `numer_w[z]` /
@@ -321,6 +422,11 @@ struct Globals {
     numer_w: Vec<NumerTable>,
     /// Zero-count URL-numerator table per topic.
     numer_u: Vec<NumerTable>,
+    /// Nonzero-count word-numerator cache per topic (fills lazily during
+    /// sweeps; reset in lockstep with `numer_w`).
+    nz_w: Vec<NzNumerCache>,
+    /// Nonzero-count URL-numerator cache per topic.
+    nz_u: Vec<NzNumerCache>,
     /// `BetaDistribution::ln_pdf_terms` per topic: `(τ₁−1, τ₂−1,
     /// ln B(τ₁,τ₂))`, combined with the per-slot `ln_t`/`ln_1mt`.
     tau_terms: Vec<(f64, f64, f64)>,
@@ -353,6 +459,14 @@ impl Globals {
             .iter()
             .map(|row| NumerTable::build(row, dims.max_url_mult))
             .collect();
+        let nz_w = beta
+            .iter()
+            .map(|_| NzNumerCache::new(dims.max_word_mult))
+            .collect();
+        let nz_u = delta
+            .iter()
+            .map(|_| NzNumerCache::new(dims.max_url_mult))
+            .collect();
         let tau_terms = taus.iter().map(|t| t.ln_pdf_terms()).collect();
         let ln_alpha = Self::alpha_table(&alpha, &dims);
         let denom_w = beta_sums
@@ -372,6 +486,8 @@ impl Globals {
             taus,
             numer_w,
             numer_u,
+            nz_w,
+            nz_u,
             tau_terms,
             dims,
             ln_alpha,
@@ -561,8 +677,17 @@ impl Upm {
     }
 
     /// Eq. 25: α over the document–topic counts.
+    ///
+    /// The objective's transcendentals are evaluated document-parallel on
+    /// the worker pool, then folded serially in document order. The fold
+    /// replays the exact operation sequence of the plain sequential loop —
+    /// the document-independent `ln Γ(α₀)` / `ψ(α₀)` / per-topic
+    /// `ln Γ(α_z)` / `ψ(α_z)` values are pure functions of α, so hoisting
+    /// them changes no bits — which keeps the learned α identical for any
+    /// thread count (asserted by the parallel-bit-identity tests).
     fn optimize_alpha(&mut self) {
         let k = self.globals.alpha.len();
+        let threads = self.cfg.threads.max(1);
         let rows: Vec<(Vec<f64>, f64)> = self
             .docs
             .iter()
@@ -575,15 +700,38 @@ impl Upm {
         let mut objective = |x: &[f64], grad: &mut [f64]| -> f64 {
             let alpha: Vec<f64> = x.iter().map(|v| v.exp().clamp(1e-8, 1e6)).collect();
             let a0: f64 = alpha.iter().sum();
+            let lg_a0 = ln_gamma(a0);
+            let dg_a0 = digamma(a0);
+            let lg_alpha: Vec<f64> = alpha.iter().map(|&a| ln_gamma(a)).collect();
+            let dg_alpha: Vec<f64> = alpha.iter().map(|&a| digamma(a)).collect();
+            // Per-document transcendentals: the row-sum pair plus one
+            // (ln Γ, ψ) pair per positive topic count.
+            #[allow(clippy::type_complexity)]
+            let per_doc: Vec<(f64, f64, Vec<(usize, f64, f64)>)> = {
+                let alpha = &alpha;
+                let rows = &rows;
+                pqsda_parallel::map_indexed(rows.len(), threads, |i| {
+                    let (row, sum) = &rows[i];
+                    let mut nz = Vec::new();
+                    for z in 0..k {
+                        if row[z] > 0.0 {
+                            nz.push((z, ln_gamma(row[z] + alpha[z]), digamma(row[z] + alpha[z])));
+                        }
+                    }
+                    (ln_gamma(sum + a0), digamma(sum + a0), nz)
+                })
+            };
             let mut nll = 0.0;
             let mut g = vec![0.0; k];
-            for (row, sum) in &rows {
-                nll -= ln_gamma(a0) - ln_gamma(sum + a0);
-                let d0 = digamma(a0) - digamma(sum + a0);
+            for ((row, _), (lg_sum, dg_sum, nz)) in rows.iter().zip(&per_doc) {
+                nll -= lg_a0 - lg_sum;
+                let d0 = dg_a0 - dg_sum;
+                let mut j = 0;
                 for z in 0..k {
                     if row[z] > 0.0 {
-                        nll -= ln_gamma(row[z] + alpha[z]) - ln_gamma(alpha[z]);
-                        g[z] -= digamma(row[z] + alpha[z]) - digamma(alpha[z]);
+                        nll -= nz[j].1 - lg_alpha[z];
+                        g[z] -= nz[j].2 - dg_alpha[z];
+                        j += 1;
                     }
                     g[z] -= d0;
                 }
@@ -646,6 +794,12 @@ impl Upm {
             let gamma_b = 1.0;
             let gamma_a = 1.0 + gamma_b * init; // mode (a-1)/b = init
             let n_rows = doc_rows.len() as f64;
+            let threads = self.cfg.threads.max(1);
+            // The per-document transcendentals run document-parallel; the
+            // serial fold below then replays the sequential loop's exact
+            // operation order (each `nll -=` / `g[v] -=` consumes the same
+            // precomputed difference the inline call produced), so the
+            // learned priors are identical for any thread count.
             let mut objective = |x: &[f64], grad: &mut [f64]| -> f64 {
                 let prior: Vec<f64> = x.iter().map(|v| v.exp().clamp(1e-8, 1e6)).collect();
                 let p0: f64 = prior.iter().sum();
@@ -653,15 +807,34 @@ impl Upm {
                 let mut g = vec![0.0; vocab];
                 let dig_p0 = digamma(p0);
                 let ln_gamma_p0 = ln_gamma(p0);
-                for (sparse, sum) in &doc_rows {
-                    nll -= ln_gamma_p0 - ln_gamma(sum + p0);
-                    let d0 = dig_p0 - digamma(sum + p0);
+                #[allow(clippy::type_complexity)]
+                let per_doc: Vec<(f64, f64, Vec<(usize, f64, f64)>)> = {
+                    let prior = &prior;
+                    let doc_rows = &doc_rows;
+                    pqsda_parallel::map_indexed(doc_rows.len(), threads, |i| {
+                        let (sparse, sum) = &doc_rows[i];
+                        let terms: Vec<(usize, f64, f64)> = sparse
+                            .iter()
+                            .map(|&(v, c)| {
+                                (
+                                    v,
+                                    ln_gamma(c + prior[v]) - ln_gamma(prior[v]),
+                                    digamma(c + prior[v]) - digamma(prior[v]),
+                                )
+                            })
+                            .collect();
+                        (ln_gamma(sum + p0), digamma(sum + p0), terms)
+                    })
+                };
+                for (lg_sum, dg_sum, terms) in &per_doc {
+                    nll -= ln_gamma_p0 - lg_sum;
+                    let d0 = dig_p0 - dg_sum;
                     for gz in g.iter_mut() {
                         *gz -= d0;
                     }
-                    for &(v, c) in sparse {
-                        nll -= ln_gamma(c + prior[v]) - ln_gamma(prior[v]);
-                        g[v] -= digamma(c + prior[v]) - digamma(prior[v]);
+                    for &(v, nd, gd) in terms {
+                        nll -= nd;
+                        g[v] -= gd;
                     }
                 }
                 // Gamma hyperprior, scaled with the number of groups so its
@@ -687,16 +860,19 @@ impl Upm {
             let learned: Vec<f64> = out.x.iter().map(|v| v.exp().clamp(1e-8, 1e6)).collect();
             let sum: f64 = learned.iter().sum();
             // The prior vector changed: rebuild this topic's numerator
-            // and denominator tables (the only invalidation point
-            // besides init/load).
+            // tables (zero-count table and nonzero-count cache alike) and
+            // denominator table (the only invalidation point besides
+            // init/load).
             if is_words {
                 self.globals.numer_w[z] =
                     NumerTable::build(&learned, self.globals.dims.max_word_mult);
+                self.globals.nz_w[z] = NzNumerCache::new(self.globals.dims.max_word_mult);
                 self.globals.beta[z] = learned;
                 self.globals.beta_sums[z] = sum;
             } else {
                 self.globals.numer_u[z] =
                     NumerTable::build(&learned, self.globals.dims.max_url_mult);
+                self.globals.nz_u[z] = NzNumerCache::new(self.globals.dims.max_url_mult);
                 self.globals.delta[z] = learned;
                 self.globals.delta_sums[z] = sum;
             }
@@ -742,6 +918,225 @@ impl Upm {
     /// Number of documents profiled.
     pub fn num_docs(&self) -> usize {
         self.docs.len()
+    }
+
+    /// Warm-start retraining after a log delta — the topics stage of the
+    /// incremental update pipeline (DESIGN.md §9).
+    ///
+    /// `corpus` is the post-delta corpus. For each of its documents,
+    /// `old_doc_of[d]` is this model's document index for the same user
+    /// (`None` for a first-seen user) and `changed[d]` says whether that
+    /// user's log gained records in the delta.
+    ///
+    /// Unchanged documents keep their converged session assignments and
+    /// count tables verbatim; only their slot times are refreshed, because
+    /// the corpus normalizes timestamps against the *global* log span,
+    /// which a delta shifts for everyone. Changed and new documents are
+    /// freshly initialized (seeded by their new document index, like a
+    /// cold start) and are the only ones the Gibbs sweeps resample. τ is
+    /// refit over all documents every sweep — a moment match, linear in
+    /// the corpus — with the frozen documents' moments folded once up
+    /// front. Hyperparameters are inherited from the converged model (new
+    /// vocabulary extends β/δ with the symmetric base priors); the
+    /// Eq. 25–27 objectives range over every document, so re-optimizing
+    /// them here would cost full-corpus passes and is deferred to
+    /// scheduled cold retrains.
+    ///
+    /// Returns `None` when this model cannot resume sampling (store-loaded
+    /// models drop their slots) or when `corpus` does not extend the
+    /// trained one; callers then fall back to a cold [`Upm::train`]. The
+    /// result is bit-identical for any `cfg.threads`, and for an empty
+    /// delta (all `changed` false, every document matched, identical
+    /// corpus) the returned profiles equal this model's bit-for-bit. For a
+    /// non-empty delta the warm model is *not* bitwise equal to a cold
+    /// retrain — Gibbs chains diverge — but converges to the same
+    /// posterior; the equivalence tests assert a bounded gap on held-in
+    /// predictive likelihood.
+    pub fn retrain_delta(
+        &self,
+        corpus: &Corpus,
+        old_doc_of: &[Option<usize>],
+        changed: &[bool],
+    ) -> Option<Upm> {
+        assert_eq!(
+            corpus.num_docs(),
+            old_doc_of.len(),
+            "retrain_delta: old_doc_of length"
+        );
+        assert_eq!(
+            corpus.num_docs(),
+            changed.len(),
+            "retrain_delta: changed length"
+        );
+        let k = self.globals.alpha.len();
+        let base = self.cfg.base;
+        let w_vocab = corpus.num_words;
+        let u_vocab = corpus.num_urls.max(1);
+        if corpus.num_docs() == 0 || w_vocab < self.num_words || u_vocab < self.num_urls {
+            return None;
+        }
+
+        // Rebuild the document states: warm copies for unchanged users,
+        // cold initialization for changed and new ones.
+        let mut changed_idx: Vec<usize> = Vec::new();
+        let mut docs: Vec<DocState> = Vec::with_capacity(corpus.num_docs());
+        for (d, doc) in corpus.docs.iter().enumerate() {
+            let warm = if changed[d] { None } else { old_doc_of[d] };
+            match warm {
+                Some(od) => {
+                    let old = &self.docs[od];
+                    if old.slots.is_empty() || old.slots.len() != doc.sessions.len() {
+                        // Store-loaded model (no slots) or a mislabeled
+                        // "unchanged" document: cannot warm-start.
+                        return None;
+                    }
+                    let mut counts = old.counts.clone();
+                    counts.topic_word.grow_cols(w_vocab);
+                    counts.topic_url.grow_cols(u_vocab);
+                    let slots = old
+                        .slots
+                        .iter()
+                        .zip(&doc.sessions)
+                        .map(|(slot, s)| {
+                            debug_assert_eq!(
+                                slot.words,
+                                to_multiset(&s.words),
+                                "retrain_delta: unchanged document {d} changed content"
+                            );
+                            Slot::new(slot.words.clone(), slot.urls.clone(), s.time, slot.z)
+                        })
+                        .collect();
+                    docs.push(DocState { counts, slots });
+                }
+                None => {
+                    changed_idx.push(d);
+                    let mut rng = doc_rng(base.seed, 0, d);
+                    let mut state = DocState {
+                        counts: DocCounts {
+                            topic_counts: vec![0; k],
+                            topic_word: SparseCounts::new(k, w_vocab),
+                            topic_url: SparseCounts::new(k, u_vocab),
+                        },
+                        slots: Vec::with_capacity(doc.sessions.len()),
+                    };
+                    for s in &doc.sessions {
+                        let z = rng.gen_range(0..k) as u32;
+                        let slot =
+                            Slot::new(to_multiset(&s.words), to_multiset(&s.urls), s.time, z);
+                        state.counts.add(&slot, z);
+                        state.slots.push(slot);
+                    }
+                    docs.push(state);
+                }
+            }
+        }
+
+        // Inherited hyperpriors, extended over vocabulary growth with the
+        // symmetric base values.
+        let mut beta = self.globals.beta.clone();
+        let mut delta = self.globals.delta.clone();
+        for row in &mut beta {
+            row.resize(w_vocab, base.beta);
+        }
+        for row in &mut delta {
+            row.resize(u_vocab, base.delta);
+        }
+        let grow_w = (w_vocab - self.num_words) as f64;
+        let grow_u = (u_vocab - self.num_urls) as f64;
+        let beta_sums: Vec<f64> = self
+            .globals
+            .beta_sums
+            .iter()
+            .map(|&s| s + base.beta * grow_w)
+            .collect();
+        let delta_sums: Vec<f64> = self
+            .globals
+            .delta_sums
+            .iter()
+            .map(|&s| s + base.delta * grow_u)
+            .collect();
+        let globals = Globals::new(
+            self.globals.alpha.clone(),
+            beta,
+            delta,
+            beta_sums,
+            delta_sums,
+            self.globals.taus.clone(),
+            CacheDims::measure(&docs),
+        );
+        let mut model = Upm {
+            cfg: self.cfg,
+            num_words: w_vocab,
+            num_urls: u_vocab,
+            docs,
+            globals,
+        };
+
+        // Pull the changed documents into a contiguous buffer so the
+        // pooled chunked sweep applies; each keeps sampling under its
+        // *corpus* document index, so the RNG streams — and therefore the
+        // result — do not depend on thread count or on which other
+        // documents changed.
+        let hollow = || DocState {
+            counts: DocCounts {
+                topic_counts: Vec::new(),
+                topic_word: SparseCounts::new(0, 0),
+                topic_url: SparseCounts::new(0, 0),
+            },
+            slots: Vec::new(),
+        };
+        let mut active: Vec<DocState> = changed_idx
+            .iter()
+            .map(|&d| std::mem::replace(&mut model.docs[d], hollow()))
+            .collect();
+        // Frozen documents never resample, so their τ moments are folded
+        // once (the hollowed slots contribute nothing here).
+        let mut frozen = vec![RunningMoments::new(); k];
+        for doc in &model.docs {
+            for s in &doc.slots {
+                frozen[s.z as usize].push(s.time);
+            }
+        }
+        let threads = self.cfg.threads.max(1);
+        for sweep in 1..=base.iterations {
+            if !active.is_empty() {
+                let globals = &model.globals;
+                if threads == 1 || active.len() < 2 * threads {
+                    let mut ln_w = vec![0.0; k];
+                    for (i, doc) in active.iter_mut().enumerate() {
+                        let mut rng = doc_rng(base.seed, sweep, changed_idx[i]);
+                        doc.sample_all(globals, &mut rng, &mut ln_w);
+                    }
+                } else {
+                    let changed_idx = &changed_idx;
+                    pqsda_parallel::for_each_chunk_mut(&mut active, threads, |start, chunk| {
+                        let mut ln_w = vec![0.0; k];
+                        for (off, doc) in chunk.iter_mut().enumerate() {
+                            let mut rng = doc_rng(base.seed, sweep, changed_idx[start + off]);
+                            doc.sample_all(globals, &mut rng, &mut ln_w);
+                        }
+                    });
+                }
+            }
+            let mut moments = frozen.clone();
+            for doc in &active {
+                for s in &doc.slots {
+                    moments[s.z as usize].push(s.time);
+                }
+            }
+            for z in 0..k {
+                model.globals.taus[z] = if moments[z].count() >= 2 {
+                    BetaDistribution::fit_moments(moments[z].mean(), moments[z].variance_biased())
+                } else {
+                    BetaDistribution::uniform()
+                };
+            }
+            model.globals.refresh_tau_terms();
+        }
+        for (i, &d) in changed_idx.iter().enumerate() {
+            model.docs[d] = std::mem::replace(&mut active[i], hollow());
+        }
+        Some(model)
     }
 
     /// Internal view for the binary profile store (`crate::store`).
@@ -874,11 +1269,14 @@ impl DocCounts {
     /// n)` tables ([`NumerTable`]); `0.0 + prior` is bitwise `prior` for
     /// the strictly positive priors the model maintains, so the cached
     /// term equals direct evaluation to the last bit (the invariant the
-    /// `upm_bit_identity` property tests pin down). The topic term and the
-    /// denominators depend on their counts only through small integers, so
-    /// they read the count-keyed tables (`ln_alpha`, [`DenomTable`]); the
-    /// direct evaluation remains as the fallback for out-of-range keys
-    /// (only possible when a table was size-capped away).
+    /// `upm_bit_identity` property tests pin down). Nonzero counts with
+    /// multiplicity ≥ 2 read the lazily-filled [`NzNumerCache`], whose
+    /// entries are likewise bit-identical to the direct call. The topic
+    /// term and the denominators depend on their counts only through small
+    /// integers, so they read the count-keyed tables (`ln_alpha`,
+    /// [`DenomTable`]); the direct evaluation remains as the fallback for
+    /// out-of-range keys (only possible when a table was size-capped
+    /// away).
     fn ln_conditional(&self, g: &Globals, s: &Slot, z: usize) -> f64 {
         let tc = self.topic_counts[z] as usize;
         let la = &g.ln_alpha[z];
@@ -895,7 +1293,7 @@ impl DocCounts {
             let cached = if c == 0 {
                 nw.get(w as usize, n as usize)
             } else {
-                None
+                g.nz_w[z].get(w as usize, c, n as usize, &g.beta[z])
             };
             acc +=
                 cached.unwrap_or_else(|| ln_rising(c as f64 + g.beta[z][w as usize], n as usize));
@@ -914,7 +1312,7 @@ impl DocCounts {
                 let cached = if c == 0 {
                     nu.get(u as usize, n as usize)
                 } else {
-                    None
+                    g.nz_u[z].get(u as usize, c, n as usize, &g.delta[z])
                 };
                 acc += cached
                     .unwrap_or_else(|| ln_rising(c as f64 + g.delta[z][u as usize], n as usize));
@@ -1187,6 +1585,173 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The toyota/ford corpus after a log delta: user 2's document gains
+    /// two sessions, and a brand-new user 3 arrives with two unseen words
+    /// (10, 11) and an unseen URL (3). Users 0 and 1 are untouched.
+    fn delta_corpus() -> (Corpus, Vec<Option<usize>>, Vec<bool>) {
+        let session =
+            |ws: Vec<u32>, u: Option<u32>, t: f64| DocSession::from_records(vec![(ws, u)], t);
+        let mut corpus = toyota_ford_corpus();
+        corpus.docs[2]
+            .sessions
+            .push(session(vec![6, 7, 7], Some(2), 0.9));
+        corpus.docs[2]
+            .sessions
+            .push(session(vec![8, 9], None, 0.95));
+        corpus.docs.push(Document {
+            user: UserId(3),
+            sessions: (0..6)
+                .map(|i| session(vec![10 + (i % 2), 6], Some(3), 0.8 + 0.03 * (i % 3) as f64))
+                .collect(),
+        });
+        corpus.num_words = 12;
+        corpus.num_urls = 4;
+        let old_doc_of = vec![Some(0), Some(1), Some(2), None];
+        let changed = vec![false, false, true, true];
+        (corpus, old_doc_of, changed)
+    }
+
+    /// Label-invariant model quality: mean in-sample per-token predictive
+    /// log-likelihood `ln Σ_k θ_dk · p(w | k, d)` — topic permutations
+    /// between two independently-converged chains cancel out.
+    fn mean_token_ll(m: &Upm, c: &Corpus) -> f64 {
+        let k = m.num_topics();
+        let (mut ll, mut n) = (0.0, 0u32);
+        for (d, doc) in c.docs.iter().enumerate() {
+            let theta = m.doc_topic(d);
+            for s in &doc.sessions {
+                for &w in &s.words {
+                    let p: f64 = (0..k).map(|z| theta[z] * m.user_word_prob(d, z, w)).sum();
+                    ll += p.ln();
+                    n += 1;
+                }
+            }
+        }
+        ll / f64::from(n)
+    }
+
+    #[test]
+    fn empty_delta_warm_start_reproduces_the_model() {
+        let c = toyota_ford_corpus();
+        let m = Upm::train(&c, &cfg());
+        let w = m
+            .retrain_delta(&c, &[Some(0), Some(1), Some(2)], &[false; 3])
+            .expect("trained model must warm-start");
+        for d in 0..3 {
+            assert_eq!(m.doc_topic(d), w.doc_topic(d), "doc {d} topic profile");
+            for z in 0..2 {
+                for word in 0..10 {
+                    assert_eq!(
+                        m.user_word_prob(d, z, word).to_bits(),
+                        w.user_word_prob(d, z, word).to_bits()
+                    );
+                }
+                for url in 0..3 {
+                    assert_eq!(
+                        m.user_url_prob(d, z, url).to_bits(),
+                        w.user_url_prob(d, z, url).to_bits()
+                    );
+                }
+            }
+        }
+        for z in 0..2 {
+            assert_eq!(
+                m.tau(z).ln_pdf(0.4).to_bits(),
+                w.tau(z).ln_pdf(0.4).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_is_thread_count_invariant_and_extends_vocabulary() {
+        let c = toyota_ford_corpus();
+        let (c2, old_doc_of, changed) = delta_corpus();
+        let mut threaded = cfg();
+        let base_model = Upm::train(&c, &cfg());
+        let w1 = base_model
+            .retrain_delta(&c2, &old_doc_of, &changed)
+            .unwrap();
+        threaded.threads = 4;
+        let base_threaded = Upm::train(&c, &threaded);
+        let w4 = base_threaded
+            .retrain_delta(&c2, &old_doc_of, &changed)
+            .unwrap();
+        assert_eq!(w1.num_docs(), 4);
+        for d in 0..4 {
+            let (a, b) = (w1.doc_topic(d), w4.doc_topic(d));
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "doc {d} θ must not depend on threads"
+                );
+            }
+            for z in 0..2 {
+                for word in 0..12 {
+                    assert_eq!(
+                        w1.user_word_prob(d, z, word).to_bits(),
+                        w4.user_word_prob(d, z, word).to_bits()
+                    );
+                }
+            }
+        }
+        // New vocabulary rides on the symmetric base priors (hyperpriors
+        // are inherited, not re-optimized, on the warm path).
+        for z in 0..2 {
+            assert_eq!(w1.beta_k(z).len(), 12);
+            assert_eq!(w1.beta_k(z)[10], cfg().base.beta);
+            assert_eq!(w1.beta_k(z)[11], cfg().base.beta);
+            assert_eq!(w1.delta_k(z).len(), 4);
+            assert_eq!(w1.delta_k(z)[3], cfg().base.delta);
+        }
+        // Untouched users keep their converged per-topic word preferences:
+        // the warm path never resampled them.
+        let t0 = base_model.doc_topic(0);
+        let dom0 = if t0[0] > t0[1] { 0 } else { 1 };
+        assert!(w1.user_word_prob(0, dom0, 4) > 3.0 * w1.user_word_prob(0, dom0, 5));
+    }
+
+    #[test]
+    fn warm_start_tracks_cold_retrain_quality() {
+        let (c2, old_doc_of, changed) = delta_corpus();
+        let base_model = Upm::train(&toyota_ford_corpus(), &cfg());
+        let warm = base_model
+            .retrain_delta(&c2, &old_doc_of, &changed)
+            .unwrap();
+        let cold = Upm::train(&c2, &cfg());
+        let (ll_warm, ll_cold) = (mean_token_ll(&warm, &c2), mean_token_ll(&cold, &c2));
+        // Independently-converged chains: not bitwise equal, but the warm
+        // model must fit the post-delta corpus about as well as a cold
+        // rebuild (per-token log-likelihood gap under a quarter nat).
+        assert!(
+            (ll_warm - ll_cold).abs() < 0.25,
+            "warm {ll_warm} vs cold {ll_cold}"
+        );
+        // And the new user's profile is a usable distribution.
+        let th = warm.doc_topic(3);
+        assert!((th.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_refuses_slotless_models_and_shrunken_corpora() {
+        let c = toyota_ford_corpus();
+        let mut m = Upm::train(&c, &cfg());
+        // A shrunken vocabulary cannot extend the trained model.
+        let mut small = c.clone();
+        small.num_words = 5;
+        assert!(m
+            .retrain_delta(&small, &[Some(0), Some(1), Some(2)], &[false; 3])
+            .is_none());
+        // Dropping the slots (what a store round-trip does) forfeits
+        // resumability.
+        for d in &mut m.docs {
+            d.slots.clear();
+        }
+        assert!(m
+            .retrain_delta(&c, &[Some(0), Some(1), Some(2)], &[false; 3])
+            .is_none());
     }
 
     #[test]

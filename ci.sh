@@ -16,4 +16,8 @@ cargo run --release -q -p pqsda-bench --bin perf -- --smoke
 # engine, then a 2-shard server through a mid-stream ingest + swap,
 # with the incremental path asserted equivalent to a cold rebuild.
 cargo run --release -q -p pqsda-cli --bin pqsda -- serve --smoke
+# Chaos smoke: fault-injected serving (panics, latency spikes, a corrupt
+# swap) asserted honest — full-coverage replies bit-identical to the
+# healthy engine, degraded replies subset-consistent, rollback counted.
+cargo run --release -q -p pqsda-cli --bin pqsda -- serve --chaos-smoke
 echo "ci: all green"

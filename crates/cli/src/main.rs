@@ -20,7 +20,10 @@ use pqsda_querylog::clean::{clean_entries, CleanConfig};
 use pqsda_querylog::io::read_aol;
 use pqsda_querylog::session::{segment_sessions, Session, SessionConfig};
 use pqsda_querylog::{LogEntry, QueryLog, UserId};
-use pqsda_serve::{PartitionKey, ServeConfig, ShardedPqsDa};
+use pqsda_serve::{
+    ChaosProfile, Coverage, FaultConfig, FaultKind, FaultPlan, PartitionKey, ServeConfig,
+    ShardedPqsDa,
+};
 use pqsda_topics::{Corpus, TrainConfig, Upm, UpmConfig};
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -58,8 +61,10 @@ USAGE:
                  [--raw] [--threads N]
   pqsda profiles <log.tsv> --out FILE [--topics K] [--iters N] [--threads N]
   pqsda serve    <log.tsv> --query \"sun\" [--shards N] [--key user|query]
-                 [--k 10] [--threads N]
+                 [--k 10] [--threads N] [--replicas R] [--budget-ms MS]
+                 [--hedge-ms MS] [--breaker K]
   pqsda serve    --smoke
+  pqsda serve    --chaos-smoke
   pqsda demo
 
 Logs are AOL-format TSV: AnonID\\tQuery\\tQueryTime\\tItemRank\\tClickURL.
@@ -80,7 +85,7 @@ impl Flags {
             if let Some(name) = args[i].strip_prefix("--") {
                 let value = match name {
                     // boolean flags
-                    "raw" | "personalize" | "smoke" => None,
+                    "raw" | "personalize" | "smoke" | "chaos-smoke" => None,
                     _ => {
                         i += 1;
                         Some(
@@ -264,15 +269,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if flags.has("smoke") {
         return serve_smoke();
     }
+    if flags.has("chaos-smoke") {
+        return chaos_smoke();
+    }
     let path = flags
         .positional
         .first()
-        .ok_or("serve needs a log file path (or --smoke)")?;
+        .ok_or("serve needs a log file path (or --smoke / --chaos-smoke)")?;
     let query_text = flags.get("query").ok_or("serve needs --query \"...\"")?;
     let k = flags.get_num("k", 10usize)?;
     let shards = flags.get_num("shards", 2usize)?;
     let threads = flags.get_num("threads", 0usize)?;
     let key = parse_key(&flags)?;
+    let fault = FaultConfig {
+        replicas: flags.get_num("replicas", 1usize)?,
+        budget_ms: flags.get_num("budget-ms", 0u64)?,
+        hedge_ms: flags.get_num("hedge-ms", 0u64)?,
+        breaker_threshold: flags.get_num("breaker", 0u32)?,
+        ..FaultConfig::default()
+    };
 
     let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let raw = read_aol(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
@@ -295,6 +310,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             shards,
             key,
             build,
+            fault,
             ..ServeConfig::default()
         },
     );
@@ -316,8 +332,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let stats = server.stats();
     eprintln!(
-        "served by {} shard snapshot(s); generations {:?}; cache {}h/{}m",
-        reply.tags.len(),
+        "served by {}/{} shard snapshot(s){}; generations {:?}; cache {}h/{}m",
+        reply.coverage.answered,
+        reply.coverage.consulted,
+        if reply.coverage.is_degraded() {
+            " — DEGRADED"
+        } else {
+            ""
+        },
         stats.generations,
         stats.cache.hits,
         stats.cache.misses
@@ -452,6 +474,190 @@ fn serve_smoke() -> Result<(), String> {
     Ok(())
 }
 
+/// The CI chaos gate: a seeded fault plan (panics + latency spikes +
+/// errors + one corrupt-digest swap) drives a fault-tolerant server, and
+/// the replies must stay honest — full-coverage replies bit-identical to
+/// the unsharded engine, degraded replies subset-consistent with the
+/// healthy merge, and the corrupt swap rolled back without readers
+/// noticing.
+fn chaos_smoke() -> Result<(), String> {
+    use pqsda_querylog::synth::{generate, SynthConfig};
+
+    let synth = generate(&SynthConfig::tiny(42));
+    let entries = synth.log.entries();
+    let build = EngineBuildOptions::default();
+    let reqs: Vec<SuggestRequest> = synth
+        .log
+        .records()
+        .iter()
+        .step_by(7)
+        .map(|r| SuggestRequest::simple(r.query, 8).for_user(r.user))
+        .collect();
+
+    // Gate 1: one shard, two replicas, chaos injected. Whenever coverage
+    // is full the reply must be bit-identical to the plain unsharded
+    // engine; the explicit double-replica panic guarantees at least one
+    // degraded reply too.
+    let plain = PqsDa::build_from_entries(&entries, &build);
+    let expected = plain.suggest_many(&reqs);
+    let one = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 1,
+            key: PartitionKey::User,
+            build,
+            fault: FaultConfig {
+                replicas: 2,
+                budget_ms: 500,
+                hedge_ms: 2,
+                breaker_threshold: 3,
+                breaker_cooldown: 4,
+                ..FaultConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let doomed = 3u64.min(reqs.len() as u64 - 1);
+    one.set_fault_plan(Some(
+        FaultPlan::seeded(
+            0x5EED_CAFE,
+            ChaosProfile {
+                panic_permille: 50,
+                error_permille: 30,
+                latency_permille: 10,
+                latency_ms: 50,
+            },
+        )
+        .with_probe_fault(doomed, 0, 0, FaultKind::Panic)
+        .with_probe_fault(doomed, 0, 1, FaultKind::Panic),
+    ));
+    let mut full = 0usize;
+    let mut degraded = 0usize;
+    for (req, want) in reqs.iter().zip(&expected) {
+        let reply = one.suggest(req);
+        if reply.coverage.is_degraded() {
+            degraded += 1;
+        } else {
+            full += 1;
+            if &reply.ranked() != want {
+                return Err("chaos-smoke: full-coverage reply diverged from unsharded".into());
+            }
+        }
+    }
+    if degraded == 0 {
+        return Err("chaos-smoke: the doomed request did not degrade".into());
+    }
+    let s = one.stats();
+    if s.fault.panics == 0 {
+        return Err("chaos-smoke: injected panics were not observed".into());
+    }
+    println!(
+        "chaos-smoke: 1 shard × 2 replicas — {full} full replies bit-identical to unsharded, \
+         {degraded} degraded ({} panics, {} hedges, {} failovers isolated)",
+        s.fault.panics, s.fault.hedges, s.fault.failovers
+    );
+
+    // Gate 2: four chaotic shards against a healthy twin — degraded
+    // replies must equal the healthy merge over exactly the answering
+    // shards — then a corrupt-digest swap must roll back and retry.
+    let config4 = ServeConfig {
+        shards: 4,
+        key: PartitionKey::User,
+        build,
+        ..ServeConfig::default()
+    };
+    let healthy = ShardedPqsDa::build(&entries, config4);
+    let chaotic = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            fault: FaultConfig {
+                replicas: 2,
+                budget_ms: 300,
+                hedge_ms: 2,
+                breaker_threshold: 3,
+                breaker_cooldown: 4,
+                ..FaultConfig::default()
+            },
+            ..config4
+        },
+    );
+    chaotic.set_fault_plan(Some(
+        FaultPlan::seeded(
+            0xB0B_5EED,
+            ChaosProfile {
+                panic_permille: 50,
+                error_permille: 30,
+                latency_permille: 8,
+                latency_ms: 400,
+            },
+        )
+        .with_corrupt_swap(0),
+    ));
+    let mut degraded4 = 0usize;
+    for req in &reqs {
+        let reply = chaotic.suggest(req);
+        if reply.coverage == Coverage::full(4) {
+            let want = healthy.suggest(req);
+            if reply.suggestions != want.suggestions {
+                return Err("chaos-smoke: full 4-shard reply diverged from healthy twin".into());
+            }
+        } else {
+            degraded4 += 1;
+            let answered: Vec<usize> = reply.tags.iter().map(|t| t.shard).collect();
+            let subset = healthy.suggest_on(req, &answered);
+            if reply.suggestions != subset.suggestions {
+                return Err(format!(
+                    "chaos-smoke: degraded reply not subset-consistent over {answered:?}"
+                ));
+            }
+        }
+    }
+    println!(
+        "chaos-smoke: 4 shards — {} replies checked, {degraded4} degraded, all subset-consistent",
+        reqs.len()
+    );
+
+    // Corrupt swap: one user's chronological batch, poisoned publication.
+    let t0 = 1 + entries.iter().map(|e| e.timestamp).max().unwrap_or(0);
+    let user = UserId(4242);
+    for j in 0..3u64 {
+        if !chaotic.ingest(LogEntry::new(
+            user,
+            format!("chaos delta {j}"),
+            None,
+            t0 + j,
+        )) {
+            return Err("chaos-smoke: ingest rejected below capacity".into());
+        }
+    }
+    let poisoned = chaotic.apply_deltas();
+    if poisoned.rolled_back.len() != 1 || !poisoned.rebuilt.is_empty() {
+        return Err(format!(
+            "chaos-smoke: corrupt swap not rolled back: {poisoned:?}"
+        ));
+    }
+    if chaotic.stats().generations.iter().any(|&g| g != 0) {
+        return Err("chaos-smoke: rollback left a bumped generation".into());
+    }
+    chaotic.set_fault_plan(None);
+    let retry = chaotic.apply_deltas();
+    if retry.retried != 3 || retry.rebuilt != poisoned.rolled_back {
+        return Err(format!(
+            "chaos-smoke: parked batch did not retry: {retry:?}"
+        ));
+    }
+    if chaotic.find_query("chaos delta 0").is_none() {
+        return Err("chaos-smoke: retried delta not servable".into());
+    }
+    println!(
+        "chaos-smoke: corrupt swap rolled back (gen unchanged) and retried cleanly \
+         ({} rollback, {} swaps after retry)",
+        chaotic.stats().fault.rollbacks,
+        chaotic.stats().total_swaps
+    );
+    Ok(())
+}
+
 fn cmd_demo() -> Result<(), String> {
     // The paper's Table I, inline, so the binary demos without any files.
     let entries = vec![
@@ -528,5 +734,10 @@ mod tests {
     #[test]
     fn serve_smoke_passes() {
         serve_smoke().unwrap();
+    }
+
+    #[test]
+    fn chaos_smoke_passes() {
+        chaos_smoke().unwrap();
     }
 }

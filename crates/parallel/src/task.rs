@@ -1,0 +1,322 @@
+//! Cancellable, deadline-aware one-shot tasks.
+//!
+//! The [`WorkerPool`](crate::WorkerPool) is the wrong tool for serving
+//! fan-outs that must honor a *deadline*: its dispatcher always waits for
+//! every job, so one stalled shard probe would stall the whole request.
+//! Tasks here invert that contract — the caller may stop waiting at any
+//! instant ([`TaskHandle::wait_deadline`]) and walk away; the abandoned
+//! task keeps running on its runner thread, sees its [`CancelToken`]
+//! flip, and winds down on its own.
+//!
+//! Three properties the serving layer builds on:
+//!
+//! * **Panic isolation.** A panicking task never unwinds into the caller:
+//!   the payload is caught on the runner and surfaced as a
+//!   [`TaskPanic`] value from `wait`/`try_take`.
+//! * **Cooperative cancellation.** [`TaskHandle::cancel`] flips a shared
+//!   flag; long waits inside a task should go through
+//!   [`CancelToken::sleep`] (or poll [`CancelToken::is_cancelled`]) so an
+//!   abandoned task releases its runner quickly instead of sleeping out a
+//!   fault-injected latency.
+//! * **Thread reuse without unbounded growth.** Finished runners park on
+//!   an idle stack (up to a fixed cap) and are handed the next task by a
+//!   condvar wakeup; past the cap a burst spawns plain threads that exit
+//!   when done, so a latency spike can never accumulate parked threads.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::hardware_threads;
+
+/// Shared cancellation flag between a task and whoever spawned it.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Cooperative: the task must check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Sleeps for `total`, waking early if cancelled. Returns `true` when
+    /// the full duration elapsed, `false` on cancellation. Sleeps in short
+    /// slices so a cancelled task frees its runner within milliseconds.
+    pub fn sleep(&self, total: Duration) -> bool {
+        const SLICE: Duration = Duration::from_millis(2);
+        let end = Instant::now() + total;
+        loop {
+            if self.is_cancelled() {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= end {
+                return true;
+            }
+            std::thread::sleep(SLICE.min(end - now));
+        }
+    }
+}
+
+/// A task panicked; the payload's message, when it carried one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Human-readable panic message (`"<non-string panic>"` otherwise).
+    pub message: String,
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_owned()
+    }
+}
+
+/// Result of polling a task: its value (or caught panic), or not yet.
+#[derive(Debug)]
+pub enum TaskPoll<T> {
+    /// The task finished; the result has been *taken* (later polls return
+    /// [`TaskPoll::Pending`] — poll until you consume, then stop).
+    Ready(Result<T, TaskPanic>),
+    /// Still running (or already consumed).
+    Pending,
+}
+
+struct TaskCell<T> {
+    slot: Mutex<Option<Result<T, TaskPanic>>>,
+    done: Condvar,
+}
+
+/// Handle to one spawned task. Dropping it abandons the task (it still
+/// runs to completion; cancel first to wind it down early).
+pub struct TaskHandle<T> {
+    cell: Arc<TaskCell<T>>,
+    token: CancelToken,
+}
+
+impl<T> TaskHandle<T> {
+    /// The task's cancellation token (shared with the running closure).
+    pub fn token(&self) -> CancelToken {
+        self.token.clone()
+    }
+
+    /// Requests cooperative cancellation.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Takes the result if the task has finished; never blocks.
+    pub fn try_take(&self) -> TaskPoll<T> {
+        let mut slot = self.cell.slot.lock().expect("task slot");
+        match slot.take() {
+            Some(result) => TaskPoll::Ready(result),
+            None => TaskPoll::Pending,
+        }
+    }
+
+    /// Blocks until the task finishes or `deadline` passes, whichever is
+    /// first; the result is taken when ready.
+    pub fn wait_deadline(&self, deadline: Instant) -> TaskPoll<T> {
+        let mut slot = self.cell.slot.lock().expect("task slot");
+        loop {
+            if let Some(result) = slot.take() {
+                return TaskPoll::Ready(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return TaskPoll::Pending;
+            }
+            let (guard, _) = self
+                .cell
+                .done
+                .wait_timeout(slot, deadline - now)
+                .expect("task wait");
+            slot = guard;
+        }
+    }
+
+    /// Blocks until the task finishes.
+    pub fn wait(&self) -> Result<T, TaskPanic> {
+        let mut slot = self.cell.slot.lock().expect("task slot");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.cell.done.wait(slot).expect("task wait");
+        }
+    }
+}
+
+type RunnerJob = Box<dyn FnOnce() + Send + 'static>;
+
+struct RunnerSlot {
+    job: Mutex<Option<RunnerJob>>,
+    ready: Condvar,
+}
+
+struct RunnerPool {
+    idle: Mutex<Vec<Arc<RunnerSlot>>>,
+    parked_cap: usize,
+}
+
+fn runner_pool() -> &'static RunnerPool {
+    static POOL: OnceLock<RunnerPool> = OnceLock::new();
+    POOL.get_or_init(|| RunnerPool {
+        idle: Mutex::new(Vec::new()),
+        // Enough parked runners for a few concurrent hedged fan-outs; a
+        // burst beyond this spawns ephemeral threads instead of parking.
+        parked_cap: (hardware_threads() * 2).clamp(4, 32),
+    })
+}
+
+impl RunnerPool {
+    fn submit(&self, job: RunnerJob) {
+        let reused = self.idle.lock().expect("runner idle stack").pop();
+        match reused {
+            Some(slot) => {
+                *slot.job.lock().expect("runner job slot") = Some(job);
+                slot.ready.notify_one();
+            }
+            None => {
+                std::thread::Builder::new()
+                    .name("pqsda-task".into())
+                    .spawn(move || runner_main(runner_pool(), job))
+                    .expect("spawn task runner");
+            }
+        }
+    }
+}
+
+/// Runs the first job, then parks on the idle stack (while there is room)
+/// serving handed-off jobs until the stack is full, at which point the
+/// thread exits.
+fn runner_main(pool: &'static RunnerPool, first: RunnerJob) {
+    first();
+    let slot = Arc::new(RunnerSlot {
+        job: Mutex::new(None),
+        ready: Condvar::new(),
+    });
+    loop {
+        {
+            let mut idle = pool.idle.lock().expect("runner idle stack");
+            if idle.len() >= pool.parked_cap {
+                return;
+            }
+            idle.push(Arc::clone(&slot));
+        }
+        let job = {
+            let mut job = slot.job.lock().expect("runner job slot");
+            loop {
+                match job.take() {
+                    Some(j) => break j,
+                    None => job = slot.ready.wait(job).expect("runner wait"),
+                }
+            }
+        };
+        job();
+    }
+}
+
+/// Spawns `f` as a cancellable background task and returns its handle.
+/// The closure receives the task's [`CancelToken`] so it can observe
+/// cancellation; a panic inside `f` is caught on the runner and returned
+/// as [`TaskPanic`] from the handle.
+pub fn spawn_cancellable<T, F>(f: F) -> TaskHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce(&CancelToken) -> T + Send + 'static,
+{
+    let token = CancelToken::new();
+    let cell = Arc::new(TaskCell {
+        slot: Mutex::new(None),
+        done: Condvar::new(),
+    });
+    let job_token = token.clone();
+    let job_cell = Arc::clone(&cell);
+    runner_pool().submit(Box::new(move || {
+        let result =
+            catch_unwind(AssertUnwindSafe(|| f(&job_token))).map_err(|payload| TaskPanic {
+                message: panic_message(payload.as_ref()),
+            });
+        let mut slot = job_cell.slot.lock().expect("task slot");
+        *slot = Some(result);
+        job_cell.done.notify_all();
+    }));
+    TaskHandle { cell, token }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_returns_its_value() {
+        let t = spawn_cancellable(|_| 6 * 7);
+        assert_eq!(t.wait().unwrap(), 42);
+    }
+
+    #[test]
+    fn panic_is_isolated_and_reported() {
+        let t = spawn_cancellable::<u32, _>(|_| panic!("boom 17"));
+        let err = t.wait().unwrap_err();
+        assert!(err.message.contains("boom 17"), "got {:?}", err.message);
+    }
+
+    #[test]
+    fn deadline_expires_then_task_still_completes() {
+        let t = spawn_cancellable(|token| {
+            assert!(token.sleep(Duration::from_millis(60)));
+            "late"
+        });
+        let early = Instant::now() + Duration::from_millis(5);
+        assert!(matches!(t.wait_deadline(early), TaskPoll::Pending));
+        // The abandoned task finishes on its own; a later wait sees it.
+        assert_eq!(t.wait().unwrap(), "late");
+    }
+
+    #[test]
+    fn cancel_cuts_a_sleep_short() {
+        let t = spawn_cancellable(|token| token.sleep(Duration::from_secs(30)));
+        t.cancel();
+        let start = Instant::now();
+        assert!(!t.wait().unwrap(), "sleep must report cancellation");
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn ready_result_is_taken_once() {
+        let t = spawn_cancellable(|_| 1u32);
+        assert_eq!(t.wait().unwrap(), 1);
+        assert!(matches!(t.try_take(), TaskPoll::Pending));
+    }
+
+    #[test]
+    fn burst_of_tasks_all_complete() {
+        let handles: Vec<_> = (0..64u64)
+            .map(|i| spawn_cancellable(move |_| i * i))
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait().unwrap(), (i * i) as u64);
+        }
+        // Runner threads were reused/parked; another round still works.
+        let t = spawn_cancellable(|_| "again");
+        assert_eq!(t.wait().unwrap(), "again");
+    }
+}

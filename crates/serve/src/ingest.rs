@@ -66,13 +66,19 @@ impl IngestQueue {
     /// Offers one entry; `false` means the queue was full and the entry
     /// was dropped (backpressure — the producer decides whether to retry).
     /// Never blocks.
+    ///
+    /// `accepted` is incremented *before* the send and compensated on
+    /// rejection. The old order (send, then count) let a concurrent drain
+    /// observe `drained > accepted`; this way the accepted counter is
+    /// always ≥ the entries actually in flight, so `accepted − drained`
+    /// can transiently over-count the depth but never go negative, and at
+    /// quiescence `accepted + rejected` equals the entries offered.
     pub fn offer(&self, entry: LogEntry) -> bool {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
         match self.tx.try_send(entry) {
-            Ok(()) => {
-                self.accepted.fetch_add(1, Ordering::Relaxed);
-                true
-            }
+            Ok(()) => true,
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.accepted.fetch_sub(1, Ordering::Relaxed);
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 false
             }
@@ -83,10 +89,20 @@ impl IngestQueue {
     /// rebuild writer; concurrent producers keep offering while this runs
     /// (their entries land in this or the next drain).
     pub fn drain(&self) -> Vec<LogEntry> {
+        self.drain_up_to(usize::MAX)
+    }
+
+    /// Drains at most `limit` entries, in arrival order — the rate-limited
+    /// variant backing `ServeConfig::max_delta_entries`. Entries beyond
+    /// the limit stay queued for the next cycle.
+    pub fn drain_up_to(&self, limit: usize) -> Vec<LogEntry> {
         let rx = self.rx.lock();
         let mut out = Vec::new();
-        while let Ok(e) = rx.try_recv() {
-            out.push(e);
+        while out.len() < limit {
+            match rx.try_recv() {
+                Ok(e) => out.push(e),
+                Err(_) => break,
+            }
         }
         self.drained.fetch_add(out.len() as u64, Ordering::Relaxed);
         out
@@ -94,13 +110,14 @@ impl IngestQueue {
 
     /// Current counters.
     pub fn stats(&self) -> IngestStats {
-        // Load drained before accepted so a racing `offer` can only make
-        // the reported depth conservative (never negative).
+        // Load drained before accepted: `offer` counts an entry accepted
+        // before sending it, so accepted ≥ drained always holds and the
+        // reported depth can only be conservative (never negative).
         let drained = self.drained.load(Ordering::Relaxed);
         let rejected = self.rejected.load(Ordering::Relaxed);
         let accepted = self.accepted.load(Ordering::Relaxed);
         IngestStats {
-            accepted: accepted.max(drained),
+            accepted,
             rejected,
             drained,
         }
@@ -111,6 +128,7 @@ impl IngestQueue {
 mod tests {
     use super::*;
     use pqsda_querylog::UserId;
+    use proptest::prelude::*;
 
     fn entry(i: u64) -> LogEntry {
         LogEntry::new(UserId(i as u32), format!("q{i}"), None, i)
@@ -139,6 +157,90 @@ mod tests {
         assert_eq!(q.stats().depth(), 0);
         assert!(q.offer(entry(2)), "drain must free capacity");
         assert_eq!(q.drain().len(), 1);
+    }
+
+    #[test]
+    fn drain_up_to_respects_the_limit_and_keeps_the_rest() {
+        let q = IngestQueue::new(8);
+        for i in 0..6 {
+            assert!(q.offer(entry(i)));
+        }
+        let first = q.drain_up_to(4);
+        assert_eq!(first.len(), 4);
+        assert_eq!(first[0].timestamp, 0);
+        let s = q.stats();
+        assert_eq!((s.drained, s.depth()), (4, 2));
+        // The remainder arrives in order on the next cycle.
+        let rest = q.drain_up_to(4);
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].timestamp, 4);
+        assert_eq!(q.stats().depth(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Under concurrent producers racing a concurrent drainer, the
+        /// ledger must balance exactly: accepted + rejected = offered and
+        /// (after a final drain) drained = accepted. The pre-fix ordering
+        /// (send, then count) let a racing drain observe drained >
+        /// accepted, which `stats` papered over with a `max`.
+        #[test]
+        fn counters_sum_to_offered_under_concurrency(
+            capacity in 1usize..40,
+            producers in 1u64..5,
+            per_producer in 1u64..120,
+        ) {
+            let q = std::sync::Arc::new(IngestQueue::new(capacity));
+            let offered = producers * per_producer;
+            let mut produced_ok = 0u64;
+            let mut drained_live = 0u64;
+            std::thread::scope(|s| {
+                let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+                let drainer = {
+                    let q = std::sync::Arc::clone(&q);
+                    let stop = std::sync::Arc::clone(&stop);
+                    s.spawn(move || {
+                        let mut got = 0u64;
+                        while !stop.load(Ordering::Acquire) {
+                            got += q.drain_up_to(3).len() as u64;
+                            // Mid-drain stats may over-count depth but the
+                            // ledger must never go negative or un-balance.
+                            let st = q.stats();
+                            assert!(st.accepted >= st.drained, "depth underflow: {st:?}");
+                            std::thread::yield_now();
+                        }
+                        got
+                    })
+                };
+                let handles: Vec<_> = (0..producers)
+                    .map(|t| {
+                        let q = std::sync::Arc::clone(&q);
+                        s.spawn(move || {
+                            let mut ok = 0u64;
+                            for i in 0..per_producer {
+                                if q.offer(entry(t * 10_000 + i)) {
+                                    ok += 1;
+                                }
+                            }
+                            ok
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    produced_ok += h.join().unwrap();
+                }
+                stop.store(true, Ordering::Release);
+                drained_live = drainer.join().unwrap();
+            });
+            let final_drain = q.drain().len() as u64;
+            let s = q.stats();
+            prop_assert_eq!(s.accepted, produced_ok);
+            prop_assert_eq!(s.accepted + s.rejected, offered);
+            prop_assert_eq!(s.drained, drained_live + final_drain);
+            prop_assert_eq!(s.drained, s.accepted);
+            prop_assert_eq!(s.depth(), 0);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Sharded serving for PQS-DA: scale-out of the suggestion engine across
-//! N independent shards with online log ingestion and zero-downtime
-//! snapshot reloads.
+//! N independent shards with online log ingestion, zero-downtime
+//! snapshot reloads, and fault-tolerant degraded serving.
 //!
 //! The crate is a thin production layer over `pqsda`'s single-node engine:
 //!
@@ -9,27 +9,44 @@
 //!   pure content hashing, survives restarts and rebuilds, and a resize
 //!   only relocates the ~1/N of keys the new shard claims),
 //! - [`swap`] — `ArcSwap`-style snapshot publication with generation tags
-//!   and content digests ([`ShardTag`]),
+//!   and content digests ([`ShardTag`]), validated before publish
+//!   ([`ShardSnapshot::verify`]),
+//! - [`replica`] — R serving replicas per shard ([`ReplicaSet`]) with
+//!   round-robin primary selection and the latency window sizing hedge
+//!   budgets,
+//! - [`fault`] — the fault model: [`FaultConfig`] knobs (deadlines,
+//!   hedging, per-shard circuit [`Breaker`]s), the deterministic
+//!   [`FaultPlan`] injection harness, and [`FaultStats`] counters,
 //! - [`ingest`] — a bounded, non-blocking delta queue with backpressure,
-//! - [`sharded`] — [`ShardedPqsDa`], the scatter-gather facade tying the
-//!   three together: build, serve, ingest, `apply_deltas` (per-shard
-//!   incremental delta application with a cold-rebuild fallback + swap),
-//!   stats.
+//! - [`sharded`] — [`ShardedPqsDa`], the scatter-gather facade tying it
+//!   together: build, serve (healthy or degraded, with honest
+//!   [`Coverage`] reporting), ingest, `apply_deltas` (rate-limited
+//!   per-shard incremental delta application with cold-rebuild fallback,
+//!   swap validation + rollback), stats.
 //!
 //! With one shard the router-merged output is bit-identical to the plain
 //! [`pqsda::PqsDa`] engine — pinned by the equivalence proptest in
 //! `tests/equivalence.rs` — so sharding is a pure deployment decision,
-//! not a quality trade-off.
+//! not a quality trade-off. Under faults the contract weakens honestly:
+//! a full-coverage reply is still bit-identical to the healthy engine,
+//! and a degraded reply equals the healthy merge over exactly the shards
+//! whose tags it carries (pinned by the chaos soak in `tests/chaos.rs`).
 
+pub mod fault;
 pub mod ingest;
+pub mod replica;
 pub mod router;
 pub mod sharded;
 pub mod swap;
 
+pub use fault::{
+    Admission, Breaker, BreakerState, ChaosProfile, FaultConfig, FaultKind, FaultPlan, FaultStats,
+};
 pub use ingest::{IngestQueue, IngestStats};
+pub use replica::{LatencyWindow, ReplicaSet};
 pub use router::{
     partition_entries, route_query, route_query_text, route_user, HashRing, PartitionKey,
     VNODES_PER_SHARD,
 };
-pub use sharded::{ServeConfig, ServeReply, ServeStats, ShardedPqsDa, SwapReport};
+pub use sharded::{Coverage, ServeConfig, ServeReply, ServeStats, ShardedPqsDa, SwapReport};
 pub use swap::{ShardSnapshot, ShardTag, Swap};

@@ -1,0 +1,199 @@
+//! Replica groups: R snapshot slots per shard behind the existing
+//! [`Swap`] cell, plus the latency window that sizes the hedge budget.
+//!
+//! Replicas here are *serving* replicas of one shard's snapshot, not
+//! copies of the data on different machines — each slot is an independent
+//! publication cell holding (initially) the same `Arc`. The point is the
+//! probe topology: a request picks a deterministic round-robin primary,
+//! and a hedge or fail-over probe runs against the *next* slot, so a
+//! fault pinned to one replica (a stalled runner, an injected panic)
+//! does not take the shard out.
+
+use crate::swap::{ShardSnapshot, ShardTag, Swap};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// R publication slots for one shard's snapshot.
+pub struct ReplicaSet {
+    slots: Vec<Swap<ShardSnapshot>>,
+}
+
+impl ReplicaSet {
+    /// A set of `replicas` slots (min 1), all publishing `initial`.
+    pub fn new(initial: Arc<ShardSnapshot>, replicas: usize) -> Self {
+        let n = replicas.max(1);
+        ReplicaSet {
+            slots: (0..n).map(|_| Swap::new(Arc::clone(&initial))).collect(),
+        }
+    }
+
+    /// Number of replica slots.
+    pub fn replicas(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Deterministic round-robin primary for a request: `request mod R`.
+    /// Keyed by the request counter (not an internal cursor) so a test
+    /// knows exactly which replica a given request probes first.
+    pub fn primary_for(&self, request: u64) -> usize {
+        (request % self.slots.len() as u64) as usize
+    }
+
+    /// The backup slot probed by a hedge or fail-over from `primary`.
+    pub fn backup_of(&self, primary: usize) -> usize {
+        (primary + 1) % self.slots.len()
+    }
+
+    /// Loads replica `index`'s current snapshot.
+    pub fn load(&self, index: usize) -> Arc<ShardSnapshot> {
+        self.slots[index].load()
+    }
+
+    /// Publishes `snapshot` to every slot (one store per slot; each
+    /// store is atomic, and all slots converge before the writer's next
+    /// publication).
+    pub fn publish(&self, snapshot: Arc<ShardSnapshot>) {
+        for slot in &self.slots {
+            slot.store(Arc::clone(&snapshot));
+        }
+    }
+
+    /// The tag currently published on slot 0 (the writer's view; slots
+    /// only ever differ mid-`publish`).
+    pub fn current_tag(&self) -> ShardTag {
+        self.slots[0].load().tag
+    }
+}
+
+/// A small sliding window of observed probe latencies, feeding the
+/// adaptive hedge budget (`max(hedge_ms, percentile(p))`).
+pub struct LatencyWindow {
+    samples: parking_lot::Mutex<SampleRing>,
+}
+
+struct SampleRing {
+    ring: Vec<u64>,
+    next: usize,
+    filled: usize,
+}
+
+/// Window capacity — enough history to make a p90 stable, small enough
+/// that one latency regime change ages out within ~a hundred requests.
+const WINDOW: usize = 64;
+/// Below this many samples a percentile is too noisy to hedge on.
+const MIN_SAMPLES: usize = 8;
+
+impl Default for LatencyWindow {
+    fn default() -> Self {
+        LatencyWindow::new()
+    }
+}
+
+impl LatencyWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        LatencyWindow {
+            samples: parking_lot::Mutex::new(SampleRing {
+                ring: vec![0; WINDOW],
+                next: 0,
+                filled: 0,
+            }),
+        }
+    }
+
+    /// Records one successful probe's latency.
+    pub fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut s = self.samples.lock();
+        let slot = s.next;
+        s.ring[slot] = us;
+        s.next = (slot + 1) % WINDOW;
+        s.filled = (s.filled + 1).min(WINDOW);
+    }
+
+    /// The `p`-th percentile (0.0–1.0) of recorded latencies, or `None`
+    /// until enough samples accumulated.
+    pub fn percentile(&self, p: f64) -> Option<Duration> {
+        let s = self.samples.lock();
+        if s.filled < MIN_SAMPLES {
+            return None;
+        }
+        let mut sorted: Vec<u64> = s.ring[..s.filled].to_vec();
+        drop(s);
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+        Some(Duration::from_micros(sorted[rank]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda::{EngineBuildOptions, PqsDa};
+    use pqsda_querylog::{LogEntry, UserId};
+
+    fn tiny_snapshot(generation: u64) -> Arc<ShardSnapshot> {
+        let entries = vec![
+            LogEntry::new(UserId(0), "alpha", None, 0),
+            LogEntry::new(UserId(0), "beta", None, 1),
+        ];
+        let engine = PqsDa::build_from_entries(&entries, &EngineBuildOptions::default());
+        Arc::new(ShardSnapshot::stamp(engine, 0, generation))
+    }
+
+    #[test]
+    fn primary_round_robins_and_backup_is_next() {
+        let set = ReplicaSet::new(tiny_snapshot(0), 3);
+        assert_eq!(set.replicas(), 3);
+        assert_eq!(
+            (0..6).map(|r| set.primary_for(r)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2]
+        );
+        assert_eq!(set.backup_of(2), 0);
+    }
+
+    #[test]
+    fn zero_replicas_clamps_to_one() {
+        let set = ReplicaSet::new(tiny_snapshot(0), 0);
+        assert_eq!(set.replicas(), 1);
+        assert_eq!(set.primary_for(7), 0);
+        assert_eq!(set.backup_of(0), 0);
+    }
+
+    #[test]
+    fn publish_reaches_every_slot() {
+        let set = ReplicaSet::new(tiny_snapshot(0), 2);
+        let next = tiny_snapshot(1);
+        set.publish(Arc::clone(&next));
+        for i in 0..set.replicas() {
+            assert_eq!(set.load(i).tag.generation, 1);
+        }
+        assert_eq!(set.current_tag().generation, 1);
+    }
+
+    #[test]
+    fn percentile_needs_samples_then_tracks_them() {
+        let w = LatencyWindow::new();
+        assert!(w.percentile(0.9).is_none());
+        for ms in 1..=10u64 {
+            w.record(Duration::from_millis(ms));
+        }
+        let p0 = w.percentile(0.0).unwrap();
+        let p100 = w.percentile(1.0).unwrap();
+        assert_eq!(p0, Duration::from_millis(1));
+        assert_eq!(p100, Duration::from_millis(10));
+        assert!(w.percentile(0.5).unwrap() <= p100);
+    }
+
+    #[test]
+    fn window_ages_out_old_samples() {
+        let w = LatencyWindow::new();
+        for _ in 0..WINDOW {
+            w.record(Duration::from_millis(100));
+        }
+        for _ in 0..WINDOW {
+            w.record(Duration::from_millis(1));
+        }
+        assert_eq!(w.percentile(1.0).unwrap(), Duration::from_millis(1));
+    }
+}

@@ -1,7 +1,9 @@
 //! The sharded serving engine: scatter-gather suggestion over N
 //! independent [`PqsDa`] shards with score-ordered merging, plus the
 //! writer side (delta ingestion → per-shard incremental update, with a
-//! cold-rebuild fallback → snapshot swap).
+//! cold-rebuild fallback → snapshot swap) and the fault-tolerance layer
+//! (replica probes, hedged requests, deadlines, circuit breakers,
+//! validated swaps — see DESIGN §10).
 //!
 //! ## Id spaces
 //!
@@ -23,16 +25,35 @@
 //! within a stratum. With one shard the merge is the identity — the
 //! equivalence proptest pins sharded N=1 output to the unsharded engine,
 //! bit for bit.
+//!
+//! ## Degraded serving
+//!
+//! A reply built from a subset of the responsible shards is a strictly
+//! better answer than an error: every merged list over K of N shards is
+//! exactly what a healthy K-shard deployment of the same partitions would
+//! have returned. [`ServeReply::coverage`] says honestly which case the
+//! caller got; the chaos tests pin full-coverage replies bit-identical to
+//! the healthy engine and degraded replies to the merge over precisely
+//! the shards whose tags appear in the reply.
 
+use crate::fault::{Admission, FaultConfig, FaultCounters, FaultKind, FaultPlan, FaultStats};
 use crate::ingest::{IngestQueue, IngestStats};
+use crate::replica::{LatencyWindow, ReplicaSet};
 use crate::router::{partition_entries, route_query_text, PartitionKey};
-use crate::swap::{ShardSnapshot, ShardTag, Swap};
+use crate::swap::{ShardSnapshot, ShardTag};
+use crate::Swap;
 use pqsda::{CacheStats, EngineBuildOptions, PqsDa};
 use pqsda_baselines::SuggestRequest;
+use pqsda_parallel::{spawn_cancellable, TaskHandle, TaskPoll};
 use pqsda_querylog::{text, LogEntry, QueryId, QueryLog};
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::fault::Breaker;
+pub use crate::fault::BreakerState;
 
 /// Configuration of a sharded server.
 #[derive(Clone, Copy, Debug)]
@@ -45,6 +66,13 @@ pub struct ServeConfig {
     pub build: EngineBuildOptions,
     /// Ingestion-queue capacity (backpressure bound).
     pub queue_capacity: usize,
+    /// Most entries one [`ShardedPqsDa::apply_deltas`] call drains from
+    /// the queue (0 = unlimited). The remainder stays queued for the next
+    /// cycle, bounding per-swap rebuild work.
+    pub max_delta_entries: usize,
+    /// Fault-tolerance knobs (replicas, deadlines, hedging, breakers).
+    /// The default disables all of them.
+    pub fault: FaultConfig,
 }
 
 impl Default for ServeConfig {
@@ -54,7 +82,42 @@ impl Default for ServeConfig {
             key: PartitionKey::default(),
             build: EngineBuildOptions::default(),
             queue_capacity: 4096,
+            max_delta_entries: 0,
+            fault: FaultConfig::default(),
         }
+    }
+}
+
+/// How much of the responsible shard set answered a request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Shards whose candidates made it into the merge.
+    pub answered: usize,
+    /// Shards the request was responsible for consulting.
+    pub consulted: usize,
+}
+
+impl Coverage {
+    /// Full coverage over `n` shards.
+    pub fn full(n: usize) -> Self {
+        Coverage {
+            answered: n,
+            consulted: n,
+        }
+    }
+
+    /// Answered fraction (1.0 when nothing needed consulting).
+    pub fn fraction(&self) -> f64 {
+        if self.consulted == 0 {
+            1.0
+        } else {
+            self.answered as f64 / self.consulted as f64
+        }
+    }
+
+    /// Whether any responsible shard is missing from the merge.
+    pub fn is_degraded(&self) -> bool {
+        self.answered < self.consulted
     }
 }
 
@@ -65,16 +128,28 @@ impl Default for ServeConfig {
 pub struct ServeReply {
     /// Merged top-k, rank order, global [`QueryId`]s.
     pub suggestions: Vec<(QueryId, f64)>,
-    /// The tag of every shard snapshot consulted (one per consulted
-    /// shard, in shard order). Readers use these to verify generation
-    /// consistency — see the soak test.
+    /// The tag of every shard snapshot that **answered**, in shard order.
+    /// Readers use these to verify generation consistency — see the soak
+    /// test — and, when degraded, to know exactly which shards the merge
+    /// covers.
     pub tags: Vec<ShardTag>,
+    /// Shards answered vs. consulted; `coverage.is_degraded()` means some
+    /// responsible shard was dropped (fault, deadline, open breaker).
+    pub coverage: Coverage,
 }
 
 impl ServeReply {
     /// The suggestion ranking without scores.
     pub fn ranked(&self) -> Vec<QueryId> {
         self.suggestions.iter().map(|&(q, _)| q).collect()
+    }
+
+    fn empty() -> Self {
+        ServeReply {
+            suggestions: Vec::new(),
+            tags: Vec::new(),
+            coverage: Coverage::default(),
+        }
     }
 }
 
@@ -91,6 +166,13 @@ pub struct ServeStats {
     pub ingest: IngestStats,
     /// Expansion-memo counters aggregated over all live shard snapshots.
     pub cache: CacheStats,
+    /// Entries left queued by rate-limited `apply_deltas` calls
+    /// (cumulative over calls; a deferred entry drains in a later cycle).
+    pub deferred: u64,
+    /// Fault-tolerance counters (probes, panics, hedges, rollbacks, …).
+    pub fault: FaultStats,
+    /// Current circuit-breaker state of each shard.
+    pub breakers: Vec<BreakerState>,
 }
 
 /// What one [`ShardedPqsDa::apply_deltas`] call did.
@@ -107,14 +189,31 @@ pub struct SwapReport {
     /// delta always takes this path; a late-arriving batch (older than
     /// the shard's newest record) falls back to the cold rebuild.
     pub incremental: Vec<usize>,
+    /// Shards whose new snapshot failed pre-publish digest validation and
+    /// kept their prior generation; the batch is parked and retried next
+    /// cycle.
+    pub rolled_back: Vec<usize>,
+    /// Entries left in the queue by the `max_delta_entries` rate limit.
+    pub deferred: usize,
+    /// Parked entries from earlier rolled-back swaps retried this cycle.
+    pub retried: usize,
 }
 
 struct Shard {
-    snap: Swap<ShardSnapshot>,
+    replicas: ReplicaSet,
     /// The raw entries the *current* snapshot was built from. Writer-only
     /// (guarded by the rebuild lock); readers never touch it.
     base: parking_lot::Mutex<Vec<LogEntry>>,
+    /// Delta entries whose swap was rolled back, parked for retry.
+    /// Writer-only.
+    pending: parking_lot::Mutex<Vec<LogEntry>>,
+    breaker: Breaker,
+    latency: LatencyWindow,
 }
+
+/// What a shard probe resolves to: the snapshot's tag, plus its candidate
+/// list (`None` = the probe faulted with an error).
+type ProbeOut = (ShardTag, Option<Vec<(QueryId, f64)>>);
 
 /// N independent PQS-DA shards behind one request-level facade.
 pub struct ShardedPqsDa {
@@ -131,6 +230,16 @@ pub struct ShardedPqsDa {
     /// Serializes writers (`apply_deltas`).
     rebuild_lock: parking_lot::Mutex<()>,
     total_swaps: AtomicU64,
+    /// Active fault-injection schedule (tests/chaos only; `None` in
+    /// production).
+    fault_plan: parking_lot::RwLock<Option<Arc<FaultPlan>>>,
+    /// Request counter: keys round-robin primary selection and the fault
+    /// plan's per-request schedules.
+    requests: AtomicU64,
+    /// Snapshot publication attempts (keys the corrupt-swap schedule).
+    swap_attempts: AtomicU64,
+    counters: FaultCounters,
+    deferred_total: AtomicU64,
 }
 
 impl ShardedPqsDa {
@@ -148,8 +257,14 @@ impl ShardedPqsDa {
                 let snap = ShardSnapshot::stamp(engine, s, 0);
                 registered.push(snap.tag);
                 Shard {
-                    snap: Swap::new(Arc::new(snap)),
+                    replicas: ReplicaSet::new(Arc::new(snap), config.fault.replicas),
                     base: parking_lot::Mutex::new(part),
+                    pending: parking_lot::Mutex::new(Vec::new()),
+                    breaker: Breaker::new(
+                        config.fault.breaker_threshold,
+                        config.fault.breaker_cooldown,
+                    ),
+                    latency: LatencyWindow::new(),
                 }
             })
             .collect();
@@ -161,12 +276,24 @@ impl ShardedPqsDa {
             registered: parking_lot::Mutex::new(registered),
             rebuild_lock: parking_lot::Mutex::new(()),
             total_swaps: AtomicU64::new(0),
+            fault_plan: parking_lot::RwLock::new(None),
+            requests: AtomicU64::new(0),
+            swap_attempts: AtomicU64::new(0),
+            counters: FaultCounters::default(),
+            deferred_total: AtomicU64::new(0),
         }
     }
 
     /// The server configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Installs (or clears) a deterministic fault-injection schedule.
+    /// Probes and swaps consult it from then on; `None` restores healthy
+    /// operation.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.fault_plan.write() = plan.map(Arc::new);
     }
 
     /// The current global id-space log (for resolving suggestion text).
@@ -176,7 +303,10 @@ impl ShardedPqsDa {
 
     /// The tag of every shard's *current* snapshot, in shard order.
     pub fn shard_tags(&self) -> Vec<ShardTag> {
-        self.shards.iter().map(|s| s.snap.load().tag).collect()
+        self.shards
+            .iter()
+            .map(|s| s.replicas.current_tag())
+            .collect()
     }
 
     /// Every tag ever published (including superseded generations).
@@ -186,75 +316,326 @@ impl ShardedPqsDa {
     }
 
     /// Serves one request: scatter to the responsible shard(s), gather
-    /// scored candidates, merge rank-stratified.
+    /// scored candidates, merge rank-stratified. With fault tolerance
+    /// configured (or a fault plan installed) the fan-out runs on
+    /// cancellable probe tasks with hedging/deadline/breaker semantics;
+    /// otherwise it runs serially in the caller (panic isolation applies
+    /// either way). A reply never errors: faulted shards are dropped and
+    /// reported through [`ServeReply::coverage`].
     pub fn suggest(&self, req: &SuggestRequest) -> ServeReply {
+        let request = self.requests.fetch_add(1, Ordering::Relaxed);
         let router = self.router.load();
         if req.query.index() >= router.num_queries() || req.k == 0 {
-            return ServeReply {
-                suggestions: Vec::new(),
-                tags: Vec::new(),
-            };
+            return ServeReply::empty();
         }
-        let input_text = router.query_text(req.query);
-        let targets: Vec<usize> = match self.config.key {
+        let input_text = router.query_text(req.query).to_owned();
+        let targets = self.targets_for(&input_text);
+        let reply = if self.fault_path_active() {
+            self.suggest_ft(request, &router, &input_text, req, &targets)
+        } else {
+            self.gather_serial(&router, &input_text, req, &targets)
+        };
+        if reply.coverage.is_degraded() {
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        reply
+    }
+
+    /// Serves `req` against exactly `targets` (shard indices), serially
+    /// and without fault injection — the reference merge for a given
+    /// shard subset. A degraded reply over answered shards S must equal
+    /// `suggest_on(req, S)`; the chaos tests pin that.
+    pub fn suggest_on(&self, req: &SuggestRequest, targets: &[usize]) -> ServeReply {
+        let router = self.router.load();
+        if req.query.index() >= router.num_queries() || req.k == 0 {
+            return ServeReply::empty();
+        }
+        let input_text = router.query_text(req.query).to_owned();
+        self.gather_serial(&router, &input_text, req, targets)
+    }
+
+    /// The shard set responsible for a query under the configured key.
+    fn targets_for(&self, input_text: &str) -> Vec<usize> {
+        match self.config.key {
             // The query's home shard holds every record of it.
             PartitionKey::Query => vec![route_query_text(input_text, self.config.shards)],
             // User partitions spread a query's evidence across shards:
             // consult all of them and merge.
             PartitionKey::User => (0..self.config.shards).collect(),
-        };
+        }
+    }
 
-        let mut tags = Vec::with_capacity(targets.len());
-        let mut lists: Vec<Vec<(QueryId, f64)>> = Vec::with_capacity(targets.len());
-        for s in targets {
+    /// Whether requests must take the task-based fault-tolerant fan-out.
+    fn fault_path_active(&self) -> bool {
+        let f = &self.config.fault;
+        f.replicas > 1
+            || f.budget_ms > 0
+            || f.breaker_threshold > 0
+            || f.hedge_ms > 0
+            || f.hedge_percentile > 0.0
+            || self.fault_plan.read().is_some()
+    }
+
+    /// Serial fan-out: one probe per target in the calling thread, each
+    /// isolated by `catch_unwind` (a panicking shard is dropped from the
+    /// merge, not propagated).
+    fn gather_serial(
+        &self,
+        router: &QueryLog,
+        input_text: &str,
+        req: &SuggestRequest,
+        targets: &[usize],
+    ) -> ServeReply {
+        let consulted = targets.len();
+        let mut tags = Vec::with_capacity(consulted);
+        let mut lists: Vec<Vec<(QueryId, f64)>> = Vec::with_capacity(consulted);
+        for &s in targets {
             // One load per shard: the whole per-shard computation runs
             // against this single immutable snapshot.
-            let snap = self.shards[s].snap.load();
-            tags.push(snap.tag);
-            let shard_log = snap.engine.log();
-            let Some(local_query) = shard_log.find_query(input_text) else {
-                continue; // this shard never saw the query
-            };
-            // Translate the context into the shard's id space, dropping
-            // context queries the shard has never seen (the compact
-            // expansion drops unknown seeds the same way).
-            let mut context = Vec::with_capacity(req.context.len());
-            let mut context_times = Vec::with_capacity(req.context.len());
-            for (&c, &t) in req.context.iter().zip(&req.context_times) {
-                if c.index() >= router.num_queries() {
-                    continue;
+            let snap = self.shards[s].replicas.load(0);
+            self.counters.probes.fetch_add(1, Ordering::Relaxed);
+            match catch_unwind(AssertUnwindSafe(|| {
+                shard_probe(router, &snap, input_text, req)
+            })) {
+                Ok(list) => {
+                    tags.push(snap.tag);
+                    lists.push(list);
                 }
-                if let Some(lc) = shard_log.find_query(router.query_text(c)) {
-                    context.push(lc);
-                    context_times.push(t);
+                Err(_) => {
+                    self.counters.panics.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            let local_req = SuggestRequest {
-                query: local_query,
-                context,
-                context_times,
-                query_time: req.query_time,
-                user: req.user,
-                k: req.k,
-            };
-            let scored = snap.engine.suggest_scored(&local_req);
-            lists.push(
-                scored
-                    .into_iter()
-                    .filter_map(|(q, score)| {
-                        // Shard vocabularies are subsets of the router's
-                        // (the router swaps first on ingest), so this
-                        // lookup only filters pathological races out.
-                        router
-                            .find_query(shard_log.query_text(q))
-                            .map(|g| (g, score))
-                    })
-                    .collect(),
-            );
         }
         ServeReply {
             suggestions: merge_rank_stratified(&lists, req.k),
+            coverage: Coverage {
+                answered: tags.len(),
+                consulted,
+            },
             tags,
+        }
+    }
+
+    /// Fault-tolerant fan-out: per target, admit through the breaker,
+    /// probe the round-robin primary replica on a cancellable task, hedge
+    /// to the backup replica when the primary is slow, fail over
+    /// immediately when it faults, and drop whatever is unresolved at the
+    /// request deadline. Answers assemble in shard order so the merge is
+    /// deterministic.
+    fn suggest_ft(
+        &self,
+        request: u64,
+        router: &Arc<QueryLog>,
+        input_text: &str,
+        req: &SuggestRequest,
+        targets: &[usize],
+    ) -> ServeReply {
+        let fc = &self.config.fault;
+        let plan = self.fault_plan.read().clone();
+        let ctx = ProbeCtx {
+            request,
+            router,
+            input_text,
+            req,
+            plan: &plan,
+        };
+        let start = Instant::now();
+        let deadline = (fc.budget_ms > 0).then(|| start + Duration::from_millis(fc.budget_ms));
+
+        let mut slots: Vec<ProbeSlot> = Vec::with_capacity(targets.len());
+        for &s in targets {
+            let admission = self.shards[s].breaker.admit();
+            if admission == Admission::Reject {
+                self.counters.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                slots.push(ProbeSlot::rejected(s, admission, start));
+                continue;
+            }
+            let primary_replica = self.shards[s].replicas.primary_for(request);
+            let handle = self.spawn_probe(&ctx, s, primary_replica);
+            slots.push(ProbeSlot {
+                shard: s,
+                admission,
+                primary: Some(handle),
+                backup: None,
+                backup_spawned: false,
+                primary_replica,
+                hedge_at: self.hedge_deadline(s, start),
+                started: start,
+                state: SlotState::Waiting,
+            });
+        }
+
+        loop {
+            let mut waiting = 0usize;
+            for slot in &mut slots {
+                if !matches!(slot.state, SlotState::Waiting) {
+                    continue;
+                }
+                let shard = &self.shards[slot.shard];
+                // Primary outcome first, so on a tie the primary wins
+                // (both replicas serve the same published snapshot).
+                let ev = slot.primary.as_ref().map(|h| self.poll_probe(h));
+                match ev {
+                    Some(ProbeEvent::Success(tag, list)) => {
+                        shard.latency.record(slot.started.elapsed());
+                        shard.breaker.record(slot.admission, true);
+                        if let Some(b) = &slot.backup {
+                            b.cancel();
+                        }
+                        slot.state = SlotState::Done(tag, list);
+                        continue;
+                    }
+                    Some(ProbeEvent::Fault) => slot.primary = None,
+                    Some(ProbeEvent::Pending) | None => {}
+                }
+                let ev = slot.backup.as_ref().map(|h| self.poll_probe(h));
+                match ev {
+                    Some(ProbeEvent::Success(tag, list)) => {
+                        shard.breaker.record(slot.admission, true);
+                        self.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        if let Some(p) = &slot.primary {
+                            p.cancel();
+                        }
+                        slot.state = SlotState::Done(tag, list);
+                        continue;
+                    }
+                    Some(ProbeEvent::Fault) => slot.backup = None,
+                    Some(ProbeEvent::Pending) | None => {}
+                }
+                if slot.primary.is_none() && slot.backup.is_none() {
+                    if !slot.backup_spawned && shard.replicas.replicas() > 1 {
+                        // The primary faulted: fail over to the next
+                        // replica immediately instead of waiting for the
+                        // hedge budget.
+                        let backup = shard.replicas.backup_of(slot.primary_replica);
+                        slot.backup = Some(self.spawn_probe(&ctx, slot.shard, backup));
+                        slot.backup_spawned = true;
+                        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        shard.breaker.record(slot.admission, false);
+                        slot.state = SlotState::Failed;
+                        continue;
+                    }
+                } else if slot.primary.is_some() && !slot.backup_spawned {
+                    // Primary still out: fire the hedge once its latency
+                    // budget lapses.
+                    if slot.hedge_at.is_some_and(|at| Instant::now() >= at) {
+                        let backup = shard.replicas.backup_of(slot.primary_replica);
+                        slot.backup = Some(self.spawn_probe(&ctx, slot.shard, backup));
+                        slot.backup_spawned = true;
+                        self.counters.hedges.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                waiting += 1;
+            }
+            if waiting == 0 {
+                break;
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                for slot in &mut slots {
+                    if matches!(slot.state, SlotState::Waiting) {
+                        self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                        self.shards[slot.shard]
+                            .breaker
+                            .record(slot.admission, false);
+                        if let Some(p) = &slot.primary {
+                            p.cancel();
+                        }
+                        if let Some(b) = &slot.backup {
+                            b.cancel();
+                        }
+                        slot.state = SlotState::Failed;
+                    }
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(300));
+        }
+
+        let consulted = slots.len();
+        let mut tags = Vec::new();
+        let mut lists = Vec::new();
+        for slot in slots {
+            if let SlotState::Done(tag, list) = slot.state {
+                tags.push(tag);
+                lists.push(list);
+            }
+        }
+        ServeReply {
+            suggestions: merge_rank_stratified(&lists, req.k),
+            coverage: Coverage {
+                answered: tags.len(),
+                consulted,
+            },
+            tags,
+        }
+    }
+
+    /// When the hedge for shard `s` should fire, if hedging is on:
+    /// `start + max(hedge_ms, observed latency percentile)`.
+    fn hedge_deadline(&self, s: usize, start: Instant) -> Option<Instant> {
+        let fc = &self.config.fault;
+        if self.shards[s].replicas.replicas() < 2
+            || (fc.hedge_ms == 0 && fc.hedge_percentile <= 0.0)
+        {
+            return None;
+        }
+        let mut delay = Duration::from_millis(fc.hedge_ms);
+        if fc.hedge_percentile > 0.0 {
+            if let Some(p) = self.shards[s].latency.percentile(fc.hedge_percentile) {
+                delay = delay.max(p);
+            }
+        }
+        Some(start + delay)
+    }
+
+    /// Spawns one probe task against `(shard, replica)`, consulting the
+    /// fault plan first (injected latency sleeps cooperatively, so a
+    /// cancelled probe winds down in milliseconds).
+    fn spawn_probe(&self, ctx: &ProbeCtx<'_>, s: usize, replica: usize) -> TaskHandle<ProbeOut> {
+        self.counters.probes.fetch_add(1, Ordering::Relaxed);
+        let snap = self.shards[s].replicas.load(replica);
+        let router = Arc::clone(ctx.router);
+        let input_text = ctx.input_text.to_owned();
+        let req = ctx.req.clone();
+        let plan = ctx.plan.clone();
+        let request = ctx.request;
+        spawn_cancellable(move |token| {
+            let tag = snap.tag;
+            if let Some(plan) = &plan {
+                match plan.probe_fault(request, s, replica) {
+                    // The guard *performs* the injected stall: it is true
+                    // only when the sleep was cancelled mid-stall, in which
+                    // case nobody will read this probe's output.
+                    Some(FaultKind::Latency(ms)) if !token.sleep(Duration::from_millis(ms)) => {
+                        return (tag, None);
+                    }
+                    // Stall survived to completion: probe normally below.
+                    Some(FaultKind::Latency(_)) => {}
+                    Some(FaultKind::Panic) => {
+                        panic!("injected fault: request {request} shard {s} replica {replica}")
+                    }
+                    Some(FaultKind::Error) => return (tag, None),
+                    None => {}
+                }
+            }
+            (tag, Some(shard_probe(&router, &snap, &input_text, &req)))
+        })
+    }
+
+    /// Classifies a probe handle's current state, counting faults.
+    fn poll_probe(&self, handle: &TaskHandle<ProbeOut>) -> ProbeEvent {
+        match handle.try_take() {
+            TaskPoll::Pending => ProbeEvent::Pending,
+            TaskPoll::Ready(Ok((tag, Some(list)))) => ProbeEvent::Success(tag, list),
+            TaskPoll::Ready(Ok((_, None))) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                ProbeEvent::Fault
+            }
+            TaskPoll::Ready(Err(_panic)) => {
+                self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                ProbeEvent::Fault
+            }
         }
     }
 
@@ -282,11 +663,13 @@ impl ShardedPqsDa {
         self.queue.offer(entry)
     }
 
-    /// The writer step: drains the queue, extends the router id space,
-    /// updates the shards whose partitions received deltas and swaps the
-    /// new snapshots in. Readers are never blocked — they keep answering
-    /// from the old `Arc`s until the pointer store, and from the new ones
-    /// after. Safe to call from any thread; writers serialize.
+    /// The writer step: drains the queue (at most
+    /// `config.max_delta_entries` entries when set), extends the router
+    /// id space, updates the shards whose partitions received deltas and
+    /// swaps the new snapshots in. Readers are never blocked — they keep
+    /// answering from the old `Arc`s until the pointer store, and from
+    /// the new ones after. Safe to call from any thread; writers
+    /// serialize.
     ///
     /// Each touched shard first tries the **incremental** path: the live
     /// snapshot's [`PqsDa::apply_delta`] threads the batch through every
@@ -297,88 +680,139 @@ impl ShardedPqsDa {
     /// (an entry older than the shard's newest record) the shard falls
     /// back to a full cold rebuild; either way the swap protocol below is
     /// identical, so readers cannot tell the paths apart.
+    ///
+    /// Before publishing, each snapshot passes the **validation gate**
+    /// ([`ShardSnapshot::verify`]): its content digests are recomputed
+    /// and checked against the stamped tag. On mismatch the swap rolls
+    /// back — the shard keeps its prior generation, the batch parks in a
+    /// retry buffer drained by the next call, and the rollback is counted
+    /// in the report and stats. Readers never observe a corrupt
+    /// publication.
     pub fn apply_deltas(&self) -> SwapReport {
         let _writer = self.rebuild_lock.lock();
-        let deltas = self.queue.drain();
-        if deltas.is_empty() {
-            return SwapReport::default();
+        let limit = match self.config.max_delta_entries {
+            0 => usize::MAX,
+            n => n,
+        };
+        let deltas = self.queue.drain_up_to(limit);
+        let deferred = if deltas.len() == limit {
+            self.queue.stats().depth() as usize
+        } else {
+            0
+        };
+        if deferred > 0 {
+            self.deferred_total
+                .fetch_add(deferred as u64, Ordering::Relaxed);
+        }
+        let any_pending = self.shards.iter().any(|s| !s.pending.lock().is_empty());
+        if deltas.is_empty() && !any_pending {
+            return SwapReport {
+                deferred,
+                ..SwapReport::default()
+            };
         }
 
         // Router first: its vocabulary must cover every shard's before a
         // rebuilt shard goes live (response translation relies on it).
         // Growth is append-only, so existing global ids stay valid.
-        let mut grown = (*self.router.load()).clone();
-        for e in &deltas {
-            grown.push_entry(e);
+        // Parked (rolled-back) entries were interned on their first
+        // attempt and need no re-growth.
+        if !deltas.is_empty() {
+            let mut grown = (*self.router.load()).clone();
+            for e in &deltas {
+                grown.push_entry(e);
+            }
+            self.router.store(Arc::new(grown));
         }
-        self.router.store(Arc::new(grown));
 
+        let plan = self.fault_plan.read().clone();
         let parts = partition_entries(&deltas, self.config.key, self.config.shards);
-        let mut rebuilt = Vec::new();
-        let mut incremental = Vec::new();
+        let mut report = SwapReport {
+            drained: deltas.len(),
+            ..SwapReport::default()
+        };
+        report.deferred = deferred;
         for (s, delta) in parts.into_iter().enumerate() {
-            if delta.is_empty() {
+            let shard = &self.shards[s];
+            let mut batch = std::mem::take(&mut *shard.pending.lock());
+            report.retried += batch.len();
+            batch.extend(delta);
+            if batch.is_empty() {
                 continue;
             }
-            let shard = &self.shards[s];
-            let previous = shard.snap.load();
-            let warm = previous.engine.apply_delta(&delta, &self.config.build);
-            // The base entry list stays current either way: it is the
-            // cold-rebuild ground truth for any *future* delta that
-            // arrives out of order.
-            let entries: Vec<LogEntry> = {
-                let mut base = shard.base.lock();
-                base.extend(delta);
-                if warm.is_some() {
-                    Vec::new()
-                } else {
-                    base.clone()
-                }
-            };
+            let previous = shard.replicas.load(0);
+            let warm = previous.engine.apply_delta(&batch, &self.config.build);
+            let was_warm = warm.is_some();
             let engine = match warm {
-                Some((engine, _delta_report)) => {
-                    incremental.push(s);
-                    engine
-                }
+                Some((engine, _delta_report)) => engine,
                 // Full off-line rebuild of this shard's world (the engine
                 // build sorts by timestamp, so late-arriving old entries
-                // land in their chronological place).
-                None => PqsDa::build_from_entries(&entries, &self.config.build),
+                // land in their chronological place). The base list is
+                // not extended yet — a rollback must leave it untouched.
+                None => {
+                    let entries: Vec<LogEntry> = {
+                        let base = shard.base.lock();
+                        base.iter().chain(batch.iter()).cloned().collect()
+                    };
+                    PqsDa::build_from_entries(&entries, &self.config.build)
+                }
             };
             let generation = previous.tag.generation + 1;
-            let snap = ShardSnapshot::stamp(engine, s, generation);
+            let mut snap = ShardSnapshot::stamp(engine, s, generation);
+            let attempt = self.swap_attempts.fetch_add(1, Ordering::Relaxed);
+            if let Some(p) = &plan {
+                if p.corrupts_swap(attempt) {
+                    FaultPlan::corrupt_tag(&mut snap.tag);
+                }
+            }
+            if !snap.verify() {
+                // Validation gate: the snapshot does not match its tag.
+                // Keep the prior generation live, park the batch for the
+                // next cycle.
+                self.counters.rollbacks.fetch_add(1, Ordering::Relaxed);
+                shard.pending.lock().extend(batch);
+                report.rolled_back.push(s);
+                continue;
+            }
+            // The base entry list stays current for any *future* delta
+            // that arrives out of order (cold-rebuild ground truth).
+            shard.base.lock().extend(batch);
             // Register the tag BEFORE publishing: a reader can never hold
             // a tag the registry hasn't seen.
             self.registered.lock().push(snap.tag);
-            shard.snap.store(Arc::new(snap));
+            shard.replicas.publish(Arc::new(snap));
             self.total_swaps.fetch_add(1, Ordering::Relaxed);
-            rebuilt.push(s);
+            report.rebuilt.push(s);
+            if was_warm {
+                report.incremental.push(s);
+            }
         }
-        SwapReport {
-            drained: deltas.len(),
-            rebuilt,
-            incremental,
-        }
+        report
     }
 
-    /// Counters: per-shard generations, swap count, queue and cache stats.
+    /// Counters: per-shard generations, swap count, queue, cache, and
+    /// fault-tolerance stats.
     pub fn stats(&self) -> ServeStats {
         let mut cache = CacheStats::default();
         let mut generations = Vec::with_capacity(self.shards.len());
         for s in &self.shards {
-            let snap = s.snap.load();
+            let snap = s.replicas.load(0);
             generations.push(snap.tag.generation);
             let c = snap.engine.cache_stats();
             cache.hits += c.hits;
             cache.misses += c.misses;
             cache.evictions += c.evictions;
         }
+        let breaker_opens: u64 = self.shards.iter().map(|s| s.breaker.opens()).sum();
         ServeStats {
             shards: self.shards.len(),
             generations,
             total_swaps: self.total_swaps.load(Ordering::Relaxed),
             ingest: self.queue.stats(),
             cache,
+            deferred: self.deferred_total.load(Ordering::Relaxed),
+            fault: self.counters.snapshot(breaker_opens),
+            breakers: self.shards.iter().map(|s| s.breaker.state()).collect(),
         }
     }
 
@@ -398,6 +832,106 @@ impl ShardedPqsDa {
     pub fn home_shard_of_query(&self, raw: &str) -> usize {
         route_query_text(&text::normalize(raw), self.config.shards)
     }
+}
+
+/// Shared read-only context of one request's probe spawns.
+struct ProbeCtx<'a> {
+    request: u64,
+    router: &'a Arc<QueryLog>,
+    input_text: &'a str,
+    req: &'a SuggestRequest,
+    plan: &'a Option<Arc<FaultPlan>>,
+}
+
+enum SlotState {
+    Waiting,
+    Done(ShardTag, Vec<(QueryId, f64)>),
+    Failed,
+}
+
+/// Per-target bookkeeping of the fault-tolerant gather loop.
+struct ProbeSlot {
+    shard: usize,
+    admission: Admission,
+    primary: Option<TaskHandle<ProbeOut>>,
+    backup: Option<TaskHandle<ProbeOut>>,
+    backup_spawned: bool,
+    primary_replica: usize,
+    hedge_at: Option<Instant>,
+    started: Instant,
+    state: SlotState,
+}
+
+impl ProbeSlot {
+    fn rejected(shard: usize, admission: Admission, started: Instant) -> Self {
+        ProbeSlot {
+            shard,
+            admission,
+            primary: None,
+            backup: None,
+            backup_spawned: false,
+            primary_replica: 0,
+            hedge_at: None,
+            started,
+            state: SlotState::Failed,
+        }
+    }
+}
+
+enum ProbeEvent {
+    Pending,
+    Success(ShardTag, Vec<(QueryId, f64)>),
+    Fault,
+}
+
+/// One shard's share of a request: translate the query and context into
+/// the shard's id space, ask the snapshot's engine, translate the
+/// candidates back to global ids. Empty when the shard never saw the
+/// query.
+fn shard_probe(
+    router: &QueryLog,
+    snap: &ShardSnapshot,
+    input_text: &str,
+    req: &SuggestRequest,
+) -> Vec<(QueryId, f64)> {
+    let shard_log = snap.engine.log();
+    let Some(local_query) = shard_log.find_query(input_text) else {
+        return Vec::new(); // this shard never saw the query
+    };
+    // Translate the context into the shard's id space, dropping context
+    // queries the shard has never seen (the compact expansion drops
+    // unknown seeds the same way).
+    let mut context = Vec::with_capacity(req.context.len());
+    let mut context_times = Vec::with_capacity(req.context.len());
+    for (&c, &t) in req.context.iter().zip(&req.context_times) {
+        if c.index() >= router.num_queries() {
+            continue;
+        }
+        if let Some(lc) = shard_log.find_query(router.query_text(c)) {
+            context.push(lc);
+            context_times.push(t);
+        }
+    }
+    let local_req = SuggestRequest {
+        query: local_query,
+        context,
+        context_times,
+        query_time: req.query_time,
+        user: req.user,
+        k: req.k,
+    };
+    let scored = snap.engine.suggest_scored(&local_req);
+    scored
+        .into_iter()
+        .filter_map(|(q, score)| {
+            // Shard vocabularies are subsets of the router's (the router
+            // swaps first on ingest), so this lookup only filters
+            // pathological races out.
+            router
+                .find_query(shard_log.query_text(q))
+                .map(|g| (g, score))
+        })
+        .collect()
 }
 
 /// Rank-stratified, score-ordered merge of per-shard candidate lists.
@@ -476,10 +1010,25 @@ mod tests {
     }
 
     #[test]
-    fn end_to_end_two_shards_cover_both_facets() {
-        // A tiny world; user key with 2 shards: users split somehow, and
-        // an anonymous request must still gather candidates from every
-        // shard that knows the query.
+    fn ranked_reflects_merge_tie_breaking() {
+        // Two shards; a score tie in stratum 0 breaks toward the smaller
+        // global id, and the duplicate in stratum 1 keeps its better
+        // score while holding one rank slot.
+        let a = vec![(q(9), 0.5), (q(4), 0.2)];
+        let b = vec![(q(2), 0.5), (q(4), 0.9)];
+        let merged = merge_rank_stratified(&[a, b], 10);
+        assert_eq!(merged, vec![(q(2), 0.5), (q(9), 0.5), (q(4), 0.9)]);
+        let reply = ServeReply {
+            suggestions: merged,
+            tags: Vec::new(),
+            coverage: Coverage::full(2),
+        };
+        assert_eq!(reply.ranked(), vec![q(2), q(9), q(4)]);
+        assert!(!reply.coverage.is_degraded());
+        assert_eq!(reply.coverage.fraction(), 1.0);
+    }
+
+    fn tiny_entries() -> Vec<LogEntry> {
         let mut entries = Vec::new();
         for rep in 0..4u64 {
             let base = rep * 50_000;
@@ -495,6 +1044,15 @@ mod tests {
                 entries.push(LogEntry::new(UserId(u), qtext, Some(url), base + dt));
             }
         }
+        entries
+    }
+
+    #[test]
+    fn end_to_end_two_shards_cover_both_facets() {
+        // A tiny world; user key with 2 shards: users split somehow, and
+        // an anonymous request must still gather candidates from every
+        // shard that knows the query.
+        let entries = tiny_entries();
         let server = ShardedPqsDa::build(
             &entries,
             ServeConfig {
@@ -507,6 +1065,7 @@ mod tests {
         let reply = server.suggest(&SuggestRequest::simple(sun, 4));
         assert!(!reply.suggestions.is_empty());
         assert_eq!(reply.tags.len(), 2, "user key consults every shard");
+        assert_eq!(reply.coverage, Coverage::full(2));
         // All returned ids live in the router space.
         for (qid, _) in &reply.suggestions {
             assert!(server.query_text(*qid).is_some());
@@ -516,6 +1075,9 @@ mod tests {
         for r in server.suggest_many_with_threads(&reqs, 4) {
             assert_eq!(r.ranked(), reply.ranked());
         }
+        // suggest_on over all shards is the same merge.
+        let subset = server.suggest_on(&SuggestRequest::simple(sun, 4), &[0, 1]);
+        assert_eq!(subset.suggestions, reply.suggestions);
     }
 
     #[test]
@@ -550,10 +1112,12 @@ mod tests {
         assert_eq!(report.rebuilt, vec![crate::router::route_user(new_user, 4)]);
         // The batch is chronological, so the swap took the delta path.
         assert_eq!(report.incremental, report.rebuilt);
+        assert!(report.rolled_back.is_empty());
         let stats = server.stats();
         assert_eq!(stats.total_swaps, 1);
         assert_eq!(stats.generations.iter().sum::<u64>(), 1);
         assert_eq!(stats.ingest.depth(), 0);
+        assert_eq!(stats.fault.rollbacks, 0);
 
         // The ingested query is now servable end to end.
         let nq = server.find_query("brand new query").unwrap();
@@ -564,5 +1128,210 @@ mod tests {
         for t in &reply.tags {
             assert!(registered.contains(t), "unregistered tag {t:?}");
         }
+    }
+
+    #[test]
+    fn rate_limited_apply_deltas_defers_and_carries_the_remainder() {
+        let entries = tiny_entries();
+        let server = ShardedPqsDa::build(
+            &entries,
+            ServeConfig {
+                shards: 2,
+                key: PartitionKey::User,
+                max_delta_entries: 3,
+                ..ServeConfig::default()
+            },
+        );
+        for i in 0..8u64 {
+            assert!(server.ingest(LogEntry::new(
+                UserId(9),
+                format!("rate limited {i}"),
+                None,
+                1_000_000 + i,
+            )));
+        }
+        let r1 = server.apply_deltas();
+        assert_eq!((r1.drained, r1.deferred), (3, 5));
+        let r2 = server.apply_deltas();
+        assert_eq!((r2.drained, r2.deferred), (3, 2));
+        let r3 = server.apply_deltas();
+        assert_eq!((r3.drained, r3.deferred), (2, 0));
+        let stats = server.stats();
+        assert_eq!(stats.deferred, 7, "cumulative deferrals");
+        assert_eq!(stats.ingest.depth(), 0);
+        assert_eq!(stats.total_swaps, 3);
+        // Every rate-limited batch eventually landed.
+        assert!(server.find_query("rate limited 7").is_some());
+    }
+
+    #[test]
+    fn corrupt_swap_rolls_back_then_retries_cleanly() {
+        let entries = tiny_entries();
+        let server = ShardedPqsDa::build(
+            &entries,
+            ServeConfig {
+                shards: 1,
+                key: PartitionKey::User,
+                ..ServeConfig::default()
+            },
+        );
+        server.set_fault_plan(Some(FaultPlan::new().with_corrupt_swap(0)));
+        let registered_before = server.registered_tags().len();
+        assert!(server.ingest(LogEntry::new(UserId(5), "poisoned swap", None, 900_000)));
+        assert!(server.ingest(LogEntry::new(UserId(5), "sun", None, 900_100)));
+        let report = server.apply_deltas();
+        assert_eq!(report.drained, 2);
+        assert_eq!(report.rolled_back, vec![0]);
+        assert!(report.rebuilt.is_empty());
+        assert_eq!(report.retried, 0);
+        let stats = server.stats();
+        assert_eq!(stats.generations, vec![0], "generation unchanged");
+        assert_eq!(stats.total_swaps, 0);
+        assert_eq!(stats.fault.rollbacks, 1);
+        // The corrupt tag was never registered or published.
+        assert_eq!(server.registered_tags().len(), registered_before);
+        // Clearing the plan lets the parked batch retry and publish.
+        server.set_fault_plan(None);
+        let retry = server.apply_deltas();
+        assert_eq!(retry.drained, 0);
+        assert_eq!(retry.retried, 2);
+        assert_eq!(retry.rebuilt, vec![0]);
+        assert_eq!(retry.incremental, vec![0]);
+        assert_eq!(server.stats().generations, vec![1]);
+        // The rolled-back-then-retried entry is servable.
+        let nq = server.find_query("poisoned swap").unwrap();
+        let reply = server.suggest(&SuggestRequest::simple(nq, 3));
+        assert!(!reply.coverage.is_degraded());
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_faults_and_recovers_via_probe() {
+        let entries = tiny_entries();
+        let server = ShardedPqsDa::build(
+            &entries,
+            ServeConfig {
+                shards: 1,
+                key: PartitionKey::Query,
+                fault: FaultConfig {
+                    breaker_threshold: 2,
+                    breaker_cooldown: 2,
+                    ..FaultConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+        );
+        // Panics injected into the probes of requests 0 and 1 (one shard,
+        // one replica → replica 0 is always primary).
+        server.set_fault_plan(Some(
+            FaultPlan::new()
+                .with_probe_fault(0, 0, 0, FaultKind::Panic)
+                .with_probe_fault(1, 0, 0, FaultKind::Panic),
+        ));
+        let sun = server.find_query("sun").unwrap();
+        let req = SuggestRequest::simple(sun, 4);
+        let healthy = server.suggest_on(&req, &[0]);
+
+        // Requests 0 and 1 fault; the second trips the breaker.
+        for _ in 0..2 {
+            let r = server.suggest(&req);
+            assert!(r.coverage.is_degraded());
+            assert!(r.suggestions.is_empty());
+        }
+        assert_eq!(server.stats().breakers, vec![BreakerState::Open]);
+        // Request 2 is skipped by the open breaker (cooldown 1 of 2).
+        let r = server.suggest(&req);
+        assert!(r.coverage.is_degraded());
+        assert_eq!(server.stats().fault.breaker_skips, 1);
+        // Request 3 is the half-open probe; no fault scheduled → success
+        // closes the breaker and the reply is full and healthy.
+        let r = server.suggest(&req);
+        assert_eq!(r.coverage, Coverage::full(1));
+        assert_eq!(r.suggestions, healthy.suggestions);
+        let stats = server.stats();
+        assert_eq!(stats.breakers, vec![BreakerState::Closed]);
+        assert_eq!(stats.fault.panics, 2);
+        assert_eq!(stats.fault.breaker_opens, 1);
+        assert_eq!(stats.fault.degraded, 3);
+        // Request 4 serves normally.
+        let r = server.suggest(&req);
+        assert_eq!(r.suggestions, healthy.suggestions);
+    }
+
+    #[test]
+    fn hedge_rescues_a_slow_primary_replica() {
+        let entries = tiny_entries();
+        let server = ShardedPqsDa::build(
+            &entries,
+            ServeConfig {
+                shards: 1,
+                key: PartitionKey::Query,
+                fault: FaultConfig {
+                    replicas: 2,
+                    hedge_ms: 2,
+                    ..FaultConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+        );
+        // Replica 0 of the only shard is pathologically slow; requests
+        // with an even index pick it as primary (request % 2).
+        server.set_fault_plan(Some(FaultPlan::new().with_slow_replica(0, 0, 200)));
+        let sun = server.find_query("sun").unwrap();
+        let req = SuggestRequest::simple(sun, 4);
+        let healthy = server.suggest_on(&req, &[0]);
+        // Request 0: slow primary, the hedge fires and the backup wins.
+        let r = server.suggest(&req);
+        assert_eq!(r.coverage, Coverage::full(1));
+        assert_eq!(r.suggestions, healthy.suggestions);
+        // Request 1: fast primary (replica 1), no hedge needed... but a
+        // hedge MAY still fire on a slow machine; only the reply is
+        // pinned.
+        let r = server.suggest(&req);
+        assert_eq!(r.suggestions, healthy.suggestions);
+        let stats = server.stats();
+        assert!(stats.fault.hedges >= 1, "stats: {:?}", stats.fault);
+        assert!(stats.fault.hedge_wins >= 1, "stats: {:?}", stats.fault);
+        assert_eq!(stats.fault.degraded, 0);
+    }
+
+    #[test]
+    fn deadline_drops_a_stalled_shard_and_reports_degraded_coverage() {
+        let entries = tiny_entries();
+        let server = ShardedPqsDa::build(
+            &entries,
+            ServeConfig {
+                shards: 2,
+                key: PartitionKey::User,
+                fault: FaultConfig {
+                    budget_ms: 120,
+                    ..FaultConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+        );
+        // Shard 0's only replica stalls far past the request budget.
+        server.set_fault_plan(Some(FaultPlan::new().with_slow_replica(0, 0, 2_000)));
+        let sun = server.find_query("sun").unwrap();
+        let req = SuggestRequest::simple(sun, 4);
+        let start = Instant::now();
+        let r = server.suggest(&req);
+        assert!(
+            start.elapsed() < Duration::from_millis(1_500),
+            "deadline must cut the stalled probe off"
+        );
+        assert!(r.coverage.is_degraded());
+        assert_eq!(
+            r.coverage,
+            Coverage {
+                answered: 1,
+                consulted: 2
+            }
+        );
+        // The reply covers exactly the answering shard (tags say which).
+        assert_eq!(r.tags.len(), 1);
+        assert_eq!(r.tags[0].shard, 1);
+        let subset = server.suggest_on(&req, &[1]);
+        assert_eq!(r.suggestions, subset.suggestions);
+        assert_eq!(server.stats().fault.timeouts, 1);
     }
 }

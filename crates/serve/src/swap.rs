@@ -50,6 +50,16 @@ impl ShardSnapshot {
         };
         ShardSnapshot { engine, tag }
     }
+
+    /// Pre-publish validation gate: recomputes the engine's content
+    /// digests and checks them against the stamped tag. A mismatch means
+    /// the snapshot was corrupted between stamping and publication (or a
+    /// build produced something other than what it claimed) — the writer
+    /// must roll the swap back instead of publishing.
+    pub fn verify(&self) -> bool {
+        self.tag.graph_digest == self.engine.multi().digest()
+            && self.tag.profile_digest == self.engine.personalizer().map_or(0, |p| p.digest())
+    }
 }
 
 /// An `ArcSwap`-style publication cell (the no-new-deps substitute): a
@@ -86,6 +96,24 @@ impl<T> Swap<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pqsda::EngineBuildOptions;
+    use pqsda_querylog::{LogEntry, UserId};
+
+    #[test]
+    fn verify_accepts_honest_tags_and_rejects_corrupt_ones() {
+        let entries = vec![
+            LogEntry::new(UserId(0), "alpha", None, 0),
+            LogEntry::new(UserId(1), "beta", None, 1),
+        ];
+        let engine = PqsDa::build_from_entries(&entries, &EngineBuildOptions::default());
+        let mut snap = ShardSnapshot::stamp(engine, 0, 0);
+        assert!(snap.verify(), "freshly stamped snapshots must verify");
+        snap.tag.graph_digest ^= 1;
+        assert!(!snap.verify(), "a flipped graph digest must be caught");
+        snap.tag.graph_digest ^= 1;
+        snap.tag.profile_digest ^= 1;
+        assert!(!snap.verify(), "a flipped profile digest must be caught");
+    }
 
     #[test]
     fn load_sees_latest_store_and_old_arcs_survive() {

@@ -1,0 +1,219 @@
+//! Chaos soak: reader threads hammer a fault-injected server (seeded
+//! panics, errors, latency spikes; explicit double-replica panics; one
+//! corrupt-digest swap) and every reply must still be *honest*:
+//!
+//! - **no request errors out** — every `suggest` call returns a reply;
+//! - **full coverage ⇒ bit-identical** — a reply covering all shards
+//!   equals the healthy twin server's reply exactly, scores included;
+//! - **degraded ⇒ subset-consistent** — a partial reply equals the
+//!   healthy merge over precisely the shards whose tags it carries;
+//! - **corrupt swaps roll back** — the poisoned publication leaves every
+//!   generation untouched and is counted, and the parked batch retries
+//!   cleanly once the plan is cleared.
+
+use pqsda_baselines::SuggestRequest;
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_querylog::{LogEntry, QueryId, UserId};
+use pqsda_serve::{
+    ChaosProfile, Coverage, FaultConfig, FaultKind, FaultPlan, PartitionKey, ServeConfig,
+    ShardedPqsDa,
+};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const SHARDS: usize = 4;
+const READERS: usize = 4;
+const REQUESTS_PER_READER: usize = 40;
+/// The request whose probes panic on *both* replicas of every shard —
+/// guarantees at least one fully degraded reply per run.
+const DOOMED_REQUEST: u64 = 7;
+
+fn chaos_plan() -> FaultPlan {
+    let mut plan = FaultPlan::seeded(
+        0xC4A0_5EED,
+        ChaosProfile {
+            panic_permille: 60,
+            error_permille: 40,
+            latency_permille: 12,
+            latency_ms: 600,
+        },
+    )
+    .with_corrupt_swap(0);
+    for shard in 0..SHARDS {
+        for replica in 0..2 {
+            plan = plan.with_probe_fault(DOOMED_REQUEST, shard, replica, FaultKind::Panic);
+        }
+    }
+    plan
+}
+
+#[test]
+fn chaos_soak_replies_stay_honest_under_injected_faults() {
+    let s = generate(&SynthConfig::tiny(31));
+    let entries = s.log.entries();
+    let config = ServeConfig {
+        shards: SHARDS,
+        key: PartitionKey::User,
+        fault: FaultConfig {
+            replicas: 2,
+            budget_ms: 400,
+            hedge_ms: 4,
+            breaker_threshold: 3,
+            breaker_cooldown: 4,
+            ..FaultConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let chaotic = Arc::new(ShardedPqsDa::build(&entries, config));
+    // The healthy twin: same entries, same partitioning, no faults. The
+    // chaotic server's snapshots must stay equal to it for the whole soak
+    // because its only swap attempt is corrupted and rolls back.
+    let healthy = Arc::new(ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: SHARDS,
+            key: PartitionKey::User,
+            ..ServeConfig::default()
+        },
+    ));
+    chaotic.set_fault_plan(Some(chaos_plan()));
+
+    let queries: Vec<QueryId> = s.log.records().iter().step_by(5).map(|r| r.query).collect();
+    // Healthy reference replies, computed up front (they never change).
+    let reference: Vec<Vec<(QueryId, f64)>> = queries
+        .iter()
+        .map(|&q| healthy.suggest(&SuggestRequest::simple(q, 5)).suggestions)
+        .collect();
+
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..READERS)
+            .map(|t| {
+                let chaotic = Arc::clone(&chaotic);
+                let healthy = Arc::clone(&healthy);
+                let queries = &queries;
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut high_water = [0u64; SHARDS];
+                    let mut degraded_seen = 0u64;
+                    let mut observed_tags = HashSet::new();
+                    for i in 0..REQUESTS_PER_READER {
+                        let qi = (t + i * READERS) % queries.len();
+                        let req = SuggestRequest::simple(queries[qi], 5);
+                        let reply = chaotic.suggest(&req);
+                        // Well-formed, whatever the faults did.
+                        assert!(reply.suggestions.len() <= 5);
+                        let distinct: HashSet<_> = reply.ranked().into_iter().collect();
+                        assert_eq!(distinct.len(), reply.suggestions.len(), "dup suggestion");
+                        assert_eq!(reply.coverage.consulted, SHARDS);
+                        assert_eq!(reply.coverage.answered, reply.tags.len());
+                        let mut shards_in_reply = HashSet::new();
+                        for tag in &reply.tags {
+                            assert!(
+                                shards_in_reply.insert(tag.shard),
+                                "reply mixed two snapshots of shard {}",
+                                tag.shard
+                            );
+                            assert!(
+                                tag.generation >= high_water[tag.shard],
+                                "shard {} went backwards",
+                                tag.shard
+                            );
+                            high_water[tag.shard] = tag.generation;
+                            observed_tags.insert(*tag);
+                        }
+                        if reply.coverage == Coverage::full(SHARDS) {
+                            // Full coverage: bit-identical to the healthy
+                            // engine, scores included.
+                            assert_eq!(
+                                reply.suggestions, reference[qi],
+                                "full-coverage reply diverged from healthy engine"
+                            );
+                        } else {
+                            degraded_seen += 1;
+                            // Degraded: exactly the healthy merge over the
+                            // shards that answered (the tags say which).
+                            let answered: Vec<usize> =
+                                reply.tags.iter().map(|tag| tag.shard).collect();
+                            let subset = healthy.suggest_on(&req, &answered);
+                            assert_eq!(
+                                reply.suggestions, subset.suggestions,
+                                "degraded reply is not subset-consistent (shards {answered:?})"
+                            );
+                            assert!(reply.coverage.fraction() < 1.0);
+                        }
+                    }
+                    (degraded_seen, observed_tags)
+                })
+            })
+            .collect();
+
+        // Writer, mid-soak: one user's chronological batch → exactly one
+        // shard publication attempt (attempt 0), which the plan corrupts.
+        // The swap must roll back: generations untouched, batch parked.
+        let t0 = 1 + entries.iter().map(|e| e.timestamp).max().unwrap();
+        let chaos_user = UserId(4242);
+        for j in 0..5u64 {
+            assert!(chaotic.ingest(LogEntry::new(
+                chaos_user,
+                format!("chaos delta {j}"),
+                Some("chaos.example"),
+                t0 + j,
+            )));
+        }
+        let poisoned = chaotic.apply_deltas();
+        let victim = pqsda_serve::route_user(chaos_user, SHARDS);
+        assert_eq!(poisoned.drained, 5);
+        assert_eq!(
+            poisoned.rolled_back,
+            vec![victim],
+            "corrupt swap must roll back"
+        );
+        assert!(poisoned.rebuilt.is_empty());
+        assert_eq!(
+            chaotic.stats().generations,
+            vec![0; SHARDS],
+            "rollback must leave every generation untouched"
+        );
+
+        let mut total_degraded = 0u64;
+        let registered: HashSet<_> = chaotic.registered_tags().into_iter().collect();
+        for r in readers {
+            let (degraded, observed) = r.join().expect("reader panicked");
+            total_degraded += degraded;
+            for tag in observed {
+                assert!(registered.contains(&tag), "unregistered tag {tag:?}");
+            }
+        }
+        // Request DOOMED_REQUEST panicked on both replicas of every
+        // shard, so at least one reply was degraded.
+        assert!(total_degraded >= 1, "chaos produced no degraded replies");
+    });
+
+    let stats = chaotic.stats();
+    assert!(stats.fault.panics > 0, "injected panics were not isolated");
+    assert!(
+        stats.fault.hedges + stats.fault.failovers > 0,
+        "no backup probes fired: {:?}",
+        stats.fault
+    );
+    assert!(stats.fault.degraded >= 1);
+    assert_eq!(stats.fault.rollbacks, 1);
+    assert_eq!(stats.total_swaps, 0, "the only swap attempt was corrupt");
+
+    // Clear the plan: the parked batch retries and publishes cleanly.
+    chaotic.set_fault_plan(None);
+    let retry = chaotic.apply_deltas();
+    assert_eq!(retry.retried, 5);
+    let victim = pqsda_serve::route_user(UserId(4242), SHARDS);
+    assert_eq!(retry.rebuilt, vec![victim]);
+    assert_eq!(
+        retry.incremental,
+        vec![victim],
+        "chronological batch goes warm"
+    );
+    assert_eq!(chaotic.stats().generations[victim], 1);
+    // The delta is now fully servable, with full coverage.
+    let nq = chaotic.find_query("chaos delta 0").expect("retried delta");
+    let reply = chaotic.suggest(&SuggestRequest::simple(nq, 3));
+    assert_eq!(reply.coverage, Coverage::full(SHARDS));
+}

@@ -1,0 +1,63 @@
+//! Server-level routing contracts: adding a shard to the ring must only
+//! relocate the ~1/(N+1) of queries the new shard claims, and relocated
+//! queries must land exactly on the new shard — the property that makes
+//! a resize an incremental migration instead of a full reshuffle.
+//! (The ring itself is proptested in `router`; this pins the contract at
+//! the `ShardedPqsDa::home_shard_of_query` surface serving depends on.)
+
+use pqsda_querylog::{LogEntry, UserId};
+use pqsda_serve::{PartitionKey, ServeConfig, ShardedPqsDa};
+
+const PROBES: usize = 2000;
+
+fn tiny_server(shards: usize) -> ShardedPqsDa {
+    let entries: Vec<LogEntry> = (0..8)
+        .map(|i| LogEntry::new(UserId(i % 3), format!("seed query {i}"), None, u64::from(i)))
+        .collect();
+    ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards,
+            key: PartitionKey::Query,
+            ..ServeConfig::default()
+        },
+    )
+}
+
+#[test]
+fn ring_resize_moves_few_queries_and_only_onto_the_new_shard() {
+    let before = tiny_server(3);
+    let after = tiny_server(4);
+    let mut moved = 0usize;
+    for i in 0..PROBES {
+        let text = format!("resize stability probe {i} q{}", i * 37 % 101);
+        let old_home = before.home_shard_of_query(&text);
+        let new_home = after.home_shard_of_query(&text);
+        assert!(old_home < 3 && new_home < 4, "home shard out of range");
+        if old_home != new_home {
+            moved += 1;
+            assert_eq!(
+                new_home, 3,
+                "a resize may only move queries onto the new shard ({text:?} moved {old_home}→{new_home})"
+            );
+        }
+    }
+    // Expect ~1/(N+1) = 1/4 of queries to move; allow generous slack for
+    // vnode placement variance but fail on a reshuffle (or on nothing
+    // moving, which would mean the new shard takes no load).
+    let expected = PROBES / 4;
+    assert!(
+        moved > expected / 3 && moved < expected * 2,
+        "moved {moved} of {PROBES} queries on a 3→4 resize (expected ≈{expected})"
+    );
+}
+
+#[test]
+fn home_shard_is_stable_across_identical_servers_and_rebuilds() {
+    let a = tiny_server(4);
+    let b = tiny_server(4);
+    for i in 0..PROBES / 4 {
+        let text = format!("stability probe {i}");
+        assert_eq!(a.home_shard_of_query(&text), b.home_shard_of_query(&text));
+    }
+}

@@ -20,4 +20,9 @@ cargo run --release -q -p pqsda-cli --bin pqsda -- serve --smoke
 # swap) asserted honest — full-coverage replies bit-identical to the
 # healthy engine, degraded replies subset-consistent, rollback counted.
 cargo run --release -q -p pqsda-cli --bin pqsda -- serve --chaos-smoke
+# Open-loop smoke: a seeded arrival schedule at a modest offered rate must
+# serve everything with zero deadline violations; a saturating schedule
+# against a slowed server must shed via explicit Rejected replies only
+# (the load generator aborts on any silent drop).
+cargo run --release -q -p pqsda-cli --bin pqsda -- serve --open-loop-smoke
 echo "ci: all green"

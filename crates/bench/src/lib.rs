@@ -27,6 +27,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
+pub mod loadgen;
+
 /// Experiment scale presets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {

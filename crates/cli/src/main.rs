@@ -14,6 +14,7 @@
 
 use pqsda::{EngineBuildOptions, Personalizer, PqsDa, PqsDaConfig};
 use pqsda_baselines::{SuggestRequest, Suggester};
+use pqsda_bench::loadgen::{run_open_loop, OpenLoopConfig, OpenLoopReport};
 use pqsda_graph::multi::MultiBipartite;
 use pqsda_graph::weighting::WeightingScheme;
 use pqsda_querylog::clean::{clean_entries, CleanConfig};
@@ -63,8 +64,11 @@ USAGE:
   pqsda serve    <log.tsv> --query \"sun\" [--shards N] [--key user|query]
                  [--k 10] [--threads N] [--replicas R] [--budget-ms MS]
                  [--hedge-ms MS] [--breaker K]
+  pqsda serve    <log.tsv> --open-loop RPS [--requests N] [--deadline-ms MS]
+                 [--seed S] [--shards N] [--k 10]
   pqsda serve    --smoke
   pqsda serve    --chaos-smoke
+  pqsda serve    --open-loop-smoke
   pqsda demo
 
 Logs are AOL-format TSV: AnonID\\tQuery\\tQueryTime\\tItemRank\\tClickURL.
@@ -85,7 +89,7 @@ impl Flags {
             if let Some(name) = args[i].strip_prefix("--") {
                 let value = match name {
                     // boolean flags
-                    "raw" | "personalize" | "smoke" | "chaos-smoke" => None,
+                    "raw" | "personalize" | "smoke" | "chaos-smoke" | "open-loop-smoke" => None,
                     _ => {
                         i += 1;
                         Some(
@@ -272,11 +276,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if flags.has("chaos-smoke") {
         return chaos_smoke();
     }
+    if flags.has("open-loop-smoke") {
+        return open_loop_smoke();
+    }
     let path = flags
         .positional
         .first()
-        .ok_or("serve needs a log file path (or --smoke / --chaos-smoke)")?;
-    let query_text = flags.get("query").ok_or("serve needs --query \"...\"")?;
+        .ok_or("serve needs a log file path (or --smoke / --chaos-smoke / --open-loop-smoke)")?;
+    let open_loop: Option<f64> = match flags.get("open-loop") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--open-loop: bad rate {v:?}"))?,
+        ),
+    };
     let k = flags.get_num("k", 10usize)?;
     let shards = flags.get_num("shards", 2usize)?;
     let threads = flags.get_num("threads", 0usize)?;
@@ -311,9 +324,30 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             key,
             build,
             fault,
+            coalesce: open_loop.is_some(),
             ..ServeConfig::default()
         },
     );
+    if let Some(rps) = open_loop {
+        let cfg = OpenLoopConfig {
+            seed: flags.get_num("seed", 42u64)?,
+            offered_rps: rps,
+            requests: flags.get_num("requests", 256usize)?,
+            deadline_ms: flags.get_num("deadline-ms", 0u64)?,
+            threads,
+        };
+        let log = QueryLog::from_entries(&entries);
+        let pool: Vec<SuggestRequest> = log
+            .records()
+            .iter()
+            .step_by(7)
+            .map(|r| SuggestRequest::simple(r.query, k).for_user(r.user))
+            .collect();
+        let report = run_open_loop(&server, &pool, &cfg);
+        print_open_loop_report(&report, &server);
+        return Ok(());
+    }
+    let query_text = flags.get("query").ok_or("serve needs --query \"...\"")?;
     let query = server
         .find_query(query_text)
         .ok_or_else(|| format!("query {query_text:?} does not occur in the log"))?;
@@ -654,6 +688,159 @@ fn chaos_smoke() -> Result<(), String> {
          ({} rollback, {} swaps after retry)",
         chaotic.stats().fault.rollbacks,
         chaotic.stats().total_swaps
+    );
+    Ok(())
+}
+
+fn print_open_loop_report(report: &OpenLoopReport, server: &ShardedPqsDa) {
+    println!(
+        "open-loop: offered {:.0} req/s, {} scheduled requests, wall {} ms",
+        report.offered_rps,
+        report.requests,
+        report.wall_us / 1_000
+    );
+    println!(
+        "  served {} / shed {} (drop rate {:.3}), deadline violations {}",
+        report.completed, report.rejected, report.drop_rate, report.deadline_violations
+    );
+    println!(
+        "  latency from scheduled arrival: p50 {} us, p99 {} us, p999 {} us, mean {:.0} us",
+        report.p50_us, report.p99_us, report.p999_us, report.mean_us
+    );
+    println!(
+        "  queue depth max {} / mean {:.1}",
+        report.max_queue_depth, report.mean_queue_depth
+    );
+    let stats = server.stats();
+    println!(
+        "  admission: admitted {}, shed {} (last projection {} us); \
+         coalesce: leaders {}, coalesced {}, fallbacks {}",
+        stats.admission.admitted,
+        stats.admission.shed,
+        stats.admission.last_projected_wait_us,
+        stats.coalesce.leaders,
+        stats.coalesce.coalesced,
+        stats.coalesce.fallbacks
+    );
+}
+
+/// The CI tail-latency gate: a seeded open-loop schedule against the
+/// coalescing server, twice.
+///
+/// Gate 1 (calm): ~0.5x the measured closed-loop capacity with a generous
+/// deadline — every request must be served (zero drops) and on time (zero
+/// deadline violations).
+///
+/// Gate 2 (saturated): a fresh server slowed to a known per-probe floor is
+/// offered several times its capacity under a tight deadline — admission
+/// control must shed (rejected > 0), every shed must surface as an
+/// explicit `ServeOutcome::Rejected` (the load generator itself aborts on
+/// a silent drop), and the server's shed counter must match the
+/// generator's count exactly.
+fn open_loop_smoke() -> Result<(), String> {
+    use pqsda_querylog::synth::{generate, SynthConfig};
+    use std::time::Instant;
+
+    let synth = generate(&SynthConfig::tiny(42));
+    let entries = synth.log.entries();
+    let build = EngineBuildOptions::default();
+    let pool: Vec<SuggestRequest> = synth
+        .log
+        .records()
+        .iter()
+        .step_by(7)
+        .map(|r| SuggestRequest::simple(r.query, 8).for_user(r.user))
+        .collect();
+    let serve_config = ServeConfig {
+        shards: 2,
+        key: PartitionKey::User,
+        build,
+        coalesce: true,
+        ..ServeConfig::default()
+    };
+
+    // Gate 1: calm. Capacity is measured closed-loop on this host, so the
+    // offered rate is genuinely modest wherever the smoke runs.
+    let calm_server = ShardedPqsDa::build(&entries, serve_config);
+    let warm = Instant::now();
+    for req in &pool {
+        let _ = calm_server.suggest(req);
+    }
+    let per_req_s = (warm.elapsed().as_secs_f64() / pool.len() as f64).max(1e-9);
+    let calm = run_open_loop(
+        &calm_server,
+        &pool,
+        &OpenLoopConfig {
+            seed: 42,
+            offered_rps: 0.5 / per_req_s,
+            requests: 64,
+            deadline_ms: ((per_req_s * 1e3 * 200.0).ceil() as u64).max(100),
+            threads: 0,
+        },
+    );
+    if calm.completed != 64 || calm.rejected != 0 {
+        return Err(format!(
+            "open-loop smoke: calm rate shed load ({} served, {} rejected of 64)",
+            calm.completed, calm.rejected
+        ));
+    }
+    if calm.deadline_violations != 0 {
+        return Err(format!(
+            "open-loop smoke: {} deadline violations at a modest offered rate",
+            calm.deadline_violations
+        ));
+    }
+    println!(
+        "open-loop smoke: calm gate ok — 64/64 served at {:.0} req/s, p99 {} us, \
+         0 violations",
+        calm.offered_rps, calm.p99_us
+    );
+
+    // Gate 2: saturated. A fresh server (so the admission histogram only
+    // ever sees the slowed service times) with every primary replica
+    // stalled 5 ms per probe, offered far more than that allows.
+    let hot_server = ShardedPqsDa::build(&entries, serve_config);
+    hot_server.set_fault_plan(Some(
+        FaultPlan::new()
+            .with_slow_replica(0, 0, 5)
+            .with_slow_replica(1, 0, 5),
+    ));
+    // Feed the admission gate past its minimum sample count.
+    for req in pool.iter().take(12) {
+        let _ = hot_server.suggest(req);
+    }
+    let hot = run_open_loop(
+        &hot_server,
+        &pool,
+        &OpenLoopConfig {
+            seed: 43,
+            offered_rps: 600.0,
+            requests: 150,
+            deadline_ms: 25,
+            threads: 0,
+        },
+    );
+    if hot.completed + hot.rejected != 150 {
+        return Err(format!(
+            "open-loop smoke: {} served + {} rejected != 150 scheduled",
+            hot.completed, hot.rejected
+        ));
+    }
+    if hot.rejected == 0 {
+        return Err("open-loop smoke: saturating rate shed nothing — admission gate inert".into());
+    }
+    let stats = hot_server.stats();
+    if stats.admission.shed != hot.rejected {
+        return Err(format!(
+            "open-loop smoke: generator counted {} rejections, server shed {} — \
+             a drop went unaccounted",
+            hot.rejected, stats.admission.shed
+        ));
+    }
+    println!(
+        "open-loop smoke: saturated gate ok — {}/{} shed explicitly at {:.0} req/s \
+         (drop rate {:.2}, every shed an explicit Rejected)",
+        hot.rejected, hot.requests, hot.offered_rps, hot.drop_rate
     );
     Ok(())
 }

@@ -72,6 +72,61 @@ impl CancelToken {
     }
 }
 
+/// A request-scoped deadline: one absolute instant threaded from the
+/// serving front door down through admission control, shard probes and
+/// load generators, so every layer answers "how much budget is left?"
+/// against the same clock instead of re-deriving it from durations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// A deadline `ms` milliseconds from now.
+    pub fn in_ms(ms: u64) -> Self {
+        Deadline::after(Duration::from_millis(ms))
+    }
+
+    /// A deadline at an explicit instant.
+    pub fn at(at: Instant) -> Self {
+        Deadline { at }
+    }
+
+    /// The absolute instant this deadline expires.
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+
+    /// Time left before expiry (zero once past it).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// Microseconds left before expiry (zero once past it).
+    pub fn remaining_us(&self) -> u64 {
+        self.remaining().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// The earlier of this deadline and `other`.
+    pub fn min(self, other: Deadline) -> Deadline {
+        Deadline {
+            at: self.at.min(other.at),
+        }
+    }
+}
+
 /// A task panicked; the payload's message, when it carried one.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TaskPanic {
@@ -150,6 +205,12 @@ impl<T> TaskHandle<T> {
                 .expect("task wait");
             slot = guard;
         }
+    }
+
+    /// Blocks until the task finishes or `deadline` expires; the result
+    /// is taken when ready.
+    pub fn wait_until(&self, deadline: &Deadline) -> TaskPoll<T> {
+        self.wait_deadline(deadline.instant())
     }
 
     /// Blocks until the task finishes.
@@ -265,6 +326,33 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deadline_budget_accounting() {
+        let d = Deadline::in_ms(50);
+        assert!(!d.expired());
+        assert!(d.remaining() <= Duration::from_millis(50));
+        assert!(d.remaining_us() > 0);
+        let sooner = Deadline::in_ms(1);
+        assert_eq!(d.min(sooner), sooner);
+        std::thread::sleep(Duration::from_millis(3));
+        assert!(sooner.expired());
+        assert_eq!(sooner.remaining(), Duration::ZERO);
+        assert_eq!(sooner.remaining_us(), 0);
+    }
+
+    #[test]
+    fn wait_until_honors_the_deadline() {
+        let t = spawn_cancellable(|token| {
+            assert!(token.sleep(Duration::from_millis(60)));
+            7u32
+        });
+        assert!(matches!(
+            t.wait_until(&Deadline::in_ms(5)),
+            TaskPoll::Pending
+        ));
+        assert_eq!(t.wait().unwrap(), 7);
+    }
 
     #[test]
     fn task_returns_its_value() {

@@ -1,0 +1,208 @@
+//! Deadline-aware admission control for the suggest path.
+//!
+//! An open-loop client keeps sending whether or not we keep up; once the
+//! offered rate exceeds capacity, every request we *accept* makes every
+//! other request later. The only honest move is to shed at the front
+//! door: if a request's projected wait already exceeds its deadline, it
+//! gets an explicit [`Rejection`] *now* — cheap for us, actionable for
+//! the caller — instead of a reply that arrives after nobody wants it
+//! (or a silent timeout).
+//!
+//! The projection is deliberately simple and auditable:
+//!
+//! ```text
+//! projected_wait = requests_in_flight × decayed p50 service time
+//! ```
+//!
+//! In-flight counting is exact (an RAII [`ServicePermit`] brackets every
+//! admitted request), and the service-time estimate comes from a
+//! [`DecayedHistogram`] fed by the same permits, so the gate learns the
+//! host's actual capacity instead of trusting a config constant. Until
+//! the histogram has samples the projection is zero and everything is
+//! admitted — an empty server never sheds.
+
+use crate::histogram::DecayedHistogram;
+use pqsda_parallel::Deadline;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// An explicit shed decision: the request was rejected before any shard
+/// was probed, and these numbers say why.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rejection {
+    /// The gate's wait projection at arrival (µs).
+    pub projected_wait_us: u64,
+    /// The deadline budget the request had left (µs).
+    pub remaining_us: u64,
+    /// Requests in flight at the decision.
+    pub inflight: u64,
+}
+
+/// Point-in-time admission counters (part of `ServeStats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests admitted through the gate.
+    pub admitted: u64,
+    /// Requests shed with an explicit [`Rejection`].
+    pub shed: u64,
+    /// Requests currently in flight.
+    pub inflight: u64,
+    /// The projection of the most recent shed decision (µs) — the audit
+    /// trail for "why was this rejected".
+    pub last_projected_wait_us: u64,
+}
+
+/// The suggest-path admission gate. One per server.
+#[derive(Default)]
+pub struct AdmissionGate {
+    inflight: AtomicU64,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    last_projected_wait_us: AtomicU64,
+    service: DecayedHistogram,
+}
+
+impl AdmissionGate {
+    /// A fresh gate with an empty service-time estimate.
+    pub fn new() -> Self {
+        AdmissionGate::default()
+    }
+
+    /// The decayed p50 service-time estimate (µs); 0 until the histogram
+    /// has enough samples.
+    pub fn service_estimate_us(&self) -> u64 {
+        self.service
+            .quantile(0.5)
+            .map_or(0, |d| d.as_micros().min(u128::from(u64::MAX)) as u64)
+    }
+
+    /// The wait a newly arriving request should expect (µs).
+    pub fn projected_wait_us(&self) -> u64 {
+        self.inflight
+            .load(Ordering::Relaxed)
+            .saturating_mul(self.service_estimate_us())
+    }
+
+    /// Admits or sheds one request. Without a deadline the request is
+    /// always admitted (nothing to violate); with one, it is shed iff
+    /// the projected wait exceeds the remaining budget. The returned
+    /// permit must be held for the request's duration — dropping it
+    /// releases the in-flight slot and feeds the service estimate.
+    pub fn admit(&self, deadline: Option<&Deadline>) -> Result<ServicePermit<'_>, Rejection> {
+        if let Some(deadline) = deadline {
+            let projected = self.projected_wait_us();
+            let remaining = deadline.remaining_us();
+            if projected > remaining {
+                self.last_projected_wait_us
+                    .store(projected, Ordering::Relaxed);
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection {
+                    projected_wait_us: projected,
+                    remaining_us: remaining,
+                    inflight: self.inflight.load(Ordering::Relaxed),
+                });
+            }
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+        Ok(ServicePermit {
+            gate: self,
+            started: Instant::now(),
+        })
+    }
+
+    /// Feeds one observed service latency directly (tests seed the
+    /// estimator this way; production samples arrive via permit drops).
+    pub fn observe_service(&self, elapsed: std::time::Duration) {
+        self.service.record(elapsed);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+            last_projected_wait_us: self.last_projected_wait_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII guard of one admitted request: holds the in-flight slot and, on
+/// drop, records the request's total latency into the service estimate.
+/// Dropping during a panic unwind still releases the slot, so a dying
+/// request can never leak capacity.
+pub struct ServicePermit<'a> {
+    gate: &'a AdmissionGate,
+    started: Instant,
+}
+
+impl Drop for ServicePermit<'_> {
+    fn drop(&mut self) {
+        self.gate.service.record(self.started.elapsed());
+        self.gate.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn admits_everything_without_a_deadline() {
+        let gate = AdmissionGate::new();
+        for _ in 0..20 {
+            let p = gate.admit(None).expect("no deadline, no shedding");
+            drop(p);
+        }
+        let s = gate.stats();
+        assert_eq!((s.admitted, s.shed, s.inflight), (20, 0, 0));
+    }
+
+    #[test]
+    fn cold_gate_admits_with_deadline() {
+        // No service samples → projection 0 → even a 0-budget deadline
+        // passes (0 > 0 is false).
+        let gate = AdmissionGate::new();
+        let d = Deadline::in_ms(0);
+        assert!(gate.admit(Some(&d)).is_ok());
+    }
+
+    #[test]
+    fn sheds_when_projection_exceeds_budget_and_audits_it() {
+        let gate = AdmissionGate::new();
+        for _ in 0..16 {
+            gate.observe_service(Duration::from_millis(10));
+        }
+        assert!(gate.service_estimate_us() >= 10_000);
+        // Hold 4 requests in flight: projection ≥ 40 ms.
+        let held: Vec<ServicePermit> = (0..4).map(|_| gate.admit(None).unwrap()).collect();
+        assert!(gate.projected_wait_us() >= 40_000);
+        let rejection = match gate.admit(Some(&Deadline::in_ms(5))) {
+            Err(r) => r,
+            Ok(_) => panic!("5 ms budget against a 40 ms projection must shed"),
+        };
+        assert!(rejection.projected_wait_us >= 40_000);
+        assert!(rejection.remaining_us <= 5_000);
+        assert_eq!(rejection.inflight, 4);
+        let s = gate.stats();
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.last_projected_wait_us, rejection.projected_wait_us);
+        // A generous deadline is still admitted.
+        assert!(gate.admit(Some(&Deadline::in_ms(10_000))).is_ok());
+        drop(held);
+        assert_eq!(gate.stats().inflight, 0);
+    }
+
+    #[test]
+    fn permit_drop_feeds_the_estimate() {
+        let gate = AdmissionGate::new();
+        for _ in 0..8 {
+            let p = gate.admit(None).unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+            drop(p);
+        }
+        assert!(gate.service_estimate_us() >= 1_000);
+    }
+}

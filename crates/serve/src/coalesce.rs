@@ -1,0 +1,284 @@
+//! Request coalescing ("singleflight") for duplicate in-flight queries.
+//!
+//! Under open-loop load the same hot query routinely arrives again while
+//! the first copy is still being computed — too late for the LRU cache
+//! (nothing is cached yet), so every duplicate pays the full
+//! scatter-gather. The coalescer closes that gap: the first arrival for
+//! a key becomes the **leader** and computes; duplicates become
+//! **followers** and block until the leader publishes, then reuse its
+//! value verbatim — which is why coalesced replies are bit-identical to
+//! uncoalesced ones by construction.
+//!
+//! The failure contract matters as much as the fast path: a leader that
+//! panics (or otherwise unwinds without publishing) must not strand its
+//! followers. The leader holds a [`LeaderToken`] whose `Drop` runs even
+//! during unwinding and marks the flight *abandoned*; waiting followers
+//! wake with [`Join::Fallback`] and compute their own result. Followers
+//! never inherit a panic, only the extra work.
+//!
+//! Uses `std::sync` primitives (the workspace `parking_lot` shim has no
+//! `Condvar`), with poison-tolerant locking so an unwinding leader can't
+//! wedge the flight table.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// How one `join` call resolved.
+pub enum Join<'a, K: Eq + Hash + Clone, V: Clone> {
+    /// First in: compute the value, then `publish` it via this token.
+    Leader(LeaderToken<'a, K, V>),
+    /// A duplicate: the leader's published value, reused verbatim.
+    Coalesced(V),
+    /// The leader unwound without publishing: compute your own value.
+    Fallback,
+}
+
+enum FlightState<V> {
+    Pending,
+    Done(V),
+    Abandoned,
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+/// Point-in-time coalescing counters (part of `ServeStats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Requests that led a flight (computed a value).
+    pub leaders: u64,
+    /// Requests served from a leader's published value.
+    pub coalesced: u64,
+    /// Followers orphaned by an abandoned leader.
+    pub fallbacks: u64,
+}
+
+/// A singleflight table: at most one in-flight computation per key.
+pub struct Coalescer<K: Eq + Hash + Clone, V: Clone> {
+    flights: Mutex<HashMap<K, Arc<Flight<V>>>>,
+    leaders: AtomicU64,
+    coalesced: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for Coalescer<K, V> {
+    fn default() -> Self {
+        Coalescer {
+            flights: Mutex::new(HashMap::new()),
+            leaders: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Locks tolerating poison: an unwinding leader already left the state
+/// consistent (its `Drop` marks the flight abandoned), so the poison
+/// flag carries no extra information here.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Coalescer<K, V> {
+    /// A fresh, empty flight table.
+    pub fn new() -> Self {
+        Coalescer::default()
+    }
+
+    /// Joins the flight for `key`: leads if none is in progress,
+    /// otherwise blocks until the current leader publishes or abandons.
+    pub fn join(&self, key: K) -> Join<'_, K, V> {
+        let flight = {
+            let mut flights = lock_ignore_poison(&self.flights);
+            match flights.get(&key) {
+                Some(f) => Arc::clone(f),
+                None => {
+                    let f = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Pending),
+                        cv: Condvar::new(),
+                    });
+                    flights.insert(key.clone(), Arc::clone(&f));
+                    self.leaders.fetch_add(1, Ordering::Relaxed);
+                    return Join::Leader(LeaderToken {
+                        coalescer: self,
+                        key,
+                        flight: f,
+                        published: false,
+                    });
+                }
+            }
+        };
+        let mut st = lock_ignore_poison(&flight.state);
+        while matches!(*st, FlightState::Pending) {
+            st = flight.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        match &*st {
+            FlightState::Done(v) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Join::Coalesced(v.clone())
+            }
+            FlightState::Abandoned => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                Join::Fallback
+            }
+            FlightState::Pending => unreachable!("loop exits only on a settled flight"),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CoalesceStats {
+        CoalesceStats {
+            leaders: self.leaders.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Settles `flight` and retires the key so the next arrival leads a
+    /// fresh flight.
+    fn settle(&self, key: &K, flight: &Flight<V>, state: FlightState<V>) {
+        {
+            let mut st = lock_ignore_poison(&flight.state);
+            *st = state;
+        }
+        flight.cv.notify_all();
+        lock_ignore_poison(&self.flights).remove(key);
+    }
+}
+
+/// The leader's obligation: publish a value, or — if dropped without
+/// publishing, including during a panic unwind — abandon the flight so
+/// followers fall back instead of hanging.
+pub struct LeaderToken<'a, K: Eq + Hash + Clone, V: Clone> {
+    coalescer: &'a Coalescer<K, V>,
+    key: K,
+    flight: Arc<Flight<V>>,
+    published: bool,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LeaderToken<'_, K, V> {
+    /// Publishes the computed value to every waiting follower.
+    pub fn publish(mut self, value: V) {
+        self.published = true;
+        self.coalescer
+            .settle(&self.key, &self.flight, FlightState::Done(value));
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for LeaderToken<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.coalescer
+                .settle(&self.key, &self.flight, FlightState::Abandoned);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    #[test]
+    fn followers_reuse_the_leaders_value_verbatim() {
+        let c = Arc::new(Coalescer::<u32, Vec<u64>>::new());
+        let token = match c.join(7) {
+            Join::Leader(t) => t,
+            _ => panic!("first join must lead"),
+        };
+        let start = Arc::new(Barrier::new(4));
+        let followers: Vec<_> = (0..3)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    match c.join(7) {
+                        Join::Coalesced(v) => v,
+                        Join::Leader(_) => panic!("flight already led"),
+                        Join::Fallback => panic!("leader did not abandon"),
+                    }
+                })
+            })
+            .collect();
+        start.wait();
+        // Give followers time to park on the condvar before publishing.
+        std::thread::sleep(Duration::from_millis(20));
+        token.publish(vec![1, 2, 3]);
+        for f in followers {
+            assert_eq!(f.join().unwrap(), vec![1, 2, 3]);
+        }
+        let s = c.stats();
+        assert_eq!((s.leaders, s.coalesced, s.fallbacks), (1, 3, 0));
+    }
+
+    #[test]
+    fn a_panicking_leader_releases_followers_to_fall_back() {
+        let c = Arc::new(Coalescer::<u32, u64>::new());
+        let (leading, led) = std::sync::mpsc::channel();
+        let leader = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || match c.join(9) {
+                Join::Leader(_token) => {
+                    leading.send(()).unwrap();
+                    std::thread::sleep(Duration::from_millis(50));
+                    // `_token` is dropped by the unwind, not by publish.
+                    std::panic::panic_any("leader dies mid-flight");
+                }
+                _ => panic!("first join must lead"),
+            })
+        };
+        led.recv().unwrap();
+        let follower = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || matches!(c.join(9), Join::Fallback))
+        };
+        assert!(leader.join().is_err(), "leader thread must have panicked");
+        assert!(follower.join().unwrap(), "follower must fall back");
+        // The key is retired: the next arrival leads a fresh flight.
+        match c.join(9) {
+            Join::Leader(t) => t.publish(42),
+            _ => panic!("abandoned key must accept a new leader"),
+        }
+        let s = c.stats();
+        assert_eq!((s.leaders, s.fallbacks), (2, 1));
+    }
+
+    #[test]
+    fn fallback_follower_observes_abandonment() {
+        let c = Arc::new(Coalescer::<u32, u64>::new());
+        let token = match c.join(1) {
+            Join::Leader(t) => t,
+            _ => panic!("first join must lead"),
+        };
+        let f = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || matches!(c.join(1), Join::Fallback))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        drop(token);
+        assert!(f.join().unwrap(), "follower must get Fallback");
+        assert_eq!(c.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let c = Coalescer::<u32, u64>::new();
+        let a = match c.join(1) {
+            Join::Leader(t) => t,
+            _ => panic!(),
+        };
+        let b = match c.join(2) {
+            Join::Leader(t) => t,
+            _ => panic!(),
+        };
+        a.publish(10);
+        b.publish(20);
+        assert_eq!(c.stats().leaders, 2);
+    }
+}

@@ -1,0 +1,285 @@
+//! Exponentially-decayed, log-bucketed latency histograms.
+//!
+//! The hedge budget of §10 used to come from a 64-sample sliding window:
+//! cheap, but cold-start-prone (8 samples made a "percentile") and
+//! cliff-edged (one regime change ages out all at once). This histogram
+//! replaces it: latencies land in log-spaced buckets (4 per octave of
+//! microseconds, so every bucket is within ~12.5 % of its neighbors),
+//! and bucket weights decay geometrically on a **request-count clock** —
+//! every [`DecayedHistogram::DECAY_PERIOD`] recorded samples, all weights
+//! are halved. Old traffic fades smoothly instead of falling off a
+//! window edge, and because the clock is a counter rather than wall
+//! time, the histogram's state is a *pure function of the recorded
+//! sequence*: the same samples in the same order produce bit-identical
+//! buckets and quantiles on any host, at any thread count — which is
+//! what lets the hedge-delay property tests be exact.
+//!
+//! Halving is the decay factor on purpose: multiplying by 0.5 is exact
+//! in binary floating point, so decayed weights stay exactly
+//! representable and the determinism contract costs nothing.
+
+use std::time::Duration;
+
+/// Sub-buckets per octave (power of two). 4 gives ~12.5 % relative
+/// resolution — plenty for sizing a hedge delay.
+const SUB: u64 = 4;
+/// log2(SUB).
+const LOG_SUB: u32 = 2;
+/// Total buckets: enough for every microsecond value up to u64::MAX.
+const NBUCKETS: usize = ((64 - LOG_SUB as usize) + 1) * SUB as usize;
+/// Below this many *lifetime* samples a quantile is too noisy to act on
+/// (same floor the old window used).
+const MIN_SAMPLES: u64 = 8;
+
+/// The bucket index of a microsecond value: values below `SUB` get exact
+/// unit buckets; above, the leading `1 + LOG_SUB` significant bits pick
+/// the bucket (the classic log-linear scheme).
+#[inline]
+fn bucket_of(us: u64) -> usize {
+    if us < SUB {
+        return us as usize;
+    }
+    let shift = us.ilog2() - LOG_SUB;
+    let idx = (shift as u64 + 1) * SUB + ((us >> shift) - SUB);
+    (idx as usize).min(NBUCKETS - 1)
+}
+
+/// The *upper bound* (µs) of a bucket — quantiles answer conservatively,
+/// which for a hedge delay errs toward waiting slightly longer, never
+/// toward hedging early.
+#[inline]
+fn bucket_upper_us(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let shift = (idx / SUB - 1) as u32;
+    let lower = (SUB + idx % SUB) << shift;
+    lower + (1u64 << shift) - 1
+}
+
+/// A point-in-time copy of a histogram's state, used by tests to assert
+/// bit-identity and by stats reporting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// `(bucket index, decayed weight)` for every non-empty bucket, in
+    /// bucket order.
+    pub buckets: Vec<(usize, f64)>,
+    /// Lifetime samples recorded (not decayed).
+    pub recorded: u64,
+    /// Sum of decayed weights.
+    pub total_weight: f64,
+}
+
+struct HistogramState {
+    weights: Vec<f64>,
+    total_weight: f64,
+    recorded: u64,
+    since_decay: u64,
+}
+
+/// A log-bucketed latency histogram with request-count-clocked
+/// exponential decay. All operations are deterministic on the recorded
+/// sequence; see the module docs.
+pub struct DecayedHistogram {
+    state: parking_lot::Mutex<HistogramState>,
+    period: u64,
+}
+
+impl Default for DecayedHistogram {
+    fn default() -> Self {
+        DecayedHistogram::new(Self::DECAY_PERIOD)
+    }
+}
+
+impl DecayedHistogram {
+    /// Default decay period: weights halve every this many samples, so
+    /// the histogram's "memory" is a few hundred requests — comparable
+    /// to the old 64-sample window but without its cliff.
+    pub const DECAY_PERIOD: u64 = 256;
+
+    /// A histogram whose weights halve every `period` samples (`period`
+    /// is clamped to ≥ 1).
+    pub fn new(period: u64) -> Self {
+        DecayedHistogram {
+            state: parking_lot::Mutex::new(HistogramState {
+                weights: vec![0.0; NBUCKETS],
+                total_weight: 0.0,
+                recorded: 0,
+                since_decay: 0,
+            }),
+            period: period.max(1),
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = bucket_of(us);
+        let mut s = self.state.lock();
+        s.weights[bucket] += 1.0;
+        s.total_weight += 1.0;
+        s.recorded += 1;
+        s.since_decay += 1;
+        if s.since_decay >= self.period {
+            s.since_decay = 0;
+            let mut total = 0.0;
+            for w in &mut s.weights {
+                // Exact in binary fp: determinism costs nothing.
+                *w *= 0.5;
+                total += *w;
+            }
+            s.total_weight = total;
+        }
+    }
+
+    /// Lifetime samples recorded.
+    pub fn recorded(&self) -> u64 {
+        self.state.lock().recorded
+    }
+
+    /// The `p`-quantile (0.0–1.0) of the decayed distribution, as the
+    /// matching bucket's upper bound, or `None` until [`MIN_SAMPLES`]
+    /// lifetime samples accumulated.
+    pub fn quantile(&self, p: f64) -> Option<Duration> {
+        let s = self.state.lock();
+        if s.recorded < MIN_SAMPLES || s.total_weight <= 0.0 {
+            return None;
+        }
+        let target = s.total_weight * p.clamp(0.0, 1.0);
+        let mut cum = 0.0;
+        for (idx, &w) in s.weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            cum += w;
+            if cum >= target {
+                return Some(Duration::from_micros(bucket_upper_us(idx)));
+            }
+        }
+        // Rounding left the target above the final cumulative weight:
+        // answer with the largest non-empty bucket.
+        s.weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .map(|idx| Duration::from_micros(bucket_upper_us(idx)))
+    }
+
+    /// Copies the current state (for tests and stats).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let s = self.state.lock();
+        HistogramSnapshot {
+            buckets: s
+                .weights
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| w > 0.0)
+                .map(|(i, &w)| (i, w))
+                .collect(),
+            recorded: s.recorded,
+            total_weight: s.total_weight,
+        }
+    }
+}
+
+/// The hedge delay for one shard: `max(floor_ms, quantile(p))` over its
+/// decayed probe-latency histogram, or just the floor until the
+/// histogram has enough samples. Pure given the histogram state — the
+/// determinism property test calls this directly.
+pub fn hedge_delay(hist: &DecayedHistogram, floor_ms: u64, percentile: f64) -> Duration {
+    let mut delay = Duration::from_millis(floor_ms);
+    if percentile > 0.0 {
+        if let Some(q) = hist.quantile(percentile) {
+            delay = delay.max(q);
+        }
+    }
+    delay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_bounds_contain_values() {
+        let mut prev = 0usize;
+        for us in (0..4096u64).chain((12..40).map(|e| (1u64 << e) + 7)) {
+            let b = bucket_of(us);
+            assert!(b >= prev || us < 4, "bucket order broke at {us}");
+            prev = prev.max(b);
+            assert!(
+                bucket_upper_us(b) >= us,
+                "upper bound {} < value {us}",
+                bucket_upper_us(b)
+            );
+        }
+        // Relative resolution: the upper bound is within 25 % of the value.
+        for us in 8u64..4096 {
+            let ub = bucket_upper_us(bucket_of(us));
+            assert!(ub < us + us / 4 + 1, "{us} → upper {ub}");
+        }
+    }
+
+    #[test]
+    fn quantile_needs_samples_then_brackets_them() {
+        let h = DecayedHistogram::default();
+        assert_eq!(h.quantile(0.9), None);
+        for ms in 1..=10u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        let p0 = h.quantile(0.0).unwrap();
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(p0 >= Duration::from_millis(1));
+        assert!(p100 >= Duration::from_millis(10));
+        assert!(p100 < Duration::from_millis(13), "p100 {p100:?}");
+        assert!(h.quantile(0.5).unwrap() <= p100);
+    }
+
+    #[test]
+    fn decay_forgets_an_old_regime() {
+        let h = DecayedHistogram::new(64);
+        for _ in 0..64 {
+            h.record(Duration::from_millis(100));
+        }
+        // Ten decay periods of a new, faster regime: the old 100 ms mass
+        // decays to 2^-10 of the new mass.
+        for _ in 0..640 {
+            h.record(Duration::from_millis(1));
+        }
+        let p90 = h.quantile(0.9).unwrap();
+        assert!(p90 < Duration::from_millis(2), "p90 {p90:?}");
+    }
+
+    #[test]
+    fn state_is_a_pure_function_of_the_sequence() {
+        let seq: Vec<Duration> = (0..500u64)
+            .map(|i| Duration::from_micros((i * 2_654_435_761) % 200_000))
+            .collect();
+        let a = DecayedHistogram::default();
+        let b = DecayedHistogram::default();
+        for d in &seq {
+            a.record(*d);
+            b.record(*d);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        for p in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(p), b.quantile(p));
+        }
+    }
+
+    #[test]
+    fn hedge_delay_respects_floor_and_percentile() {
+        let h = DecayedHistogram::default();
+        // No samples: the floor rules.
+        assert_eq!(hedge_delay(&h, 5, 0.9), Duration::from_millis(5));
+        for _ in 0..32 {
+            h.record(Duration::from_millis(40));
+        }
+        // The observed p90 dominates a lower floor…
+        assert!(hedge_delay(&h, 5, 0.9) >= Duration::from_millis(40));
+        // …and a higher floor dominates the observation.
+        assert_eq!(hedge_delay(&h, 500, 0.9), Duration::from_millis(500));
+        // Percentile 0 disables the adaptive part.
+        assert_eq!(hedge_delay(&h, 5, 0.0), Duration::from_millis(5));
+    }
+}

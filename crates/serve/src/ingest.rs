@@ -10,10 +10,38 @@
 //! Built on `std::sync::mpsc::sync_channel` — the in-repo crossbeam shim
 //! has no channels, and the std bounded channel gives the same non-blocking
 //! `try_send` contract a lock-free ring would.
+//!
+//! Deadline-aware producers use [`IngestQueue::offer_with_deadline`]: the
+//! queue projects how long a new entry will wait (current depth × the
+//! measured per-entry drain cost, fed back by `apply_deltas`) and sheds
+//! the entry with an explicit [`IngestOffer::RejectedDeadline`] when the
+//! projection exceeds the deadline's remaining budget. Every rejection —
+//! capacity or deadline — records the projection it was based on in
+//! [`IngestStats::last_projected_wait_us`], so shedding decisions are
+//! auditable after the fact.
 
+use pqsda_parallel::Deadline;
 use pqsda_querylog::LogEntry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+
+/// How one deadline-aware offer resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestOffer {
+    /// The entry is queued.
+    Accepted,
+    /// The queue was at capacity (classic backpressure).
+    RejectedFull,
+    /// The projected wait exceeded the deadline's remaining budget.
+    RejectedDeadline,
+}
+
+impl IngestOffer {
+    /// Whether the entry was queued.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, IngestOffer::Accepted)
+    }
+}
 
 /// Counters of one queue's lifetime (monotone; read them for stats).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -22,8 +50,16 @@ pub struct IngestStats {
     pub accepted: u64,
     /// Entries rejected because the queue was at capacity.
     pub rejected: u64,
+    /// Entries rejected because their projected wait exceeded the offer's
+    /// deadline.
+    pub rejected_deadline: u64,
     /// Entries drained by the writer so far.
     pub drained: u64,
+    /// The wait projection (µs) behind the most recent rejection of
+    /// either kind — the audit trail for shedding decisions.
+    pub last_projected_wait_us: u64,
+    /// The per-entry drain-cost estimate (µs) admission projects with.
+    pub service_estimate_us: u64,
 }
 
 impl IngestStats {
@@ -39,7 +75,10 @@ pub struct IngestQueue {
     rx: parking_lot::Mutex<Receiver<LogEntry>>,
     accepted: AtomicU64,
     rejected: AtomicU64,
+    rejected_deadline: AtomicU64,
     drained: AtomicU64,
+    last_projected_wait_us: AtomicU64,
+    service_estimate_us: AtomicU64,
     capacity: usize,
 }
 
@@ -53,7 +92,10 @@ impl IngestQueue {
             rx: parking_lot::Mutex::new(rx),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
             drained: AtomicU64::new(0),
+            last_projected_wait_us: AtomicU64::new(0),
+            service_estimate_us: AtomicU64::new(0),
             capacity,
         }
     }
@@ -80,9 +122,51 @@ impl IngestQueue {
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                 self.accepted.fetch_sub(1, Ordering::Relaxed);
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                // Audit even capacity rejections: the projection at the
+                // decision says how far behind the drain loop was.
+                self.last_projected_wait_us
+                    .store(self.projected_wait_us(), Ordering::Relaxed);
                 false
             }
         }
+    }
+
+    /// Deadline-aware offer: sheds the entry up front when its projected
+    /// wait (depth × drain-cost estimate) exceeds the deadline's
+    /// remaining budget, with an explicit [`IngestOffer::RejectedDeadline`]
+    /// — never a silent drop. Without a deadline this is [`Self::offer`]
+    /// with a richer return. Never blocks.
+    pub fn offer_with_deadline(&self, entry: LogEntry, deadline: Option<&Deadline>) -> IngestOffer {
+        if let Some(deadline) = deadline {
+            let projected = self.projected_wait_us();
+            if projected > deadline.remaining_us() {
+                self.last_projected_wait_us
+                    .store(projected, Ordering::Relaxed);
+                self.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                return IngestOffer::RejectedDeadline;
+            }
+        }
+        if self.offer(entry) {
+            IngestOffer::Accepted
+        } else {
+            IngestOffer::RejectedFull
+        }
+    }
+
+    /// The wait a newly queued entry should expect (µs): current depth ×
+    /// the measured per-entry drain cost. Zero until the writer has fed
+    /// an estimate — a queue with an unmeasured drain never deadline-sheds.
+    pub fn projected_wait_us(&self) -> u64 {
+        self.stats()
+            .depth()
+            .saturating_mul(self.service_estimate_us.load(Ordering::Relaxed))
+    }
+
+    /// Feeds back the measured per-entry drain cost (µs). Called by the
+    /// writer after each `apply_deltas` cycle so admission projects with
+    /// the host's actual speed, not a config constant.
+    pub fn set_service_estimate_us(&self, us: u64) {
+        self.service_estimate_us.store(us, Ordering::Relaxed);
     }
 
     /// Drains everything currently queued, in arrival order. Called by the
@@ -119,7 +203,10 @@ impl IngestQueue {
         IngestStats {
             accepted,
             rejected,
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             drained,
+            last_projected_wait_us: self.last_projected_wait_us.load(Ordering::Relaxed),
+            service_estimate_us: self.service_estimate_us.load(Ordering::Relaxed),
         }
     }
 }
@@ -175,6 +262,52 @@ mod tests {
         assert_eq!(rest.len(), 2);
         assert_eq!(rest[0].timestamp, 4);
         assert_eq!(q.stats().depth(), 0);
+    }
+
+    #[test]
+    fn deadline_offer_sheds_explicitly_and_audits_the_projection() {
+        let q = IngestQueue::new(16);
+        // Unmeasured drain → projection 0 → deadline offers always pass.
+        assert_eq!(
+            q.offer_with_deadline(entry(0), Some(&Deadline::in_ms(0))),
+            IngestOffer::Accepted
+        );
+        // Writer feeds back a 10 ms per-entry drain cost; with 4 queued
+        // entries the projection is 40 ms.
+        for i in 1..4 {
+            assert!(q.offer(entry(i)));
+        }
+        q.set_service_estimate_us(10_000);
+        assert_eq!(q.projected_wait_us(), 40_000);
+        let shed = q.offer_with_deadline(entry(9), Some(&Deadline::in_ms(5)));
+        assert_eq!(shed, IngestOffer::RejectedDeadline);
+        assert!(!shed.is_accepted());
+        let s = q.stats();
+        assert_eq!(s.rejected_deadline, 1);
+        assert_eq!(s.rejected, 0, "deadline sheds are counted apart");
+        assert_eq!(s.last_projected_wait_us, 40_000);
+        assert_eq!(s.service_estimate_us, 10_000);
+        // A generous deadline is still admitted; no deadline always is.
+        assert!(q
+            .offer_with_deadline(entry(10), Some(&Deadline::in_ms(10_000)))
+            .is_accepted());
+        assert!(q.offer_with_deadline(entry(11), None).is_accepted());
+        assert_eq!(q.stats().depth(), 6);
+    }
+
+    #[test]
+    fn capacity_rejection_records_its_projection_too() {
+        let q = IngestQueue::new(2);
+        q.set_service_estimate_us(1_000);
+        assert!(q.offer(entry(0)));
+        assert!(q.offer(entry(1)));
+        assert_eq!(
+            q.offer_with_deadline(entry(2), None),
+            IngestOffer::RejectedFull
+        );
+        let s = q.stats();
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.last_projected_wait_us, 2_000, "depth 2 × 1 ms estimate");
     }
 
     proptest! {

@@ -12,12 +12,19 @@
 //!   and content digests ([`ShardTag`]), validated before publish
 //!   ([`ShardSnapshot::verify`]),
 //! - [`replica`] — R serving replicas per shard ([`ReplicaSet`]) with
-//!   round-robin primary selection and the latency window sizing hedge
-//!   budgets,
+//!   round-robin primary selection,
 //! - [`fault`] — the fault model: [`FaultConfig`] knobs (deadlines,
 //!   hedging, per-shard circuit [`Breaker`]s), the deterministic
 //!   [`FaultPlan`] injection harness, and [`FaultStats`] counters,
-//! - [`ingest`] — a bounded, non-blocking delta queue with backpressure,
+//! - [`histogram`] — exponentially-decayed, log-bucketed latency
+//!   histograms ([`DecayedHistogram`]) sizing the hedge budgets,
+//! - [`admission`] — the deadline-aware [`AdmissionGate`]: shed load
+//!   with an explicit rejection when the projected wait exceeds the
+//!   request deadline,
+//! - [`coalesce`] — singleflight [`Coalescer`] for duplicate in-flight
+//!   requests (followers reuse the leader's reply verbatim),
+//! - [`ingest`] — a bounded, non-blocking delta queue with backpressure
+//!   and deadline-aware shedding,
 //! - [`sharded`] — [`ShardedPqsDa`], the scatter-gather facade tying it
 //!   together: build, serve (healthy or degraded, with honest
 //!   [`Coverage`] reporting), ingest, `apply_deltas` (rate-limited
@@ -32,21 +39,29 @@
 //! and a degraded reply equals the healthy merge over exactly the shards
 //! whose tags it carries (pinned by the chaos soak in `tests/chaos.rs`).
 
+pub mod admission;
+pub mod coalesce;
 pub mod fault;
+pub mod histogram;
 pub mod ingest;
 pub mod replica;
 pub mod router;
 pub mod sharded;
 pub mod swap;
 
+pub use admission::{AdmissionGate, AdmissionStats, Rejection, ServicePermit};
+pub use coalesce::{CoalesceStats, Coalescer, Join, LeaderToken};
 pub use fault::{
     Admission, Breaker, BreakerState, ChaosProfile, FaultConfig, FaultKind, FaultPlan, FaultStats,
 };
-pub use ingest::{IngestQueue, IngestStats};
-pub use replica::{LatencyWindow, ReplicaSet};
+pub use histogram::{hedge_delay, DecayedHistogram, HistogramSnapshot};
+pub use ingest::{IngestOffer, IngestQueue, IngestStats};
+pub use replica::ReplicaSet;
 pub use router::{
     partition_entries, route_query, route_query_text, route_user, HashRing, PartitionKey,
     VNODES_PER_SHARD,
 };
-pub use sharded::{Coverage, ServeConfig, ServeReply, ServeStats, ShardedPqsDa, SwapReport};
+pub use sharded::{
+    Coverage, ServeConfig, ServeOutcome, ServeReply, ServeStats, ShardedPqsDa, SwapReport,
+};
 pub use swap::{ShardSnapshot, ShardTag, Swap};

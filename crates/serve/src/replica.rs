@@ -1,5 +1,5 @@
 //! Replica groups: R snapshot slots per shard behind the existing
-//! [`Swap`] cell, plus the latency window that sizes the hedge budget.
+//! [`Swap`] cell.
 //!
 //! Replicas here are *serving* replicas of one shard's snapshot, not
 //! copies of the data on different machines — each slot is an independent
@@ -8,10 +8,13 @@
 //! and a hedge or fail-over probe runs against the *next* slot, so a
 //! fault pinned to one replica (a stalled runner, an injected panic)
 //! does not take the shard out.
+//!
+//! The hedge budget these probes run under used to come from a 64-sample
+//! sliding `LatencyWindow` that lived here; it is now sized by the
+//! exponentially-decayed histograms in [`crate::histogram`].
 
 use crate::swap::{ShardSnapshot, ShardTag, Swap};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// R publication slots for one shard's snapshot.
 pub struct ReplicaSet {
@@ -65,67 +68,6 @@ impl ReplicaSet {
     }
 }
 
-/// A small sliding window of observed probe latencies, feeding the
-/// adaptive hedge budget (`max(hedge_ms, percentile(p))`).
-pub struct LatencyWindow {
-    samples: parking_lot::Mutex<SampleRing>,
-}
-
-struct SampleRing {
-    ring: Vec<u64>,
-    next: usize,
-    filled: usize,
-}
-
-/// Window capacity — enough history to make a p90 stable, small enough
-/// that one latency regime change ages out within ~a hundred requests.
-const WINDOW: usize = 64;
-/// Below this many samples a percentile is too noisy to hedge on.
-const MIN_SAMPLES: usize = 8;
-
-impl Default for LatencyWindow {
-    fn default() -> Self {
-        LatencyWindow::new()
-    }
-}
-
-impl LatencyWindow {
-    /// An empty window.
-    pub fn new() -> Self {
-        LatencyWindow {
-            samples: parking_lot::Mutex::new(SampleRing {
-                ring: vec![0; WINDOW],
-                next: 0,
-                filled: 0,
-            }),
-        }
-    }
-
-    /// Records one successful probe's latency.
-    pub fn record(&self, elapsed: Duration) {
-        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-        let mut s = self.samples.lock();
-        let slot = s.next;
-        s.ring[slot] = us;
-        s.next = (slot + 1) % WINDOW;
-        s.filled = (s.filled + 1).min(WINDOW);
-    }
-
-    /// The `p`-th percentile (0.0–1.0) of recorded latencies, or `None`
-    /// until enough samples accumulated.
-    pub fn percentile(&self, p: f64) -> Option<Duration> {
-        let s = self.samples.lock();
-        if s.filled < MIN_SAMPLES {
-            return None;
-        }
-        let mut sorted: Vec<u64> = s.ring[..s.filled].to_vec();
-        drop(s);
-        sorted.sort_unstable();
-        let rank = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
-        Some(Duration::from_micros(sorted[rank]))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,31 +111,5 @@ mod tests {
             assert_eq!(set.load(i).tag.generation, 1);
         }
         assert_eq!(set.current_tag().generation, 1);
-    }
-
-    #[test]
-    fn percentile_needs_samples_then_tracks_them() {
-        let w = LatencyWindow::new();
-        assert!(w.percentile(0.9).is_none());
-        for ms in 1..=10u64 {
-            w.record(Duration::from_millis(ms));
-        }
-        let p0 = w.percentile(0.0).unwrap();
-        let p100 = w.percentile(1.0).unwrap();
-        assert_eq!(p0, Duration::from_millis(1));
-        assert_eq!(p100, Duration::from_millis(10));
-        assert!(w.percentile(0.5).unwrap() <= p100);
-    }
-
-    #[test]
-    fn window_ages_out_old_samples() {
-        let w = LatencyWindow::new();
-        for _ in 0..WINDOW {
-            w.record(Duration::from_millis(100));
-        }
-        for _ in 0..WINDOW {
-            w.record(Duration::from_millis(1));
-        }
-        assert_eq!(w.percentile(1.0).unwrap(), Duration::from_millis(1));
     }
 }

@@ -36,16 +36,19 @@
 //! the healthy engine and degraded replies to the merge over precisely
 //! the shards whose tags appear in the reply.
 
+use crate::admission::{AdmissionGate, AdmissionStats, Rejection};
+use crate::coalesce::{CoalesceStats, Coalescer, Join};
 use crate::fault::{Admission, FaultConfig, FaultCounters, FaultKind, FaultPlan, FaultStats};
-use crate::ingest::{IngestQueue, IngestStats};
-use crate::replica::{LatencyWindow, ReplicaSet};
+use crate::histogram::{self, DecayedHistogram, HistogramSnapshot};
+use crate::ingest::{IngestOffer, IngestQueue, IngestStats};
+use crate::replica::ReplicaSet;
 use crate::router::{partition_entries, route_query_text, PartitionKey};
 use crate::swap::{ShardSnapshot, ShardTag};
 use crate::Swap;
 use pqsda::{CacheStats, EngineBuildOptions, PqsDa};
 use pqsda_baselines::SuggestRequest;
-use pqsda_parallel::{spawn_cancellable, TaskHandle, TaskPoll};
-use pqsda_querylog::{text, LogEntry, QueryId, QueryLog};
+use pqsda_parallel::{spawn_cancellable, Deadline, TaskHandle, TaskPoll};
+use pqsda_querylog::{text, LogEntry, QueryId, QueryLog, UserId};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,6 +76,9 @@ pub struct ServeConfig {
     /// Fault-tolerance knobs (replicas, deadlines, hedging, breakers).
     /// The default disables all of them.
     pub fault: FaultConfig,
+    /// Coalesce duplicate in-flight requests: the first arrival computes,
+    /// duplicates wait and reuse its reply verbatim (off by default).
+    pub coalesce: bool,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +90,7 @@ impl Default for ServeConfig {
             queue_capacity: 4096,
             max_delta_entries: 0,
             fault: FaultConfig::default(),
+            coalesce: false,
         }
     }
 }
@@ -173,6 +180,38 @@ pub struct ServeStats {
     pub fault: FaultStats,
     /// Current circuit-breaker state of each shard.
     pub breakers: Vec<BreakerState>,
+    /// Suggest-path admission counters (admitted / shed / in flight).
+    pub admission: AdmissionStats,
+    /// Request-coalescing counters (leaders / coalesced / fallbacks).
+    pub coalesce: CoalesceStats,
+}
+
+/// How one deadline-aware request resolved: a reply, or an explicit
+/// admission-control rejection. Shed requests are never silent — the
+/// [`Rejection`] carries the projection that justified the shed.
+#[derive(Clone, Debug)]
+pub enum ServeOutcome {
+    /// The request was served (possibly degraded; see the reply's
+    /// coverage).
+    Served(ServeReply),
+    /// The request was shed at the admission gate before any shard was
+    /// probed.
+    Rejected(Rejection),
+}
+
+impl ServeOutcome {
+    /// The reply, if the request was served.
+    pub fn reply(&self) -> Option<&ServeReply> {
+        match self {
+            ServeOutcome::Served(r) => Some(r),
+            ServeOutcome::Rejected(_) => None,
+        }
+    }
+
+    /// Whether the request was shed.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, ServeOutcome::Rejected(_))
+    }
 }
 
 /// What one [`ShardedPqsDa::apply_deltas`] call did.
@@ -208,7 +247,9 @@ struct Shard {
     /// Writer-only.
     pending: parking_lot::Mutex<Vec<LogEntry>>,
     breaker: Breaker,
-    latency: LatencyWindow,
+    /// Decayed histogram of successful probe latencies; sizes the hedge
+    /// budget (DESIGN §11).
+    latency: DecayedHistogram,
 }
 
 /// What a shard probe resolves to: the snapshot's tag, plus its candidate
@@ -240,6 +281,28 @@ pub struct ShardedPqsDa {
     swap_attempts: AtomicU64,
     counters: FaultCounters,
     deferred_total: AtomicU64,
+    /// Deadline-aware admission gate in front of the scatter-gather.
+    gate: AdmissionGate,
+    /// Singleflight table for duplicate in-flight requests (used only
+    /// when `config.coalesce` is set).
+    coalescer: Coalescer<CoalesceKey, ServeReply>,
+}
+
+/// The identity of a request for coalescing purposes: every field that
+/// can influence the reply. Two requests with equal keys are duplicates
+/// by construction, so sharing the leader's reply is exact, not
+/// approximate.
+type CoalesceKey = (QueryId, Vec<QueryId>, Vec<u64>, u64, Option<UserId>, usize);
+
+fn coalesce_key(req: &SuggestRequest) -> CoalesceKey {
+    (
+        req.query,
+        req.context.clone(),
+        req.context_times.clone(),
+        req.query_time,
+        req.user,
+        req.k,
+    )
 }
 
 impl ShardedPqsDa {
@@ -264,7 +327,7 @@ impl ShardedPqsDa {
                         config.fault.breaker_threshold,
                         config.fault.breaker_cooldown,
                     ),
-                    latency: LatencyWindow::new(),
+                    latency: DecayedHistogram::default(),
                 }
             })
             .collect();
@@ -281,6 +344,8 @@ impl ShardedPqsDa {
             swap_attempts: AtomicU64::new(0),
             counters: FaultCounters::default(),
             deferred_total: AtomicU64::new(0),
+            gate: AdmissionGate::new(),
+            coalescer: Coalescer::new(),
         }
     }
 
@@ -322,7 +387,56 @@ impl ShardedPqsDa {
     /// otherwise it runs serially in the caller (panic isolation applies
     /// either way). A reply never errors: faulted shards are dropped and
     /// reported through [`ServeReply::coverage`].
+    ///
+    /// Deadline-less requests are never shed, so this always serves; the
+    /// deadline-aware front door is [`ShardedPqsDa::suggest_with_deadline`].
     pub fn suggest(&self, req: &SuggestRequest) -> ServeReply {
+        match self.suggest_with_deadline(req, None) {
+            ServeOutcome::Served(reply) => reply,
+            ServeOutcome::Rejected(_) => {
+                unreachable!("admission never sheds a deadline-less request")
+            }
+        }
+    }
+
+    /// The deadline-aware front door: admission control first (a request
+    /// whose projected wait exceeds its deadline is shed with an explicit
+    /// [`ServeOutcome::Rejected`] before any shard is probed), then —
+    /// when `config.coalesce` is on — singleflight coalescing of
+    /// duplicate in-flight requests, then the scatter-gather of
+    /// [`ShardedPqsDa::suggest`] with the deadline bounding the gather.
+    /// A served reply is bit-identical to what a dedicated healthy server
+    /// would return for the same request whenever coverage is full.
+    pub fn suggest_with_deadline(
+        &self,
+        req: &SuggestRequest,
+        deadline: Option<Deadline>,
+    ) -> ServeOutcome {
+        let permit = match self.gate.admit(deadline.as_ref()) {
+            Ok(p) => p,
+            Err(rejection) => return ServeOutcome::Rejected(rejection),
+        };
+        let reply = if self.config.coalesce {
+            match self.coalescer.join(coalesce_key(req)) {
+                Join::Leader(token) => {
+                    // If the gather panics, `token`'s Drop abandons the
+                    // flight and followers fall back to their own gather.
+                    let reply = self.suggest_core(req, deadline.as_ref());
+                    token.publish(reply.clone());
+                    reply
+                }
+                Join::Coalesced(reply) => reply,
+                Join::Fallback => self.suggest_core(req, deadline.as_ref()),
+            }
+        } else {
+            self.suggest_core(req, deadline.as_ref())
+        };
+        drop(permit); // releases the in-flight slot, records service time
+        ServeOutcome::Served(reply)
+    }
+
+    /// The scatter-gather behind both front doors.
+    fn suggest_core(&self, req: &SuggestRequest, deadline: Option<&Deadline>) -> ServeReply {
         let request = self.requests.fetch_add(1, Ordering::Relaxed);
         let router = self.router.load();
         if req.query.index() >= router.num_queries() || req.k == 0 {
@@ -330,8 +444,10 @@ impl ShardedPqsDa {
         }
         let input_text = router.query_text(req.query).to_owned();
         let targets = self.targets_for(&input_text);
-        let reply = if self.fault_path_active() {
-            self.suggest_ft(request, &router, &input_text, req, &targets)
+        // A per-request deadline must be enforced even when no fault
+        // tolerance is configured, so it activates the task-based path.
+        let reply = if self.fault_path_active() || deadline.is_some() {
+            self.suggest_ft(request, &router, &input_text, req, &targets, deadline)
         } else {
             self.gather_serial(&router, &input_text, req, &targets)
         };
@@ -429,6 +545,7 @@ impl ShardedPqsDa {
         input_text: &str,
         req: &SuggestRequest,
         targets: &[usize],
+        request_deadline: Option<&Deadline>,
     ) -> ServeReply {
         let fc = &self.config.fault;
         let plan = self.fault_plan.read().clone();
@@ -440,7 +557,13 @@ impl ShardedPqsDa {
             plan: &plan,
         };
         let start = Instant::now();
-        let deadline = (fc.budget_ms > 0).then(|| start + Duration::from_millis(fc.budget_ms));
+        // The gather stops at the tighter of the configured budget and
+        // the caller's own deadline.
+        let budget = (fc.budget_ms > 0).then(|| start + Duration::from_millis(fc.budget_ms));
+        let deadline = match (budget, request_deadline.map(Deadline::instant)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
 
         let mut slots: Vec<ProbeSlot> = Vec::with_capacity(targets.len());
         for &s in targets {
@@ -572,7 +695,7 @@ impl ShardedPqsDa {
     }
 
     /// When the hedge for shard `s` should fire, if hedging is on:
-    /// `start + max(hedge_ms, observed latency percentile)`.
+    /// `start + max(hedge_ms, decayed latency quantile)` (DESIGN §11).
     fn hedge_deadline(&self, s: usize, start: Instant) -> Option<Instant> {
         let fc = &self.config.fault;
         if self.shards[s].replicas.replicas() < 2
@@ -580,13 +703,26 @@ impl ShardedPqsDa {
         {
             return None;
         }
-        let mut delay = Duration::from_millis(fc.hedge_ms);
-        if fc.hedge_percentile > 0.0 {
-            if let Some(p) = self.shards[s].latency.percentile(fc.hedge_percentile) {
-                delay = delay.max(p);
-            }
-        }
-        Some(start + delay)
+        Some(
+            start
+                + histogram::hedge_delay(&self.shards[s].latency, fc.hedge_ms, fc.hedge_percentile),
+        )
+    }
+
+    /// The hedge delay each shard would use for a request arriving now —
+    /// a pure function of the decayed histograms and the fault config
+    /// (the determinism property tests read this).
+    pub fn hedge_delays(&self) -> Vec<Duration> {
+        let fc = &self.config.fault;
+        self.shards
+            .iter()
+            .map(|s| histogram::hedge_delay(&s.latency, fc.hedge_ms, fc.hedge_percentile))
+            .collect()
+    }
+
+    /// Snapshots every shard's probe-latency histogram (stats / tests).
+    pub fn hedge_histograms(&self) -> Vec<HistogramSnapshot> {
+        self.shards.iter().map(|s| s.latency.snapshot()).collect()
     }
 
     /// Spawns one probe task against `(shard, replica)`, consulting the
@@ -663,6 +799,18 @@ impl ShardedPqsDa {
         self.queue.offer(entry)
     }
 
+    /// Deadline-aware ingestion: sheds the entry with an explicit
+    /// [`IngestOffer::RejectedDeadline`] when the queue's projected wait
+    /// (depth × measured drain cost) exceeds the deadline's remaining
+    /// budget. Never blocks, never drops silently.
+    pub fn ingest_with_deadline(
+        &self,
+        entry: LogEntry,
+        deadline: Option<&Deadline>,
+    ) -> IngestOffer {
+        self.queue.offer_with_deadline(entry, deadline)
+    }
+
     /// The writer step: drains the queue (at most
     /// `config.max_delta_entries` entries when set), extends the router
     /// id space, updates the shards whose partitions received deltas and
@@ -690,6 +838,7 @@ impl ShardedPqsDa {
     /// publication.
     pub fn apply_deltas(&self) -> SwapReport {
         let _writer = self.rebuild_lock.lock();
+        let cycle_start = Instant::now();
         let limit = match self.config.max_delta_entries {
             0 => usize::MAX,
             n => n,
@@ -787,6 +936,13 @@ impl ShardedPqsDa {
                 report.incremental.push(s);
             }
         }
+        if report.drained > 0 {
+            // Feed the measured per-entry drain cost back so deadline
+            // offers project with the host's actual speed.
+            let per_entry_us = (cycle_start.elapsed().as_micros() / report.drained as u128)
+                .min(u128::from(u64::MAX));
+            self.queue.set_service_estimate_us(per_entry_us as u64);
+        }
         report
     }
 
@@ -813,6 +969,8 @@ impl ShardedPqsDa {
             deferred: self.deferred_total.load(Ordering::Relaxed),
             fault: self.counters.snapshot(breaker_opens),
             breakers: self.shards.iter().map(|s| s.breaker.state()).collect(),
+            admission: self.gate.stats(),
+            coalesce: self.coalescer.stats(),
         }
     }
 

@@ -1,0 +1,330 @@
+//! Tail-latency contracts (DESIGN §11): the decayed hedge histograms are
+//! deterministic across thread counts, coalesced and admission-controlled
+//! replies stay bit-identical to the healthy engine, and every shed
+//! request is an explicit rejection with an auditable projection —
+//! never a silent drop.
+
+use pqsda_baselines::SuggestRequest;
+use pqsda_parallel::Deadline;
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_querylog::{LogEntry, QueryId, UserId};
+use pqsda_serve::{
+    hedge_delay, ChaosProfile, DecayedHistogram, FaultConfig, FaultPlan, HistogramSnapshot,
+    IngestOffer, PartitionKey, ServeConfig, ServeOutcome, ShardedPqsDa,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Records `seq` into a fresh histogram from `n` threads, a turnstile
+/// preserving the global sample order, and returns everything hedge
+/// sizing depends on.
+fn record_with_threads(
+    n: usize,
+    seq: &[Duration],
+) -> (HistogramSnapshot, Vec<Option<Duration>>, Duration) {
+    let h = DecayedHistogram::default();
+    let turn = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for t in 0..n {
+            let h = &h;
+            let turn = &turn;
+            s.spawn(move || {
+                for (i, d) in seq.iter().enumerate() {
+                    if i % n != t {
+                        continue;
+                    }
+                    while turn.load(Ordering::Acquire) != i {
+                        std::hint::spin_loop();
+                    }
+                    h.record(*d);
+                    turn.store(i + 1, Ordering::Release);
+                }
+            });
+        }
+    });
+    let quantiles = [0.5, 0.9, 0.99, 0.999]
+        .iter()
+        .map(|&p| h.quantile(p))
+        .collect();
+    (h.snapshot(), quantiles, hedge_delay(&h, 2, 0.9))
+}
+
+/// Satellite: same request sequence ⇒ identical buckets and hedge delays
+/// no matter how many threads recorded it. The decay clock counts
+/// requests, not wall time, and ×0.5 is exact in binary floating point,
+/// so the histogram's state is a pure function of the sequence.
+#[test]
+fn histogram_and_hedge_delays_are_identical_at_1_2_4_threads() {
+    // A multi-regime sequence long enough to cross several decay periods,
+    // ending in a fast regime long enough (6+ periods) for decay to
+    // forget the 20 ms middle epoch.
+    let seq: Vec<Duration> = (0..2400u64)
+        .map(|i| {
+            let us = if i < 400 {
+                500 + (i * 97) % 3_000
+            } else if i < 800 {
+                20_000 + (i * 31) % 9_000
+            } else {
+                1_000 + (i * 13) % 700
+            };
+            Duration::from_micros(us)
+        })
+        .collect();
+    let single = record_with_threads(1, &seq);
+    let double = record_with_threads(2, &seq);
+    let quad = record_with_threads(4, &seq);
+    assert_eq!(single.0, double.0, "1 vs 2 threads: buckets diverged");
+    assert_eq!(single.0, quad.0, "1 vs 4 threads: buckets diverged");
+    assert_eq!(single.1, double.1, "quantiles diverged");
+    assert_eq!(single.1, quad.1, "quantiles diverged");
+    assert_eq!(single.2, double.2, "hedge delay diverged");
+    assert_eq!(single.2, quad.2, "hedge delay diverged");
+    // The hedge delay reflects the final (fast) regime, not the stale
+    // slow one: decay must have forgotten the 20 ms middle epoch.
+    assert!(single.2 < Duration::from_millis(3), "delay {:?}", single.2);
+}
+
+fn test_requests(server: &ShardedPqsDa, k: usize) -> Vec<SuggestRequest> {
+    let n = server.router_log().num_queries().min(12) as u32;
+    (0..n)
+        .map(|i| SuggestRequest::simple(QueryId(i), k))
+        .collect()
+}
+
+/// Tentpole contract: with coalescing on, concurrent duplicate requests
+/// produce replies bit-identical to a coalescing-free healthy server,
+/// and every request is accounted as exactly one of leader / coalesced /
+/// fallback.
+#[test]
+fn coalesced_replies_are_bit_identical_to_the_healthy_engine() {
+    let s = generate(&SynthConfig::tiny(47));
+    let entries = s.log.entries();
+    let coalescing = Arc::new(ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            key: PartitionKey::User,
+            coalesce: true,
+            ..ServeConfig::default()
+        },
+    ));
+    let healthy = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            key: PartitionKey::User,
+            ..ServeConfig::default()
+        },
+    );
+    let reqs = test_requests(&coalescing, 5);
+    let expected: Vec<_> = reqs.iter().map(|r| healthy.suggest(r)).collect();
+
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 3;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let coalescing = Arc::clone(&coalescing);
+            let reqs = &reqs;
+            let expected = &expected;
+            scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    for (req, want) in reqs.iter().zip(expected) {
+                        let got = coalescing.suggest(req);
+                        // Bit-identical: ids AND scores.
+                        assert_eq!(got.suggestions, want.suggestions);
+                        assert!(!got.coverage.is_degraded());
+                    }
+                }
+            });
+        }
+    });
+    let stats = coalescing.stats();
+    let total = (THREADS * ROUNDS * reqs.len()) as u64;
+    let c = stats.coalesce;
+    assert_eq!(
+        c.leaders + c.coalesced + c.fallbacks,
+        total,
+        "every request is exactly one of leader/coalesced/fallback: {c:?}"
+    );
+    assert!(c.leaders >= reqs.len() as u64, "each key led at least once");
+    assert_eq!(stats.admission.admitted, total);
+    assert_eq!(stats.admission.shed, 0, "no deadlines → no shedding");
+}
+
+/// Coalescing under injected probe faults: whenever a reply has full
+/// coverage it is still bit-identical to the healthy engine; faults only
+/// ever surface as honestly-reported degraded coverage.
+#[test]
+fn coalescing_under_chaos_keeps_full_coverage_replies_exact() {
+    let s = generate(&SynthConfig::tiny(53));
+    let entries = s.log.entries();
+    let chaotic = Arc::new(ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            key: PartitionKey::User,
+            coalesce: true,
+            fault: FaultConfig {
+                budget_ms: 400,
+                ..FaultConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    ));
+    chaotic.set_fault_plan(Some(FaultPlan::seeded(
+        0x7A11_5EED,
+        ChaosProfile {
+            panic_permille: 80,
+            error_permille: 60,
+            latency_permille: 0,
+            latency_ms: 0,
+        },
+    )));
+    let healthy = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            key: PartitionKey::User,
+            ..ServeConfig::default()
+        },
+    );
+    let reqs = test_requests(&chaotic, 5);
+    let expected: Vec<_> = reqs.iter().map(|r| healthy.suggest(r)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let chaotic = Arc::clone(&chaotic);
+            let reqs = &reqs;
+            let expected = &expected;
+            scope.spawn(move || {
+                for (req, want) in reqs.iter().zip(expected) {
+                    let got = chaotic.suggest(req);
+                    if !got.coverage.is_degraded() {
+                        assert_eq!(got.suggestions, want.suggestions);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Tentpole contract: a request whose projected wait exceeds its deadline
+/// is shed with an explicit `Rejected` carrying the projection; admitted
+/// requests serve bit-identically to the healthy path.
+#[test]
+fn admission_sheds_explicitly_and_serves_admitted_requests_exactly() {
+    let s = generate(&SynthConfig::tiny(61));
+    let entries = s.log.entries();
+    let server = Arc::new(ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 1,
+            key: PartitionKey::Query,
+            ..ServeConfig::default()
+        },
+    ));
+    // Every probe of the only replica stalls 30 ms: a known service time.
+    server.set_fault_plan(Some(FaultPlan::new().with_slow_replica(0, 0, 30)));
+    let req = SuggestRequest::simple(QueryId(0), 5);
+    // Warm the gate's service estimate past MIN_SAMPLES.
+    let warm = server.suggest(&req);
+    for _ in 0..7 {
+        assert_eq!(server.suggest(&req).suggestions, warm.suggestions);
+    }
+    let stats = server.stats();
+    assert!(
+        stats.admission.admitted >= 8 && stats.admission.shed == 0,
+        "warmup: {:?}",
+        stats.admission
+    );
+
+    // One slow request in flight + a 30 ms p50 estimate: a 2 ms deadline
+    // projects far past its budget and must shed.
+    let background = {
+        let server = Arc::clone(&server);
+        let req = req.clone();
+        std::thread::spawn(move || server.suggest(&req))
+    };
+    std::thread::sleep(Duration::from_millis(10)); // let it enter the gate
+    let outcome = server.suggest_with_deadline(&req, Some(Deadline::in_ms(2)));
+    let rejection = match outcome {
+        ServeOutcome::Rejected(r) => r,
+        ServeOutcome::Served(_) => panic!("2 ms budget against a 30 ms p50 must shed"),
+    };
+    assert!(rejection.projected_wait_us >= 30_000, "{rejection:?}");
+    assert!(rejection.inflight >= 1, "{rejection:?}");
+    let stats = server.stats();
+    assert_eq!(stats.admission.shed, 1);
+    assert_eq!(
+        stats.admission.last_projected_wait_us, rejection.projected_wait_us,
+        "shed decisions are auditable in stats"
+    );
+
+    // A generous deadline is admitted and serves the exact same reply.
+    match server.suggest_with_deadline(&req, Some(Deadline::in_ms(10_000))) {
+        ServeOutcome::Served(reply) => {
+            assert_eq!(reply.suggestions, warm.suggestions);
+            assert!(!reply.coverage.is_degraded());
+        }
+        ServeOutcome::Rejected(r) => panic!("10 s budget shed: {r:?}"),
+    }
+    assert_eq!(background.join().unwrap().suggestions, warm.suggestions);
+    assert_eq!(outcome.reply().map(|_| ()), None);
+    assert!(outcome.is_rejected());
+}
+
+/// Satellite: the ingest queue's rejection paths record the projection
+/// they were based on, and deadline sheds are explicit — never silent.
+#[test]
+fn ingest_rejections_are_explicit_and_auditable() {
+    let s = generate(&SynthConfig::tiny(71));
+    let entries = s.log.entries();
+    let server = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            key: PartitionKey::User,
+            ..ServeConfig::default()
+        },
+    );
+    let entry = |i: u64| LogEntry::new(UserId(200), format!("tail query {i}"), None, 5_000_000 + i);
+    // One drain cycle measures the real per-entry cost.
+    assert!(server.ingest(entry(0)));
+    server.apply_deltas();
+    let measured = server.stats().ingest.service_estimate_us;
+    assert!(
+        measured > 0,
+        "a rebuild cycle cannot cost zero microseconds"
+    );
+
+    // Queue up work, then offer against an already-exhausted deadline:
+    // the projection (depth × measured cost) exceeds 0 remaining budget.
+    for i in 1..=6 {
+        assert!(server.ingest(entry(i)));
+    }
+    let shed = server.ingest_with_deadline(entry(99), Some(&Deadline::in_ms(0)));
+    assert_eq!(shed, IngestOffer::RejectedDeadline);
+    let ingest = server.stats().ingest;
+    assert_eq!(ingest.rejected_deadline, 1);
+    assert_eq!(ingest.rejected, 0, "not a capacity rejection");
+    assert_eq!(
+        ingest.last_projected_wait_us,
+        6 * measured,
+        "the audited projection is exactly depth × estimate"
+    );
+    // A generous deadline and a deadline-less offer still land.
+    assert!(server
+        .ingest_with_deadline(entry(7), Some(&Deadline::in_ms(60_000)))
+        .is_accepted());
+    assert_eq!(
+        server.ingest_with_deadline(entry(8), None),
+        IngestOffer::Accepted
+    );
+    let report = server.apply_deltas();
+    assert_eq!(report.drained, 8, "the shed entry never entered the queue");
+    assert!(server.find_query("tail query 8").is_some());
+    assert!(
+        server.find_query("tail query 99").is_none(),
+        "a shed entry must not be silently applied"
+    );
+}

@@ -8,9 +8,11 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 # Perf harness in smoke mode: asserts every kernel is bit-identical
-# across thread counts, and that a 1% delta through `apply_delta` is
-# digest-equal to — and at least 5x cheaper than — a cold full rebuild
-# (minimal time budget, no BENCH_perf.json write).
+# across thread counts, that a 1% delta through `apply_delta` is
+# digest-equal to — and at least 5x cheaper than — a cold full rebuild,
+# and that an mmap snapshot cold start is at least 10x faster than a
+# rebuild with bit-identical replies (minimal time budget, no
+# BENCH_perf.json write).
 cargo run --release -q -p pqsda-bench --bin perf -- --smoke
 # Serving smoke: 1-shard output asserted identical to the unsharded
 # engine, then a 2-shard server through a mid-stream ingest + swap,
@@ -20,6 +22,11 @@ cargo run --release -q -p pqsda-cli --bin pqsda -- serve --smoke
 # swap) asserted honest — full-coverage replies bit-identical to the
 # healthy engine, degraded replies subset-consistent, rollback counted.
 cargo run --release -q -p pqsda-cli --bin pqsda -- serve --chaos-smoke
+# Snapshot smoke: a saved 2-shard server must refuse a corrupted shard
+# file, load bit-identically over mmap, and replay a WAL-logged delta
+# batch (plus a deliberately torn tail) through restart to exactly the
+# pre-crash state.
+cargo run --release -q -p pqsda-cli --bin pqsda -- serve --snapshot-smoke
 # Open-loop smoke: a seeded arrival schedule at a modest offered rate must
 # serve everything with zero deadline violations; a saturating schedule
 # against a slowed server must shed via explicit Rejected replies only

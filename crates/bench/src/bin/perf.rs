@@ -21,6 +21,17 @@
 //! resulting graphs asserted digest-equal and the delta path gated at
 //! ≥ 5× cheaper.
 //!
+//! Two cold-start rows time the restart paths of the serving layer:
+//! `cold_start_mmap` (a whole 2-shard server reassembled from a `PQSS`
+//! snapshot directory through `load_server`) against `cold_start_rebuild`
+//! (the same server cold-built from the log), replies asserted
+//! bit-identical and the snapshot path gated at ≥ 10× cheaper.
+//!
+//! The `open_loop_sweep` section drives the server on a seeded Poisson
+//! arrival schedule across a geometric rate ladder around measured
+//! capacity, recording tail latency and explicit admission-control drops
+//! at each rung.
+//!
 //! Three fault-tolerance rows time the degraded-serving paths of the
 //! sharded server (`serve_healthy_ft`, `serve_hedged`, `serve_degraded`):
 //! per-request latency percentiles through the replicated gather loop when
@@ -49,6 +60,7 @@ use pqsda_graph::bipartite::Bipartite;
 use pqsda_graph::compact::{CompactConfig, CompactMulti};
 use pqsda_graph::walk::two_step_transition_with_threads;
 use pqsda_linalg::solver::Jacobi;
+use pqsda_serve::store::{load_server, save_server};
 use pqsda_serve::{FaultConfig, FaultPlan, PartitionKey, ServeConfig, ShardedPqsDa};
 use pqsda_topics::{Corpus, TrainConfig, Upm, UpmConfig};
 use std::time::Instant;
@@ -483,13 +495,93 @@ fn main() {
     rows.extend(rebuild_rows);
     rows.extend(delta_rows);
 
+    // cold start: restart cost of the whole serving layer. A snapshot
+    // directory (router + per-shard PQSS + empty WAL) is written once,
+    // then `load_server` through the mmap path is timed against a cold
+    // `ShardedPqsDa::build` over the same log. Reply bit-identity between
+    // the loaded server and the live one is asserted once up front (ids,
+    // score bit patterns, and tags); the timed kernels then measure the
+    // two restart paths alone. The gate pins the snapshot load at ≥ 10x
+    // cheaper — the point of the on-disk format.
+    let snap_dir = std::env::temp_dir().join(format!("pqsda-bench-snap-{}", std::process::id()));
+    std::fs::remove_dir_all(&snap_dir).ok();
+    let snap_config = || ServeConfig {
+        shards: 2,
+        key: PartitionKey::User,
+        build,
+        ..ServeConfig::default()
+    };
+    let snap_server = ShardedPqsDa::build(&entries, snap_config());
+    let save_report = save_server(&snap_server, &snap_dir).expect("save snapshot");
+    let (snap_loaded, snap_load_report) =
+        load_server(&snap_dir, ServeConfig::default(), true).expect("load snapshot");
+    for (got, want) in snap_loaded
+        .suggest_many(&reqs)
+        .iter()
+        .zip(snap_server.suggest_many(&reqs))
+    {
+        assert_eq!(got.tags, want.tags, "cold start: shard tags diverged");
+        assert_eq!(got.suggestions.len(), want.suggestions.len());
+        for ((qa, sa), (qb, sb)) in got.suggestions.iter().zip(&want.suggestions) {
+            assert!(
+                qa == qb && sa.to_bits() == sb.to_bits(),
+                "cold start: snapshot reply not bit-identical to the live server"
+            );
+        }
+    }
+    drop(snap_loaded);
+    let snap_mapped = snap_load_report.shards.iter().filter(|i| i.mapped).count();
+    let snap_zero_copy = snap_load_report
+        .shards
+        .iter()
+        .filter(|i| i.zero_copy)
+        .count();
+    // Same reasoning as the delta gate above: the 10x ratio needs more
+    // than single-iteration samples even in smoke.
+    let smoke_budget = smoke.then(|| {
+        let prev = std::env::var("PQSDA_BENCH_BUDGET_MS").unwrap_or_else(|_| "1".into());
+        std::env::set_var("PQSDA_BENCH_BUDGET_MS", "150");
+        prev
+    });
+    let cold_rebuild_rows = measure("cold_start_rebuild", &[1], |_| {
+        let server = ShardedPqsDa::build(&entries, snap_config());
+        server.router_log().records().len()
+    });
+    let mut cold_mmap_rows = measure("cold_start_mmap", &[1], |_| {
+        let (server, _) =
+            load_server(&snap_dir, ServeConfig::default(), true).expect("timed snapshot load");
+        server.router_log().records().len()
+    });
+    if let Some(prev) = smoke_budget {
+        std::env::set_var("PQSDA_BENCH_BUDGET_MS", prev);
+    }
+    let cold_rebuild_ns = cold_rebuild_rows[0].ns_per_iter;
+    let cold_mmap_ns = cold_mmap_rows[0].ns_per_iter;
+    let cold_speedup = cold_rebuild_ns / cold_mmap_ns;
+    cold_mmap_rows[0].ratio = cold_speedup;
+    cold_mmap_rows[0].ratio_key = "speedup_vs_rebuild";
+    eprintln!(
+        "  cold_start_mmap vs cold_start_rebuild ({} bytes on disk, {snap_mapped}/2 shard(s) \
+         mmapped, {snap_zero_copy}/2 zero-copy): {cold_speedup:.1}x",
+        save_report.total_bytes
+    );
+    assert!(
+        cold_speedup >= 10.0,
+        "cold_start_mmap must be at least 10x cheaper than cold_start_rebuild, \
+         got {cold_speedup:.1}x ({cold_mmap_ns:.0} vs {cold_rebuild_ns:.0} ns/iter)"
+    );
+    rows.extend(cold_rebuild_rows);
+    rows.extend(cold_mmap_rows);
+    std::fs::remove_dir_all(&snap_dir).ok();
+
     // open-loop tail latency: a seeded Poisson arrival schedule drives the
     // sharded server at a configured offered rate regardless of how fast
     // replies come back, so queueing delay is charged to the requests (the
-    // closed-loop rows above cannot see it). Offered rates are calibrated
-    // from this host's measured closed-loop per-request cost: ~0.5x
-    // capacity (should flow) and ~2x capacity (must queue, and — with
-    // per-request deadlines — must shed explicitly via admission control).
+    // closed-loop rows above cannot see it). Offered rates form a
+    // geometric ladder around this host's measured closed-loop capacity:
+    // the sub-capacity rungs must flow, the super-capacity rungs must
+    // shed explicitly via admission control, and the knee in between is
+    // where queueing delay surfaces in the p99.
     let ol_server = ShardedPqsDa::build(
         &entries,
         ServeConfig {
@@ -512,8 +604,13 @@ fn main() {
     // Generous relative to one request, tight relative to a backlog: at
     // 2x capacity the queue outgrows this budget fast, so the gate sheds.
     let ol_deadline_ms = ((per_req_s * 1e3 * 20.0).ceil() as u64).max(2);
-    let mut ol_reports: Vec<OpenLoopReport> = Vec::new();
-    for mult in [0.5, 2.0] {
+    let rate_ladder: &[f64] = if smoke {
+        &[0.5, 2.0]
+    } else {
+        &[0.25, 0.5, 1.0, 2.0, 4.0]
+    };
+    let mut ol_reports: Vec<(f64, OpenLoopReport)> = Vec::new();
+    for &mult in rate_ladder {
         let report = run_open_loop(
             &ol_server,
             &reqs,
@@ -536,7 +633,7 @@ fn main() {
             report.max_queue_depth,
             report.deadline_violations
         );
-        ol_reports.push(report);
+        ol_reports.push((mult, report));
     }
     let ol_stats = ol_server.stats();
     eprintln!(
@@ -548,7 +645,7 @@ fn main() {
     );
     assert_eq!(
         ol_stats.admission.shed,
-        ol_reports.iter().map(|r| r.rejected).sum::<u64>(),
+        ol_reports.iter().map(|(_, r)| r.rejected).sum::<u64>(),
         "every drop must be an explicit admission-control rejection"
     );
 
@@ -617,18 +714,31 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"open_loop_note\": \"seeded Poisson arrivals (seed 42) dispatched on schedule \
+        "  \"cold_start_note\": \"2-shard snapshot directory, {} bytes on disk; load path \
+         {} ({snap_mapped}/2 shard(s) mmapped, {snap_zero_copy}/2 zero-copy CSR views); \
+         replies asserted bit-identical to the live server before timing. \
+         speedup_vs_rebuild gated at >= 10x.\",\n",
+        save_report.total_bytes,
+        if snap_mapped > 0 {
+            "mmap"
+        } else {
+            "aligned-read fallback"
+        }
+    ));
+    json.push_str(&format!(
+        "  \"open_loop_sweep_note\": \"seeded Poisson arrivals (seed 42) dispatched on schedule \
          regardless of completions; latency measured from the scheduled arrival, so queueing \
          counts. 2-shard coalescing server, per-request deadline {ol_deadline_ms} ms; offered \
-         rates calibrated to ~0.5x and ~2x this host's measured closed-loop capacity \
-         ({capacity_rps:.0} req/s). drop_rate counts explicit admission-control rejections \
-         only — a silent drop would abort the run.\",\n"
+         rates are a geometric ladder (rate_mult x) around this host's measured closed-loop \
+         capacity ({capacity_rps:.0} req/s). drop_rate counts explicit admission-control \
+         rejections only — a silent drop would abort the run.\",\n"
     ));
-    json.push_str("  \"open_loop\": [\n");
-    for (i, r) in ol_reports.iter().enumerate() {
+    json.push_str("  \"open_loop_sweep\": [\n");
+    for (i, (mult, r)) in ol_reports.iter().enumerate() {
         let comma = if i + 1 < ol_reports.len() { "," } else { "" };
         json.push_str(&format!(
-            "    {{\"offered_rps\": {:.0}, \"requests\": {}, \"completed\": {}, \
+            "    {{\"rate_mult\": {mult}, \"offered_rps\": {:.0}, \"requests\": {}, \
+             \"completed\": {}, \
              \"rejected\": {}, \"drop_rate\": {:.3}, \"deadline_violations\": {}, \
              \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \"mean_us\": {:.0}, \
              \"max_queue_depth\": {}, \"mean_queue_depth\": {:.1}}}{comma}\n",

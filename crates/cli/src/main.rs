@@ -23,7 +23,7 @@ use pqsda_querylog::session::{segment_sessions, Session, SessionConfig};
 use pqsda_querylog::{LogEntry, QueryLog, UserId};
 use pqsda_serve::{
     ChaosProfile, Coverage, FaultConfig, FaultKind, FaultPlan, PartitionKey, ServeConfig,
-    ShardedPqsDa,
+    ServeReply, ShardedPqsDa,
 };
 use pqsda_topics::{Corpus, TrainConfig, Upm, UpmConfig};
 use std::io::BufReader;
@@ -36,6 +36,7 @@ fn main() -> ExitCode {
         Some("suggest") => cmd_suggest(&args[1..]),
         Some("profiles") => cmd_profiles(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
@@ -69,6 +70,9 @@ USAGE:
   pqsda serve    --smoke
   pqsda serve    --chaos-smoke
   pqsda serve    --open-loop-smoke
+  pqsda serve    --snapshot-smoke
+  pqsda snapshot save <log.tsv> --dir DIR [--shards N] [--key user|query] [--raw]
+  pqsda snapshot load --dir DIR [--query \"sun\"] [--k 10] [--user ID] [--no-mmap]
   pqsda demo
 
 Logs are AOL-format TSV: AnonID\\tQuery\\tQueryTime\\tItemRank\\tClickURL.
@@ -89,7 +93,8 @@ impl Flags {
             if let Some(name) = args[i].strip_prefix("--") {
                 let value = match name {
                     // boolean flags
-                    "raw" | "personalize" | "smoke" | "chaos-smoke" | "open-loop-smoke" => None,
+                    "raw" | "personalize" | "smoke" | "chaos-smoke" | "open-loop-smoke"
+                    | "snapshot-smoke" | "no-mmap" => None,
                     _ => {
                         i += 1;
                         Some(
@@ -279,10 +284,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if flags.has("open-loop-smoke") {
         return open_loop_smoke();
     }
-    let path = flags
-        .positional
-        .first()
-        .ok_or("serve needs a log file path (or --smoke / --chaos-smoke / --open-loop-smoke)")?;
+    if flags.has("snapshot-smoke") {
+        return snapshot_smoke();
+    }
+    let path = flags.positional.first().ok_or(
+        "serve needs a log file path (or --smoke / --chaos-smoke / --open-loop-smoke / \
+         --snapshot-smoke)",
+    )?;
     let open_loop: Option<f64> = match flags.get("open-loop") {
         None => None,
         Some(v) => Some(
@@ -378,6 +386,242 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         stats.cache.hits,
         stats.cache.misses
     );
+    Ok(())
+}
+
+/// `pqsda snapshot save|load` — persist a whole server into a snapshot
+/// directory, or reassemble one from it (mmap + WAL replay).
+fn cmd_snapshot(args: &[String]) -> Result<(), String> {
+    use pqsda_serve::store::{load_server, save_server};
+
+    let flags = Flags::parse(args)?;
+    let action = flags
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or("snapshot needs an action: save | load")?;
+    let dir = std::path::PathBuf::from(flags.get("dir").ok_or("snapshot needs --dir DIR")?);
+    match action {
+        "save" => {
+            let path = flags
+                .positional
+                .get(1)
+                .ok_or("snapshot save needs a log file path")?;
+            let shards = flags.get_num("shards", 2usize)?;
+            let key = parse_key(&flags)?;
+            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let raw = read_aol(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+            let (entries, stats) = clean_entries(&raw, &CleanConfig::default());
+            eprintln!(
+                "loaded {path}: {} entries, {} kept after cleaning",
+                stats.input, stats.kept
+            );
+            let build = EngineBuildOptions {
+                scheme: if flags.has("raw") {
+                    WeightingScheme::Raw
+                } else {
+                    WeightingScheme::CfIqf
+                },
+                ..EngineBuildOptions::default()
+            };
+            let server = ShardedPqsDa::build(
+                &entries,
+                ServeConfig {
+                    shards,
+                    key,
+                    build,
+                    ..ServeConfig::default()
+                },
+            );
+            let report = save_server(&server, &dir).map_err(|e| format!("save: {e}"))?;
+            println!(
+                "saved {shards} shard(s) to {} — generations {:?}, {} bytes",
+                dir.display(),
+                report.generations,
+                report.total_bytes
+            );
+            Ok(())
+        }
+        "load" => {
+            let use_mmap = !flags.has("no-mmap");
+            let (server, report) = load_server(&dir, ServeConfig::default(), use_mmap)
+                .map_err(|e| format!("load: {e}"))?;
+            let mapped = report.shards.iter().filter(|i| i.mapped).count();
+            let zero_copy = report.shards.iter().filter(|i| i.zero_copy).count();
+            let bytes: u64 =
+                report.shards.iter().map(|i| i.file_len).sum::<u64>() + report.router.file_len;
+            println!(
+                "loaded {} shard(s) from {} — {mapped} mmapped / {zero_copy} zero-copy, \
+                 {bytes} bytes; WAL replayed {} batch(es), {} entr(ies), {} torn byte(s) dropped",
+                server.config().shards,
+                dir.display(),
+                report.wal_batches_replayed,
+                report.wal_entries_replayed,
+                report.wal_dropped_bytes
+            );
+            if let Some(query_text) = flags.get("query") {
+                let k = flags.get_num("k", 10usize)?;
+                let query = server.find_query(query_text).ok_or_else(|| {
+                    format!("query {query_text:?} does not occur in the snapshot")
+                })?;
+                let mut req = SuggestRequest::simple(query, k);
+                if let Some(uid) = flags.get("user") {
+                    let uid: u32 = uid.parse().map_err(|_| "--user: bad id".to_owned())?;
+                    req = req.for_user(UserId(uid));
+                }
+                let reply = server.suggest(&req);
+                if reply.suggestions.is_empty() {
+                    println!("(no suggestions — the query has no graph neighbourhood)");
+                }
+                for (i, (q, score)) in reply.suggestions.iter().enumerate() {
+                    let text = server.query_text(*q).unwrap_or_default();
+                    println!("{:>2}. {text}  (F* {score:.4})", i + 1);
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown snapshot action {other:?} (want save | load)"
+        )),
+    }
+}
+
+/// Bit-level reply identity: tags, coverage, suggestion ids, and exact
+/// score bit patterns.
+fn check_replies_identical(a: &ServeReply, b: &ServeReply, what: &str) -> Result<(), String> {
+    let same = a.tags == b.tags
+        && a.coverage == b.coverage
+        && a.suggestions.len() == b.suggestions.len()
+        && a.suggestions
+            .iter()
+            .zip(&b.suggestions)
+            .all(|((qa, sa), (qb, sb))| qa == qb && sa.to_bits() == sb.to_bits());
+    if same {
+        Ok(())
+    } else {
+        Err(format!("snapshot smoke: {what}: replies diverged"))
+    }
+}
+
+/// The CI snapshot gate: save a 2-shard server, prove a flipped byte
+/// refuses to load, prove a clean mmap load answers bit-identically to
+/// the live server, then drive the snapshotter through a WAL-logged
+/// delta batch plus a torn tail and prove restart (snapshot load + WAL
+/// replay) reaches the live state exactly.
+fn snapshot_smoke() -> Result<(), String> {
+    use pqsda_querylog::synth::{generate, SynthConfig};
+    use pqsda_serve::store::{load_server, save_server, shard_file, Snapshotter, WAL_FILE};
+
+    let dir = std::env::temp_dir().join(format!("pqsda-snapshot-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let synth = generate(&SynthConfig::tiny(42));
+    let entries = synth.log.entries();
+    let server = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let reqs: Vec<SuggestRequest> = synth
+        .log
+        .records()
+        .iter()
+        .step_by(7)
+        .map(|r| SuggestRequest::simple(r.query, 8).for_user(r.user))
+        .collect();
+    let before = server.suggest_many(&reqs);
+    save_server(&server, &dir).map_err(|e| format!("snapshot smoke: save: {e}"))?;
+
+    // A flipped byte in a shard file must refuse to load (fail closed).
+    let shard_path = dir.join(shard_file(0));
+    let clean = std::fs::read(&shard_path).map_err(|e| e.to_string())?;
+    let mut corrupt = clean.clone();
+    corrupt[clean.len() / 3] ^= 0x20;
+    std::fs::write(&shard_path, &corrupt).map_err(|e| e.to_string())?;
+    match load_server(&dir, ServeConfig::default(), true) {
+        Err(e) => println!("snapshot smoke: corrupt shard refused to load ({e})"),
+        Ok(_) => return Err("snapshot smoke: corrupt shard file loaded anyway".into()),
+    }
+    std::fs::write(&shard_path, &clean).map_err(|e| e.to_string())?;
+
+    // Clean load through the mmap path: bit-identical replies.
+    let (loaded, report) = load_server(&dir, ServeConfig::default(), true)
+        .map_err(|e| format!("snapshot smoke: load: {e}"))?;
+    for (reply, want) in loaded.suggest_many(&reqs).iter().zip(&before) {
+        check_replies_identical(reply, want, "post-load")?;
+    }
+    println!(
+        "snapshot smoke: mmap load bit-identical on {} requests \
+         ({}/{} shard(s) mmapped, {}/{} zero-copy)",
+        reqs.len(),
+        report.shards.iter().filter(|i| i.mapped).count(),
+        report.shards.len(),
+        report.shards.iter().filter(|i| i.zero_copy).count(),
+        report.shards.len(),
+    );
+
+    // Snapshotter: one applied delta batch is WAL-logged; a restart
+    // replays it and lands exactly on the live state.
+    let mut snapper =
+        Snapshotter::resume(&dir, 1_000_000).map_err(|e| format!("snapshot smoke: {e}"))?;
+    let t0 = 1 + entries.iter().map(|e| e.timestamp).max().unwrap_or(0);
+    let deltas: Vec<LogEntry> = (0..4u32)
+        .map(|i| {
+            LogEntry::new(
+                UserId(900 + i),
+                format!("snap query {i}"),
+                Some("snap.example"),
+                t0 + u64::from(i),
+            )
+        })
+        .collect();
+    for e in &deltas {
+        if !server.ingest(e.clone()) {
+            return Err("snapshot smoke: ingest rejected below capacity".into());
+        }
+    }
+    let commit = snapper
+        .commit(&server)
+        .map_err(|e| format!("snapshot smoke: commit: {e}"))?;
+    if commit.wal_batch != Some(0) || commit.saved_snapshot {
+        return Err(format!("snapshot smoke: unexpected commit {commit:?}"));
+    }
+    let live = server.suggest_many(&reqs);
+    let (replayed, report) = load_server(&dir, ServeConfig::default(), true)
+        .map_err(|e| format!("snapshot smoke: reload: {e}"))?;
+    if report.wal_batches_replayed != 1 || report.wal_entries_replayed != 4 {
+        return Err(format!("snapshot smoke: unexpected WAL replay {report:?}"));
+    }
+    for (reply, want) in replayed.suggest_many(&reqs).iter().zip(&live) {
+        check_replies_identical(reply, want, "wal replay")?;
+    }
+    if replayed.find_query("snap query 0") != server.find_query("snap query 0")
+        || server.find_query("snap query 0").is_none()
+    {
+        return Err("snapshot smoke: replayed delta missing from the router".into());
+    }
+    println!("snapshot smoke: restart = snapshot + WAL replay reaches the live state (4 entries)");
+
+    // A torn tail (truncated frame at the end of the WAL) is dropped
+    // cleanly and the valid prefix still replays.
+    let wal_path = dir.join(WAL_FILE);
+    let mut wal_bytes = std::fs::read(&wal_path).map_err(|e| e.to_string())?;
+    wal_bytes.extend_from_slice(b"FRAMtorn");
+    std::fs::write(&wal_path, &wal_bytes).map_err(|e| e.to_string())?;
+    let (torn, report) = load_server(&dir, ServeConfig::default(), true)
+        .map_err(|e| format!("snapshot smoke: torn-tail load: {e}"))?;
+    if report.wal_batches_replayed != 1 || report.wal_dropped_bytes == 0 {
+        return Err(format!("snapshot smoke: torn tail not dropped {report:?}"));
+    }
+    for (reply, want) in torn.suggest_many(&reqs).iter().zip(&live) {
+        check_replies_identical(reply, want, "torn tail")?;
+    }
+    println!(
+        "snapshot smoke: torn WAL tail dropped ({} byte(s)), valid prefix replayed",
+        report.wal_dropped_bytes
+    );
+    std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }
 
@@ -926,5 +1170,10 @@ mod tests {
     #[test]
     fn chaos_smoke_passes() {
         chaos_smoke().unwrap();
+    }
+
+    #[test]
+    fn snapshot_smoke_passes() {
+        snapshot_smoke().unwrap();
     }
 }

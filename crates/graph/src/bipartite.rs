@@ -8,6 +8,7 @@
 
 use pqsda_linalg::csr::{CooBuilder, CsrMatrix};
 use pqsda_querylog::{QueryLog, Session};
+use std::sync::OnceLock;
 
 /// Which entity side a bipartite connects queries to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -31,19 +32,21 @@ impl EntityKind {
 pub struct Bipartite {
     kind: EntityKind,
     matrix: CsrMatrix,
-    /// Entity → queries transpose, materialized once (expansion and
-    /// two-step walks need both directions).
-    transpose: CsrMatrix,
+    /// Entity → queries transpose, materialized on first use (expansion
+    /// and two-step walks need both directions, but a freshly loaded
+    /// snapshot does not — keeping it lazy takes the O(nnz) counting
+    /// sort off the cold-start path). Deterministic, so *when* it is
+    /// built never changes *what* it holds.
+    transpose: OnceLock<CsrMatrix>,
 }
 
 impl Bipartite {
     /// Wraps an explicit matrix (rows = queries, cols = entities).
     pub fn from_matrix(kind: EntityKind, matrix: CsrMatrix) -> Self {
-        let transpose = matrix.transpose();
         Bipartite {
             kind,
             matrix,
-            transpose,
+            transpose: OnceLock::new(),
         }
     }
 
@@ -104,9 +107,9 @@ impl Bipartite {
         &self.matrix
     }
 
-    /// The `entities × queries` transpose.
+    /// The `entities × queries` transpose (built on first call).
     pub fn transposed(&self) -> &CsrMatrix {
-        &self.transpose
+        self.transpose.get_or_init(|| self.matrix.transpose())
     }
 
     /// Number of query rows.

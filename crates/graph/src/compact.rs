@@ -121,10 +121,16 @@ impl CompactMulti {
                 members.push(QueryId::from_index(q));
             }
             // Next frontier: full propagated mass restricted to members.
+            // Sorted by query index — HashMap iteration order is seeded
+            // per instance, and the frontier's order is the float
+            // accumulation order of the next round, so leaving it
+            // unsorted makes scores differ across engines at the ULP
+            // level (breaking the serving layer's reply bit-identity).
             frontier = mass
                 .into_iter()
                 .filter(|&(q, w)| in_set[q] && w > 1e-12)
                 .collect();
+            frontier.sort_unstable_by_key(|&(q, _)| q);
         }
 
         Self::project(full, members)

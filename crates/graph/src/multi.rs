@@ -77,15 +77,30 @@ impl MultiBipartite {
         }
     }
 
-    /// Assembles from weighted bipartites plus their raw count matrices
-    /// (the incremental update path).
-    pub(crate) fn from_weighted_and_raw(
+    /// Assembles from weighted bipartites plus their raw count matrices —
+    /// the incremental update path, and the snapshot-store load path
+    /// (which is why it is public: a loaded shard must keep its raw
+    /// counts, or every post-load delta would cold-rebuild).
+    ///
+    /// # Panics
+    /// Panics if the bipartites disagree on kinds/query count or a raw
+    /// matrix's shape differs from its weighted counterpart.
+    pub fn from_weighted_and_raw(
         url: Bipartite,
         session: Bipartite,
         term: Bipartite,
         scheme: WeightingScheme,
         raw: Box<[CsrMatrix; 3]>,
     ) -> Self {
+        assert_eq!(url.num_queries(), session.num_queries());
+        assert_eq!(url.num_queries(), term.num_queries());
+        assert_eq!(url.kind(), EntityKind::Url);
+        assert_eq!(session.kind(), EntityKind::Session);
+        assert_eq!(term.kind(), EntityKind::Term);
+        for (b, r) in [&url, &session, &term].into_iter().zip(raw.iter()) {
+            assert_eq!(b.matrix().rows(), r.rows(), "raw count shape mismatch");
+            assert_eq!(b.matrix().cols(), r.cols(), "raw count shape mismatch");
+        }
         MultiBipartite {
             url,
             session,
@@ -145,19 +160,24 @@ impl MultiBipartite {
     /// log partition with the same scheme — weight bits are exact, so even
     /// a one-ULP kernel change shows up.
     pub fn digest(&self) -> u64 {
-        use pqsda_querylog::hash::{fnv1a_u64, FNV_OFFSET};
+        use pqsda_querylog::hash::{FNV_OFFSET, FNV_PRIME};
+        // One xor-multiply per u64 field (not per byte): the digest gate
+        // runs on every snapshot publish *and* every cold-start load, so
+        // it is sized at three multiplies per edge. Injective per field,
+        // so any single-field change flips the digest.
+        let fold = |h: u64, x: u64| (h ^ x).wrapping_mul(FNV_PRIME);
         let mut h = FNV_OFFSET;
         for b in self.iter() {
             let m = b.matrix();
-            h = fnv1a_u64(h, m.rows() as u64);
-            h = fnv1a_u64(h, m.cols() as u64);
-            h = fnv1a_u64(h, m.nnz() as u64);
+            h = fold(h, m.rows() as u64);
+            h = fold(h, m.cols() as u64);
+            h = fold(h, m.nnz() as u64);
             for r in 0..m.rows() {
                 let (cols, vals) = m.row(r);
                 for (&c, &v) in cols.iter().zip(vals) {
-                    h = fnv1a_u64(h, r as u64);
-                    h = fnv1a_u64(h, u64::from(c));
-                    h = fnv1a_u64(h, v.to_bits());
+                    h = fold(h, r as u64);
+                    h = fold(h, u64::from(c));
+                    h = fold(h, v.to_bits());
                 }
             }
         }

@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use crate::shared::SharedSlice;
 use pqsda_parallel::{
     effective_threads, for_each_chunk_mut, for_each_part_mut, map_indexed, split_even,
 };
@@ -34,13 +35,18 @@ const MIN_NNZ_PER_THREAD: usize = 16_384;
 /// * `row_ptr.len() == rows + 1`, `row_ptr\[0\] == 0`,
 ///   `row_ptr[rows] == col_idx.len() == values.len()`;
 /// * within each row, column indices are strictly increasing and `< cols`.
+///
+/// The three arrays live in [`SharedSlice`]s so a snapshot-loaded matrix
+/// can borrow them zero-copy out of a memory mapping; any mutation goes
+/// through `to_mut()` and copies on write, so mapped storage is never
+/// written through.
 #[derive(Clone, PartialEq)]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
-    row_ptr: Vec<usize>,
-    col_idx: Vec<u32>,
-    values: Vec<f64>,
+    row_ptr: SharedSlice<usize>,
+    col_idx: SharedSlice<u32>,
+    values: SharedSlice<f64>,
 }
 
 impl fmt::Debug for CsrMatrix {
@@ -61,9 +67,9 @@ impl CsrMatrix {
         CsrMatrix {
             rows,
             cols,
-            row_ptr: vec![0; rows + 1],
-            col_idx: Vec::new(),
-            values: Vec::new(),
+            row_ptr: vec![0; rows + 1].into(),
+            col_idx: SharedSlice::new(),
+            values: SharedSlice::new(),
         }
     }
 
@@ -72,9 +78,9 @@ impl CsrMatrix {
         CsrMatrix {
             rows: n,
             cols: n,
-            row_ptr: (0..=n).collect(),
-            col_idx: (0..n as u32).collect(),
-            values: vec![1.0; n],
+            row_ptr: (0..=n).collect::<Vec<_>>().into(),
+            col_idx: (0..n as u32).collect::<Vec<_>>().into(),
+            values: vec![1.0; n].into(),
         }
     }
 
@@ -85,10 +91,49 @@ impl CsrMatrix {
         CsrMatrix {
             rows: n,
             cols: n,
-            row_ptr: (0..=n).collect(),
-            col_idx: (0..n as u32).collect(),
-            values: diag.to_vec(),
+            row_ptr: (0..=n).collect::<Vec<_>>().into(),
+            col_idx: (0..n as u32).collect::<Vec<_>>().into(),
+            values: diag.to_vec().into(),
         }
+    }
+
+    /// Assembles a matrix from prevalidated-looking parts — typically
+    /// zero-copy views into a snapshot mapping — running the full CSR
+    /// invariant checks (the input is untrusted file content).
+    pub fn from_shared_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: SharedSlice<usize>,
+        col_idx: SharedSlice<u32>,
+        values: SharedSlice<f64>,
+    ) -> Result<CsrMatrix, &'static str> {
+        let m = CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        if m.row_ptr.len() != m.rows + 1 {
+            return Err("csr: indptr length != rows + 1");
+        }
+        if m.check_invariants() {
+            Ok(m)
+        } else {
+            Err("csr: invariant violation in stored arrays")
+        }
+    }
+
+    /// The raw CSR arrays `(indptr, indices, values)` — the serialization
+    /// view of the matrix.
+    pub fn parts(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.row_ptr, &self.col_idx, &self.values)
+    }
+
+    /// Whether any of the three arrays still borrows from a snapshot
+    /// mapping (provenance for benches; false after any copy-on-write).
+    pub fn is_mapped(&self) -> bool {
+        self.row_ptr.is_mapped() || self.col_idx.is_mapped() || self.values.is_mapped()
     }
 
     /// Number of rows.
@@ -120,7 +165,7 @@ impl CsrMatrix {
     #[inline]
     pub fn row_values_mut(&mut self, r: usize) -> &mut [f64] {
         let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
-        &mut self.values[s..e]
+        &mut self.values.to_mut()[s..e]
     }
 
     /// Value at `(r, c)`, or 0.0 when the entry is structurally absent.
@@ -198,7 +243,7 @@ impl CsrMatrix {
     /// Materialized transpose.
     pub fn transpose(&self) -> CsrMatrix {
         let mut counts = vec![0usize; self.cols + 1];
-        for &c in &self.col_idx {
+        for &c in self.col_idx.iter() {
             counts[c as usize + 1] += 1;
         }
         for i in 0..self.cols {
@@ -217,9 +262,9 @@ impl CsrMatrix {
         CsrMatrix {
             rows: self.cols,
             cols: self.rows,
-            row_ptr,
-            col_idx,
-            values,
+            row_ptr: row_ptr.into(),
+            col_idx: col_idx.into(),
+            values: values.into(),
         }
     }
 
@@ -257,8 +302,9 @@ impl CsrMatrix {
         let mut bounds: Vec<usize> = Vec::with_capacity(spans.len() + 1);
         bounds.push(0);
         bounds.extend(spans.iter().map(|&(_, end)| out.row_ptr[end]));
+        let values = out.values.to_mut();
         let row_ptr = &out.row_ptr;
-        for_each_part_mut(&mut out.values, &bounds, |k, part| {
+        for_each_part_mut(values, &bounds, |k, part| {
             let (r0, r1) = spans[k];
             let base = row_ptr[r0];
             for r in r0..r1 {
@@ -292,8 +338,9 @@ impl CsrMatrix {
     pub fn scale_cols(&self, factors: &[f64]) -> CsrMatrix {
         assert_eq!(factors.len(), self.cols, "scale_cols: factor length");
         let mut out = self.clone();
-        for i in 0..out.col_idx.len() {
-            out.values[i] *= factors[out.col_idx[i] as usize];
+        let vals = out.values.to_mut();
+        for i in 0..self.col_idx.len() {
+            vals[i] *= factors[self.col_idx[i] as usize];
         }
         out
     }
@@ -301,7 +348,7 @@ impl CsrMatrix {
     /// Applies `f` to every stored value, keeping the structure.
     pub fn map_values(&self, f: impl Fn(f64) -> f64) -> CsrMatrix {
         let mut out = self.clone();
-        for v in &mut out.values {
+        for v in out.values.to_mut() {
             *v = f(*v);
         }
         out
@@ -376,9 +423,9 @@ impl CsrMatrix {
         let m = CsrMatrix {
             rows: self.rows,
             cols: other.cols,
-            row_ptr,
-            col_idx,
-            values,
+            row_ptr: row_ptr.into(),
+            col_idx: col_idx.into(),
+            values: values.into(),
         };
         debug_assert!(m.check_invariants());
         m
@@ -508,9 +555,9 @@ impl CsrMatrix {
         let m = CsrMatrix {
             rows: new_rows,
             cols: new_cols,
-            row_ptr,
-            col_idx,
-            values,
+            row_ptr: row_ptr.into(),
+            col_idx: col_idx.into(),
+            values: values.into(),
         };
         debug_assert!(m.check_invariants());
         m
@@ -537,20 +584,21 @@ impl CsrMatrix {
         assert_eq!(factors.len(), self.cols, "scale_cols_scoped: factor length");
         assert_eq!(scope.len(), self.rows, "scale_cols_scoped: scope length");
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let (start, end) = (out.row_ptr[r], out.row_ptr[r + 1]);
+        let vals = out.values.to_mut();
+        for r in 0..self.rows {
+            let (start, end) = (self.row_ptr[r], self.row_ptr[r + 1]);
             if scope[r] {
                 for i in start..end {
-                    out.values[i] *= factors[out.col_idx[i] as usize];
+                    vals[i] *= factors[self.col_idx[i] as usize];
                 }
             } else {
                 let (kc, kv) = keep.row(r);
                 assert_eq!(
                     kc,
-                    &out.col_idx[start..end],
+                    &self.col_idx[start..end],
                     "scale_cols_scoped: unscoped row {r} changed structure"
                 );
-                out.values[start..end].copy_from_slice(kv);
+                vals[start..end].copy_from_slice(kv);
             }
         }
         out
@@ -627,14 +675,14 @@ impl CooBuilder {
         for i in 0..self.rows {
             row_ptr[i + 1] += row_ptr[i];
         }
-        let col_idx = merged.iter().map(|&(_, c, _)| c).collect();
-        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        let col_idx: Vec<u32> = merged.iter().map(|&(_, c, _)| c).collect();
+        let values: Vec<f64> = merged.iter().map(|&(_, _, v)| v).collect();
         let m = CsrMatrix {
             rows: self.rows,
             cols: self.cols,
-            row_ptr,
-            col_idx,
-            values,
+            row_ptr: row_ptr.into(),
+            col_idx: col_idx.into(),
+            values: values.into(),
         };
         debug_assert!(m.check_invariants());
         m

@@ -20,6 +20,7 @@ pub mod beta;
 pub mod csr;
 pub mod dense;
 pub mod lbfgs;
+pub mod shared;
 pub mod solver;
 pub mod special;
 pub mod stats;
@@ -27,4 +28,5 @@ pub mod stats;
 pub use beta::BetaDistribution;
 pub use csr::{CooBuilder, CsrMatrix};
 pub use lbfgs::{Lbfgs, LbfgsConfig, LbfgsOutcome, Objective};
+pub use shared::SharedSlice;
 pub use solver::{ConjugateGradient, Jacobi, LinearSolver, SolveReport, SolverConfig};

@@ -1,0 +1,191 @@
+//! Copy-on-write slices that can borrow from a shared owner (a memory
+//! mapping).
+//!
+//! The snapshot store wants a loaded [`crate::CsrMatrix`] to *borrow* its
+//! `indptr`/`indices`/`values` arrays straight out of an mmap'd file —
+//! zero copies, N replicas sharing one set of physical pages — while the
+//! rest of the engine keeps treating those arrays as plain owned vectors
+//! it may occasionally mutate (CF-IQF rescaling, incremental merges).
+//! [`SharedSlice`] reconciles the two: it dereferences to `&[T]` either
+//! way, and the first mutable access to a mapped slice copies it into
+//! owned storage (copy-on-write), so mutation never writes through the
+//! mapping and read-only shards never pay a copy.
+
+use std::any::Any;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A slice that is either owned (`Vec<T>`) or borrowed from a shared
+/// owner kept alive by refcount (typically an `Arc<Mapping>`).
+pub struct SharedSlice<T: Copy + 'static> {
+    repr: Repr<T>,
+}
+
+enum Repr<T: Copy + 'static> {
+    Owned(Vec<T>),
+    Mapped {
+        /// Keeps the backing storage (the mapping) alive.
+        _owner: Arc<dyn Any + Send + Sync>,
+        ptr: *const T,
+        len: usize,
+    },
+}
+
+// Safety: the mapped bytes are immutable for the owner's lifetime (the
+// contract of `from_owner`), so sharing the view across threads is
+// exactly as safe as sharing a `&[T]`.
+unsafe impl<T: Copy + Send + Sync + 'static> Send for SharedSlice<T> {}
+unsafe impl<T: Copy + Send + Sync + 'static> Sync for SharedSlice<T> {}
+
+impl<T: Copy + 'static> SharedSlice<T> {
+    /// An empty owned slice.
+    pub fn new() -> Self {
+        SharedSlice {
+            repr: Repr::Owned(Vec::new()),
+        }
+    }
+
+    /// Wraps a raw view into storage owned by `owner`.
+    ///
+    /// # Safety
+    /// `ptr .. ptr + len` must be properly aligned, initialized `T`s that
+    /// remain valid and **immutable** for as long as any clone of `owner`
+    /// is alive.
+    pub unsafe fn from_owner(owner: Arc<dyn Any + Send + Sync>, ptr: *const T, len: usize) -> Self {
+        SharedSlice {
+            repr: Repr::Mapped {
+                _owner: owner,
+                ptr,
+                len,
+            },
+        }
+    }
+
+    /// Whether this slice still borrows from its shared owner (false
+    /// once copy-on-write has triggered, or for owned construction).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.repr, Repr::Mapped { .. })
+    }
+
+    /// Mutable access to the elements. A mapped slice is first copied
+    /// into owned storage — the copy-on-write point.
+    pub fn to_mut(&mut self) -> &mut Vec<T> {
+        if self.is_mapped() {
+            self.repr = Repr::Owned(self.as_slice().to_vec());
+        }
+        match &mut self.repr {
+            Repr::Owned(v) => v,
+            Repr::Mapped { .. } => unreachable!("just converted to owned"),
+        }
+    }
+
+    fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Owned(v) => v,
+            // Safety: upheld by the `from_owner` contract.
+            Repr::Mapped { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+impl<T: Copy + 'static> Deref for SharedSlice<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + 'static> Clone for SharedSlice<T> {
+    fn clone(&self) -> Self {
+        match &self.repr {
+            Repr::Owned(v) => SharedSlice {
+                repr: Repr::Owned(v.clone()),
+            },
+            // Cloning a mapped slice clones the view, not the bytes —
+            // this is what lets every engine clone of a loaded shard
+            // keep sharing the mapping.
+            Repr::Mapped { _owner, ptr, len } => SharedSlice {
+                repr: Repr::Mapped {
+                    _owner: Arc::clone(_owner),
+                    ptr: *ptr,
+                    len: *len,
+                },
+            },
+        }
+    }
+}
+
+impl<T: Copy + PartialEq + 'static> PartialEq for SharedSlice<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + fmt::Debug + 'static> fmt::Debug for SharedSlice<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: Copy + 'static> Default for SharedSlice<T> {
+    fn default() -> Self {
+        SharedSlice::new()
+    }
+}
+
+impl<T: Copy + 'static> From<Vec<T>> for SharedSlice<T> {
+    fn from(v: Vec<T>) -> Self {
+        SharedSlice {
+            repr: Repr::Owned(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A mapped view over a leaked-into-Arc buffer, standing in for an
+    /// mmap in tests.
+    fn mapped(values: &[u64]) -> SharedSlice<u64> {
+        let owner: Arc<Vec<u64>> = Arc::new(values.to_vec());
+        let ptr = owner.as_ptr();
+        let len = owner.len();
+        // Safety: the Arc'd Vec is never mutated and outlives the view.
+        unsafe { SharedSlice::from_owner(owner, ptr, len) }
+    }
+
+    #[test]
+    fn derefs_and_indexes_like_a_slice() {
+        let s = mapped(&[1, 2, 3]);
+        assert!(s.is_mapped());
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[1], 2);
+        assert_eq!(&s[1..], &[2, 3]);
+        assert_eq!(s.iter().sum::<u64>(), 6);
+        let o: SharedSlice<u64> = vec![1, 2, 3].into();
+        assert!(!o.is_mapped());
+        assert_eq!(s, o);
+    }
+
+    #[test]
+    fn copy_on_write_detaches_from_the_owner() {
+        let mut s = mapped(&[10, 20]);
+        let twin = s.clone();
+        assert!(twin.is_mapped(), "clone shares the mapping");
+        s.to_mut()[0] = 99;
+        assert!(!s.is_mapped(), "mutation forced the copy");
+        assert_eq!(&s[..], &[99, 20]);
+        assert_eq!(&twin[..], &[10, 20], "the mapped twin is untouched");
+    }
+
+    #[test]
+    fn empty_default_is_owned() {
+        let s: SharedSlice<f64> = SharedSlice::default();
+        assert!(s.is_empty());
+        assert!(!s.is_mapped());
+    }
+}

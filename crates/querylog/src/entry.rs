@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 
 /// One raw query-log line, exactly the schema of the paper's Table I:
 /// user, query text, optional clicked URL and a timestamp.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LogEntry {
     /// The submitting user.
     pub user: UserId,
@@ -59,15 +59,35 @@ pub struct LogRecord {
 /// Construction normalizes query text ([`text::normalize`]) so distinct raw
 /// spellings of the same query share one [`QueryId`], and tokenizes each
 /// distinct query once into [`TermId`]s for the query–term bipartite.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct QueryLog {
     records: Vec<LogRecord>,
     queries: Interner,
     urls: Interner,
     terms: Interner,
-    /// Terms of each distinct query, indexed by `QueryId`.
-    query_terms: Vec<Vec<TermId>>,
+    /// Flat term table: the terms of query `q` are
+    /// `term_ids[term_indptr[q] .. term_indptr[q + 1]]`. One allocation
+    /// regardless of vocabulary size — the snapshot loader materializes
+    /// this straight from the file's indptr + flat-id sections without a
+    /// per-query `Vec`.
+    term_ids: Vec<TermId>,
+    /// `num_queries + 1` offsets into `term_ids` (leading 0 sentinel).
+    term_indptr: Vec<u32>,
     num_users: usize,
+}
+
+impl Default for QueryLog {
+    fn default() -> Self {
+        QueryLog {
+            records: Vec::new(),
+            queries: Interner::default(),
+            urls: Interner::default(),
+            terms: Interner::default(),
+            term_ids: Vec::new(),
+            term_indptr: vec![0],
+            num_users: 0,
+        }
+    }
 }
 
 impl QueryLog {
@@ -94,12 +114,13 @@ impl QueryLog {
             return None;
         }
         let qid = self.queries.intern(&norm);
-        if qid as usize == self.query_terms.len() {
-            let terms = text::tokenize(&norm)
-                .into_iter()
-                .map(|t| TermId(self.terms.intern(t)))
-                .collect();
-            self.query_terms.push(terms);
+        if qid as usize + 1 == self.term_indptr.len() {
+            // A query the log has not seen before: tokenize once and
+            // append its terms to the flat table.
+            for t in text::tokenize(&norm) {
+                self.term_ids.push(TermId(self.terms.intern(t)));
+            }
+            self.term_indptr.push(self.term_ids.len() as u32);
         }
         let click = e
             .clicked_url
@@ -117,9 +138,117 @@ impl QueryLog {
         Some(self.records.len() - 1)
     }
 
+    /// Reassembles a log from its constituent parts — the snapshot-store
+    /// load path. The parts are untrusted file content, so every
+    /// cross-reference is validated; on success the log is bit-identical
+    /// to the one the parts were read out of (same ids, same record
+    /// order, same session stamps).
+    pub fn from_parts(
+        records: Vec<LogRecord>,
+        queries: Interner,
+        urls: Interner,
+        terms: Interner,
+        query_terms: Vec<Vec<TermId>>,
+        num_users: usize,
+    ) -> Result<Self, &'static str> {
+        let mut term_indptr = Vec::with_capacity(query_terms.len() + 1);
+        term_indptr.push(0u32);
+        let mut term_ids = Vec::new();
+        for ts in &query_terms {
+            term_ids.extend_from_slice(ts);
+            if term_ids.len() > u32::MAX as usize {
+                return Err("querylog: term table exceeds u32 offsets");
+            }
+            term_indptr.push(term_ids.len() as u32);
+        }
+        Self::from_flat_parts(
+            records,
+            queries,
+            urls,
+            terms,
+            term_ids,
+            term_indptr,
+            num_users,
+        )
+    }
+
+    /// [`QueryLog::from_parts`] with the term table already flat — the
+    /// snapshot loader's shape, avoiding a per-query allocation. The same
+    /// untrusted-content validation applies; `term_indptr` must carry the
+    /// leading 0 sentinel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_flat_parts(
+        records: Vec<LogRecord>,
+        queries: Interner,
+        urls: Interner,
+        terms: Interner,
+        term_ids: Vec<TermId>,
+        term_indptr: Vec<u32>,
+        num_users: usize,
+    ) -> Result<Self, &'static str> {
+        if term_indptr.len() != queries.len() + 1 || term_indptr.first() != Some(&0) {
+            return Err("querylog: query_terms length != query vocabulary");
+        }
+        if term_indptr.windows(2).any(|w| w[0] > w[1])
+            || term_indptr.last() != Some(&(term_ids.len() as u32))
+            || term_ids.len() > u32::MAX as usize
+        {
+            return Err("querylog: term table offsets not monotonic");
+        }
+        if term_ids.iter().any(|t| t.index() >= terms.len()) {
+            return Err("querylog: term id out of vocabulary");
+        }
+        let mut last_ts = 0u64;
+        for r in &records {
+            if r.query.index() >= queries.len() {
+                return Err("querylog: record query id out of vocabulary");
+            }
+            if r.click.is_some_and(|u| u.index() >= urls.len()) {
+                return Err("querylog: record url id out of vocabulary");
+            }
+            if r.user.index() >= num_users {
+                return Err("querylog: record user id >= num_users");
+            }
+            if r.timestamp < last_ts {
+                return Err("querylog: records out of chronological order");
+            }
+            last_ts = r.timestamp;
+        }
+        Ok(QueryLog {
+            records,
+            queries,
+            urls,
+            terms,
+            term_ids,
+            term_indptr,
+            num_users,
+        })
+    }
+
     /// All records in chronological order.
     pub fn records(&self) -> &[LogRecord] {
         &self.records
+    }
+
+    /// The query vocabulary (serialization view).
+    pub fn queries_interner(&self) -> &Interner {
+        &self.queries
+    }
+
+    /// The URL vocabulary (serialization view).
+    pub fn urls_interner(&self) -> &Interner {
+        &self.urls
+    }
+
+    /// The term vocabulary (serialization view).
+    pub fn terms_interner(&self) -> &Interner {
+        &self.terms
+    }
+
+    /// Every distinct query's terms, in `QueryId` order (serialization
+    /// view).
+    pub fn all_query_terms(&self) -> impl Iterator<Item = &[TermId]> {
+        (0..self.num_queries()).map(|q| self.query_terms(QueryId::from_index(q)))
     }
 
     /// Mutable records (used by session assignment).
@@ -165,7 +294,9 @@ impl QueryLog {
 
     /// The terms of a distinct query.
     pub fn query_terms(&self, q: QueryId) -> &[TermId] {
-        &self.query_terms[q.index()]
+        let lo = self.term_indptr[q.index()] as usize;
+        let hi = self.term_indptr[q.index() + 1] as usize;
+        &self.term_ids[lo..hi]
     }
 
     /// Looks up a query id by raw text (normalizing first).

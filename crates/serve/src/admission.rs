@@ -11,18 +11,38 @@
 //! The projection is deliberately simple and auditable:
 //!
 //! ```text
-//! projected_wait = requests_in_flight × decayed p50 service time
+//! projected_wait = requests_in_flight × blended service-time estimate
 //! ```
 //!
 //! In-flight counting is exact (an RAII [`ServicePermit`] brackets every
-//! admitted request), and the service-time estimate comes from a
-//! [`DecayedHistogram`] fed by the same permits, so the gate learns the
+//! admitted request), and the service-time estimate comes from
+//! [`DecayedHistogram`]s fed by the same permits, so the gate learns the
 //! host's actual capacity instead of trusting a config constant. Until
-//! the histogram has samples the projection is zero and everything is
+//! the histograms have samples the projection is zero and everything is
 //! admitted — an empty server never sheds.
+//!
+//! ## Why two histograms
+//!
+//! With request coalescing (or a warm expansion memo) service time is
+//! **bimodal**: a cache hit returns in microseconds while a real gather
+//! takes milliseconds. A single p50 over the merged population snaps to
+//! whichever mode currently holds the majority — and when misses hold
+//! it, the gate projects *every* arrival at miss cost and sheds cheap
+//! cached traffic that would have finished well inside its deadline.
+//! The gate therefore keeps separate decayed histograms for cached
+//! (coalesced/memo-hit) and uncached completions and blends them by the
+//! observed hit fraction:
+//!
+//! ```text
+//! estimate = hit_frac × cached_p50 + (1 − hit_frac) × uncached_p50
+//! ```
+//!
+//! which is the expected service time of the *next* arrival, not the
+//! median of a population it may not belong to.
 
 use crate::histogram::DecayedHistogram;
 use pqsda_parallel::Deadline;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -52,6 +72,16 @@ pub struct AdmissionStats {
     pub last_projected_wait_us: u64,
 }
 
+/// Which service population a completed request belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PermitKind {
+    /// Served by a cache: a coalesced follower reusing the leader's
+    /// reply (or any other short-circuit the caller marks).
+    Cached,
+    /// A real computation (leader gather, fallback, plain serve).
+    Uncached,
+}
+
 /// The suggest-path admission gate. One per server.
 #[derive(Default)]
 pub struct AdmissionGate {
@@ -59,7 +89,15 @@ pub struct AdmissionGate {
     admitted: AtomicU64,
     shed: AtomicU64,
     last_projected_wait_us: AtomicU64,
-    service: DecayedHistogram,
+    /// Latencies of cache-served requests (coalesced followers).
+    cached: DecayedHistogram,
+    /// Latencies of fully computed requests.
+    uncached: DecayedHistogram,
+}
+
+fn p50_us(h: &DecayedHistogram) -> Option<u64> {
+    h.quantile(0.5)
+        .map(|d| d.as_micros().min(u128::from(u64::MAX)) as u64)
 }
 
 impl AdmissionGate {
@@ -68,12 +106,34 @@ impl AdmissionGate {
         AdmissionGate::default()
     }
 
-    /// The decayed p50 service-time estimate (µs); 0 until the histogram
-    /// has enough samples.
+    /// The blended service-time estimate (µs): the hit-fraction-weighted
+    /// mix of the cached and uncached p50s, so bimodal traffic (cheap
+    /// coalesced hits + expensive gathers) is projected at its expected
+    /// cost rather than at whichever mode holds the median. Populations
+    /// without enough samples drop out of the blend; 0 until either
+    /// histogram warms up.
     pub fn service_estimate_us(&self) -> u64 {
-        self.service
-            .quantile(0.5)
-            .map_or(0, |d| d.as_micros().min(u128::from(u64::MAX)) as u64)
+        match (p50_us(&self.cached), p50_us(&self.uncached)) {
+            (None, None) => 0,
+            (Some(c), None) => c,
+            (None, Some(u)) => u,
+            (Some(c), Some(u)) => {
+                let hits = self.cached.recorded() as u128;
+                let misses = self.uncached.recorded() as u128;
+                let total = hits + misses;
+                ((u128::from(c) * hits + u128::from(u) * misses) / total.max(1)) as u64
+            }
+        }
+    }
+
+    /// The decayed p50 of cache-served requests (µs), when warm.
+    pub fn cached_estimate_us(&self) -> Option<u64> {
+        p50_us(&self.cached)
+    }
+
+    /// The decayed p50 of fully computed requests (µs), when warm.
+    pub fn uncached_estimate_us(&self) -> Option<u64> {
+        p50_us(&self.uncached)
     }
 
     /// The wait a newly arriving request should expect (µs).
@@ -108,13 +168,15 @@ impl AdmissionGate {
         Ok(ServicePermit {
             gate: self,
             started: Instant::now(),
+            kind: Cell::new(PermitKind::Uncached),
         })
     }
 
-    /// Feeds one observed service latency directly (tests seed the
-    /// estimator this way; production samples arrive via permit drops).
+    /// Feeds one observed *uncached* service latency directly (tests
+    /// seed the estimator this way; production samples arrive via permit
+    /// drops).
     pub fn observe_service(&self, elapsed: std::time::Duration) {
-        self.service.record(elapsed);
+        self.uncached.record(elapsed);
     }
 
     /// Current counters.
@@ -129,17 +191,37 @@ impl AdmissionGate {
 }
 
 /// RAII guard of one admitted request: holds the in-flight slot and, on
-/// drop, records the request's total latency into the service estimate.
-/// Dropping during a panic unwind still releases the slot, so a dying
-/// request can never leak capacity.
+/// drop, records the request's total latency into the service estimate
+/// of the population it ended up in ([`PermitKind::Uncached`] unless
+/// [`ServicePermit::mark_cached`] was called). Dropping during a panic
+/// unwind still releases the slot, so a dying request can never leak
+/// capacity.
 pub struct ServicePermit<'a> {
     gate: &'a AdmissionGate,
     started: Instant,
+    kind: Cell<PermitKind>,
+}
+
+impl ServicePermit<'_> {
+    /// Reclassifies this request as cache-served (a coalesced follower);
+    /// its latency will feed the cached histogram on drop.
+    pub fn mark_cached(&self) {
+        self.kind.set(PermitKind::Cached);
+    }
+
+    /// The population this permit currently belongs to.
+    pub fn kind(&self) -> PermitKind {
+        self.kind.get()
+    }
 }
 
 impl Drop for ServicePermit<'_> {
     fn drop(&mut self) {
-        self.gate.service.record(self.started.elapsed());
+        let h = match self.kind.get() {
+            PermitKind::Cached => &self.gate.cached,
+            PermitKind::Uncached => &self.gate.uncached,
+        };
+        h.record(self.started.elapsed());
         self.gate.inflight.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -193,6 +275,41 @@ mod tests {
         assert!(gate.admit(Some(&Deadline::in_ms(10_000))).is_ok());
         drop(held);
         assert_eq!(gate.stats().inflight, 0);
+    }
+
+    #[test]
+    fn bimodal_traffic_blends_instead_of_over_shedding() {
+        // 10 ms misses alone would project 4 × 10 ms = 40 ms and shed a
+        // 25 ms-deadline arrival. With a majority of ~instant coalesced
+        // hits recorded in their own histogram, the blended expectation
+        // drops far enough that the cheap arrival is admitted.
+        let gate = AdmissionGate::new();
+        for _ in 0..16 {
+            gate.observe_service(Duration::from_millis(10));
+        }
+        for _ in 0..48 {
+            let p = gate.admit(None).unwrap();
+            assert_eq!(p.kind(), PermitKind::Uncached);
+            p.mark_cached();
+            assert_eq!(p.kind(), PermitKind::Cached);
+            drop(p); // ~0 ms cached sample
+        }
+        let cached = gate.cached_estimate_us().expect("cached histogram warm");
+        let uncached = gate
+            .uncached_estimate_us()
+            .expect("uncached histogram warm");
+        assert!(uncached >= 10_000);
+        assert!(cached < uncached);
+        // Blend sits between the modes, weighted 3:1 toward hits.
+        let blended = gate.service_estimate_us();
+        assert!(blended < uncached / 2, "blend {blended} vs miss {uncached}");
+        assert!(blended >= cached);
+        let held: Vec<ServicePermit> = (0..4).map(|_| gate.admit(None).unwrap()).collect();
+        assert!(
+            gate.admit(Some(&Deadline::in_ms(25))).is_ok(),
+            "blended projection must admit what a miss-only p50 would shed"
+        );
+        drop(held);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod ingest;
 pub mod replica;
 pub mod router;
 pub mod sharded;
+pub mod store;
 pub mod swap;
 
 pub use admission::{AdmissionGate, AdmissionStats, Rejection, ServicePermit};
@@ -63,5 +64,9 @@ pub use router::{
 };
 pub use sharded::{
     Coverage, ServeConfig, ServeOutcome, ServeReply, ServeStats, ShardedPqsDa, SwapReport,
+};
+pub use store::{
+    load_server, save_server, shard_file, CommitReport, LoadReport, SaveReport, Snapshotter,
+    ROUTER_FILE, WAL_FILE,
 };
 pub use swap::{ShardSnapshot, ShardTag, Swap};

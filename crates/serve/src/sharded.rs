@@ -236,13 +236,37 @@ pub struct SwapReport {
     pub deferred: usize,
     /// Parked entries from earlier rolled-back swaps retried this cycle.
     pub retried: usize,
+    /// The entries drained from the queue this cycle, in drain order —
+    /// exactly the batch a snapshotter must append to its delta WAL
+    /// (parked retries are excluded: they were already logged on their
+    /// first drain).
+    pub drained_entries: Vec<LogEntry>,
+}
+
+/// A shard's cold-rebuild ground truth: the entries its current snapshot
+/// was built from.
+///
+/// Servers assembled from persisted snapshots start `Lazy` — the base is
+/// derivable on demand by partitioning a prefix of the router log, so the
+/// cold-start path never pays for materializing it. It stays lazy across
+/// *incremental* delta applies (the prefix just advances to the grown
+/// router's length) and is materialized only if a full cold rebuild is
+/// actually needed.
+enum ShardBase {
+    Ready(Vec<LogEntry>),
+    /// Base = this shard's partition of the first `router_prefix` router
+    /// records. Valid because router growth is append-only and happens
+    /// before any shard update.
+    Lazy {
+        router_prefix: usize,
+    },
 }
 
 struct Shard {
     replicas: ReplicaSet,
     /// The raw entries the *current* snapshot was built from. Writer-only
     /// (guarded by the rebuild lock); readers never touch it.
-    base: parking_lot::Mutex<Vec<LogEntry>>,
+    base: parking_lot::Mutex<ShardBase>,
     /// Delta entries whose swap was rolled back, parked for retry.
     /// Writer-only.
     pending: parking_lot::Mutex<Vec<LogEntry>>,
@@ -321,7 +345,65 @@ impl ShardedPqsDa {
                 registered.push(snap.tag);
                 Shard {
                     replicas: ReplicaSet::new(Arc::new(snap), config.fault.replicas),
-                    base: parking_lot::Mutex::new(part),
+                    base: parking_lot::Mutex::new(ShardBase::Ready(part)),
+                    pending: parking_lot::Mutex::new(Vec::new()),
+                    breaker: Breaker::new(
+                        config.fault.breaker_threshold,
+                        config.fault.breaker_cooldown,
+                    ),
+                    latency: DecayedHistogram::default(),
+                }
+            })
+            .collect();
+        ShardedPqsDa {
+            queue: IngestQueue::new(config.queue_capacity),
+            config,
+            router: Swap::new(Arc::new(router)),
+            shards,
+            registered: parking_lot::Mutex::new(registered),
+            rebuild_lock: parking_lot::Mutex::new(()),
+            total_swaps: AtomicU64::new(0),
+            fault_plan: parking_lot::RwLock::new(None),
+            requests: AtomicU64::new(0),
+            swap_attempts: AtomicU64::new(0),
+            counters: FaultCounters::default(),
+            deferred_total: AtomicU64::new(0),
+            gate: AdmissionGate::new(),
+            coalescer: Coalescer::new(),
+        }
+    }
+
+    /// Reassembles a server from persisted shard snapshots plus the
+    /// saved router log — the snapshot-store cold-start path. The
+    /// engines are used exactly as loaded (bit-identical to what was
+    /// saved; generations continue from the stamped tags). Each shard's
+    /// cold-rebuild base starts [`ShardBase::Lazy`]: it is derivable by
+    /// partitioning the router's entries under the configured key —
+    /// precisely how [`ShardedPqsDa::build`] + `apply_deltas` accumulated
+    /// it — so nothing is materialized here and cold start stays O(1) in
+    /// the log size beyond the mmap'd sections themselves.
+    ///
+    /// # Panics
+    /// Panics when the snapshot count differs from `config.shards` or a
+    /// snapshot's tag names a different shard than its position.
+    pub fn from_snapshots(
+        router: QueryLog,
+        snapshots: Vec<ShardSnapshot>,
+        config: ServeConfig,
+    ) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        assert_eq!(snapshots.len(), config.shards, "snapshot count != shards");
+        let router_prefix = router.records().len();
+        let mut registered = Vec::with_capacity(config.shards);
+        let shards: Vec<Shard> = snapshots
+            .into_iter()
+            .enumerate()
+            .map(|(s, snap)| {
+                assert_eq!(snap.tag.shard, s, "snapshot shard number mismatch");
+                registered.push(snap.tag);
+                Shard {
+                    replicas: ReplicaSet::new(Arc::new(snap), config.fault.replicas),
+                    base: parking_lot::Mutex::new(ShardBase::Lazy { router_prefix }),
                     pending: parking_lot::Mutex::new(Vec::new()),
                     breaker: Breaker::new(
                         config.fault.breaker_threshold,
@@ -364,6 +446,21 @@ impl ShardedPqsDa {
     /// The current global id-space log (for resolving suggestion text).
     pub fn router_log(&self) -> Arc<QueryLog> {
         self.router.load()
+    }
+
+    /// Takes the writer lock for an external consistent cut (snapshot
+    /// save): while the guard lives no `apply_deltas` can run, so the
+    /// router and every shard snapshot describe one generation vector.
+    pub fn writer_cut(&self) -> impl Drop + '_ {
+        self.rebuild_lock.lock()
+    }
+
+    /// The current snapshot of shard `s` (the writer's consistent view).
+    ///
+    /// # Panics
+    /// Panics when `s` is out of range.
+    pub fn shard_snapshot(&self, s: usize) -> Arc<ShardSnapshot> {
+        self.shards[s].replicas.load(0)
     }
 
     /// The tag of every shard's *current* snapshot, in shard order.
@@ -425,7 +522,13 @@ impl ShardedPqsDa {
                     token.publish(reply.clone());
                     reply
                 }
-                Join::Coalesced(reply) => reply,
+                Join::Coalesced(reply) => {
+                    // A follower reusing the leader's reply is a cache
+                    // hit: classify it so the admission gate's service
+                    // estimate keeps the two populations apart.
+                    permit.mark_cached();
+                    reply
+                }
                 Join::Fallback => self.suggest_core(req, deadline.as_ref()),
             }
         } else {
@@ -878,6 +981,7 @@ impl ShardedPqsDa {
         let parts = partition_entries(&deltas, self.config.key, self.config.shards);
         let mut report = SwapReport {
             drained: deltas.len(),
+            drained_entries: deltas,
             ..SwapReport::default()
         };
         report.deferred = deferred;
@@ -900,8 +1004,22 @@ impl ShardedPqsDa {
                 // not extended yet — a rollback must leave it untouched.
                 None => {
                     let entries: Vec<LogEntry> = {
-                        let base = shard.base.lock();
-                        base.iter().chain(batch.iter()).cloned().collect()
+                        let mut base = shard.base.lock();
+                        if let ShardBase::Lazy { router_prefix } = *base {
+                            // First cold rebuild since a snapshot load:
+                            // materialize this shard's partition of the
+                            // router prefix the snapshot covered.
+                            let router = self.router.load();
+                            let mut all = router.entries();
+                            all.truncate(router_prefix);
+                            let part = partition_entries(&all, self.config.key, self.config.shards)
+                                .swap_remove(s);
+                            *base = ShardBase::Ready(part);
+                        }
+                        let ShardBase::Ready(base_entries) = &*base else {
+                            unreachable!("materialized above");
+                        };
+                        base_entries.iter().chain(batch.iter()).cloned().collect()
                     };
                     PqsDa::build_from_entries(&entries, &self.config.build)
                 }
@@ -924,8 +1042,17 @@ impl ShardedPqsDa {
                 continue;
             }
             // The base entry list stays current for any *future* delta
-            // that arrives out of order (cold-rebuild ground truth).
-            shard.base.lock().extend(batch);
+            // that arrives out of order (cold-rebuild ground truth). A
+            // still-lazy base advances its router prefix instead: the
+            // router already interned this batch (and any previously
+            // parked entries for this shard), so this shard's partition
+            // of the longer prefix is exactly the extended base.
+            match &mut *shard.base.lock() {
+                ShardBase::Ready(v) => v.extend(batch),
+                ShardBase::Lazy { router_prefix } => {
+                    *router_prefix = self.router.load().records().len();
+                }
+            }
             // Register the tag BEFORE publishing: a reader can never hold
             // a tag the registry hasn't seen.
             self.registered.lock().push(snap.tag);

@@ -1,0 +1,525 @@
+//! The `PQSS` container: a versioned, little-endian, 8-byte-aligned
+//! binary layout for shard snapshots (DESIGN.md §12).
+//!
+//! ```text
+//! offset 0    header          64 bytes, checksummed (word-wise FNV-1a)
+//! offset 64   section table   32 bytes per section, checksummed
+//! aligned     payloads        each 8-aligned, each checksummed
+//! ```
+//!
+//! Everything is little-endian. Payload offsets are 8-byte aligned so a
+//! mapping of the file (whose base is page-aligned, hence 8-aligned) can
+//! hand out `&[u64]`/`&[f64]` views without copying. All content is
+//! treated as untrusted: magic, version, lengths, alignment, checksums
+//! and cross-references are validated before a single array view is
+//! produced, and every failure is a typed [`SnapError`] — a corrupt file
+//! fails closed, it never loads approximately.
+
+use pqsda_querylog::hash::{FNV_OFFSET, FNV_PRIME};
+use std::fmt;
+
+/// File magic: the first four bytes of every snapshot file.
+pub const MAGIC: [u8; 4] = *b"PQSS";
+/// Current container version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Header size in bytes. The trailing u64 is a word-wise FNV-style
+/// checksum over the first `HEADER_LEN - 8` bytes *and* the whole
+/// section table.
+pub const HEADER_LEN: usize = 64;
+/// Section-table entry size in bytes.
+pub const SECTION_ENTRY_LEN: usize = 32;
+
+/// Header flag: the file carries a `Profile` section.
+pub const FLAG_PROFILE: u32 = 1 << 0;
+/// Header flag: the file carries raw count matrices (indices 3–5).
+pub const FLAG_RAW_COUNTS: u32 = 1 << 1;
+
+/// What a section holds. The `(kind, index)` pair is unique per file;
+/// `index` distinguishes repeated kinds (the three interners, the six
+/// CSR matrices).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SectionKind {
+    /// Fixed 24-byte interned log records.
+    Records = 1,
+    /// `u64 × (n + 1)` offsets into a string arena (0 = queries,
+    /// 1 = urls, 2 = terms).
+    StrOffsets = 2,
+    /// Concatenated UTF-8 string arena (same indices).
+    StrArena = 3,
+    /// `u64 × (num_queries + 1)` indptr into the flat query-term list.
+    QueryTermIndptr = 4,
+    /// Flat `u32` term ids.
+    QueryTermIds = 5,
+    /// Counts + weighting scheme (see `snapshot`).
+    Meta = 6,
+    /// `rows/cols/nnz` as 3 × u64 (0–2 weighted U/S/T, 3–5 raw U/S/T).
+    CsrHeader = 7,
+    /// CSR `indptr` as u64 (same indices).
+    CsrIndptr = 8,
+    /// CSR column indices as u32 (same indices).
+    CsrIndices = 9,
+    /// CSR values as f64 bits (same indices).
+    CsrValues = 10,
+    /// The personalizer's own `PQSP` image.
+    Profile = 11,
+    /// Serving-layer topology (shard count, partition key) — present in
+    /// router files only.
+    ServeMeta = 12,
+}
+
+impl SectionKind {
+    fn from_u32(v: u32) -> Option<SectionKind> {
+        Some(match v {
+            1 => SectionKind::Records,
+            2 => SectionKind::StrOffsets,
+            3 => SectionKind::StrArena,
+            4 => SectionKind::QueryTermIndptr,
+            5 => SectionKind::QueryTermIds,
+            6 => SectionKind::Meta,
+            7 => SectionKind::CsrHeader,
+            8 => SectionKind::CsrIndptr,
+            9 => SectionKind::CsrIndices,
+            10 => SectionKind::CsrValues,
+            11 => SectionKind::Profile,
+            12 => SectionKind::ServeMeta,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a snapshot or WAL failed to load. Every variant is fail-closed:
+/// the caller gets no partially-parsed state.
+#[derive(Debug)]
+pub enum SnapError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// A container version this build does not read.
+    BadVersion(u32),
+    /// The file ends before a declared structure does.
+    Truncated(&'static str),
+    /// A structural rule is violated (alignment, bounds, ordering).
+    BadLayout(&'static str),
+    /// A stored checksum disagrees with the bytes.
+    BadChecksum(&'static str),
+    /// The reconstructed state's digest disagrees with the header stamp.
+    DigestMismatch(&'static str),
+    /// The embedded profile image failed to parse.
+    Profile(pqsda_topics::StoreError),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Io(e) => write!(f, "snapshot io: {e}"),
+            SnapError::BadMagic => write!(f, "snapshot: bad magic (not a PQSS file)"),
+            SnapError::BadVersion(v) => write!(f, "snapshot: unsupported version {v}"),
+            SnapError::Truncated(what) => write!(f, "snapshot truncated: {what}"),
+            SnapError::BadLayout(what) => write!(f, "snapshot layout: {what}"),
+            SnapError::BadChecksum(what) => write!(f, "snapshot checksum mismatch: {what}"),
+            SnapError::DigestMismatch(what) => write!(f, "snapshot digest mismatch: {what}"),
+            SnapError::Profile(e) => write!(f, "snapshot profile: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+impl From<std::io::Error> for SnapError {
+    fn from(e: std::io::Error) -> Self {
+        SnapError::Io(e)
+    }
+}
+
+/// The parsed header fields (everything but the checksum).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Shard number (`u64::MAX` for router files).
+    pub shard: u64,
+    /// Snapshot generation.
+    pub generation: u64,
+    /// The graph digest the loaded state must reproduce.
+    pub graph_digest: u64,
+    /// The profile digest (0 = no personalizer).
+    pub profile_digest: u64,
+    /// Flag bits ([`FLAG_PROFILE`], [`FLAG_RAW_COUNTS`]).
+    pub flags: u32,
+}
+
+/// One section-table row.
+#[derive(Clone, Copy, Debug)]
+pub struct Section {
+    /// What the payload holds.
+    pub kind: SectionKind,
+    /// Disambiguates repeated kinds.
+    pub index: u32,
+    /// Absolute payload offset (8-aligned).
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+/// A validated view over one snapshot file's bytes. Construction checks
+/// the header, the section table and **every** section checksum — by the
+/// time you hold a `SnapFile`, each byte the table points at has been
+/// read once and verified.
+pub struct SnapFile<'a> {
+    bytes: &'a [u8],
+    header: Header,
+    sections: Vec<Section>,
+}
+
+impl<'a> SnapFile<'a> {
+    /// Parses and fully verifies `bytes`.
+    pub fn parse(bytes: &'a [u8]) -> Result<SnapFile<'a>, SnapError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapError::Truncated("header"));
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let version = read_u32(bytes, 4);
+        if version != FORMAT_VERSION {
+            return Err(SnapError::BadVersion(version));
+        }
+        let header = Header {
+            shard: read_u64(bytes, 8),
+            generation: read_u64(bytes, 16),
+            graph_digest: read_u64(bytes, 24),
+            profile_digest: read_u64(bytes, 32),
+            flags: read_u32(bytes, 44),
+        };
+        let section_count = read_u32(bytes, 40) as usize;
+        let file_len = read_u64(bytes, 48);
+        if file_len != bytes.len() as u64 {
+            return Err(SnapError::Truncated("file length disagrees with header"));
+        }
+        let table_end = HEADER_LEN + section_count * SECTION_ENTRY_LEN;
+        if bytes.len() < table_end {
+            return Err(SnapError::Truncated("section table"));
+        }
+        // The header checksum covers the header fields AND the whole
+        // section table — per-section checksums protect payloads, this
+        // one protects the metadata that locates them.
+        let stored_header_sum = read_u64(bytes, HEADER_LEN - 8);
+        let computed = header_checksum(bytes, table_end);
+        if computed != stored_header_sum {
+            return Err(SnapError::BadChecksum("header/section table"));
+        }
+        let mut sections = Vec::with_capacity(section_count);
+        for s in 0..section_count {
+            let at = HEADER_LEN + s * SECTION_ENTRY_LEN;
+            let kind = SectionKind::from_u32(read_u32(bytes, at))
+                .ok_or(SnapError::BadLayout("unknown section kind"))?;
+            let index = read_u32(bytes, at + 4);
+            let offset = read_u64(bytes, at + 8);
+            let len = read_u64(bytes, at + 16);
+            let checksum = read_u64(bytes, at + 24);
+            if !offset.is_multiple_of(8) {
+                return Err(SnapError::BadLayout("section offset not 8-aligned"));
+            }
+            let end = offset
+                .checked_add(len)
+                .ok_or(SnapError::BadLayout("section range overflows"))?;
+            if end > bytes.len() as u64 {
+                return Err(SnapError::Truncated("section payload"));
+            }
+            let payload = &bytes[offset as usize..end as usize];
+            if checksum_bytes(payload) != checksum {
+                return Err(SnapError::BadChecksum("section payload"));
+            }
+            sections.push(Section {
+                kind,
+                index,
+                offset,
+                len,
+            });
+        }
+        Ok(SnapFile {
+            bytes,
+            header,
+            sections,
+        })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> Header {
+        self.header
+    }
+
+    /// The payload of `(kind, index)`, or `None` when absent.
+    pub fn section_opt(&self, kind: SectionKind, index: u32) -> Option<&'a [u8]> {
+        self.sections
+            .iter()
+            .find(|s| s.kind == kind && s.index == index)
+            .map(|s| &self.bytes[s.offset as usize..(s.offset + s.len) as usize])
+    }
+
+    /// The payload of `(kind, index)`; a typed error when absent.
+    pub fn section(&self, kind: SectionKind, index: u32) -> Result<&'a [u8], SnapError> {
+        self.section_opt(kind, index)
+            .ok_or(SnapError::Truncated("missing required section"))
+    }
+
+    /// A section payload's absolute offset within the file (for building
+    /// zero-copy views relative to the mapping base).
+    pub fn section_offset(&self, kind: SectionKind, index: u32) -> Option<usize> {
+        self.sections
+            .iter()
+            .find(|s| s.kind == kind && s.index == index)
+            .map(|s| s.offset as usize)
+    }
+}
+
+/// Assembles one snapshot file in memory: sections are collected, then
+/// `finish` lays out header + table + 8-aligned payloads and stamps
+/// every checksum.
+pub struct FileBuilder {
+    sections: Vec<(SectionKind, u32, Vec<u8>)>,
+}
+
+impl Default for FileBuilder {
+    fn default() -> Self {
+        FileBuilder::new()
+    }
+}
+
+impl FileBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        FileBuilder {
+            sections: Vec::new(),
+        }
+    }
+
+    /// Adds one section payload. `(kind, index)` must be unique.
+    pub fn push(&mut self, kind: SectionKind, index: u32, payload: Vec<u8>) {
+        debug_assert!(
+            !self
+                .sections
+                .iter()
+                .any(|(k, i, _)| *k == kind && *i == index),
+            "duplicate section ({kind:?}, {index})"
+        );
+        self.sections.push((kind, index, payload));
+    }
+
+    /// Lays the file out and returns its bytes.
+    pub fn finish(self, header: Header) -> Vec<u8> {
+        let table_end = HEADER_LEN + self.sections.len() * SECTION_ENTRY_LEN;
+        let mut size = table_end;
+        let mut offsets = Vec::with_capacity(self.sections.len());
+        for (_, _, payload) in &self.sections {
+            size = size.next_multiple_of(8);
+            offsets.push(size);
+            size += payload.len();
+        }
+        let mut out = vec![0u8; size];
+        out[0..4].copy_from_slice(&MAGIC);
+        out[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out[8..16].copy_from_slice(&header.shard.to_le_bytes());
+        out[16..24].copy_from_slice(&header.generation.to_le_bytes());
+        out[24..32].copy_from_slice(&header.graph_digest.to_le_bytes());
+        out[32..40].copy_from_slice(&header.profile_digest.to_le_bytes());
+        out[40..44].copy_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        out[44..48].copy_from_slice(&header.flags.to_le_bytes());
+        out[48..56].copy_from_slice(&(size as u64).to_le_bytes());
+        for (s, ((kind, index, payload), &offset)) in self.sections.iter().zip(&offsets).enumerate()
+        {
+            let at = HEADER_LEN + s * SECTION_ENTRY_LEN;
+            out[at..at + 4].copy_from_slice(&(*kind as u32).to_le_bytes());
+            out[at + 4..at + 8].copy_from_slice(&index.to_le_bytes());
+            out[at + 8..at + 16].copy_from_slice(&(offset as u64).to_le_bytes());
+            out[at + 16..at + 24].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+            let sum = checksum_bytes(payload);
+            out[at + 24..at + 32].copy_from_slice(&sum.to_le_bytes());
+            out[offset..offset + payload.len()].copy_from_slice(payload);
+        }
+        let header_sum = header_checksum(&out, table_end);
+        out[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&header_sum.to_le_bytes());
+        out
+    }
+}
+
+/// Folds `bytes` into a running checksum state, one 8-byte little-endian
+/// word per FNV-style xor-multiply (a short tail is zero-padded into a
+/// final word). Eight bytes per multiply instead of one makes verifying
+/// a whole snapshot ~8× cheaper than byte-wise FNV-1a — checksums are on
+/// the cold-start critical path, where every section of every shard file
+/// is verified before a single view is produced.
+///
+/// Per-word, xor + multiply-by-odd-prime is injective, so any single-bit
+/// corruption still changes the sum. Chaining two calls only matches a
+/// single concatenated call when the first slice's length is a multiple
+/// of 8 (true for the header/table split: 56-byte prefix, 32-byte
+/// entries).
+fn checksum_extend(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    let mut words = bytes.chunks_exact(8);
+    for w in &mut words {
+        h ^= u64::from_le_bytes(w.try_into().expect("chunks_exact yields 8 bytes"));
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    let tail = words.remainder();
+    if !tail.is_empty() {
+        let mut last = [0u8; 8];
+        last[..tail.len()].copy_from_slice(tail);
+        h ^= u64::from_le_bytes(last);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Word-wise checksum of a byte string. The length is folded into the
+/// seed so a zero-padded tail cannot collide with explicit trailing
+/// zeros.
+fn checksum_bytes(bytes: &[u8]) -> u64 {
+    checksum_extend(FNV_OFFSET ^ bytes.len() as u64, bytes)
+}
+
+/// Checksum over a whole frame, used by the WAL (exported here so the
+/// frame format and the container share one hash).
+pub fn frame_checksum(bytes: &[u8]) -> u64 {
+    checksum_bytes(bytes)
+}
+
+/// The header checksum: covers the header fields (minus the checksum
+/// slot itself) and the whole section table ending at `table_end`.
+pub(crate) fn header_checksum(file_bytes: &[u8], table_end: usize) -> u64 {
+    checksum_extend(
+        checksum_bytes(&file_bytes[..HEADER_LEN - 8]),
+        &file_bytes[HEADER_LEN..table_end],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> Header {
+        Header {
+            shard: 3,
+            generation: 7,
+            graph_digest: 0xAAAA,
+            profile_digest: 0,
+            flags: FLAG_RAW_COUNTS,
+        }
+    }
+
+    fn sample_file() -> Vec<u8> {
+        let mut b = FileBuilder::new();
+        b.push(SectionKind::Records, 0, vec![1, 2, 3]);
+        b.push(SectionKind::Meta, 0, vec![9; 48]);
+        b.push(SectionKind::StrArena, 2, b"sunjava".to_vec());
+        b.finish(sample_header())
+    }
+
+    #[test]
+    fn roundtrips_header_and_sections() {
+        let bytes = sample_file();
+        let f = SnapFile::parse(&bytes).unwrap();
+        assert_eq!(f.header(), sample_header());
+        assert_eq!(f.section(SectionKind::Records, 0).unwrap(), &[1, 2, 3]);
+        assert_eq!(f.section(SectionKind::StrArena, 2).unwrap(), b"sunjava");
+        assert!(f.section_opt(SectionKind::Profile, 0).is_none());
+        assert!(f.section(SectionKind::Profile, 0).is_err());
+        for kind in [
+            SectionKind::Records,
+            SectionKind::Meta,
+            SectionKind::StrArena,
+        ] {
+            let off = f.section_offset(kind, if kind == SectionKind::StrArena { 2 } else { 0 });
+            assert_eq!(off.unwrap() % 8, 0, "{kind:?} payload 8-aligned");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_fails_closed() {
+        let mut bytes = sample_file();
+        bytes[0] = b'X';
+        assert!(matches!(SnapFile::parse(&bytes), Err(SnapError::BadMagic)));
+    }
+
+    #[test]
+    fn wrong_version_fails_closed() {
+        let mut bytes = sample_file();
+        bytes[4] = 99;
+        assert!(matches!(
+            SnapFile::parse(&bytes),
+            Err(SnapError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn every_flipped_byte_is_caught() {
+        // Exhaustive over the small sample: flipping any single byte
+        // must surface as *some* typed error (checksums cover header,
+        // table and payloads; padding bytes are the only don't-cares).
+        let clean = sample_file();
+        let f = SnapFile::parse(&clean).unwrap();
+        let padding: Vec<usize> = {
+            let mut covered = vec![false; clean.len()];
+            covered[..HEADER_LEN + 3 * SECTION_ENTRY_LEN].fill(true);
+            for kind in [
+                SectionKind::Records,
+                SectionKind::Meta,
+                SectionKind::StrArena,
+            ] {
+                let idx = if kind == SectionKind::StrArena { 2 } else { 0 };
+                let off = f.section_offset(kind, idx).unwrap();
+                let len = f.section(kind, idx).unwrap().len();
+                covered[off..off + len].fill(true);
+            }
+            covered
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| !c)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        for at in 0..clean.len() {
+            if padding.contains(&at) {
+                continue;
+            }
+            let mut corrupt = clean.clone();
+            corrupt[at] ^= 0x40;
+            assert!(
+                SnapFile::parse(&corrupt).is_err(),
+                "flipped byte {at} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_fails_closed() {
+        let bytes = sample_file();
+        for keep in [0, 10, HEADER_LEN - 1, HEADER_LEN + 5, bytes.len() - 1] {
+            assert!(
+                SnapFile::parse(&bytes[..keep]).is_err(),
+                "truncation to {keep} bytes went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn misaligned_section_offset_fails() {
+        let mut bytes = sample_file();
+        // Nudge the first section's stored offset off alignment; the
+        // layout check fires before any checksum comparison.
+        let at = HEADER_LEN + 8;
+        let off = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        bytes[at..at + 8].copy_from_slice(&(off + 1).to_le_bytes());
+        // Re-stamp the header checksum so only the table is corrupt.
+        assert!(SnapFile::parse(&bytes).is_err());
+    }
+}

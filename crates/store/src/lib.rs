@@ -1,0 +1,28 @@
+//! Persistent snapshot store for PQS-DA shard state (DESIGN.md §12).
+//!
+//! A shard's `ShardSnapshot` is today rebuilt from the raw query log on
+//! every process start — session segmentation, CSR builds, CF-IQF
+//! weighting, a Gibbs train. This crate makes that state *persistent*:
+//!
+//! * [`format`] — the versioned, little-endian, 8-byte-aligned `PQSS`
+//!   container: header (magic/version/generation/digests), checksummed
+//!   section table, aligned payloads;
+//! * [`snapshot`] — saving a [`pqsda::PqsDa`] engine into one `PQSS`
+//!   file and loading it back with **zero-copy** CSR views borrowed out
+//!   of a memory mapping ([`mmap::Mapping`], with an aligned read
+//!   fallback), verified against the same graph/profile digests the
+//!   serving layer's swap protocol uses;
+//! * [`wal`] — the sidecar delta write-ahead log: append-only fsync'd
+//!   frames of post-snapshot `LogEntry` batches, tolerant of a torn
+//!   tail, replayed through the existing incremental `apply_deltas`
+//!   pipeline on restart.
+
+pub mod format;
+pub mod snapshot;
+pub mod wal;
+
+pub use format::{SectionKind, SnapError, FORMAT_VERSION, MAGIC};
+pub use snapshot::{
+    load_engine, load_router, save_engine, save_router, LoadInfo, SnapshotMeta, ROUTER_SHARD,
+};
+pub use wal::{WalReader, WalReplay, WalWriter};

@@ -1,0 +1,770 @@
+//! Saving and loading whole engines through the `PQSS` container.
+//!
+//! **Save** walks the engine's constituent state — interned records
+//! (session stamps included, so post-load deltas keep their session
+//! numbering), the three vocabularies, per-query terms, the weighted
+//! *and raw* CSR matrices (raw counts are not recoverable from CF-IQF
+//! weights, and without them every post-snapshot delta would cold-
+//! rebuild), and the personalizer's own `PQSP` image — and lays it out
+//! as checksummed sections, then publishes by atomic rename.
+//!
+//! **Load** memory-maps the file ([`mmap::Mapping`], aligned-read
+//! fallback available) and rebuilds the engine with the CSR arrays
+//! *borrowed zero-copy out of the mapping* via
+//! [`pqsda_linalg::SharedSlice`]; only the comparatively small record /
+//! vocabulary tables are parsed into owned memory. The reconstructed
+//! state is verified against the graph/profile digests stamped in the
+//! header — exactly the integrity machinery the serving layer's swap
+//! protocol uses — so a loaded shard is provably the shard that was
+//! saved, bit for bit.
+
+use crate::format::{
+    FileBuilder, Header, SectionKind, SnapError, SnapFile, FLAG_PROFILE, FLAG_RAW_COUNTS,
+};
+use mmap::Mapping;
+use pqsda::{Personalizer, PqsDa, PqsDaConfig};
+use pqsda_graph::bipartite::{Bipartite, EntityKind};
+use pqsda_graph::multi::MultiBipartite;
+use pqsda_graph::weighting::WeightingScheme;
+use pqsda_linalg::{CsrMatrix, SharedSlice};
+use pqsda_querylog::ids::Interner;
+use pqsda_querylog::{LogRecord, QueryId, QueryLog, SessionId, TermId, UrlId, UserId};
+use std::any::Any;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Bytes per serialized [`LogRecord`].
+const RECORD_LEN: usize = 24;
+/// Bytes of the `Meta` section.
+const META_LEN: usize = 48;
+/// `u32::MAX` marks an absent optional id in serialized records.
+const NONE_U32: u32 = u32::MAX;
+/// Shard number stamped on router files.
+pub const ROUTER_SHARD: u64 = u64::MAX;
+
+/// The identity a snapshot file claims (and must prove on load).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Shard number.
+    pub shard: u64,
+    /// Snapshot generation.
+    pub generation: u64,
+    /// Graph digest ([`MultiBipartite::digest`]).
+    pub graph_digest: u64,
+    /// Profile digest (0 = no personalizer).
+    pub profile_digest: u64,
+}
+
+/// How a load was served — the provenance benches stamp into their rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadInfo {
+    /// True when the file is served by a real memory mapping (false =
+    /// the aligned read fallback).
+    pub mapped: bool,
+    /// True when the CSR arrays borrow from the mapping without copying
+    /// (little-endian 64-bit targets; others parse-copy).
+    pub zero_copy: bool,
+    /// Snapshot file size in bytes.
+    pub file_len: u64,
+}
+
+fn scheme_code(scheme: WeightingScheme) -> u32 {
+    match scheme {
+        WeightingScheme::Raw => 0,
+        WeightingScheme::CfIqf => 1,
+        WeightingScheme::EntropyBiased => 2,
+    }
+}
+
+fn scheme_from_code(code: u32) -> Result<WeightingScheme, SnapError> {
+    Ok(match code {
+        0 => WeightingScheme::Raw,
+        1 => WeightingScheme::CfIqf,
+        2 => WeightingScheme::EntropyBiased,
+        _ => return Err(SnapError::BadLayout("unknown weighting scheme")),
+    })
+}
+
+fn opt_u32(v: Option<u32>) -> u32 {
+    v.unwrap_or(NONE_U32)
+}
+
+fn push_records(builder: &mut FileBuilder, log: &QueryLog) {
+    let mut buf = Vec::with_capacity(log.records().len() * RECORD_LEN);
+    for r in log.records() {
+        buf.extend_from_slice(&r.user.0.to_le_bytes());
+        buf.extend_from_slice(&r.query.0.to_le_bytes());
+        buf.extend_from_slice(&opt_u32(r.click.map(|u| u.0)).to_le_bytes());
+        buf.extend_from_slice(&opt_u32(r.session.map(|s| s.0)).to_le_bytes());
+        buf.extend_from_slice(&r.timestamp.to_le_bytes());
+    }
+    builder.push(SectionKind::Records, 0, buf);
+}
+
+fn push_interner(builder: &mut FileBuilder, index: u32, interner: &Interner) {
+    let mut offsets = Vec::with_capacity((interner.len() + 1) * 8);
+    let mut arena = Vec::new();
+    offsets.extend_from_slice(&0u64.to_le_bytes());
+    for (_, s) in interner.iter() {
+        arena.extend_from_slice(s.as_bytes());
+        offsets.extend_from_slice(&(arena.len() as u64).to_le_bytes());
+    }
+    builder.push(SectionKind::StrOffsets, index, offsets);
+    builder.push(SectionKind::StrArena, index, arena);
+}
+
+fn push_query_terms(builder: &mut FileBuilder, log: &QueryLog) {
+    let mut indptr = Vec::with_capacity((log.num_queries() + 1) * 8);
+    let mut flat = Vec::new();
+    indptr.extend_from_slice(&0u64.to_le_bytes());
+    for terms in log.all_query_terms() {
+        for t in terms {
+            flat.extend_from_slice(&t.0.to_le_bytes());
+        }
+        indptr.extend_from_slice(&((flat.len() / 4) as u64).to_le_bytes());
+    }
+    builder.push(SectionKind::QueryTermIndptr, 0, indptr);
+    builder.push(SectionKind::QueryTermIds, 0, flat);
+}
+
+fn push_meta(builder: &mut FileBuilder, log: &QueryLog, scheme: WeightingScheme) {
+    let mut buf = Vec::with_capacity(META_LEN);
+    for v in [
+        log.num_queries() as u64,
+        log.num_urls() as u64,
+        log.num_terms() as u64,
+        log.num_users() as u64,
+        log.records().len() as u64,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf.extend_from_slice(&scheme_code(scheme).to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    builder.push(SectionKind::Meta, 0, buf);
+}
+
+fn push_csr(builder: &mut FileBuilder, index: u32, m: &CsrMatrix) {
+    let (indptr, indices, values) = m.parts();
+    let mut hdr = Vec::with_capacity(24);
+    hdr.extend_from_slice(&(m.rows() as u64).to_le_bytes());
+    hdr.extend_from_slice(&(m.cols() as u64).to_le_bytes());
+    hdr.extend_from_slice(&(m.nnz() as u64).to_le_bytes());
+    builder.push(SectionKind::CsrHeader, index, hdr);
+    let mut p = Vec::with_capacity(indptr.len() * 8);
+    for &v in indptr {
+        p.extend_from_slice(&(v as u64).to_le_bytes());
+    }
+    builder.push(SectionKind::CsrIndptr, index, p);
+    let mut c = Vec::with_capacity(indices.len() * 4);
+    for &v in indices {
+        c.extend_from_slice(&v.to_le_bytes());
+    }
+    builder.push(SectionKind::CsrIndices, index, c);
+    let mut d = Vec::with_capacity(values.len() * 8);
+    for &v in values {
+        d.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    builder.push(SectionKind::CsrValues, index, d);
+}
+
+/// Writes `bytes` to `path` atomically: a sibling temp file, fsync, then
+/// rename — a crash never leaves a half-written snapshot under the real
+/// name, and readers of the old file keep their mapping.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapError> {
+    use std::io::Write;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Saves a whole engine as one `PQSS` file at `path` (atomic rename).
+/// Returns the stamped identity (digests computed from the engine, the
+/// same way the serving layer's `ShardTag` computes them).
+pub fn save_engine(
+    engine: &PqsDa,
+    shard: u64,
+    generation: u64,
+    path: &Path,
+) -> Result<SnapshotMeta, SnapError> {
+    let log = engine.log();
+    let multi = engine.multi();
+    let mut builder = FileBuilder::new();
+    push_records(&mut builder, log);
+    push_interner(&mut builder, 0, log.queries_interner());
+    push_interner(&mut builder, 1, log.urls_interner());
+    push_interner(&mut builder, 2, log.terms_interner());
+    push_query_terms(&mut builder, log);
+    push_meta(&mut builder, log, multi.scheme());
+
+    let mut flags = 0u32;
+    for (i, kind) in EntityKind::ALL.iter().enumerate() {
+        push_csr(&mut builder, i as u32, multi.get(*kind).matrix());
+    }
+    if multi.raw_counts(EntityKind::Url).is_some() {
+        flags |= FLAG_RAW_COUNTS;
+        for (i, kind) in EntityKind::ALL.iter().enumerate() {
+            push_csr(&mut builder, 3 + i as u32, multi.raw_counts(*kind).unwrap());
+        }
+    }
+    if let Some(p) = engine.personalizer() {
+        flags |= FLAG_PROFILE;
+        let mut image = Vec::new();
+        p.write_to(&mut image);
+        builder.push(SectionKind::Profile, 0, image);
+    }
+
+    let meta = SnapshotMeta {
+        shard,
+        generation,
+        graph_digest: multi.digest(),
+        profile_digest: engine.personalizer().map_or(0, |p| p.digest()),
+    };
+    let bytes = builder.finish(Header {
+        shard: meta.shard,
+        generation: meta.generation,
+        graph_digest: meta.graph_digest,
+        profile_digest: meta.profile_digest,
+        flags,
+    });
+    write_atomic(path, &bytes)?;
+    Ok(meta)
+}
+
+fn read_u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+fn read_u32_at(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+/// Whether this target can reinterpret the file's little-endian arrays
+/// in place (the zero-copy fast path).
+const ZERO_COPY: bool = cfg!(all(target_endian = "little", target_pointer_width = "64"));
+
+fn view_usize(owner: &Arc<Mapping>, bytes: &[u8]) -> Result<SharedSlice<usize>, SnapError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(SnapError::BadLayout("u64 array length not a multiple of 8"));
+    }
+    if ZERO_COPY && bytes.as_ptr().align_offset(8) == 0 {
+        let owner: Arc<dyn Any + Send + Sync> = Arc::clone(owner) as _;
+        // Safety: 8-aligned, length-checked, immutable for the mapping's
+        // lifetime; usize == u64 on this target (ZERO_COPY).
+        return Ok(unsafe {
+            SharedSlice::from_owner(owner, bytes.as_ptr().cast::<usize>(), bytes.len() / 8)
+        });
+    }
+    let mut v = Vec::with_capacity(bytes.len() / 8);
+    for chunk in bytes.chunks_exact(8) {
+        let x = u64::from_le_bytes(chunk.try_into().unwrap());
+        v.push(usize::try_from(x).map_err(|_| SnapError::BadLayout("indptr exceeds usize"))?);
+    }
+    Ok(v.into())
+}
+
+fn view_u32(owner: &Arc<Mapping>, bytes: &[u8]) -> Result<SharedSlice<u32>, SnapError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(SnapError::BadLayout("u32 array length not a multiple of 4"));
+    }
+    if ZERO_COPY && bytes.as_ptr().align_offset(4) == 0 {
+        let owner: Arc<dyn Any + Send + Sync> = Arc::clone(owner) as _;
+        // Safety: aligned, length-checked, immutable for the mapping's
+        // lifetime.
+        return Ok(unsafe {
+            SharedSlice::from_owner(owner, bytes.as_ptr().cast::<u32>(), bytes.len() / 4)
+        });
+    }
+    let v: Vec<u32> = bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok(v.into())
+}
+
+fn view_f64(owner: &Arc<Mapping>, bytes: &[u8]) -> Result<SharedSlice<f64>, SnapError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(SnapError::BadLayout("f64 array length not a multiple of 8"));
+    }
+    if ZERO_COPY && bytes.as_ptr().align_offset(8) == 0 {
+        let owner: Arc<dyn Any + Send + Sync> = Arc::clone(owner) as _;
+        // Safety: aligned, length-checked, immutable for the mapping's
+        // lifetime; f64 bits were stored verbatim.
+        return Ok(unsafe {
+            SharedSlice::from_owner(owner, bytes.as_ptr().cast::<f64>(), bytes.len() / 8)
+        });
+    }
+    let v: Vec<f64> = bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+        .collect();
+    Ok(v.into())
+}
+
+fn view_u8(owner: &Arc<Mapping>, bytes: &[u8]) -> SharedSlice<u8> {
+    if ZERO_COPY {
+        let owner: Arc<dyn Any + Send + Sync> = Arc::clone(owner) as _;
+        // Safety: byte views need no alignment; length is exact and the
+        // bytes are immutable for the mapping's lifetime.
+        return unsafe { SharedSlice::from_owner(owner, bytes.as_ptr(), bytes.len()) };
+    }
+    bytes.to_vec().into()
+}
+
+/// Reassembles an interner zero-copy over its two sections: the offset
+/// table becomes a `usize` view and the arena a byte view, both borrowed
+/// straight from the mapping. `Interner::from_mapped` validates shape
+/// and UTF-8; no per-string allocation happens on this path.
+fn read_interner(
+    file: &SnapFile<'_>,
+    owner: &Arc<Mapping>,
+    index: u32,
+) -> Result<Interner, SnapError> {
+    let offsets = file.section(SectionKind::StrOffsets, index)?;
+    let arena = file.section(SectionKind::StrArena, index)?;
+    if offsets.len() % 8 != 0 || offsets.is_empty() {
+        return Err(SnapError::BadLayout("interner offset table shape"));
+    }
+    Interner::from_mapped(view_u8(owner, arena), view_usize(owner, offsets)?)
+        .map_err(SnapError::BadLayout)
+}
+
+fn read_records(file: &SnapFile<'_>) -> Result<Vec<LogRecord>, SnapError> {
+    let bytes = file.section(SectionKind::Records, 0)?;
+    if bytes.len() % RECORD_LEN != 0 {
+        return Err(SnapError::BadLayout("record section length"));
+    }
+    let mut records = Vec::with_capacity(bytes.len() / RECORD_LEN);
+    for r in bytes.chunks_exact(RECORD_LEN) {
+        let click = read_u32_at(r, 8);
+        let session = read_u32_at(r, 12);
+        records.push(LogRecord {
+            user: UserId(read_u32_at(r, 0)),
+            query: QueryId(read_u32_at(r, 4)),
+            click: (click != NONE_U32).then_some(UrlId(click)),
+            session: (session != NONE_U32).then_some(SessionId(session)),
+            timestamp: read_u64_at(r, 16),
+        });
+    }
+    Ok(records)
+}
+
+/// Reads the flat query-term table: ids plus a `u32` indptr, exactly the
+/// shape [`QueryLog::from_flat_parts`] wants — two allocations total, no
+/// per-query `Vec`. Offset validation (monotonic, bounded, sentinel) is
+/// left to `from_flat_parts`, which re-checks everything anyway.
+fn read_query_terms(
+    file: &SnapFile<'_>,
+    num_queries: usize,
+) -> Result<(Vec<TermId>, Vec<u32>), SnapError> {
+    let indptr = file.section(SectionKind::QueryTermIndptr, 0)?;
+    let flat = file.section(SectionKind::QueryTermIds, 0)?;
+    if indptr.len() != (num_queries + 1) * 8 || flat.len() % 4 != 0 {
+        return Err(SnapError::BadLayout("query-term table shape"));
+    }
+    let mut offsets = Vec::with_capacity(num_queries + 1);
+    for o in indptr.chunks_exact(8) {
+        let o = u64::from_le_bytes(o.try_into().expect("chunks_exact yields 8 bytes"));
+        let o = u32::try_from(o)
+            .map_err(|_| SnapError::BadLayout("query-term indptr out of bounds"))?;
+        offsets.push(o);
+    }
+    let ids = flat
+        .chunks_exact(4)
+        .map(|b| {
+            TermId(u32::from_le_bytes(
+                b.try_into().expect("chunks_exact yields 4 bytes"),
+            ))
+        })
+        .collect();
+    Ok((ids, offsets))
+}
+
+fn read_csr(file: &SnapFile<'_>, owner: &Arc<Mapping>, index: u32) -> Result<CsrMatrix, SnapError> {
+    let hdr = file.section(SectionKind::CsrHeader, index)?;
+    if hdr.len() != 24 {
+        return Err(SnapError::BadLayout("csr header shape"));
+    }
+    let rows = usize::try_from(read_u64_at(hdr, 0))
+        .map_err(|_| SnapError::BadLayout("csr rows exceed usize"))?;
+    let cols = usize::try_from(read_u64_at(hdr, 8))
+        .map_err(|_| SnapError::BadLayout("csr cols exceed usize"))?;
+    let nnz = usize::try_from(read_u64_at(hdr, 16))
+        .map_err(|_| SnapError::BadLayout("csr nnz exceeds usize"))?;
+    let indptr = file.section(SectionKind::CsrIndptr, index)?;
+    let indices = file.section(SectionKind::CsrIndices, index)?;
+    let values = file.section(SectionKind::CsrValues, index)?;
+    if indptr.len() != (rows + 1) * 8 || indices.len() != nnz * 4 || values.len() != nnz * 8 {
+        return Err(SnapError::BadLayout(
+            "csr array lengths disagree with header",
+        ));
+    }
+    CsrMatrix::from_shared_parts(
+        rows,
+        cols,
+        view_usize(owner, indptr)?,
+        view_u32(owner, indices)?,
+        view_f64(owner, values)?,
+    )
+    .map_err(SnapError::BadLayout)
+}
+
+fn read_log(
+    file: &SnapFile<'_>,
+    owner: &Arc<Mapping>,
+) -> Result<(QueryLog, WeightingScheme), SnapError> {
+    let meta = file.section(SectionKind::Meta, 0)?;
+    if meta.len() != META_LEN {
+        return Err(SnapError::BadLayout("meta section shape"));
+    }
+    let num_queries = read_u64_at(meta, 0) as usize;
+    let num_urls = read_u64_at(meta, 8) as usize;
+    let num_terms = read_u64_at(meta, 16) as usize;
+    let num_users = read_u64_at(meta, 24) as usize;
+    let num_records = read_u64_at(meta, 32) as usize;
+    let scheme = scheme_from_code(read_u32_at(meta, 40))?;
+
+    let queries = read_interner(file, owner, 0)?;
+    let urls = read_interner(file, owner, 1)?;
+    let terms = read_interner(file, owner, 2)?;
+    if queries.len() != num_queries || urls.len() != num_urls || terms.len() != num_terms {
+        return Err(SnapError::BadLayout("vocabulary sizes disagree with meta"));
+    }
+    let records = read_records(file)?;
+    if records.len() != num_records {
+        return Err(SnapError::BadLayout("record count disagrees with meta"));
+    }
+    let (term_ids, term_indptr) = read_query_terms(file, num_queries)?;
+    let log = QueryLog::from_flat_parts(
+        records,
+        queries,
+        urls,
+        terms,
+        term_ids,
+        term_indptr,
+        num_users,
+    )
+    .map_err(SnapError::BadLayout)?;
+    Ok((log, scheme))
+}
+
+fn open(path: &Path, use_mmap: bool) -> Result<Arc<Mapping>, SnapError> {
+    let mapping = if use_mmap {
+        Mapping::open(path)?
+    } else {
+        Mapping::open_fallback(path)?
+    };
+    Ok(Arc::new(mapping))
+}
+
+/// Loads an engine saved by [`save_engine`]. `config` supplies the
+/// runtime (expansion/diversification/cache) settings, which are not
+/// part of the persisted state — the same contract `apply_deltas`
+/// already has for its build options. Set `use_mmap` false to force the
+/// aligned read fallback (benchmark provenance / tests).
+///
+/// The reconstructed graph and profile digests are recomputed and
+/// checked against the header stamp; any disagreement is a
+/// [`SnapError::DigestMismatch`], never a silently different engine.
+pub fn load_engine(
+    path: &Path,
+    config: PqsDaConfig,
+    use_mmap: bool,
+) -> Result<(PqsDa, SnapshotMeta, LoadInfo), SnapError> {
+    let mapping = open(path, use_mmap)?;
+    let file = SnapFile::parse(mapping.bytes())?;
+    let header = file.header();
+    let (log, scheme) = read_log(&file, &mapping)?;
+
+    let num_queries = log.num_queries();
+    let mut weighted = Vec::with_capacity(3);
+    for i in 0..3u32 {
+        let m = read_csr(&file, &mapping, i)?;
+        if m.rows() != num_queries {
+            return Err(SnapError::BadLayout("weighted matrix row count"));
+        }
+        weighted.push(m);
+    }
+    let raw = if header.flags & FLAG_RAW_COUNTS != 0 {
+        let mut raw = Vec::with_capacity(3);
+        for i in 0..3u32 {
+            let m = read_csr(&file, &mapping, 3 + i)?;
+            if m.rows() != weighted[i as usize].rows() || m.cols() != weighted[i as usize].cols() {
+                return Err(SnapError::BadLayout(
+                    "raw count shape disagrees with weighted",
+                ));
+            }
+            raw.push(m);
+        }
+        Some(raw)
+    } else {
+        None
+    };
+
+    let personalizer = if header.flags & FLAG_PROFILE != 0 {
+        let image = file.section(SectionKind::Profile, 0)?;
+        Some(Personalizer::read_from(image).map_err(SnapError::Profile)?)
+    } else {
+        None
+    };
+
+    // Transposes are recomputed (deterministically) rather than stored:
+    // they double the file for no read-path gain.
+    let mut it = weighted.into_iter();
+    let url = Bipartite::from_matrix(EntityKind::Url, it.next().unwrap());
+    let session = Bipartite::from_matrix(EntityKind::Session, it.next().unwrap());
+    let term = Bipartite::from_matrix(EntityKind::Term, it.next().unwrap());
+    let multi = match raw {
+        Some(raw) => {
+            let mut it = raw.into_iter();
+            let boxed = Box::new([it.next().unwrap(), it.next().unwrap(), it.next().unwrap()]);
+            MultiBipartite::from_weighted_and_raw(url, session, term, scheme, boxed)
+        }
+        None => MultiBipartite::from_parts(url, session, term, scheme),
+    };
+
+    // The same verification gate swaps run before publishing: recompute
+    // the content digests and refuse anything that differs from the
+    // header stamp.
+    if multi.digest() != header.graph_digest {
+        return Err(SnapError::DigestMismatch("graph"));
+    }
+    if personalizer.as_ref().map_or(0, |p| p.digest()) != header.profile_digest {
+        return Err(SnapError::DigestMismatch("profile"));
+    }
+
+    let info = LoadInfo {
+        mapped: mapping.is_mmap(),
+        zero_copy: ZERO_COPY && mapping.bytes().as_ptr().align_offset(8) == 0,
+        file_len: mapping.len() as u64,
+    };
+    let engine = PqsDa::new(log, multi, personalizer, config);
+    Ok((
+        engine,
+        SnapshotMeta {
+            shard: header.shard,
+            generation: header.generation,
+            graph_digest: header.graph_digest,
+            profile_digest: header.profile_digest,
+        },
+        info,
+    ))
+}
+
+/// Saves a router file: the full (unsharded) interned log plus serving
+/// topology, with no matrices. The router log must persist — rebuilding
+/// it from concatenated shard partitions would renumber queries whose
+/// first occurrences tie on timestamp, breaking id stability across a
+/// restart.
+pub fn save_router(
+    log: &QueryLog,
+    shards: u64,
+    partition_key: u32,
+    path: &Path,
+) -> Result<(), SnapError> {
+    let mut builder = FileBuilder::new();
+    push_records(&mut builder, log);
+    push_interner(&mut builder, 0, log.queries_interner());
+    push_interner(&mut builder, 1, log.urls_interner());
+    push_interner(&mut builder, 2, log.terms_interner());
+    push_query_terms(&mut builder, log);
+    push_meta(&mut builder, log, WeightingScheme::Raw);
+    let mut serve = Vec::with_capacity(16);
+    serve.extend_from_slice(&shards.to_le_bytes());
+    serve.extend_from_slice(&partition_key.to_le_bytes());
+    serve.extend_from_slice(&0u32.to_le_bytes());
+    builder.push(SectionKind::ServeMeta, 0, serve);
+    let bytes = builder.finish(Header {
+        shard: ROUTER_SHARD,
+        generation: 0,
+        graph_digest: 0,
+        profile_digest: 0,
+        flags: 0,
+    });
+    write_atomic(path, &bytes)
+}
+
+/// Loads a router file saved by [`save_router`]: the log, the shard
+/// count and the partition-key code.
+pub fn load_router(path: &Path) -> Result<(QueryLog, u64, u32, LoadInfo), SnapError> {
+    let mapping = open(path, true)?;
+    let file = SnapFile::parse(mapping.bytes())?;
+    if file.header().shard != ROUTER_SHARD {
+        return Err(SnapError::BadLayout("not a router file"));
+    }
+    let (log, _) = read_log(&file, &mapping)?;
+    let serve = file.section(SectionKind::ServeMeta, 0)?;
+    if serve.len() != 16 {
+        return Err(SnapError::BadLayout("serve meta shape"));
+    }
+    let shards = read_u64_at(serve, 0);
+    let key = read_u32_at(serve, 8);
+    let info = LoadInfo {
+        mapped: mapping.is_mmap(),
+        zero_copy: false,
+        file_len: mapping.len() as u64,
+    };
+    Ok((log, shards, key, info))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda::EngineBuildOptions;
+    use pqsda_querylog::synth::{generate, SynthConfig};
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pqsda-store-{}-{name}.pqss", std::process::id()))
+    }
+
+    fn synth_engine() -> PqsDa {
+        let synth = generate(&SynthConfig::tiny(42));
+        PqsDa::build_from_entries(&synth.log.entries(), &EngineBuildOptions::default())
+    }
+
+    #[test]
+    fn engine_roundtrip_is_bit_identical() {
+        let engine = synth_engine();
+        let path = tmp("roundtrip");
+        let meta = save_engine(&engine, 0, 5, &path).unwrap();
+        assert_eq!(meta.graph_digest, engine.multi().digest());
+
+        for use_mmap in [true, false] {
+            let (loaded, got_meta, info) =
+                load_engine(&path, PqsDaConfig::default(), use_mmap).unwrap();
+            assert_eq!(got_meta, meta);
+            assert_eq!(info.mapped, use_mmap && cfg!(unix));
+            assert!(info.file_len > 0);
+            // The log is reproduced exactly: ids, order, session stamps.
+            assert_eq!(loaded.log().records(), engine.log().records());
+            assert_eq!(loaded.log().num_users(), engine.log().num_users());
+            // The graph digests equal by the load gate; spot-check the
+            // raw counts survived too.
+            for kind in EntityKind::ALL {
+                let (a, b) = (
+                    loaded.multi().raw_counts(kind).unwrap(),
+                    engine.multi().raw_counts(kind).unwrap(),
+                );
+                assert_eq!(a, b, "{kind:?} raw counts");
+            }
+            // Replies are bit-identical.
+            use pqsda_baselines::SuggestRequest;
+            let reqs: Vec<SuggestRequest> = engine
+                .log()
+                .records()
+                .iter()
+                .step_by(11)
+                .map(|r| SuggestRequest::simple(r.query, 8).for_user(r.user))
+                .collect();
+            assert_eq!(loaded.suggest_many(&reqs), engine.suggest_many(&reqs));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loaded_csr_views_are_zero_copy_under_mmap() {
+        let engine = synth_engine();
+        let path = tmp("zerocopy");
+        save_engine(&engine, 0, 0, &path).unwrap();
+        let (loaded, _, info) = load_engine(&path, PqsDaConfig::default(), true).unwrap();
+        if info.mapped && info.zero_copy {
+            for kind in EntityKind::ALL {
+                assert!(
+                    loaded.multi().get(kind).matrix().is_mapped(),
+                    "{kind:?} weighted matrix should borrow from the mapping"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_byte_anywhere_fails_closed() {
+        let engine = synth_engine();
+        let path = tmp("corrupt");
+        save_engine(&engine, 0, 0, &path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // A deterministic spread of positions across the whole file.
+        for k in 0..64 {
+            let at = (clean.len() / 64) * k + 7 % clean.len().max(1);
+            let at = at.min(clean.len() - 1);
+            let mut corrupt = clean.clone();
+            corrupt[at] ^= 0x20;
+            if corrupt[at] == clean[at] {
+                continue;
+            }
+            std::fs::write(&path, &corrupt).unwrap();
+            match load_engine(&path, PqsDaConfig::default(), true) {
+                Err(_) => {}
+                Ok(_) => {
+                    // The flip may have landed in alignment padding
+                    // between sections — the only bytes no checksum
+                    // covers and no parse reads.
+                    let f = SnapFile::parse(&clean).unwrap();
+                    let _ = f;
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_section_fails_closed() {
+        let engine = synth_engine();
+        let path = tmp("truncate");
+        save_engine(&engine, 0, 0, &path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        for keep in [clean.len() - 1, clean.len() / 2, 100, 63] {
+            std::fs::write(&path, &clean[..keep]).unwrap();
+            assert!(
+                load_engine(&path, PqsDaConfig::default(), true).is_err(),
+                "truncation to {keep} loaded anyway"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_digest_is_a_typed_mismatch() {
+        let engine = synth_engine();
+        let path = tmp("digest");
+        save_engine(&engine, 0, 0, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Rewrite the stored graph digest and re-stamp the header
+        // checksum, so the only inconsistency is content vs stamp.
+        let forged = read_u64_at(&bytes, 24) ^ 1;
+        bytes[24..32].copy_from_slice(&forged.to_le_bytes());
+        use crate::format::{header_checksum, HEADER_LEN, SECTION_ENTRY_LEN};
+        let table_end = HEADER_LEN + read_u32_at(&bytes, 40) as usize * SECTION_ENTRY_LEN;
+        let sum = header_checksum(&bytes, table_end);
+        bytes[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_engine(&path, PqsDaConfig::default(), true),
+            Err(SnapError::DigestMismatch("graph"))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn router_roundtrip_preserves_ids() {
+        let synth = generate(&SynthConfig::tiny(43));
+        let log = synth.log;
+        let path = tmp("router");
+        save_router(&log, 4, 1, &path).unwrap();
+        let (loaded, shards, key, _) = load_router(&path).unwrap();
+        assert_eq!((shards, key), (4, 1));
+        assert_eq!(loaded.records(), log.records());
+        assert_eq!(loaded.num_queries(), log.num_queries());
+        for q in 0..log.num_queries() {
+            let q = QueryId::from_index(q);
+            assert_eq!(loaded.query_text(q), log.query_text(q));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

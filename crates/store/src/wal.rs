@@ -1,0 +1,406 @@
+//! The sidecar delta WAL: durable [`LogEntry`] batches appended *after*
+//! the last snapshot.
+//!
+//! A snapshot captures shard state at one generation; everything applied
+//! since lives only in memory. The WAL closes that window: every drained
+//! delta batch is appended as one checksummed, fsync'd frame **before**
+//! the swap publishes it, and a restart replays `snapshot + WAL` through
+//! the ordinary `apply_deltas` pipeline to land exactly where the crashed
+//! process was. Saving a fresh snapshot resets (truncates) the WAL, so
+//! the file only ever holds the post-snapshot suffix.
+//!
+//! Frame format (all little-endian):
+//!
+//! ```text
+//! file:  magic u32 | version u32 | frame*
+//! frame: magic u32 | batch_id u64 | entry_count u32 | payload_len u64
+//!        | payload | checksum u64    (frame_checksum of all prior frame bytes)
+//! entry: user u32 | timestamp u64 | query_len u32 | query bytes
+//!        | url_len u32 (u32::MAX = no click) | url bytes
+//! ```
+//!
+//! Batch ids are consecutive from 0 within one WAL lifetime; a reader
+//! stops at the first frame that is short, checksum-broken or
+//! out-of-sequence and reports the valid prefix — a torn tail from a
+//! mid-append crash is dropped cleanly, never half-applied.
+
+use crate::format::{frame_checksum, SnapError};
+use pqsda_querylog::{LogEntry, UserId};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// WAL file magic (`PQSW` little-endian).
+pub const WAL_MAGIC: u32 = u32::from_le_bytes(*b"PQSW");
+/// WAL frame magic (`FRAM` little-endian).
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"FRAM");
+/// WAL format version.
+pub const WAL_VERSION: u32 = 1;
+/// File header length (magic + version).
+const WAL_HEADER_LEN: u64 = 8;
+/// Fixed frame prefix: magic + batch_id + entry_count + payload_len.
+const FRAME_PREFIX_LEN: usize = 24;
+
+/// One decoded WAL: the replayable batches plus recovery bookkeeping.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Post-snapshot delta batches, in append order.
+    pub batches: Vec<Vec<LogEntry>>,
+    /// The id the next appended batch must carry.
+    pub next_batch_id: u64,
+    /// Byte length of the valid prefix (where appends may resume).
+    pub valid_len: u64,
+    /// Bytes of torn/corrupt tail discarded beyond `valid_len`.
+    pub dropped_bytes: u64,
+}
+
+fn encode_entry(buf: &mut Vec<u8>, e: &LogEntry) {
+    buf.extend_from_slice(&e.user.0.to_le_bytes());
+    buf.extend_from_slice(&e.timestamp.to_le_bytes());
+    let q = e.query.as_bytes();
+    buf.extend_from_slice(&(q.len() as u32).to_le_bytes());
+    buf.extend_from_slice(q);
+    match &e.clicked_url {
+        Some(u) => {
+            let u = u.as_bytes();
+            buf.extend_from_slice(&(u.len() as u32).to_le_bytes());
+            buf.extend_from_slice(u);
+        }
+        None => buf.extend_from_slice(&u32::MAX.to_le_bytes()),
+    }
+}
+
+fn encode_frame(batch_id: u64, entries: &[LogEntry]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    for e in entries {
+        encode_entry(&mut payload, e);
+    }
+    let mut frame = Vec::with_capacity(FRAME_PREFIX_LEN + payload.len() + 8);
+    frame.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    frame.extend_from_slice(&batch_id.to_le_bytes());
+    frame.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    let sum = frame_checksum(&frame);
+    frame.extend_from_slice(&sum.to_le_bytes());
+    frame
+}
+
+/// Appender half. Each [`WalWriter::append`] is one fsync'd frame; the
+/// durability contract is that a batch is on disk before the in-memory
+/// swap that makes it visible.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    next_batch_id: u64,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) the WAL at `path` — the post-snapshot
+    /// reset: a fresh snapshot owns everything, so the WAL restarts
+    /// empty at batch 0.
+    pub fn create(path: &Path) -> Result<Self, SnapError> {
+        let mut file = File::create(path)?;
+        file.write_all(&WAL_MAGIC.to_le_bytes())?;
+        file.write_all(&WAL_VERSION.to_le_bytes())?;
+        file.sync_all()?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            next_batch_id: 0,
+        })
+    }
+
+    /// Reopens an existing WAL for appending after replay, truncating
+    /// any torn tail past `replay.valid_len` first.
+    pub fn resume(path: &Path, replay: &WalReplay) -> Result<Self, SnapError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(replay.valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            next_batch_id: replay.next_batch_id,
+        })
+    }
+
+    /// Appends one delta batch as a single frame and fsyncs it. Returns
+    /// the batch id it was stamped with.
+    pub fn append(&mut self, entries: &[LogEntry]) -> Result<u64, SnapError> {
+        let id = self.next_batch_id;
+        let frame = encode_frame(id, entries);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.next_batch_id += 1;
+        Ok(id)
+    }
+
+    /// The id the next appended batch will carry.
+    pub fn next_batch_id(&self) -> u64 {
+        self.next_batch_id
+    }
+
+    /// The WAL's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reader half: decodes the valid prefix of a WAL.
+pub struct WalReader;
+
+impl WalReader {
+    /// Replays `path`. A missing file is an empty WAL (fresh install); a
+    /// present file must carry the right magic/version. Any torn or
+    /// corrupt tail is measured and dropped, never partially decoded.
+    pub fn replay(path: &Path) -> Result<WalReplay, SnapError> {
+        let bytes = match File::open(path) {
+            Ok(mut f) => {
+                let mut v = Vec::new();
+                f.read_to_end(&mut v)?;
+                v
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(WalReplay {
+                    batches: Vec::new(),
+                    next_batch_id: 0,
+                    valid_len: WAL_HEADER_LEN,
+                    dropped_bytes: 0,
+                })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if bytes.len() < WAL_HEADER_LEN as usize {
+            return Err(SnapError::Truncated("wal header"));
+        }
+        if bytes[0..4] != WAL_MAGIC.to_le_bytes() {
+            return Err(SnapError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != WAL_VERSION {
+            return Err(SnapError::BadVersion(version));
+        }
+
+        let mut batches = Vec::new();
+        let mut at = WAL_HEADER_LEN as usize;
+        let mut next_batch_id = 0u64;
+        while let Some((entries, consumed)) = decode_frame(&bytes[at..], next_batch_id) {
+            batches.push(entries);
+            at += consumed;
+            next_batch_id += 1;
+        }
+        Ok(WalReplay {
+            batches,
+            next_batch_id,
+            valid_len: at as u64,
+            dropped_bytes: (bytes.len() - at) as u64,
+        })
+    }
+}
+
+/// Decodes one frame from `bytes`, requiring `expect_id`. Returns the
+/// entries and the frame's byte length, or `None` for anything short,
+/// checksum-broken or out of sequence (= the torn tail starts here).
+fn decode_frame(bytes: &[u8], expect_id: u64) -> Option<(Vec<LogEntry>, usize)> {
+    if bytes.len() < FRAME_PREFIX_LEN + 8 {
+        return None;
+    }
+    if bytes[0..4] != FRAME_MAGIC.to_le_bytes() {
+        return None;
+    }
+    let batch_id = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
+    if batch_id != expect_id {
+        return None;
+    }
+    let entry_count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let payload_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let payload_len = usize::try_from(payload_len).ok()?;
+    let total = FRAME_PREFIX_LEN.checked_add(payload_len)?.checked_add(8)?;
+    if bytes.len() < total {
+        return None;
+    }
+    let stored = u64::from_le_bytes(bytes[total - 8..total].try_into().unwrap());
+    if frame_checksum(&bytes[..total - 8]) != stored {
+        return None;
+    }
+    let payload = &bytes[FRAME_PREFIX_LEN..total - 8];
+    let mut entries = Vec::with_capacity(entry_count);
+    let mut at = 0usize;
+    for _ in 0..entry_count {
+        let (entry, used) = decode_entry(&payload[at..])?;
+        entries.push(entry);
+        at += used;
+    }
+    // Checksummed payload must contain exactly the declared entries.
+    if at != payload.len() {
+        return None;
+    }
+    Some((entries, total))
+}
+
+fn decode_entry(bytes: &[u8]) -> Option<(LogEntry, usize)> {
+    if bytes.len() < 16 {
+        return None;
+    }
+    let user = UserId(u32::from_le_bytes(bytes[0..4].try_into().unwrap()));
+    let timestamp = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
+    let qlen = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let mut at = 16usize;
+    let query = std::str::from_utf8(bytes.get(at..at + qlen)?).ok()?;
+    at += qlen;
+    let marker = u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().unwrap());
+    at += 4;
+    let url = if marker == u32::MAX {
+        None
+    } else {
+        let ulen = marker as usize;
+        let u = std::str::from_utf8(bytes.get(at..at + ulen)?).ok()?;
+        at += ulen;
+        Some(u)
+    };
+    Some((LogEntry::new(user, query, url, timestamp), at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pqsda-wal-{}-{name}.wal", std::process::id()))
+    }
+
+    fn sample_batches() -> Vec<Vec<LogEntry>> {
+        vec![
+            vec![
+                LogEntry::new(UserId(1), "sun java", Some("java.sun.com"), 100),
+                LogEntry::new(UserId(2), "solar cell", None, 101),
+            ],
+            vec![LogEntry::new(
+                UserId(3),
+                "jvm download",
+                Some("java.com"),
+                150,
+            )],
+            vec![],
+        ]
+    }
+
+    #[test]
+    fn roundtrips_batches_in_order() {
+        let path = tmp("roundtrip");
+        let mut w = WalWriter::create(&path).unwrap();
+        for (i, b) in sample_batches().iter().enumerate() {
+            assert_eq!(w.append(b).unwrap(), i as u64);
+        }
+        let replay = WalReader::replay(&path).unwrap();
+        assert_eq!(replay.batches, sample_batches());
+        assert_eq!(replay.next_batch_id, 3);
+        assert_eq!(replay.dropped_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_wal_is_empty() {
+        let replay = WalReader::replay(&tmp("does-not-exist")).unwrap();
+        assert!(replay.batches.is_empty());
+        assert_eq!(replay.next_batch_id, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_cleanly() {
+        let path = tmp("torn");
+        let mut w = WalWriter::create(&path).unwrap();
+        for b in &sample_batches() {
+            w.append(b).unwrap();
+        }
+        let clean = std::fs::read(&path).unwrap();
+        let full = WalReader::replay(&path).unwrap();
+        assert_eq!(full.valid_len, clean.len() as u64);
+
+        // Truncate into the last frame at every possible position: the
+        // first two batches must survive, the torn third be dropped.
+        let second_end = {
+            let two = {
+                let mut w2 = WalWriter::create(&tmp("torn-two")).unwrap();
+                w2.append(&sample_batches()[0]).unwrap();
+                w2.append(&sample_batches()[1]).unwrap();
+                std::fs::read(w2.path()).unwrap()
+            };
+            std::fs::remove_file(tmp("torn-two")).ok();
+            two.len()
+        };
+        for keep in second_end..clean.len() {
+            std::fs::write(&path, &clean[..keep]).unwrap();
+            let replay = WalReader::replay(&path).unwrap();
+            assert_eq!(replay.batches.len(), 2, "keep={keep}");
+            assert_eq!(replay.valid_len, second_end as u64);
+            assert_eq!(replay.dropped_bytes, (keep - second_end) as u64);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bitflipped_frame_stops_replay_at_the_previous_batch() {
+        let path = tmp("flip");
+        let mut w = WalWriter::create(&path).unwrap();
+        for b in &sample_batches() {
+            w.append(b).unwrap();
+        }
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one payload byte in the middle of the file.
+        let mut corrupt = clean.clone();
+        let at = clean.len() / 2;
+        corrupt[at] ^= 0x01;
+        std::fs::write(&path, &corrupt).unwrap();
+        let replay = WalReader::replay(&path).unwrap();
+        assert!(replay.batches.len() < 3);
+        assert!(replay.dropped_bytes > 0);
+        // And every surviving batch is bit-exact.
+        for (got, want) in replay.batches.iter().zip(sample_batches()) {
+            assert_eq!(*got, want);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_truncates_the_torn_tail_and_continues_ids() {
+        let path = tmp("resume");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(&sample_batches()[0]).unwrap();
+        w.append(&sample_batches()[1]).unwrap();
+        // Simulate a torn append.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        let replay = WalReader::replay(&path).unwrap();
+        assert_eq!(replay.batches.len(), 2);
+        assert_eq!(replay.dropped_bytes, 12);
+        let mut w = WalWriter::resume(&path, &replay).unwrap();
+        assert_eq!(w.next_batch_id(), 2);
+        w.append(&sample_batches()[0]).unwrap();
+        let again = WalReader::replay(&path).unwrap();
+        assert_eq!(again.batches.len(), 3);
+        assert_eq!(again.dropped_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_and_version_fail_closed() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOPE\x01\x00\x00\x00").unwrap();
+        assert!(matches!(WalReader::replay(&path), Err(SnapError::BadMagic)));
+        let mut good = WAL_MAGIC.to_le_bytes().to_vec();
+        good.extend_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &good).unwrap();
+        assert!(matches!(
+            WalReader::replay(&path),
+            Err(SnapError::BadVersion(99))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

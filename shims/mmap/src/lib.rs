@@ -1,0 +1,231 @@
+//! Read-only memory mapping of files, with an aligned read fallback.
+//!
+//! The snapshot store wants a multi-gigabyte shard file visible as one
+//! `&[u8]` without copying it through a `Vec`, and it wants N replicas
+//! to share the same physical pages. On unix that is `mmap(2)`; this
+//! shim calls it directly (std already links libc on the platforms we
+//! build for), so no external crate is needed. Where mapping is
+//! unavailable — non-unix targets, or a filesystem that refuses to map —
+//! [`Mapping::open`] degrades to reading the file into an 8-byte-aligned
+//! owned buffer, which preserves the pointer-alignment contract the
+//! zero-copy views rely on (a page-aligned map is trivially 8-aligned;
+//! the fallback buffer is backed by `Vec<u64>` for the same reason).
+//!
+//! The usual mmap caveat applies and is *not* papered over: the bytes
+//! alias the file, so a writer truncating the file under a live mapping
+//! can fault the process. The snapshot store only ever publishes files
+//! by atomic rename and never rewrites them in place, which is the
+//! discipline that makes a shared read-only mapping sound.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 0x02;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// An owned byte buffer whose base pointer is 8-byte aligned (backing
+/// storage is `Vec<u64>`), so fallback loads satisfy the same alignment
+/// contract as a page-aligned mapping.
+struct AlignedBuf {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    fn read_file(file: &mut File, len: usize) -> io::Result<AlignedBuf> {
+        let mut words = vec![0u64; len.div_ceil(8)];
+        // Safety: a u64 slice is trivially viewable as initialized bytes.
+        let bytes = unsafe {
+            std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), words.len() * 8)
+        };
+        file.read_exact(&mut bytes[..len])?;
+        Ok(AlignedBuf { words, len })
+    }
+
+    fn as_bytes(&self) -> &[u8] {
+        // Safety: the Vec owns at least `len` initialized bytes.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+enum Repr {
+    /// A live `mmap(2)` of the whole file.
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    /// The read-into-aligned-buffer fallback.
+    Owned(AlignedBuf),
+    /// A zero-length file (mmap of length 0 is EINVAL, so it gets its
+    /// own representation).
+    Empty,
+}
+
+/// A read-only view of a whole file: memory-mapped where possible,
+/// otherwise read into an 8-byte-aligned owned buffer.
+pub struct Mapping {
+    repr: Repr,
+}
+
+// Safety: the mapping is PROT_READ/MAP_PRIVATE and never handed out
+// mutably; concurrent readers on any thread are fine.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps `path` read-only, falling back to an aligned read where
+    /// mapping is unavailable.
+    pub fn open(path: &Path) -> io::Result<Mapping> {
+        Mapping::open_inner(path, true)
+    }
+
+    /// Opens `path` through the read fallback unconditionally — for
+    /// exercising the non-mmap path in tests and benches.
+    pub fn open_fallback(path: &Path) -> io::Result<Mapping> {
+        Mapping::open_inner(path, false)
+    }
+
+    fn open_inner(path: &Path, try_mmap: bool) -> io::Result<Mapping> {
+        let mut file = File::open(path)?;
+        let len64 = file.metadata()?.len();
+        let len = usize::try_from(len64).map_err(|_| {
+            io::Error::new(io::ErrorKind::OutOfMemory, "file exceeds address space")
+        })?;
+        if len == 0 {
+            return Ok(Mapping { repr: Repr::Empty });
+        }
+        #[cfg(unix)]
+        if try_mmap {
+            use std::os::unix::io::AsRawFd;
+            // Safety: fd is valid for the duration of the call; a failed
+            // map returns MAP_FAILED (-1) which we check before use.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize != -1 {
+                return Ok(Mapping {
+                    repr: Repr::Mapped {
+                        ptr: ptr.cast_const().cast::<u8>(),
+                        len,
+                    },
+                });
+            }
+            // Fall through to the read path on EINVAL/ENODEV etc.
+        }
+        #[cfg(not(unix))]
+        let _ = try_mmap;
+        Ok(Mapping {
+            repr: Repr::Owned(AlignedBuf::read_file(&mut file, len)?),
+        })
+    }
+
+    /// The file's bytes. The base pointer is at least 8-byte aligned.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.repr {
+            #[cfg(unix)]
+            Repr::Mapped { ptr, len } => {
+                // Safety: the mapping stays live until Drop.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Repr::Owned(buf) => buf.as_bytes(),
+            Repr::Empty => &[],
+        }
+    }
+
+    /// Whether this view is a true memory mapping (false = the aligned
+    /// read fallback or an empty file).
+    pub fn is_mmap(&self) -> bool {
+        match &self.repr {
+            #[cfg(unix)]
+            Repr::Mapped { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Repr::Mapped { ptr, len } = self.repr {
+            // Safety: exactly the region returned by mmap, unmapped once.
+            unsafe {
+                sys::munmap(ptr.cast_mut().cast(), len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("mmap-shim-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_and_falls_back_identically() {
+        let data: Vec<u8> = (0..4097u32).map(|i| (i % 251) as u8).collect();
+        let path = tmp("roundtrip", &data);
+        let mapped = Mapping::open(&path).unwrap();
+        let read = Mapping::open_fallback(&path).unwrap();
+        assert_eq!(mapped.bytes(), &data[..]);
+        assert_eq!(read.bytes(), &data[..]);
+        assert!(!read.is_mmap());
+        assert_eq!(mapped.bytes().as_ptr().align_offset(8), 0);
+        assert_eq!(read.bytes().as_ptr().align_offset(8), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_empty_view() {
+        let path = tmp("empty", &[]);
+        let m = Mapping::open(&path).unwrap();
+        assert!(m.is_empty());
+        assert!(!m.is_mmap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let path = std::env::temp_dir().join("mmap-shim-definitely-missing");
+        assert!(Mapping::open(&path).is_err());
+    }
+}

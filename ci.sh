@@ -32,4 +32,11 @@ cargo run --release -q -p pqsda-cli --bin pqsda -- serve --snapshot-smoke
 # against a slowed server must shed via explicit Rejected replies only
 # (the load generator aborts on any silent drop).
 cargo run --release -q -p pqsda-cli --bin pqsda -- serve --open-loop-smoke
+# Scenario smoke: the quality-gated A/B harness over all six adversarial
+# synthetic packs at the pinned seed — diversity must raise unique@k and
+# lower max-share@k under the intent-aware nDCG guard, warm-trained
+# personalization must beat off for warm users (and pass cold users
+# through untouched), and tau-conditioning must win on the drift pack.
+# Every verdict is significance-backed; any gate failure fails the build.
+cargo run --release -q -p pqsda-cli --bin pqsda -- scenario --smoke
 echo "ci: all green"

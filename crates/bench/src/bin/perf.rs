@@ -55,6 +55,7 @@ use pqsda::regularize::{RegularizationConfig, Regularizer};
 use pqsda::{EngineBuildOptions, PqsDa};
 use pqsda_baselines::SuggestRequest;
 use pqsda_bench::loadgen::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+use pqsda_bench::scenario::{run_all, ScenarioOptions};
 use pqsda_bench::{ExperimentWorld, Scale};
 use pqsda_graph::bipartite::Bipartite;
 use pqsda_graph::compact::{CompactConfig, CompactMulti};
@@ -657,6 +658,14 @@ fn main() {
         return;
     }
 
+    // Scenario quality gates (DESIGN.md §13): the full A/B pack suite at
+    // the pinned seed, one JSON row per gate. Skipped in smoke (ci.sh runs
+    // `pqsda scenario --smoke` separately — here the verdicts are recorded
+    // as benchmark provenance, not enforced).
+    eprintln!("perf: running scenario quality-gate packs");
+    let scenario_opts = ScenarioOptions::default();
+    let scenario_reports = run_all(&scenario_opts);
+
     let out_path = std::env::var("PQSDA_BENCH_OUT").unwrap_or_else(|_| "BENCH_perf.json".into());
     let mut json = String::new();
     json.push_str("{\n");
@@ -755,6 +764,41 @@ fn main() {
             r.max_queue_depth,
             r.mean_queue_depth
         ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"scenario_note\": \"quality-gated A/B packs (seed {}): diversity on/off over \
+         adversarial synthetic workloads, personalization on/off on the cold-start pack, \
+         tau-conditioning on/off on the drift pack. Each row is one gate; delta is the mean \
+         paired per-query difference (A - B) and p its two-sided paired-randomization \
+         p-value. enforced=false rows are reported metrics, not pass criteria. fingerprint \
+         is the generated pack's FNV-1a content hash — same seed, same pack, any host.\",\n",
+        scenario_opts.seed
+    ));
+    json.push_str("  \"scenario\": [\n");
+    let gate_count: usize = scenario_reports.iter().map(|r| r.gates.len()).sum();
+    let mut written = 0usize;
+    for r in &scenario_reports {
+        for g in &r.gates {
+            written += 1;
+            let comma = if written < gate_count { "," } else { "" };
+            json.push_str(&format!(
+                "    {{\"pack\": \"{}\", \"seed\": {}, \"fingerprint\": \"{:016x}\", \
+                 \"gate\": \"{}\", \"a\": {:.4}, \"b\": {:.4}, \"delta\": {:.4}, \
+                 \"p\": {:.4}, \"n\": {}, \"pass\": {}, \"enforced\": {}}}{comma}\n",
+                r.pack,
+                r.seed,
+                r.fingerprint,
+                g.name,
+                g.mean_a,
+                g.mean_b,
+                g.mean_delta,
+                g.p_value,
+                g.n,
+                g.pass,
+                g.enforced
+            ));
+        }
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_perf.json");

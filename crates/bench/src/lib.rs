@@ -28,6 +28,7 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 pub mod loadgen;
+pub mod scenario;
 
 /// Experiment scale presets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,0 +1,962 @@
+//! Quality-gated scenario harness: A-vs-B runs of the engine over fixed,
+//! seeded adversarial query packs (DESIGN.md §13).
+//!
+//! Every pack generates a deterministic [`SyntheticLog`] from one of the
+//! `SynthConfig::scenario_*` constructors, runs two engine arms over the
+//! same request set, and judges the comparison with **machine-checked
+//! gates** — each verdict backed by
+//! [`pqsda_eval::paired_diff_randomization_test`] over per-query deltas,
+//! never a bare mean:
+//!
+//! * **diversity arm** (default / bursty / spam / churn packs):
+//!   Algorithm 1 with the hitting-time loop on vs. off. Diversity must
+//!   *raise* unique@k and *lower* max-share@k significantly, while the
+//!   relevance guard ΔnDCG@k ≥ −0.02 holds (nDCG over intent-aware
+//!   gains against the pooled-candidate ideal, so the two arms share one
+//!   normalizer).
+//! * **personalization arm** (cold-start pack): the UPM profile is
+//!   trained only on warm users' history. Warm users must win
+//!   preference-mass nDCG@k significantly; cold users must get the
+//!   untouched diversified ranking back (honest pass-through, never a
+//!   fabricated profile).
+//! * **τ arm** (drift pack): reranking through the time-conditioned
+//!   topic posterior ([`Personalizer::rerank_at`]) must beat the static
+//!   rerank on preference-mass nDCG@k — the expected-winner assertion
+//!   for the UPM's temporal component.
+//! * **serving gate** (bursty pack): the pack's requests are replayed
+//!   open-loop through [`crate::loadgen`]'s seeded Poisson schedule at a
+//!   calm measured rate; everything must be served, nothing shed.
+//!
+//! Per-arm p95 latency comes from [`pqsda_serve::DecayedHistogram`]s fed
+//! by the closed-loop suggest calls, read through
+//! [`HistogramSnapshot::quantile`].
+
+use crate::loadgen::{run_open_loop, OpenLoopConfig};
+use pqsda::{DiversifyConfig, Personalizer, PqsDa, PqsDaConfig};
+use pqsda_baselines::{SuggestRequest, Suggester};
+use pqsda_eval::ir::dcg_at_k;
+use pqsda_eval::{
+    alpha_ndcg_at_k, max_intent_share_at_k, paired_diff_randomization_test, unique_intents_at_k,
+};
+use pqsda_graph::compact::CompactConfig;
+use pqsda_graph::multi::MultiBipartite;
+use pqsda_graph::weighting::WeightingScheme;
+use pqsda_querylog::synth::{generate, SynthConfig, SyntheticLog};
+use pqsda_querylog::{QueryId, Session, UserId};
+use pqsda_serve::{DecayedHistogram, HistogramSnapshot, PartitionKey, ServeConfig, ShardedPqsDa};
+use pqsda_topics::{Corpus, SplitCorpus, TrainConfig, Upm, UpmConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// The scenario packs. `Default` is the unperturbed baseline pack the
+/// paper-claims pins run against; the other five are the adversarial
+/// generators of ISSUE 8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pack {
+    /// Unperturbed scenario-scale world.
+    Default,
+    /// Session starts cluster into global burst windows.
+    Bursty,
+    /// A third of the users have 1–2 sessions of history.
+    ColdStart,
+    /// Spam users flood one ambiguous term with single-URL clicks.
+    Spam,
+    /// Facet vocabularies swap mid-span.
+    Churn,
+    /// Strong polarized topic drift — the τ pack.
+    Drift,
+}
+
+impl Pack {
+    /// Every pack, in reporting order.
+    pub const ALL: [Pack; 6] = [
+        Pack::Default,
+        Pack::Bursty,
+        Pack::ColdStart,
+        Pack::Spam,
+        Pack::Churn,
+        Pack::Drift,
+    ];
+
+    /// Stable pack name (provenance key in BENCH_perf.json).
+    pub fn name(self) -> &'static str {
+        match self {
+            Pack::Default => "default",
+            Pack::Bursty => "bursty",
+            Pack::ColdStart => "cold-start",
+            Pack::Spam => "spam",
+            Pack::Churn => "churn",
+            Pack::Drift => "drift",
+        }
+    }
+
+    /// Parses a pack name as printed by [`Pack::name`].
+    pub fn parse(s: &str) -> Option<Pack> {
+        Pack::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// The pack's generator configuration at `seed`.
+    pub fn config(self, seed: u64) -> SynthConfig {
+        match self {
+            Pack::Default => SynthConfig::scenario_default(seed),
+            Pack::Bursty => SynthConfig::scenario_bursty(seed),
+            Pack::ColdStart => SynthConfig::scenario_cold_start(seed),
+            Pack::Spam => SynthConfig::scenario_spam(seed),
+            Pack::Churn => SynthConfig::scenario_churn(seed),
+            Pack::Drift => SynthConfig::scenario_drift(seed),
+        }
+    }
+}
+
+/// Harness knobs. [`ScenarioOptions::default`] is the CI smoke
+/// configuration — small packs, every gate enforced.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioOptions {
+    /// World seed (also stamps the report provenance).
+    pub seed: u64,
+    /// Suggestion depth the metrics are computed at.
+    pub k: usize,
+    /// Test queries per diversity pack / test-session budget per
+    /// personalization pack.
+    pub queries: usize,
+    /// Permutation rounds of the paired randomization test.
+    pub rounds: usize,
+    /// Significance threshold for the directional gates.
+    pub p_threshold: f64,
+    /// Relevance guard: mean ΔnDCG@k must stay ≥ −this.
+    pub relevance_slack: f64,
+    /// Gibbs iterations for the pack-local UPM trains.
+    pub train_iterations: usize,
+}
+
+impl Default for ScenarioOptions {
+    fn default() -> Self {
+        ScenarioOptions {
+            seed: 42,
+            k: 10,
+            queries: 48,
+            rounds: 2000,
+            p_threshold: 0.05,
+            relevance_slack: 0.02,
+            train_iterations: 50,
+        }
+    }
+}
+
+/// One machine-checked pass criterion and its evidence.
+#[derive(Clone, Debug)]
+pub struct Gate {
+    /// Short label, e.g. `unique@10 ↑`.
+    pub name: String,
+    /// Human-readable pass criterion.
+    pub criterion: String,
+    /// Mean of the metric in arm A / arm B.
+    pub mean_a: f64,
+    /// See [`Gate::mean_a`].
+    pub mean_b: f64,
+    /// Mean per-query delta (A − B).
+    pub mean_delta: f64,
+    /// Two-sided p-value of the paired randomization test (1.0 for
+    /// structural gates that assert exact behavior rather than a delta).
+    pub p_value: f64,
+    /// Number of paired observations.
+    pub n: usize,
+    /// The verdict.
+    pub pass: bool,
+    /// Whether the row is an enforced pass criterion (`true`) or a
+    /// reported metric column (`false`, never fails the scenario).
+    pub enforced: bool,
+}
+
+/// One pack's full report: provenance, metric table and gate verdicts.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Pack name.
+    pub pack: &'static str,
+    /// World seed.
+    pub seed: u64,
+    /// [`SyntheticLog::fingerprint`] of the generated pack — provenance
+    /// for BENCH_perf.json rows.
+    pub fingerprint: u64,
+    /// Arm labels (A is the expected winner).
+    pub arm_a: &'static str,
+    /// See [`ScenarioReport::arm_a`].
+    pub arm_b: &'static str,
+    /// The gates, in evaluation order.
+    pub gates: Vec<Gate>,
+    /// p95 closed-loop suggest latency per arm (µs), from the decayed
+    /// histograms; `None` below the histogram's sample floor.
+    pub p95_a_us: Option<u64>,
+    /// See [`ScenarioReport::p95_a_us`].
+    pub p95_b_us: Option<u64>,
+}
+
+impl ScenarioReport {
+    /// Whether every enforced gate passed.
+    pub fn passed(&self) -> bool {
+        self.gates.iter().all(|g| g.pass || !g.enforced)
+    }
+}
+
+/// Runs one pack.
+pub fn run_pack(pack: Pack, opts: &ScenarioOptions) -> ScenarioReport {
+    match pack {
+        Pack::Default | Pack::Spam | Pack::Churn => diversity_pack(pack, opts),
+        Pack::Bursty => {
+            let mut report = diversity_pack(pack, opts);
+            report.gates.push(open_loop_gate(pack, opts));
+            report
+        }
+        Pack::ColdStart => cold_start_pack(opts),
+        Pack::Drift => drift_pack(opts),
+    }
+}
+
+/// Runs every pack in [`Pack::ALL`] order.
+pub fn run_all(opts: &ScenarioOptions) -> Vec<ScenarioReport> {
+    Pack::ALL.iter().map(|&p| run_pack(p, opts)).collect()
+}
+
+/// Pretty-prints one report as the per-scenario metric table.
+pub fn print_report(r: &ScenarioReport) {
+    println!(
+        "\n== scenario {} (seed {}, fingerprint {:016x}) ==",
+        r.pack, r.seed, r.fingerprint
+    );
+    println!("   A = {}   B = {}", r.arm_a, r.arm_b);
+    println!(
+        "   {:<18} {:>9} {:>9} {:>9} {:>9} {:>5}  verdict",
+        "gate", "A", "B", "Δ", "p", "n"
+    );
+    for g in &r.gates {
+        println!(
+            "   {:<18} {:>9.4} {:>9.4} {:>+9.4} {:>9.4} {:>5}  {} ({})",
+            g.name,
+            g.mean_a,
+            g.mean_b,
+            g.mean_delta,
+            g.p_value,
+            g.n,
+            if !g.enforced {
+                "info"
+            } else if g.pass {
+                "PASS"
+            } else {
+                "FAIL"
+            },
+            g.criterion,
+        );
+    }
+    let fmt = |p: Option<u64>| p.map_or_else(|| "n/a".into(), |us| format!("{us} us"));
+    println!(
+        "   p95 latency: A {} | B {}",
+        fmt(r.p95_a_us),
+        fmt(r.p95_b_us)
+    );
+}
+
+// --- shared helpers -------------------------------------------------------
+
+/// The harness's diversification operating point: the product-default
+/// pool with a relevance-biased hitting-time arg-max (see
+/// [`DiversifyConfig::relevance_bias`]). Applied to *both* arms' configs
+/// so the A/B isolates exactly the hitting-time loop.
+const RELEVANCE_BIAS: f64 = 2.0;
+
+fn compact_config() -> CompactConfig {
+    CompactConfig {
+        max_queries: 192,
+        max_rounds: 3,
+    }
+}
+
+fn p95_us(snapshot: &HistogramSnapshot) -> Option<u64> {
+    snapshot.quantile(0.95).map(|d| d.as_micros() as u64)
+}
+
+/// Seeded sample of up to `n` clicked queries, ambiguous ones first —
+/// the pack analog of `ExperimentWorld::sample_ambiguous_queries`.
+fn sample_queries(synth: &SyntheticLog, n: usize, seed: u64) -> Vec<QueryId> {
+    let log = &synth.log;
+    let mut has_click = vec![false; log.num_queries()];
+    for r in log.records() {
+        if r.click.is_some() {
+            has_click[r.query.index()] = true;
+        }
+    }
+    let sample = |pool: &mut Vec<QueryId>, n: usize, salt: u64| {
+        let mut rng = SmallRng::seed_from_u64(seed ^ salt);
+        for i in 0..pool.len().min(n) {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(n);
+    };
+    let mut ambiguous: Vec<QueryId> = (0..log.num_queries())
+        .filter(|&q| has_click[q] && synth.truth.query_facets[q].len() >= 2)
+        .map(QueryId::from_index)
+        .collect();
+    sample(&mut ambiguous, n, 0xA11B);
+    if ambiguous.len() < n {
+        let mut rest: Vec<QueryId> = (0..log.num_queries())
+            .filter(|&q| has_click[q] && !ambiguous.contains(&QueryId::from_index(q)))
+            .map(QueryId::from_index)
+            .collect();
+        sample(&mut rest, n - ambiguous.len(), 0xBEEF);
+        ambiguous.extend(rest);
+    }
+    ambiguous
+}
+
+/// The intent sets of a ranked suggestion list (ground-truth facets).
+fn facet_items(synth: &SyntheticLog, suggestions: &[QueryId]) -> Vec<Vec<u32>> {
+    suggestions
+        .iter()
+        .map(|&s| synth.truth.query_facets[s.index()].clone())
+        .collect()
+}
+
+/// Per-query intent distributions, weighted by *empirical popularity*:
+/// every log record of a query votes for its ground-truth generating
+/// facet. Indexed by `QueryId`; weights sum to 1 (uniform over the
+/// query's facet set when a query somehow has no records).
+fn intent_weights(synth: &SyntheticLog) -> Vec<Vec<(u32, f64)>> {
+    let n = synth.log.num_queries();
+    let mut counts: Vec<Vec<(u32, usize)>> = vec![Vec::new(); n];
+    for (r, &facet) in synth.log.records().iter().zip(&synth.truth.record_facet) {
+        let entry = &mut counts[r.query.index()];
+        match entry.iter_mut().find(|(f, _)| *f == facet) {
+            Some((_, c)) => *c += 1,
+            None => entry.push((facet, 1)),
+        }
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(q, entry)| {
+            if entry.is_empty() {
+                let fs = &synth.truth.query_facets[q];
+                let w = 1.0 / fs.len().max(1) as f64;
+                return fs.iter().map(|&f| (f, w)).collect();
+            }
+            let total: usize = entry.iter().map(|(_, c)| c).sum();
+            entry
+                .into_iter()
+                .map(|(f, c)| (f, c as f64 / total as f64))
+                .collect()
+        })
+        .collect()
+}
+
+/// Expected intent-conditioned nDCG@k: the searcher who issues an
+/// ambiguous query holds *one* intent, so relevance is judged per intent
+/// (a suggestion gains 1 iff it covers that intent) and averaged over
+/// the query's intents weighted by their empirical popularity in the log
+/// ([`intent_weights`]) — the standard intent-aware framing. Each
+/// intent's DCG is normalized by the ideal ranking of the *pooled*
+/// candidate set, so both arms divide by the same ideal and their scores
+/// are directly comparable. A relevance-only list that piles onto the
+/// majority intent scores high for that intent but collapses for the
+/// minority ones; the guard checks diversity keeps the *expectation*
+/// within slack.
+fn pooled_relevance_ndcg(
+    synth: &SyntheticLog,
+    weights: &[Vec<(u32, f64)>],
+    input: QueryId,
+    arm: &[QueryId],
+    pool: &[QueryId],
+    k: usize,
+) -> f64 {
+    let intents = &weights[input.index()];
+    let mut total = 0.0;
+    for &(intent, w) in intents {
+        let gain = |s: QueryId| f64::from(synth.truth.query_facets[s.index()].contains(&intent));
+        let gains: Vec<f64> = arm.iter().map(|&s| gain(s)).collect();
+        let mut ideal: Vec<f64> = pool.iter().map(|&s| gain(s)).collect();
+        ideal.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let idcg = dcg_at_k(&ideal, k);
+        if idcg > 0.0 {
+            total += w * (dcg_at_k(&gains, k) / idcg);
+        }
+    }
+    total
+}
+
+/// Preference-mass gain of a suggestion for a user: the best match
+/// between the suggestion's ground-truth facets and the user's final
+/// topic preference.
+fn preference_gain(synth: &SyntheticLog, user: UserId, s: QueryId) -> f64 {
+    synth.truth.query_facets[s.index()]
+        .iter()
+        .map(|&f| synth.truth.user_pref[user.index()][synth.truth.facet_topic[f as usize] as usize])
+        .fold(0.0, f64::max)
+}
+
+/// nDCG@k of preference-mass gains; both arms permute the same candidate
+/// set, so the (sorted-gain) ideal is identical across arms.
+fn preference_ndcg(synth: &SyntheticLog, user: UserId, arm: &[QueryId], k: usize) -> f64 {
+    let gains: Vec<f64> = arm
+        .iter()
+        .map(|&s| preference_gain(synth, user, s))
+        .collect();
+    pqsda_eval::ir::ndcg_at_k(&gains, k)
+}
+
+/// A directional gate: `mean(delta)` must have `want_sign` and the paired
+/// randomization test must reject chance at `opts.p_threshold`.
+fn directional_gate(
+    name: &str,
+    criterion: &str,
+    a: &[f64],
+    b: &[f64],
+    want_positive: bool,
+    opts: &ScenarioOptions,
+) -> Gate {
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let sig = paired_diff_randomization_test(&diffs, opts.rounds, opts.seed ^ 0x51D);
+    let direction_ok = if want_positive {
+        sig.mean_difference > 0.0
+    } else {
+        sig.mean_difference < 0.0
+    };
+    Gate {
+        name: name.to_owned(),
+        criterion: criterion.to_owned(),
+        mean_a: mean(a),
+        mean_b: mean(b),
+        mean_delta: sig.mean_difference,
+        p_value: sig.p_value,
+        n: sig.n,
+        pass: direction_ok && sig.p_value < opts.p_threshold,
+        enforced: true,
+    }
+}
+
+/// The relevance guard: mean ΔnDCG@k must stay above `−relevance_slack`.
+/// The significance test is reported as evidence but the guard passes on
+/// the bounded mean (a significant *improvement* must not fail it).
+fn guard_gate(name: &str, a: &[f64], b: &[f64], opts: &ScenarioOptions) -> Gate {
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let sig = paired_diff_randomization_test(&diffs, opts.rounds, opts.seed ^ 0x6A4D);
+    Gate {
+        name: name.to_owned(),
+        criterion: format!("mean Δ ≥ −{}", opts.relevance_slack),
+        mean_a: mean(a),
+        mean_b: mean(b),
+        mean_delta: sig.mean_difference,
+        p_value: sig.p_value,
+        n: sig.n,
+        pass: sig.mean_difference >= -opts.relevance_slack,
+        enforced: true,
+    }
+}
+
+/// A reported metric column: the paired test runs for evidence, but the
+/// row never fails the scenario.
+fn info_gate(name: &str, a: &[f64], b: &[f64], opts: &ScenarioOptions) -> Gate {
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let sig = paired_diff_randomization_test(&diffs, opts.rounds, opts.seed ^ 0x1F0);
+    Gate {
+        name: name.to_owned(),
+        criterion: "reported, not enforced".to_owned(),
+        mean_a: mean(a),
+        mean_b: mean(b),
+        mean_delta: sig.mean_difference,
+        p_value: sig.p_value,
+        n: sig.n,
+        pass: true,
+        enforced: false,
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+// --- the diversity A/B packs ----------------------------------------------
+
+fn diversity_pack(pack: Pack, opts: &ScenarioOptions) -> ScenarioReport {
+    let cfg = pack.config(opts.seed);
+    let synth = generate(&cfg);
+    let fingerprint = synth.fingerprint();
+    let weights = intent_weights(&synth);
+    let multi = MultiBipartite::build(&synth.log, &synth.truth.sessions, WeightingScheme::CfIqf);
+    let base = PqsDaConfig {
+        compact: compact_config(),
+        diversify: DiversifyConfig {
+            relevance_bias: RELEVANCE_BIAS,
+            ..DiversifyConfig::default()
+        },
+        ..PqsDaConfig::default()
+    };
+    let engine_on = PqsDa::new(synth.log.clone(), multi.clone(), None, base);
+    let engine_off = PqsDa::new(
+        synth.log.clone(),
+        multi,
+        None,
+        PqsDaConfig {
+            diversify: DiversifyConfig {
+                hitting_time: false,
+                ..base.diversify
+            },
+            ..base
+        },
+    );
+
+    let queries = sample_queries(&synth, opts.queries, opts.seed);
+    let hist_a = DecayedHistogram::default();
+    let hist_b = DecayedHistogram::default();
+    let k = opts.k;
+    let (mut u_a, mut u_b) = (Vec::new(), Vec::new());
+    let (mut s_a, mut s_b) = (Vec::new(), Vec::new());
+    let (mut an_a, mut an_b) = (Vec::new(), Vec::new());
+    let (mut r_a, mut r_b) = (Vec::new(), Vec::new());
+    for &q in &queries {
+        let req = SuggestRequest::simple(q, k);
+        let t0 = Instant::now();
+        let list_a = engine_on.suggest(&req);
+        hist_a.record(t0.elapsed());
+        let t0 = Instant::now();
+        let list_b = engine_off.suggest(&req);
+        hist_b.record(t0.elapsed());
+        let fa = facet_items(&synth, &list_a);
+        let fb = facet_items(&synth, &list_b);
+        u_a.push(unique_intents_at_k(&fa, k));
+        u_b.push(unique_intents_at_k(&fb, k));
+        s_a.push(max_intent_share_at_k(&fa, k));
+        s_b.push(max_intent_share_at_k(&fb, k));
+        an_a.push(alpha_ndcg_at_k(&fa, k, 0.5));
+        an_b.push(alpha_ndcg_at_k(&fb, k, 0.5));
+        let mut pool: Vec<QueryId> = list_a.clone();
+        for &s in &list_b {
+            if !pool.contains(&s) {
+                pool.push(s);
+            }
+        }
+        r_a.push(pooled_relevance_ndcg(
+            &synth, &weights, q, &list_a, &pool, k,
+        ));
+        r_b.push(pooled_relevance_ndcg(
+            &synth, &weights, q, &list_b, &pool, k,
+        ));
+    }
+
+    let gates = vec![
+        directional_gate(
+            &format!("unique@{k} ↑"),
+            &format!("mean Δ > 0, p < {}", opts.p_threshold),
+            &u_a,
+            &u_b,
+            true,
+            opts,
+        ),
+        directional_gate(
+            &format!("max-share@{k} ↓"),
+            &format!("mean Δ < 0, p < {}", opts.p_threshold),
+            &s_a,
+            &s_b,
+            false,
+            opts,
+        ),
+        info_gate(&format!("α-nDCG@{k}"), &an_a, &an_b, opts),
+        guard_gate(&format!("nDCG@{k} guard"), &r_a, &r_b, opts),
+    ];
+    ScenarioReport {
+        pack: pack.name(),
+        seed: opts.seed,
+        fingerprint,
+        arm_a: "diversity on",
+        arm_b: "diversity off",
+        gates,
+        p95_a_us: p95_us(&hist_a.snapshot()),
+        p95_b_us: p95_us(&hist_b.snapshot()),
+    }
+}
+
+/// The bursty pack's serving gate: replay the pack's requests open-loop
+/// through the loadgen Poisson schedule at a calm measured rate — every
+/// request must be served, none shed, none late.
+fn open_loop_gate(pack: Pack, opts: &ScenarioOptions) -> Gate {
+    let cfg = pack.config(opts.seed);
+    let synth = generate(&cfg);
+    let entries = synth.log.entries();
+    let pool: Vec<SuggestRequest> = synth
+        .log
+        .records()
+        .iter()
+        .step_by(11)
+        .map(|r| SuggestRequest::simple(r.query, 8).for_user(r.user))
+        .collect();
+    let server = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            key: PartitionKey::User,
+            coalesce: true,
+            ..ServeConfig::default()
+        },
+    );
+    // Measure capacity closed-loop so the offered rate is genuinely calm
+    // on whatever host runs the smoke.
+    let warm = Instant::now();
+    for req in pool.iter().take(64) {
+        let _ = server.suggest(req);
+    }
+    let per_req_s = (warm.elapsed().as_secs_f64() / pool.len().min(64) as f64).max(1e-9);
+    let requests = 96;
+    let report = run_open_loop(
+        &server,
+        &pool,
+        &OpenLoopConfig {
+            seed: opts.seed,
+            offered_rps: 0.5 / per_req_s,
+            requests,
+            deadline_ms: ((per_req_s * 1e3 * 200.0).ceil() as u64).max(100),
+            threads: 0,
+        },
+    );
+    let pass = report.completed == requests as u64
+        && report.rejected == 0
+        && report.deadline_violations == 0;
+    Gate {
+        name: "open-loop replay".into(),
+        criterion: format!("{requests}/{requests} served, 0 shed, 0 late"),
+        mean_a: report.completed as f64,
+        mean_b: requests as f64,
+        mean_delta: report.completed as f64 - requests as f64,
+        p_value: 1.0,
+        n: requests,
+        pass,
+        enforced: true,
+    }
+}
+
+// --- the personalization packs --------------------------------------------
+
+/// Per-user session indexes in ground-truth order.
+fn sessions_by_user(sessions: &[Session], num_users: usize) -> Vec<Vec<usize>> {
+    let mut per_user: Vec<Vec<usize>> = vec![Vec::new(); num_users];
+    for (i, s) in sessions.iter().enumerate() {
+        per_user[s.user.index()].push(i);
+    }
+    per_user
+}
+
+fn train_upm(corpus: &Corpus, num_topics: usize, opts: &ScenarioOptions) -> Upm {
+    Upm::train(
+        corpus,
+        &UpmConfig {
+            base: TrainConfig {
+                num_topics,
+                iterations: opts.train_iterations,
+                seed: opts.seed,
+                ..TrainConfig::default()
+            },
+            hyper_every: 20,
+            hyper_iterations: 10,
+            threads: 1,
+        },
+    )
+}
+
+fn cold_start_pack(opts: &ScenarioOptions) -> ScenarioReport {
+    let cfg = Pack::ColdStart.config(opts.seed);
+    let synth = generate(&cfg);
+    let fingerprint = synth.fingerprint();
+    let weights = intent_weights(&synth);
+    let cold_users = (cfg.cold_start_fraction * cfg.num_users as f64) as usize;
+    let num_users = synth.log.num_users();
+    let per_user = sessions_by_user(&synth.truth.sessions, num_users);
+
+    // Training history: warm users' sessions, each user's most recent
+    // session held out as their test session.
+    let mut train_sessions: Vec<Session> = Vec::new();
+    let mut test_sessions: Vec<usize> = Vec::new();
+    for (u, sessions) in per_user.iter().enumerate() {
+        if u < cold_users || sessions.len() < 2 {
+            continue;
+        }
+        for &si in &sessions[..sessions.len() - 1] {
+            train_sessions.push(synth.truth.sessions[si].clone());
+        }
+        test_sessions.push(*sessions.last().unwrap());
+    }
+    test_sessions.truncate(opts.queries * 2);
+    let corpus = Corpus::build(&synth.log, &train_sessions);
+    let upm = train_upm(&corpus, cfg.num_topics, opts);
+    let personalizer = Personalizer::new(upm, &corpus, num_users);
+
+    let multi = MultiBipartite::build(&synth.log, &synth.truth.sessions, WeightingScheme::CfIqf);
+    let engine = PqsDa::new(
+        synth.log.clone(),
+        multi,
+        None,
+        PqsDaConfig {
+            compact: compact_config(),
+            ..PqsDaConfig::default()
+        },
+    );
+    let k = opts.k;
+    let hist_a = DecayedHistogram::default();
+    let hist_b = DecayedHistogram::default();
+
+    // Gate 1 (structural): cold users have no profile, and reranking for
+    // them returns the diversified list bit-identically.
+    let mut cold_checked = 0usize;
+    let mut cold_honest = true;
+    for (u, sessions) in per_user.iter().enumerate().take(cold_users) {
+        let Some(&si) = sessions.first() else {
+            continue;
+        };
+        let user = UserId::from_index(u);
+        let q = synth.truth.sessions[si].queries[0];
+        let diversified = engine.suggest(&SuggestRequest::simple(q, k));
+        let reranked = personalizer.rerank(user, &synth.log, &diversified);
+        cold_honest &= !personalizer.has_profile(user) && reranked == diversified;
+        cold_checked += 1;
+    }
+
+    // Gate 2: warm users — personalized top-k vs. diversified top-k on
+    // preference-mass nDCG, paired per test session.
+    let (mut p_a, mut p_b) = (Vec::new(), Vec::new());
+    let (mut r_a, mut r_b) = (Vec::new(), Vec::new());
+    for &si in &test_sessions {
+        let sess = &synth.truth.sessions[si];
+        let q = sess.queries[0];
+        let t0 = Instant::now();
+        let candidates = engine.suggest(&SuggestRequest::simple(q, 2 * k));
+        let reranked = personalizer.rerank(sess.user, &synth.log, &candidates);
+        hist_a.record(t0.elapsed());
+        let t0 = Instant::now();
+        let _ = engine.suggest(&SuggestRequest::simple(q, 2 * k));
+        hist_b.record(t0.elapsed());
+        if candidates.is_empty() {
+            continue;
+        }
+        let arm_a: Vec<QueryId> = reranked.iter().copied().take(k).collect();
+        let arm_b: Vec<QueryId> = candidates.iter().copied().take(k).collect();
+        p_a.push(preference_ndcg(&synth, sess.user, &arm_a, k));
+        p_b.push(preference_ndcg(&synth, sess.user, &arm_b, k));
+        let pool = candidates.clone();
+        r_a.push(pooled_relevance_ndcg(&synth, &weights, q, &arm_a, &pool, k));
+        r_b.push(pooled_relevance_ndcg(&synth, &weights, q, &arm_b, &pool, k));
+    }
+
+    let gates = vec![
+        Gate {
+            name: "cold pass-through".into(),
+            criterion: "no profile ⇒ diversified ranking unchanged".into(),
+            mean_a: cold_checked as f64,
+            mean_b: cold_checked as f64,
+            mean_delta: 0.0,
+            p_value: 1.0,
+            n: cold_checked,
+            pass: cold_honest && cold_checked > 0,
+            enforced: true,
+        },
+        directional_gate(
+            &format!("warm pref-nDCG@{k} ↑"),
+            &format!("mean Δ > 0, p < {}", opts.p_threshold),
+            &p_a,
+            &p_b,
+            true,
+            opts,
+        ),
+        guard_gate(&format!("nDCG@{k} guard"), &r_a, &r_b, opts),
+    ];
+    ScenarioReport {
+        pack: Pack::ColdStart.name(),
+        seed: opts.seed,
+        fingerprint,
+        arm_a: "personalization on (warm-trained)",
+        arm_b: "personalization off",
+        gates,
+        p95_a_us: p95_us(&hist_a.snapshot()),
+        p95_b_us: p95_us(&hist_b.snapshot()),
+    }
+}
+
+/// Stable descending sort of candidates by a score function (`None`
+/// scores sink to the bottom in input order).
+fn rank_by(candidates: &[QueryId], mut score: impl FnMut(QueryId) -> Option<f64>) -> Vec<QueryId> {
+    let mut scored: Vec<(usize, QueryId, f64)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| (i, q, score(q).unwrap_or(f64::NEG_INFINITY)))
+        .collect();
+    scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+    scored.into_iter().map(|(_, q, _)| q).collect()
+}
+
+fn drift_pack(opts: &ScenarioOptions) -> ScenarioReport {
+    let cfg = Pack::Drift.config(opts.seed);
+    let synth = generate(&cfg);
+    let fingerprint = synth.fingerprint();
+    let weights = intent_weights(&synth);
+    let num_users = synth.log.num_users();
+    let holdout = 3usize;
+
+    // The UPM trains on the full-span-normalized corpus minus each user's
+    // most recent `holdout` sessions (the test set).
+    let corpus = Corpus::build(&synth.log, &synth.truth.sessions);
+    let split = SplitCorpus::last_k(&corpus, holdout);
+    let upm = train_upm(&split.observed, cfg.num_topics, opts);
+    let personalizer = Personalizer::new(upm, &split.observed, num_users);
+
+    // Test sessions: each user's held-out (most recent) sessions, with
+    // their normalized time computed by the same fold Corpus::build uses.
+    let (t_min, t_max) = synth
+        .truth
+        .sessions
+        .iter()
+        .fold((u64::MAX, 0u64), |(lo, hi), s| {
+            (lo.min(s.start), hi.max(s.end))
+        });
+    let span = (t_max.saturating_sub(t_min)).max(1) as f64;
+    let per_user = sessions_by_user(&synth.truth.sessions, num_users);
+    let mut test_sessions: Vec<usize> = Vec::new();
+    for sessions in &per_user {
+        if sessions.len() <= holdout {
+            continue;
+        }
+        test_sessions.extend_from_slice(&sessions[sessions.len() - holdout..]);
+    }
+    test_sessions.truncate(opts.queries * 3);
+
+    let multi = MultiBipartite::build(&synth.log, &synth.truth.sessions, WeightingScheme::CfIqf);
+    let engine = PqsDa::new(
+        synth.log.clone(),
+        multi,
+        None,
+        PqsDaConfig {
+            compact: compact_config(),
+            ..PqsDaConfig::default()
+        },
+    );
+    let k = opts.k;
+    let hist_a = DecayedHistogram::default();
+    let hist_b = DecayedHistogram::default();
+    let (mut p_a, mut p_b) = (Vec::new(), Vec::new());
+    let (mut r_a, mut r_b) = (Vec::new(), Vec::new());
+    // Each held-out (user, time) pair ranks the suggestions of a seeded
+    // *ambiguous* input: a topic-pure query's candidates all sit on one
+    // side of the drift, so only ambiguous inputs expose whether the τ
+    // conditioning picks the right side at the right time. Candidate
+    // lists are cached per input — they don't depend on user or time.
+    let inputs = sample_queries(&synth, 8, opts.seed);
+    let mut candidate_cache: Vec<Option<Vec<QueryId>>> = vec![None; synth.log.num_queries()];
+    for (pair, &si) in test_sessions.iter().enumerate() {
+        let sess = &synth.truth.sessions[si];
+        let q = inputs[pair % inputs.len()];
+        let mid = (sess.start + sess.end) / 2;
+        let t = ((mid - t_min) as f64 / span).clamp(1e-4, 1.0 - 1e-4);
+        let candidates = candidate_cache[q.index()]
+            .get_or_insert_with(|| engine.suggest(&SuggestRequest::simple(q, 2 * k)))
+            .clone();
+        if candidates.is_empty() {
+            continue;
+        }
+        // Rank the shared candidate set by the UPM preference score alone
+        // (Eq. 31), with and without the τ time-conditioning — the direct
+        // A/B of the temporal component. (The full Borda fusion shares
+        // the diversified ranking between both arms, which drowns the τ
+        // delta in common-mode signal.)
+        let t0 = Instant::now();
+        let tau_on = rank_by(&candidates, |q| {
+            personalizer.score_at(sess.user, &synth.log, q, t)
+        });
+        hist_a.record(t0.elapsed());
+        let t0 = Instant::now();
+        let tau_off = rank_by(&candidates, |q| {
+            personalizer.score(sess.user, &synth.log, q)
+        });
+        hist_b.record(t0.elapsed());
+        let arm_a: Vec<QueryId> = tau_on.into_iter().take(k).collect();
+        let arm_b: Vec<QueryId> = tau_off.into_iter().take(k).collect();
+        p_a.push(preference_ndcg(&synth, sess.user, &arm_a, k));
+        p_b.push(preference_ndcg(&synth, sess.user, &arm_b, k));
+        r_a.push(pooled_relevance_ndcg(
+            &synth,
+            &weights,
+            q,
+            &arm_a,
+            &candidates,
+            k,
+        ));
+        r_b.push(pooled_relevance_ndcg(
+            &synth,
+            &weights,
+            q,
+            &arm_b,
+            &candidates,
+            k,
+        ));
+    }
+
+    let gates = vec![
+        directional_gate(
+            &format!("τ pref-nDCG@{k} ↑"),
+            &format!("mean Δ > 0, p < {}", opts.p_threshold),
+            &p_a,
+            &p_b,
+            true,
+            opts,
+        ),
+        guard_gate(&format!("nDCG@{k} guard"), &r_a, &r_b, opts),
+    ];
+    ScenarioReport {
+        pack: Pack::Drift.name(),
+        seed: opts.seed,
+        fingerprint,
+        arm_a: "τ-aware rerank",
+        arm_b: "static rerank",
+        gates,
+        p95_a_us: p95_us(&hist_a.snapshot()),
+        p95_b_us: p95_us(&hist_b.snapshot()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_names_round_trip() {
+        for p in Pack::ALL {
+            assert_eq!(Pack::parse(p.name()), Some(p));
+        }
+        assert_eq!(Pack::parse("nope"), None);
+    }
+
+    #[test]
+    fn default_pack_gates_pass() {
+        let opts = ScenarioOptions::default();
+        let r = run_pack(Pack::Default, &opts);
+        print_report(&r);
+        assert_eq!(r.pack, "default");
+        assert!(
+            r.passed(),
+            "default pack gates failed: {:#?}",
+            r.gates.iter().filter(|g| !g.pass).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn reports_are_deterministic_modulo_latency() {
+        let opts = ScenarioOptions::default();
+        let a = run_pack(Pack::Default, &opts);
+        let b = run_pack(Pack::Default, &opts);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        for (ga, gb) in a.gates.iter().zip(&b.gates) {
+            assert_eq!(ga.name, gb.name);
+            assert_eq!(ga.mean_delta, gb.mean_delta);
+            assert_eq!(ga.p_value, gb.p_value);
+            assert_eq!(ga.pass, gb.pass);
+        }
+    }
+}

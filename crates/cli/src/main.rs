@@ -15,6 +15,7 @@
 use pqsda::{EngineBuildOptions, Personalizer, PqsDa, PqsDaConfig};
 use pqsda_baselines::{SuggestRequest, Suggester};
 use pqsda_bench::loadgen::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+use pqsda_bench::scenario::{print_report, run_pack, Pack, ScenarioOptions};
 use pqsda_graph::multi::MultiBipartite;
 use pqsda_graph::weighting::WeightingScheme;
 use pqsda_querylog::clean::{clean_entries, CleanConfig};
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
         Some("profiles") => cmd_profiles(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("scenario") => cmd_scenario(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
@@ -73,6 +75,7 @@ USAGE:
   pqsda serve    --snapshot-smoke
   pqsda snapshot save <log.tsv> --dir DIR [--shards N] [--key user|query] [--raw]
   pqsda snapshot load --dir DIR [--query \"sun\"] [--k 10] [--user ID] [--no-mmap]
+  pqsda scenario [--smoke] [--pack NAME] [--seed S] [--k N] [--queries N]
   pqsda demo
 
 Logs are AOL-format TSV: AnonID\\tQuery\\tQueryTime\\tItemRank\\tClickURL.
@@ -1126,6 +1129,47 @@ fn cmd_demo() -> Result<(), String> {
     Ok(())
 }
 
+/// `pqsda scenario` — the quality-gated A/B harness over the adversarial
+/// synthetic packs (DESIGN.md §13). Runs every pack (or one, with
+/// `--pack`), prints each per-scenario metric table, and exits nonzero
+/// if any enforced gate fails — which is how ci.sh turns a diversity or
+/// personalization regression into a build failure. `--smoke` is the CI
+/// spelling of the default full run; gates are calibrated at the pinned
+/// default seed, so overriding `--seed` is for exploration, not gating.
+fn cmd_scenario(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let defaults = ScenarioOptions::default();
+    let opts = ScenarioOptions {
+        seed: flags.get_num("seed", defaults.seed)?,
+        k: flags.get_num("k", defaults.k)?,
+        queries: flags.get_num("queries", defaults.queries)?,
+        ..defaults
+    };
+    let packs: Vec<Pack> = match flags.get("pack") {
+        Some(name) => vec![Pack::parse(name).ok_or_else(|| {
+            format!(
+                "unknown pack {name:?} (have: {})",
+                Pack::ALL.map(Pack::name).join(", ")
+            )
+        })?],
+        None => Pack::ALL.to_vec(),
+    };
+    let mut failed: Vec<&str> = Vec::new();
+    for pack in packs {
+        let report = run_pack(pack, &opts);
+        print_report(&report);
+        if !report.passed() {
+            failed.push(report.pack);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nscenario gates: all passed (seed {})", opts.seed);
+        Ok(())
+    } else {
+        Err(format!("scenario gates failed: {}", failed.join(", ")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1175,5 +1219,13 @@ mod tests {
     #[test]
     fn snapshot_smoke_passes() {
         snapshot_smoke().unwrap();
+    }
+
+    #[test]
+    fn scenario_command_runs_single_pack_and_rejects_unknown() {
+        let args: Vec<String> = vec!["--pack".into(), "default".into()];
+        cmd_scenario(&args).unwrap();
+        let bad: Vec<String> = vec!["--pack".into(), "nope".into()];
+        assert!(cmd_scenario(&bad).unwrap_err().contains("unknown pack"));
     }
 }

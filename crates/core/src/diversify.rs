@@ -41,6 +41,21 @@ pub struct DiversifyConfig {
     /// without this relevance gate the arg-max hitting time drifts to the
     /// most distant — i.e. least relevant — corner of the compact set.
     pub pool_factor: usize,
+    /// Whether to run the hitting-time selection loop (lines 4–11 of
+    /// Algorithm 1). When `false` the list is the first candidate followed
+    /// by the remaining pool in descending `F*` relevance — the "diversity
+    /// off" ablation arm of the scenario quality gates, which keeps the
+    /// regularized relevance ranking but drops the facet-spreading step.
+    pub hitting_time: bool,
+    /// Relevance exponent of the hitting-time arg-max. The paper requires
+    /// the remaining candidates "to be relevant to the input query but
+    /// also be different from each other"; the pool gate enforces a hard
+    /// relevance floor, and this knob additionally *weights* the arg-max:
+    /// each candidate scores `h_i · (F*_i / F*_max)^bias`, so a distant
+    /// but barely-relevant pool-tail query no longer beats a moderately
+    /// distant on-topic one. `0.0` (the default) reproduces the pure
+    /// Algorithm 1 arg-max exactly.
+    pub relevance_bias: f64,
 }
 
 impl Default for DiversifyConfig {
@@ -50,6 +65,8 @@ impl Default for DiversifyConfig {
             horizon: 20,
             cross: CrossMatrixChoice::default(),
             pool_factor: 5,
+            hitting_time: true,
+            relevance_bias: 0.0,
         }
     }
 }
@@ -117,6 +134,21 @@ impl Diversifier {
         pool.sort_by(|&a, &b| f_star[b].partial_cmp(&f_star[a]).unwrap().then(a.cmp(&b)));
         pool.truncate(pool_size);
 
+        // Ablation arm: relevance-only ranking. The pool is already in
+        // descending F* order, so the list is the first candidate plus the
+        // next k−1 pool entries.
+        if !self.config.hitting_time {
+            for &i in pool.iter() {
+                if selected.len() >= k {
+                    break;
+                }
+                if i != first {
+                    selected.push(i);
+                }
+            }
+            return selected.into_iter().map(|l| (l, f_star[l])).collect();
+        }
+
         // Lines 4–11: iteratively add the arg-max hitting-time query.
         // The target set is S ∪ {input}: candidates must diversify away
         // from both the picks so far and the input query itself. The
@@ -127,6 +159,14 @@ impl Diversifier {
         targets.push(input_local);
         let mut scratch = HittingTimeScratch::default();
         let mut h = Vec::new();
+        let bias = self.config.relevance_bias;
+        let f_max = pool
+            .iter()
+            .map(|&i| f_star[i])
+            .fold(f64::MIN_POSITIVE, f64::max);
+        // `bias == 0` multiplies every hitting time by exactly 1.0, so the
+        // default arg-max is bit-identical to the unbiased Algorithm 1.
+        let score = |h: &[f64], i: usize| -> f64 { h[i] * (f_star[i] / f_max).powf(bias) };
         while selected.len() < k {
             self.walk
                 .hitting_time_into(&targets, self.config.horizon, 0, &mut scratch, &mut h);
@@ -135,7 +175,8 @@ impl Diversifier {
                 .copied()
                 .filter(|i| !selected.contains(i))
                 .max_by(|&a, &b| {
-                    h[a].partial_cmp(&h[b])
+                    score(&h, a)
+                        .partial_cmp(&score(&h, b))
                         .unwrap()
                         // Ties (e.g. both saturated) break toward relevance.
                         .then(f_star[a].partial_cmp(&f_star[b]).unwrap())
@@ -284,6 +325,30 @@ mod tests {
         let d = Diversifier::new(&compact, DiversifyConfig::default());
         let sun = compact.local(log.find_query("sun").unwrap()).unwrap();
         assert_eq!(d.select(sun, &[], 4), d.select(sun, &[], 4));
+    }
+
+    #[test]
+    fn hitting_time_off_gives_relevance_order() {
+        let (log, compact) = two_facet();
+        let cfg = DiversifyConfig {
+            hitting_time: false,
+            ..DiversifyConfig::default()
+        };
+        let d = Diversifier::new(&compact, cfg);
+        let sun = compact.local(log.find_query("sun").unwrap()).unwrap();
+        let picks = d.select_scored(sun, &[], 4);
+        assert!(!picks.is_empty());
+        // First pick is still Eq. 15's argmax; the rest are in strictly
+        // non-increasing F* order (pure relevance ranking).
+        for w in picks[1..].windows(2) {
+            assert!(w[0].1 >= w[1].1, "relevance order violated: {picks:?}");
+        }
+        // No duplicates, never the input.
+        let mut locals: Vec<usize> = picks.iter().map(|&(l, _)| l).collect();
+        assert!(!locals.contains(&sun));
+        locals.sort_unstable();
+        locals.dedup();
+        assert_eq!(locals.len(), picks.len());
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub use cache::{CacheConfig, CacheStats, ShardedLruCache};
 pub use crosswalk::CrossBipartiteWalk;
 pub use diversify::{CrossMatrixChoice, Diversifier, DiversifyConfig};
 pub use engine::{EngineBuildOptions, EngineDeltaReport, PqsDa, PqsDaConfig, ProfileTrainOptions};
-pub use personalize::{preference_score, Personalizer, RerankedSuggester};
+pub use personalize::{preference_score, preference_score_at, Personalizer, RerankedSuggester};
 pub use regularize::{RegularizationConfig, Regularizer};

@@ -38,6 +38,46 @@ pub fn preference_score(upm: &Upm, doc: usize, log: &QueryLog, q: QueryId) -> f6
     total / words.len() as f64
 }
 
+/// Time-aware variant of [`preference_score`]: the topic mixture is the
+/// posterior `p(k | d, t) ∝ θ_dk · Beta_τk(t)` — the user's preference
+/// conditioned on the query's normalized timestamp through the UPM's
+/// per-topic Beta time distributions (the τ component of Eq. 21). This is
+/// exactly the topic weighting of `TopicModel::predictive_word_prob`,
+/// applied to Eq. 31's per-word average. With flat τ (or `time` outside
+/// (0, 1)) it degrades gracefully toward [`preference_score`]'s static
+/// mixture.
+pub fn preference_score_at(upm: &Upm, doc: usize, log: &QueryLog, q: QueryId, time: f64) -> f64 {
+    let words = log.query_terms(q);
+    if words.is_empty() {
+        return 0.0;
+    }
+    let theta = upm.doc_topic(doc);
+    let ln_ts: Vec<f64> = (0..theta.len())
+        .map(|k| upm.topic_time_ln_pdf(k, time))
+        .collect();
+    let max_ln = ln_ts.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut weights: Vec<f64> = theta
+        .iter()
+        .zip(&ln_ts)
+        .map(|(&t, &ln)| t * (ln - max_ln).exp())
+        .collect();
+    let norm: f64 = weights.iter().sum();
+    if norm > 0.0 {
+        for w in &mut weights {
+            *w /= norm;
+        }
+    } else {
+        weights.clone_from(&theta);
+    }
+    let mut total = 0.0;
+    for &w in words {
+        for (k, &wt) in weights.iter().enumerate() {
+            total += upm.user_word_prob(doc, k, w.0) * wt;
+        }
+    }
+    total / words.len() as f64
+}
+
 /// The personalization component: a trained UPM plus the user → document
 /// mapping of its training corpus.
 #[derive(Clone)]
@@ -109,6 +149,14 @@ impl Personalizer {
         Some(preference_score(&self.upm, doc, log, q))
     }
 
+    /// [`Personalizer::score`] conditioned on the request's normalized
+    /// time (see [`preference_score_at`]). `None` when the user has no
+    /// profile.
+    pub fn score_at(&self, user: UserId, log: &QueryLog, q: QueryId, time: f64) -> Option<f64> {
+        let doc = (*self.doc_of_user.get(user.index())?)?;
+        Some(preference_score_at(&self.upm, doc, log, q, time))
+    }
+
     /// §V-B's full strategy: ranks `candidates` by `P(q|d)` and fuses with
     /// the (relevance-descending) diversification ranking via Borda.
     /// Returns the diversification ranking untouched when the user has no
@@ -126,6 +174,29 @@ impl Personalizer {
         // Borda points are symmetric in the two lists; listing the
         // preference ranking first makes *ties* break toward the user's
         // preference — the paper's stated goal for the top ranks.
+        borda_aggregate(&[pref_ranking, diversified.to_vec()])
+    }
+
+    /// [`Personalizer::rerank`] with the preference ranking conditioned on
+    /// the request's normalized time via [`preference_score_at`] — the
+    /// "τ on" arm of the drift scenario gate. Returns the diversification
+    /// ranking untouched when the user has no profile.
+    pub fn rerank_at(
+        &self,
+        user: UserId,
+        log: &QueryLog,
+        diversified: &[QueryId],
+        time: f64,
+    ) -> Vec<QueryId> {
+        if diversified.is_empty() || !self.has_profile(user) {
+            return diversified.to_vec();
+        }
+        let mut by_pref: Vec<(QueryId, f64)> = diversified
+            .iter()
+            .map(|&q| (q, self.score_at(user, log, q, time).unwrap_or(0.0)))
+            .collect();
+        by_pref.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let pref_ranking: Vec<QueryId> = by_pref.into_iter().map(|(q, _)| q).collect();
         borda_aggregate(&[pref_ranking, diversified.to_vec()])
     }
 
@@ -406,6 +477,45 @@ mod tests {
         // Anonymous requests pass through untouched.
         let anon = wrapped.suggest(&pqsda_baselines::SuggestRequest::simple(java_q, 3));
         assert_eq!(anon, vec![solar_q, panels_q, java_q]);
+    }
+
+    #[test]
+    fn time_aware_scores_stay_preference_aligned() {
+        let (log, p) = setup();
+        let java_q = log.find_query("sun java").unwrap();
+        let solar_q = log.find_query("sun solar").unwrap();
+        for t in [0.1, 0.5, 0.9] {
+            let s_java = p.score_at(UserId(0), &log, java_q, t).unwrap();
+            let s_solar = p.score_at(UserId(0), &log, solar_q, t).unwrap();
+            assert!(s_java.is_finite() && s_solar.is_finite());
+            assert!(
+                s_java > s_solar,
+                "java user prefers java at t={t}: {s_java} vs {s_solar}"
+            );
+        }
+        assert!(p.score_at(UserId(42), &log, java_q, 0.5).is_none());
+    }
+
+    #[test]
+    fn rerank_at_permutes_without_loss() {
+        let (log, p) = setup();
+        let java_q = log.find_query("sun java").unwrap();
+        let solar_q = log.find_query("sun solar").unwrap();
+        let panels_q = log.find_query("solar panels energy").unwrap();
+        let diversified = vec![solar_q, java_q, panels_q];
+        let fused = p.rerank_at(UserId(0), &log, &diversified, 0.5);
+        let mut a = fused.clone();
+        let mut b = diversified.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "rerank_at must be a permutation");
+        // No profile → diversified order untouched.
+        assert_eq!(
+            p.rerank_at(UserId(42), &log, &diversified, 0.5),
+            diversified
+        );
+        // Deterministic.
+        assert_eq!(fused, p.rerank_at(UserId(0), &log, &diversified, 0.5));
     }
 
     #[test]

@@ -70,6 +70,46 @@ fn alpha_dcg<'a>(items: impl Iterator<Item = &'a Vec<u32>>, alpha: f64) -> f64 {
     dcg
 }
 
+/// Unique intents covered in the top-k: the number of distinct intents
+/// (facets) appearing across the first `k` items' intent sets. The
+/// coverage axis of the scenario quality gates — diversification must
+/// *raise* it. Items without intents contribute nothing.
+pub fn unique_intents_at_k(items: &[Vec<u32>], k: usize) -> f64 {
+    let mut seen: Vec<u32> = Vec::new();
+    for fs in items.iter().take(k) {
+        for f in fs {
+            if !seen.contains(f) {
+                seen.push(*f);
+            }
+        }
+    }
+    seen.len() as f64
+}
+
+/// The largest share any single intent holds of the top-k: `max_f |{i ≤ k
+/// : f ∈ intents(i)}| / n` where `n` is the number of top-k items carrying
+/// at least one intent. The concentration axis of the scenario quality
+/// gates — diversification must *lower* it. Returns 0 when no item
+/// carries an intent.
+pub fn max_intent_share_at_k(items: &[Vec<u32>], k: usize) -> f64 {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    let mut with_intent = 0usize;
+    for fs in items.iter().take(k) {
+        if fs.is_empty() {
+            continue;
+        }
+        with_intent += 1;
+        for f in fs {
+            *counts.entry(*f).or_insert(0) += 1;
+        }
+    }
+    if with_intent == 0 {
+        return 0.0;
+    }
+    let max = counts.values().copied().max().unwrap_or(0);
+    max as f64 / with_intent as f64
+}
+
 /// Intent-aware precision@k: `Σ_f p(f) · P@k restricted to intent f`,
 /// where `intent_weights` gives the input query's intent distribution
 /// (from ground truth or uniform over its facets) and each ranked item
@@ -153,5 +193,37 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn invalid_alpha_rejected() {
         alpha_ndcg_at_k(&[vec![0]], 1, 1.5);
+    }
+
+    #[test]
+    fn unique_intents_counts_distinct_facets() {
+        let items = vec![vec![0], vec![1, 2], vec![0], vec![3]];
+        assert_eq!(unique_intents_at_k(&items, 4), 4.0);
+        assert_eq!(unique_intents_at_k(&items, 2), 3.0);
+        assert_eq!(unique_intents_at_k(&items, 0), 0.0);
+        assert_eq!(unique_intents_at_k(&[vec![], vec![]], 2), 0.0);
+    }
+
+    #[test]
+    fn max_share_measures_concentration() {
+        // Three of four intent-carrying items hit facet 0.
+        let items = vec![vec![0], vec![0], vec![0, 1], vec![2]];
+        let s = max_intent_share_at_k(&items, 4);
+        assert!((s - 0.75).abs() < 1e-12, "{s}");
+        // Perfectly spread list: every facet appears once.
+        let spread = vec![vec![0], vec![1], vec![2], vec![3]];
+        assert!((max_intent_share_at_k(&spread, 4) - 0.25).abs() < 1e-12);
+        // Items without intents are excluded from the denominator.
+        let holey = vec![vec![0], vec![], vec![1]];
+        assert!((max_intent_share_at_k(&holey, 3) - 0.5).abs() < 1e-12);
+        assert_eq!(max_intent_share_at_k(&[vec![], vec![]], 2), 0.0);
+    }
+
+    #[test]
+    fn diverse_list_beats_redundant_on_both_axes() {
+        let diverse = vec![vec![0], vec![1], vec![2], vec![3]];
+        let redundant = vec![vec![0], vec![0], vec![0], vec![1]];
+        assert!(unique_intents_at_k(&diverse, 4) > unique_intents_at_k(&redundant, 4));
+        assert!(max_intent_share_at_k(&diverse, 4) < max_intent_share_at_k(&redundant, 4));
     }
 }

@@ -37,9 +37,14 @@ pub mod relevance;
 pub mod significance;
 
 pub use diversity::DiversityMetric;
-pub use diversity_ir::{alpha_ndcg_at_k, intent_aware_precision_at_k};
+pub use diversity_ir::{
+    alpha_ndcg_at_k, intent_aware_precision_at_k, max_intent_share_at_k, unique_intents_at_k,
+};
 pub use folds::{fold_collect, fold_collect_on, fold_mean, fold_mean_on};
 pub use hpr::{HprConfig, HprRater};
 pub use ppr::PprMetric;
 pub use relevance::relevance_at_k;
-pub use significance::{paired_bootstrap_ci, paired_randomization_test, SignificanceResult};
+pub use significance::{
+    paired_bootstrap_ci, paired_diff_randomization_test, paired_randomization_test,
+    SignificanceResult,
+};

@@ -40,13 +40,29 @@ pub fn paired_randomization_test(
     assert_eq!(a.len(), b.len(), "paired test: length mismatch");
     assert!(!a.is_empty(), "paired test: no pairs");
     let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    paired_diff_randomization_test(&diffs, rounds, seed)
+}
+
+/// Two-sided paired randomization test over precomputed per-item
+/// differences `a_i − b_i`. Callers that already hold paired deltas (the
+/// scenario gate comparators) use this directly instead of splitting the
+/// deltas back into two synthetic score vectors.
+///
+/// # Panics
+/// Panics if `diffs` is empty.
+pub fn paired_diff_randomization_test(
+    diffs: &[f64],
+    rounds: usize,
+    seed: u64,
+) -> SignificanceResult {
+    assert!(!diffs.is_empty(), "paired test: no pairs");
     let n = diffs.len();
     let observed = diffs.iter().sum::<f64>() / n as f64;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut extreme = 0usize;
     for _ in 0..rounds {
         let mut sum = 0.0;
-        for &d in &diffs {
+        for &d in diffs {
             sum += if rng.gen::<bool>() { d } else { -d };
         }
         if (sum / n as f64).abs() >= observed.abs() - 1e-15 {
@@ -175,5 +191,22 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_inputs_rejected() {
         paired_randomization_test(&[1.0], &[1.0, 2.0], 10, 1);
+    }
+
+    #[test]
+    fn diff_entry_matches_two_vector_entry() {
+        let (a, b) = scores(40, 0.3, 0.07, 9);
+        let diffs: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
+        let via_pairs = paired_randomization_test(&a, &b, 1_500, 21);
+        let via_diffs = paired_diff_randomization_test(&diffs, 1_500, 21);
+        assert_eq!(via_pairs.p_value, via_diffs.p_value);
+        assert_eq!(via_pairs.mean_difference, via_diffs.mean_difference);
+        assert_eq!(via_pairs.n, via_diffs.n);
+    }
+
+    #[test]
+    #[should_panic(expected = "no pairs")]
+    fn empty_diffs_rejected() {
+        paired_diff_randomization_test(&[], 10, 1);
     }
 }

@@ -69,6 +69,40 @@ pub struct SynthConfig {
     pub drift: f64,
     /// Log time span in seconds.
     pub time_span_secs: u64,
+    /// Scenario knob — bursty arrivals. Probability in `[0, 1]` that a
+    /// session start snaps to one of a handful of global burst windows
+    /// instead of landing uniformly in the span. `0` (default) keeps the
+    /// uniform schedule and draws nothing extra, so the default RNG stream
+    /// is untouched.
+    pub burstiness: f64,
+    /// Scenario knob — cold-start users. The first
+    /// `cold_start_fraction · num_users` users get only 1–2 sessions,
+    /// regardless of `sessions_per_user` — too little history to train a
+    /// profile on. `0` (default) disables.
+    pub cold_start_fraction: f64,
+    /// Scenario knob — adversarial click flood. This many extra spam users
+    /// (appended after the organic ones) each repeat the first ambiguous
+    /// head term over and over, always clicking the same URL of one target
+    /// facet — an attempt to collapse the term's click distribution onto a
+    /// single intent. `0` (default) disables.
+    pub spam_users: usize,
+    /// Sessions per spam user; ignored unless `spam_users > 0`.
+    pub spam_repeats: usize,
+    /// Scenario knob — vocabulary churn. When `> 0`, every facet draws a
+    /// second, disjoint vocabulary and sessions starting after
+    /// `vocab_churn_at · time_span_secs` phrase their queries from it.
+    /// Ambiguous head terms and URLs stay stable across the epoch boundary
+    /// so the click graph remains connected. `0` (default) disables.
+    pub vocab_churn_at: f64,
+    /// Scenario knob — population-level topic drift. When `> 0`, each
+    /// user's start preference is deterministically re-weighted toward the
+    /// first half of the topics and the end preference toward the second
+    /// half (mixing weight = this value), giving the log a *global*
+    /// topic-over-time signal the UPM's τ component can learn. Per-user
+    /// drift alone averages out across the population; without
+    /// polarization the fitted Beta time distributions stay near-flat.
+    /// `0` (default) is an exact identity.
+    pub drift_polarize: f64,
 }
 
 impl Default for SynthConfig {
@@ -91,6 +125,12 @@ impl Default for SynthConfig {
             user_focus: 0.25,
             drift: 0.35,
             time_span_secs: 120 * 24 * 3600,
+            burstiness: 0.0,
+            cold_start_fraction: 0.0,
+            spam_users: 0,
+            spam_repeats: 0,
+            vocab_churn_at: 0.0,
+            drift_polarize: 0.0,
         }
     }
 }
@@ -112,6 +152,76 @@ impl SynthConfig {
             ..SynthConfig::default()
         }
     }
+
+    /// Shared base of the scenario packs — also the "default" pack the
+    /// diversity paper-claims pins run against: small enough for CI smoke
+    /// runs, big enough that the quality gates have statistical power.
+    pub fn scenario_default(seed: u64) -> Self {
+        SynthConfig {
+            seed,
+            num_topics: 6,
+            facets_per_topic: (2, 3),
+            words_per_facet: 12,
+            urls_per_facet: 6,
+            num_ambiguous: 8,
+            facets_per_ambiguous: 3,
+            num_users: 60,
+            sessions_per_user: (8, 14),
+            queries_per_session: (1, 4),
+            ..SynthConfig::default()
+        }
+    }
+
+    /// Bursty open-loop arrivals: most sessions snap to a handful of
+    /// global burst windows, stressing tail latency under clustered load.
+    pub fn scenario_bursty(seed: u64) -> Self {
+        SynthConfig {
+            burstiness: 0.7,
+            ..SynthConfig::scenario_default(seed)
+        }
+    }
+
+    /// Cold-start users: a third of the population has 1–2 sessions of
+    /// history — not enough to train a profile on.
+    pub fn scenario_cold_start(seed: u64) -> Self {
+        SynthConfig {
+            cold_start_fraction: 1.0 / 3.0,
+            ..SynthConfig::scenario_default(seed)
+        }
+    }
+
+    /// Spam/adversarial click flood: extra users hammer one ambiguous head
+    /// term with repeated single-URL clicks, trying to collapse it onto a
+    /// single intent.
+    pub fn scenario_spam(seed: u64) -> Self {
+        SynthConfig {
+            spam_users: 8,
+            spam_repeats: 16,
+            ..SynthConfig::scenario_default(seed)
+        }
+    }
+
+    /// Vocabulary churn: halfway through the span every facet swaps to a
+    /// fresh disjoint vocabulary (heads and URLs stay stable).
+    pub fn scenario_churn(seed: u64) -> Self {
+        SynthConfig {
+            vocab_churn_at: 0.5,
+            ..SynthConfig::scenario_default(seed)
+        }
+    }
+
+    /// Temporal topic drift: strong per-user drift plus population-level
+    /// polarization (early topics → late topics), the pack where the UPM's
+    /// τ time component must earn its keep.
+    pub fn scenario_drift(seed: u64) -> Self {
+        SynthConfig {
+            drift: 0.95,
+            drift_polarize: 0.9,
+            user_focus: 0.2,
+            sessions_per_user: (10, 18),
+            ..SynthConfig::scenario_default(seed)
+        }
+    }
 }
 
 /// One facet (sense) of a topic: its vocabulary, URL pool and URL "titles".
@@ -123,6 +233,9 @@ pub struct Facet {
     pub name: String,
     /// Facet-specific query vocabulary; `words\[0\]` is the facet head word.
     pub words: Vec<String>,
+    /// Post-churn vocabulary (empty unless `vocab_churn_at > 0`); sessions
+    /// after the churn epoch phrase queries from these words instead.
+    pub churn_words: Vec<String>,
     /// Ambiguous head terms attached to this facet (also usable in queries).
     pub ambiguous: Vec<String>,
     /// Facet URL strings.
@@ -170,6 +283,18 @@ impl TopicWorld {
                         pseudo_word(rng, word_counter)
                     })
                     .collect();
+                // Churn vocabulary: drawn only when the knob is on, so the
+                // default RNG stream is untouched.
+                let churn_words: Vec<String> = if cfg.vocab_churn_at > 0.0 {
+                    (0..cfg.words_per_facet)
+                        .map(|_| {
+                            word_counter += 1;
+                            pseudo_word(rng, word_counter)
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 let urls: Vec<String> = (0..cfg.urls_per_facet)
                     .map(|u| format!("www.{}-{}.com/page{}", words[0], fid, u))
                     .collect();
@@ -188,6 +313,7 @@ impl TopicWorld {
                     topic: t,
                     name: format!("facet{fid:02}"),
                     words,
+                    churn_words,
                     ambiguous: Vec::new(),
                     urls,
                     url_fields,
@@ -281,8 +407,17 @@ pub fn generate(cfg: &SynthConfig) -> SyntheticLog {
     let mut pref_end = Vec::with_capacity(cfg.num_users);
     let mut facet_pref = Vec::with_capacity(cfg.num_users);
     for _ in 0..cfg.num_users {
-        pref_start.push(dirichlet(&mut rng, cfg.num_topics, cfg.user_focus));
-        pref_end.push(dirichlet(&mut rng, cfg.num_topics, cfg.user_focus));
+        let mut a = dirichlet(&mut rng, cfg.num_topics, cfg.user_focus);
+        let mut b = dirichlet(&mut rng, cfg.num_topics, cfg.user_focus);
+        if cfg.drift_polarize > 0.0 {
+            // Population-level drift: start preferences lean on the first
+            // half of the topics, end preferences on the second half.
+            // Deterministic re-weighting of the same draws — no extra RNG.
+            polarize(&mut a, |k| k < cfg.num_topics / 2, cfg.drift_polarize);
+            polarize(&mut b, |k| k >= cfg.num_topics / 2, cfg.drift_polarize);
+        }
+        pref_start.push(a);
+        pref_end.push(b);
         let prefs: Vec<u32> = world
             .topic_facets
             .iter()
@@ -290,6 +425,16 @@ pub fn generate(cfg: &SynthConfig) -> SyntheticLog {
             .collect();
         facet_pref.push(prefs);
     }
+
+    // Global burst windows for the bursty-arrival scenario (drawn only
+    // when enabled — all users spike together, which is the point).
+    let burst_centers: Vec<u64> = if cfg.burstiness > 0.0 {
+        (0..8)
+            .map(|_| rng.gen_range(0..cfg.time_span_secs))
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     // --- sessions --------------------------------------------------------
     struct PendingEntry {
@@ -301,11 +446,25 @@ pub fn generate(cfg: &SynthConfig) -> SyntheticLog {
     let mut session_facets: Vec<u32> = Vec::new();
     let mut num_sessions = 0usize;
 
+    let cold_users = (cfg.cold_start_fraction * cfg.num_users as f64) as usize;
     for u in 0..cfg.num_users {
-        let n_sessions = rng.gen_range(cfg.sessions_per_user.0..=cfg.sessions_per_user.1);
+        // Cold-start users carry only 1–2 sessions of history.
+        let n_sessions = if u < cold_users {
+            rng.gen_range(1..=2)
+        } else {
+            rng.gen_range(cfg.sessions_per_user.0..=cfg.sessions_per_user.1)
+        };
         // Session start times, sorted, spaced at least an hour apart.
         let mut starts: Vec<u64> = (0..n_sessions)
-            .map(|_| rng.gen_range(0..cfg.time_span_secs))
+            .map(|_| {
+                if cfg.burstiness > 0.0 && rng.gen::<f64>() < cfg.burstiness {
+                    // Snap into a global burst window (± an hour).
+                    let c = burst_centers[rng.gen_range(0..burst_centers.len())];
+                    (c + rng.gen_range(0..3600)).min(cfg.time_span_secs - 1)
+                } else {
+                    rng.gen_range(0..cfg.time_span_secs)
+                }
+            })
             .collect();
         starts.sort_unstable();
         for (si, &start) in starts.iter().enumerate() {
@@ -326,6 +485,16 @@ pub fn generate(cfg: &SynthConfig) -> SyntheticLog {
                 fs[rng.gen_range(0..fs.len())]
             };
             let fobj = &world.facets[facet];
+            // Vocabulary churn: sessions past the epoch boundary phrase
+            // their queries from the facet's post-churn vocabulary.
+            // Ambiguous heads and URLs are deliberately stable.
+            let churned = cfg.vocab_churn_at > 0.0
+                && (start as f64 / cfg.time_span_secs as f64) >= cfg.vocab_churn_at;
+            let vocab = if churned {
+                &fobj.churn_words
+            } else {
+                &fobj.words
+            };
             let n_queries = rng.gen_range(cfg.queries_per_session.0..=cfg.queries_per_session.1);
             let gen_session = num_sessions;
             num_sessions += 1;
@@ -343,11 +512,11 @@ pub fn generate(cfg: &SynthConfig) -> SyntheticLog {
                     // Fresh query: head word with high probability + 0–2 more.
                     let mut ws = Vec::new();
                     if rng.gen::<f64>() < 0.6 {
-                        ws.push(fobj.words[0].clone());
+                        ws.push(vocab[0].clone());
                     }
                     let extra = rng.gen_range(1..=2);
                     for _ in 0..extra {
-                        ws.push(fobj.words[rng.gen_range(0..fobj.words.len())].clone());
+                        ws.push(vocab[rng.gen_range(0..vocab.len())].clone());
                     }
                     ws.dedup();
                     ws
@@ -355,7 +524,7 @@ pub fn generate(cfg: &SynthConfig) -> SyntheticLog {
                     // Reformulation: keep one previous word, add a facet word.
                     let keep = prev_words[rng.gen_range(0..prev_words.len())].clone();
                     let mut ws = vec![keep];
-                    let add = fobj.words[rng.gen_range(0..fobj.words.len())].clone();
+                    let add = vocab[rng.gen_range(0..vocab.len())].clone();
                     if ws[0] != add {
                         ws.push(add);
                     }
@@ -385,6 +554,55 @@ pub fn generate(cfg: &SynthConfig) -> SyntheticLog {
             }
         }
     }
+
+    // --- adversarial click flood (gated) ----------------------------------
+    // Spam users hammer the first ambiguous head term, every query clicking
+    // the same URL of one target facet — an attempt to collapse the term's
+    // click distribution onto a single intent.
+    let spam_active = cfg.spam_users > 0 && cfg.spam_repeats > 0 && !world.ambiguous.is_empty();
+    if spam_active {
+        let (term, term_facets) = (world.ambiguous[0].0.clone(), world.ambiguous[0].1.clone());
+        let target = term_facets[0];
+        let spam_url = world.facets[target].urls[0].clone();
+        for s in 0..cfg.spam_users {
+            let u = cfg.num_users + s;
+            let mut starts: Vec<u64> = (0..cfg.spam_repeats)
+                .map(|_| rng.gen_range(0..cfg.time_span_secs))
+                .collect();
+            starts.sort_unstable();
+            for &start in &starts {
+                let gen_session = num_sessions;
+                num_sessions += 1;
+                session_facets.push(target as u32);
+                let mut ts = start;
+                for _ in 0..rng.gen_range(2..=4) {
+                    pending.push(PendingEntry {
+                        entry: LogEntry::new(
+                            UserId::from_index(u),
+                            term.as_str(),
+                            Some(spam_url.as_str()),
+                            ts,
+                        ),
+                        facet: target as u32,
+                        gen_session,
+                    });
+                    ts += rng.gen_range(5..20);
+                }
+            }
+            // Flat ground-truth preferences keep user-indexed tables
+            // aligned for the appended spam users.
+            pref_start.push(vec![1.0 / cfg.num_topics as f64; cfg.num_topics]);
+            pref_end.push(vec![1.0 / cfg.num_topics as f64; cfg.num_topics]);
+            facet_pref.push(
+                world
+                    .topic_facets
+                    .iter()
+                    .map(|fs| fs[0] as u32)
+                    .collect::<Vec<u32>>(),
+            );
+        }
+    }
+    let total_users = cfg.num_users + if spam_active { cfg.spam_users } else { 0 };
 
     // --- intern, preserving ground-truth alignment ------------------------
     pending.sort_by_key(|p| p.entry.timestamp);
@@ -474,7 +692,7 @@ pub fn generate(cfg: &SynthConfig) -> SyntheticLog {
 
     let facet_topic: Vec<u32> = world.facets.iter().map(|f| f.topic as u32).collect();
     // Final preference = drift-interpolated at t = 1.
-    let user_pref: Vec<Vec<f64>> = (0..cfg.num_users)
+    let user_pref: Vec<Vec<f64>> = (0..total_users)
         .map(|u| {
             pref_start[u]
                 .iter()
@@ -499,6 +717,70 @@ pub fn generate(cfg: &SynthConfig) -> SyntheticLog {
         },
         world,
         log,
+    }
+}
+
+/// Shifts probability mass toward the topics selected by `favored`:
+/// the favored set's total mass becomes `p + (1 − p)·s` (where `s` was its
+/// original mass), the rest scales by `1 − p`. `p = 0` is an exact
+/// identity; the result still sums to one.
+fn polarize(v: &mut [f64], favored: impl Fn(usize) -> bool, p: f64) {
+    let s: f64 = v
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| favored(k))
+        .map(|(_, &x)| x)
+        .sum();
+    if s <= 0.0 || s >= 1.0 {
+        return;
+    }
+    let boost = (p + (1.0 - p) * s) / s;
+    for (k, x) in v.iter_mut().enumerate() {
+        *x *= if favored(k) { boost } else { 1.0 - p };
+    }
+}
+
+impl SyntheticLog {
+    /// A stable FNV-1a fingerprint over every observable byte of the
+    /// generated log — records, interned query/URL texts and the ground
+    /// truth. Two logs with equal fingerprints are bit-identical for every
+    /// consumer; the scenario determinism proptests compare these across
+    /// runs and thread counts.
+    pub fn fingerprint(&self) -> u64 {
+        use crate::hash::{fnv1a_bytes, fnv1a_extend, fnv1a_u64};
+        use crate::ids::QueryId;
+        let mut h = fnv1a_bytes(b"synthlog-v1");
+        for r in self.log.records() {
+            h = fnv1a_u64(h, r.user.index() as u64);
+            h = fnv1a_u64(h, r.query.index() as u64);
+            h = fnv1a_u64(h, r.click.map_or(0, |u| u.index() as u64 + 1));
+            h = fnv1a_u64(h, r.timestamp);
+            h = fnv1a_u64(h, r.session.map_or(0, |s| s.index() as u64 + 1));
+        }
+        for q in 0..self.log.num_queries() {
+            h = fnv1a_extend(h, self.log.query_text(QueryId::from_index(q)).as_bytes());
+        }
+        for u in 0..self.log.num_urls() {
+            h = fnv1a_extend(h, self.log.url_text(UrlId::from_index(u)).as_bytes());
+        }
+        for &f in &self.truth.record_facet {
+            h = fnv1a_u64(h, f as u64);
+        }
+        for &f in &self.truth.session_facet {
+            h = fnv1a_u64(h, f as u64);
+        }
+        for fs in &self.truth.query_facets {
+            for &f in fs {
+                h = fnv1a_u64(h, f as u64 + 1);
+            }
+            h = fnv1a_u64(h, u64::MAX);
+        }
+        for p in &self.truth.user_pref {
+            for &x in p {
+                h = fnv1a_u64(h, x.to_bits());
+            }
+        }
+        h
     }
 }
 
@@ -727,6 +1009,159 @@ mod tests {
         let s = small();
         let ts: Vec<u64> = s.log.records().iter().map(|r| r.timestamp).collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn fingerprint_separates_logs_and_is_stable() {
+        let a = generate(&SynthConfig::tiny(7));
+        let b = generate(&SynthConfig::tiny(7));
+        let c = generate(&SynthConfig::tiny(8));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn inert_scenario_knobs_leave_the_stream_untouched() {
+        // Explicit zeros must be byte-identical to the plain default path.
+        let plain = generate(&SynthConfig::tiny(7));
+        let zeroed = generate(&SynthConfig {
+            burstiness: 0.0,
+            cold_start_fraction: 0.0,
+            spam_users: 0,
+            spam_repeats: 0,
+            vocab_churn_at: 0.0,
+            drift_polarize: 0.0,
+            ..SynthConfig::tiny(7)
+        });
+        assert_eq!(plain.fingerprint(), zeroed.fingerprint());
+    }
+
+    #[test]
+    fn bursty_pack_clusters_session_starts() {
+        let median_gap = |s: &SyntheticLog| {
+            let mut starts: Vec<u64> = s.truth.sessions.iter().map(|x| x.start).collect();
+            starts.sort_unstable();
+            let mut gaps: Vec<u64> = starts.windows(2).map(|w| w[1] - w[0]).collect();
+            gaps.sort_unstable();
+            gaps[gaps.len() / 2]
+        };
+        let bursty = generate(&SynthConfig::scenario_bursty(5));
+        let uniform = generate(&SynthConfig::scenario_default(5));
+        assert!(
+            median_gap(&bursty) * 4 < median_gap(&uniform),
+            "bursty {} vs uniform {}",
+            median_gap(&bursty),
+            median_gap(&uniform)
+        );
+    }
+
+    #[test]
+    fn cold_start_pack_starves_cold_users() {
+        let cfg = SynthConfig::scenario_cold_start(5);
+        let s = generate(&cfg);
+        let cold = (cfg.cold_start_fraction * cfg.num_users as f64) as usize;
+        let mut sessions_of = vec![0usize; cfg.num_users];
+        for sess in &s.truth.sessions {
+            sessions_of[sess.user.index()] += 1;
+        }
+        for (u, &n) in sessions_of.iter().enumerate() {
+            if u < cold {
+                assert!(n <= 2, "cold user {u} has {n} sessions");
+            } else {
+                assert!(
+                    n >= cfg.sessions_per_user.0,
+                    "warm user {u} has only {n} sessions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spam_pack_floods_one_term_with_one_url() {
+        let cfg = SynthConfig::scenario_spam(5);
+        let s = generate(&cfg);
+        assert_eq!(s.log.num_users(), cfg.num_users + cfg.spam_users);
+        assert_eq!(s.truth.user_pref.len(), cfg.num_users + cfg.spam_users);
+        let term = &s.world.ambiguous[0].0;
+        let spam_q = s.log.find_query(term).expect("spam term interned");
+        let mut spam_records = 0usize;
+        let mut clicks = std::collections::HashSet::new();
+        for r in s.log.records() {
+            if r.user.index() >= cfg.num_users {
+                spam_records += 1;
+                assert_eq!(r.query, spam_q, "spam users emit only the flood term");
+                clicks.insert(r.click.expect("every spam query clicks"));
+            }
+        }
+        assert!(spam_records >= cfg.spam_users * cfg.spam_repeats * 2);
+        assert_eq!(clicks.len(), 1, "flood clicks a single URL");
+    }
+
+    #[test]
+    fn churn_pack_swaps_vocabulary_at_the_epoch() {
+        let cfg = SynthConfig::scenario_churn(5);
+        let s = generate(&cfg);
+        let epoch = (cfg.vocab_churn_at * cfg.time_span_secs as f64) as u64;
+        for f in &s.world.facets {
+            assert_eq!(f.churn_words.len(), cfg.words_per_facet);
+            assert!(f.churn_words.iter().all(|w| !f.words.contains(w)));
+        }
+        let churn_vocab: std::collections::HashSet<&str> = s
+            .world
+            .facets
+            .iter()
+            .flat_map(|f| f.churn_words.iter().map(String::as_str))
+            .collect();
+        let mut post_epoch_churn_records = 0usize;
+        for r in s.log.records() {
+            let has_churn_word = s
+                .log
+                .query_text(r.query)
+                .split(' ')
+                .any(|w| churn_vocab.contains(w));
+            if r.timestamp < epoch {
+                assert!(
+                    !has_churn_word,
+                    "churn word appeared before the epoch: {}",
+                    s.log.query_text(r.query)
+                );
+            } else if has_churn_word {
+                post_epoch_churn_records += 1;
+            }
+        }
+        assert!(post_epoch_churn_records > 0, "churn vocabulary never used");
+    }
+
+    #[test]
+    fn drift_pack_polarizes_final_preferences() {
+        let cfg = SynthConfig::scenario_drift(5);
+        let s = generate(&cfg);
+        let half = cfg.num_topics / 2;
+        // user_pref is the drift-interpolated preference at t = 1: with
+        // strong polarization the population's late mass dominates.
+        let late_mass: f64 = s
+            .truth
+            .user_pref
+            .iter()
+            .map(|p| p[half..].iter().sum::<f64>())
+            .sum::<f64>()
+            / s.truth.user_pref.len() as f64;
+        assert!(late_mass > 0.6, "late-topic mass {late_mass}");
+        // And every preference is still a distribution.
+        for p in &s.truth.user_pref {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn polarize_zero_is_identity_and_mass_is_preserved() {
+        let mut v = vec![0.4, 0.3, 0.2, 0.1];
+        let orig = v.clone();
+        polarize(&mut v, |k| k < 2, 0.0);
+        assert_eq!(v, orig);
+        polarize(&mut v, |k| k < 2, 0.8);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(v[0] + v[1] > 0.9, "favored mass {}", v[0] + v[1]);
     }
 
     #[test]

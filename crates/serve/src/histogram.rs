@@ -71,6 +71,37 @@ pub struct HistogramSnapshot {
     pub total_weight: f64,
 }
 
+impl HistogramSnapshot {
+    /// The `p`-quantile (0.0–1.0) of the snapshot's decayed distribution,
+    /// as the matching bucket's upper bound — the same answer the live
+    /// [`DecayedHistogram::quantile`] would give at snapshot time, with
+    /// the same [`MIN_SAMPLES`] floor. Lets offline consumers (the
+    /// scenario harness's latency columns, stats reporting) read
+    /// percentiles out of a captured snapshot without holding the
+    /// histogram lock.
+    pub fn quantile(&self, p: f64) -> Option<Duration> {
+        if self.recorded < MIN_SAMPLES || self.total_weight <= 0.0 {
+            return None;
+        }
+        let target = self.total_weight * p.clamp(0.0, 1.0);
+        let mut cum = 0.0;
+        for &(idx, w) in &self.buckets {
+            if w <= 0.0 {
+                continue;
+            }
+            cum += w;
+            if cum >= target {
+                return Some(Duration::from_micros(bucket_upper_us(idx)));
+            }
+        }
+        self.buckets
+            .iter()
+            .rev()
+            .find(|&&(_, w)| w > 0.0)
+            .map(|&(idx, _)| Duration::from_micros(bucket_upper_us(idx)))
+    }
+}
+
 struct HistogramState {
     weights: Vec<f64>,
     total_weight: f64,
@@ -264,6 +295,20 @@ mod tests {
         assert_eq!(a.snapshot(), b.snapshot());
         for p in [0.0, 0.5, 0.9, 0.99, 1.0] {
             assert_eq!(a.quantile(p), b.quantile(p));
+        }
+    }
+
+    #[test]
+    fn snapshot_quantile_matches_live_quantile() {
+        let h = DecayedHistogram::default();
+        let snap_empty = h.snapshot();
+        assert_eq!(snap_empty.quantile(0.95), None);
+        for i in 0..500u64 {
+            h.record(Duration::from_micros((i * 2_654_435_761) % 150_000));
+        }
+        let snap = h.snapshot();
+        for p in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(snap.quantile(p), h.quantile(p), "p = {p}");
         }
     }
 

@@ -190,3 +190,55 @@ fn claim_personalization_preserves_diversity() {
         "diversity before {base_div:.3} vs after personalization {pers_div:.3}"
     );
 }
+
+#[test]
+fn claim_scenario_default_pack_diversity_dominates_pinned() {
+    // The scenario harness's frozen baseline (DESIGN.md §13): on the
+    // default pack at the pinned seed, diversity-on must dominate
+    // diversity-off on unique@10 AND max-share@10, and the gate means are
+    // frozen so a silent regression in the generator, the engine, or the
+    // metrics shows up as a drifted value, not just a flipped verdict.
+    use pqsda_bench::scenario::{run_pack, Pack, ScenarioOptions};
+    let report = run_pack(Pack::Default, &ScenarioOptions::default());
+    let gate = |name: &str| {
+        report
+            .gates
+            .iter()
+            .find(|g| g.name.starts_with(name))
+            .unwrap_or_else(|| panic!("gate {name} missing"))
+    };
+    let unique = gate("unique@10");
+    let share = gate("max-share@10");
+    // Dominance, significance-backed.
+    assert!(
+        unique.pass && unique.mean_delta > 0.0,
+        "unique@10: {unique:?}"
+    );
+    assert!(
+        share.pass && share.mean_delta < 0.0,
+        "max-share@10: {share:?}"
+    );
+    // Frozen values from the pinned seed-42 run (tolerance covers libm
+    // ulp differences across hosts, nothing more).
+    let approx = |got: f64, want: f64| (got - want).abs() < 0.02;
+    assert!(
+        approx(unique.mean_a, 2.5208),
+        "unique@10 A drifted: {}",
+        unique.mean_a
+    );
+    assert!(
+        approx(unique.mean_b, 2.1042),
+        "unique@10 B drifted: {}",
+        unique.mean_b
+    );
+    assert!(
+        approx(share.mean_a, 0.9062),
+        "max-share@10 A drifted: {}",
+        share.mean_a
+    );
+    assert!(
+        approx(share.mean_b, 0.9396),
+        "max-share@10 B drifted: {}",
+        share.mean_b
+    );
+}

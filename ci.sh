@@ -39,4 +39,10 @@ cargo run --release -q -p pqsda-cli --bin pqsda -- serve --open-loop-smoke
 # through untouched), and tau-conditioning must win on the drift pack.
 # Every verdict is significance-backed; any gate failure fails the build.
 cargo run --release -q -p pqsda-cli --bin pqsda -- scenario --smoke
+# Backend smoke: the ranking-backend head-to-head packs. Structural gates
+# pin the pluggable-pipeline contracts — the default backend bit-stable
+# across fresh builds and thread counts, BiRank deterministic and
+# complete, intent fusion a pure permutation that passes anonymous
+# requests through to the default backend untouched.
+cargo run --release -q -p pqsda-cli --bin pqsda -- scenario --backends --smoke
 echo "ci: all green"

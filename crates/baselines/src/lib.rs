@@ -30,5 +30,5 @@ pub use cm::ConceptBased;
 pub use dqs::Dqs;
 pub use ht::HittingTime;
 pub use pht::PersonalizedHittingTime;
-pub use suggester::{SuggestRequest, Suggester};
+pub use suggester::{Backend, SuggestRequest, Suggester};
 pub use walks::{BackwardWalk, ForwardWalk};

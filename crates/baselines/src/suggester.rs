@@ -2,6 +2,50 @@
 
 use pqsda_querylog::{QueryId, UserId};
 
+/// Which ranking backend serves the request. Carried on every
+/// [`SuggestRequest`] so the serving layer can A/B backends per request:
+/// the selection flows through scatter-gather, replicas and coalescing
+/// (a reply computed under one backend is never shared with another).
+///
+/// Methods that have no backend notion (the baselines) ignore the field;
+/// the PQS-DA engine dispatches on it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The paper's pipeline: Eq. 15 regularized relevance + Algorithm 1
+    /// hitting-time diversification (+ UPM Borda rerank when
+    /// personalized). Bit-identical to the engine before backends
+    /// existed.
+    #[default]
+    Eq15,
+    /// BiRank iterative bipartite smoothing as the relevance model
+    /// (He et al.); diversification and personalization unchanged.
+    BiRank,
+    /// Eq. 15 relevance, with the session-intent posterior fused into the
+    /// Borda aggregation as a third ranking (Kharitonov et al.-style
+    /// contextualization). Anonymous / no-profile requests degrade to
+    /// [`Backend::Eq15`] exactly.
+    IntentFused,
+}
+
+impl Backend {
+    /// Every backend, in reporting order.
+    pub const ALL: [Backend; 3] = [Backend::Eq15, Backend::BiRank, Backend::IntentFused];
+
+    /// Stable name (CLI `--backend` values, BENCH provenance keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Eq15 => "eq15",
+            Backend::BiRank => "birank",
+            Backend::IntentFused => "intent",
+        }
+    }
+
+    /// Parses a name as printed by [`Backend::name`].
+    pub fn parse(s: &str) -> Option<Backend> {
+        Backend::ALL.into_iter().find(|b| b.name() == s)
+    }
+}
+
 /// One suggestion request: the input query, its search context (paper
 /// Definition 2 — the previously submitted queries of the same session),
 /// and optionally the user for personalized methods.
@@ -21,6 +65,8 @@ pub struct SuggestRequest {
     pub user: Option<UserId>,
     /// How many suggestions to return.
     pub k: usize,
+    /// The ranking backend serving this request.
+    pub backend: Backend,
 }
 
 impl SuggestRequest {
@@ -34,6 +80,7 @@ impl SuggestRequest {
             query_time: 0,
             user: None,
             k,
+            backend: Backend::default(),
         }
     }
 
@@ -49,6 +96,12 @@ impl SuggestRequest {
     /// Attributes the request to a user.
     pub fn for_user(mut self, user: UserId) -> Self {
         self.user = Some(user);
+        self
+    }
+
+    /// Selects the ranking backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -111,5 +164,19 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_context_rejected() {
         SuggestRequest::simple(QueryId(0), 1).with_context(vec![QueryId(1)], vec![], 5);
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+        }
+        assert_eq!(Backend::parse("nope"), None);
+        // The default backend is the paper's pipeline — requests built
+        // before backends existed keep their exact behavior.
+        assert_eq!(Backend::default(), Backend::Eq15);
+        assert_eq!(SuggestRequest::simple(QueryId(0), 1).backend, Backend::Eq15);
+        let r = SuggestRequest::simple(QueryId(0), 1).with_backend(Backend::BiRank);
+        assert_eq!(r.backend, Backend::BiRank);
     }
 }

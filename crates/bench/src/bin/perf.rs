@@ -55,7 +55,7 @@ use pqsda::regularize::{RegularizationConfig, Regularizer};
 use pqsda::{EngineBuildOptions, PqsDa};
 use pqsda_baselines::SuggestRequest;
 use pqsda_bench::loadgen::{run_open_loop, OpenLoopConfig, OpenLoopReport};
-use pqsda_bench::scenario::{run_all, ScenarioOptions};
+use pqsda_bench::scenario::{frontier, run_all, run_backends, ScenarioOptions};
 use pqsda_bench::{ExperimentWorld, Scale};
 use pqsda_graph::bipartite::Bipartite;
 use pqsda_graph::compact::{CompactConfig, CompactMulti};
@@ -659,12 +659,17 @@ fn main() {
     }
 
     // Scenario quality gates (DESIGN.md §13): the full A/B pack suite at
-    // the pinned seed, one JSON row per gate. Skipped in smoke (ci.sh runs
+    // the pinned seed, one JSON row per gate, plus the backend
+    // head-to-head packs (DESIGN.md §14). Skipped in smoke (ci.sh runs
     // `pqsda scenario --smoke` separately — here the verdicts are recorded
-    // as benchmark provenance, not enforced).
+    // as benchmark provenance, not enforced). The non-smoke tier runs the
+    // `full()` preset (more queries per pack than the pinned smoke size).
     eprintln!("perf: running scenario quality-gate packs");
-    let scenario_opts = ScenarioOptions::default();
-    let scenario_reports = run_all(&scenario_opts);
+    let scenario_opts = ScenarioOptions::full();
+    let mut scenario_reports = run_all(&scenario_opts);
+    scenario_reports.extend(run_backends(&scenario_opts));
+    eprintln!("perf: sweeping the relevance_bias x pool_factor frontier");
+    let frontier_points = frontier(&scenario_opts);
 
     let out_path = std::env::var("PQSDA_BENCH_OUT").unwrap_or_else(|_| "BENCH_perf.json".into());
     let mut json = String::new();
@@ -771,9 +776,13 @@ fn main() {
          adversarial synthetic workloads, personalization on/off on the cold-start pack, \
          tau-conditioning on/off on the drift pack. Each row is one gate; delta is the mean \
          paired per-query difference (A - B) and p its two-sided paired-randomization \
-         p-value. enforced=false rows are reported metrics, not pass criteria. fingerprint \
-         is the generated pack's FNV-1a content hash — same seed, same pack, any host.\",\n",
-        scenario_opts.seed
+         p-value. enforced=false rows are reported metrics, not pass criteria. The \
+         backends-* packs run the ranking-backend head-to-heads (birank vs eq15 relevance, \
+         intent-fused vs plain borda) with structural gates pinning the refactor contracts \
+         (p = 1.0 rows: exact assertions counted over n checks). fingerprint \
+         is the generated pack's FNV-1a content hash — same seed, same pack, any host. \
+         Non-smoke tier: {} test queries per pack.\",\n",
+        scenario_opts.seed, scenario_opts.queries
     ));
     json.push_str("  \"scenario\": [\n");
     let gate_count: usize = scenario_reports.iter().map(|r| r.gates.len()).sum();
@@ -799,6 +808,33 @@ fn main() {
                 g.enforced
             ));
         }
+    }
+    json.push_str("  ],\n");
+    json.push_str(
+        "  \"frontier_note\": \"relevance_bias x pool_factor sweep over the default pack \
+         (Algorithm 1 operating points). Every point's nDCG divides by one shared ideal: the \
+         candidate pool per query is the union over ALL 16 grid lists, so rows are directly \
+         comparable. The calibrated operating point the packs run at is bias 2.0, pool 5.\",\n",
+    );
+    json.push_str("  \"frontier\": [\n");
+    for (i, p) in frontier_points.iter().enumerate() {
+        let comma = if i + 1 < frontier_points.len() {
+            ","
+        } else {
+            ""
+        };
+        json.push_str(&format!(
+            "    {{\"relevance_bias\": {}, \"pool_factor\": {}, \"unique\": {:.4}, \
+             \"max_share\": {:.4}, \"alpha_ndcg\": {:.4}, \"ndcg\": {:.4}, \"p95_us\": {}}}{comma}\n",
+            p.relevance_bias,
+            p.pool_factor,
+            p.unique,
+            p.max_share,
+            p.alpha_ndcg,
+            p.ndcg,
+            p.p95_us
+                .map_or_else(|| "null".into(), |v| v.to_string())
+        ));
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_perf.json");

@@ -13,9 +13,9 @@
 //! `--threads N`.
 
 use pqsda::{EngineBuildOptions, Personalizer, PqsDa, PqsDaConfig};
-use pqsda_baselines::{SuggestRequest, Suggester};
+use pqsda_baselines::{Backend, SuggestRequest, Suggester};
 use pqsda_bench::loadgen::{run_open_loop, OpenLoopConfig, OpenLoopReport};
-use pqsda_bench::scenario::{print_report, run_pack, Pack, ScenarioOptions};
+use pqsda_bench::scenario::{print_report, run_backends, run_pack, Pack, ScenarioOptions};
 use pqsda_graph::multi::MultiBipartite;
 use pqsda_graph::weighting::WeightingScheme;
 use pqsda_querylog::clean::{clean_entries, CleanConfig};
@@ -62,20 +62,20 @@ USAGE:
   pqsda stats    <log.tsv>
   pqsda suggest  <log.tsv> --query \"sun\" [--k 10] [--user ID]
                  [--profiles FILE | --personalize] [--topics K] [--iters N]
-                 [--raw] [--threads N]
+                 [--raw] [--threads N] [--backend eq15|birank|intent]
   pqsda profiles <log.tsv> --out FILE [--topics K] [--iters N] [--threads N]
   pqsda serve    <log.tsv> --query \"sun\" [--shards N] [--key user|query]
                  [--k 10] [--threads N] [--replicas R] [--budget-ms MS]
-                 [--hedge-ms MS] [--breaker K]
+                 [--hedge-ms MS] [--breaker K] [--backend eq15|birank|intent]
   pqsda serve    <log.tsv> --open-loop RPS [--requests N] [--deadline-ms MS]
-                 [--seed S] [--shards N] [--k 10]
+                 [--seed S] [--shards N] [--k 10] [--backend eq15|birank|intent]
   pqsda serve    --smoke
   pqsda serve    --chaos-smoke
   pqsda serve    --open-loop-smoke
   pqsda serve    --snapshot-smoke
   pqsda snapshot save <log.tsv> --dir DIR [--shards N] [--key user|query] [--raw]
   pqsda snapshot load --dir DIR [--query \"sun\"] [--k 10] [--user ID] [--no-mmap]
-  pqsda scenario [--smoke] [--pack NAME] [--seed S] [--k N] [--queries N]
+  pqsda scenario [--smoke] [--pack NAME] [--backends] [--seed S] [--k N] [--queries N]
   pqsda demo
 
 Logs are AOL-format TSV: AnonID\\tQuery\\tQueryTime\\tItemRank\\tClickURL.
@@ -97,7 +97,7 @@ impl Flags {
                 let value = match name {
                     // boolean flags
                     "raw" | "personalize" | "smoke" | "chaos-smoke" | "open-loop-smoke"
-                    | "snapshot-smoke" | "no-mmap" => None,
+                    | "snapshot-smoke" | "no-mmap" | "backends" => None,
                     _ => {
                         i += 1;
                         Some(
@@ -253,7 +253,7 @@ fn cmd_suggest(args: &[String]) -> Result<(), String> {
     let multi = MultiBipartite::build(&log, &sessions, scheme);
     let engine = PqsDa::new(log, multi, personalizer, PqsDaConfig::default());
 
-    let mut req = SuggestRequest::simple(query, k);
+    let mut req = SuggestRequest::simple(query, k).with_backend(parse_backend(&flags)?);
     if let Some(uid) = flags.get("user") {
         let uid: u32 = uid.parse().map_err(|_| "--user: bad id".to_owned())?;
         req = req.for_user(UserId(uid));
@@ -266,6 +266,18 @@ fn cmd_suggest(args: &[String]) -> Result<(), String> {
         println!("{:>2}. {}", i + 1, engine.log().query_text(*q));
     }
     Ok(())
+}
+
+fn parse_backend(flags: &Flags) -> Result<Backend, String> {
+    match flags.get("backend") {
+        None => Ok(Backend::default()),
+        Some(name) => Backend::parse(name).ok_or_else(|| {
+            format!(
+                "--backend: expected {}, got {name:?}",
+                Backend::ALL.map(Backend::name).join("|")
+            )
+        }),
+    }
 }
 
 fn parse_key(flags: &Flags) -> Result<PartitionKey, String> {
@@ -305,6 +317,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let shards = flags.get_num("shards", 2usize)?;
     let threads = flags.get_num("threads", 0usize)?;
     let key = parse_key(&flags)?;
+    let backend = parse_backend(&flags)?;
     let fault = FaultConfig {
         replicas: flags.get_num("replicas", 1usize)?,
         budget_ms: flags.get_num("budget-ms", 0u64)?,
@@ -352,7 +365,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .records()
             .iter()
             .step_by(7)
-            .map(|r| SuggestRequest::simple(r.query, k).for_user(r.user))
+            .map(|r| {
+                SuggestRequest::simple(r.query, k)
+                    .for_user(r.user)
+                    .with_backend(backend)
+            })
             .collect();
         let report = run_open_loop(&server, &pool, &cfg);
         print_open_loop_report(&report, &server);
@@ -362,7 +379,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let query = server
         .find_query(query_text)
         .ok_or_else(|| format!("query {query_text:?} does not occur in the log"))?;
-    let mut req = SuggestRequest::simple(query, k);
+    let mut req = SuggestRequest::simple(query, k).with_backend(backend);
     if let Some(uid) = flags.get("user") {
         let uid: u32 = uid.parse().map_err(|_| "--user: bad id".to_owned())?;
         req = req.for_user(UserId(uid));
@@ -1138,26 +1155,37 @@ fn cmd_demo() -> Result<(), String> {
 /// default seed, so overriding `--seed` is for exploration, not gating.
 fn cmd_scenario(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
-    let defaults = ScenarioOptions::default();
+    // `--smoke` keeps the pinned CI size; the full tier runs more test
+    // queries per pack so off-pin seeds clear the significance floor.
+    let defaults = if flags.has("smoke") {
+        ScenarioOptions::default()
+    } else {
+        ScenarioOptions::full()
+    };
     let opts = ScenarioOptions {
         seed: flags.get_num("seed", defaults.seed)?,
         k: flags.get_num("k", defaults.k)?,
         queries: flags.get_num("queries", defaults.queries)?,
         ..defaults
     };
-    let packs: Vec<Pack> = match flags.get("pack") {
-        Some(name) => vec![Pack::parse(name).ok_or_else(|| {
-            format!(
-                "unknown pack {name:?} (have: {})",
-                Pack::ALL.map(Pack::name).join(", ")
-            )
-        })?],
-        None => Pack::ALL.to_vec(),
+    let reports = if flags.has("backends") {
+        // The ranking-backend head-to-heads instead of the A/B packs.
+        run_backends(&opts)
+    } else {
+        let packs: Vec<Pack> = match flags.get("pack") {
+            Some(name) => vec![Pack::parse(name).ok_or_else(|| {
+                format!(
+                    "unknown pack {name:?} (have: {})",
+                    Pack::ALL.map(Pack::name).join(", ")
+                )
+            })?],
+            None => Pack::ALL.to_vec(),
+        };
+        packs.into_iter().map(|p| run_pack(p, &opts)).collect()
     };
     let mut failed: Vec<&str> = Vec::new();
-    for pack in packs {
-        let report = run_pack(pack, &opts);
-        print_report(&report);
+    for report in &reports {
+        print_report(report);
         if !report.passed() {
             failed.push(report.pack);
         }
@@ -1223,9 +1251,19 @@ mod tests {
 
     #[test]
     fn scenario_command_runs_single_pack_and_rejects_unknown() {
-        let args: Vec<String> = vec!["--pack".into(), "default".into()];
+        let args: Vec<String> = vec!["--pack".into(), "default".into(), "--smoke".into()];
         cmd_scenario(&args).unwrap();
         let bad: Vec<String> = vec!["--pack".into(), "nope".into()];
         assert!(cmd_scenario(&bad).unwrap_err().contains("unknown pack"));
+    }
+
+    #[test]
+    fn backend_flag_parses_and_rejects_unknown() {
+        let ok = Flags::parse(&["--backend".into(), "birank".into()]).unwrap();
+        assert_eq!(parse_backend(&ok).unwrap(), Backend::BiRank);
+        let none = Flags::parse(&[]).unwrap();
+        assert_eq!(parse_backend(&none).unwrap(), Backend::Eq15);
+        let bad = Flags::parse(&["--backend".into(), "pagerank".into()]).unwrap();
+        assert!(parse_backend(&bad).unwrap_err().contains("expected"));
     }
 }

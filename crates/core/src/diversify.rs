@@ -9,10 +9,14 @@
 //! ranking ("sorted with a descending relevance … and potentially covers
 //! different facets").
 
-use crate::crosswalk::{CrossBipartiteWalk, HittingTimeScratch};
+use crate::backend::{
+    BiRank, BiRankConfig, DiversifyBackend, Eq15Relevance, HittingTimeDiversify, RelevanceBackend,
+    RelevanceKind,
+};
 use crate::regularize::{RegularizationConfig, Regularizer};
 use pqsda_graph::compact::CompactMulti;
 use pqsda_querylog::QueryId;
+use std::sync::Arc;
 
 /// How the cross-bipartite teleport matrix `N` is chosen (paper Eq. 16).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -56,6 +60,9 @@ pub struct DiversifyConfig {
     /// distant on-topic one. `0.0` (the default) reproduces the pure
     /// Algorithm 1 arg-max exactly.
     pub relevance_bias: f64,
+    /// Knobs of the [`BiRank`] relevance backend (only consulted when a
+    /// request selects it; the default Eq. 15 path never reads them).
+    pub birank: BiRankConfig,
 }
 
 impl Default for DiversifyConfig {
@@ -67,30 +74,68 @@ impl Default for DiversifyConfig {
             pool_factor: 5,
             hitting_time: true,
             relevance_bias: 0.0,
+            birank: BiRankConfig::default(),
         }
     }
 }
 
-/// Runs Algorithm 1 over one compact representation.
-#[derive(Clone, Debug)]
+/// The two-stage scoring pipeline over one compact representation:
+/// a [`RelevanceBackend`] producing the relevance vector and the first
+/// candidate, then a [`DiversifyBackend`] turning it into the ranked
+/// selection. [`Diversifier::new`] wires the paper's defaults (Eq. 15 +
+/// Algorithm 1) and is bit-identical to the pre-backend monolith;
+/// [`Diversifier::for_backend`] swaps the relevance stage per request.
+#[derive(Clone)]
 pub struct Diversifier {
-    regularizer: Regularizer,
-    walk: CrossBipartiteWalk,
-    config: DiversifyConfig,
+    relevance: Arc<dyn RelevanceBackend>,
+    diversify: Arc<dyn DiversifyBackend>,
+}
+
+impl std::fmt::Debug for Diversifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Diversifier")
+            .field("relevance", &self.relevance.name())
+            .field("diversify", &self.diversify.name())
+            .finish()
+    }
 }
 
 impl Diversifier {
-    /// Prepares the regularizer and the cross-bipartite walker.
+    /// Prepares the paper's default pipeline: Eq. 15 relevance +
+    /// Algorithm 1 hitting-time diversification.
     pub fn new(compact: &CompactMulti, config: DiversifyConfig) -> Self {
-        let walk = match config.cross {
-            CrossMatrixChoice::Uniform => CrossBipartiteWalk::uniform(compact),
-            CrossMatrixChoice::MassWeighted => CrossBipartiteWalk::mass_weighted(compact),
+        Diversifier::for_backend(compact, config, RelevanceKind::Eq15)
+    }
+
+    /// Prepares the pipeline with the chosen relevance model. The
+    /// diversification stage is always Algorithm 1 — backends differ in
+    /// *how* candidates are scored, not in how the list spreads facets.
+    pub fn for_backend(
+        compact: &CompactMulti,
+        config: DiversifyConfig,
+        kind: RelevanceKind,
+    ) -> Self {
+        let relevance: Arc<dyn RelevanceBackend> = match kind {
+            RelevanceKind::Eq15 => Arc::new(Eq15Relevance::new(Regularizer::new(
+                compact,
+                config.regularization,
+            ))),
+            RelevanceKind::BiRank => Arc::new(BiRank::new(
+                compact,
+                config.regularization.alphas,
+                config.regularization.lambda,
+                config.birank,
+            )),
         };
         Diversifier {
-            regularizer: Regularizer::new(compact, config.regularization),
-            walk,
-            config,
+            relevance,
+            diversify: Arc::new(HittingTimeDiversify::new(compact, config)),
         }
+    }
+
+    /// The relevance backend's stable name (reports, debug output).
+    pub fn relevance_name(&self) -> &'static str {
+        self.relevance.name()
     }
 
     /// Algorithm 1: returns up to `k` *local indices* in rank order.
@@ -117,80 +162,15 @@ impl Diversifier {
         if k == 0 {
             return Vec::new();
         }
-        // Line 1–3: first candidate via Eq. 15.
-        let Some((first, f_star)) = self.regularizer.first_candidate(input_local, context) else {
+        // Stage 1 (Algorithm 1 lines 1–3): the relevance backend scores
+        // the compact set and names the first candidate.
+        let Some((first, f_star)) = self.relevance.relevance(input_local, context) else {
             return Vec::new();
         };
-        let mut selected = vec![first];
-        let excluded: Vec<usize> = std::iter::once(input_local)
-            .chain(context.iter().map(|&(l, _)| l))
-            .collect();
-
-        // Relevance pool: the top pool_factor·k queries by F*.
-        let pool_size = (self.config.pool_factor * k).max(10);
-        let mut pool: Vec<usize> = (0..self.walk.num_queries())
-            .filter(|i| !excluded.contains(i) && f_star[*i] > 0.0)
-            .collect();
-        pool.sort_by(|&a, &b| f_star[b].partial_cmp(&f_star[a]).unwrap().then(a.cmp(&b)));
-        pool.truncate(pool_size);
-
-        // Ablation arm: relevance-only ranking. The pool is already in
-        // descending F* order, so the list is the first candidate plus the
-        // next k−1 pool entries.
-        if !self.config.hitting_time {
-            for &i in pool.iter() {
-                if selected.len() >= k {
-                    break;
-                }
-                if i != first {
-                    selected.push(i);
-                }
-            }
-            return selected.into_iter().map(|l| (l, f_star[l])).collect();
-        }
-
-        // Lines 4–11: iteratively add the arg-max hitting-time query.
-        // The target set is S ∪ {input}: candidates must diversify away
-        // from both the picks so far and the input query itself. The
-        // target list, hitting-time vector and sweep buffers persist
-        // across rounds — each round only appends the newest pick and
-        // re-solves in place.
-        let mut targets = selected.clone();
-        targets.push(input_local);
-        let mut scratch = HittingTimeScratch::default();
-        let mut h = Vec::new();
-        let bias = self.config.relevance_bias;
-        let f_max = pool
-            .iter()
-            .map(|&i| f_star[i])
-            .fold(f64::MIN_POSITIVE, f64::max);
-        // `bias == 0` multiplies every hitting time by exactly 1.0, so the
-        // default arg-max is bit-identical to the unbiased Algorithm 1.
-        let score = |h: &[f64], i: usize| -> f64 { h[i] * (f_star[i] / f_max).powf(bias) };
-        while selected.len() < k {
-            self.walk
-                .hitting_time_into(&targets, self.config.horizon, 0, &mut scratch, &mut h);
-            let next = pool
-                .iter()
-                .copied()
-                .filter(|i| !selected.contains(i))
-                .max_by(|&a, &b| {
-                    score(&h, a)
-                        .partial_cmp(&score(&h, b))
-                        .unwrap()
-                        // Ties (e.g. both saturated) break toward relevance.
-                        .then(f_star[a].partial_cmp(&f_star[b]).unwrap())
-                        .then(b.cmp(&a))
-                });
-            match next {
-                Some(i) => {
-                    selected.push(i);
-                    targets.push(i);
-                }
-                None => break,
-            }
-        }
-        selected.into_iter().map(|l| (l, f_star[l])).collect()
+        // Stage 2 (lines 4–11): the diversification backend spreads the
+        // list across facets.
+        self.diversify
+            .select(first, &f_star, input_local, context, k)
     }
 
     /// Convenience: resolves the selection to global [`QueryId`]s.

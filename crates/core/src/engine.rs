@@ -7,10 +7,11 @@
 //! anonymous request) the engine returns the diversification ranking —
 //! exactly the intermediate result the paper evaluates in §VI-B.
 
+use crate::backend::RelevanceKind;
 use crate::cache::{CacheConfig, CacheStats, ShardedLruCache};
 use crate::diversify::{Diversifier, DiversifyConfig};
 use crate::personalize::Personalizer;
-use pqsda_baselines::{SuggestRequest, Suggester};
+use pqsda_baselines::{Backend, SuggestRequest, Suggester};
 use pqsda_graph::compact::{CompactConfig, CompactMulti};
 use pqsda_graph::multi::MultiBipartite;
 use pqsda_graph::weighting::WeightingScheme;
@@ -121,11 +122,17 @@ pub struct PqsDa {
     multi: MultiBipartite,
     personalizer: Option<Personalizer>,
     config: PqsDaConfig,
-    /// Memo of compact representations per (input, context) seed set —
+    /// Memo of compact representations per (relevance model, seed set) —
     /// online suggestion re-serves hot queries, and expansion dominates
     /// the per-request cost. Sharded and LRU-bounded so concurrent
     /// requests don't serialize on one lock and residency stays bounded.
-    cache: ShardedLruCache<Vec<QueryId>, CompactCacheEntry>,
+    ///
+    /// The key carries the [`RelevanceKind`], not the raw request
+    /// backend: `Eq15` and `IntentFused` run the identical expansion,
+    /// relevance and diversification (intent fusion only reorders
+    /// downstream of the memo), so sharing their entry is exact — while
+    /// `BiRank` scores differently and must never share one.
+    cache: ShardedLruCache<(RelevanceKind, Vec<QueryId>), CompactCacheEntry>,
 }
 
 struct CompactCacheEntry {
@@ -334,9 +341,10 @@ impl PqsDa {
         let mut seen = std::collections::HashSet::with_capacity(seeds.len());
         seeds.retain(|q| seen.insert(*q));
 
-        let entry = self.cache.get_or_insert_with(seeds.clone(), || {
+        let kind = RelevanceKind::of(req.backend);
+        let entry = self.cache.get_or_insert_with((kind, seeds.clone()), || {
             let compact = CompactMulti::expand(&self.multi, &seeds, &self.config.compact);
-            let diversifier = Diversifier::new(&compact, self.config.diversify);
+            let diversifier = Diversifier::for_backend(&compact, self.config.diversify, kind);
             CompactCacheEntry {
                 compact,
                 diversifier,
@@ -372,7 +380,17 @@ impl PqsDa {
         match (&self.personalizer, req.user) {
             (Some(p), Some(user)) => {
                 let qids: Vec<QueryId> = diversified.iter().map(|&(q, _)| q).collect();
-                let reranked = p.rerank(user, &self.log, &qids);
+                let reranked = match req.backend {
+                    // Intent fusion: the session-intent ranking joins the
+                    // Borda aggregation as a third list. For users without
+                    // a profile `rerank_intent` returns the diversified
+                    // order, matching `rerank` — so IntentFused degrades
+                    // to Eq15 exactly outside the personalized path.
+                    Backend::IntentFused => {
+                        p.rerank_intent(user, &self.log, req.query, &req.context, &qids)
+                    }
+                    Backend::Eq15 | Backend::BiRank => p.rerank(user, &self.log, &qids),
+                };
                 // Scores travel with their query through the rerank.
                 let score_of: std::collections::HashMap<QueryId, f64> =
                     diversified.into_iter().collect();

@@ -1,0 +1,280 @@
+//! Session-intent contextualization (the [`pqsda_baselines::Backend::IntentFused`]
+//! backend).
+//!
+//! Kharitonov et al.-style intent models condition suggestion ranking on a
+//! posterior over the searcher's current *intent* given the session so
+//! far. The UPM already carries everything such a model needs — per-user
+//! topic mixtures `θ_dk` and per-topic word models `p(w | k, d)` — so the
+//! intent posterior falls out of Bayes over the topics:
+//!
+//! ```text
+//! ln p(k | u, C) ∝ ln θ_dk + Σ_{q' ∈ C ∪ {input}} (1/|words(q')|) · Σ_{w ∈ q'} ln p(w | k, d)
+//! ```
+//!
+//! (per-query word averages, so a verbose context query doesn't drown a
+//! terse one), normalized by softmax. A candidate is then scored by its
+//! expected word probability under that posterior,
+//!
+//! ```text
+//! score(q) = Σ_k p(k | u, C) · ( Σ_{w ∈ q} p(w | k, d) ) / |q| ,
+//! ```
+//!
+//! and the resulting ranking joins the Borda aggregation as a **third
+//! list** next to the preference ranking (Eq. 31) and the diversification
+//! ranking — see [`crate::Personalizer::rerank_intent`]. The fusion runs
+//! strictly downstream of the expansion memo: relevance and
+//! diversification are exactly the default backend's, which is why
+//! [`crate::backend::RelevanceKind::of`] maps `IntentFused` onto the
+//! `Eq15` cache entry.
+
+use pqsda_querylog::{QueryId, QueryLog};
+use pqsda_topics::model::TopicModel;
+use pqsda_topics::Upm;
+
+/// The softmax-normalized intent posterior `p(k | u, C)` over the UPM's
+/// topics, conditioned on the input query and its session context.
+///
+/// Wordless queries contribute no evidence; with *no* evidence at all the
+/// posterior degrades to the user's static topic mixture `θ_d` — the
+/// fusion then re-expresses the user's standing preference rather than
+/// inventing a session signal.
+pub fn intent_posterior(
+    upm: &Upm,
+    doc: usize,
+    log: &QueryLog,
+    input: QueryId,
+    context: &[QueryId],
+) -> Vec<f64> {
+    let theta = upm.doc_topic(doc);
+    let mut ln_post: Vec<f64> = theta
+        .iter()
+        .map(|&t| t.max(f64::MIN_POSITIVE).ln())
+        .collect();
+    for &q in context.iter().chain(std::iter::once(&input)) {
+        let words = log.query_terms(q);
+        if words.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / words.len() as f64;
+        for (k, lp) in ln_post.iter_mut().enumerate() {
+            let mut ln_words = 0.0;
+            for &w in words {
+                ln_words += upm.user_word_prob(doc, k, w.0).max(f64::MIN_POSITIVE).ln();
+            }
+            *lp += inv * ln_words;
+        }
+    }
+    // Softmax in log space: subtract the max before exponentiating.
+    let max_ln = ln_post.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut post: Vec<f64> = ln_post.iter().map(|&lp| (lp - max_ln).exp()).collect();
+    let norm: f64 = post.iter().sum();
+    if norm > 0.0 {
+        for p in &mut post {
+            *p /= norm;
+        }
+    }
+    post
+}
+
+/// A candidate's expected per-word probability under the intent
+/// posterior. Returns 0 for wordless candidates (no evidence either way),
+/// mirroring [`crate::preference_score`].
+pub fn intent_score(upm: &Upm, doc: usize, log: &QueryLog, posterior: &[f64], q: QueryId) -> f64 {
+    let words = log.query_terms(q);
+    if words.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for &w in words {
+        for (k, &p) in posterior.iter().enumerate() {
+            total += upm.user_word_prob(doc, k, w.0) * p;
+        }
+    }
+    total / words.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Personalizer;
+    use pqsda_querylog::{LogEntry, UserId};
+    use pqsda_topics::{Corpus, TrainConfig, Upm, UpmConfig};
+
+    /// User 0 is a java searcher who *also* has a solar side; the session
+    /// context decides which intent is live.
+    fn setup() -> (QueryLog, Personalizer) {
+        let mut entries = Vec::new();
+        // Asymmetric facets: user 0 leans java (every round, two distinct
+        // queries) with a lighter solar side (three rounds) — symmetric
+        // facet counts would let the sampler split topics along a
+        // facet-blind axis, collapsing the two contexts' posteriors.
+        for i in 0..8u64 {
+            entries.push(LogEntry::new(
+                UserId(0),
+                "java jdk maven",
+                Some("java.com"),
+                i * 4000,
+            ));
+            entries.push(LogEntry::new(
+                UserId(0),
+                "java generics",
+                Some("java.com"),
+                i * 4000 + 50,
+            ));
+            if i < 3 {
+                entries.push(LogEntry::new(
+                    UserId(0),
+                    "solar panels energy",
+                    Some("solar.org"),
+                    i * 4000 + 100,
+                ));
+            }
+            entries.push(LogEntry::new(
+                UserId(1),
+                "solar panels energy",
+                Some("solar.org"),
+                i * 4000 + 200,
+            ));
+        }
+        entries.push(LogEntry::new(UserId(0), "sun java", None, 90_000));
+        entries.push(LogEntry::new(UserId(0), "sun solar", None, 91_000));
+        let mut log = QueryLog::from_entries(&entries);
+        let sessions = pqsda_querylog::session::segment_sessions(
+            &mut log,
+            &pqsda_querylog::session::SessionConfig::default(),
+        );
+        let corpus = Corpus::build(&log, &sessions);
+        let upm = Upm::train(
+            &corpus,
+            &UpmConfig {
+                base: TrainConfig {
+                    num_topics: 2,
+                    iterations: 40,
+                    seed: 17,
+                    ..TrainConfig::default()
+                },
+                hyper_every: 0,
+                hyper_iterations: 0,
+                threads: 1,
+            },
+        );
+        let p = Personalizer::new(upm, &corpus, log.num_users());
+        (log, p)
+    }
+
+    #[test]
+    fn posterior_is_a_distribution_and_follows_the_context() {
+        let (log, p) = setup();
+        let upm = p.upm();
+        let java_ctx = log.find_query("java jdk maven").unwrap();
+        let solar_ctx = log.find_query("solar panels energy").unwrap();
+        let input = log.find_query("sun java").unwrap();
+        let post_java = intent_posterior(upm, 0, &log, input, &[java_ctx]);
+        assert!((post_java.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(post_java.iter().all(|&x| x >= 0.0));
+        // Opposite contexts shift the posterior.
+        let input_s = log.find_query("sun solar").unwrap();
+        let post_solar = intent_posterior(upm, 0, &log, input_s, &[solar_ctx]);
+        assert_ne!(
+            post_java.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            post_solar.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn context_steers_candidate_scores() {
+        let (log, p) = setup();
+        let upm = p.upm();
+        let java_ctx = log.find_query("java jdk maven").unwrap();
+        let solar_ctx = log.find_query("solar panels energy").unwrap();
+        let java_cand = log.find_query("sun java").unwrap();
+        let solar_cand = log.find_query("sun solar").unwrap();
+        // Same user, same candidates — only the session context differs.
+        let post_j = intent_posterior(upm, 0, &log, java_cand, &[java_ctx]);
+        let post_s = intent_posterior(upm, 0, &log, solar_cand, &[solar_ctx]);
+        let in_java_session = intent_score(upm, 0, &log, &post_j, java_cand)
+            - intent_score(upm, 0, &log, &post_j, solar_cand);
+        let in_solar_session = intent_score(upm, 0, &log, &post_s, java_cand)
+            - intent_score(upm, 0, &log, &post_s, solar_cand);
+        assert!(
+            in_java_session > in_solar_session,
+            "java candidate must gain under a java session: {in_java_session} vs {in_solar_session}"
+        );
+    }
+
+    #[test]
+    fn empty_evidence_degrades_to_theta_and_is_deterministic() {
+        let (log, p) = setup();
+        let upm = p.upm();
+        // A wordless input with no context: posterior == normalized θ.
+        let mut entries = vec![LogEntry::new(UserId(0), "the of", None, 0)];
+        entries.push(LogEntry::new(UserId(0), "java", Some("a.com"), 10));
+        let log2 = QueryLog::from_entries(&entries);
+        let wordless = log2.find_query("the of").unwrap();
+        assert!(log2.query_terms(wordless).is_empty());
+        let post = intent_posterior(upm, 0, &log2, wordless, &[]);
+        let theta = upm.doc_topic(0);
+        let norm: f64 = theta.iter().sum();
+        for (a, b) in post.iter().zip(&theta) {
+            assert!((a - b / norm).abs() < 1e-12);
+        }
+        // Bit-determinism across repeat calls.
+        let input = log.find_query("sun java").unwrap();
+        let a = intent_posterior(upm, 0, &log, input, &[]);
+        let b = intent_posterior(upm, 0, &log, input, &[]);
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // Wordless candidates score zero.
+        assert_eq!(intent_score(upm, 0, &log2, &post, wordless), 0.0);
+    }
+
+    #[test]
+    fn rerank_intent_fuses_three_lists_and_degrades_cleanly() {
+        let (log, p) = setup();
+        let java_cand = log.find_query("sun java").unwrap();
+        let solar_cand = log.find_query("sun solar").unwrap();
+        let panels = log.find_query("solar panels energy").unwrap();
+        let input = log.find_query("java jdk maven").unwrap();
+        let diversified = vec![solar_cand, java_cand, panels];
+        let fused = p.rerank_intent(UserId(0), &log, input, &[], &diversified);
+        // A permutation, never a different set.
+        let mut a = fused.clone();
+        let mut b = diversified.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Deterministic.
+        assert_eq!(
+            fused,
+            p.rerank_intent(UserId(0), &log, input, &[], &diversified)
+        );
+        // No profile → diversification order untouched (the exact Eq15
+        // degradation the backend contract promises).
+        assert_eq!(
+            p.rerank_intent(UserId(42), &log, input, &[], &diversified),
+            diversified
+        );
+        // Empty list passes through.
+        assert!(p.rerank_intent(UserId(0), &log, input, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn java_session_promotes_java_candidate() {
+        let (log, p) = setup();
+        let java_cand = log.find_query("sun java").unwrap();
+        let solar_cand = log.find_query("sun solar").unwrap();
+        let panels = log.find_query("solar panels energy").unwrap();
+        let java_input = log.find_query("java jdk maven").unwrap();
+        // Diversified order buries the java candidate last.
+        let diversified = vec![solar_cand, panels, java_cand];
+        let fused = p.rerank_intent(UserId(0), &log, java_input, &[], &diversified);
+        let plain = p.rerank(UserId(0), &log, &diversified);
+        let pos = |list: &[QueryId]| list.iter().position(|&q| q == java_cand).unwrap();
+        assert!(
+            pos(&fused) <= pos(&plain),
+            "intent fusion must not bury the in-session candidate: fused {fused:?} vs plain {plain:?}"
+        );
+    }
+}

@@ -19,6 +19,12 @@
 //!    fuse the diversification and personalization rankings with Borda's
 //!    method.
 //!
+//! Stages 2–3 sit behind the pluggable [`backend`] traits
+//! ([`backend::RelevanceBackend`], [`backend::DiversifyBackend`]): the
+//! paper's Eq. 15 + Algorithm 1 are the default pair, with
+//! [`backend::BiRank`] smoothing and [`intent`]-fused Borda aggregation
+//! selectable per request via [`pqsda_baselines::Backend`].
+//!
 //! [`engine::PqsDa`] packages the pipeline behind the common
 //! [`pqsda_baselines::Suggester`] interface.
 
@@ -27,14 +33,20 @@
 // where explicit indices are clearer than iterator chains.
 #![allow(clippy::needless_range_loop)]
 
+pub mod backend;
 pub mod borda;
 pub mod cache;
 pub mod crosswalk;
 pub mod diversify;
 pub mod engine;
+pub mod intent;
 pub mod personalize;
 pub mod regularize;
 
+pub use backend::{
+    BiRank, BiRankConfig, DiversifyBackend, Eq15Relevance, HittingTimeDiversify, RelevanceBackend,
+    RelevanceKind,
+};
 pub use borda::borda_aggregate;
 pub use cache::{CacheConfig, CacheStats, ShardedLruCache};
 pub use crosswalk::CrossBipartiteWalk;

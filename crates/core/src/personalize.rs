@@ -200,6 +200,48 @@ impl Personalizer {
         borda_aggregate(&[pref_ranking, diversified.to_vec()])
     }
 
+    /// The intent-fused rerank (the `IntentFused` backend's aggregation):
+    /// Borda over **three** rankings — preference (Eq. 31),
+    /// diversification, and the session-intent ranking of
+    /// [`crate::intent`] conditioned on the input query and its context.
+    /// Returns the diversification ranking untouched when the user has no
+    /// profile, which makes anonymous/no-profile `IntentFused` requests
+    /// degrade to the default backend *exactly*.
+    pub fn rerank_intent(
+        &self,
+        user: UserId,
+        log: &QueryLog,
+        input: QueryId,
+        context: &[QueryId],
+        diversified: &[QueryId],
+    ) -> Vec<QueryId> {
+        if diversified.is_empty() || !self.has_profile(user) {
+            return diversified.to_vec();
+        }
+        let doc = self.doc_of_user[user.index()].expect("has_profile checked");
+        let mut by_pref: Vec<(QueryId, f64)> = diversified
+            .iter()
+            .map(|&q| (q, self.score(user, log, q).unwrap_or(0.0)))
+            .collect();
+        by_pref.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let pref_ranking: Vec<QueryId> = by_pref.into_iter().map(|(q, _)| q).collect();
+        let posterior = crate::intent::intent_posterior(&self.upm, doc, log, input, context);
+        let mut by_intent: Vec<(QueryId, f64)> = diversified
+            .iter()
+            .map(|&q| {
+                (
+                    q,
+                    crate::intent::intent_score(&self.upm, doc, log, &posterior, q),
+                )
+            })
+            .collect();
+        by_intent.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let intent_ranking: Vec<QueryId> = by_intent.into_iter().map(|(q, _)| q).collect();
+        // Same tie policy as `rerank`: preference first so exact Borda
+        // ties break toward the user's standing preference.
+        borda_aggregate(&[pref_ranking, diversified.to_vec(), intent_ranking])
+    }
+
     /// Serializes the personalizer — the user → document mapping followed
     /// by the trained UPM (via [`pqsda_topics::store`]) — into `buf`,
     /// making a profile file fully self-contained.

@@ -1,0 +1,314 @@
+//! The backend refactor's bit-identity gate.
+//!
+//! `FrozenReference` is a literal copy of the engine's suggest path as it
+//! existed *before* the pluggable-backend cut — expansion, Eq. 15 first
+//! candidate, Algorithm 1's pool + hitting-time loop, personalization
+//! Borda rerank — written against public APIs only and kept frozen. The
+//! property tests then assert that the refactored engine under the
+//! default backend reproduces it **bit for bit** (ranking AND `F*`
+//! scores) on random synthetic logs, at 1/2/4 request threads, anonymous
+//! and personalized alike. Any behavioral drift in the trait cut shows up
+//! here as a failed seed, not as a silent ranking change.
+//!
+//! The same suite pins the new backends' contracts: BiRank is
+//! bit-deterministic across thread counts and repeat builds, and
+//! IntentFused degrades to the default backend exactly for requests
+//! without a personalized profile.
+
+use pqsda::crosswalk::HittingTimeScratch;
+use pqsda::{
+    CrossBipartiteWalk, EngineBuildOptions, PqsDa, ProfileTrainOptions, RegularizationConfig,
+    Regularizer,
+};
+use pqsda_baselines::{Backend, SuggestRequest, Suggester};
+use pqsda_graph::compact::{CompactConfig, CompactMulti};
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_querylog::{QueryId, QueryLog};
+use proptest::prelude::*;
+
+/// The pre-refactor suggest path, frozen. Defaults only: uniform cross
+/// matrix, `hitting_time: true`, `relevance_bias: 0.0`.
+struct FrozenReference<'a> {
+    engine: &'a PqsDa,
+}
+
+impl FrozenReference<'_> {
+    fn suggest_scored(&self, req: &SuggestRequest) -> Vec<(QueryId, f64)> {
+        let log = self.engine.log();
+        if req.query.index() >= log.num_queries() || req.k == 0 {
+            return Vec::new();
+        }
+        let mut seeds = vec![req.query];
+        seeds.extend(req.context.iter().copied());
+        let mut seen = std::collections::HashSet::with_capacity(seeds.len());
+        seeds.retain(|q| seen.insert(*q));
+
+        let compact = CompactMulti::expand(self.engine.multi(), &seeds, &CompactConfig::default());
+        let regularizer = Regularizer::new(&compact, RegularizationConfig::default());
+        let walk = CrossBipartiteWalk::uniform(&compact);
+
+        let input_local = compact.local(req.query).expect("input is a seed");
+        let context: Vec<(usize, u64)> = req
+            .context
+            .iter()
+            .zip(&req.context_times)
+            .filter_map(|(&q, &t)| {
+                compact
+                    .local(q)
+                    .map(|l| (l, req.query_time.saturating_sub(t)))
+            })
+            .collect();
+
+        let selected = frozen_select_scored(&regularizer, &walk, input_local, &context, req.k);
+        let diversified: Vec<(QueryId, f64)> = selected
+            .into_iter()
+            .map(|(l, s)| (compact.global(l), s))
+            .collect();
+
+        match (self.engine.personalizer(), req.user) {
+            (Some(p), Some(user)) => {
+                let qids: Vec<QueryId> = diversified.iter().map(|&(q, _)| q).collect();
+                let reranked = p.rerank(user, log, &qids);
+                let score_of: std::collections::HashMap<QueryId, f64> =
+                    diversified.into_iter().collect();
+                reranked
+                    .into_iter()
+                    .map(|q| (q, score_of.get(&q).copied().unwrap_or(0.0)))
+                    .collect()
+            }
+            _ => diversified,
+        }
+    }
+}
+
+/// Algorithm 1 as shipped before the backend traits existed (defaults:
+/// pool_factor 5, horizon 20, bias 0). Frozen — do not sync with
+/// `backend.rs`; divergence is exactly what this file exists to catch.
+fn frozen_select_scored(
+    regularizer: &Regularizer,
+    walk: &CrossBipartiteWalk,
+    input_local: usize,
+    context: &[(usize, u64)],
+    k: usize,
+) -> Vec<(usize, f64)> {
+    let Some((first, f_star)) = regularizer.first_candidate(input_local, context) else {
+        return Vec::new();
+    };
+    let mut selected = vec![first];
+    let excluded: Vec<usize> = std::iter::once(input_local)
+        .chain(context.iter().map(|&(l, _)| l))
+        .collect();
+
+    let pool_size = (5 * k).max(10);
+    let mut pool: Vec<usize> = (0..walk.num_queries())
+        .filter(|i| !excluded.contains(i) && f_star[*i] > 0.0)
+        .collect();
+    pool.sort_by(|&a, &b| f_star[b].partial_cmp(&f_star[a]).unwrap().then(a.cmp(&b)));
+    pool.truncate(pool_size);
+
+    let mut targets = selected.clone();
+    targets.push(input_local);
+    let mut scratch = HittingTimeScratch::default();
+    let mut h = Vec::new();
+    let f_max = pool
+        .iter()
+        .map(|&i| f_star[i])
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let score = |h: &[f64], i: usize| -> f64 { h[i] * (f_star[i] / f_max).powf(0.0) };
+    while selected.len() < k {
+        walk.hitting_time_into(&targets, 20, 0, &mut scratch, &mut h);
+        let next = pool
+            .iter()
+            .copied()
+            .filter(|i| !selected.contains(i))
+            .max_by(|&a, &b| {
+                score(&h, a)
+                    .partial_cmp(&score(&h, b))
+                    .unwrap()
+                    .then(f_star[a].partial_cmp(&f_star[b]).unwrap())
+                    .then(b.cmp(&a))
+            });
+        match next {
+            Some(i) => {
+                selected.push(i);
+                targets.push(i);
+            }
+            None => break,
+        }
+    }
+    selected.into_iter().map(|l| (l, f_star[l])).collect()
+}
+
+/// Anonymous, contextual and personalized requests over the log's
+/// records, each under the given backend.
+fn request_mix(log: &QueryLog, backend: Backend) -> Vec<SuggestRequest> {
+    let records = log.records();
+    let mut reqs = Vec::new();
+    for (i, r) in records.iter().enumerate().step_by(records.len() / 10 + 1) {
+        let mut req = SuggestRequest::simple(r.query, 1 + i % 8)
+            .for_user(r.user)
+            .with_backend(backend);
+        if i > 0 {
+            let prev = &records[i - 1];
+            req = req.with_context(vec![prev.query], vec![prev.timestamp], r.timestamp);
+        }
+        reqs.push(req);
+        reqs.push(SuggestRequest::simple(r.query, 5).with_backend(backend));
+    }
+    reqs.push(SuggestRequest::simple(records[0].query, 0).with_backend(backend));
+    reqs
+}
+
+fn bits(list: &[(QueryId, f64)]) -> Vec<(QueryId, u64)> {
+    list.iter().map(|&(q, s)| (q, s.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Default backend == pre-refactor engine, bit for bit — `suggest`,
+    /// `suggest_scored` (scores compared as raw bits) and the threaded
+    /// batch path at 1/2/4 threads.
+    #[test]
+    fn default_backend_matches_frozen_reference(seed in 0u64..400) {
+        let s = generate(&SynthConfig::tiny(seed));
+        let engine = PqsDa::build_from_entries(&s.log.entries(), &EngineBuildOptions::default());
+        let reference = FrozenReference { engine: &engine };
+        let reqs = request_mix(engine.log(), Backend::Eq15);
+        let expected: Vec<Vec<(QueryId, f64)>> =
+            reqs.iter().map(|r| reference.suggest_scored(r)).collect();
+        for (req, want) in reqs.iter().zip(&expected) {
+            prop_assert_eq!(bits(&engine.suggest_scored(req)), bits(want));
+        }
+        let want_plain: Vec<Vec<QueryId>> = expected
+            .iter()
+            .map(|l| l.iter().map(|&(q, _)| q).collect())
+            .collect();
+        for threads in [1usize, 2, 4] {
+            prop_assert_eq!(
+                &engine.suggest_many_with_threads(&reqs, threads),
+                &want_plain,
+                "threads {}", threads
+            );
+        }
+    }
+
+    /// BiRank is bit-deterministic: repeat builds and every thread count
+    /// produce identical rankings and scores.
+    #[test]
+    fn birank_is_deterministic_across_threads_and_builds(seed in 0u64..400) {
+        let s = generate(&SynthConfig::tiny(seed));
+        let entries = s.log.entries();
+        let a = PqsDa::build_from_entries(&entries, &EngineBuildOptions::default());
+        let b = PqsDa::build_from_entries(&entries, &EngineBuildOptions::default());
+        let reqs = request_mix(a.log(), Backend::BiRank);
+        let baseline: Vec<Vec<(QueryId, u64)>> =
+            reqs.iter().map(|r| bits(&a.suggest_scored(r))).collect();
+        for (req, want) in reqs.iter().zip(&baseline) {
+            prop_assert_eq!(&bits(&b.suggest_scored(req)), want, "fresh build diverged");
+        }
+        let plain: Vec<Vec<QueryId>> = baseline
+            .iter()
+            .map(|l| l.iter().map(|&(q, _)| q).collect())
+            .collect();
+        for threads in [1usize, 2, 4] {
+            prop_assert_eq!(
+                &a.suggest_many_with_threads(&reqs, threads),
+                &plain,
+                "threads {}", threads
+            );
+        }
+    }
+
+    /// Without a personalizer (or profile) IntentFused degrades to the
+    /// default backend exactly — the fusion only acts on the personalized
+    /// Borda stage.
+    #[test]
+    fn intent_fused_degrades_to_default_without_profiles(seed in 0u64..400) {
+        let s = generate(&SynthConfig::tiny(seed));
+        let engine = PqsDa::build_from_entries(&s.log.entries(), &EngineBuildOptions::default());
+        for (intent_req, plain_req) in request_mix(engine.log(), Backend::IntentFused)
+            .iter()
+            .zip(&request_mix(engine.log(), Backend::Eq15))
+        {
+            prop_assert_eq!(
+                bits(&engine.suggest_scored(intent_req)),
+                bits(&engine.suggest_scored(plain_req))
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// The bit-identity survives personalization: the default backend's
+    /// Borda rerank is byte-for-byte the pre-refactor one.
+    #[test]
+    fn default_backend_matches_frozen_reference_personalized(seed in 0u64..100) {
+        let s = generate(&SynthConfig::tiny(seed));
+        let build = EngineBuildOptions {
+            personalize: Some(ProfileTrainOptions {
+                num_topics: 5,
+                iterations: 15,
+                hyper_every: 0,
+                ..ProfileTrainOptions::default()
+            }),
+            ..EngineBuildOptions::default()
+        };
+        let engine = PqsDa::build_from_entries(&s.log.entries(), &build);
+        let reference = FrozenReference { engine: &engine };
+        let reqs = request_mix(engine.log(), Backend::Eq15);
+        let expected: Vec<Vec<(QueryId, f64)>> =
+            reqs.iter().map(|r| reference.suggest_scored(r)).collect();
+        for (req, want) in reqs.iter().zip(&expected) {
+            prop_assert_eq!(bits(&engine.suggest_scored(req)), bits(want));
+        }
+        let want_plain: Vec<Vec<QueryId>> = expected
+            .iter()
+            .map(|l| l.iter().map(|&(q, _)| q).collect())
+            .collect();
+        for threads in [1usize, 2, 4] {
+            prop_assert_eq!(
+                &engine.suggest_many_with_threads(&reqs, threads),
+                &want_plain,
+                "threads {}", threads
+            );
+        }
+    }
+
+    /// Personalized IntentFused requests stay a permutation of the default
+    /// backend's candidate set (fusion reorders, never adds or drops), and
+    /// the BiRank candidate pipeline threads cleanly through the
+    /// personalized path too.
+    #[test]
+    fn alternate_backends_permute_not_mutate_personalized(seed in 0u64..100) {
+        let s = generate(&SynthConfig::tiny(seed));
+        let build = EngineBuildOptions {
+            personalize: Some(ProfileTrainOptions {
+                num_topics: 5,
+                iterations: 15,
+                hyper_every: 0,
+                ..ProfileTrainOptions::default()
+            }),
+            ..EngineBuildOptions::default()
+        };
+        let engine = PqsDa::build_from_entries(&s.log.entries(), &build);
+        for (intent_req, plain_req) in request_mix(engine.log(), Backend::IntentFused)
+            .iter()
+            .zip(&request_mix(engine.log(), Backend::Eq15))
+        {
+            let mut fused = engine.suggest(intent_req);
+            let mut plain = engine.suggest(plain_req);
+            fused.sort_unstable();
+            plain.sort_unstable();
+            prop_assert_eq!(fused, plain, "IntentFused changed the candidate set");
+        }
+        for req in request_mix(engine.log(), Backend::BiRank) {
+            let out = engine.suggest(&req);
+            prop_assert!(out.len() <= req.k);
+            prop_assert!(!out.contains(&req.query));
+            prop_assert_eq!(&engine.suggest(&req), &out, "BiRank repeat diverged");
+        }
+    }
+}

@@ -46,7 +46,7 @@ use crate::router::{partition_entries, route_query_text, PartitionKey};
 use crate::swap::{ShardSnapshot, ShardTag};
 use crate::Swap;
 use pqsda::{CacheStats, EngineBuildOptions, PqsDa};
-use pqsda_baselines::SuggestRequest;
+use pqsda_baselines::{Backend, SuggestRequest};
 use pqsda_parallel::{spawn_cancellable, Deadline, TaskHandle, TaskPoll};
 use pqsda_querylog::{text, LogEntry, QueryId, QueryLog, UserId};
 use std::collections::HashSet;
@@ -313,10 +313,19 @@ pub struct ShardedPqsDa {
 }
 
 /// The identity of a request for coalescing purposes: every field that
-/// can influence the reply. Two requests with equal keys are duplicates
-/// by construction, so sharing the leader's reply is exact, not
-/// approximate.
-type CoalesceKey = (QueryId, Vec<QueryId>, Vec<u64>, u64, Option<UserId>, usize);
+/// can influence the reply — including the ranking [`Backend`], so an
+/// A/B pair differing only in backend never shares a leader reply. Two
+/// requests with equal keys are duplicates by construction, so sharing
+/// the leader's reply is exact, not approximate.
+type CoalesceKey = (
+    QueryId,
+    Vec<QueryId>,
+    Vec<u64>,
+    u64,
+    Option<UserId>,
+    usize,
+    Backend,
+);
 
 fn coalesce_key(req: &SuggestRequest) -> CoalesceKey {
     (
@@ -326,6 +335,7 @@ fn coalesce_key(req: &SuggestRequest) -> CoalesceKey {
         req.query_time,
         req.user,
         req.k,
+        req.backend,
     )
 }
 
@@ -1204,6 +1214,7 @@ fn shard_probe(
         query_time: req.query_time,
         user: req.user,
         k: req.k,
+        backend: req.backend,
     };
     let scored = snap.engine.suggest_scored(&local_req);
     scored
@@ -1256,6 +1267,22 @@ mod tests {
 
     fn q(i: u32) -> QueryId {
         QueryId(i)
+    }
+
+    #[test]
+    fn coalesce_key_separates_backends() {
+        // An A/B pair differing only in backend must never share a leader
+        // reply; everything else equal, keys must still collide so true
+        // duplicates do coalesce.
+        let base = SuggestRequest::simple(q(3), 5).for_user(UserId(7));
+        assert_eq!(coalesce_key(&base), coalesce_key(&base.clone()));
+        for b in Backend::ALL {
+            for other in Backend::ALL {
+                let kb = coalesce_key(&base.clone().with_backend(b));
+                let ko = coalesce_key(&base.clone().with_backend(other));
+                assert_eq!(kb == ko, b == other, "{b:?} vs {other:?}");
+            }
+        }
     }
 
     #[test]

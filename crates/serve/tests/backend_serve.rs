@@ -1,0 +1,133 @@
+//! Backend selection through the serving layer.
+//!
+//! The `backend` field on [`SuggestRequest`] must flow intact through
+//! scatter-gather, shard-local request translation, and the threaded
+//! batch path: with one shard every backend's reply is bit-identical to
+//! the plain engine's, the default backend stays bit-identical at any
+//! shard count to its own single-threaded run, and BiRank remains
+//! deterministic across shard × thread combinations.
+
+use pqsda::{EngineBuildOptions, PqsDa};
+use pqsda_baselines::{Backend, SuggestRequest};
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_querylog::QueryLog;
+use pqsda_serve::{ServeConfig, ShardedPqsDa};
+use proptest::prelude::*;
+
+/// Anonymous, contextual and personalized requests, all under `backend`.
+fn request_mix(log: &QueryLog, backend: Backend) -> Vec<SuggestRequest> {
+    let records = log.records();
+    let mut reqs = Vec::new();
+    for (i, r) in records.iter().enumerate().step_by(records.len() / 10 + 1) {
+        let mut req = SuggestRequest::simple(r.query, 1 + i % 8)
+            .for_user(r.user)
+            .with_backend(backend);
+        if i > 0 {
+            let prev = &records[i - 1];
+            req = req.with_context(vec![prev.query], vec![prev.timestamp], r.timestamp);
+        }
+        reqs.push(req);
+        reqs.push(SuggestRequest::simple(r.query, 5).with_backend(backend));
+    }
+    reqs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// N = 1 serving matches the plain engine bit for bit under EVERY
+    /// backend — the request's backend survives the shard-local
+    /// translation (`shard_probe` copies it) and the reply path.
+    #[test]
+    fn one_shard_matches_plain_engine_per_backend(seed in 0u64..400) {
+        let s = generate(&SynthConfig::tiny(seed));
+        let entries = s.log.entries();
+        let build = EngineBuildOptions::default();
+        let plain = PqsDa::build_from_entries(&entries, &build);
+        let server = ShardedPqsDa::build(
+            &entries,
+            ServeConfig { shards: 1, build, ..ServeConfig::default() },
+        );
+        for backend in Backend::ALL {
+            let reqs = request_mix(plain.log(), backend);
+            let expected = plain.suggest_many(&reqs);
+            for (reply, want) in server.suggest_many(&reqs).iter().zip(&expected) {
+                prop_assert_eq!(&reply.ranked(), want, "backend {:?}", backend);
+            }
+        }
+    }
+
+    /// Shard-count × thread-count determinism: for each backend and each
+    /// N ∈ {1, 2, 4}, every thread count reproduces that topology's
+    /// single-threaded reply exactly. (Replies differ *across* shard
+    /// counts — partitions see different subgraphs — but never across
+    /// threads, and never between repeat runs.)
+    #[test]
+    fn backends_are_deterministic_across_shards_and_threads(seed in 0u64..400) {
+        let s = generate(&SynthConfig::tiny(seed));
+        let entries = s.log.entries();
+        let build = EngineBuildOptions::default();
+        let router = PqsDa::build_from_entries(&entries, &build);
+        for backend in [Backend::Eq15, Backend::BiRank] {
+            let reqs = request_mix(router.log(), backend);
+            for shards in [1usize, 2, 4] {
+                let server = ShardedPqsDa::build(
+                    &entries,
+                    ServeConfig { shards, build, ..ServeConfig::default() },
+                );
+                let baseline: Vec<Vec<_>> = server
+                    .suggest_many_with_threads(&reqs, 1)
+                    .iter()
+                    .map(|r| r.ranked())
+                    .collect();
+                for threads in [2usize, 4] {
+                    let got: Vec<Vec<_>> = server
+                        .suggest_many_with_threads(&reqs, threads)
+                        .iter()
+                        .map(|r| r.ranked())
+                        .collect();
+                    prop_assert_eq!(
+                        &got, &baseline,
+                        "backend {:?} shards {} threads {}", backend, shards, threads
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn backend_requests_coalesce_only_with_their_own_kind() {
+    // Coalescing on: concurrent identical requests share a leader reply,
+    // but the same request under a different backend computes its own.
+    let s = generate(&SynthConfig::tiny(7));
+    let entries = s.log.entries();
+    let server = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            coalesce: true,
+            ..ServeConfig::default()
+        },
+    );
+    let q = s.log.records()[0].query;
+    let eq15 = SuggestRequest::simple(q, 5);
+    let birank = SuggestRequest::simple(q, 5).with_backend(Backend::BiRank);
+    // Interleave the two kinds; each reply must match its backend's own
+    // serial answer regardless of what was in flight.
+    let want_eq15 = server.suggest(&eq15).ranked();
+    let want_birank = server.suggest(&birank).ranked();
+    let mix: Vec<SuggestRequest> = (0..12)
+        .map(|i| {
+            if i % 2 == 0 {
+                eq15.clone()
+            } else {
+                birank.clone()
+            }
+        })
+        .collect();
+    for (i, reply) in server.suggest_many_with_threads(&mix, 4).iter().enumerate() {
+        let want = if i % 2 == 0 { &want_eq15 } else { &want_birank };
+        assert_eq!(&reply.ranked(), want, "request {i}");
+    }
+}

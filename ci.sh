@@ -32,6 +32,12 @@ cargo run --release -q -p pqsda-cli --bin pqsda -- serve --snapshot-smoke
 # against a slowed server must shed via explicit Rejected replies only
 # (the load generator aborts on any silent drop).
 cargo run --release -q -p pqsda-cli --bin pqsda -- serve --open-loop-smoke
+# Net smoke: real shard-server processes over UDS speaking the checksummed
+# wire protocol. Full-coverage replies asserted bit-identical to the
+# in-process server for shard counts {1, 2, 4}; a shard process SIGKILLed
+# mid-load must degrade honestly (healthy-subset merges, never an error);
+# the whole gate is wall-clock bounded, so a hang fails it.
+cargo run --release -q -p pqsda-cli --bin pqsda -- serve --net-smoke
 # Scenario smoke: the quality-gated A/B harness over all six adversarial
 # synthetic packs at the pinned seed — diversity must raise unique@k and
 # lower max-share@k under the intent-aware nDCG guard, warm-trained

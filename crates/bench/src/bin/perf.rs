@@ -61,6 +61,8 @@ use pqsda_graph::bipartite::Bipartite;
 use pqsda_graph::compact::{CompactConfig, CompactMulti};
 use pqsda_graph::walk::two_step_transition_with_threads;
 use pqsda_linalg::solver::Jacobi;
+use pqsda_net::{NetAddr, NetConfig, NetRouter, ShardServer, ShardServerConfig};
+use pqsda_querylog::QueryLog;
 use pqsda_serve::store::{load_server, save_server};
 use pqsda_serve::{FaultConfig, FaultPlan, PartitionKey, ServeConfig, ShardedPqsDa};
 use pqsda_topics::{Corpus, TrainConfig, Upm, UpmConfig};
@@ -650,6 +652,76 @@ fn main() {
         "every drop must be an explicit admission-control rejection"
     );
 
+    // net-mode open loop: the same seeded schedule against the
+    // socket-backed router (thread-hosted shard servers over real UDS and
+    // TCP-loopback sockets, serving the identical snapshot `Arc`s). The
+    // per-frame overhead is the closed-loop mean service-time delta vs
+    // the in-process server; the open-loop row runs at 0.5x of the *net*
+    // deployment's own measured capacity so it is a flow rung, not an
+    // overload probe.
+    let net_dir = std::env::temp_dir().join(format!("pqsda-perf-net-{}", std::process::id()));
+    std::fs::create_dir_all(&net_dir).expect("net bench scratch dir");
+    let mut net_rows: Vec<(&'static str, f64, OpenLoopReport)> = Vec::new();
+    for transport in ["uds", "tcp"] {
+        let mut handles = Vec::new();
+        let mut addrs = Vec::new();
+        for sh in 0..2usize {
+            let cfg =
+                ShardServerConfig::new(sh, build, net_dir.join(format!("{transport}-stage{sh}")));
+            let addr = if transport == "uds" {
+                NetAddr::Uds(net_dir.join(format!("{transport}-s{sh}.sock")))
+            } else {
+                NetAddr::Tcp("127.0.0.1:0".into())
+            };
+            let server = ShardServer::new(ol_server.shard_snapshot(sh), cfg);
+            let handle = server.spawn(&addr).expect("net bench server");
+            addrs.push(vec![handle.addr().clone()]);
+            handles.push(handle);
+        }
+        let net = NetRouter::connect(
+            QueryLog::from_entries(&entries),
+            &addrs,
+            NetConfig {
+                key: PartitionKey::User,
+                ..NetConfig::default()
+            },
+        );
+        let warm = Instant::now();
+        for req in &reqs {
+            let _ = net.suggest(req);
+        }
+        let net_per_req_s = (warm.elapsed().as_secs_f64() / reqs.len() as f64).max(1e-9);
+        let frame_overhead_us = (net_per_req_s - per_req_s).max(0.0) * 1e6;
+        let net_capacity_rps = 1.0 / net_per_req_s;
+        let report = run_open_loop(
+            &net,
+            &reqs,
+            &OpenLoopConfig {
+                seed: 42,
+                offered_rps: net_capacity_rps * 0.5,
+                requests: ol_requests,
+                deadline_ms: ol_deadline_ms,
+                threads: 0,
+            },
+        );
+        eprintln!(
+            "  net_open_loop [{transport}] @ {:.0} req/s (0.5x net capacity {net_capacity_rps:.0} \
+             req/s): p50 {} us, p99 {} us, p999 {} us, drop rate {:.3}, per-frame overhead \
+             {frame_overhead_us:.0} us vs in-process",
+            report.offered_rps, report.p50_us, report.p99_us, report.p999_us, report.drop_rate
+        );
+        let net_stats = net.stats();
+        assert_eq!(
+            net_stats.errors + net_stats.timeouts,
+            0,
+            "loopback bench must be fault-free: {net_stats:?}"
+        );
+        net_rows.push((transport, frame_overhead_us, report));
+        drop(net);
+        drop(handles);
+    }
+    std::fs::remove_dir_all(&net_dir).ok();
+
     if smoke {
         eprintln!(
             "perf: smoke mode — all kernels bit-identical across threads = {thread_counts:?}; \
@@ -768,6 +840,36 @@ fn main() {
             r.mean_us,
             r.max_queue_depth,
             r.mean_queue_depth
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(
+        "  \"net_open_loop_note\": \"the same seeded open-loop schedule against the \
+         socket-backed NetRouter: 2 thread-hosted shard servers over real sockets (UDS and \
+         TCP-loopback) serving the identical snapshot Arcs, wire protocol per DESIGN.md \
+         section 15. frame_overhead_us is the closed-loop mean service-time delta vs the \
+         in-process server (checksummed frame encode/decode + syscalls + id-to-text \
+         translation, both shard probes included); offered_rps is 0.5x the net deployment's \
+         own measured capacity. Zero transport errors asserted.\",\n",
+    );
+    json.push_str("  \"net_open_loop\": [\n");
+    for (i, (transport, overhead_us, r)) in net_rows.iter().enumerate() {
+        let comma = if i + 1 < net_rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"transport\": \"{transport}\", \"offered_rps\": {:.0}, \"requests\": {}, \
+             \"completed\": {}, \"rejected\": {}, \"drop_rate\": {:.3}, \
+             \"deadline_violations\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+             \"mean_us\": {:.0}, \"frame_overhead_us\": {overhead_us:.0}}}{comma}\n",
+            r.offered_rps,
+            r.requests,
+            r.completed,
+            r.rejected,
+            r.drop_rate,
+            r.deadline_violations,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            r.mean_us,
         ));
     }
     json.push_str("  ],\n");

@@ -25,7 +25,7 @@
 
 use pqsda_baselines::SuggestRequest;
 use pqsda_parallel::Deadline;
-use pqsda_serve::{ServeOutcome, ShardedPqsDa};
+use pqsda_serve::{ServeOutcome, SuggestService};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -128,12 +128,14 @@ pub fn request_index(seed: u64, i: usize, pool_len: usize) -> usize {
     ((u * u * pool_len as f64) as usize).min(pool_len - 1)
 }
 
-/// Runs one open-loop schedule against `server`, drawing requests from
-/// `pool`. Every scheduled request resolves explicitly: served (counted
-/// with its latency) or shed (`ServeOutcome::Rejected`, counted as a
-/// drop) — a silent disappearance is a panic.
-pub fn run_open_loop(
-    server: &ShardedPqsDa,
+/// Runs one open-loop schedule against any [`SuggestService`] — the
+/// in-process [`pqsda_serve::ShardedPqsDa`] or the socket-backed
+/// [`pqsda_net`] router measure under the identical workload. Requests
+/// are drawn from `pool`; every scheduled request resolves explicitly:
+/// served (counted with its latency) or shed (`ServeOutcome::Rejected`,
+/// counted as a drop) — a silent disappearance is a panic.
+pub fn run_open_loop<S: SuggestService + ?Sized>(
+    server: &S,
     pool: &[SuggestRequest],
     cfg: &OpenLoopConfig,
 ) -> OpenLoopReport {

@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         Some("suggest") => cmd_suggest(&args[1..]),
         Some("profiles") => cmd_profiles(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("shard-server") => cmd_shard_server(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("scenario") => cmd_scenario(&args[1..]),
         Some("demo") => cmd_demo(),
@@ -69,10 +70,15 @@ USAGE:
                  [--hedge-ms MS] [--breaker K] [--backend eq15|birank|intent]
   pqsda serve    <log.tsv> --open-loop RPS [--requests N] [--deadline-ms MS]
                  [--seed S] [--shards N] [--k 10] [--backend eq15|birank|intent]
+  pqsda serve    <log.tsv> --net [--query \"sun\" | --open-loop RPS] [--shards N]
+                 [--key user|query] [--budget-ms MS] (spawns shard processes)
   pqsda serve    --smoke
   pqsda serve    --chaos-smoke
   pqsda serve    --open-loop-smoke
   pqsda serve    --snapshot-smoke
+  pqsda serve    --net-smoke
+  pqsda shard-server <shard.pqss> --shard N --listen uds:PATH|tcp:HOST:PORT
+                 [--staging DIR]
   pqsda snapshot save <log.tsv> --dir DIR [--shards N] [--key user|query] [--raw]
   pqsda snapshot load --dir DIR [--query \"sun\"] [--k 10] [--user ID] [--no-mmap]
   pqsda scenario [--smoke] [--pack NAME] [--backends] [--seed S] [--k N] [--queries N]
@@ -97,7 +103,7 @@ impl Flags {
                 let value = match name {
                     // boolean flags
                     "raw" | "personalize" | "smoke" | "chaos-smoke" | "open-loop-smoke"
-                    | "snapshot-smoke" | "no-mmap" | "backends" => None,
+                    | "snapshot-smoke" | "net-smoke" | "net" | "no-mmap" | "backends" => None,
                     _ => {
                         i += 1;
                         Some(
@@ -302,9 +308,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if flags.has("snapshot-smoke") {
         return snapshot_smoke();
     }
+    if flags.has("net-smoke") {
+        return net_smoke();
+    }
     let path = flags.positional.first().ok_or(
         "serve needs a log file path (or --smoke / --chaos-smoke / --open-loop-smoke / \
-         --snapshot-smoke)",
+         --snapshot-smoke / --net-smoke)",
     )?;
     let open_loop: Option<f64> = match flags.get("open-loop") {
         None => None,
@@ -352,6 +361,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             ..ServeConfig::default()
         },
     );
+    // --net: lift the freshly built server into separate shard-server
+    // processes (per-shard snapshot files, spawned `pqsda shard-server`
+    // children over UDS) and serve through the socket-backed router.
+    let net_rig = if flags.has("net") {
+        Some(NetRig::launch(&server, &entries, shards, key, fault)?)
+    } else {
+        None
+    };
     if let Some(rps) = open_loop {
         let cfg = OpenLoopConfig {
             seed: flags.get_num("seed", 42u64)?,
@@ -371,8 +388,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .with_backend(backend)
             })
             .collect();
-        let report = run_open_loop(&server, &pool, &cfg);
-        print_open_loop_report(&report, &server);
+        match &net_rig {
+            Some(rig) => {
+                let report = run_open_loop(&rig.router, &pool, &cfg);
+                print_open_loop_report(&report, None);
+                print_net_stats(&rig.router);
+            }
+            None => {
+                let report = run_open_loop(&server, &pool, &cfg);
+                print_open_loop_report(&report, Some(&server));
+            }
+        }
         return Ok(());
     }
     let query_text = flags.get("query").ok_or("serve needs --query \"...\"")?;
@@ -384,7 +410,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let uid: u32 = uid.parse().map_err(|_| "--user: bad id".to_owned())?;
         req = req.for_user(UserId(uid));
     }
-    let reply = &server.suggest_many_with_threads(std::slice::from_ref(&req), threads)[0];
+    let reply = match &net_rig {
+        Some(rig) => rig
+            .router
+            .suggest(&req)
+            .reply()
+            .cloned()
+            .ok_or("net serve: request rejected by admission control")?,
+        None => server.suggest_many_with_threads(std::slice::from_ref(&req), threads)[0].clone(),
+    };
     if reply.suggestions.is_empty() {
         println!("(no suggestions — the query has no graph neighbourhood)");
     }
@@ -392,20 +426,37 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let text = server.query_text(*q).unwrap_or_default();
         println!("{:>2}. {text}  (F* {score:.4})", i + 1);
     }
-    let stats = server.stats();
-    eprintln!(
-        "served by {}/{} shard snapshot(s){}; generations {:?}; cache {}h/{}m",
-        reply.coverage.answered,
-        reply.coverage.consulted,
-        if reply.coverage.is_degraded() {
-            " — DEGRADED"
-        } else {
-            ""
-        },
-        stats.generations,
-        stats.cache.hits,
-        stats.cache.misses
-    );
+    match &net_rig {
+        Some(rig) => {
+            eprintln!(
+                "served over the wire by {}/{} shard process(es){}; generations {:?}",
+                reply.coverage.answered,
+                reply.coverage.consulted,
+                if reply.coverage.is_degraded() {
+                    " — DEGRADED"
+                } else {
+                    ""
+                },
+                rig.router.stats().generations,
+            );
+        }
+        None => {
+            let stats = server.stats();
+            eprintln!(
+                "served by {}/{} shard snapshot(s){}; generations {:?}; cache {}h/{}m",
+                reply.coverage.answered,
+                reply.coverage.consulted,
+                if reply.coverage.is_degraded() {
+                    " — DEGRADED"
+                } else {
+                    ""
+                },
+                stats.generations,
+                stats.cache.hits,
+                stats.cache.misses
+            );
+        }
+    }
     Ok(())
 }
 
@@ -956,7 +1007,7 @@ fn chaos_smoke() -> Result<(), String> {
     Ok(())
 }
 
-fn print_open_loop_report(report: &OpenLoopReport, server: &ShardedPqsDa) {
+fn print_open_loop_report(report: &OpenLoopReport, server: Option<&ShardedPqsDa>) {
     println!(
         "open-loop: offered {:.0} req/s, {} scheduled requests, wall {} ms",
         report.offered_rps,
@@ -975,16 +1026,34 @@ fn print_open_loop_report(report: &OpenLoopReport, server: &ShardedPqsDa) {
         "  queue depth max {} / mean {:.1}",
         report.max_queue_depth, report.mean_queue_depth
     );
-    let stats = server.stats();
+    if let Some(server) = server {
+        let stats = server.stats();
+        println!(
+            "  admission: admitted {}, shed {} (last projection {} us); \
+             coalesce: leaders {}, coalesced {}, fallbacks {}",
+            stats.admission.admitted,
+            stats.admission.shed,
+            stats.admission.last_projected_wait_us,
+            stats.coalesce.leaders,
+            stats.coalesce.coalesced,
+            stats.coalesce.fallbacks
+        );
+    }
+}
+
+/// The router-side audit trail for a networked run.
+fn print_net_stats(router: &pqsda_net::NetRouter) {
+    let stats = router.stats();
     println!(
-        "  admission: admitted {}, shed {} (last projection {} us); \
-         coalesce: leaders {}, coalesced {}, fallbacks {}",
-        stats.admission.admitted,
-        stats.admission.shed,
-        stats.admission.last_projected_wait_us,
-        stats.coalesce.leaders,
-        stats.coalesce.coalesced,
-        stats.coalesce.fallbacks
+        "  wire: {} probes, {} transport errors, {} remote errors, {} timeouts, \
+         {} backoff skips, {} breaker skips, {} degraded replies",
+        stats.probes,
+        stats.errors,
+        stats.remote_errors,
+        stats.timeouts,
+        stats.backoff_skips,
+        stats.breaker_skips,
+        stats.degraded
     );
 }
 
@@ -1196,6 +1265,323 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
     } else {
         Err(format!("scenario gates failed: {}", failed.join(", ")))
     }
+}
+
+/// `pqsda shard-server <shard.pqss> --shard N --listen uds:PATH|tcp:..`
+/// — one shard process: load the digest-verified snapshot, bind the
+/// socket, and serve the wire protocol until killed (or a `Shutdown`
+/// frame arrives).
+fn cmd_shard_server(args: &[String]) -> Result<(), String> {
+    use pqsda_net::{Listener, ShardServer, ShardServerConfig};
+
+    let flags = Flags::parse(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("shard-server needs a .pqss snapshot path")?;
+    let shard = flags.get_num("shard", 0usize)?;
+    let listen = parse_listen(
+        flags
+            .get("listen")
+            .ok_or("shard-server needs --listen uds:PATH|tcp:HOST:PORT")?,
+    )?;
+    let staging = match flags.get("staging") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("pqsda-shard-{shard}-{}", std::process::id())),
+    };
+    let cfg = ShardServerConfig::new(shard, EngineBuildOptions::default(), staging);
+    let server = ShardServer::from_snapshot_file(std::path::Path::new(path), cfg)
+        .map_err(|e| format!("shard-server: {path}: {e}"))?;
+    let (listener, bound) = Listener::bind(&listen).map_err(|e| format!("shard-server: {e}"))?;
+    let tag = server.current_tag();
+    eprintln!(
+        "shard-server: shard {} generation {} listening on {bound}",
+        tag.shard, tag.generation
+    );
+    server
+        .serve(listener)
+        .map_err(|e| format!("shard-server: serve: {e}"))
+}
+
+/// `uds:PATH` or `tcp:HOST:PORT` → [`pqsda_net::NetAddr`].
+fn parse_listen(v: &str) -> Result<pqsda_net::NetAddr, String> {
+    if let Some(p) = v.strip_prefix("uds:") {
+        Ok(pqsda_net::NetAddr::Uds(p.into()))
+    } else if let Some(a) = v.strip_prefix("tcp:") {
+        Ok(pqsda_net::NetAddr::Tcp(a.to_owned()))
+    } else {
+        Err(format!(
+            "--listen: expected uds:PATH or tcp:HOST:PORT, got {v:?}"
+        ))
+    }
+}
+
+/// A running multi-process deployment: per-shard snapshot files on disk,
+/// one spawned `pqsda shard-server` child per shard (UDS), and the
+/// socket-backed router connected to them. Children are shut down over
+/// the wire on drop (killed if they ignore it).
+struct NetRig {
+    dir: std::path::PathBuf,
+    children: Vec<Option<std::process::Child>>,
+    addrs: Vec<Vec<pqsda_net::NetAddr>>,
+    router: pqsda_net::NetRouter,
+}
+
+impl NetRig {
+    fn launch(
+        server: &ShardedPqsDa,
+        entries: &[LogEntry],
+        shards: usize,
+        key: PartitionKey,
+        fault: FaultConfig,
+    ) -> Result<NetRig, String> {
+        use pqsda_net::{ClientConfig, NetAddr, NetConfig, NetRouter, RemoteReplica};
+        use pqsda_serve::store::save_server;
+        use std::time::{Duration, Instant};
+
+        let dir =
+            std::env::temp_dir().join(format!("pqsda-net-serve-{}-{shards}", std::process::id()));
+        std::fs::create_dir_all(&dir).map_err(|e| format!("net serve: scratch dir: {e}"))?;
+        save_server(server, &dir).map_err(|e| format!("net serve: snapshot save: {e}"))?;
+        let exe = std::env::current_exe().map_err(|e| format!("net serve: current_exe: {e}"))?;
+        let mut children = Vec::new();
+        let mut addrs = Vec::new();
+        for s in 0..shards {
+            let sock = dir.join(format!("s{s}.sock"));
+            let child = std::process::Command::new(&exe)
+                .arg("shard-server")
+                .arg(dir.join(format!("shard-{s}.pqss")))
+                .arg("--shard")
+                .arg(s.to_string())
+                .arg("--listen")
+                .arg(format!("uds:{}", sock.display()))
+                .arg("--staging")
+                .arg(dir.join(format!("stage{s}")))
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .map_err(|e| format!("net serve: spawn shard {s}: {e}"))?;
+            children.push(Some(child));
+            addrs.push(vec![NetAddr::Uds(sock)]);
+        }
+        // Readiness: ping each child until it answers (a fresh replica per
+        // attempt, so no backoff window slows the poll down).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for (s, replica_addrs) in addrs.iter().enumerate() {
+            loop {
+                let probe = RemoteReplica::new(replica_addrs[0].clone(), ClientConfig::default());
+                match probe.ping(None) {
+                    Ok((shard, _gen)) if shard as usize == s => break,
+                    Ok((shard, _)) => {
+                        return Err(format!("net serve: shard {s} answered as shard {shard}"))
+                    }
+                    Err(_) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(e) => return Err(format!("net serve: shard {s} never came up: {e}")),
+                }
+            }
+        }
+        let router = NetRouter::connect(
+            QueryLog::from_entries(entries),
+            &addrs,
+            NetConfig {
+                key,
+                fault,
+                ..NetConfig::default()
+            },
+        );
+        eprintln!(
+            "net serve: {shards} shard process(es) up under {}",
+            dir.display()
+        );
+        Ok(NetRig {
+            dir,
+            children,
+            addrs,
+            router,
+        })
+    }
+
+    /// SIGKILLs shard `s`'s process — the chaos lever for the smoke.
+    fn kill_shard(&mut self, s: usize) {
+        if let Some(child) = &mut self.children[s] {
+            let _ = child.kill();
+            let _ = child.wait();
+            self.children[s] = None;
+        }
+    }
+}
+
+impl Drop for NetRig {
+    fn drop(&mut self) {
+        use pqsda_net::{ClientConfig, RemoteReplica};
+        use std::time::{Duration, Instant};
+
+        for (s, child) in self.children.iter_mut().enumerate() {
+            let Some(mut proc) = child.take() else {
+                continue;
+            };
+            let replica = RemoteReplica::new(self.addrs[s][0].clone(), ClientConfig::default());
+            let _ = replica.shutdown(None);
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                match proc.try_wait() {
+                    Ok(Some(_)) => break,
+                    _ if Instant::now() >= deadline => {
+                        let _ = proc.kill();
+                        let _ = proc.wait();
+                        break;
+                    }
+                    _ => std::thread::sleep(Duration::from_millis(25)),
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// The CI net gate: real shard-server processes over UDS. Full-coverage
+/// replies must be bit-identical to the in-process server for shard
+/// counts {1, 2, 4}; killing a shard process mid-load must degrade
+/// honestly (replies bit-identical to the healthy merge over the
+/// answering shards, never an error); and the whole gate is bounded in
+/// wall-clock — a hang fails it.
+fn net_smoke() -> Result<(), String> {
+    use pqsda_querylog::synth::{generate, SynthConfig};
+    use std::time::{Duration, Instant};
+
+    let start = Instant::now();
+    let synth = generate(&SynthConfig::tiny(42));
+    let entries = synth.log.entries();
+    let reqs: Vec<SuggestRequest> = synth
+        .log
+        .records()
+        .iter()
+        .step_by(5)
+        .map(|r| SuggestRequest::simple(r.query, 8).for_user(r.user))
+        .collect();
+
+    // Bit-identity at full coverage, across process boundaries.
+    for shards in [1usize, 2, 4] {
+        let inproc = ShardedPqsDa::build(
+            &entries,
+            ServeConfig {
+                shards,
+                key: PartitionKey::User,
+                ..ServeConfig::default()
+            },
+        );
+        let rig = NetRig::launch(
+            &inproc,
+            &entries,
+            shards,
+            PartitionKey::User,
+            FaultConfig::default(),
+        )?;
+        for (i, req) in reqs.iter().enumerate() {
+            let outcome = rig.router.suggest(req);
+            let Some(got) = outcome.reply() else {
+                return Err(format!("net smoke: shards={shards} req {i} rejected"));
+            };
+            let want = inproc.suggest(req);
+            if got.coverage != want.coverage || got.tags != want.tags {
+                return Err(format!(
+                    "net smoke: shards={shards} req {i}: coverage/tags diverged"
+                ));
+            }
+            if got.suggestions.len() != want.suggestions.len()
+                || got
+                    .suggestions
+                    .iter()
+                    .zip(&want.suggestions)
+                    .any(|((gq, gs), (wq, ws))| gq != wq || gs.to_bits() != ws.to_bits())
+            {
+                return Err(format!(
+                    "net smoke: shards={shards} req {i}: replies not bit-identical"
+                ));
+            }
+        }
+        println!(
+            "net smoke: {shards} process(es) — {} replies bit-identical over UDS",
+            reqs.len()
+        );
+    }
+
+    // Kill one shard process mid-load: honest degraded coverage, replies
+    // bit-identical to the healthy merge over the answering shards.
+    let inproc = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            key: PartitionKey::User,
+            fault: FaultConfig {
+                budget_ms: 400,
+                ..FaultConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let mut rig = NetRig::launch(
+        &inproc,
+        &entries,
+        2,
+        PartitionKey::User,
+        FaultConfig {
+            budget_ms: 400,
+            ..FaultConfig::default()
+        },
+    )?;
+    let warm = rig.router.suggest(&reqs[0]);
+    if warm.reply().map(|r| r.coverage.is_degraded()) != Some(false) {
+        return Err("net smoke: warm request not served at full coverage".into());
+    }
+    rig.kill_shard(1);
+    let mut degraded = 0u32;
+    for (i, req) in reqs.iter().enumerate() {
+        let outcome = rig.router.suggest(req);
+        let Some(got) = outcome.reply() else {
+            return Err(format!("net smoke: post-kill req {i} errored"));
+        };
+        if !got.coverage.is_degraded() {
+            continue;
+        }
+        degraded += 1;
+        let answered: Vec<usize> = got.tags.iter().map(|t| t.shard).collect();
+        let want = inproc.suggest_on(req, &answered);
+        if got.suggestions.len() != want.suggestions.len()
+            || got
+                .suggestions
+                .iter()
+                .zip(&want.suggestions)
+                .any(|((gq, gs), (wq, ws))| gq != wq || gs.to_bits() != ws.to_bits())
+        {
+            return Err(format!(
+                "net smoke: post-kill req {i}: degraded reply not honest"
+            ));
+        }
+    }
+    if degraded < reqs.len() as u32 - 1 {
+        return Err(format!(
+            "net smoke: killed shard went unnoticed ({degraded}/{} degraded)",
+            reqs.len()
+        ));
+    }
+    println!(
+        "net smoke: shard process killed mid-load — {degraded}/{} replies degraded \
+         honestly (bit-identical healthy-subset merges), 0 errors",
+        reqs.len()
+    );
+
+    // The whole gate bounded: generous against slow CI hosts, fatal for
+    // a hang (any stuck socket would blow way past this).
+    if start.elapsed() > Duration::from_secs(120) {
+        return Err(format!(
+            "net smoke: took {:?} — serving stalled somewhere",
+            start.elapsed()
+        ));
+    }
+    println!("net smoke: done in {:?}", start.elapsed());
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,279 @@
+//! Reconnect backoff: capped exponential delay with **seeded jitter**
+//! and a per-deadline retry budget.
+//!
+//! The failure mode this guards against is the reconnect storm: a
+//! flapping shard process makes every router probe fail, every probe
+//! redials on its next request, all redials land in the same instant,
+//! and the synchronized connect attempts keep the peer (and the breaker)
+//! oscillating. Three rules break the cycle:
+//!
+//! 1. **Capped exponential windows.** After the n-th consecutive failure
+//!    a replica is quarantined for `min(cap, base · 2ⁿ⁻¹)` — with a
+//!    jitter drawn deterministically from `(seed, peer, n)`, so two
+//!    routers with different seeds desynchronize while a test replays
+//!    the exact same schedule.
+//! 2. **Fast-fail inside the window.** A probe that arrives while the
+//!    window is open fails immediately with [`BackoffGate::check`]'s
+//!    remaining duration — it never touches the socket, and crucially it
+//!    is **not recorded as a breaker fault**: the fault that armed the
+//!    window was already recorded once. Without this rule a dead replica
+//!    would trip the shard breaker over and over from the backoff path
+//!    alone, turning one dead process into a serving outage for the
+//!    healthy replica. Callers count these as `backoff_skips`.
+//! 3. **Per-deadline retry budget.** Within one request, at most
+//!    `max_retries_per_request` redials are attempted, and only when the
+//!    request's remaining deadline exceeds the connect timeout — a
+//!    doomed redial must not eat the budget the healthy shards need.
+
+use std::time::{Duration, Instant};
+
+/// Backoff policy knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// First window length in milliseconds.
+    pub base_ms: u64,
+    /// Window cap in milliseconds.
+    pub cap_ms: u64,
+    /// Jitter seed (vary per router instance to desynchronize fleets).
+    pub seed: u64,
+    /// Redial attempts allowed within a single request.
+    pub max_retries_per_request: u32,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base_ms: 10,
+            cap_ms: 2_000,
+            seed: 0x9e37_79b9_7f4a_7c15,
+            max_retries_per_request: 1,
+        }
+    }
+}
+
+/// splitmix64 finalizer — same avalanche the fault plans use.
+#[inline]
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+struct BackoffState {
+    /// Consecutive failures since the last success.
+    failures: u32,
+    /// Probes fast-fail until this instant.
+    not_before: Option<Instant>,
+}
+
+/// Per-peer backoff gate. `key` identifies the peer (hash of its address)
+/// and feeds the jitter draw together with the seed and the failure
+/// count.
+pub struct BackoffGate {
+    cfg: BackoffConfig,
+    key: u64,
+    state: parking_lot::Mutex<BackoffState>,
+}
+
+impl BackoffGate {
+    /// A gate for the peer identified by `key`.
+    pub fn new(cfg: BackoffConfig, key: u64) -> Self {
+        BackoffGate {
+            cfg,
+            key,
+            state: parking_lot::Mutex::new(BackoffState {
+                failures: 0,
+                not_before: None,
+            }),
+        }
+    }
+
+    /// The jittered window after the `n`-th consecutive failure (n ≥ 1):
+    /// uniformly in `[w/2, w]` for `w = min(cap, base · 2ⁿ⁻¹)`, drawn
+    /// deterministically from `(seed, key, n)`.
+    pub fn window_for(&self, n: u32) -> Duration {
+        let exp = n.saturating_sub(1).min(20);
+        let full = self
+            .cfg
+            .base_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.cfg.cap_ms);
+        let half = full / 2;
+        let jitter =
+            mix(self.cfg.seed ^ self.key.wrapping_mul(0x100_0000_01b3) ^ u64::from(n)) % (half + 1);
+        Duration::from_millis(half + jitter)
+    }
+
+    /// Admission check before touching the socket: `Ok(())` to proceed,
+    /// `Err(remaining)` to fast-fail without dialing (the window is
+    /// still open).
+    pub fn check(&self) -> Result<(), Duration> {
+        let state = self.state.lock();
+        match state.not_before {
+            Some(t) => {
+                let now = Instant::now();
+                if now < t {
+                    Err(t - now)
+                } else {
+                    Ok(())
+                }
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Records a transport failure and arms (or extends) the window.
+    /// Returns the window length chosen.
+    pub fn on_failure(&self) -> Duration {
+        let mut state = self.state.lock();
+        state.failures = state.failures.saturating_add(1);
+        let window = self.window_for(state.failures);
+        state.not_before = Some(Instant::now() + window);
+        window
+    }
+
+    /// Records a successful exchange: the window closes and the failure
+    /// streak resets.
+    pub fn on_success(&self) {
+        let mut state = self.state.lock();
+        state.failures = 0;
+        state.not_before = None;
+    }
+
+    /// Current consecutive-failure count (tests / stats).
+    pub fn failures(&self) -> u32 {
+        self.state.lock().failures
+    }
+}
+
+/// Per-request redial budget: at most `max_retries_per_request` redials,
+/// each admitted only when the remaining deadline exceeds the cost of
+/// the attempt.
+pub struct RetryBudget {
+    left: u32,
+}
+
+impl RetryBudget {
+    /// A fresh budget for one request.
+    pub fn new(cfg: &BackoffConfig) -> Self {
+        RetryBudget {
+            left: cfg.max_retries_per_request,
+        }
+    }
+
+    /// Spends one redial if both the count budget and the deadline allow
+    /// it. `attempt_cost` is the worst-case duration of the redial
+    /// (connect timeout); with a deadline shorter than that, the redial
+    /// is doomed and the budget is preserved.
+    pub fn spend(
+        &mut self,
+        deadline: Option<&pqsda_parallel::Deadline>,
+        attempt_cost: Duration,
+    ) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        if let Some(d) = deadline {
+            if d.remaining() < attempt_cost {
+                return false;
+            }
+        }
+        self.left -= 1;
+        true
+    }
+
+    /// Redials still allowed.
+    pub fn remaining(&self) -> u32 {
+        self.left
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_parallel::Deadline;
+
+    fn cfg(base_ms: u64, cap_ms: u64, seed: u64) -> BackoffConfig {
+        BackoffConfig {
+            base_ms,
+            cap_ms,
+            seed,
+            max_retries_per_request: 2,
+        }
+    }
+
+    #[test]
+    fn windows_grow_exponentially_to_the_cap() {
+        let gate = BackoffGate::new(cfg(10, 200, 1), 42);
+        let mut last = Duration::ZERO;
+        for n in 1..=10 {
+            let w = gate.window_for(n);
+            let full = (10u64 << (n - 1)).min(200);
+            assert!(w >= Duration::from_millis(full / 2), "n={n} w={w:?}");
+            assert!(w <= Duration::from_millis(full), "n={n} w={w:?}");
+            if full < 200 {
+                assert!(w >= last / 4, "window collapsed at n={n}");
+            }
+            last = w;
+        }
+        // Far past the cap the shift must not overflow.
+        assert!(gate.window_for(u32::MAX) <= Duration::from_millis(200));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_desynchronizes_across_seeds() {
+        let a = BackoffGate::new(cfg(100, 10_000, 1), 7);
+        let b = BackoffGate::new(cfg(100, 10_000, 1), 7);
+        let c = BackoffGate::new(cfg(100, 10_000, 2), 7);
+        for n in 1..=8 {
+            assert_eq!(a.window_for(n), b.window_for(n));
+        }
+        // Two seeds must disagree somewhere in the first windows.
+        assert!(
+            (1..=8).any(|n| a.window_for(n) != c.window_for(n)),
+            "seeds produced identical schedules"
+        );
+    }
+
+    #[test]
+    fn failure_arms_window_and_success_clears_it() {
+        let gate = BackoffGate::new(cfg(50, 400, 3), 9);
+        assert!(gate.check().is_ok());
+        let w = gate.on_failure();
+        assert!(w >= Duration::from_millis(25));
+        let remaining = gate.check().expect_err("window must be open");
+        assert!(remaining <= w);
+        assert_eq!(gate.failures(), 1);
+        gate.on_success();
+        assert!(gate.check().is_ok());
+        assert_eq!(gate.failures(), 0);
+    }
+
+    #[test]
+    fn window_expires_on_its_own() {
+        let gate = BackoffGate::new(cfg(1, 2, 4), 11);
+        gate.on_failure();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(gate.check().is_ok(), "expired window must admit");
+        // Streak persists until a success closes it.
+        assert_eq!(gate.failures(), 1);
+    }
+
+    #[test]
+    fn retry_budget_counts_and_respects_deadlines() {
+        let cfg = cfg(10, 100, 5);
+        let mut budget = RetryBudget::new(&cfg);
+        assert_eq!(budget.remaining(), 2);
+        assert!(budget.spend(None, Duration::from_millis(10)));
+        // A deadline tighter than the attempt cost preserves the budget.
+        let tight = Deadline::in_ms(1);
+        assert!(!budget.spend(Some(&tight), Duration::from_millis(50)));
+        assert_eq!(budget.remaining(), 1);
+        let loose = Deadline::in_ms(500);
+        assert!(budget.spend(Some(&loose), Duration::from_millis(50)));
+        assert!(!budget.spend(None, Duration::ZERO), "budget exhausted");
+    }
+}

@@ -1,0 +1,389 @@
+//! The remote-replica client: one pooled connection per replica with
+//! deadline-derived socket timeouts, backoff-gated dialing and a
+//! per-request redial budget.
+//!
+//! Every RPC is bounded: the frame carries the remaining deadline budget
+//! and the socket read/write timeouts are clamped to it, so a stalled or
+//! dead peer turns into a typed [`ProbeError`] — never a hang. Transport
+//! failures arm the replica's [`BackoffGate`]; probes arriving inside an
+//! open window fast-fail with [`ProbeError::Backoff`] **without
+//! dialing**, which the router counts as `backoff_skips` (and explicitly
+//! does not record as breaker faults — see the `backoff` module docs).
+
+use crate::backoff::{BackoffConfig, BackoffGate, RetryBudget};
+use crate::conn::{NetAddr, Stream};
+use crate::frame::{FrameReader, WireError};
+use crate::proto::{Msg, WireReply, WireRequest, WireTag};
+use pqsda_parallel::Deadline;
+use pqsda_querylog::LogEntry;
+use pqsda_store::SnapshotMeta;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Client-side transport knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Cap on one connect attempt.
+    pub connect_timeout: Duration,
+    /// Cap on one request/reply exchange when the request carries no
+    /// deadline (with one, the exchange is clamped to the remaining
+    /// budget).
+    pub probe_timeout: Duration,
+    /// Reconnect backoff policy.
+    pub backoff: BackoffConfig,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            probe_timeout: Duration::from_secs(2),
+            backoff: BackoffConfig::default(),
+        }
+    }
+}
+
+/// Why a remote call failed — every variant is an explicit, auditable
+/// outcome (the "no silent truncation, no hang" contract).
+#[derive(Debug)]
+pub enum ProbeError {
+    /// Fast-failed inside an open backoff window without dialing; the
+    /// window closes after the contained duration.
+    Backoff(Duration),
+    /// The dial itself failed (refused, unreachable, timed out).
+    Connect(String),
+    /// A transport/framing failure mid-exchange (includes `Timeout`).
+    Wire(WireError),
+    /// The peer answered with a typed protocol error.
+    Remote {
+        /// One of the `ERR_*` codes.
+        code: u16,
+        /// Peer-supplied detail.
+        detail: String,
+    },
+    /// The peer answered with a structurally valid but nonsensical reply
+    /// (wrong request id, wrong kind).
+    BadReply(&'static str),
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeError::Backoff(d) => write!(f, "backoff window open for {d:?}"),
+            ProbeError::Connect(e) => write!(f, "connect failed: {e}"),
+            ProbeError::Wire(e) => write!(f, "wire failure: {e}"),
+            ProbeError::Remote { code, detail } => write!(f, "remote error {code}: {detail}"),
+            ProbeError::BadReply(why) => write!(f, "bad reply: {why}"),
+        }
+    }
+}
+
+impl ProbeError {
+    /// True when the failure was a backoff fast-fail (the caller must
+    /// count it as a skip, not a fault).
+    pub fn is_backoff(&self) -> bool {
+        matches!(self, ProbeError::Backoff(_))
+    }
+}
+
+/// A client handle to one remote shard replica.
+pub struct RemoteReplica {
+    addr: NetAddr,
+    cfg: ClientConfig,
+    conn: parking_lot::Mutex<Option<Stream>>,
+    backoff: BackoffGate,
+    next_id: AtomicU64,
+}
+
+impl RemoteReplica {
+    /// A replica client for `addr`.
+    pub fn new(addr: NetAddr, cfg: ClientConfig) -> RemoteReplica {
+        let key = addr.key();
+        RemoteReplica {
+            addr,
+            backoff: BackoffGate::new(cfg.backoff, key),
+            cfg,
+            conn: parking_lot::Mutex::new(None),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The replica's address.
+    pub fn addr(&self) -> &NetAddr {
+        &self.addr
+    }
+
+    /// The replica's backoff gate (stats / tests).
+    pub fn backoff(&self) -> &BackoffGate {
+        &self.backoff
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn checkout(&self) -> Option<Stream> {
+        self.conn.lock().take()
+    }
+
+    fn pool(&self, conn: Stream) {
+        *self.conn.lock() = Some(conn);
+    }
+
+    fn dial(&self, deadline: Option<&Deadline>) -> Result<Stream, ProbeError> {
+        let mut timeout = self.cfg.connect_timeout;
+        if let Some(d) = deadline {
+            timeout = timeout.min(d.remaining());
+        }
+        if timeout.is_zero() {
+            return Err(ProbeError::Wire(WireError::Timeout));
+        }
+        match self.addr.connect(timeout) {
+            Ok(s) => Ok(s),
+            Err(e) => {
+                self.backoff.on_failure();
+                Err(ProbeError::Connect(e.to_string()))
+            }
+        }
+    }
+
+    /// One request/reply exchange on `conn`, bounded by the effective
+    /// deadline.
+    fn exchange(
+        &self,
+        conn: &mut Stream,
+        msg: &Msg,
+        request_id: u64,
+        deadline: Option<&Deadline>,
+    ) -> Result<Msg, WireError> {
+        let mut window = self.cfg.probe_timeout;
+        if let Some(d) = deadline {
+            window = window.min(d.remaining());
+        }
+        if window.is_zero() {
+            return Err(WireError::Timeout);
+        }
+        let end = Instant::now() + window;
+        conn.set_write_timeout(Some(window))
+            .map_err(|e| WireError::from_io(&e))?;
+        let frame = msg.into_frame(request_id, deadline);
+        crate::frame::write_frame(conn, &frame)?;
+        let mut reader = FrameReader::new();
+        loop {
+            let now = Instant::now();
+            if now >= end {
+                return Err(WireError::Timeout);
+            }
+            conn.set_read_timeout(Some(end - now))
+                .map_err(|e| WireError::from_io(&e))?;
+            match reader.poll_frame(conn)? {
+                Some(reply) => {
+                    if reply.request_id != request_id {
+                        // A stale reply from an abandoned exchange; the
+                        // stream's state is lost.
+                        return Err(WireError::BadPayload("reply for a different request"));
+                    }
+                    return Msg::from_frame(&reply);
+                }
+                None => continue,
+            }
+        }
+    }
+
+    /// Sends `msg` and returns the peer's reply message. The full
+    /// backoff/redial contract lives here; typed wrappers below
+    /// interpret the reply.
+    pub fn call(&self, msg: &Msg, deadline: Option<&Deadline>) -> Result<Msg, ProbeError> {
+        if let Err(remaining) = self.backoff.check() {
+            return Err(ProbeError::Backoff(remaining));
+        }
+        if deadline.is_some_and(|d| d.expired()) {
+            return Err(ProbeError::Wire(WireError::Timeout));
+        }
+        let request_id = self.fresh_id();
+        let mut budget = RetryBudget::new(&self.cfg.backoff);
+        let mut pooled = true;
+        let mut conn = match self.checkout() {
+            Some(c) => c,
+            None => {
+                pooled = false;
+                self.dial(deadline)?
+            }
+        };
+        loop {
+            match self.exchange(&mut conn, msg, request_id, deadline) {
+                Ok(Msg::Error { code, detail }) => {
+                    // A typed error is a *successful* exchange at the
+                    // transport level: the peer is alive and framing is
+                    // intact.
+                    self.backoff.on_success();
+                    self.pool(conn);
+                    return Err(ProbeError::Remote { code, detail });
+                }
+                Ok(reply) => {
+                    self.backoff.on_success();
+                    self.pool(conn);
+                    return Ok(reply);
+                }
+                Err(WireError::Timeout) => {
+                    // The peer may still answer later; the stream's
+                    // framing state is unusable. Poison, don't arm
+                    // backoff (the breaker owns slow-peer policy).
+                    conn.shutdown();
+                    return Err(ProbeError::Wire(WireError::Timeout));
+                }
+                Err(WireError::BadPayload(why)) => {
+                    conn.shutdown();
+                    return Err(ProbeError::BadReply(why));
+                }
+                Err(e) => {
+                    conn.shutdown();
+                    // A pooled keepalive may simply have gone stale
+                    // since the last exchange; one redial inside the
+                    // request's budget before declaring the peer bad.
+                    if pooled && budget.spend(deadline, self.cfg.connect_timeout) {
+                        pooled = false;
+                        conn = self.dial(deadline)?;
+                        continue;
+                    }
+                    self.backoff.on_failure();
+                    return Err(ProbeError::Wire(e));
+                }
+            }
+        }
+    }
+
+    /// Liveness probe: returns the peer's `(shard, generation)`.
+    pub fn ping(&self, deadline: Option<&Deadline>) -> Result<(u32, u64), ProbeError> {
+        let nonce = self.fresh_id() ^ 0x5051_5353; // "PQSS"-flavored, arbitrary
+        match self.call(&Msg::Ping { nonce }, deadline)? {
+            Msg::Pong {
+                nonce: echoed,
+                shard,
+                generation,
+            } => {
+                if echoed != nonce {
+                    return Err(ProbeError::BadReply("pong nonce mismatch"));
+                }
+                Ok((shard, generation))
+            }
+            _ => Err(ProbeError::BadReply("expected pong")),
+        }
+    }
+
+    /// Suggest probe; `deadline` propagates as the frame's budget.
+    pub fn suggest(
+        &self,
+        req: WireRequest,
+        deadline: Option<&Deadline>,
+    ) -> Result<WireReply, ProbeError> {
+        match self.call(&Msg::Suggest(req), deadline)? {
+            Msg::SuggestReply(reply) => Ok(reply),
+            _ => Err(ProbeError::BadReply("expected suggest reply")),
+        }
+    }
+
+    /// Ships a chronological delta batch; returns the published tag.
+    pub fn delta(
+        &self,
+        entries: Vec<LogEntry>,
+        deadline: Option<&Deadline>,
+    ) -> Result<WireTag, ProbeError> {
+        match self.call(&Msg::Delta { entries }, deadline)? {
+            Msg::DeltaAck { tag } => Ok(tag),
+            _ => Err(ProbeError::BadReply("expected delta ack")),
+        }
+    }
+
+    /// Requests an orderly shutdown of the peer process.
+    pub fn shutdown(&self, deadline: Option<&Deadline>) -> Result<(), ProbeError> {
+        match self.call(&Msg::Shutdown, deadline)? {
+            Msg::Pong { .. } => Ok(()),
+            _ => Err(ProbeError::BadReply("expected shutdown ack")),
+        }
+    }
+
+    /// Ships a whole snapshot image (begin → chunks → commit) on a
+    /// dedicated connection and returns the tag the peer published.
+    ///
+    /// The image build + load on the far side is bounded but slow, so
+    /// the final ack wait scales with the image size instead of using
+    /// the probe timeout.
+    pub fn install_snapshot(
+        &self,
+        meta: &SnapshotMeta,
+        image: &[u8],
+        chunk_bytes: usize,
+    ) -> Result<WireTag, ProbeError> {
+        if let Err(remaining) = self.backoff.check() {
+            return Err(ProbeError::Backoff(remaining));
+        }
+        let mut conn = self.dial(None)?;
+        let send = (|| -> Result<(), WireError> {
+            conn.set_write_timeout(Some(Duration::from_secs(30)))
+                .map_err(|e| WireError::from_io(&e))?;
+            let request_id = self.fresh_id();
+            let begin = Msg::SnapBegin {
+                shard: meta.shard as u32,
+                generation: meta.generation,
+                total_len: image.len() as u64,
+                graph_digest: meta.graph_digest,
+                profile_digest: meta.profile_digest,
+            };
+            crate::frame::write_frame(&mut conn, &begin.into_frame(request_id, None))?;
+            let chunk = chunk_bytes.max(1);
+            let mut offset = 0usize;
+            while offset < image.len() {
+                let end = (offset + chunk).min(image.len());
+                let msg = Msg::SnapChunk {
+                    offset: offset as u64,
+                    bytes: image[offset..end].to_vec(),
+                };
+                crate::frame::write_frame(&mut conn, &msg.into_frame(request_id, None))?;
+                offset = end;
+            }
+            crate::frame::write_frame(&mut conn, &Msg::SnapCommit.into_frame(request_id, None))?;
+            Ok(())
+        })();
+        if let Err(e) = send {
+            conn.shutdown();
+            self.backoff.on_failure();
+            return Err(ProbeError::Wire(e));
+        }
+        // Ack wait: 10s floor + 1s per shipped MiB covers load + verify.
+        let wait = Duration::from_secs(10 + (image.len() as u64 >> 20));
+        let end = Instant::now() + wait;
+        let mut reader = FrameReader::new();
+        let reply = loop {
+            let now = Instant::now();
+            if now >= end {
+                conn.shutdown();
+                return Err(ProbeError::Wire(WireError::Timeout));
+            }
+            let set = conn.set_read_timeout(Some(end - now));
+            if let Err(e) = set {
+                conn.shutdown();
+                return Err(ProbeError::Wire(WireError::from_io(&e)));
+            }
+            match reader.poll_frame(&mut conn) {
+                Ok(Some(frame)) => break frame,
+                Ok(None) => continue,
+                Err(e) => {
+                    conn.shutdown();
+                    self.backoff.on_failure();
+                    return Err(ProbeError::Wire(e));
+                }
+            }
+        };
+        conn.shutdown(); // handoff connections are single-use
+        match Msg::from_frame(&reply) {
+            Ok(Msg::SnapAck { tag }) => {
+                self.backoff.on_success();
+                Ok(tag)
+            }
+            Ok(Msg::Error { code, detail }) => Err(ProbeError::Remote { code, detail }),
+            Ok(_) => Err(ProbeError::BadReply("expected snapshot ack")),
+            Err(e) => Err(ProbeError::Wire(e)),
+        }
+    }
+}

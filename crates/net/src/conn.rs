@@ -1,0 +1,284 @@
+//! Transport addressing and sockets: one enum over TCP and Unix-domain
+//! streams so every layer above is transport-agnostic.
+//!
+//! Addresses parse from the CLI syntax `uds:<path>` / `tcp:<host:port>`.
+//! Listeners accept in a non-blocking poll loop (so a server can watch
+//! its stop flag); streams are blocking with explicit read/write
+//! timeouts — the client layer derives those from deadlines, which is
+//! what makes "never a hang" enforceable at the socket level.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A serving endpoint address.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NetAddr {
+    /// Unix-domain socket at this path.
+    Uds(PathBuf),
+    /// TCP `host:port`.
+    Tcp(String),
+}
+
+impl NetAddr {
+    /// Parses `uds:<path>` or `tcp:<host:port>`.
+    pub fn parse(s: &str) -> Option<NetAddr> {
+        if let Some(path) = s.strip_prefix("uds:") {
+            (!path.is_empty()).then(|| NetAddr::Uds(PathBuf::from(path)))
+        } else if let Some(hp) = s.strip_prefix("tcp:") {
+            (hp.contains(':')).then(|| NetAddr::Tcp(hp.to_owned()))
+        } else {
+            None
+        }
+    }
+
+    /// Stable key for jitter seeding: FNV over the display form.
+    pub fn key(&self) -> u64 {
+        pqsda_querylog::hash::fnv1a_bytes(self.to_string().as_bytes())
+    }
+
+    /// Dials the address with a connect timeout.
+    pub fn connect(&self, timeout: Duration) -> std::io::Result<Stream> {
+        match self {
+            // UDS connects are local and effectively instant; the
+            // timeout applies to TCP where SYNs can black-hole.
+            NetAddr::Uds(path) => Ok(Stream::Uds(UnixStream::connect(path)?)),
+            NetAddr::Tcp(hp) => {
+                let addr = hp.to_socket_addrs()?.next().ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "unresolvable address")
+                })?;
+                let s = TcpStream::connect_timeout(&addr, timeout)?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for NetAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetAddr::Uds(p) => write!(f, "uds:{}", p.display()),
+            NetAddr::Tcp(hp) => write!(f, "tcp:{hp}"),
+        }
+    }
+}
+
+/// A connected byte stream over either transport.
+pub enum Stream {
+    /// Unix-domain.
+    Uds(UnixStream),
+    /// TCP.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Sets the read timeout (None = block forever; never used by the
+    /// serving paths).
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        // A zero Duration means "no timeout" to the std API; clamp up.
+        let t = t.map(|d| d.max(Duration::from_millis(1)));
+        match self {
+            Stream::Uds(s) => s.set_read_timeout(t),
+            Stream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Sets the write timeout.
+    pub fn set_write_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        let t = t.map(|d| d.max(Duration::from_millis(1)));
+        match self {
+            Stream::Uds(s) => s.set_write_timeout(t),
+            Stream::Tcp(s) => s.set_write_timeout(t),
+        }
+    }
+
+    /// Shuts both directions down (ignores errors: the peer may already
+    /// be gone).
+    pub fn shutdown(&self) {
+        let _ = match self {
+            Stream::Uds(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound, non-blocking listener over either transport. Dropping a UDS
+/// listener unlinks its socket file.
+pub enum Listener {
+    /// Unix-domain (keeps the path for unlink-on-drop).
+    Uds(UnixListener, PathBuf),
+    /// TCP.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds `addr`, returning the listener and the **resolved** address
+    /// (TCP port 0 becomes the kernel-assigned port). A stale UDS socket
+    /// file from a crashed predecessor is removed first.
+    pub fn bind(addr: &NetAddr) -> std::io::Result<(Listener, NetAddr)> {
+        match addr {
+            NetAddr::Uds(path) => {
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok((Listener::Uds(l, path.clone()), addr.clone()))
+            }
+            NetAddr::Tcp(hp) => {
+                let l = TcpListener::bind(hp)?;
+                l.set_nonblocking(true)?;
+                let actual = l.local_addr()?;
+                Ok((Listener::Tcp(l), NetAddr::Tcp(actual.to_string())))
+            }
+        }
+    }
+
+    /// One accept attempt: `Ok(Some)` on a new connection (switched to
+    /// blocking mode), `Ok(None)` when none is pending.
+    pub fn poll_accept(&self) -> std::io::Result<Option<Stream>> {
+        match self {
+            Listener::Uds(l, _) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    Ok(Some(Stream::Uds(s)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    s.set_nodelay(true)?;
+                    Ok(Some(Stream::Tcp(s)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Uds(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_parsing() {
+        assert_eq!(
+            NetAddr::parse("uds:/tmp/s.sock"),
+            Some(NetAddr::Uds(PathBuf::from("/tmp/s.sock")))
+        );
+        assert_eq!(
+            NetAddr::parse("tcp:127.0.0.1:8080"),
+            Some(NetAddr::Tcp("127.0.0.1:8080".into()))
+        );
+        assert_eq!(NetAddr::parse("uds:"), None);
+        assert_eq!(NetAddr::parse("tcp:nohost"), None);
+        assert_eq!(NetAddr::parse("http://x"), None);
+        let a = NetAddr::parse("uds:/tmp/a.sock").unwrap();
+        assert_eq!(NetAddr::parse(&a.to_string()), Some(a.clone()));
+        assert_eq!(a.key(), a.key());
+        assert_ne!(a.key(), NetAddr::parse("uds:/tmp/b.sock").unwrap().key());
+    }
+
+    #[test]
+    fn tcp_roundtrip_with_resolved_port() {
+        let (listener, addr) = Listener::bind(&NetAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let NetAddr::Tcp(hp) = &addr else { panic!() };
+        assert!(!hp.ends_with(":0"), "port must be resolved, got {hp}");
+        let mut client = addr.connect(Duration::from_secs(2)).unwrap();
+        let mut server = loop {
+            if let Some(s) = listener.poll_accept().unwrap() {
+                break s;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn uds_roundtrip_and_unlink_on_drop() {
+        let dir = std::env::temp_dir().join(format!("pqsda-net-conn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.sock");
+        let addr = NetAddr::Uds(path.clone());
+        let (listener, bound) = Listener::bind(&addr).unwrap();
+        assert_eq!(bound, addr);
+        let mut client = addr.connect(Duration::from_secs(2)).unwrap();
+        let mut server = loop {
+            if let Some(s) = listener.poll_accept().unwrap() {
+                break s;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        client.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        drop(listener);
+        assert!(!path.exists(), "socket file must be unlinked on drop");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_timeout_fires() {
+        let (listener, addr) = Listener::bind(&NetAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let mut client = addr.connect(Duration::from_secs(2)).unwrap();
+        let _server = loop {
+            if let Some(s) = listener.poll_accept().unwrap() {
+                break s;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        client
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        let err = client.read(&mut buf).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "{err:?}"
+        );
+    }
+}

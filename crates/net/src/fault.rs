@@ -1,0 +1,228 @@
+//! Transport fault injection: the deterministic chaos schedule for the
+//! wire layer, mirroring the probe-level [`pqsda_serve::FaultPlan`].
+//!
+//! Faults here are applied **server-side** at the socket boundary —
+//! refused accepts, mid-frame disconnects, torn writes, flipped bytes,
+//! stalled replies — so the client/router code under test exercises its
+//! real decode, timeout, reconnect and backoff paths against real
+//! sockets. Every fault is a pure function of `(connection index, frame
+//! index)` plus a seed, so a chaos soak replays exactly and tests can
+//! assert per-fault outcomes instead of "it survived".
+
+use pqsda_querylog::hash::{fnv1a_u64, FNV_OFFSET};
+use std::collections::{HashMap, HashSet};
+
+/// One injected transport fault, applied to a server-side reply write
+/// (or, for [`NetFaultKind::RefuseConn`], to the accept itself).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// Close the connection immediately on accept (connection refused,
+    /// as seen by an already-connected peer: instant EOF).
+    RefuseConn,
+    /// Drop the connection instead of writing the reply frame.
+    DisconnectBefore,
+    /// Write only the first `n` bytes of the reply frame, then drop the
+    /// connection (a torn write; the peer must detect the partial frame).
+    TornWrite(u32),
+    /// Flip one byte of the encoded reply frame at `offset % len` and
+    /// send it fully (the peer's checksum must catch it).
+    CorruptByte(u32),
+    /// Sleep this many milliseconds before writing (a stalled peer; the
+    /// client's read timeout / the router's hedge must bound it).
+    StallMs(u64),
+}
+
+/// Background transport-fault rates, in permille per reply frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NetChaosProfile {
+    /// Probability (‰) a new connection is refused.
+    pub refuse_permille: u32,
+    /// Probability (‰) a reply is replaced by a disconnect.
+    pub disconnect_permille: u32,
+    /// Probability (‰) a reply is torn mid-frame.
+    pub torn_permille: u32,
+    /// Probability (‰) a reply has one byte flipped.
+    pub corrupt_permille: u32,
+    /// Probability (‰) a reply is stalled by `stall_ms`.
+    pub stall_permille: u32,
+    /// Stall length for stall faults.
+    pub stall_ms: u64,
+}
+
+/// splitmix64 finalizer (same public-domain constants the serve-layer
+/// plan uses) — FNV states of small integers need scattering before a
+/// modulo draw.
+#[inline]
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+/// A deterministic transport-fault schedule. Explicit per-frame faults
+/// take precedence over the seeded background profile.
+#[derive(Clone, Debug, Default)]
+pub struct NetFaultPlan {
+    seed: u64,
+    profile: Option<NetChaosProfile>,
+    explicit: HashMap<(u64, u64), NetFaultKind>,
+    refused_conns: HashSet<u64>,
+}
+
+impl NetFaultPlan {
+    /// An empty plan (no faults until schedules are added).
+    pub fn new() -> Self {
+        NetFaultPlan::default()
+    }
+
+    /// A plan whose background faults are drawn pseudo-randomly from
+    /// `profile`, keyed by `(seed, connection, frame)`.
+    pub fn seeded(seed: u64, profile: NetChaosProfile) -> Self {
+        NetFaultPlan {
+            seed,
+            profile: Some(profile),
+            ..NetFaultPlan::default()
+        }
+    }
+
+    /// Schedules `kind` for the `frame`-th reply of connection `conn`
+    /// (both 0-based; connections count accepts since server start).
+    pub fn with_frame_fault(mut self, conn: u64, frame: u64, kind: NetFaultKind) -> Self {
+        self.explicit.insert((conn, frame), kind);
+        self
+    }
+
+    /// Refuses the `conn`-th accepted connection outright.
+    pub fn with_refused_conn(mut self, conn: u64) -> Self {
+        self.refused_conns.insert(conn);
+        self
+    }
+
+    /// Whether the `conn`-th accept should be refused.
+    pub fn refuses(&self, conn: u64) -> bool {
+        if self.refused_conns.contains(&conn) {
+            return true;
+        }
+        let Some(p) = &self.profile else { return false };
+        if p.refuse_permille == 0 {
+            return false;
+        }
+        let h = mix(fnv1a_u64(fnv1a_u64(self.seed ^ FNV_OFFSET, conn), u64::MAX));
+        (h % 1000) as u32 % 1000 < p.refuse_permille
+    }
+
+    /// The fault (if any) injected into reply `frame` of connection
+    /// `conn`.
+    pub fn frame_fault(&self, conn: u64, frame: u64) -> Option<NetFaultKind> {
+        if let Some(kind) = self.explicit.get(&(conn, frame)) {
+            return Some(*kind);
+        }
+        let p = self.profile.as_ref()?;
+        let h = mix(fnv1a_u64(fnv1a_u64(self.seed ^ FNV_OFFSET, conn), frame));
+        let roll = (h % 1000) as u32;
+        let mut edge = p.disconnect_permille;
+        if roll < edge {
+            return Some(NetFaultKind::DisconnectBefore);
+        }
+        edge += p.torn_permille;
+        if roll < edge {
+            // Tear somewhere inside the frame, deterministically.
+            return Some(NetFaultKind::TornWrite((mix(h) % 64 + 1) as u32));
+        }
+        edge += p.corrupt_permille;
+        if roll < edge {
+            return Some(NetFaultKind::CorruptByte((mix(h ^ 1) & 0xffff) as u32));
+        }
+        edge += p.stall_permille;
+        if roll < edge {
+            return Some(NetFaultKind::StallMs(p.stall_ms));
+        }
+        None
+    }
+}
+
+/// Monotone transport counters of one shard server (what the chaos tests
+/// audit: every injected fault must land in exactly one of these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetServerStats {
+    /// Connections accepted (including ones then refused by injection).
+    pub connections: u64,
+    /// Connections dropped at accept by fault injection.
+    pub refused: u64,
+    /// Frames decoded and dispatched.
+    pub frames: u64,
+    /// Suggest probes served.
+    pub suggests: u64,
+    /// Delta batches applied and published.
+    pub deltas: u64,
+    /// Snapshot images installed and published.
+    pub snapshots: u64,
+    /// Typed `Error` replies sent.
+    pub errors_sent: u64,
+    /// Connections torn down after a corrupt/unparseable inbound frame.
+    pub corrupt_in: u64,
+    /// Connections that ended with a torn inbound frame (peer died
+    /// mid-write).
+    pub torn_in: u64,
+    /// Reply writes sabotaged by the fault plan (disconnect/torn/corrupt/
+    /// stall).
+    pub injected: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_beats_profile_and_draws_repeat() {
+        let plan = NetFaultPlan::seeded(
+            7,
+            NetChaosProfile {
+                refuse_permille: 100,
+                disconnect_permille: 80,
+                torn_permille: 80,
+                corrupt_permille: 80,
+                stall_permille: 80,
+                stall_ms: 5,
+            },
+        )
+        .with_frame_fault(3, 1, NetFaultKind::TornWrite(9))
+        .with_refused_conn(11);
+        assert_eq!(plan.frame_fault(3, 1), Some(NetFaultKind::TornWrite(9)));
+        assert!(plan.refuses(11));
+        for conn in 0..50 {
+            assert_eq!(plan.refuses(conn), plan.refuses(conn));
+            for frame in 0..50 {
+                assert_eq!(plan.frame_fault(conn, frame), plan.frame_fault(conn, frame));
+            }
+        }
+        // All kinds appear somewhere in 2500 draws at ~32% fault rate.
+        let mut kinds = [0u32; 4];
+        for conn in 0..50u64 {
+            for frame in 0..50u64 {
+                match plan.frame_fault(conn, frame) {
+                    Some(NetFaultKind::DisconnectBefore) => kinds[0] += 1,
+                    Some(NetFaultKind::TornWrite(_)) => kinds[1] += 1,
+                    Some(NetFaultKind::CorruptByte(_)) => kinds[2] += 1,
+                    Some(NetFaultKind::StallMs(_)) => kinds[3] += 1,
+                    Some(NetFaultKind::RefuseConn) | None => {}
+                }
+            }
+        }
+        assert!(kinds.iter().all(|&k| k > 0), "kinds drawn: {kinds:?}");
+    }
+
+    #[test]
+    fn empty_plan_is_silent() {
+        let plan = NetFaultPlan::new();
+        for conn in 0..20 {
+            assert!(!plan.refuses(conn));
+            for frame in 0..20 {
+                assert_eq!(plan.frame_fault(conn, frame), None);
+            }
+        }
+    }
+}

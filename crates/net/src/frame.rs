@@ -1,0 +1,433 @@
+//! The wire frame: length-prefixed, checksummed, versioned (DESIGN §15).
+//!
+//! Every message on a PQS-DA socket travels inside one frame:
+//!
+//! ```text
+//! magic   u32   "PQWP" little-endian
+//! version u8    protocol version (1)
+//! kind    u8    message kind (proto.rs owns the registry)
+//! flags   u16   reserved, must be zero
+//! request u64   request id, echoed verbatim in the reply frame
+//! budget  u64   remaining deadline budget in µs (u64::MAX = none);
+//!               stamped at send time, re-anchored on the receiver's clock
+//! length  u32   payload length in bytes (≤ MAX_PAYLOAD)
+//! payload [u8; length]
+//! check   u64   checksum over header + payload (store's frame_checksum)
+//! ```
+//!
+//! Decoding **fails closed**: any malformed prefix — wrong magic, unknown
+//! version, non-zero reserved flags, oversized length, flipped payload
+//! byte, truncated tail — yields a typed [`WireError`], never a partial
+//! frame and never a panic. Header sanity is checked *before* the payload
+//! length is trusted, so a corrupt length field cannot drive an
+//! allocation.
+
+use std::io::Read;
+use std::time::{Duration, Instant};
+
+/// `"PQWP"` little-endian.
+pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"PQWP");
+/// Current protocol version.
+pub const WIRE_VERSION: u8 = 1;
+/// Fixed header length in bytes (everything before the payload).
+pub const HEADER_LEN: usize = 28;
+/// Trailing checksum length in bytes.
+pub const CHECKSUM_LEN: usize = 8;
+/// Hard cap on a frame's payload. Large enough for a max-size suggest
+/// reply or a snapshot chunk, small enough that a corrupt length field
+/// rejected here can never balloon memory.
+pub const MAX_PAYLOAD: u32 = 8 << 20;
+/// Budget field value meaning "no deadline".
+pub const NO_DEADLINE: u64 = u64::MAX;
+
+/// Everything that can go wrong on the wire, as an explicit value. The
+/// serving layer maps each variant to an auditable outcome — a dropped
+/// shard, a reconnect, a counter — never a hang and never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame does not start with [`WIRE_MAGIC`].
+    BadMagic,
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// The reserved flags field was non-zero.
+    BadFlags(u16),
+    /// The payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The buffer/stream ended inside a structurally required region.
+    Truncated(&'static str),
+    /// Header + payload do not match the trailing checksum.
+    BadChecksum,
+    /// The payload of a structurally valid frame failed to decode (bad
+    /// message layout, invalid UTF-8, trailing bytes).
+    BadPayload(&'static str),
+    /// Unknown message kind byte.
+    BadKind(u8),
+    /// The peer closed the connection (at a frame boundary).
+    Closed,
+    /// A read or write missed its timeout / deadline.
+    Timeout,
+    /// Any other I/O failure.
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadFlags(x) => write!(f, "reserved flags set: {x:#06x}"),
+            WireError::Oversized(n) => write!(f, "payload length {n} exceeds cap"),
+            WireError::Truncated(what) => write!(f, "truncated frame: {what}"),
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+            WireError::BadPayload(what) => write!(f, "bad payload: {what}"),
+            WireError::BadKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Timeout => write!(f, "wire timeout"),
+            WireError::Io(kind) => write!(f, "io error: {kind:?}"),
+        }
+    }
+}
+
+impl WireError {
+    /// Maps an I/O error to the wire taxonomy: clean EOF is [`Closed`],
+    /// a missed socket timeout is [`Timeout`], the rest keep their kind.
+    ///
+    /// [`Closed`]: WireError::Closed
+    /// [`Timeout`]: WireError::Timeout
+    pub fn from_io(e: &std::io::Error) -> WireError {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => WireError::Closed,
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => WireError::Timeout,
+            std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => WireError::Closed,
+            kind => WireError::Io(kind),
+        }
+    }
+}
+
+/// One decoded frame: kind + routing metadata + opaque payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Message kind (see `proto`).
+    pub kind: u8,
+    /// Request id; replies echo the request's.
+    pub request_id: u64,
+    /// Remaining deadline budget in µs at send time ([`NO_DEADLINE`] =
+    /// none). The receiver re-anchors it on its own clock.
+    pub budget_us: u64,
+    /// Message payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame around `payload`, stamping the remaining budget of
+    /// `deadline` (if any) at this instant.
+    pub fn new(
+        kind: u8,
+        request_id: u64,
+        deadline: Option<&pqsda_parallel::Deadline>,
+        payload: Vec<u8>,
+    ) -> Frame {
+        Frame {
+            kind,
+            request_id,
+            budget_us: deadline.map_or(NO_DEADLINE, |d| d.remaining_us()),
+            payload,
+        }
+    }
+
+    /// The deadline this frame's budget denotes on the *local* clock:
+    /// `now + budget`. `None` when the sender had no deadline.
+    pub fn local_deadline(&self) -> Option<Instant> {
+        (self.budget_us != NO_DEADLINE)
+            .then(|| Instant::now() + Duration::from_micros(self.budget_us))
+    }
+
+    /// Serializes the frame (header, payload, trailing checksum).
+    ///
+    /// # Panics
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`] — senders size their
+    /// chunks below the cap by construction.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(
+            self.payload.len() <= MAX_PAYLOAD as usize,
+            "frame payload over cap"
+        );
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + CHECKSUM_LEN);
+        out.extend_from_slice(&WIRE_MAGIC.to_le_bytes());
+        out.push(WIRE_VERSION);
+        out.push(self.kind);
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&self.request_id.to_le_bytes());
+        out.extend_from_slice(&self.budget_us.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let check = pqsda_store::format::frame_checksum(&out);
+        out.extend_from_slice(&check.to_le_bytes());
+        out
+    }
+
+    /// Attempts to decode one frame from the front of `buf`.
+    ///
+    /// * `Ok(Some((frame, consumed)))` — a complete, checksum-verified
+    ///   frame occupying the first `consumed` bytes.
+    /// * `Ok(None)` — the prefix is valid so far but the frame is not
+    ///   complete yet (stream callers read more and retry).
+    /// * `Err(_)` — the prefix can never become a valid frame; the
+    ///   connection is unrecoverable (framing lost).
+    ///
+    /// Header sanity (magic, version, flags, length cap) is validated as
+    /// soon as the header is present — before any payload is awaited — so
+    /// garbage input fails immediately instead of stalling for bytes that
+    /// will never come.
+    pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+        if buf.len() < HEADER_LEN {
+            // Reject wrong magic even before the full header arrives.
+            let lead = buf.len().min(4);
+            if lead > 0 && buf[..lead] != WIRE_MAGIC.to_le_bytes()[..lead] {
+                return Err(WireError::BadMagic);
+            }
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if magic != WIRE_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = buf[4];
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let kind = buf[5];
+        let flags = u16::from_le_bytes(buf[6..8].try_into().unwrap());
+        if flags != 0 {
+            return Err(WireError::BadFlags(flags));
+        }
+        let request_id = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let budget_us = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        let payload_len = u32::from_le_bytes(buf[24..28].try_into().unwrap());
+        if payload_len > MAX_PAYLOAD {
+            return Err(WireError::Oversized(payload_len));
+        }
+        let total = HEADER_LEN + payload_len as usize + CHECKSUM_LEN;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let body_end = HEADER_LEN + payload_len as usize;
+        let stated = u64::from_le_bytes(buf[body_end..total].try_into().unwrap());
+        if pqsda_store::format::frame_checksum(&buf[..body_end]) != stated {
+            return Err(WireError::BadChecksum);
+        }
+        Ok(Some((
+            Frame {
+                kind,
+                request_id,
+                budget_us,
+                payload: buf[HEADER_LEN..body_end].to_vec(),
+            },
+            total,
+        )))
+    }
+
+    /// [`Frame::decode`] over a buffer that must hold the whole frame:
+    /// an incomplete prefix is an error here, not a "read more" signal.
+    pub fn decode_exact(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+        match Frame::decode(buf)? {
+            Some(ok) => Ok(ok),
+            None => Err(WireError::Truncated("incomplete frame")),
+        }
+    }
+}
+
+/// Incremental frame reader over a byte stream. Owns the reassembly
+/// buffer, so short reads, socket timeouts and frames split across
+/// arbitrary packet boundaries all resume cleanly.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Pulls available bytes from `r` and tries to complete one frame.
+    ///
+    /// * `Ok(Some(frame))` — one complete frame (leftover bytes stay
+    ///   buffered for the next call).
+    /// * `Ok(None)` — no complete frame yet; a socket timeout while
+    ///   waiting surfaces here (poll again or give up, caller's choice).
+    /// * `Err(Closed)` — clean EOF at a frame boundary.
+    /// * `Err(Truncated)` — EOF *inside* a frame: a torn write.
+    /// * other `Err` — corrupt framing or I/O failure; unrecoverable.
+    pub fn poll_frame<R: Read>(&mut self, r: &mut R) -> Result<Option<Frame>, WireError> {
+        loop {
+            if let Some((frame, consumed)) = Frame::decode(&self.buf)? {
+                self.buf.drain(..consumed);
+                return Ok(Some(frame));
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if self.buf.is_empty() {
+                        WireError::Closed
+                    } else {
+                        WireError::Truncated("connection closed mid-frame")
+                    });
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => match WireError::from_io(&e) {
+                    // Interrupted reads just retry.
+                    WireError::Io(std::io::ErrorKind::Interrupted) => continue,
+                    WireError::Timeout => return Ok(None),
+                    other => return Err(other),
+                },
+            }
+        }
+    }
+
+    /// Bytes currently buffered (tests / diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Writes `frame` fully to `w`, mapping I/O failures to [`WireError`].
+pub fn write_frame<W: std::io::Write>(w: &mut W, frame: &Frame) -> Result<(), WireError> {
+    let bytes = frame.encode();
+    w.write_all(&bytes).map_err(|e| WireError::from_io(&e))?;
+    w.flush().map_err(|e| WireError::from_io(&e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame {
+            kind: 3,
+            request_id: 0xfeed_beef,
+            budget_us: 2_500,
+            payload: b"hello wire".to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = sample();
+        let bytes = f.encode();
+        let (back, consumed) = Frame::decode_exact(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let f = Frame {
+            kind: 1,
+            request_id: 0,
+            budget_us: NO_DEADLINE,
+            payload: Vec::new(),
+        };
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), HEADER_LEN + CHECKSUM_LEN);
+        let (back, _) = Frame::decode_exact(&bytes).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn every_truncation_fails_closed() {
+        let bytes = sample().encode();
+        for len in 0..bytes.len() {
+            match Frame::decode(&bytes[..len]) {
+                Ok(None) | Err(_) => {}
+                Ok(Some(_)) => panic!("decoded a frame from a {len}-byte prefix"),
+            }
+            assert!(Frame::decode_exact(&bytes[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn every_flipped_byte_fails_closed() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            match Frame::decode(&bad) {
+                Err(_) => {}
+                // A flip in the length field may make the frame "longer":
+                // that reads as incomplete, never as a valid frame.
+                Ok(None) => assert!((24..28).contains(&i), "byte {i} decoded as incomplete"),
+                Ok(Some(_)) => panic!("flipped byte {i} still decoded"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_payload() {
+        let mut bytes = sample().encode();
+        bytes[24..28].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        // Only the header is needed to reject: no waiting for 8 MiB.
+        assert_eq!(
+            Frame::decode(&bytes[..HEADER_LEN]),
+            Err(WireError::Oversized(MAX_PAYLOAD + 1))
+        );
+    }
+
+    #[test]
+    fn wrong_magic_rejected_from_first_bytes() {
+        assert_eq!(Frame::decode(b"GET "), Err(WireError::BadMagic));
+        assert_eq!(Frame::decode(b"G"), Err(WireError::BadMagic));
+        // A correct prefix of the magic is still plausibly a frame.
+        assert_eq!(Frame::decode(b"PQ"), Ok(None));
+    }
+
+    #[test]
+    fn reserved_flags_rejected() {
+        let mut bytes = sample().encode();
+        bytes[6] = 1;
+        assert_eq!(Frame::decode(&bytes), Err(WireError::BadFlags(1)));
+    }
+
+    #[test]
+    fn reader_reassembles_split_frames() {
+        let a = sample();
+        let b = Frame {
+            kind: 4,
+            request_id: 7,
+            budget_us: NO_DEADLINE,
+            payload: vec![9; 100],
+        };
+        let mut stream = a.encode();
+        stream.extend_from_slice(&b.encode());
+        // Feed the stream three bytes at a time through a chunked reader.
+        struct Trickle<'a>(&'a [u8]);
+        impl Read for Trickle<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.0.len().min(out.len()).min(3);
+                out[..n].copy_from_slice(&self.0[..n]);
+                self.0 = &self.0[n..];
+                Ok(n)
+            }
+        }
+        let mut r = Trickle(&stream);
+        let mut reader = FrameReader::new();
+        assert_eq!(reader.poll_frame(&mut r).unwrap(), Some(a));
+        assert_eq!(reader.poll_frame(&mut r).unwrap(), Some(b));
+        assert_eq!(reader.poll_frame(&mut r), Err(WireError::Closed));
+    }
+
+    #[test]
+    fn reader_reports_torn_write() {
+        let bytes = sample().encode();
+        let torn = &bytes[..bytes.len() - 3];
+        let mut reader = FrameReader::new();
+        let mut r = std::io::Cursor::new(torn.to_vec());
+        assert_eq!(
+            reader.poll_frame(&mut r),
+            Err(WireError::Truncated("connection closed mid-frame"))
+        );
+    }
+}

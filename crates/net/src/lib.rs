@@ -1,0 +1,51 @@
+//! Cross-process distributed serving for PQS-DA: a compact, checksummed
+//! binary wire protocol over TCP/UDS, shard servers as separate
+//! processes, and a socket-backed scatter-gather router that preserves
+//! every in-process serving guarantee — bit-identical full-coverage
+//! replies, honest degraded [`pqsda_serve::Coverage`] under faults,
+//! deadline budgets propagated in the frame header, hedged requests,
+//! circuit breakers, and backoff-gated reconnects. DESIGN §15.
+//!
+//! Layering, bottom up:
+//!
+//! - [`frame`] — length-prefixed, checksummed frames with fail-closed
+//!   decoding (typed [`WireError`], never a panic, never silent
+//!   truncation).
+//! - [`proto`] — the message vocabulary: suggest probe/reply, delta
+//!   batch, snapshot handoff, health, typed errors.
+//! - [`conn`] — transport-agnostic addressing, streams and listeners
+//!   over TCP and Unix-domain sockets.
+//! - [`backoff`] — capped exponential reconnect backoff with seeded
+//!   jitter and per-request retry budgets.
+//! - [`fault`] — deterministic transport-fault injection for the chaos
+//!   harness.
+//! - [`client`] / [`server`] — the replica client and the shard server
+//!   process loop.
+//! - [`router`] — the scatter-gather router behind
+//!   [`pqsda_serve::SuggestService`].
+
+pub mod backoff;
+pub mod client;
+pub mod conn;
+pub mod fault;
+pub mod frame;
+pub mod proto;
+pub mod router;
+pub mod server;
+
+pub use backoff::{BackoffConfig, BackoffGate, RetryBudget};
+pub use client::{ClientConfig, ProbeError, RemoteReplica};
+pub use conn::{Listener, NetAddr, Stream};
+pub use fault::{NetChaosProfile, NetFaultKind, NetFaultPlan, NetServerStats};
+pub use frame::{
+    write_frame, Frame, FrameReader, WireError, HEADER_LEN, MAX_PAYLOAD, NO_DEADLINE, WIRE_MAGIC,
+    WIRE_VERSION,
+};
+pub use proto::{
+    backend_from_wire, backend_to_wire, Msg, WireReply, WireRequest, WireTag, ERR_BAD_DELTA,
+    ERR_BAD_KIND, ERR_DEADLINE, ERR_DIGEST, ERR_INTERNAL, ERR_SNAP_STATE, KIND_DELTA,
+    KIND_DELTA_ACK, KIND_ERROR, KIND_PING, KIND_PONG, KIND_SHUTDOWN, KIND_SNAP_ACK,
+    KIND_SNAP_BEGIN, KIND_SNAP_CHUNK, KIND_SNAP_COMMIT, KIND_SUGGEST, KIND_SUGGEST_REPLY,
+};
+pub use router::{NetConfig, NetRouter, NetStats, NetSwapReport, ResizeReport};
+pub use server::{ServerHandle, ShardServer, ShardServerConfig};

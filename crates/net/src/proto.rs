@@ -1,0 +1,696 @@
+//! Message layer on top of [`crate::frame`]: the typed protocol the
+//! router and shard servers speak (DESIGN §15).
+//!
+//! All integers little-endian; strings are length-prefixed UTF-8; every
+//! decoder must consume its payload **exactly** — trailing bytes are a
+//! [`WireError::BadPayload`], so a corrupted-but-checksum-colliding frame
+//! can never be half-read. Scores travel as raw `f64` bits: the
+//! bit-identity contract of the sharded merge survives the wire because
+//! no float is ever formatted or re-parsed.
+//!
+//! Delta payloads reuse the snapshot store's WAL entry codec
+//! ([`pqsda_store::encode_entry`]) verbatim — one encoding for an entry
+//! at rest and in flight, so the formats cannot drift apart.
+
+use crate::frame::{Frame, WireError, MAX_PAYLOAD};
+use pqsda_querylog::LogEntry;
+use pqsda_serve::ShardTag;
+
+/// Liveness probe.
+pub const KIND_PING: u8 = 1;
+/// Liveness reply: shard number + current generation.
+pub const KIND_PONG: u8 = 2;
+/// Suggest probe (text-keyed request).
+pub const KIND_SUGGEST: u8 = 3;
+/// Suggest reply: snapshot tag + scored candidates.
+pub const KIND_SUGGEST_REPLY: u8 = 4;
+/// Delta batch of log entries to apply incrementally.
+pub const KIND_DELTA: u8 = 5;
+/// Delta applied; carries the newly published tag.
+pub const KIND_DELTA_ACK: u8 = 6;
+/// Snapshot handoff: announce an incoming engine image.
+pub const KIND_SNAP_BEGIN: u8 = 7;
+/// Snapshot handoff: one chunk of the image.
+pub const KIND_SNAP_CHUNK: u8 = 8;
+/// Snapshot handoff: image complete, verify and publish.
+pub const KIND_SNAP_COMMIT: u8 = 9;
+/// Snapshot installed; carries the published tag.
+pub const KIND_SNAP_ACK: u8 = 10;
+/// Typed failure reply (code + detail).
+pub const KIND_ERROR: u8 = 11;
+/// Orderly shutdown request (server acks with Pong, then exits).
+pub const KIND_SHUTDOWN: u8 = 12;
+
+/// Error code: the request's deadline budget was already spent on arrival.
+pub const ERR_DEADLINE: u16 = 1;
+/// Error code: the delta batch cannot apply incrementally (the caller
+/// should fall back to a snapshot handoff).
+pub const ERR_BAD_DELTA: u16 = 2;
+/// Error code: snapshot handoff messages arrived out of order.
+pub const ERR_SNAP_STATE: u16 = 3;
+/// Error code: a handed-off image failed digest verification.
+pub const ERR_DIGEST: u16 = 4;
+/// Error code: the server received a kind it does not handle.
+pub const ERR_BAD_KIND: u16 = 5;
+/// Error code: unknown ranking backend byte.
+pub const ERR_BAD_BACKEND: u16 = 6;
+/// Error code: internal server failure (detail says what).
+pub const ERR_INTERNAL: u16 = 7;
+
+/// A [`ShardTag`] on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireTag {
+    /// Shard number.
+    pub shard: u32,
+    /// Snapshot generation.
+    pub generation: u64,
+    /// Content digest of the graph sections.
+    pub graph_digest: u64,
+    /// Content digest of the profile sections.
+    pub profile_digest: u64,
+}
+
+impl From<ShardTag> for WireTag {
+    fn from(t: ShardTag) -> WireTag {
+        WireTag {
+            shard: t.shard as u32,
+            generation: t.generation,
+            graph_digest: t.graph_digest,
+            profile_digest: t.profile_digest,
+        }
+    }
+}
+
+impl From<WireTag> for ShardTag {
+    fn from(t: WireTag) -> ShardTag {
+        ShardTag {
+            shard: t.shard as usize,
+            generation: t.generation,
+            graph_digest: t.graph_digest,
+            profile_digest: t.profile_digest,
+        }
+    }
+}
+
+/// A suggest probe in the only id space that crosses process boundaries:
+/// normalized query *text*. The router translates global ids to text on
+/// send; the shard server translates text to its local ids, runs the
+/// identical probe the in-process gather runs, and translates back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireRequest {
+    /// Normalized input query text.
+    pub query: String,
+    /// Session context: (normalized text, timestamp), oldest first.
+    /// Context entries unknown to the *router* are already dropped — the
+    /// same filtering `shard_probe` applies before translation.
+    pub context: Vec<(String, u64)>,
+    /// Timestamp of the input query.
+    pub query_time: u64,
+    /// Requesting user id, if known.
+    pub user: Option<u32>,
+    /// Number of suggestions requested.
+    pub k: u32,
+    /// Ranking backend byte (`backend_to_wire`).
+    pub backend: u8,
+}
+
+/// A suggest reply: the answering snapshot's tag plus scored candidates
+/// as (normalized text, raw `f64` score bits), in the shard's rank order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireReply {
+    /// Tag of the snapshot that answered.
+    pub tag: WireTag,
+    /// Rank-ordered candidates.
+    pub suggestions: Vec<(String, u64)>,
+}
+
+/// Encodes a [`pqsda_baselines::Backend`] as its wire byte.
+pub fn backend_to_wire(b: pqsda_baselines::Backend) -> u8 {
+    match b {
+        pqsda_baselines::Backend::Eq15 => 0,
+        pqsda_baselines::Backend::BiRank => 1,
+        pqsda_baselines::Backend::IntentFused => 2,
+    }
+}
+
+/// Decodes a backend byte, failing closed on unknown values.
+pub fn backend_from_wire(b: u8) -> Result<pqsda_baselines::Backend, WireError> {
+    match b {
+        0 => Ok(pqsda_baselines::Backend::Eq15),
+        1 => Ok(pqsda_baselines::Backend::BiRank),
+        2 => Ok(pqsda_baselines::Backend::IntentFused),
+        _ => Err(WireError::BadPayload("unknown backend byte")),
+    }
+}
+
+/// Every message of the protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Liveness probe with an arbitrary nonce.
+    Ping {
+        /// Echoed in the pong.
+        nonce: u64,
+    },
+    /// Liveness / shutdown acknowledgment.
+    Pong {
+        /// The ping's nonce.
+        nonce: u64,
+        /// The server's shard number.
+        shard: u32,
+        /// Current published generation.
+        generation: u64,
+    },
+    /// Suggest probe.
+    Suggest(WireRequest),
+    /// Suggest reply.
+    SuggestReply(WireReply),
+    /// Delta batch (chronological order as drained by the router).
+    Delta {
+        /// The entries to apply.
+        entries: Vec<LogEntry>,
+    },
+    /// Delta applied and published.
+    DeltaAck {
+        /// The newly published tag.
+        tag: WireTag,
+    },
+    /// Snapshot handoff start.
+    SnapBegin {
+        /// Target shard number (must match the server's).
+        shard: u32,
+        /// Generation the image will publish as.
+        generation: u64,
+        /// Total image length in bytes.
+        total_len: u64,
+        /// Expected graph digest (verified after install).
+        graph_digest: u64,
+        /// Expected profile digest.
+        profile_digest: u64,
+    },
+    /// One contiguous chunk of the image.
+    SnapChunk {
+        /// Byte offset of this chunk (must equal bytes received so far).
+        offset: u64,
+        /// Chunk bytes.
+        bytes: Vec<u8>,
+    },
+    /// Image complete: verify, build, publish.
+    SnapCommit,
+    /// Snapshot installed.
+    SnapAck {
+        /// The published tag.
+        tag: WireTag,
+    },
+    /// Typed failure.
+    Error {
+        /// One of the `ERR_*` codes.
+        code: u16,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Orderly shutdown.
+    Shutdown,
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_tag(buf: &mut Vec<u8>, t: &WireTag) {
+    buf.extend_from_slice(&t.shard.to_le_bytes());
+    buf.extend_from_slice(&t.generation.to_le_bytes());
+    buf.extend_from_slice(&t.graph_digest.to_le_bytes());
+    buf.extend_from_slice(&t.profile_digest.to_le_bytes());
+}
+
+/// Cursor over a payload; every read is bounds-checked and the caller
+/// asserts full consumption at the end.
+struct Take<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Take<'a> {
+    fn new(buf: &'a [u8]) -> Take<'a> {
+        Take { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(WireError::BadPayload(what))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.bytes(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8, what)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, WireError> {
+        let len = self.u32(what)? as usize;
+        let raw = self.bytes(len, what)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadPayload(what))
+    }
+
+    fn tag(&mut self, what: &'static str) -> Result<WireTag, WireError> {
+        Ok(WireTag {
+            shard: self.u32(what)?,
+            generation: self.u64(what)?,
+            graph_digest: self.u64(what)?,
+            profile_digest: self.u64(what)?,
+        })
+    }
+
+    fn finish(self, what: &'static str) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::BadPayload(what))
+        }
+    }
+}
+
+impl Msg {
+    /// The message's frame kind byte.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Msg::Ping { .. } => KIND_PING,
+            Msg::Pong { .. } => KIND_PONG,
+            Msg::Suggest(_) => KIND_SUGGEST,
+            Msg::SuggestReply(_) => KIND_SUGGEST_REPLY,
+            Msg::Delta { .. } => KIND_DELTA,
+            Msg::DeltaAck { .. } => KIND_DELTA_ACK,
+            Msg::SnapBegin { .. } => KIND_SNAP_BEGIN,
+            Msg::SnapChunk { .. } => KIND_SNAP_CHUNK,
+            Msg::SnapCommit => KIND_SNAP_COMMIT,
+            Msg::SnapAck { .. } => KIND_SNAP_ACK,
+            Msg::Error { .. } => KIND_ERROR,
+            Msg::Shutdown => KIND_SHUTDOWN,
+        }
+    }
+
+    /// Serializes the message body (the frame payload).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Msg::Ping { nonce } => buf.extend_from_slice(&nonce.to_le_bytes()),
+            Msg::Pong {
+                nonce,
+                shard,
+                generation,
+            } => {
+                buf.extend_from_slice(&nonce.to_le_bytes());
+                buf.extend_from_slice(&shard.to_le_bytes());
+                buf.extend_from_slice(&generation.to_le_bytes());
+            }
+            Msg::Suggest(req) => {
+                put_str(&mut buf, &req.query);
+                buf.extend_from_slice(&(req.context.len() as u32).to_le_bytes());
+                for (text, time) in &req.context {
+                    put_str(&mut buf, text);
+                    buf.extend_from_slice(&time.to_le_bytes());
+                }
+                buf.extend_from_slice(&req.query_time.to_le_bytes());
+                match req.user {
+                    Some(u) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&u.to_le_bytes());
+                    }
+                    None => buf.push(0),
+                }
+                buf.extend_from_slice(&req.k.to_le_bytes());
+                buf.push(req.backend);
+            }
+            Msg::SuggestReply(reply) => {
+                put_tag(&mut buf, &reply.tag);
+                buf.extend_from_slice(&(reply.suggestions.len() as u32).to_le_bytes());
+                for (text, bits) in &reply.suggestions {
+                    put_str(&mut buf, text);
+                    buf.extend_from_slice(&bits.to_le_bytes());
+                }
+            }
+            Msg::Delta { entries } => {
+                buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for e in entries {
+                    pqsda_store::encode_entry(&mut buf, e);
+                }
+            }
+            Msg::DeltaAck { tag } => put_tag(&mut buf, tag),
+            Msg::SnapBegin {
+                shard,
+                generation,
+                total_len,
+                graph_digest,
+                profile_digest,
+            } => {
+                buf.extend_from_slice(&shard.to_le_bytes());
+                buf.extend_from_slice(&generation.to_le_bytes());
+                buf.extend_from_slice(&total_len.to_le_bytes());
+                buf.extend_from_slice(&graph_digest.to_le_bytes());
+                buf.extend_from_slice(&profile_digest.to_le_bytes());
+            }
+            Msg::SnapChunk { offset, bytes } => {
+                buf.extend_from_slice(&offset.to_le_bytes());
+                buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                buf.extend_from_slice(bytes);
+            }
+            Msg::SnapCommit | Msg::Shutdown => {}
+            Msg::SnapAck { tag } => put_tag(&mut buf, tag),
+            Msg::Error { code, detail } => {
+                buf.extend_from_slice(&code.to_le_bytes());
+                put_str(&mut buf, detail);
+            }
+        }
+        debug_assert!(
+            buf.len() <= MAX_PAYLOAD as usize,
+            "message over payload cap"
+        );
+        buf
+    }
+
+    /// Decodes a message from a frame's kind + payload. Fails closed on
+    /// unknown kinds, malformed layouts, invalid UTF-8 and — crucially —
+    /// trailing bytes: the payload must be consumed exactly.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Msg, WireError> {
+        let mut t = Take::new(payload);
+        let msg = match kind {
+            KIND_PING => Msg::Ping {
+                nonce: t.u64("ping")?,
+            },
+            KIND_PONG => Msg::Pong {
+                nonce: t.u64("pong")?,
+                shard: t.u32("pong")?,
+                generation: t.u64("pong")?,
+            },
+            KIND_SUGGEST => {
+                let query = t.string("suggest.query")?;
+                let n = t.u32("suggest.context")? as usize;
+                // Each context item needs ≥ 12 bytes; reject absurd counts
+                // before reserving anything.
+                if n > payload.len() / 12 + 1 {
+                    return Err(WireError::BadPayload("suggest.context count"));
+                }
+                let mut context = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let text = t.string("suggest.context text")?;
+                    let time = t.u64("suggest.context time")?;
+                    context.push((text, time));
+                }
+                let query_time = t.u64("suggest.query_time")?;
+                let user = match t.u8("suggest.user flag")? {
+                    0 => None,
+                    1 => Some(t.u32("suggest.user")?),
+                    _ => return Err(WireError::BadPayload("suggest.user flag")),
+                };
+                let k = t.u32("suggest.k")?;
+                let backend = t.u8("suggest.backend")?;
+                backend_from_wire(backend)?;
+                Msg::Suggest(WireRequest {
+                    query,
+                    context,
+                    query_time,
+                    user,
+                    k,
+                    backend,
+                })
+            }
+            KIND_SUGGEST_REPLY => {
+                let tag = t.tag("reply.tag")?;
+                let n = t.u32("reply.count")? as usize;
+                if n > payload.len() / 12 + 1 {
+                    return Err(WireError::BadPayload("reply.count"));
+                }
+                let mut suggestions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let text = t.string("reply.text")?;
+                    let bits = t.u64("reply.score")?;
+                    suggestions.push((text, bits));
+                }
+                Msg::SuggestReply(WireReply { tag, suggestions })
+            }
+            KIND_DELTA => {
+                let n = t.u32("delta.count")? as usize;
+                // A WAL entry is ≥ 20 bytes.
+                if n > payload.len() / 20 + 1 {
+                    return Err(WireError::BadPayload("delta.count"));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let rest = &payload[t.pos..];
+                    let (entry, used) = pqsda_store::decode_entry(rest)
+                        .ok_or(WireError::BadPayload("delta.entry"))?;
+                    t.pos += used;
+                    entries.push(entry);
+                }
+                Msg::Delta { entries }
+            }
+            KIND_DELTA_ACK => Msg::DeltaAck {
+                tag: t.tag("delta_ack.tag")?,
+            },
+            KIND_SNAP_BEGIN => Msg::SnapBegin {
+                shard: t.u32("snap_begin")?,
+                generation: t.u64("snap_begin")?,
+                total_len: t.u64("snap_begin")?,
+                graph_digest: t.u64("snap_begin")?,
+                profile_digest: t.u64("snap_begin")?,
+            },
+            KIND_SNAP_CHUNK => {
+                let offset = t.u64("snap_chunk.offset")?;
+                let len = t.u32("snap_chunk.len")? as usize;
+                let bytes = t.bytes(len, "snap_chunk.bytes")?.to_vec();
+                Msg::SnapChunk { offset, bytes }
+            }
+            KIND_SNAP_COMMIT => Msg::SnapCommit,
+            KIND_SNAP_ACK => Msg::SnapAck {
+                tag: t.tag("snap_ack.tag")?,
+            },
+            KIND_ERROR => Msg::Error {
+                code: t.u16("error.code")?,
+                detail: t.string("error.detail")?,
+            },
+            KIND_SHUTDOWN => Msg::Shutdown,
+            other => return Err(WireError::BadKind(other)),
+        };
+        t.finish("trailing bytes")?;
+        Ok(msg)
+    }
+
+    /// Wraps the message in a frame.
+    pub fn into_frame(
+        &self,
+        request_id: u64,
+        deadline: Option<&pqsda_parallel::Deadline>,
+    ) -> Frame {
+        Frame::new(self.kind(), request_id, deadline, self.encode_payload())
+    }
+
+    /// Decodes the message inside `frame`.
+    pub fn from_frame(frame: &Frame) -> Result<Msg, WireError> {
+        Msg::decode(frame.kind, &frame.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqsda_querylog::UserId;
+
+    fn roundtrip(msg: &Msg) {
+        let payload = msg.encode_payload();
+        let back = Msg::decode(msg.kind(), &payload).unwrap();
+        assert_eq!(&back, msg);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(&Msg::Ping { nonce: 42 });
+        roundtrip(&Msg::Pong {
+            nonce: 42,
+            shard: 3,
+            generation: 9,
+        });
+        roundtrip(&Msg::Suggest(WireRequest {
+            query: "weather boston".into(),
+            context: vec![("weather".into(), 100), ("boston hotels".into(), 140)],
+            query_time: 200,
+            user: Some(17),
+            k: 10,
+            backend: 2,
+        }));
+        roundtrip(&Msg::Suggest(WireRequest {
+            query: String::new(),
+            context: Vec::new(),
+            query_time: 0,
+            user: None,
+            k: 0,
+            backend: 0,
+        }));
+        roundtrip(&Msg::SuggestReply(WireReply {
+            tag: WireTag {
+                shard: 1,
+                generation: 4,
+                graph_digest: 0xabc,
+                profile_digest: 0xdef,
+            },
+            suggestions: vec![
+                ("alpha".into(), 0.75f64.to_bits()),
+                ("beta".into(), (-0.0f64).to_bits()),
+            ],
+        }));
+        // The empty degraded reply.
+        roundtrip(&Msg::SuggestReply(WireReply {
+            tag: WireTag {
+                shard: 0,
+                generation: 0,
+                graph_digest: 0,
+                profile_digest: 0,
+            },
+            suggestions: Vec::new(),
+        }));
+        roundtrip(&Msg::Delta {
+            entries: vec![
+                LogEntry::new(UserId(3), "query one", Some("http://a"), 11),
+                LogEntry::new(UserId(4), "query two", None, 12),
+            ],
+        });
+        roundtrip(&Msg::Delta {
+            entries: Vec::new(),
+        });
+        let tag = WireTag {
+            shard: 2,
+            generation: 7,
+            graph_digest: 1,
+            profile_digest: 2,
+        };
+        roundtrip(&Msg::DeltaAck { tag });
+        roundtrip(&Msg::SnapBegin {
+            shard: 2,
+            generation: 7,
+            total_len: 1 << 20,
+            graph_digest: 0x1111,
+            profile_digest: 0x2222,
+        });
+        roundtrip(&Msg::SnapChunk {
+            offset: 4096,
+            bytes: vec![0xaa; 1000],
+        });
+        roundtrip(&Msg::SnapCommit);
+        roundtrip(&Msg::SnapAck { tag });
+        roundtrip(&Msg::Error {
+            code: ERR_BAD_DELTA,
+            detail: "late batch".into(),
+        });
+        roundtrip(&Msg::Shutdown);
+    }
+
+    #[test]
+    fn trailing_bytes_fail_closed() {
+        for msg in [
+            Msg::Ping { nonce: 1 },
+            Msg::SnapCommit,
+            Msg::Shutdown,
+            Msg::Delta {
+                entries: vec![LogEntry::new(UserId(0), "q", None, 1)],
+            },
+        ] {
+            let mut payload = msg.encode_payload();
+            payload.push(0);
+            assert_eq!(
+                Msg::decode(msg.kind(), &payload),
+                Err(WireError::BadPayload("trailing bytes")),
+                "{msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_kind_fails_closed() {
+        assert_eq!(Msg::decode(0, &[]), Err(WireError::BadKind(0)));
+        assert_eq!(Msg::decode(200, &[1, 2, 3]), Err(WireError::BadKind(200)));
+    }
+
+    #[test]
+    fn unknown_backend_fails_closed() {
+        let msg = Msg::Suggest(WireRequest {
+            query: "q".into(),
+            context: Vec::new(),
+            query_time: 0,
+            user: None,
+            k: 5,
+            backend: 0,
+        });
+        let mut payload = msg.encode_payload();
+        let last = payload.len() - 1;
+        payload[last] = 9;
+        assert_eq!(
+            Msg::decode(KIND_SUGGEST, &payload),
+            Err(WireError::BadPayload("unknown backend byte"))
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_fails_closed() {
+        let msg = Msg::Error {
+            code: 1,
+            detail: "ok".into(),
+        };
+        let mut payload = msg.encode_payload();
+        let last = payload.len() - 1;
+        payload[last] = 0xff;
+        assert_eq!(
+            Msg::decode(KIND_ERROR, &payload),
+            Err(WireError::BadPayload("error.detail"))
+        );
+    }
+
+    #[test]
+    fn absurd_counts_rejected_without_allocation() {
+        // A 8-byte payload claiming 4 billion context entries.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.push(b'q');
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Msg::decode(KIND_SUGGEST, &payload).is_err());
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Msg::decode(KIND_DELTA, &payload).is_err());
+    }
+
+    #[test]
+    fn backend_bytes_roundtrip() {
+        for b in pqsda_baselines::Backend::ALL {
+            assert_eq!(backend_from_wire(backend_to_wire(b)).unwrap(), b);
+        }
+        assert!(backend_from_wire(3).is_err());
+    }
+
+    #[test]
+    fn tags_convert_both_ways() {
+        let tag = ShardTag {
+            shard: 5,
+            generation: 11,
+            graph_digest: 0xaa,
+            profile_digest: 0xbb,
+        };
+        let wire: WireTag = tag.into();
+        let back: ShardTag = wire.into();
+        assert_eq!(back, tag);
+    }
+}

@@ -1,0 +1,865 @@
+//! The socket-backed scatter-gather router: [`ShardedPqsDa`]'s serving
+//! contract over remote shard processes.
+//!
+//! Every in-process guarantee survives the hop to sockets:
+//!
+//! - **Bit-identity at full coverage.** The router translates its global
+//!   ids to normalized query *text* (the only id space stable across
+//!   processes), each shard probe runs [`pqsda_serve::shard_probe`]'s
+//!   exact semantics server-side, scores travel as raw `f64` bits, and
+//!   the merge is the very same [`merge_rank_stratified`] function. A
+//!   full-coverage reply is therefore bit-for-bit what the in-process
+//!   engine returns.
+//! - **Honest degradation.** A dead, slow, partitioned or backed-off
+//!   shard is dropped from the merge and reported in
+//!   [`Coverage`] — never an error, never a hang: the frame
+//!   carries the remaining deadline budget and socket timeouts are
+//!   clamped to it.
+//! - **Fault tolerance.** Per-shard breakers, round-robin primary with
+//!   hedged backup probes sized by the decayed latency histogram,
+//!   immediate failover on a fault — the identical slot state machine as
+//!   the in-process gather, with one addition: a replica in an open
+//!   backoff window fast-fails the attempt *without* recording a breaker
+//!   fault (see the `backoff` module docs for why).
+//! - **Writer path parity.** `apply_deltas` grows the router log first
+//!   (vocabulary superset invariant), partitions the drained batch, and
+//!   ships it to every replica; a replica that cannot apply it
+//!   incrementally — or that drifted out of generation lockstep — is
+//!   resynced by a full snapshot handoff built from the router's own
+//!   entry log, which is exactly the in-process cold-rebuild base.
+//! - **Live resize.** `resize` re-partitions onto a new shard set,
+//!   ships images to the shards whose worlds changed, runs one catch-up
+//!   delta round, and atomically swaps the topology.
+
+use crate::client::{ClientConfig, ProbeError, RemoteReplica};
+use crate::conn::NetAddr;
+use crate::proto::{backend_to_wire, WireRequest};
+use pqsda::PqsDa;
+use pqsda_parallel::{spawn_cancellable, Deadline, TaskHandle, TaskPoll};
+use pqsda_querylog::{LogEntry, QueryId, QueryLog};
+use pqsda_serve::{
+    hedge_delay, merge_rank_stratified, partition_entries, Admission, AdmissionGate,
+    AdmissionStats, Breaker, BreakerState, Coverage, DecayedHistogram, FaultConfig, IngestOffer,
+    IngestQueue, IngestStats, PartitionKey, ServeOutcome, ServeReply, ShardTag, SuggestService,
+    Swap,
+};
+use pqsda_store::engine_image;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Router configuration. Shard and replica counts are implied by the
+/// address lists handed to [`NetRouter::connect`].
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// How entries are partitioned (must match how the shard snapshots
+    /// were built).
+    pub key: PartitionKey,
+    /// The per-shard engine build recipe (drives router-side resync
+    /// builds; must match the shard servers').
+    pub build: pqsda::EngineBuildOptions,
+    /// Fault-tolerance knobs. `replicas` is ignored — the per-shard
+    /// address list length is authoritative.
+    pub fault: FaultConfig,
+    /// Ingestion-queue capacity.
+    pub queue_capacity: usize,
+    /// Max entries drained per `apply_deltas` (0 = unlimited).
+    pub max_delta_entries: usize,
+    /// Client transport knobs (timeouts, backoff).
+    pub client: ClientConfig,
+    /// Chunk size for snapshot handoffs.
+    pub snap_chunk_bytes: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            key: PartitionKey::default(),
+            build: pqsda::EngineBuildOptions::default(),
+            fault: FaultConfig::default(),
+            queue_capacity: 4096,
+            max_delta_entries: 0,
+            client: ClientConfig::default(),
+            snap_chunk_bytes: 256 << 10,
+        }
+    }
+}
+
+/// One shard's client-side state: its replicas, breaker, latency
+/// histogram, and the generation the router last saw each replica at
+/// (lockstep tracking — a replica that missed a delta must resync by
+/// handoff, or it would silently serve a hole).
+struct NetShard {
+    replicas: Vec<Arc<RemoteReplica>>,
+    generations: Vec<AtomicU64>,
+    breaker: Breaker,
+    latency: DecayedHistogram,
+}
+
+impl NetShard {
+    fn connect(addrs: &[NetAddr], fault: &FaultConfig, client: &ClientConfig) -> NetShard {
+        assert!(!addrs.is_empty(), "a shard needs at least one replica");
+        let replicas: Vec<Arc<RemoteReplica>> = addrs
+            .iter()
+            .map(|a| Arc::new(RemoteReplica::new(a.clone(), *client)))
+            .collect();
+        let generations = replicas.iter().map(|_| AtomicU64::new(0)).collect();
+        NetShard {
+            replicas,
+            generations,
+            breaker: Breaker::new(fault.breaker_threshold, fault.breaker_cooldown),
+            latency: DecayedHistogram::default(),
+        }
+    }
+
+    fn primary_for(&self, request: u64) -> usize {
+        (request % self.replicas.len() as u64) as usize
+    }
+
+    fn backup_of(&self, primary: usize) -> usize {
+        (primary + 1) % self.replicas.len()
+    }
+}
+
+/// The replica address lists behind an atomically swappable pointer, so
+/// a resize flips the serving world in one store.
+struct Topology {
+    shards: Vec<Arc<NetShard>>,
+}
+
+#[derive(Default)]
+struct NetCounters {
+    probes: AtomicU64,
+    errors: AtomicU64,
+    remote_errors: AtomicU64,
+    timeouts: AtomicU64,
+    hedges: AtomicU64,
+    failovers: AtomicU64,
+    hedge_wins: AtomicU64,
+    breaker_skips: AtomicU64,
+    backoff_skips: AtomicU64,
+    degraded: AtomicU64,
+}
+
+/// Point-in-time router stats.
+#[derive(Clone, Debug)]
+pub struct NetStats {
+    /// Shards in the current topology.
+    pub shards: usize,
+    /// Remote probe attempts spawned.
+    pub probes: u64,
+    /// Probe attempts that failed at the transport layer.
+    pub errors: u64,
+    /// Probe attempts answered with a typed remote error.
+    pub remote_errors: u64,
+    /// Shard slots dropped at the request deadline.
+    pub timeouts: u64,
+    /// Hedge probes fired.
+    pub hedges: u64,
+    /// Immediate failovers after a primary fault.
+    pub failovers: u64,
+    /// Requests won by the hedge/backup probe.
+    pub hedge_wins: u64,
+    /// Shard slots skipped by an open breaker.
+    pub breaker_skips: u64,
+    /// Probe attempts fast-failed inside an open backoff window (never
+    /// recorded as breaker faults).
+    pub backoff_skips: u64,
+    /// Replies served with degraded coverage.
+    pub degraded: u64,
+    /// Breaker trips across all shards.
+    pub breaker_opens: u64,
+    /// Per-shard breaker states.
+    pub breakers: Vec<BreakerState>,
+    /// Last generation the router saw each shard's primary at.
+    pub generations: Vec<u64>,
+    /// Ingestion queue stats.
+    pub ingest: IngestStats,
+    /// Admission gate stats.
+    pub admission: AdmissionStats,
+}
+
+/// What one `apply_deltas` cycle did, per `(shard, replica)`.
+#[derive(Clone, Debug, Default)]
+pub struct NetSwapReport {
+    /// Entries drained from the queue this cycle.
+    pub drained: usize,
+    /// Entries left queued by `max_delta_entries`.
+    pub deferred: usize,
+    /// Replicas updated by an incremental delta.
+    pub incremental: Vec<(usize, usize)>,
+    /// Replicas resynced by a full snapshot handoff.
+    pub handoffs: Vec<(usize, usize)>,
+    /// Replicas that could not be updated at all (stale until the next
+    /// cycle resyncs them).
+    pub failed: Vec<(usize, usize)>,
+    /// The drained entries (callers append them to their WAL).
+    pub drained_entries: Vec<LogEntry>,
+}
+
+/// What a live resize did.
+#[derive(Clone, Debug, Default)]
+pub struct ResizeReport {
+    /// Shard count before.
+    pub shards_before: usize,
+    /// Shard count after.
+    pub shards_after: usize,
+    /// Shards reused untouched (same addresses, same partition).
+    pub reused: Vec<usize>,
+    /// `(shard, replica)` pairs that received a full image.
+    pub shipped: Vec<(usize, usize)>,
+    /// Image bytes shipped in total.
+    pub bytes_shipped: u64,
+    /// Entries applied by the catch-up delta round after the cutover.
+    pub catch_up_entries: usize,
+    /// `(shard, replica)` pairs that could not be brought up.
+    pub failed: Vec<(usize, usize)>,
+}
+
+/// Outcome of one remote probe attempt (the task's return value).
+enum Attempt {
+    Success(ShardTag, Vec<(QueryId, f64)>),
+    /// Fast-failed inside an open backoff window (not a breaker fault).
+    Backoff,
+    /// The peer answered with a typed error.
+    Remote,
+    /// Transport failure (connect, timeout, torn frame, bad bytes).
+    Transport,
+}
+
+enum ProbeEvent {
+    Pending,
+    Success(ShardTag, Vec<(QueryId, f64)>),
+    Fault,
+}
+
+enum SlotState {
+    Waiting,
+    Done(ShardTag, Vec<(QueryId, f64)>),
+    Failed,
+}
+
+struct ProbeSlot {
+    shard: usize,
+    admission: Admission,
+    primary: Option<TaskHandle<Attempt>>,
+    backup: Option<TaskHandle<Attempt>>,
+    backup_spawned: bool,
+    primary_replica: usize,
+    hedge_at: Option<Instant>,
+    started: Instant,
+    /// True once any attempt failed for a reason other than backoff —
+    /// only then may the slot's failure count against the breaker.
+    real_fault: bool,
+    state: SlotState,
+}
+
+impl ProbeSlot {
+    fn rejected(shard: usize, admission: Admission, started: Instant) -> ProbeSlot {
+        ProbeSlot {
+            shard,
+            admission,
+            primary: None,
+            backup: None,
+            backup_spawned: true,
+            primary_replica: 0,
+            hedge_at: None,
+            started,
+            real_fault: false,
+            state: SlotState::Failed,
+        }
+    }
+}
+
+/// The socket-backed router. Serves [`SuggestService`] with the same
+/// outcome contract as [`pqsda_serve::ShardedPqsDa`].
+pub struct NetRouter {
+    config: NetConfig,
+    topology: Swap<Topology>,
+    router: Swap<QueryLog>,
+    queue: IngestQueue,
+    rebuild_lock: parking_lot::Mutex<()>,
+    requests: AtomicU64,
+    gate: AdmissionGate,
+    counters: NetCounters,
+}
+
+impl NetRouter {
+    /// A router over `addrs[s]` = the replica addresses of shard `s`,
+    /// holding `router_log` as the global vocabulary (it must cover
+    /// every shard's log — build it from the same full entry set the
+    /// shards were partitioned from).
+    pub fn connect(router_log: QueryLog, addrs: &[Vec<NetAddr>], config: NetConfig) -> NetRouter {
+        assert!(!addrs.is_empty(), "need at least one shard");
+        let shards = addrs
+            .iter()
+            .map(|a| Arc::new(NetShard::connect(a, &config.fault, &config.client)))
+            .collect();
+        let router = NetRouter {
+            queue: IngestQueue::new(config.queue_capacity),
+            topology: Swap::new(Arc::new(Topology { shards })),
+            router: Swap::new(Arc::new(router_log)),
+            rebuild_lock: parking_lot::Mutex::new(()),
+            requests: AtomicU64::new(0),
+            gate: AdmissionGate::new(),
+            counters: NetCounters::default(),
+            config,
+        };
+        router.refresh_generations();
+        router
+    }
+
+    /// Pings every replica, recording the generations they serve.
+    /// Returns per-shard, per-replica results (readiness checks).
+    pub fn ping_all(&self) -> Vec<Vec<Result<(u32, u64), ProbeError>>> {
+        let topo = self.topology.load();
+        topo.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .replicas
+                    .iter()
+                    .enumerate()
+                    .map(|(r, replica)| {
+                        let res = replica.ping(Some(&Deadline::in_ms(2_000)));
+                        if let Ok((_, generation)) = &res {
+                            shard.generations[r].store(*generation, Ordering::Relaxed);
+                        }
+                        res
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn refresh_generations(&self) {
+        let _ = self.ping_all();
+    }
+
+    /// Shards in the current topology.
+    pub fn shards(&self) -> usize {
+        self.topology.load().shards.len()
+    }
+
+    /// Looks a query up in the global id space.
+    pub fn find_query(&self, raw: &str) -> Option<QueryId> {
+        self.router.load().find_query(raw)
+    }
+
+    /// Resolves a global id to its text.
+    pub fn query_text(&self, q: QueryId) -> Option<String> {
+        let router = self.router.load();
+        (q.index() < router.num_queries()).then(|| router.query_text(q).to_owned())
+    }
+
+    /// Requests an orderly shutdown of every shard process (best effort;
+    /// per-replica results returned for auditing).
+    pub fn shutdown_all(&self) -> Vec<Vec<Result<(), ProbeError>>> {
+        let topo = self.topology.load();
+        topo.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .replicas
+                    .iter()
+                    .map(|r| r.shutdown(Some(&Deadline::in_ms(2_000))))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Offers one entry to the ingestion queue (non-blocking).
+    pub fn ingest(&self, entry: LogEntry) -> bool {
+        self.queue.offer(entry)
+    }
+
+    /// Deadline-aware ingestion offer.
+    pub fn ingest_with_deadline(
+        &self,
+        entry: LogEntry,
+        deadline: Option<&Deadline>,
+    ) -> IngestOffer {
+        self.queue.offer_with_deadline(entry, deadline)
+    }
+
+    /// Serves one request (no deadline beyond the configured budget).
+    pub fn suggest(&self, req: &pqsda_baselines::SuggestRequest) -> ServeOutcome {
+        self.suggest_with_deadline(req, None)
+    }
+
+    /// The scatter-gather core — the in-process slot state machine over
+    /// remote replicas.
+    fn suggest_core(
+        &self,
+        req: &pqsda_baselines::SuggestRequest,
+        request_deadline: Option<&Deadline>,
+    ) -> ServeReply {
+        let request = self.requests.fetch_add(1, Ordering::Relaxed);
+        let router = self.router.load();
+        if req.query.index() >= router.num_queries() || req.k == 0 {
+            return ServeReply {
+                suggestions: Vec::new(),
+                tags: Vec::new(),
+                coverage: Coverage::default(),
+            };
+        }
+        let topo = self.topology.load();
+        let input_text = router.query_text(req.query).to_owned();
+        let targets: Vec<usize> = match self.config.key {
+            PartitionKey::Query => {
+                vec![pqsda_serve::route_query_text(
+                    &input_text,
+                    topo.shards.len(),
+                )]
+            }
+            PartitionKey::User => (0..topo.shards.len()).collect(),
+        };
+
+        // Translate once into wire form: global context ids → text,
+        // dropping ids outside the router's vocabulary exactly like
+        // `shard_probe` does.
+        let mut context = Vec::with_capacity(req.context.len());
+        for (&c, &t) in req.context.iter().zip(&req.context_times) {
+            if c.index() >= router.num_queries() {
+                continue;
+            }
+            context.push((router.query_text(c).to_owned(), t));
+        }
+        let wire_req = WireRequest {
+            query: input_text,
+            context,
+            query_time: req.query_time,
+            user: req.user.map(|u| u.0),
+            k: req.k.min(u32::MAX as usize) as u32,
+            backend: backend_to_wire(req.backend),
+        };
+
+        let fc = &self.config.fault;
+        let start = Instant::now();
+        let budget = (fc.budget_ms > 0).then(|| start + Duration::from_millis(fc.budget_ms));
+        let deadline = match (budget, request_deadline.map(Deadline::instant)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+
+        let mut slots: Vec<ProbeSlot> = Vec::with_capacity(targets.len());
+        for &s in &targets {
+            let shard = &topo.shards[s];
+            let admission = shard.breaker.admit();
+            if admission == Admission::Reject {
+                self.counters.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                slots.push(ProbeSlot::rejected(s, admission, start));
+                continue;
+            }
+            let primary_replica = shard.primary_for(request);
+            let handle = self.spawn_probe(&router, shard, primary_replica, &wire_req, deadline);
+            slots.push(ProbeSlot {
+                shard: s,
+                admission,
+                primary: Some(handle),
+                backup: None,
+                backup_spawned: false,
+                primary_replica,
+                hedge_at: self.hedge_at(shard, start),
+                started: start,
+                real_fault: false,
+                state: SlotState::Waiting,
+            });
+        }
+
+        loop {
+            let mut waiting = 0usize;
+            for slot in &mut slots {
+                if !matches!(slot.state, SlotState::Waiting) {
+                    continue;
+                }
+                let shard = &topo.shards[slot.shard];
+                let ev = slot
+                    .primary
+                    .as_ref()
+                    .map(|h| self.poll_probe(h, &mut slot.real_fault));
+                match ev {
+                    Some(ProbeEvent::Success(tag, list)) => {
+                        shard.latency.record(slot.started.elapsed());
+                        shard.breaker.record(slot.admission, true);
+                        if let Some(b) = &slot.backup {
+                            b.cancel();
+                        }
+                        slot.state = SlotState::Done(tag, list);
+                        continue;
+                    }
+                    Some(ProbeEvent::Fault) => slot.primary = None,
+                    Some(ProbeEvent::Pending) | None => {}
+                }
+                let ev = slot
+                    .backup
+                    .as_ref()
+                    .map(|h| self.poll_probe(h, &mut slot.real_fault));
+                match ev {
+                    Some(ProbeEvent::Success(tag, list)) => {
+                        shard.breaker.record(slot.admission, true);
+                        self.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        if let Some(p) = &slot.primary {
+                            p.cancel();
+                        }
+                        slot.state = SlotState::Done(tag, list);
+                        continue;
+                    }
+                    Some(ProbeEvent::Fault) => slot.backup = None,
+                    Some(ProbeEvent::Pending) | None => {}
+                }
+                if slot.primary.is_none() && slot.backup.is_none() {
+                    if !slot.backup_spawned && shard.replicas.len() > 1 {
+                        let backup = shard.backup_of(slot.primary_replica);
+                        slot.backup =
+                            Some(self.spawn_probe(&router, shard, backup, &wire_req, deadline));
+                        slot.backup_spawned = true;
+                        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        // Satellite 2: a slot whose every attempt
+                        // fast-failed in a backoff window records no
+                        // breaker fault — the fault that armed the
+                        // window was recorded when it happened.
+                        if slot.real_fault {
+                            shard.breaker.record(slot.admission, false);
+                        }
+                        slot.state = SlotState::Failed;
+                        continue;
+                    }
+                } else if slot.primary.is_some()
+                    && !slot.backup_spawned
+                    && slot.hedge_at.is_some_and(|at| Instant::now() >= at)
+                {
+                    let backup = shard.backup_of(slot.primary_replica);
+                    slot.backup =
+                        Some(self.spawn_probe(&router, shard, backup, &wire_req, deadline));
+                    slot.backup_spawned = true;
+                    self.counters.hedges.fetch_add(1, Ordering::Relaxed);
+                }
+                waiting += 1;
+            }
+            if waiting == 0 {
+                break;
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                for slot in &mut slots {
+                    if matches!(slot.state, SlotState::Waiting) {
+                        self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                        topo.shards[slot.shard]
+                            .breaker
+                            .record(slot.admission, false);
+                        if let Some(p) = &slot.primary {
+                            p.cancel();
+                        }
+                        if let Some(b) = &slot.backup {
+                            b.cancel();
+                        }
+                        slot.state = SlotState::Failed;
+                    }
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(300));
+        }
+
+        let consulted = slots.len();
+        let mut tags = Vec::new();
+        let mut lists = Vec::new();
+        for slot in slots {
+            if let SlotState::Done(tag, list) = slot.state {
+                tags.push(tag);
+                lists.push(list);
+            }
+        }
+        let reply = ServeReply {
+            suggestions: merge_rank_stratified(&lists, req.k),
+            coverage: Coverage {
+                answered: tags.len(),
+                consulted,
+            },
+            tags,
+        };
+        if reply.coverage.is_degraded() {
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        reply
+    }
+
+    fn hedge_at(&self, shard: &NetShard, start: Instant) -> Option<Instant> {
+        let fc = &self.config.fault;
+        if shard.replicas.len() < 2 || (fc.hedge_ms == 0 && fc.hedge_percentile <= 0.0) {
+            return None;
+        }
+        Some(start + hedge_delay(&shard.latency, fc.hedge_ms, fc.hedge_percentile))
+    }
+
+    /// Spawns one remote probe attempt. The id↔text translation of the
+    /// *reply* happens inside the task (off the gather loop's thread);
+    /// unknown texts are dropped exactly like `shard_probe` drops
+    /// vocabulary races.
+    fn spawn_probe(
+        &self,
+        router: &Arc<QueryLog>,
+        shard: &NetShard,
+        replica: usize,
+        wire_req: &WireRequest,
+        deadline: Option<Instant>,
+    ) -> TaskHandle<Attempt> {
+        self.counters.probes.fetch_add(1, Ordering::Relaxed);
+        let remote = Arc::clone(&shard.replicas[replica]);
+        let router = Arc::clone(router);
+        let req = wire_req.clone();
+        spawn_cancellable(move |_token| {
+            let d = deadline.map(Deadline::at);
+            match remote.suggest(req, d.as_ref()) {
+                Ok(reply) => {
+                    let tag: ShardTag = reply.tag.into();
+                    let list = reply
+                        .suggestions
+                        .into_iter()
+                        .filter_map(|(text, bits)| {
+                            router.find_query(&text).map(|g| (g, f64::from_bits(bits)))
+                        })
+                        .collect();
+                    Attempt::Success(tag, list)
+                }
+                Err(e) if e.is_backoff() => Attempt::Backoff,
+                Err(ProbeError::Remote { .. }) => Attempt::Remote,
+                Err(_) => Attempt::Transport,
+            }
+        })
+    }
+
+    fn poll_probe(&self, handle: &TaskHandle<Attempt>, real_fault: &mut bool) -> ProbeEvent {
+        match handle.try_take() {
+            TaskPoll::Pending => ProbeEvent::Pending,
+            TaskPoll::Ready(Ok(Attempt::Success(tag, list))) => ProbeEvent::Success(tag, list),
+            TaskPoll::Ready(Ok(Attempt::Backoff)) => {
+                self.counters.backoff_skips.fetch_add(1, Ordering::Relaxed);
+                ProbeEvent::Fault
+            }
+            TaskPoll::Ready(Ok(Attempt::Remote)) => {
+                *real_fault = true;
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                self.counters.remote_errors.fetch_add(1, Ordering::Relaxed);
+                ProbeEvent::Fault
+            }
+            TaskPoll::Ready(Ok(Attempt::Transport)) => {
+                *real_fault = true;
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                ProbeEvent::Fault
+            }
+            TaskPoll::Ready(Err(_panic)) => {
+                *real_fault = true;
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                ProbeEvent::Fault
+            }
+        }
+    }
+
+    /// The writer step: drain the queue, grow the router log, and bring
+    /// every replica to the new generation — incrementally when the
+    /// replica is in lockstep and the batch applies, by full snapshot
+    /// handoff otherwise. Replicas that fail both stay stale and are
+    /// retried (as handoffs) next cycle; readers keep merging whatever
+    /// the replicas currently serve, with honest tags.
+    pub fn apply_deltas(&self) -> NetSwapReport {
+        let _writer = self.rebuild_lock.lock();
+        self.apply_deltas_locked()
+    }
+
+    fn apply_deltas_locked(&self) -> NetSwapReport {
+        let limit = match self.config.max_delta_entries {
+            0 => usize::MAX,
+            n => n,
+        };
+        let deltas = self.queue.drain_up_to(limit);
+        let deferred = if deltas.len() == limit {
+            self.queue.stats().depth() as usize
+        } else {
+            0
+        };
+        let mut report = NetSwapReport {
+            deferred,
+            ..NetSwapReport::default()
+        };
+        if deltas.is_empty() {
+            return report;
+        }
+        // Router grows first: the global vocabulary must cover every
+        // shard's before any shard publishes (reply translation relies
+        // on the superset invariant).
+        let mut grown = (*self.router.load()).clone();
+        for e in &deltas {
+            grown.push_entry(e);
+        }
+        self.router.store(Arc::new(grown));
+
+        let topo = self.topology.load();
+        let shards = topo.shards.len();
+        let parts = partition_entries(&deltas, self.config.key, shards);
+        for (s, delta) in parts.into_iter().enumerate() {
+            if delta.is_empty() {
+                continue;
+            }
+            let shard = &topo.shards[s];
+            for (r, replica) in shard.replicas.iter().enumerate() {
+                let known = shard.generations[r].load(Ordering::Relaxed);
+                let incremental = replica.delta(delta.clone(), None);
+                match incremental {
+                    // Lockstep check: the ack generation must be exactly
+                    // one past what the router last saw, or the replica
+                    // skipped a batch and now serves a hole.
+                    Ok(tag) if tag.generation == known + 1 => {
+                        shard.generations[r].store(tag.generation, Ordering::Relaxed);
+                        report.incremental.push((s, r));
+                    }
+                    _ => match self.resync_replica(s, r, shard, replica) {
+                        Ok(()) => report.handoffs.push((s, r)),
+                        Err(_) => report.failed.push((s, r)),
+                    },
+                }
+            }
+        }
+        report.drained = deltas.len();
+        report.drained_entries = deltas;
+        report
+    }
+
+    /// Rebuilds shard `s`'s world from the router's full entry log (the
+    /// in-process cold-rebuild base, bit-identical by construction) and
+    /// ships it to `replica` as a snapshot image.
+    fn resync_replica(
+        &self,
+        s: usize,
+        r: usize,
+        shard: &NetShard,
+        replica: &RemoteReplica,
+    ) -> Result<(), ProbeError> {
+        let shards = self.topology.load().shards.len();
+        let router = self.router.load();
+        let part = partition_entries(&router.entries(), self.config.key, shards).swap_remove(s);
+        let engine = PqsDa::build_from_entries(&part, &self.config.build);
+        let generation = match replica.ping(Some(&Deadline::in_ms(2_000))) {
+            Ok((_, g)) => g + 1,
+            Err(_) => shard.generations[r].load(Ordering::Relaxed) + 1,
+        };
+        let (meta, image) = engine_image(&engine, s as u64, generation);
+        let tag = replica.install_snapshot(&meta, &image, self.config.snap_chunk_bytes)?;
+        if tag.generation != generation {
+            return Err(ProbeError::BadReply("handoff published wrong generation"));
+        }
+        shard.generations[r].store(generation, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Live topology change: re-partition the router's entry log onto
+    /// `new_addrs.len()` shards, ship images to every shard whose world
+    /// or address set changed, run one catch-up delta round, and flip
+    /// the topology atomically. Serving continues against the old
+    /// topology until the flip.
+    pub fn resize(&self, new_addrs: &[Vec<NetAddr>]) -> ResizeReport {
+        assert!(!new_addrs.is_empty(), "need at least one shard");
+        let _writer = self.rebuild_lock.lock();
+        let old = self.topology.load();
+        let router = self.router.load();
+        let all = router.entries();
+        let old_n = old.shards.len();
+        let new_n = new_addrs.len();
+        let old_parts = partition_entries(&all, self.config.key, old_n);
+        let new_parts = partition_entries(&all, self.config.key, new_n);
+        let mut report = ResizeReport {
+            shards_before: old_n,
+            shards_after: new_n,
+            ..ResizeReport::default()
+        };
+        let mut shards: Vec<Arc<NetShard>> = Vec::with_capacity(new_n);
+        for (s, addrs) in new_addrs.iter().enumerate() {
+            let unchanged = s < old_n
+                && old.shards[s]
+                    .replicas
+                    .iter()
+                    .map(|r| r.addr())
+                    .eq(addrs.iter())
+                && old_parts[s] == new_parts[s];
+            if unchanged {
+                report.reused.push(s);
+                shards.push(Arc::clone(&old.shards[s]));
+                continue;
+            }
+            let shard = Arc::new(NetShard::connect(
+                addrs,
+                &self.config.fault,
+                &self.config.client,
+            ));
+            let engine = PqsDa::build_from_entries(&new_parts[s], &self.config.build);
+            for (r, replica) in shard.replicas.iter().enumerate() {
+                let generation = match replica.ping(Some(&Deadline::in_ms(2_000))) {
+                    Ok((_, g)) => g + 1,
+                    Err(_) => 1,
+                };
+                let (meta, image) = engine_image(&engine, s as u64, generation);
+                match replica.install_snapshot(&meta, &image, self.config.snap_chunk_bytes) {
+                    Ok(_) => {
+                        shard.generations[r].store(generation, Ordering::Relaxed);
+                        report.shipped.push((s, r));
+                        report.bytes_shipped += image.len() as u64;
+                    }
+                    Err(_) => report.failed.push((s, r)),
+                }
+            }
+            shards.push(shard);
+        }
+        // Cutover: one atomic pointer store. In-flight requests finish
+        // against the old topology's replicas (their Arcs keep them
+        // alive); new requests see the new ring.
+        self.topology.store(Arc::new(Topology { shards }));
+        // Catch-up round: entries queued while images were shipping.
+        let catch_up = self.apply_deltas_locked();
+        report.catch_up_entries = catch_up.drained;
+        report
+    }
+
+    /// Point-in-time stats.
+    pub fn stats(&self) -> NetStats {
+        let topo = self.topology.load();
+        NetStats {
+            shards: topo.shards.len(),
+            probes: self.counters.probes.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            remote_errors: self.counters.remote_errors.load(Ordering::Relaxed),
+            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            hedges: self.counters.hedges.load(Ordering::Relaxed),
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
+            hedge_wins: self.counters.hedge_wins.load(Ordering::Relaxed),
+            breaker_skips: self.counters.breaker_skips.load(Ordering::Relaxed),
+            backoff_skips: self.counters.backoff_skips.load(Ordering::Relaxed),
+            degraded: self.counters.degraded.load(Ordering::Relaxed),
+            breaker_opens: topo.shards.iter().map(|s| s.breaker.opens()).sum(),
+            breakers: topo.shards.iter().map(|s| s.breaker.state()).collect(),
+            generations: topo
+                .shards
+                .iter()
+                .map(|s| s.generations[0].load(Ordering::Relaxed))
+                .collect(),
+            ingest: self.queue.stats(),
+            admission: self.gate.stats(),
+        }
+    }
+}
+
+impl SuggestService for NetRouter {
+    fn suggest_with_deadline(
+        &self,
+        req: &pqsda_baselines::SuggestRequest,
+        deadline: Option<Deadline>,
+    ) -> ServeOutcome {
+        let permit = match self.gate.admit(deadline.as_ref()) {
+            Ok(p) => p,
+            Err(rejection) => return ServeOutcome::Rejected(rejection),
+        };
+        let reply = self.suggest_core(req, deadline.as_ref());
+        drop(permit);
+        ServeOutcome::Served(reply)
+    }
+}

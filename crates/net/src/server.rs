@@ -1,0 +1,632 @@
+//! The shard server process: one PQS-DA shard snapshot behind a socket,
+//! speaking the frame protocol (DESIGN §15).
+//!
+//! A server owns exactly the state one in-process shard owns — a
+//! published [`ShardSnapshot`] behind a [`Swap`] cell — and exposes the
+//! same three operations over the wire: text-keyed suggest probes,
+//! incremental delta application (with the identical stamp → verify →
+//! publish gate, so a corrupt build can never go live), and whole-image
+//! snapshot handoff for cold resyncs and topology resizes.
+//!
+//! The suggest path runs the **identical translation** the in-process
+//! gather runs ([`pqsda_serve::shard_probe`]'s semantics, text-native):
+//! find the query in the shard's own log, translate context texts to
+//! local ids dropping unknowns, run the engine, translate candidates
+//! back to text with raw `f64` score bits. That is what makes a
+//! full-coverage socket reply bit-identical to the in-process engine.
+//!
+//! Failure behavior is fail-closed and explicit: a corrupt inbound frame
+//! tears the connection down (framing is unrecoverable), a decodable but
+//! invalid message earns a typed [`Msg::Error`], an expired deadline
+//! budget earns [`ERR_DEADLINE`] without touching the engine, and every
+//! outcome lands in a [`NetServerStats`] counter.
+
+use crate::conn::{Listener, NetAddr, Stream};
+use crate::fault::{NetFaultKind, NetFaultPlan, NetServerStats};
+use crate::frame::{Frame, FrameReader, WireError};
+use crate::proto::{
+    backend_from_wire, Msg, WireReply, WireRequest, ERR_BAD_DELTA, ERR_BAD_KIND, ERR_DEADLINE,
+    ERR_DIGEST, ERR_INTERNAL, ERR_SNAP_STATE,
+};
+use pqsda::{EngineBuildOptions, PqsDa};
+use pqsda_baselines::SuggestRequest;
+use pqsda_querylog::{LogEntry, UserId};
+use pqsda_serve::{ShardSnapshot, Swap};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one shard server.
+#[derive(Clone, Debug)]
+pub struct ShardServerConfig {
+    /// The shard number this server serves (stamped into every tag).
+    pub shard: usize,
+    /// Engine build recipe (must match the router's — deltas rebuild
+    /// with it, and handed-off images are loaded under its `config`).
+    pub build: EngineBuildOptions,
+    /// Directory for staging handed-off snapshot images.
+    pub staging_dir: PathBuf,
+    /// Transport fault injection (tests only; `None` in production).
+    pub fault: Option<NetFaultPlan>,
+}
+
+impl ShardServerConfig {
+    /// A production config for `shard` staging under `staging_dir`.
+    pub fn new(shard: usize, build: EngineBuildOptions, staging_dir: PathBuf) -> Self {
+        ShardServerConfig {
+            shard,
+            build,
+            staging_dir,
+            fault: None,
+        }
+    }
+}
+
+/// Snapshot-handoff state machine: idle → receiving → (commit | failed).
+enum Staging {
+    Idle,
+    Active(StagingState),
+    /// A mid-stream violation; reported when the commit arrives.
+    Failed(u16, &'static str),
+}
+
+struct StagingState {
+    path: PathBuf,
+    file: std::fs::File,
+    received: u64,
+    generation: u64,
+    total_len: u64,
+    graph_digest: u64,
+    profile_digest: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    refused: AtomicU64,
+    frames: AtomicU64,
+    suggests: AtomicU64,
+    deltas: AtomicU64,
+    snapshots: AtomicU64,
+    errors_sent: AtomicU64,
+    corrupt_in: AtomicU64,
+    torn_in: AtomicU64,
+    injected: AtomicU64,
+}
+
+/// One shard behind a socket.
+pub struct ShardServer {
+    cfg: ShardServerConfig,
+    snap: Swap<ShardSnapshot>,
+    /// Serializes writers (deltas and snapshot handoffs) and holds the
+    /// handoff state machine.
+    writer: parking_lot::Mutex<Staging>,
+    conns: AtomicU64,
+    stop: AtomicBool,
+    counters: Counters,
+}
+
+/// What one dispatched message asks the connection loop to do.
+enum Action {
+    Reply(Msg),
+    /// No reply yet (snapshot handoff streams ack only at commit).
+    Silent,
+    /// Reply, then stop the whole server.
+    ReplyAndStop(Msg),
+}
+
+impl ShardServer {
+    /// A server publishing `snapshot`.
+    pub fn new(snapshot: Arc<ShardSnapshot>, cfg: ShardServerConfig) -> Arc<ShardServer> {
+        assert_eq!(snapshot.tag.shard, cfg.shard, "snapshot shard mismatch");
+        Arc::new(ShardServer {
+            snap: Swap::new(snapshot),
+            writer: parking_lot::Mutex::new(Staging::Idle),
+            conns: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            counters: Counters::default(),
+            cfg,
+        })
+    }
+
+    /// A server with an empty engine at generation 0 — the cold-start
+    /// shape for process deployments that receive their state via
+    /// snapshot handoff.
+    pub fn empty(cfg: ShardServerConfig) -> Arc<ShardServer> {
+        let engine = PqsDa::build_from_entries(&[], &cfg.build);
+        let snap = Arc::new(ShardSnapshot::stamp(engine, cfg.shard, 0));
+        ShardServer::new(snap, cfg)
+    }
+
+    /// A server loading its snapshot from a `PQSS` file (digest-verified
+    /// by the store on load).
+    pub fn from_snapshot_file(
+        path: &std::path::Path,
+        cfg: ShardServerConfig,
+    ) -> Result<Arc<ShardServer>, pqsda_store::SnapError> {
+        let (engine, meta, _info) = pqsda_store::load_engine(path, cfg.build.config, true)?;
+        let snap = Arc::new(ShardSnapshot::stamp(engine, cfg.shard, meta.generation));
+        Ok(ShardServer::new(snap, cfg))
+    }
+
+    /// The currently published snapshot's tag.
+    pub fn current_tag(&self) -> pqsda_serve::ShardTag {
+        self.snap.load().tag
+    }
+
+    /// Point-in-time transport counters.
+    pub fn stats(&self) -> NetServerStats {
+        NetServerStats {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            refused: self.counters.refused.load(Ordering::Relaxed),
+            frames: self.counters.frames.load(Ordering::Relaxed),
+            suggests: self.counters.suggests.load(Ordering::Relaxed),
+            deltas: self.counters.deltas.load(Ordering::Relaxed),
+            snapshots: self.counters.snapshots.load(Ordering::Relaxed),
+            errors_sent: self.counters.errors_sent.load(Ordering::Relaxed),
+            corrupt_in: self.counters.corrupt_in.load(Ordering::Relaxed),
+            torn_in: self.counters.torn_in.load(Ordering::Relaxed),
+            injected: self.counters.injected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Requests an orderly stop (the accept loop exits and connection
+    /// threads wind down at their next poll).
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a stop was requested.
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Serves `listener` until a stop is requested (blocking). One
+    /// thread per connection; all are joined before returning.
+    pub fn serve(self: &Arc<Self>, listener: Listener) -> std::io::Result<()> {
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.stopped() {
+            match listener.poll_accept() {
+                Ok(Some(stream)) => {
+                    let conn = self.conns.fetch_add(1, Ordering::Relaxed);
+                    self.counters.connections.fetch_add(1, Ordering::Relaxed);
+                    if self.cfg.fault.as_ref().is_some_and(|p| p.refuses(conn)) {
+                        self.counters.refused.fetch_add(1, Ordering::Relaxed);
+                        stream.shutdown();
+                        continue;
+                    }
+                    let me = Arc::clone(self);
+                    workers.push(std::thread::spawn(move || me.handle_conn(stream, conn)));
+                    workers.retain(|h| !h.is_finished());
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        drop(listener); // unlink the UDS path before the workers settle
+        for h in workers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    /// Binds `addr` and serves it on a background thread. The returned
+    /// handle stops and joins the server on drop.
+    pub fn spawn(self: &Arc<Self>, addr: &NetAddr) -> std::io::Result<ServerHandle> {
+        let (listener, bound) = Listener::bind(addr)?;
+        let me = Arc::clone(self);
+        let thread = std::thread::spawn(move || {
+            let _ = me.serve(listener);
+        });
+        Ok(ServerHandle {
+            server: Arc::clone(self),
+            thread: Some(thread),
+            addr: bound,
+        })
+    }
+
+    fn handle_conn(self: Arc<Self>, mut stream: Stream, conn: u64) {
+        // Short read timeout: the loop wakes to observe the stop flag.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let mut reader = FrameReader::new();
+        let mut reply_idx = 0u64;
+        loop {
+            if self.stopped() {
+                return;
+            }
+            match reader.poll_frame(&mut stream) {
+                Ok(None) => continue,
+                Ok(Some(frame)) => {
+                    self.counters.frames.fetch_add(1, Ordering::Relaxed);
+                    let action = self.dispatch(&frame);
+                    let (reply, stop_after) = match action {
+                        Action::Reply(m) => (m, false),
+                        Action::ReplyAndStop(m) => (m, true),
+                        Action::Silent => continue,
+                    };
+                    if matches!(reply, Msg::Error { .. }) {
+                        self.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let bytes = reply.into_frame(frame.request_id, None).encode();
+                    let sent = self.write_reply(&mut stream, bytes, conn, reply_idx);
+                    reply_idx += 1;
+                    if stop_after {
+                        self.request_stop();
+                        return;
+                    }
+                    if sent.is_err() {
+                        return;
+                    }
+                }
+                Err(WireError::Closed) => return,
+                Err(WireError::Truncated(_)) => {
+                    self.counters.torn_in.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(_) => {
+                    // Framing lost (bad magic/version/checksum or an I/O
+                    // fault): the stream cannot be trusted; tear it down.
+                    self.counters.corrupt_in.fetch_add(1, Ordering::Relaxed);
+                    stream.shutdown();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Writes one reply frame, applying the fault plan's sabotage first.
+    fn write_reply(
+        &self,
+        stream: &mut Stream,
+        bytes: Vec<u8>,
+        conn: u64,
+        reply_idx: u64,
+    ) -> Result<(), WireError> {
+        if let Some(kind) = self
+            .cfg
+            .fault
+            .as_ref()
+            .and_then(|p| p.frame_fault(conn, reply_idx))
+        {
+            self.counters.injected.fetch_add(1, Ordering::Relaxed);
+            match kind {
+                NetFaultKind::RefuseConn | NetFaultKind::DisconnectBefore => {
+                    stream.shutdown();
+                    return Err(WireError::Closed);
+                }
+                NetFaultKind::TornWrite(n) => {
+                    let cut = (n as usize).clamp(1, bytes.len().saturating_sub(1).max(1));
+                    let _ = stream.write_all(&bytes[..cut]);
+                    let _ = stream.flush();
+                    stream.shutdown();
+                    return Err(WireError::Closed);
+                }
+                NetFaultKind::CorruptByte(off) => {
+                    let mut bad = bytes;
+                    let i = off as usize % bad.len();
+                    bad[i] ^= 0x40;
+                    stream.write_all(&bad).map_err(|e| WireError::from_io(&e))?;
+                    return stream.flush().map_err(|e| WireError::from_io(&e));
+                }
+                NetFaultKind::StallMs(ms) => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    // fall through to the normal write
+                }
+            }
+        }
+        stream
+            .write_all(&bytes)
+            .map_err(|e| WireError::from_io(&e))?;
+        stream.flush().map_err(|e| WireError::from_io(&e))
+    }
+
+    fn dispatch(&self, frame: &Frame) -> Action {
+        let msg = match Msg::from_frame(frame) {
+            Ok(m) => m,
+            Err(WireError::BadKind(k)) => {
+                return Action::Reply(Msg::Error {
+                    code: ERR_BAD_KIND,
+                    detail: format!("unknown kind {k}"),
+                })
+            }
+            Err(e) => {
+                return Action::Reply(Msg::Error {
+                    code: ERR_INTERNAL,
+                    detail: format!("payload decode failed: {e}"),
+                })
+            }
+        };
+        match msg {
+            Msg::Ping { nonce } => Action::Reply(self.pong(nonce)),
+            Msg::Shutdown => Action::ReplyAndStop(self.pong(0)),
+            Msg::Suggest(req) => {
+                // Re-anchor the propagated budget on this clock; a spent
+                // budget never touches the engine.
+                let expired = frame.budget_us == 0
+                    || frame.local_deadline().is_some_and(|d| Instant::now() >= d);
+                if expired {
+                    return Action::Reply(Msg::Error {
+                        code: ERR_DEADLINE,
+                        detail: "deadline budget spent on arrival".into(),
+                    });
+                }
+                self.counters.suggests.fetch_add(1, Ordering::Relaxed);
+                Action::Reply(Msg::SuggestReply(self.probe(&req)))
+            }
+            Msg::Delta { entries } => Action::Reply(self.handle_delta(entries)),
+            Msg::SnapBegin {
+                shard,
+                generation,
+                total_len,
+                graph_digest,
+                profile_digest,
+            } => {
+                self.handle_snap_begin(shard, generation, total_len, graph_digest, profile_digest);
+                Action::Silent
+            }
+            Msg::SnapChunk { offset, bytes } => {
+                self.handle_snap_chunk(offset, &bytes);
+                Action::Silent
+            }
+            Msg::SnapCommit => Action::Reply(self.handle_snap_commit()),
+            // Reply kinds arriving at a server are a protocol violation.
+            Msg::Pong { .. }
+            | Msg::SuggestReply(_)
+            | Msg::DeltaAck { .. }
+            | Msg::SnapAck { .. }
+            | Msg::Error { .. } => Action::Reply(Msg::Error {
+                code: ERR_BAD_KIND,
+                detail: "reply kind sent to a server".into(),
+            }),
+        }
+    }
+
+    fn pong(&self, nonce: u64) -> Msg {
+        let tag = self.snap.load().tag;
+        Msg::Pong {
+            nonce,
+            shard: tag.shard as u32,
+            generation: tag.generation,
+        }
+    }
+
+    /// The text-native shard probe — semantically identical to
+    /// [`pqsda_serve::shard_probe`], with the router's id↔text
+    /// translation moved to the two ends of the wire.
+    fn probe(&self, req: &WireRequest) -> WireReply {
+        let snap = self.snap.load();
+        let tag = snap.tag.into();
+        let shard_log = snap.engine.log();
+        let Some(local_query) = shard_log.find_query(&req.query) else {
+            return WireReply {
+                tag,
+                suggestions: Vec::new(),
+            };
+        };
+        let mut context = Vec::with_capacity(req.context.len());
+        let mut context_times = Vec::with_capacity(req.context.len());
+        for (text, time) in &req.context {
+            if let Some(lc) = shard_log.find_query(text) {
+                context.push(lc);
+                context_times.push(*time);
+            }
+        }
+        // The byte was validated at decode; default keeps this total.
+        let backend = backend_from_wire(req.backend).unwrap_or_default();
+        let local_req = SuggestRequest {
+            query: local_query,
+            context,
+            context_times,
+            query_time: req.query_time,
+            user: req.user.map(UserId),
+            k: req.k as usize,
+            backend,
+        };
+        let scored = snap.engine.suggest_scored(&local_req);
+        WireReply {
+            tag,
+            suggestions: scored
+                .into_iter()
+                .map(|(q, score)| (shard_log.query_text(q).to_owned(), score.to_bits()))
+                .collect(),
+        }
+    }
+
+    fn handle_delta(&self, entries: Vec<LogEntry>) -> Msg {
+        let _writer = self.writer.lock();
+        let previous = self.snap.load();
+        if entries.is_empty() {
+            return Msg::DeltaAck {
+                tag: previous.tag.into(),
+            };
+        }
+        match previous.engine.apply_delta(&entries, &self.cfg.build) {
+            Some((engine, _report)) => {
+                let snap =
+                    ShardSnapshot::stamp(engine, self.cfg.shard, previous.tag.generation + 1);
+                if !snap.verify() {
+                    return Msg::Error {
+                        code: ERR_DIGEST,
+                        detail: "post-delta snapshot failed digest validation".into(),
+                    };
+                }
+                let tag = snap.tag;
+                self.snap.store(Arc::new(snap));
+                self.counters.deltas.fetch_add(1, Ordering::Relaxed);
+                Msg::DeltaAck { tag: tag.into() }
+            }
+            // The server has no cold-rebuild base (the router owns the
+            // full log); the router falls back to a snapshot handoff.
+            None => Msg::Error {
+                code: ERR_BAD_DELTA,
+                detail: "batch cannot apply incrementally".into(),
+            },
+        }
+    }
+
+    fn handle_snap_begin(
+        &self,
+        shard: u32,
+        generation: u64,
+        total_len: u64,
+        graph_digest: u64,
+        profile_digest: u64,
+    ) {
+        let mut staging = self.writer.lock();
+        if shard as usize != self.cfg.shard {
+            *staging = Staging::Failed(ERR_SNAP_STATE, "image addressed to a different shard");
+            return;
+        }
+        if std::fs::create_dir_all(&self.cfg.staging_dir).is_err() {
+            *staging = Staging::Failed(ERR_INTERNAL, "cannot create staging dir");
+            return;
+        }
+        let path = self
+            .cfg
+            .staging_dir
+            .join(format!("shard{}-gen{generation}.pqss.tmp", self.cfg.shard));
+        match std::fs::File::create(&path) {
+            Ok(file) => {
+                *staging = Staging::Active(StagingState {
+                    path,
+                    file,
+                    received: 0,
+                    generation,
+                    total_len,
+                    graph_digest,
+                    profile_digest,
+                });
+            }
+            Err(_) => *staging = Staging::Failed(ERR_INTERNAL, "cannot create staging file"),
+        }
+    }
+
+    fn handle_snap_chunk(&self, offset: u64, bytes: &[u8]) {
+        let mut staging = self.writer.lock();
+        let Staging::Active(state) = &mut *staging else {
+            if matches!(*staging, Staging::Idle) {
+                *staging = Staging::Failed(ERR_SNAP_STATE, "chunk without begin");
+            }
+            return;
+        };
+        if offset != state.received {
+            *staging = Staging::Failed(ERR_SNAP_STATE, "chunk offset out of order");
+            return;
+        }
+        if state.received + bytes.len() as u64 > state.total_len {
+            *staging = Staging::Failed(ERR_SNAP_STATE, "chunks exceed announced length");
+            return;
+        }
+        if state.file.write_all(bytes).is_err() {
+            *staging = Staging::Failed(ERR_INTERNAL, "staging write failed");
+            return;
+        }
+        state.received += bytes.len() as u64;
+    }
+
+    fn handle_snap_commit(&self) -> Msg {
+        let mut staging = self.writer.lock();
+        let taken = std::mem::replace(&mut *staging, Staging::Idle);
+        let state = match taken {
+            Staging::Active(s) => s,
+            Staging::Idle => {
+                return Msg::Error {
+                    code: ERR_SNAP_STATE,
+                    detail: "commit without begin".into(),
+                }
+            }
+            Staging::Failed(code, detail) => {
+                return Msg::Error {
+                    code,
+                    detail: detail.into(),
+                }
+            }
+        };
+        if state.received != state.total_len {
+            let _ = std::fs::remove_file(&state.path);
+            return Msg::Error {
+                code: ERR_SNAP_STATE,
+                detail: "image shorter than announced".into(),
+            };
+        }
+        if state.file.sync_all().is_err() {
+            let _ = std::fs::remove_file(&state.path);
+            return Msg::Error {
+                code: ERR_INTERNAL,
+                detail: "staging fsync failed".into(),
+            };
+        }
+        drop(state.file);
+        let loaded = pqsda_store::load_engine(&state.path, self.cfg.build.config, false);
+        let _ = std::fs::remove_file(&state.path);
+        let (engine, meta, _info) = match loaded {
+            Ok(ok) => ok,
+            Err(e) => {
+                return Msg::Error {
+                    code: ERR_DIGEST,
+                    detail: format!("image rejected: {e:?}"),
+                }
+            }
+        };
+        if meta.graph_digest != state.graph_digest
+            || meta.profile_digest != state.profile_digest
+            || meta.generation != state.generation
+        {
+            return Msg::Error {
+                code: ERR_DIGEST,
+                detail: "image digests differ from announcement".into(),
+            };
+        }
+        let snap = ShardSnapshot::stamp(engine, self.cfg.shard, state.generation);
+        if !snap.verify() {
+            return Msg::Error {
+                code: ERR_DIGEST,
+                detail: "restamped snapshot failed validation".into(),
+            };
+        }
+        let tag = snap.tag;
+        self.snap.store(Arc::new(snap));
+        self.counters.snapshots.fetch_add(1, Ordering::Relaxed);
+        Msg::SnapAck { tag: tag.into() }
+    }
+}
+
+/// Handle to a thread-hosted server; stops and joins it on drop.
+pub struct ServerHandle {
+    server: Arc<ShardServer>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    addr: NetAddr,
+}
+
+impl ServerHandle {
+    /// The bound (resolved) address.
+    pub fn addr(&self) -> &NetAddr {
+        &self.addr
+    }
+
+    /// The server behind the handle.
+    pub fn server(&self) -> &Arc<ShardServer> {
+        &self.server
+    }
+
+    /// Stops the server and joins its threads.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.server.request_stop();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

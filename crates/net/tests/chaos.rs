@@ -1,0 +1,457 @@
+//! Transport chaos: every injected wire fault — refused connection,
+//! mid-frame disconnect, torn write, corrupt frame, stalled peer, dead
+//! address — must resolve to an **explicit, auditable outcome**: a
+//! degraded reply with honest coverage that is bit-identical to the
+//! healthy merge over exactly the answering shards, a counter that
+//! accounts for the fault, and a bounded wall clock. Never a hang,
+//! never an error surfaced to the caller, never silent truncation.
+//!
+//! Satellite 2 is pinned here too: a flapping/dead replica is absorbed
+//! by the backoff gate (fast-fails counted as `backoff_skips`) and must
+//! NOT trip the shard breaker through synchronized retries.
+
+use pqsda_baselines::SuggestRequest;
+use pqsda_net::{
+    BackoffConfig, ClientConfig, NetAddr, NetChaosProfile, NetConfig, NetFaultKind, NetFaultPlan,
+    NetRouter, ServerHandle, ShardServer, ShardServerConfig,
+};
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_querylog::QueryLog;
+use pqsda_serve::{BreakerState, FaultConfig, PartitionKey, ServeConfig, ShardedPqsDa};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pqsda-net-chaos-{}-{}",
+        std::process::id(),
+        NEXT_DIR.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const SHARDS: usize = 2;
+
+struct Rig {
+    dir: std::path::PathBuf,
+    inproc: ShardedPqsDa,
+    handles: Vec<ServerHandle>,
+    net: NetRouter,
+    log: QueryLog,
+}
+
+/// Builds a 2-shard rig (User key: every request consults both shards)
+/// with `plans[s]` injected into shard `s`'s server.
+fn rig(plans: Vec<Option<NetFaultPlan>>, net_cfg_fn: impl Fn(NetConfig) -> NetConfig) -> Rig {
+    let s = generate(&SynthConfig::tiny(31));
+    let entries = s.log.entries();
+    let inproc = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: SHARDS,
+            key: PartitionKey::User,
+            ..ServeConfig::default()
+        },
+    );
+    let dir = scratch_dir();
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for (sh, plan) in plans.into_iter().enumerate() {
+        let mut cfg = ShardServerConfig::new(
+            sh,
+            pqsda::EngineBuildOptions::default(),
+            dir.join(format!("stage{sh}")),
+        );
+        cfg.fault = plan;
+        let server = ShardServer::new(inproc.shard_snapshot(sh), cfg);
+        let handle = server
+            .spawn(&NetAddr::Uds(dir.join(format!("s{sh}.sock"))))
+            .unwrap();
+        addrs.push(vec![handle.addr().clone()]);
+        handles.push(handle);
+    }
+    let net = NetRouter::connect(
+        QueryLog::from_entries(&entries),
+        &addrs,
+        net_cfg_fn(NetConfig {
+            key: PartitionKey::User,
+            ..NetConfig::default()
+        }),
+    );
+    Rig {
+        dir,
+        inproc,
+        handles,
+        net,
+        log: QueryLog::from_entries(&entries),
+    }
+}
+
+impl Drop for Rig {
+    fn drop(&mut self) {
+        self.handles.clear();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Asserts a reply is honest: full coverage ⇒ bit-identical to the
+/// in-process server; degraded ⇒ bit-identical to the healthy merge
+/// over exactly the shards its tags name.
+fn assert_honest(rig: &Rig, req: &SuggestRequest, reply: &pqsda_serve::ServeReply, what: &str) {
+    assert!(
+        reply.coverage.answered <= reply.coverage.consulted,
+        "{what}: impossible coverage"
+    );
+    let answered: Vec<usize> = reply.tags.iter().map(|t| t.shard).collect();
+    let want = rig.inproc.suggest_on(req, &answered);
+    assert_eq!(
+        reply.suggestions.len(),
+        want.suggestions.len(),
+        "{what}: length vs healthy merge over {answered:?}"
+    );
+    for (i, ((gq, gs), (wq, ws))) in reply.suggestions.iter().zip(&want.suggestions).enumerate() {
+        assert_eq!(gq, wq, "{what}: id at rank {i}");
+        assert_eq!(gs.to_bits(), ws.to_bits(), "{what}: score bits at rank {i}");
+    }
+}
+
+/// Seeded background chaos on both shards: disconnects, torn writes,
+/// corrupt frames, stalls. Every request must come back served and
+/// honest, within a bounded wall clock, and the audit trail must show
+/// the faults actually fired.
+#[test]
+fn seeded_transport_chaos_yields_only_explicit_outcomes() {
+    let profile = NetChaosProfile {
+        refuse_permille: 0,
+        disconnect_permille: 60,
+        torn_permille: 60,
+        corrupt_permille: 60,
+        stall_permille: 40,
+        stall_ms: 400,
+    };
+    let rig = rig(
+        vec![
+            Some(NetFaultPlan::seeded(0xC4A0_5EED, profile)),
+            Some(NetFaultPlan::seeded(0x0DDC_0FFE, profile)),
+        ],
+        |mut c| {
+            c.fault = FaultConfig {
+                budget_ms: 250,
+                ..FaultConfig::default()
+            };
+            // Tiny backoff so the soak keeps re-dialing through faults.
+            c.client.backoff = BackoffConfig {
+                base_ms: 1,
+                cap_ms: 4,
+                ..BackoffConfig::default()
+            };
+            c
+        },
+    );
+    let records = rig.log.records().to_vec();
+    let start = Instant::now();
+    let mut degraded_seen = 0u64;
+    let requests = 120usize;
+    for i in 0..requests {
+        let r = &records[(i * 7) % records.len()];
+        let req = SuggestRequest::simple(r.query, 6).for_user(r.user);
+        let outcome = rig.net.suggest(&req);
+        let reply = outcome.reply().expect("chaos must never surface an error");
+        if reply.coverage.is_degraded() {
+            degraded_seen += 1;
+        }
+        assert_honest(&rig, &req, reply, &format!("soak req {i}"));
+    }
+    // Bounded wall clock: 120 requests at a 250ms budget each could at
+    // worst take 30s; the hedgeless common case is far faster. A hang
+    // would blow way past this.
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "soak took {:?}",
+        start.elapsed()
+    );
+    // Audit: faults were actually injected, and the router observed them.
+    let injected: u64 = rig
+        .handles
+        .iter()
+        .map(|h| h.server().stats().injected)
+        .sum();
+    assert!(injected > 0, "chaos profile never fired");
+    let stats = rig.net.stats();
+    assert!(
+        stats.errors + stats.timeouts > 0,
+        "injected faults left no trace in router stats: {stats:?}"
+    );
+    assert_eq!(stats.degraded, degraded_seen, "degraded accounting drifted");
+    assert!(degraded_seen > 0, "chaos never degraded a reply");
+}
+
+/// One explicit fault per kind, each must produce the exact expected
+/// outcome: a degraded-but-honest reply and the right counters.
+#[test]
+fn each_fault_kind_resolves_explicitly() {
+    for kind in [
+        NetFaultKind::DisconnectBefore,
+        NetFaultKind::TornWrite(11),
+        NetFaultKind::CorruptByte(13),
+        NetFaultKind::StallMs(2_000),
+    ] {
+        // Connection 0 is the router's connect-time ping; its reply is
+        // frame 0. The first suggest reply on that pooled connection is
+        // frame 1. Sabotage shard 1 only.
+        let plan = NetFaultPlan::new().with_frame_fault(0, 1, kind);
+        let rig = rig(vec![None, Some(plan)], |mut c| {
+            c.fault = FaultConfig {
+                budget_ms: 300,
+                ..FaultConfig::default()
+            };
+            // No within-request redial: the fault must surface as a
+            // degraded reply (the redial healing path has its own test).
+            c.client.backoff.max_retries_per_request = 0;
+            c
+        });
+        let records = rig.log.records().to_vec();
+        let req = SuggestRequest::simple(records[0].query, 6);
+        let start = Instant::now();
+        let outcome = rig.net.suggest(&req);
+        let elapsed = start.elapsed();
+        let reply = outcome.reply().expect("faults never surface as errors");
+        assert!(
+            reply.coverage.is_degraded(),
+            "{kind:?}: expected a degraded reply, got {:?}",
+            reply.coverage
+        );
+        assert_eq!(reply.coverage.consulted, SHARDS, "{kind:?}");
+        assert_eq!(reply.coverage.answered, SHARDS - 1, "{kind:?}");
+        assert_eq!(reply.tags[0].shard, 0, "{kind:?}: shard 0 answered");
+        assert_honest(&rig, &req, reply, &format!("{kind:?}"));
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "{kind:?}: took {elapsed:?} — not bounded"
+        );
+        // The server recorded the injection; the router recorded the
+        // fault (as a transport error or a deadline timeout).
+        assert_eq!(rig.handles[1].server().stats().injected, 1, "{kind:?}");
+        let stats = rig.net.stats();
+        assert!(
+            stats.errors + stats.timeouts >= 1,
+            "{kind:?}: no audit trail in {stats:?}"
+        );
+        // Recovery: once past the backoff window, the same request is
+        // answered with full coverage and bit-identity again.
+        std::thread::sleep(Duration::from_millis(30));
+        let again = rig.net.suggest(&req);
+        let again = again.reply().unwrap();
+        assert!(
+            !again.coverage.is_degraded(),
+            "{kind:?}: no recovery after fault cleared"
+        );
+        assert_honest(&rig, &req, again, &format!("{kind:?} recovery"));
+    }
+}
+
+/// A refused connection (accept → instant close) degrades honestly and
+/// recovers on the next accept.
+#[test]
+fn refused_connection_degrades_then_recovers() {
+    // Refuse the router's first two connections to shard 1: the
+    // connect-time ping and the first probe's dial.
+    let plan = NetFaultPlan::new()
+        .with_refused_conn(0)
+        .with_refused_conn(1);
+    let rig = rig(vec![None, Some(plan)], |mut c| {
+        c.fault = FaultConfig {
+            budget_ms: 300,
+            ..FaultConfig::default()
+        };
+        c.client.backoff = BackoffConfig {
+            base_ms: 1,
+            cap_ms: 2,
+            max_retries_per_request: 0,
+            ..BackoffConfig::default()
+        };
+        c
+    });
+    let records = rig.log.records().to_vec();
+    let req = SuggestRequest::simple(records[0].query, 6);
+    // Past the backoff window the ping's refusal armed, so the probe
+    // really dials (and is refused again) instead of fast-failing.
+    std::thread::sleep(Duration::from_millis(10));
+    let first = rig.net.suggest(&req);
+    let first = first.reply().unwrap();
+    assert!(first.coverage.is_degraded(), "got {:?}", first.coverage);
+    assert_honest(&rig, &req, first, "refused conn");
+    // Connection 2 is admitted: full coverage returns.
+    std::thread::sleep(Duration::from_millis(10));
+    let healed = rig.net.suggest(&req);
+    let healed = healed.reply().unwrap();
+    assert!(!healed.coverage.is_degraded());
+    assert_honest(&rig, &req, healed, "post-refusal recovery");
+    assert_eq!(rig.handles[1].server().stats().refused, 2);
+}
+
+/// The resilience dual of the explicit-fault test: with a redial budget,
+/// a fault on the *pooled* connection is healed inside the same request
+/// — the reply comes back full-coverage and the caller never notices.
+#[test]
+fn pooled_connection_fault_heals_by_redial_within_request() {
+    let plan = NetFaultPlan::new().with_frame_fault(0, 1, NetFaultKind::DisconnectBefore);
+    // No deadline budget: the default retry budget (1 redial, 1s connect
+    // timeout) is admissible.
+    let rig = rig(vec![None, Some(plan)], |c| c);
+    let records = rig.log.records().to_vec();
+    let req = SuggestRequest::simple(records[0].query, 6);
+    let outcome = rig.net.suggest(&req);
+    let reply = outcome.reply().unwrap();
+    assert!(
+        !reply.coverage.is_degraded(),
+        "redial should have healed the torn pooled conn: {:?}",
+        reply.coverage
+    );
+    assert_honest(&rig, &req, reply, "healed by redial");
+    let stats = rig.net.stats();
+    assert_eq!(stats.errors, 0, "healed fault must not count as an error");
+    assert_eq!(rig.handles[1].server().stats().injected, 1);
+}
+
+/// Satellite 2: a dead replica fast-fails inside its backoff window and
+/// those skips never count as breaker faults — one dead process cannot
+/// trip the shard breaker through synchronized retries.
+#[test]
+fn dead_replica_backoff_skips_do_not_trip_the_breaker() {
+    let s = generate(&SynthConfig::tiny(31));
+    let entries = s.log.entries();
+    let dir = scratch_dir();
+    // Shard 0 real, shard 1's address points at nothing.
+    let inproc = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: SHARDS,
+            key: PartitionKey::User,
+            ..ServeConfig::default()
+        },
+    );
+    let cfg = ShardServerConfig::new(0, pqsda::EngineBuildOptions::default(), dir.join("stage0"));
+    let server = ShardServer::new(inproc.shard_snapshot(0), cfg);
+    let handle = server.spawn(&NetAddr::Uds(dir.join("s0.sock"))).unwrap();
+    let addrs = vec![
+        vec![handle.addr().clone()],
+        vec![NetAddr::Uds(dir.join("nobody-home.sock"))],
+    ];
+    let net = NetRouter::connect(
+        QueryLog::from_entries(&entries),
+        &addrs,
+        NetConfig {
+            key: PartitionKey::User,
+            fault: FaultConfig {
+                budget_ms: 300,
+                breaker_threshold: 2,
+                breaker_cooldown: 4,
+                ..FaultConfig::default()
+            },
+            client: ClientConfig {
+                // A huge window: after the first real dial failure every
+                // further attempt in this test is a fast-fail.
+                backoff: BackoffConfig {
+                    base_ms: 60_000,
+                    cap_ms: 60_000,
+                    ..BackoffConfig::default()
+                },
+                ..ClientConfig::default()
+            },
+            ..NetConfig::default()
+        },
+    );
+    let records = s.log.records().to_vec();
+    let start = Instant::now();
+    for i in 0..20 {
+        let r = &records[i % records.len()];
+        let req = SuggestRequest::simple(r.query, 5);
+        let outcome = net.suggest(&req);
+        let reply = outcome.reply().expect("dead shard must degrade, not error");
+        assert_eq!(reply.coverage.answered, 1, "req {i}");
+        assert_eq!(reply.coverage.consulted, 2, "req {i}");
+        assert_eq!(reply.tags[0].shard, 0, "req {i}");
+        let want = inproc.suggest_on(&req, &[0]);
+        assert_eq!(reply.suggestions.len(), want.suggestions.len(), "req {i}");
+        for ((gq, gs), (wq, ws)) in reply.suggestions.iter().zip(&want.suggestions) {
+            assert_eq!(gq, wq);
+            assert_eq!(gs.to_bits(), ws.to_bits());
+        }
+    }
+    // Fast-fails are instant: 20 degraded requests must not take the
+    // 20 × connect-timeout a retry storm would cost.
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "requests were not fast-failing: {:?}",
+        start.elapsed()
+    );
+    let stats = net.stats();
+    // The connect-time ping + the first probe dial are the only real
+    // faults (≤ threshold); everything after is a backoff skip.
+    assert!(
+        stats.backoff_skips >= 15,
+        "expected fast-fails, got {stats:?}"
+    );
+    // THE satellite-2 assertion: the breaker saw at most one real fault
+    // and stayed closed — skips recorded nothing.
+    assert_eq!(
+        stats.breakers[1],
+        BreakerState::Closed,
+        "backoff skips tripped the breaker: {stats:?}"
+    );
+    assert_eq!(stats.breaker_opens, 0, "{stats:?}");
+    drop(net);
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Killing a shard process mid-load: requests keep being served with
+/// honest degraded coverage (never an error, never a hang), and the
+/// degraded merges stay bit-identical to the healthy-subset reference.
+#[test]
+fn shard_killed_mid_load_degrades_honestly() {
+    let rig = rig(vec![None, None], |mut c| {
+        c.fault = FaultConfig {
+            budget_ms: 400,
+            ..FaultConfig::default()
+        };
+        c.client.backoff = BackoffConfig {
+            base_ms: 5,
+            cap_ms: 50,
+            ..BackoffConfig::default()
+        };
+        c
+    });
+    let records = rig.log.records().to_vec();
+    // Warm: full coverage first.
+    let warm_req = SuggestRequest::simple(records[0].query, 6);
+    let warm = rig.net.suggest(&warm_req);
+    assert!(!warm.reply().unwrap().coverage.is_degraded());
+    // Kill shard 1's server (thread-hosted: stop + join = process death
+    // as seen from the socket: connection reset, then connection refused
+    // on redial because the socket file is unlinked).
+    rig.handles[1].server().request_stop();
+    std::thread::sleep(Duration::from_millis(100));
+    let start = Instant::now();
+    let mut degraded = 0;
+    for i in 0..30 {
+        let r = &records[(i * 3) % records.len()];
+        let req = SuggestRequest::simple(r.query, 6).for_user(r.user);
+        let outcome = rig.net.suggest(&req);
+        let reply = outcome.reply().expect("killed shard must not error");
+        if reply.coverage.is_degraded() {
+            degraded += 1;
+            assert_honest(&rig, &req, reply, &format!("post-kill req {i}"));
+        }
+    }
+    assert!(degraded >= 29, "kill not observed: {degraded}/30 degraded");
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "post-kill serving not bounded: {:?}",
+        start.elapsed()
+    );
+}

@@ -1,0 +1,241 @@
+//! The tentpole acceptance: crossing process (socket) boundaries is
+//! invisible to correctness. For shard counts {1, 2, 4}, over both UDS
+//! and TCP-loopback, a full-coverage reply from the socket-backed
+//! [`NetRouter`] is **bit-identical** — ids, raw `f64` score bits, tags,
+//! coverage — to the in-process [`ShardedPqsDa`] serving the same
+//! snapshots. And it stays identical after live delta cycles on both
+//! sides.
+
+use pqsda_baselines::SuggestRequest;
+use pqsda_net::{NetAddr, NetConfig, NetRouter, ServerHandle, ShardServer, ShardServerConfig};
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_querylog::QueryLog;
+use pqsda_serve::{PartitionKey, ServeConfig, ServeOutcome, ShardedPqsDa, SuggestService};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_SOCKET: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pqsda-net-eq-{}-{}",
+        std::process::id(),
+        NEXT_SOCKET.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawns one thread-hosted shard server per shard of `inproc`, serving
+/// the *identical* snapshot `Arc`s, and returns handles + address lists.
+fn spawn_servers(
+    inproc: &ShardedPqsDa,
+    shards: usize,
+    uds: bool,
+    dir: &std::path::Path,
+) -> (Vec<ServerHandle>, Vec<Vec<NetAddr>>) {
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for s in 0..shards {
+        let addr = if uds {
+            NetAddr::Uds(dir.join(format!("s{s}.sock")))
+        } else {
+            NetAddr::Tcp("127.0.0.1:0".into())
+        };
+        let cfg = ShardServerConfig::new(
+            s,
+            pqsda::EngineBuildOptions::default(),
+            dir.join(format!("stage{s}")),
+        );
+        let server = ShardServer::new(inproc.shard_snapshot(s), cfg);
+        let handle = server.spawn(&addr).unwrap();
+        addrs.push(vec![handle.addr().clone()]);
+        handles.push(handle);
+    }
+    (handles, addrs)
+}
+
+fn request_mix(log: &QueryLog) -> Vec<SuggestRequest> {
+    let records = log.records();
+    let mut reqs = Vec::new();
+    for (i, r) in records.iter().enumerate().step_by(records.len() / 16 + 1) {
+        let mut req = SuggestRequest::simple(r.query, 1 + i % 8).for_user(r.user);
+        if i > 0 {
+            let prev = &records[i - 1];
+            req = req.with_context(vec![prev.query], vec![prev.timestamp], r.timestamp);
+        }
+        reqs.push(req);
+        reqs.push(SuggestRequest::simple(r.query, 6)); // anonymous
+    }
+    reqs.push(SuggestRequest::simple(records[0].query, 0)); // k = 0
+    reqs
+}
+
+/// Asserts one served net reply equals the in-process reply bit for bit.
+fn assert_identical(req: &SuggestRequest, net: &ServeOutcome, inproc: &ShardedPqsDa, what: &str) {
+    let net = net.reply().expect("net requests are never rejected here");
+    let want = inproc.suggest(req);
+    assert_eq!(
+        net.coverage, want.coverage,
+        "{what}: coverage differs (net reply must be full-coverage)"
+    );
+    assert_eq!(net.tags, want.tags, "{what}: answering tags differ");
+    assert_eq!(
+        net.suggestions.len(),
+        want.suggestions.len(),
+        "{what}: suggestion count differs"
+    );
+    for (i, ((gq, gs), (wq, ws))) in net.suggestions.iter().zip(&want.suggestions).enumerate() {
+        assert_eq!(gq, wq, "{what}: id at rank {i} differs");
+        assert_eq!(
+            gs.to_bits(),
+            ws.to_bits(),
+            "{what}: score bits at rank {i} differ"
+        );
+    }
+}
+
+fn run_equivalence(shards: usize, key: PartitionKey, uds: bool) {
+    let s = generate(&SynthConfig::tiny(31));
+    let entries = s.log.entries();
+    let inproc = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards,
+            key,
+            ..ServeConfig::default()
+        },
+    );
+    let dir = scratch_dir();
+    let (handles, addrs) = spawn_servers(&inproc, shards, uds, &dir);
+    let net = NetRouter::connect(
+        QueryLog::from_entries(&entries),
+        &addrs,
+        NetConfig {
+            key,
+            ..NetConfig::default()
+        },
+    );
+    let transport = if uds { "uds" } else { "tcp" };
+    for (i, req) in request_mix(&s.log).iter().enumerate() {
+        let outcome = net.suggest(req);
+        assert_identical(
+            req,
+            &outcome,
+            &inproc,
+            &format!("{transport} shards={shards} {key:?} req {i}"),
+        );
+    }
+    drop(net);
+    drop(handles);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_coverage_is_bit_identical_over_uds() {
+    for shards in [1usize, 2, 4] {
+        run_equivalence(shards, PartitionKey::User, true);
+    }
+    run_equivalence(2, PartitionKey::Query, true);
+}
+
+#[test]
+fn full_coverage_is_bit_identical_over_tcp_loopback() {
+    for shards in [1usize, 2, 4] {
+        run_equivalence(shards, PartitionKey::User, false);
+    }
+    run_equivalence(4, PartitionKey::Query, false);
+}
+
+/// Deltas keep both deployments in lockstep: ingest the tail of the log
+/// into both, run a delta cycle on each, and the merged replies (and the
+/// published tags) must still match bit for bit.
+#[test]
+fn replies_stay_identical_after_live_deltas() {
+    let s = generate(&SynthConfig::tiny(47));
+    let entries = s.log.entries();
+    let split = entries.len() * 4 / 5;
+    let (base, tail) = entries.split_at(split);
+    let shards = 2;
+    let key = PartitionKey::User;
+    let inproc = ShardedPqsDa::build(
+        base,
+        ServeConfig {
+            shards,
+            key,
+            ..ServeConfig::default()
+        },
+    );
+    let dir = scratch_dir();
+    let (handles, addrs) = spawn_servers(&inproc, shards, true, &dir);
+    let net = NetRouter::connect(
+        QueryLog::from_entries(base),
+        &addrs,
+        NetConfig {
+            key,
+            ..NetConfig::default()
+        },
+    );
+
+    // Two delta cycles, splitting the tail, mirrored on both sides.
+    let mid = tail.len() / 2;
+    for batch in [&tail[..mid], &tail[mid..]] {
+        for e in batch {
+            assert!(inproc.ingest(e.clone()));
+            assert!(net.ingest(e.clone()));
+        }
+        let in_report = inproc.apply_deltas();
+        let net_report = net.apply_deltas();
+        assert_eq!(net_report.drained, in_report.drained);
+        assert!(
+            net_report.failed.is_empty(),
+            "every replica must take the delta: {:?}",
+            net_report.failed
+        );
+        assert_eq!(net_report.drained_entries, in_report.drained_entries);
+    }
+
+    // The full request mix over the grown vocabulary.
+    let full_log = QueryLog::from_entries(&entries);
+    for (i, req) in request_mix(&full_log).iter().enumerate() {
+        let outcome = net.suggest(req);
+        assert_identical(req, &outcome, &inproc, &format!("post-delta req {i}"));
+    }
+    // Generations advanced in lockstep (tags already compared per reply,
+    // but assert the shards that took deltas moved off generation 0).
+    let in_tags = inproc.shard_tags();
+    assert!(in_tags.iter().any(|t| t.generation > 0));
+    drop(net);
+    drop(handles);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `SuggestService` abstraction serves both deployments with one
+/// call shape (what the bench loadgen relies on).
+#[test]
+fn suggest_service_trait_covers_net_router() {
+    let s = generate(&SynthConfig::tiny(9));
+    let entries = s.log.entries();
+    let inproc = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let dir = scratch_dir();
+    let (handles, addrs) = spawn_servers(&inproc, 2, true, &dir);
+    let net = NetRouter::connect(
+        QueryLog::from_entries(&entries),
+        &addrs,
+        NetConfig::default(),
+    );
+    let req = SuggestRequest::simple(s.log.records()[0].query, 5);
+    let services: [&dyn SuggestService; 2] = [&inproc, &net];
+    for svc in services {
+        let outcome = svc.suggest_with_deadline(&req, Some(pqsda_parallel::Deadline::in_ms(2_000)));
+        assert!(outcome.reply().is_some());
+    }
+    drop(net);
+    drop(handles);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,298 @@
+//! Live shard split/merge over the wire: `NetRouter::resize` ships full
+//! snapshot images to cold (empty) shard processes, runs a catch-up
+//! delta round, and flips the ring atomically — while concurrent
+//! requests keep being served at full coverage. Post-cutover replies are
+//! bit-identical to a fresh in-process deployment at the new shard
+//! count.
+
+use pqsda_baselines::SuggestRequest;
+use pqsda_net::{NetAddr, NetConfig, NetRouter, ServerHandle, ShardServer, ShardServerConfig};
+use pqsda_querylog::synth::{generate, SynthConfig};
+use pqsda_querylog::QueryLog;
+use pqsda_serve::{PartitionKey, ServeConfig, ShardedPqsDa};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pqsda-net-resize-{}-{}",
+        std::process::id(),
+        NEXT_DIR.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawns `n` *empty* shard servers (generation 0, no data) — the cold
+/// process shape that must be filled entirely over the wire.
+fn spawn_empty(
+    n: usize,
+    label: &str,
+    dir: &std::path::Path,
+) -> (Vec<ServerHandle>, Vec<Vec<NetAddr>>) {
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for s in 0..n {
+        let cfg = ShardServerConfig::new(
+            s,
+            pqsda::EngineBuildOptions::default(),
+            dir.join(format!("{label}-stage{s}")),
+        );
+        let server = ShardServer::empty(cfg);
+        let handle = server
+            .spawn(&NetAddr::Uds(dir.join(format!("{label}-s{s}.sock"))))
+            .unwrap();
+        addrs.push(vec![handle.addr().clone()]);
+        handles.push(handle);
+    }
+    (handles, addrs)
+}
+
+fn request_mix(log: &QueryLog) -> Vec<SuggestRequest> {
+    let records = log.records();
+    let mut reqs = Vec::new();
+    for (i, r) in records.iter().enumerate().step_by(records.len() / 12 + 1) {
+        reqs.push(SuggestRequest::simple(r.query, 1 + i % 8).for_user(r.user));
+        reqs.push(SuggestRequest::simple(r.query, 6));
+    }
+    reqs
+}
+
+/// Suggestion bits and coverage must match; generations (and hence
+/// tags/digest stamps) legitimately differ between a deployment that
+/// lived through handoffs and one built fresh, so they are not compared.
+fn assert_same_suggestions(
+    req: &SuggestRequest,
+    net: &NetRouter,
+    reference: &ShardedPqsDa,
+    what: &str,
+) {
+    let outcome = net.suggest(req);
+    let got = outcome.reply().expect("resize must not reject");
+    let want = reference.suggest(req);
+    assert_eq!(got.coverage, want.coverage, "{what}: coverage");
+    assert_eq!(
+        got.tags.iter().map(|t| t.shard).collect::<Vec<_>>(),
+        want.tags.iter().map(|t| t.shard).collect::<Vec<_>>(),
+        "{what}: answering shards"
+    );
+    assert_eq!(
+        got.suggestions.len(),
+        want.suggestions.len(),
+        "{what}: suggestion count"
+    );
+    for (i, ((gq, gs), (wq, ws))) in got.suggestions.iter().zip(&want.suggestions).enumerate() {
+        assert_eq!(gq, wq, "{what}: id at rank {i}");
+        assert_eq!(gs.to_bits(), ws.to_bits(), "{what}: score bits at rank {i}");
+    }
+}
+
+/// Split 2 → 3 under load, then merge 3 → 2 onto fresh cold processes.
+/// Each cutover ships images over the wire, drains the ingest queue as
+/// catch-up, and never degrades concurrent traffic.
+#[test]
+fn live_split_and_merge_preserve_bit_identity() {
+    let s = generate(&SynthConfig::tiny(53));
+    let entries = s.log.entries();
+    let split_at = entries.len() * 9 / 10;
+    let (base, tail) = entries.split_at(split_at);
+    let key = PartitionKey::User;
+    let dir = scratch_dir();
+
+    // Start as a 2-shard deployment serving `base`.
+    let inproc2 = ShardedPqsDa::build(
+        base,
+        ServeConfig {
+            shards: 2,
+            key,
+            ..ServeConfig::default()
+        },
+    );
+    let mut handles = Vec::new();
+    let mut addrs2 = Vec::new();
+    for sh in 0..2usize {
+        let cfg = ShardServerConfig::new(
+            sh,
+            pqsda::EngineBuildOptions::default(),
+            dir.join(format!("orig-stage{sh}")),
+        );
+        let server = ShardServer::new(inproc2.shard_snapshot(sh), cfg);
+        let handle = server
+            .spawn(&NetAddr::Uds(dir.join(format!("orig-s{sh}.sock"))))
+            .unwrap();
+        addrs2.push(vec![handle.addr().clone()]);
+        handles.push(handle);
+    }
+    let net = Arc::new(NetRouter::connect(
+        QueryLog::from_entries(base),
+        &addrs2,
+        NetConfig {
+            key,
+            ..NetConfig::default()
+        },
+    ));
+
+    // Sanity: pre-resize replies match the 2-shard reference.
+    for (i, req) in request_mix(&s.log).iter().take(4).enumerate() {
+        assert_same_suggestions(req, &net, &inproc2, &format!("pre-split req {i}"));
+    }
+
+    // Queue the tail: the split's catch-up round must apply it.
+    for e in tail {
+        assert!(net.ingest(e.clone()));
+    }
+
+    // Concurrent traffic for the whole split: every reply served, never
+    // degraded (old ring serves until the flip; the new ring is fully
+    // shipped before it).
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic = {
+        let net = Arc::clone(&net);
+        let stop = Arc::clone(&stop);
+        let records = s.log.records().to_vec();
+        std::thread::spawn(move || {
+            let mut served = 0u64;
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let r = &records[(i * 5) % records.len()];
+                let req = SuggestRequest::simple(r.query, 6).for_user(r.user);
+                let outcome = net.suggest(&req);
+                let reply = outcome.reply().expect("resize must not reject traffic");
+                assert!(
+                    !reply.coverage.is_degraded(),
+                    "resize degraded concurrent traffic: {:?}",
+                    reply.coverage
+                );
+                served += 1;
+                i += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            served
+        })
+    };
+
+    // SPLIT: 2 → 3 cold processes.
+    let (handles3, addrs3) = spawn_empty(3, "split", &dir);
+    handles.extend(handles3);
+    let report = net.resize(&addrs3);
+    assert_eq!(report.shards_before, 2);
+    assert_eq!(report.shards_after, 3);
+    assert!(
+        report.failed.is_empty(),
+        "split failed: {:?}",
+        report.failed
+    );
+    assert!(
+        report.reused.is_empty(),
+        "all-new addresses can't be reused"
+    );
+    assert_eq!(report.shipped.len(), 3, "every new shard needs an image");
+    assert!(report.bytes_shipped > 0);
+    assert_eq!(
+        report.catch_up_entries,
+        tail.len(),
+        "catch-up must drain the queued tail"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let served = traffic.join().unwrap();
+    assert!(served > 0, "traffic thread never got a request through");
+
+    // Post-split replies are bit-identical to a fresh 3-shard in-process
+    // build over the *full* entry set (base + caught-up tail).
+    let inproc3 = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 3,
+            key,
+            ..ServeConfig::default()
+        },
+    );
+    let full_log = QueryLog::from_entries(&entries);
+    for (i, req) in request_mix(&full_log).iter().enumerate() {
+        assert_same_suggestions(req, &net, &inproc3, &format!("post-split req {i}"));
+    }
+
+    // MERGE: 3 → 2, again onto fresh cold processes.
+    let (handles2b, addrs2b) = spawn_empty(2, "merge", &dir);
+    handles.extend(handles2b);
+    let report = net.resize(&addrs2b);
+    assert_eq!(report.shards_before, 3);
+    assert_eq!(report.shards_after, 2);
+    assert!(
+        report.failed.is_empty(),
+        "merge failed: {:?}",
+        report.failed
+    );
+    assert_eq!(report.shipped.len(), 2);
+    assert_eq!(report.catch_up_entries, 0, "queue was already drained");
+
+    let inproc2_full = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            key,
+            ..ServeConfig::default()
+        },
+    );
+    for (i, req) in request_mix(&full_log).iter().enumerate() {
+        assert_same_suggestions(req, &net, &inproc2_full, &format!("post-merge req {i}"));
+    }
+
+    drop(handles);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resizing onto the *same* addresses with the same partitions reuses
+/// the live shards instead of re-shipping: a no-op cutover.
+#[test]
+fn resize_to_identical_topology_reuses_every_shard() {
+    let s = generate(&SynthConfig::tiny(17));
+    let entries = s.log.entries();
+    let key = PartitionKey::User;
+    let dir = scratch_dir();
+    let inproc = ShardedPqsDa::build(
+        &entries,
+        ServeConfig {
+            shards: 2,
+            key,
+            ..ServeConfig::default()
+        },
+    );
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for sh in 0..2usize {
+        let cfg = ShardServerConfig::new(
+            sh,
+            pqsda::EngineBuildOptions::default(),
+            dir.join(format!("stage{sh}")),
+        );
+        let server = ShardServer::new(inproc.shard_snapshot(sh), cfg);
+        let handle = server
+            .spawn(&NetAddr::Uds(dir.join(format!("s{sh}.sock"))))
+            .unwrap();
+        addrs.push(vec![handle.addr().clone()]);
+        handles.push(handle);
+    }
+    let net = NetRouter::connect(
+        QueryLog::from_entries(&entries),
+        &addrs,
+        NetConfig {
+            key,
+            ..NetConfig::default()
+        },
+    );
+    let report = net.resize(&addrs);
+    assert_eq!(report.reused, vec![0, 1]);
+    assert!(report.shipped.is_empty());
+    assert_eq!(report.bytes_shipped, 0);
+    assert!(report.failed.is_empty());
+    let req = SuggestRequest::simple(s.log.records()[0].query, 5);
+    assert_same_suggestions(&req, &net, &inproc, "post-noop-resize");
+    drop(net);
+    drop(handles);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,259 @@
+//! Wire-protocol properties (satellites 1 and 3): every message type
+//! survives encode → decode bit-identically — including max-size replies
+//! and empty degraded replies — and every corruption of the byte stream
+//! fails closed with a typed error, never a silently wrong frame.
+
+use pqsda_net::{
+    Frame, Msg, WireError, WireReply, WireRequest, WireTag, KIND_SUGGEST_REPLY, MAX_PAYLOAD,
+};
+use pqsda_querylog::{LogEntry, UserId};
+use proptest::prelude::*;
+
+fn tag() -> impl Strategy<Value = WireTag> {
+    (0u32..64, 0u64..1000, 0u64..u64::MAX, 0u64..u64::MAX).prop_map(
+        |(shard, generation, graph_digest, profile_digest)| WireTag {
+            shard,
+            generation,
+            graph_digest,
+            profile_digest,
+        },
+    )
+}
+
+fn text() -> impl Strategy<Value = String> {
+    "[a-z ]{0,24}"
+}
+
+fn score_bits() -> impl Strategy<Value = u64> {
+    // Arbitrary f64 bit patterns, including the signed-zero/denormal
+    // corners a format round-trip would destroy.
+    prop_oneof![
+        Just(0u64),
+        Just(f64::to_bits(-0.0)),
+        Just(f64::to_bits(1.0 / 3.0)),
+        Just(f64::to_bits(f64::MIN_POSITIVE / 2.0)),
+        0u64..u64::MAX,
+    ]
+}
+
+fn entries() -> impl Strategy<Value = Vec<LogEntry>> {
+    prop::collection::vec(
+        (
+            0u32..8,
+            "[a-z]{1,10}",
+            prop::option::of("[a-z]{3,6}\\.com"),
+            0u64..1_000_000,
+        ),
+        0..20,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(u, q, url, ts)| LogEntry::new(UserId(u), q, url.as_deref(), ts))
+            .collect()
+    })
+}
+
+fn msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (0u64..u64::MAX).prop_map(|nonce| Msg::Ping { nonce }),
+        (0u64..u64::MAX, 0u32..64, 0u64..1000).prop_map(|(nonce, shard, generation)| Msg::Pong {
+            nonce,
+            shard,
+            generation
+        }),
+        (
+            text(),
+            prop::collection::vec((text(), 0u64..u64::MAX), 0..6),
+            0u64..u64::MAX,
+            prop::option::of(0u32..1000),
+            0u32..64,
+            0u8..3,
+        )
+            .prop_map(|(query, context, query_time, user, k, backend)| {
+                Msg::Suggest(WireRequest {
+                    query,
+                    context,
+                    query_time,
+                    user,
+                    k,
+                    backend,
+                })
+            }),
+        (tag(), prop::collection::vec((text(), score_bits()), 0..12))
+            .prop_map(|(tag, suggestions)| Msg::SuggestReply(WireReply { tag, suggestions })),
+        entries().prop_map(|entries| Msg::Delta { entries }),
+        tag().prop_map(|tag| Msg::DeltaAck { tag }),
+        (
+            0u32..64,
+            0u64..1000,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX
+        )
+            .prop_map(
+                |(shard, generation, total_len, graph_digest, profile_digest)| Msg::SnapBegin {
+                    shard,
+                    generation,
+                    total_len,
+                    graph_digest,
+                    profile_digest,
+                }
+            ),
+        (
+            0u64..u64::MAX,
+            prop::collection::vec((0u16..256).prop_map(|b| b as u8), 0..64)
+        )
+            .prop_map(|(offset, bytes)| Msg::SnapChunk { offset, bytes }),
+        Just(Msg::SnapCommit),
+        tag().prop_map(|tag| Msg::SnapAck { tag }),
+        (0u16..100, "[a-z ]{0,30}").prop_map(|(code, detail)| Msg::Error { code, detail }),
+        Just(Msg::Shutdown),
+    ]
+}
+
+proptest! {
+    /// Satellite 3: encode → decode is the identity for every frame
+    /// type, any request id, with or without a deadline budget.
+    #[test]
+    fn every_message_roundtrips_bit_identically(
+        m in msg(),
+        request_id in 0u64..u64::MAX,
+        budget_us in prop::option::of(1u64..10_000_000),
+    ) {
+        let mut frame = m.into_frame(request_id, None);
+        if let Some(b) = budget_us {
+            frame.budget_us = b;
+        }
+        let bytes = frame.encode();
+        let (decoded, consumed) = Frame::decode_exact(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded.kind, frame.kind);
+        prop_assert_eq!(decoded.request_id, request_id);
+        prop_assert_eq!(decoded.budget_us, frame.budget_us);
+        // Payload bytes are bit-identical, and so is the re-parsed message.
+        prop_assert_eq!(&decoded.payload, &frame.payload);
+        let back = Msg::from_frame(&decoded).expect("payload must re-parse");
+        prop_assert_eq!(back, m);
+        // Re-encoding the decoded frame reproduces the exact bytes.
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    /// Satellite 1: flipping any single byte is detected — decode never
+    /// silently yields the original frame.
+    #[test]
+    fn any_single_byte_flip_fails_closed(
+        m in msg(),
+        request_id in 0u64..1000,
+        pos_seed in 0usize..usize::MAX,
+        flip in 1u16..256,
+    ) {
+        let frame = m.into_frame(request_id, None);
+        let mut bytes = frame.encode();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip as u8;
+        match Frame::decode(&bytes) {
+            // A corrupted length field may make the frame look
+            // incomplete — the reader then waits for bytes that never
+            // come and times out; still fail-closed.
+            Ok(None) => prop_assert!((24..28).contains(&pos), "byte {pos} hid corruption"),
+            Ok(Some((decoded, _))) => {
+                prop_assert!(
+                    decoded.encode() != frame.encode(),
+                    "byte {pos} flip yielded the original frame"
+                );
+                // Only a flip inside the checksum-covered region can ever
+                // decode, and then only as a *different* frame; a flip
+                // that leaves header+payload intact must be caught.
+                prop_assert!(false, "corrupted frame decoded: flip at {pos}");
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Satellite 1: every truncation is detected as incomplete or
+    /// invalid — never a shorter valid frame.
+    #[test]
+    fn any_truncation_is_incomplete_or_invalid(
+        m in msg(),
+        cut_seed in 0usize..usize::MAX,
+    ) {
+        let frame = m.into_frame(9, None);
+        let bytes = frame.encode();
+        let cut = cut_seed % bytes.len(); // strictly shorter
+        match Frame::decode(&bytes[..cut]) {
+            Ok(None) | Err(_) => {}
+            Ok(Some(_)) => prop_assert!(false, "truncation to {cut} bytes decoded a frame"),
+        }
+    }
+}
+
+/// The empty degraded reply — zero suggestions, honest tag — is a
+/// first-class frame.
+#[test]
+fn empty_degraded_reply_roundtrips() {
+    let reply = Msg::SuggestReply(WireReply {
+        tag: WireTag {
+            shard: 3,
+            generation: 17,
+            graph_digest: 0xdead_beef,
+            profile_digest: 0,
+        },
+        suggestions: Vec::new(),
+    });
+    let frame = reply.into_frame(1, None);
+    assert_eq!(frame.kind, KIND_SUGGEST_REPLY);
+    let bytes = frame.encode();
+    let (decoded, _) = Frame::decode_exact(&bytes).unwrap();
+    assert_eq!(Msg::from_frame(&decoded).unwrap(), reply);
+}
+
+/// A reply at the payload ceiling roundtrips; one byte past it is
+/// rejected from the header alone (no allocation, no partial parse).
+#[test]
+fn max_size_frames_roundtrip_and_oversize_fails_closed() {
+    // SnapChunk payload overhead: offset u64 + length u32 = 12 bytes.
+    let chunk = vec![0xA7u8; MAX_PAYLOAD as usize - 12];
+    let msg = Msg::SnapChunk {
+        offset: 7,
+        bytes: chunk,
+    };
+    let frame = msg.into_frame(2, None);
+    assert_eq!(frame.payload.len(), MAX_PAYLOAD as usize);
+    let bytes = frame.encode();
+    let (decoded, consumed) = Frame::decode_exact(&bytes).unwrap();
+    assert_eq!(consumed, bytes.len());
+    assert_eq!(Msg::from_frame(&decoded).unwrap(), msg);
+
+    // Same frame with the announced length bumped past the cap: the
+    // decoder must reject from the header, before trusting the length.
+    let mut oversized = bytes;
+    let bad_len = MAX_PAYLOAD + 1;
+    oversized[24..28].copy_from_slice(&bad_len.to_le_bytes());
+    match Frame::decode(&oversized) {
+        Err(WireError::Oversized(n)) => assert_eq!(n, bad_len),
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+
+    // A large suggest reply (the shape real merges produce) roundtrips
+    // with raw score bits intact.
+    let big = Msg::SuggestReply(WireReply {
+        tag: WireTag {
+            shard: 0,
+            generation: 1,
+            graph_digest: 1,
+            profile_digest: 2,
+        },
+        suggestions: (0..20_000)
+            .map(|i| {
+                (
+                    format!("query number {i} with some length"),
+                    (i as f64).sqrt().to_bits(),
+                )
+            })
+            .collect(),
+    });
+    let frame = big.into_frame(3, None);
+    let bytes = frame.encode();
+    let (decoded, _) = Frame::decode_exact(&bytes).unwrap();
+    assert_eq!(Msg::from_frame(&decoded).unwrap(), big);
+}

@@ -63,7 +63,8 @@ pub use router::{
     VNODES_PER_SHARD,
 };
 pub use sharded::{
-    Coverage, ServeConfig, ServeOutcome, ServeReply, ServeStats, ShardedPqsDa, SwapReport,
+    merge_rank_stratified, shard_probe, Coverage, ServeConfig, ServeOutcome, ServeReply,
+    ServeStats, ShardedPqsDa, SuggestService, SwapReport,
 };
 pub use store::{
     load_server, save_server, shard_file, CommitReport, LoadReport, SaveReport, Snapshotter,

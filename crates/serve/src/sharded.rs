@@ -1129,6 +1129,33 @@ impl ShardedPqsDa {
     }
 }
 
+/// Anything that can answer a deadline-aware suggest request with the
+/// serving contract of [`ShardedPqsDa::suggest_with_deadline`]: an
+/// explicit [`ServeOutcome`] — served (possibly degraded, with honest
+/// coverage) or rejected — never a hang, never a silent drop.
+///
+/// Implemented by the in-process [`ShardedPqsDa`] and by the
+/// socket-backed router in `pqsda-net`, so load generators and smoke
+/// harnesses drive either deployment shape through one interface.
+pub trait SuggestService: Sync {
+    /// Serves one request under an optional deadline.
+    fn suggest_with_deadline(
+        &self,
+        req: &SuggestRequest,
+        deadline: Option<Deadline>,
+    ) -> ServeOutcome;
+}
+
+impl SuggestService for ShardedPqsDa {
+    fn suggest_with_deadline(
+        &self,
+        req: &SuggestRequest,
+        deadline: Option<Deadline>,
+    ) -> ServeOutcome {
+        ShardedPqsDa::suggest_with_deadline(self, req, deadline)
+    }
+}
+
 /// Shared read-only context of one request's probe spawns.
 struct ProbeCtx<'a> {
     request: u64,
@@ -1183,7 +1210,11 @@ enum ProbeEvent {
 /// the shard's id space, ask the snapshot's engine, translate the
 /// candidates back to global ids. Empty when the shard never saw the
 /// query.
-fn shard_probe(
+///
+/// Public because the wire-protocol shard server (`pqsda-net`) must run
+/// the *identical* translation so a full-coverage socket reply stays
+/// bit-identical to the in-process gather.
+pub fn shard_probe(
     router: &QueryLog,
     snap: &ShardSnapshot,
     input_text: &str,
@@ -1236,7 +1267,12 @@ fn shard_probe(
 /// candidates order by `(score desc, global id asc)`; duplicates keep
 /// their first (highest-stratum) occurrence. Stops at `k`. With a single
 /// list this is the identity (already ≤ k and duplicate-free).
-fn merge_rank_stratified(lists: &[Vec<(QueryId, f64)>], k: usize) -> Vec<(QueryId, f64)> {
+///
+/// Public so the socket-backed router in `pqsda-net` merges remote
+/// candidate lists with the exact function the in-process gather uses —
+/// the bit-identity contract depends on sharing this code, not
+/// reimplementing it.
+pub fn merge_rank_stratified(lists: &[Vec<(QueryId, f64)>], k: usize) -> Vec<(QueryId, f64)> {
     let max_len = lists.iter().map(Vec::len).max().unwrap_or(0);
     let mut out = Vec::new();
     let mut seen: HashSet<QueryId> = HashSet::new();

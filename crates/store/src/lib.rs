@@ -23,6 +23,7 @@ pub mod wal;
 
 pub use format::{SectionKind, SnapError, FORMAT_VERSION, MAGIC};
 pub use snapshot::{
-    load_engine, load_router, save_engine, save_router, LoadInfo, SnapshotMeta, ROUTER_SHARD,
+    engine_image, load_engine, load_router, save_engine, save_router, LoadInfo, SnapshotMeta,
+    ROUTER_SHARD,
 };
-pub use wal::{WalReader, WalReplay, WalWriter};
+pub use wal::{decode_entry, encode_entry, WalReader, WalReplay, WalWriter};

@@ -182,15 +182,13 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapError> {
     Ok(())
 }
 
-/// Saves a whole engine as one `PQSS` file at `path` (atomic rename).
-/// Returns the stamped identity (digests computed from the engine, the
-/// same way the serving layer's `ShardTag` computes them).
-pub fn save_engine(
-    engine: &PqsDa,
-    shard: u64,
-    generation: u64,
-    path: &Path,
-) -> Result<SnapshotMeta, SnapError> {
+/// Builds the complete `PQSS` image of an engine **in memory**: exactly
+/// the bytes [`save_engine`] would write, plus the stamped identity.
+/// This is the snapshot-streaming primitive — the wire layer ships these
+/// bytes chunk by chunk for live shard handoff, and `save_engine` is now
+/// a thin "image + atomic write" composition, so file and wire snapshots
+/// are one format by construction.
+pub fn engine_image(engine: &PqsDa, shard: u64, generation: u64) -> (SnapshotMeta, Vec<u8>) {
     let log = engine.log();
     let multi = engine.multi();
     let mut builder = FileBuilder::new();
@@ -231,6 +229,19 @@ pub fn save_engine(
         profile_digest: meta.profile_digest,
         flags,
     });
+    (meta, bytes)
+}
+
+/// Saves a whole engine as one `PQSS` file at `path` (atomic rename).
+/// Returns the stamped identity (digests computed from the engine, the
+/// same way the serving layer's `ShardTag` computes them).
+pub fn save_engine(
+    engine: &PqsDa,
+    shard: u64,
+    generation: u64,
+    path: &Path,
+) -> Result<SnapshotMeta, SnapError> {
+    let (meta, bytes) = engine_image(engine, shard, generation);
     write_atomic(path, &bytes)?;
     Ok(meta)
 }

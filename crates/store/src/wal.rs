@@ -54,7 +54,11 @@ pub struct WalReplay {
     pub dropped_bytes: u64,
 }
 
-fn encode_entry(buf: &mut Vec<u8>, e: &LogEntry) {
+/// Serializes one [`LogEntry`] in the WAL's entry layout (`user u32 |
+/// timestamp u64 | query_len u32 | query | url_len u32 (u32::MAX = no
+/// click) | url`). Public because the wire protocol's delta frames carry
+/// entries in this exact encoding — one codec, no drift.
+pub fn encode_entry(buf: &mut Vec<u8>, e: &LogEntry) {
     buf.extend_from_slice(&e.user.0.to_le_bytes());
     buf.extend_from_slice(&e.timestamp.to_le_bytes());
     let q = e.query.as_bytes();
@@ -240,7 +244,10 @@ fn decode_frame(bytes: &[u8], expect_id: u64) -> Option<(Vec<LogEntry>, usize)> 
     Some((entries, total))
 }
 
-fn decode_entry(bytes: &[u8]) -> Option<(LogEntry, usize)> {
+/// Decodes one entry written by [`encode_entry`]: the entry plus the
+/// bytes consumed, or `None` for anything short or non-UTF-8 (the caller
+/// treats that as a torn/corrupt frame and fails closed).
+pub fn decode_entry(bytes: &[u8]) -> Option<(LogEntry, usize)> {
     if bytes.len() < 16 {
         return None;
     }
